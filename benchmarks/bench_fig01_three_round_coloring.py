@@ -1,0 +1,38 @@
+"""Figure 1: the two instances of 3-round 3-colorability (Example 1).
+
+Reproduces the paper's claim: the graph of Figure 1a is 3-colorable but Adam
+wins the 3-round colouring game on it, while removing the edge {w1, w3}
+(Figure 1b) lets Eve win.
+"""
+
+from repro.graphs import generators
+import repro.properties as props
+
+from conftest import report
+
+
+def test_figure1a_no_instance(benchmark):
+    graph = generators.figure1_no_instance()
+    result = benchmark(props.three_round_three_colorable, graph)
+    assert props.three_colorable(graph)
+    assert result is False
+    report("Figure 1a", [
+        {"3-colorable": True, "3-round 3-colorable": result, "paper": "no-instance"},
+    ])
+
+
+def test_figure1b_yes_instance(benchmark):
+    graph = generators.figure1_yes_instance()
+    result = benchmark(props.three_round_three_colorable, graph)
+    assert props.three_colorable(graph)
+    assert result is True
+    report("Figure 1b", [
+        {"3-colorable": True, "3-round 3-colorable": result, "paper": "yes-instance"},
+    ])
+
+
+def test_three_round_game_scales_with_low_degree_nodes(benchmark):
+    # A slightly larger instance: stars have many degree-1 nodes for Eve's first move.
+    graph = generators.star_graph(5)
+    result = benchmark(props.three_round_three_colorable, graph)
+    assert result is True

@@ -1,0 +1,37 @@
+"""Figures 2 and 13: the hierarchy diagram and its separation witnesses.
+
+Reproduces the executable separations: LP ⊊ NLP (Proposition 24), the
+incomparability of coLP and NLP (Proposition 26), and the placement of
+3-colorability in NLP \\ LP, and times the two witness constructions.
+"""
+
+from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
+from repro.separations import (
+    lp_vs_nlp_separation_report,
+    pumping_breaks_verifier,
+    separation_table,
+)
+
+from conftest import report
+
+
+def test_lp_strictly_below_nlp(benchmark):
+    candidate = NeighborhoodGatherAlgorithm(1, lambda view: "1", name="candidate-decider")
+    result = benchmark(lp_vs_nlp_separation_report, candidate, 2)
+    assert result["separation_established"]
+    report("Proposition 24 (LP ⊊ NLP)", [result])
+
+
+def test_colp_incomparable_with_nlp(benchmark):
+    result = benchmark(pumping_breaks_verifier, 4, 3)
+    assert result["verifier_complete"]
+    assert result["soundness_broken"]
+    report("Proposition 26 (coLP ⋚ NLP)", [result])
+
+
+def test_full_separation_table(benchmark):
+    rows = benchmark(separation_table)
+    assert len(rows) >= 8
+    report("Figure 2 / Figure 13 facts", [
+        {"statement": row["statement"], "kind": row["kind"]} for row in rows
+    ])

@@ -1,0 +1,58 @@
+"""Figures 3 and 10: the reduction from all-selected to hamiltonian (Proposition 19).
+
+Reproduces the equivalence "all labels 1  iff  the output graph is
+Hamiltonian" on a sweep of labeled graphs (including the Figure 3 instance),
+and times the reduction and the downstream Hamiltonicity check.
+"""
+
+from repro.graphs import generators
+from repro.reductions import AllSelectedToHamiltonian, verify_reduction_equivalence
+import repro.properties as props
+
+from conftest import report
+
+
+def sweep_graphs():
+    return [
+        generators.figure3_graph(),
+        generators.figure3_graph().with_uniform_label("1"),
+        generators.path_graph(4, labels=["1"] * 4),
+        generators.path_graph(4, labels=["1", "0", "1", "1"]),
+        generators.cycle_graph(5, labels=["1"] * 5),
+        generators.star_graph(3, center_label="1", leaf_label="1"),
+    ]
+
+
+def test_reduction_equivalence_sweep(benchmark):
+    reduction = AllSelectedToHamiltonian()
+    graphs = sweep_graphs()
+    failures = benchmark(
+        verify_reduction_equivalence, reduction, props.all_selected, props.hamiltonian, graphs
+    )
+    assert failures == []
+    rows = []
+    for graph in graphs:
+        output = reduction.apply(graph).output_graph
+        rows.append(
+            {
+                "input nodes": graph.cardinality(),
+                "all-selected": props.all_selected(graph),
+                "output nodes": output.cardinality(),
+                "hamiltonian": props.hamiltonian(output),
+            }
+        )
+    report("Figure 3/10: all-selected -> hamiltonian", rows)
+
+
+def test_reduction_construction_time(benchmark):
+    reduction = AllSelectedToHamiltonian()
+    graph = generators.cycle_graph(12, labels=["1"] * 12)
+    result = benchmark(reduction.apply, graph)
+    assert result.output_graph.cardinality() == 4 * 12  # 2d per node with d = 2 -> 4 per node
+
+
+def test_figure3_instance(benchmark):
+    reduction = AllSelectedToHamiltonian()
+    graph = generators.figure3_graph()
+    output = benchmark(lambda: reduction.apply(graph).output_graph)
+    assert not props.hamiltonian(output)

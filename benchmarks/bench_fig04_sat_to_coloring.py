@@ -1,0 +1,61 @@
+"""Figures 4 and 12: the reduction from 3-sat-graph to 3-colorable (Theorem 23).
+
+Reproduces the equivalence "the Boolean graph is satisfiable iff the gadget
+graph is 3-colorable" on satisfiable and unsatisfiable Boolean graphs, and
+times both reduction stages (Tseytin and the coloring gadgets).
+"""
+
+from repro.boolsat import boolean_graph_from_formulas
+from repro.reductions import SatGraphToThreeSatGraph, ThreeSatGraphToThreeColorable
+import repro.properties as props
+
+from conftest import report
+
+
+def boolean_graphs():
+    return [
+        ("sat, consistent", boolean_graph_from_formulas({"u": "P1 | ~P2", "v": "P2 & P3"}, [("u", "v")])),
+        ("unsat node", boolean_graph_from_formulas({"u": "P1 & ~P1"}, [])),
+        ("conflicting edge", boolean_graph_from_formulas({"u": "P1", "v": "~P1"}, [("u", "v")])),
+        ("non-adjacent disagreement", boolean_graph_from_formulas({"u": "P1", "v": "~P1", "w": "P2"}, [("u", "w"), ("w", "v")])),
+    ]
+
+
+def test_theorem23_pipeline(benchmark):
+    tseytin = SatGraphToThreeSatGraph()
+    coloring = ThreeSatGraphToThreeColorable()
+
+    def run():
+        rows = []
+        for name, graph in boolean_graphs():
+            three_cnf = tseytin.apply(graph).output_graph
+            gadget = coloring.apply(three_cnf).output_graph
+            rows.append(
+                {
+                    "instance": name,
+                    "satisfiable": props.sat_graph(graph),
+                    "gadget nodes": gadget.cardinality(),
+                    "3-colorable": props.three_colorable(gadget),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    for row in rows:
+        assert row["satisfiable"] == row["3-colorable"]
+    report("Figure 4/12: 3-sat-graph -> 3-colorable", rows)
+
+
+def test_tseytin_stage_time(benchmark):
+    tseytin = SatGraphToThreeSatGraph()
+    graph = boolean_graphs()[0][1]
+    result = benchmark(tseytin.apply, graph)
+    assert props.three_sat_graph_domain(result.output_graph)
+
+
+def test_coloring_stage_time(benchmark):
+    tseytin = SatGraphToThreeSatGraph()
+    coloring = ThreeSatGraphToThreeColorable()
+    three_cnf = tseytin.apply(boolean_graphs()[2][1]).output_graph
+    result = benchmark(coloring.apply, three_cnf)
+    assert result.output_graph.cardinality() > three_cnf.cardinality()

@@ -1,0 +1,38 @@
+"""Figure 5: structural representations of labeled graphs.
+
+Reproduces the element/relation counts of the Figure 5 example and measures
+how the construction scales with the number of nodes and the label lengths.
+"""
+
+from repro.graphs import generators
+from repro.graphs.structures import structural_representation
+
+from conftest import report
+
+
+def test_figure5_example(benchmark):
+    graph = generators.cycle_graph(4, labels=["010", "10", "1101", "001"])
+    structure = benchmark(structural_representation, graph)
+    assert structure.cardinality() == 4 + 3 + 2 + 4 + 3
+    assert structure.signature == (1, 2)
+    report("Figure 5", [
+        {
+            "nodes": graph.cardinality(),
+            "label bits": sum(len(graph.label(u)) for u in graph.nodes),
+            "elements of $G": structure.cardinality(),
+            "edge arrows": len(structure.binary(1)),
+            "ownership arrows": len(structure.binary(2)),
+        }
+    ])
+
+
+def test_scaling_in_graph_size(benchmark):
+    graph = generators.cycle_graph(60, labels=["1010"] * 60)
+    structure = benchmark(structural_representation, graph)
+    assert structure.cardinality() == 60 * 5
+
+
+def test_scaling_in_label_length(benchmark):
+    graph = generators.path_graph(8, labels=["01" * 16] * 8)
+    structure = benchmark(structural_representation, graph)
+    assert structure.cardinality() == 8 * (1 + 32)

@@ -1,0 +1,77 @@
+"""Figures 6 and 14: pictures, their structural representations, and tiling systems.
+
+Reproduces the Figure 14 structural representation, checks the tiling-system
+recognizers against direct membership tests (the machinery behind Theorem 32),
+and exercises the picture-to-graph encoding of Section 9.2.2.
+"""
+
+from repro.pictures import (
+    Picture,
+    all_ones_system,
+    grid_graph_to_picture,
+    is_square_picture,
+    picture_structure,
+    picture_to_grid_graph,
+    square_pictures_system,
+    top_row_has_one_system,
+    has_one_in_top_row,
+)
+
+from conftest import report
+
+
+def test_figure14_structural_representation(benchmark):
+    picture = Picture.from_rows(
+        [["00", "01", "00", "01"], ["10", "11", "10", "11"], ["00", "01", "00", "01"]]
+    )
+    structure = benchmark(picture_structure, picture)
+    assert structure.cardinality() == 12
+    assert structure.signature == (2, 2)
+    report("Figure 6/14", [
+        {"picture size": picture.size(), "elements": structure.cardinality(),
+         "vertical arrows": len(structure.binary(1)), "horizontal arrows": len(structure.binary(2))}
+    ])
+
+
+def test_square_tiling_system_recognition(benchmark):
+    system = square_pictures_system()
+
+    def run():
+        results = {}
+        for height in range(1, 5):
+            for width in range(1, 5):
+                picture = Picture.constant(height, width, "0")
+                results[(height, width)] = system.accepts(picture)
+        return results
+
+    results = benchmark(run)
+    for (height, width), accepted in results.items():
+        assert accepted == (height == width)
+    report("Tiling system for squares", [
+        {"size": size, "accepted": accepted} for size, accepted in sorted(results.items())
+    ])
+
+
+def test_top_row_tiling_system(benchmark):
+    system = top_row_has_one_system()
+    yes = Picture.from_rows([["0", "0", "1"], ["0", "0", "0"]])
+    no = Picture.from_rows([["0", "0", "0"], ["1", "1", "1"]])
+    result = benchmark(system.accepts, yes)
+    assert result is True
+    assert system.accepts(no) is False
+    assert has_one_in_top_row(yes) and not has_one_in_top_row(no)
+
+
+def test_all_ones_system_scaling(benchmark):
+    system = all_ones_system()
+    picture = Picture.constant(4, 4, "1")
+    assert benchmark(system.accepts, picture)
+
+
+def test_picture_graph_round_trip(benchmark):
+    picture = Picture.constant(5, 7, "10")
+
+    def round_trip():
+        return grid_graph_to_picture(picture_to_grid_graph(picture))
+
+    assert benchmark(round_trip) == picture

@@ -1,0 +1,50 @@
+"""Figure 8: distributed Turing machines (the low-level machine model).
+
+Times the execution of genuine transition-table machines through the
+synchronous simulator and checks they decide all-selected, matching the
+high-level local-algorithm layer.
+"""
+
+from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
+from repro.machines import builtin, execute
+from repro.machines.turing import accept_machine, label_is_one_machine
+
+from conftest import report
+
+
+def test_label_machine_on_cycle(benchmark):
+    graph = generators.cycle_graph(30, labels=["1"] * 30)
+    ids = sequential_identifier_assignment(graph)
+    machine = label_is_one_machine()
+    result = benchmark(execute, machine, graph, ids)
+    assert result.accepts()
+    report("Figure 8 (distributed Turing machine)", [
+        {"nodes": graph.cardinality(), "rounds": result.rounds_used, "accepts": result.accepts()}
+    ])
+
+
+def test_turing_and_local_algorithm_agree(benchmark):
+    machine = label_is_one_machine()
+    algorithm = builtin.all_selected_decider()
+
+    def run():
+        outcomes = []
+        for labels in (["1"] * 6, ["1", "1", "0", "1", "1", "1"]):
+            graph = generators.cycle_graph(6, labels=labels)
+            ids = sequential_identifier_assignment(graph)
+            outcomes.append(
+                (execute(machine, graph, ids).accepts(), execute(algorithm, graph, ids).accepts())
+            )
+        return outcomes
+
+    outcomes = benchmark(run)
+    for low_level, high_level in outcomes:
+        assert low_level == high_level
+
+
+def test_accept_machine_throughput(benchmark):
+    graph = generators.grid_graph(5, 6)
+    ids = sequential_identifier_assignment(graph)
+    result = benchmark(execute, accept_machine(), graph, ids)
+    assert result.accepts()

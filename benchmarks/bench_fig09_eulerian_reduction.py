@@ -1,0 +1,58 @@
+"""Figure 9: the reduction from all-selected to eulerian (Proposition 18).
+
+Reproduces the equivalence on a sweep including the Figure 9 instance and
+times the reduction on larger graphs.
+"""
+
+from repro.graphs import generators
+from repro.reductions import AllSelectedToEulerian, verify_reduction_equivalence
+import repro.properties as props
+
+from conftest import report
+
+
+def test_reduction_equivalence_sweep(benchmark):
+    reduction = AllSelectedToEulerian()
+    graphs = [
+        generators.figure9_graph(),
+        generators.figure9_graph().with_uniform_label("1"),
+        generators.cycle_graph(6, labels=["1"] * 6),
+        generators.cycle_graph(6, labels=["1", "1", "1", "0", "1", "1"]),
+        generators.star_graph(4, center_label="1", leaf_label="1"),
+        generators.single_node("0"),
+    ]
+    failures = benchmark(
+        verify_reduction_equivalence, reduction, props.all_selected, props.eulerian, graphs
+    )
+    assert failures == []
+    rows = []
+    for graph in graphs:
+        output = reduction.apply(graph).output_graph
+        rows.append(
+            {
+                "input nodes": graph.cardinality(),
+                "all-selected": props.all_selected(graph),
+                "output nodes": output.cardinality(),
+                "eulerian": props.eulerian(output),
+            }
+        )
+    report("Figure 9: all-selected -> eulerian", rows)
+
+
+def test_reduction_scales_linearly(benchmark):
+    reduction = AllSelectedToEulerian()
+    graph = generators.cycle_graph(60, labels=["1"] * 60)
+    result = benchmark(reduction.apply, graph)
+    assert result.output_graph.cardinality() == 120
+
+
+def test_eulerian_decider_on_reduced_graph(benchmark):
+    from repro.graphs.identifiers import sequential_identifier_assignment
+    from repro.machines import builtin, execute
+
+    reduction = AllSelectedToEulerian()
+    graph = generators.cycle_graph(10, labels=["1"] * 10)
+    output = reduction.apply(graph).output_graph
+    ids = sequential_identifier_assignment(output)
+    result = benchmark(execute, builtin.eulerian_decider(), output, ids)
+    assert result.accepts()

@@ -1,0 +1,50 @@
+"""Figure 11: the reduction from not-all-selected to hamiltonian (Proposition 20).
+
+Reproduces the equivalence "some node is unselected iff the two-layer output
+graph is Hamiltonian" and times the construction.
+"""
+
+from repro.graphs import generators
+from repro.reductions import NotAllSelectedToHamiltonian, verify_reduction_equivalence
+import repro.properties as props
+
+from conftest import report
+
+
+def test_reduction_equivalence_sweep(benchmark):
+    reduction = NotAllSelectedToHamiltonian()
+    graphs = [
+        generators.path_graph(2, labels=["1", "1"]),
+        generators.path_graph(2, labels=["1", "0"]),
+        generators.path_graph(3, labels=["1", "0", "1"]),
+        generators.cycle_graph(3, labels=["1", "1", "1"]),
+        generators.single_node("0"),
+    ]
+    failures = benchmark(
+        verify_reduction_equivalence,
+        reduction,
+        props.not_all_selected,
+        props.hamiltonian,
+        graphs,
+    )
+    assert failures == []
+    rows = []
+    for graph in graphs:
+        output = reduction.apply(graph).output_graph
+        rows.append(
+            {
+                "input nodes": graph.cardinality(),
+                "not-all-selected": props.not_all_selected(graph),
+                "output nodes": output.cardinality(),
+                "hamiltonian": props.hamiltonian(output),
+            }
+        )
+    report("Figure 11: not-all-selected -> hamiltonian", rows)
+
+
+def test_construction_time(benchmark):
+    reduction = NotAllSelectedToHamiltonian()
+    graph = generators.cycle_graph(8, labels=["1", "0"] + ["1"] * 6)
+    result = benchmark(reduction.apply, graph)
+    # Each degree-2 node contributes two cycles of length 2*2 + 3 = 7.
+    assert result.output_graph.cardinality() == 8 * 14

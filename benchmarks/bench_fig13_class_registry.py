@@ -1,0 +1,32 @@
+"""Figure 13: regenerating the hierarchy diagram's rows from the class registry.
+
+Rebuilds the per-level summary of Figure 2/13 (inclusions, strictness,
+same-level incomparability, the bounded-degree chain) and cross-checks it
+against the executable separation witnesses.
+"""
+
+from repro.hierarchy.classes import bounded_degree_chain, figure2_rows, inclusion_edges
+from repro.separations.witnesses import hierarchy_facts
+
+from conftest import report
+
+
+def test_figure2_rows(benchmark):
+    rows = benchmark(figure2_rows, 6)
+    assert len(rows) == 7
+    assert all(row["strict_step_up"] for row in rows)
+    report("Figure 2/13 per-level summary", rows)
+
+
+def test_inclusion_edges(benchmark):
+    edges = benchmark(inclusion_edges, 5)
+    assert ("LP", "NLP", "strict") in edges
+    report("Figure 13 covering edges (both hierarchies)", edges)
+
+
+def test_bounded_degree_chain_matches_witnesses(benchmark):
+    chain = benchmark(bounded_degree_chain, 6)
+    assert chain[:2] == ["LP", "NLP"]
+    facts = hierarchy_facts()
+    assert facts, "the separation witnesses must be available"
+    report("Bounded-degree collapse chain", [{"chain": " ⊊ ".join(chain)}])

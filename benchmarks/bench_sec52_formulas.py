@@ -1,0 +1,58 @@
+"""Section 5.2: model checking the example formulas against the ground truth.
+
+Times the exhaustive evaluation of the Sigma^lfo_1 and Sigma^lfo_3 example
+formulas on small graphs and asserts agreement with the centralized property
+checkers.
+"""
+
+from repro.graphs import generators
+from repro.logic import EvaluationOptions, graph_satisfies
+from repro.logic.examples import (
+    exists_unselected_node_formula,
+    hamiltonian_formula,
+    three_colorable_formula,
+)
+import repro.properties as props
+
+from conftest import report
+
+OPTIONS = EvaluationOptions(second_order_locality=1, second_order_node_only=True, candidate_limit=40)
+
+
+def test_three_colorable_formula_model_checking(benchmark):
+    formula = three_colorable_formula()
+    graphs = [generators.cycle_graph(3), generators.cycle_graph(5), generators.complete_graph(4)]
+
+    def run():
+        return [graph_satisfies(graph, formula, options=OPTIONS) for graph in graphs]
+
+    results = benchmark(run)
+    expected = [props.three_colorable(graph) for graph in graphs]
+    assert results == expected
+    report("Example 5 (3-colorable)", [dict(zip(["C3", "C5", "K4"], results))])
+
+
+def test_not_all_selected_formula_model_checking(benchmark):
+    formula = exists_unselected_node_formula()
+    yes = generators.path_graph(3, labels=["1", "0", "1"])
+    no = generators.path_graph(3, labels=["1", "1", "1"])
+
+    def run():
+        return (
+            graph_satisfies(yes, formula, options=OPTIONS),
+            graph_satisfies(no, formula, options=OPTIONS),
+        )
+
+    results = benchmark(run)
+    assert results == (True, False)
+    report("Example 6 (not-all-selected)", [{"with unselected node": results[0], "all selected": results[1]}])
+
+
+def test_hamiltonian_formula_model_checking(benchmark):
+    formula = hamiltonian_formula()
+    triangle = generators.cycle_graph(3)
+
+    def run():
+        return graph_satisfies(triangle, formula, options=OPTIONS)
+
+    assert benchmark(run) is True

@@ -1,0 +1,37 @@
+"""Theorem 12 (classical Fagin), recovered as the single-node case of Theorem 14.
+
+Times the space-time-diagram encoding and its consistency verification for
+polynomial-time machines on growing inputs, asserting that the machine
+accepts exactly when its canonical relational witness passes every check.
+"""
+
+import pytest
+
+from repro.fagin.space_time import fagin_theorem_check
+from repro.machines.classical import all_ones_machine, contains_zero_machine, even_length_machine
+
+from conftest import report
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def test_fagin_witness_all_ones(benchmark, length):
+    word = "1" * length
+    result = benchmark(fagin_theorem_check, all_ones_machine(), word)
+    assert result["agreement"]
+    assert result["accepted_by_machine"]
+    report(
+        f"Theorem 12 on 1^{length}",
+        [{k: result[k] for k in ("tuple_degree", "diagram_cells", "witness_is_accepting")}],
+    )
+
+
+@pytest.mark.parametrize("word", ["1011", "11111111", "10" * 8])
+def test_fagin_witness_contains_zero(benchmark, word):
+    result = benchmark(fagin_theorem_check, contains_zero_machine(), word)
+    assert result["agreement"]
+
+
+def test_fagin_witness_even_length(benchmark):
+    result = benchmark(fagin_theorem_check, even_length_machine(), "01" * 10)
+    assert result["agreement"]
+    assert result["accepted_by_machine"]

@@ -1,0 +1,39 @@
+"""Section 8: the generalized Cook-Levin construction (Theorem 22).
+
+Times the construction of the Boolean graph from the 3-colorability sentence
+and checks the equivalence with the ground truth on yes- and no-instances.
+"""
+
+from repro.fagin import cook_levin_boolean_graph
+from repro.graphs import generators
+from repro.logic.examples import three_colorable_formula
+import repro.properties as props
+
+from conftest import report
+
+
+def test_construction_time(benchmark):
+    graph = generators.cycle_graph(5)
+    boolean_graph = benchmark(cook_levin_boolean_graph, three_colorable_formula(), graph)
+    assert boolean_graph.cardinality() == graph.cardinality()
+
+
+def test_equivalence_on_sweep(benchmark):
+    formula = three_colorable_formula()
+    graphs = {
+        "C3": generators.cycle_graph(3),
+        "C5": generators.cycle_graph(5),
+        "K4": generators.complete_graph(4),
+        "P3": generators.path_graph(3),
+    }
+
+    def run():
+        return {
+            name: props.sat_graph(cook_levin_boolean_graph(formula, graph))
+            for name, graph in graphs.items()
+        }
+
+    results = benchmark(run)
+    for name, graph in graphs.items():
+        assert results[name] == props.three_colorable(graph)
+    report("Theorem 22 (Cook-Levin): G 3-colorable iff G'' in sat-graph", [results])

@@ -1,0 +1,66 @@
+"""Section 9.2: tiling systems, their word restriction, and the logic translation.
+
+Times the NFA-to-tiling-system and tiling-system-to-NFA constructions
+(the word-level shadow of Theorem 32), the closure operations used by the
+hierarchy induction, and the Corollary 33 sentence generation.
+"""
+
+import pytest
+
+from repro.pictures.automata import all_ones_dfa, divisibility_dfa, parity_dfa
+from repro.pictures.closure import intersection_system, union_system
+from repro.pictures.mso import tiling_sentence
+from repro.pictures.word_tilings import (
+    agree_on_words,
+    nfa_to_tiling_system,
+    tiling_system_accepts_word,
+    tiling_system_to_nfa,
+)
+
+from conftest import report
+
+SAMPLE_WORDS = ["1", "0", "11", "10", "111", "101", "1111", "1101", "11111"]
+
+
+@pytest.mark.parametrize(
+    "dfa_factory", [parity_dfa, all_ones_dfa, lambda: divisibility_dfa(3)], ids=["parity", "ones", "div3"]
+)
+def test_nfa_tiling_round_trip(benchmark, dfa_factory):
+    dfa = dfa_factory()
+
+    def round_trip():
+        system = nfa_to_tiling_system(dfa.to_nfa())
+        recovered = tiling_system_to_nfa(system)
+        return agree_on_words(system, recovered, SAMPLE_WORDS)
+
+    agree, disagreements = benchmark(round_trip)
+    assert agree, disagreements
+
+
+def test_tiling_closure_operations(benchmark):
+    parity = nfa_to_tiling_system(parity_dfa().to_nfa())
+    ones = nfa_to_tiling_system(all_ones_dfa().to_nfa())
+
+    def closures():
+        union = union_system(parity, ones)
+        intersection = intersection_system(parity, ones)
+        return union, intersection
+
+    union, intersection = benchmark(closures)
+    for word in SAMPLE_WORDS:
+        assert tiling_system_accepts_word(union, word) == (
+            parity_dfa().accepts(word) or all_ones_dfa().accepts(word)
+        )
+        assert tiling_system_accepts_word(intersection, word) == (
+            parity_dfa().accepts(word) and all_ones_dfa().accepts(word)
+        )
+    report(
+        "Section 9.2 closure sizes",
+        [{"union tiles": len(union.tiles), "intersection tiles": len(intersection.tiles)}],
+    )
+
+
+def test_corollary33_sentence_generation(benchmark):
+    system = nfa_to_tiling_system(all_ones_dfa().to_nfa())
+    sentence = benchmark(tiling_sentence, system)
+    assert sentence is not None

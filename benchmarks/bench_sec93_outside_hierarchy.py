@@ -1,0 +1,54 @@
+"""Section 9.3: properties outside the locally polynomial hierarchy.
+
+Reproduces the two halves of the Section 9.3 argument on concrete instances:
+the pumping lemma refutes candidate DFAs for the non-regular cardinality
+languages (prime, power of two), and cycle pumping fools concrete
+constant-radius verifiers on the corresponding graph properties.
+"""
+
+import pytest
+
+from repro.machines.builtin import constant_algorithm, predicate_decider
+from repro.pictures.automata import divisibility_dfa, parity_dfa
+from repro.separations.outside_hierarchy import (
+    dfa_pumping_contradiction,
+    is_power_of_two,
+    is_prime,
+    prime_cardinality_fooling,
+    power_of_two_cardinality_fooling,
+)
+
+from conftest import report
+
+
+@pytest.mark.parametrize("modulus", [2, 3, 5, 7])
+def test_dfa_refutation_for_primes(benchmark, modulus):
+    witness = benchmark(dfa_pumping_contradiction, divisibility_dfa(modulus), is_prime)
+    assert witness is not None
+    report(f"Section 9.3: mod-{modulus} DFA cannot recognize prime lengths", [witness])
+
+
+def test_dfa_refutation_for_powers_of_two(benchmark):
+    witness = benchmark(dfa_pumping_contradiction, parity_dfa(), is_power_of_two)
+    assert witness is not None
+    report("Section 9.3: parity DFA cannot recognize power-of-two lengths", [witness])
+
+
+@pytest.mark.parametrize("prime_length", [23, 29, 41])
+def test_prime_cycle_pumping(benchmark, prime_length):
+    verifier = predicate_decider(
+        1, lambda view: all(view.label_of(v) == "1" for v in view.nodes), name="local-window"
+    )
+    result = benchmark(prime_cardinality_fooling, verifier, prime_length)
+    assert result.verifier_accepts_originally
+    assert result.fooled
+    report(
+        f"Section 9.3: prime cycle of length {prime_length} pumped to {result.pumped_length}",
+        [result.__dict__],
+    )
+
+
+def test_power_of_two_cycle_pumping(benchmark):
+    result = benchmark(power_of_two_cardinality_fooling, constant_algorithm("1"), 5)
+    assert result.fooled
+    report("Section 9.3: power-of-two cycle pumping", [result.__dict__])

@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one figure or construction of the paper:
+it asserts the *qualitative* result (who wins, which instance is accepted,
+which class separates) and uses pytest-benchmark to time the representative
+computation.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows) -> None:
+    """Print a small reproduction table (visible with ``pytest -s``)."""
+    print()
+    print(f"== {title} ==")
+    for row in rows:
+        print("  ", row)

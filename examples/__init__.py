@@ -1,0 +1,1 @@
+"""Runnable example scripts exercising the public API (see README.md)."""

@@ -1,0 +1,109 @@
+"""A tour of the locally polynomial reductions of Section 8.
+
+The script replays the paper's figures:
+
+* Figure 9  -- all-selected  ->  eulerian        (Proposition 18)
+* Figure 3  -- all-selected  ->  hamiltonian     (Proposition 19)
+* Figure 11 -- not-all-selected -> hamiltonian   (Proposition 20)
+* Figure 4  -- sat-graph -> 3-sat-graph -> 3-colorable (Theorem 23)
+
+For each reduction it prints the input labels, the size of the constructed
+graph, and the equivalence between the source and target properties.
+
+Run with:  python examples/reductions_tour.py
+"""
+
+from repro.boolsat import boolean_graph_from_formulas
+from repro.graphs import generators
+from repro.reductions import (
+    AllSelectedToEulerian,
+    AllSelectedToHamiltonian,
+    NotAllSelectedToHamiltonian,
+    SatGraphToThreeSatGraph,
+    ThreeSatGraphToThreeColorable,
+)
+import repro.properties as props
+
+
+def show(title: str, rows) -> None:
+    print(f"\n== {title} ==")
+    for row in rows:
+        print("  ", row)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Figure 9: all-selected -> eulerian
+    # ------------------------------------------------------------------
+    figure9 = generators.figure9_graph()          # labels 1, 1, 0
+    all_ones = figure9.with_uniform_label("1")
+    reduction = AllSelectedToEulerian()
+    rows = []
+    for graph in (figure9, all_ones):
+        output = reduction.apply(graph).output_graph
+        rows.append({
+            "labels": [graph.label(u) for u in graph.nodes],
+            "all-selected": props.all_selected(graph),
+            "output nodes": output.cardinality(),
+            "output eulerian": props.eulerian(output),
+        })
+    show("Figure 9: all-selected -> eulerian", rows)
+
+    # ------------------------------------------------------------------
+    # Figure 3: all-selected -> hamiltonian
+    # ------------------------------------------------------------------
+    figure3 = generators.figure3_graph()          # u2 carries label 0
+    reduction = AllSelectedToHamiltonian()
+    rows = []
+    for graph in (figure3, figure3.with_uniform_label("1")):
+        output = reduction.apply(graph).output_graph
+        rows.append({
+            "labels": {u: graph.label(u) for u in graph.nodes},
+            "all-selected": props.all_selected(graph),
+            "output nodes": output.cardinality(),
+            "output hamiltonian": props.hamiltonian(output),
+        })
+    show("Figure 3/10: all-selected -> hamiltonian", rows)
+
+    # ------------------------------------------------------------------
+    # Figure 11: not-all-selected -> hamiltonian
+    # ------------------------------------------------------------------
+    reduction = NotAllSelectedToHamiltonian()
+    rows = []
+    for labels in (["1", "1", "0"], ["1", "1", "1"]):
+        graph = generators.path_graph(3, labels=labels)
+        output = reduction.apply(graph).output_graph
+        rows.append({
+            "labels": labels,
+            "not-all-selected": props.not_all_selected(graph),
+            "output nodes": output.cardinality(),
+            "output hamiltonian": props.hamiltonian(output),
+        })
+    show("Figure 11: not-all-selected -> hamiltonian", rows)
+
+    # ------------------------------------------------------------------
+    # Figure 4: sat-graph -> 3-sat-graph -> 3-colorable
+    # ------------------------------------------------------------------
+    to_three_cnf = SatGraphToThreeSatGraph()
+    to_coloring = ThreeSatGraphToThreeColorable()
+    instances = {
+        "satisfiable": boolean_graph_from_formulas(
+            {"u": "P1 | ~P2 | ~P3", "v": "P3 | P4 | ~P5"}, [("u", "v")]
+        ),
+        "conflicting": boolean_graph_from_formulas({"u": "P1", "v": "~P1"}, [("u", "v")]),
+    }
+    rows = []
+    for name, boolean_graph in instances.items():
+        three_cnf = to_three_cnf.apply(boolean_graph).output_graph
+        gadget = to_coloring.apply(three_cnf).output_graph
+        rows.append({
+            "instance": name,
+            "sat-graph": props.sat_graph(boolean_graph),
+            "gadget nodes": gadget.cardinality(),
+            "gadget 3-colorable": props.three_colorable(gadget),
+        })
+    show("Figure 4/12: 3-sat-graph -> 3-colorable", rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Example: words, finite automata, tiling systems, and why ``prime`` is not local.
+
+This walkthrough follows Section 9 of the paper from the bottom up:
+
+1. words are one-row pictures, and finite automata are tiling systems on them
+   (the word-level shadow of Theorem 32);
+2. tiling systems translate into existential local monadic second-order
+   sentences (Corollary 33);
+3. the pumping lemma turns into an executable refutation: no finite automaton
+   -- and, via cycle pumping, no constant-radius verifier -- captures a
+   cardinality property such as "the number of nodes is prime" (Section 9.3).
+
+Run with ``python examples/words_automata_pictures.py``.
+"""
+
+from __future__ import annotations
+
+from repro.machines.builtin import predicate_decider
+from repro.pictures.automata import divisibility_dfa, parity_dfa
+from repro.pictures.mso import formula_agrees_with_system
+from repro.pictures.word_tilings import (
+    nfa_to_tiling_system,
+    tiling_system_accepts_word,
+    tiling_system_to_nfa,
+)
+from repro.pictures.words import word_to_picture
+from repro.separations.outside_hierarchy import (
+    dfa_pumping_contradiction,
+    is_prime,
+    prime_cardinality_fooling,
+)
+
+
+def main() -> None:
+    # 1. An automaton as a tiling system on one-row pictures.
+    parity = parity_dfa()
+    system = nfa_to_tiling_system(parity.to_nfa())
+    print("Parity automaton as a tiling system:")
+    for word in ["1", "11", "101", "1001"]:
+        print(f"  word {word!r}: DFA={parity.accepts(word)}  tiling={tiling_system_accepts_word(system, word)}")
+
+    recovered = tiling_system_to_nfa(system)
+    print("Round trip through tiling systems preserves the language:",
+          all(recovered.accepts(w) == parity.accepts(w) for w in ["1", "10", "111", "1010"]))
+
+    # 2. Corollary 33: the tiling system as an existential monadic sentence.
+    small_words = [word_to_picture(w) for w in ["1", "0", "11", "10"]]
+    agree, _ = formula_agrees_with_system(system, small_words)
+    print("Corollary 33 sentence agrees with the recognizer on small pictures:", agree)
+
+    # 3. Section 9.3: primality escapes both automata and local verification.
+    witness = dfa_pumping_contradiction(divisibility_dfa(3), is_prime)
+    print("\nPumping-lemma refutation of a mod-3 counter for prime lengths:")
+    print(" ", witness)
+
+    verifier = predicate_decider(
+        1, lambda view: all(view.label_of(v) == "1" for v in view.nodes), name="local-window"
+    )
+    report = prime_cardinality_fooling(verifier, prime_length=29)
+    print("\nCycle pumping against a radius-1 verifier:")
+    print(f"  original cycle: {report.cycle_length} nodes (prime), accepted = {report.verifier_accepts_originally}")
+    print(f"  pumped cycle:   {report.pumped_length} nodes (composite), accepted = {report.verifier_accepts_pumped}")
+    print(f"  verifier fooled: {report.fooled}")
+
+
+if __name__ == "__main__":
+    main()

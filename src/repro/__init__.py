@@ -1,0 +1,40 @@
+"""repro -- an executable reproduction of Reiter's locally polynomial hierarchy.
+
+This library reproduces the systems described in *"A LOCAL View of the
+Polynomial Hierarchy"* (Fabian Reiter, PODC 2024): the LOCAL model with
+distributed Turing machines, the locally polynomial hierarchy
+{Sigma^lp_l, Pi^lp_l}, logic with bounded quantifiers, locally polynomial
+reductions, the generalized Fagin and Cook-Levin constructions, pictures and
+tiling systems, and the separation witnesses behind the hierarchy's
+infiniteness.
+
+Subpackages
+-----------
+``repro.graphs``       labeled graphs, identifiers, certificates, structures
+``repro.logic``        bounded-quantifier logic and the local second-order hierarchy
+``repro.machines``     distributed Turing machines and the LOCAL simulator
+``repro.hierarchy``    the Eve/Adam certificate game and the classes LP, NLP, ...
+``repro.properties``   ground-truth graph property checkers
+``repro.boolsat``      Boolean formulas, SAT solving, Boolean graphs
+``repro.reductions``   locally polynomial reductions (Section 8)
+``repro.fagin``        formula-to-arbiter compilation and Cook-Levin (Sections 7-8)
+``repro.pictures``     pictures and tiling systems (Section 9.2)
+``repro.separations``  executable separation witnesses (Section 9)
+``repro.locality``     alternation and certificate-size locality measures (Fig. 7)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphs",
+    "logic",
+    "machines",
+    "hierarchy",
+    "properties",
+    "boolsat",
+    "reductions",
+    "fagin",
+    "pictures",
+    "separations",
+    "locality",
+]

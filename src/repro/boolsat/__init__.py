@@ -1,0 +1,59 @@
+"""Boolean satisfiability substrate (Section 8 of the paper).
+
+This package provides everything the paper's NLP-completeness results rely
+on:
+
+* a Boolean formula AST and parser (:mod:`repro.boolsat.formulas`),
+* valuations and satisfaction checking,
+* CNF conversion and the Tseytin transformation (:mod:`repro.boolsat.cnf`),
+* a self-contained DPLL SAT solver (:mod:`repro.boolsat.solver`),
+* Boolean graphs and the graph satisfiability problem ``sat-graph``
+  (:mod:`repro.boolsat.boolean_graph`),
+* the bit-string encoding of formulas used as node labels
+  (:mod:`repro.boolsat.encoding`).
+"""
+
+from repro.boolsat.formulas import (
+    BooleanFormula,
+    Var,
+    Not,
+    And,
+    Or,
+    Const,
+    parse_formula,
+    variables_of,
+)
+from repro.boolsat.cnf import CNF, Clause, to_cnf_tseytin, formula_to_cnf_clauses, is_three_cnf
+from repro.boolsat.solver import dpll_satisfiable, satisfying_assignment, enumerate_models
+from repro.boolsat.boolean_graph import (
+    boolean_graph_from_formulas,
+    decode_boolean_graph,
+    sat_graph_satisfiable,
+    sat_graph_assignment,
+)
+from repro.boolsat.encoding import encode_formula_text, decode_formula_text
+
+__all__ = [
+    "BooleanFormula",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Const",
+    "parse_formula",
+    "variables_of",
+    "CNF",
+    "Clause",
+    "to_cnf_tseytin",
+    "formula_to_cnf_clauses",
+    "is_three_cnf",
+    "dpll_satisfiable",
+    "satisfying_assignment",
+    "enumerate_models",
+    "boolean_graph_from_formulas",
+    "decode_boolean_graph",
+    "sat_graph_satisfiable",
+    "sat_graph_assignment",
+    "encode_formula_text",
+    "decode_formula_text",
+]

@@ -1,0 +1,137 @@
+"""Boolean graphs and the graph satisfiability problem ``sat-graph`` (Section 8).
+
+A Boolean graph is a labeled graph whose node labels encode Boolean formulas.
+It is satisfiable if each node can be given a valuation of the variables of
+its own formula such that
+
+* the valuation satisfies the node's formula, and
+* adjacent nodes agree on every variable they share.
+
+``sat`` (classical Boolean satisfiability) is the restriction of ``sat-graph``
+to single-node graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+from repro.boolsat.encoding import decode_formula, encode_formula, encode_formula_text
+from repro.boolsat.formulas import And, BooleanFormula, Var, conjunction, parse_formula
+from repro.boolsat.solver import satisfying_assignment
+from repro.graphs.labeled_graph import LabeledGraph, Node
+
+
+def boolean_graph_from_formulas(
+    formulas: Mapping[Node, str | BooleanFormula],
+    edges: Sequence[Tuple[Node, Node]],
+) -> LabeledGraph:
+    """Build a Boolean graph from per-node formulas and an edge list."""
+    labels: Dict[Node, str] = {}
+    for node, value in formulas.items():
+        if isinstance(value, BooleanFormula):
+            labels[node] = encode_formula(value)
+        else:
+            labels[node] = encode_formula_text(value)
+    return LabeledGraph(list(formulas), edges, labels)
+
+
+def decode_boolean_graph(graph: LabeledGraph) -> Dict[Node, BooleanFormula]:
+    """Decode every node label of *graph* into a Boolean formula."""
+    return {u: decode_formula(graph.label(u)) for u in graph.nodes}
+
+
+def _namespaced(node: Node, name: str) -> str:
+    """Global variable name for variable *name* at *node*."""
+    return f"n{node}__{name}"
+
+
+def _global_formula(graph: LabeledGraph) -> BooleanFormula:
+    """A single Boolean formula equisatisfiable with the Boolean graph.
+
+    Each node's formula is rewritten over namespaced copies of its variables,
+    and for every edge and shared variable an agreement constraint
+    ``copy_u <-> copy_v`` is added.  The graph is satisfiable in the sense of
+    the paper iff this global formula is satisfiable: a consistent family of
+    per-node valuations is exactly a model of the conjunction.
+    """
+    formulas = decode_boolean_graph(graph)
+    parts = []
+    for node, formula in formulas.items():
+        parts.append(_rename(formula, node))
+    for u, v in graph.edge_pairs():
+        shared = formulas[u].variables() & formulas[v].variables()
+        for name in sorted(shared):
+            a = Var(_namespaced(u, name))
+            b = Var(_namespaced(v, name))
+            # a <-> b  written as  (a | ~b) & (~a | b)
+            parts.append((a | ~b) & (~a | b))
+    return conjunction(parts)
+
+
+def _rename(formula: BooleanFormula, node: Node) -> BooleanFormula:
+    from repro.boolsat.formulas import And, Const, Not, Or
+
+    if isinstance(formula, Var):
+        return Var(_namespaced(node, formula.name))
+    if isinstance(formula, Const):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_rename(formula.operand, node))
+    if isinstance(formula, And):
+        return And(_rename(formula.left, node), _rename(formula.right, node))
+    if isinstance(formula, Or):
+        return Or(_rename(formula.left, node), _rename(formula.right, node))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def sat_graph_satisfiable(graph: LabeledGraph) -> bool:
+    """Whether the Boolean graph lies in ``sat-graph``."""
+    return sat_graph_assignment(graph) is not None
+
+
+def sat_graph_assignment(graph: LabeledGraph) -> Optional[Dict[Node, Dict[str, bool]]]:
+    """A satisfying family of per-node valuations, or ``None``.
+
+    Consistency on shared variables of *adjacent* nodes is guaranteed; each
+    node's valuation covers exactly the variables of its own formula.
+    """
+    formulas = decode_boolean_graph(graph)
+    model = satisfying_assignment(_global_formula(graph))
+    if model is None:
+        return None
+    result: Dict[Node, Dict[str, bool]] = {}
+    for node, formula in formulas.items():
+        result[node] = {
+            name: model.get(_namespaced(node, name), False) for name in formula.variables()
+        }
+    return result
+
+
+def is_valid_sat_graph_assignment(
+    graph: LabeledGraph, assignment: Mapping[Node, Mapping[str, bool]]
+) -> bool:
+    """Check a candidate family of valuations against the sat-graph definition."""
+    formulas = decode_boolean_graph(graph)
+    for node, formula in formulas.items():
+        valuation = assignment.get(node, {})
+        if not formula.variables() <= set(valuation):
+            return False
+        if not formula.evaluate(valuation):
+            return False
+    for u, v in graph.edge_pairs():
+        shared = formulas[u].variables() & formulas[v].variables()
+        for name in shared:
+            if bool(assignment[u][name]) != bool(assignment[v][name]):
+                return False
+    return True
+
+
+def three_sat_graph_member(graph: LabeledGraph) -> bool:
+    """Whether every node label is a 3-CNF formula (membership in ``3-sat-graph``'s domain)."""
+    from repro.boolsat.cnf import _formula_is_three_cnf
+
+    try:
+        formulas = decode_boolean_graph(graph)
+    except (ValueError, KeyError):
+        return False
+    return all(_formula_is_three_cnf(f) for f in formulas.values())

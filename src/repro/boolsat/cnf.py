@@ -1,0 +1,198 @@
+"""Conjunctive normal form and the Tseytin transformation.
+
+The reduction from ``sat-graph`` to ``3-sat-graph`` in the proof of
+Theorem 23 replaces each node's formula by an equisatisfiable 3-CNF formula
+whose auxiliary variables are namespaced by the node's identifier; the Tseytin
+transformation implemented here is exactly that step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.boolsat.formulas import And, BooleanFormula, Const, Not, Or, Var
+
+Literal = Tuple[str, bool]
+"""A literal is a pair ``(variable_name, polarity)``; ``True`` means positive."""
+
+Clause = FrozenSet[Literal]
+
+
+def literal(name: str, polarity: bool = True) -> Literal:
+    """Construct a literal."""
+    return (name, polarity)
+
+
+def negate_literal(lit: Literal) -> Literal:
+    """The complementary literal."""
+    return (lit[0], not lit[1])
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula as a tuple of clauses (each a frozenset of literals)."""
+
+    clauses: Tuple[Clause, ...]
+
+    def variables(self) -> Set[str]:
+        """All variable names occurring in the CNF."""
+        return {name for clause in self.clauses for (name, _) in clause}
+
+    def evaluate(self, valuation: Mapping[str, bool]) -> bool:
+        """Whether *valuation* satisfies every clause."""
+        for clause in self.clauses:
+            if not any(bool(valuation[name]) == polarity for name, polarity in clause):
+                return False
+        return True
+
+    def to_formula(self) -> BooleanFormula:
+        """Convert back to a :class:`BooleanFormula` AST."""
+        if not self.clauses:
+            return Const(True)
+        clause_formulas: List[BooleanFormula] = []
+        for clause in self.clauses:
+            if not clause:
+                clause_formulas.append(Const(False))
+                continue
+            lits: List[BooleanFormula] = []
+            for name, polarity in sorted(clause):
+                lits.append(Var(name) if polarity else Not(Var(name)))
+            acc = lits[0]
+            for item in lits[1:]:
+                acc = Or(acc, item)
+            clause_formulas.append(acc)
+        acc = clause_formulas[0]
+        for item in clause_formulas[1:]:
+            acc = And(acc, item)
+        return acc
+
+    def max_clause_width(self) -> int:
+        """The size of the largest clause (0 for the empty CNF)."""
+        return max((len(clause) for clause in self.clauses), default=0)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+def cnf(clauses: Iterable[Iterable[Literal]]) -> CNF:
+    """Build a :class:`CNF` from an iterable of clauses of literals."""
+    return CNF(tuple(frozenset(clause) for clause in clauses))
+
+
+def is_three_cnf(value: CNF | BooleanFormula) -> bool:
+    """Whether the given CNF (or formula known to be CNF-shaped) is a 3-CNF."""
+    if isinstance(value, CNF):
+        return value.max_clause_width() <= 3
+    return _formula_is_three_cnf(value)
+
+
+def _formula_is_three_cnf(formula: BooleanFormula) -> bool:
+    for clause in _split_conjuncts(formula):
+        literals = _split_disjuncts(clause)
+        if len(literals) > 3:
+            return False
+        for lit in literals:
+            if isinstance(lit, Var):
+                continue
+            if isinstance(lit, Not) and isinstance(lit.operand, Var):
+                continue
+            if isinstance(lit, Const):
+                continue
+            return False
+    return True
+
+
+def _split_conjuncts(formula: BooleanFormula) -> List[BooleanFormula]:
+    if isinstance(formula, And):
+        return _split_conjuncts(formula.left) + _split_conjuncts(formula.right)
+    return [formula]
+
+
+def _split_disjuncts(formula: BooleanFormula) -> List[BooleanFormula]:
+    if isinstance(formula, Or):
+        return _split_disjuncts(formula.left) + _split_disjuncts(formula.right)
+    return [formula]
+
+
+def formula_to_cnf_clauses(formula: BooleanFormula) -> CNF:
+    """Interpret a formula that is syntactically in CNF as a :class:`CNF`.
+
+    Raises ``ValueError`` if the formula is not a conjunction of clauses of
+    literals.
+    """
+    clauses: List[Clause] = []
+    for conjunct in _split_conjuncts(formula):
+        lits: Set[Literal] = set()
+        trivially_true = False
+        for part in _split_disjuncts(conjunct):
+            if isinstance(part, Var):
+                lits.add((part.name, True))
+            elif isinstance(part, Not) and isinstance(part.operand, Var):
+                lits.add((part.operand.name, False))
+            elif isinstance(part, Const):
+                if part.value:
+                    trivially_true = True
+                # A false constant simply contributes nothing to the clause.
+            else:
+                raise ValueError(f"formula is not in CNF: offending part {part}")
+        if not trivially_true:
+            clauses.append(frozenset(lits))
+    return CNF(tuple(clauses))
+
+
+def to_cnf_tseytin(formula: BooleanFormula, prefix: str = "aux") -> CNF:
+    """Equisatisfiable 3-CNF via the Tseytin transformation.
+
+    Every satisfying valuation of *formula* extends to a satisfying valuation
+    of the result, and every satisfying valuation of the result restricts to a
+    satisfying valuation of *formula*.  Auxiliary variables are named
+    ``{prefix}_{counter}`` so that distinct nodes of a Boolean graph can use
+    disjoint auxiliary namespaces (as required in the proof of Theorem 23).
+    """
+    clauses: List[Clause] = []
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"{prefix}_{counter[0]}"
+
+    def encode(node: BooleanFormula) -> Literal:
+        if isinstance(node, Var):
+            return (node.name, True)
+        if isinstance(node, Const):
+            name = fresh()
+            # Force the auxiliary variable to the constant's value.
+            clauses.append(frozenset({(name, node.value)}))
+            return (name, True)
+        if isinstance(node, Not):
+            inner = encode(node.operand)
+            return negate_literal(inner)
+        if isinstance(node, And):
+            left = encode(node.left)
+            right = encode(node.right)
+            out = (fresh(), True)
+            # out <-> left & right
+            clauses.append(frozenset({negate_literal(out), left}))
+            clauses.append(frozenset({negate_literal(out), right}))
+            clauses.append(frozenset({out, negate_literal(left), negate_literal(right)}))
+            return out
+        if isinstance(node, Or):
+            left = encode(node.left)
+            right = encode(node.right)
+            out = (fresh(), True)
+            # out <-> left | right
+            clauses.append(frozenset({negate_literal(out), left, right}))
+            clauses.append(frozenset({out, negate_literal(left)}))
+            clauses.append(frozenset({out, negate_literal(right)}))
+            return out
+        raise TypeError(f"unknown formula node {node!r}")
+
+    root = encode(formula)
+    clauses.append(frozenset({root}))
+    return CNF(tuple(clauses))
+
+
+def cnf_to_formula_text(value: CNF) -> str:
+    """Render a CNF as a parsable textual formula."""
+    return str(value.to_formula())

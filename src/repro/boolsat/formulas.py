@@ -1,0 +1,258 @@
+"""Boolean formula AST, parser and evaluation.
+
+Formulas are built from variables, negation, conjunction, disjunction and the
+constants true/false.  The concrete syntax accepted by :func:`parse_formula`
+uses ``&``, ``|``, ``~`` (or ``!``), parentheses, and the constants ``T``/``F``.
+Variable names are alphanumeric identifiers such as ``P1`` or ``x_3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Mapping, Tuple
+
+Valuation = Mapping[str, bool]
+
+
+class BooleanFormula:
+    """Base class for Boolean formulas."""
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        """Evaluate the formula under *valuation* (must cover all variables)."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """The set of variable names occurring in the formula."""
+        raise NotImplementedError
+
+    # Operator sugar so formulas compose naturally in tests and examples.
+    def __and__(self, other: "BooleanFormula") -> "BooleanFormula":
+        return And(self, other)
+
+    def __or__(self, other: "BooleanFormula") -> "BooleanFormula":
+        return Or(self, other)
+
+    def __invert__(self) -> "BooleanFormula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Const(BooleanFormula):
+    """A Boolean constant (``True`` or ``False``)."""
+
+    value: bool
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return self.value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "T" if self.value else "F"
+
+
+@dataclass(frozen=True)
+class Var(BooleanFormula):
+    """A propositional variable."""
+
+    name: str
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        if self.name not in valuation:
+            raise KeyError(f"valuation does not cover variable {self.name!r}")
+        return bool(valuation[self.name])
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(BooleanFormula):
+    """Negation."""
+
+    operand: BooleanFormula
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return not self.operand.evaluate(valuation)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"~{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(BooleanFormula):
+    """Conjunction."""
+
+    left: BooleanFormula
+    right: BooleanFormula
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return self.left.evaluate(valuation) and self.right.evaluate(valuation)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(BooleanFormula):
+    """Disjunction."""
+
+    left: BooleanFormula
+    right: BooleanFormula
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return self.left.evaluate(valuation) or self.right.evaluate(valuation)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+def _wrap(formula: BooleanFormula) -> str:
+    text = str(formula)
+    if isinstance(formula, (Var, Const, Not)):
+        return text
+    return text if text.startswith("(") else f"({text})"
+
+
+def variables_of(formula: BooleanFormula) -> FrozenSet[str]:
+    """The variables occurring in *formula* (module-level convenience)."""
+    return formula.variables()
+
+
+def conjunction(formulas) -> BooleanFormula:
+    """The conjunction of an iterable of formulas (``T`` if empty)."""
+    result: BooleanFormula | None = None
+    for item in formulas:
+        result = item if result is None else And(result, item)
+    return result if result is not None else Const(True)
+
+
+def disjunction(formulas) -> BooleanFormula:
+    """The disjunction of an iterable of formulas (``F`` if empty)."""
+    result: BooleanFormula | None = None
+    for item in formulas:
+        result = item if result is None else Or(result, item)
+    return result if result is not None else Const(False)
+
+
+# ----------------------------------------------------------------------
+# Parser (recursive descent):  or_expr := and_expr ('|' and_expr)*
+#                              and_expr := unary ('&' unary)*
+#                              unary := '~' unary | '!' unary | atom
+#                              atom := '(' or_expr ')' | 'T' | 'F' | name
+# ----------------------------------------------------------------------
+class _Tokenizer:
+    def __init__(self, text: str) -> None:
+        self.tokens = list(self._tokenize(text))
+        self.position = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> Iterator[str]:
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch in "()&|~!":
+                yield ch
+                i += 1
+                continue
+            if ch.isalnum() or ch == "_":
+                j = i
+                while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                yield text[i:j]
+                i = j
+                continue
+            raise ValueError(f"unexpected character {ch!r} in formula {text!r}")
+
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def pop(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ValueError("unexpected end of formula")
+        self.position += 1
+        return token
+
+
+def parse_formula(text: str) -> BooleanFormula:
+    """Parse a Boolean formula from its textual representation."""
+    tokenizer = _Tokenizer(text)
+    formula = _parse_or(tokenizer)
+    if tokenizer.peek() is not None:
+        raise ValueError(f"trailing tokens in formula {text!r}")
+    return formula
+
+
+def _parse_or(tok: _Tokenizer) -> BooleanFormula:
+    left = _parse_and(tok)
+    while tok.peek() == "|":
+        tok.pop()
+        right = _parse_and(tok)
+        left = Or(left, right)
+    return left
+
+
+def _parse_and(tok: _Tokenizer) -> BooleanFormula:
+    left = _parse_unary(tok)
+    while tok.peek() == "&":
+        tok.pop()
+        right = _parse_unary(tok)
+        left = And(left, right)
+    return left
+
+
+def _parse_unary(tok: _Tokenizer) -> BooleanFormula:
+    token = tok.peek()
+    if token in ("~", "!"):
+        tok.pop()
+        return Not(_parse_unary(tok))
+    return _parse_atom(tok)
+
+
+def _parse_atom(tok: _Tokenizer) -> BooleanFormula:
+    token = tok.pop()
+    if token == "(":
+        inner = _parse_or(tok)
+        closing = tok.pop()
+        if closing != ")":
+            raise ValueError("missing closing parenthesis")
+        return inner
+    if token == "T":
+        return Const(True)
+    if token == "F":
+        return Const(False)
+    if token in (")", "&", "|", "~", "!"):
+        raise ValueError(f"unexpected token {token!r}")
+    return Var(token)
+
+
+def all_valuations(variables) -> Iterator[Dict[str, bool]]:
+    """Iterate over every valuation of the given variables (exponential)."""
+    names = sorted(variables)
+    count = len(names)
+    for mask in range(2**count):
+        yield {names[i]: bool((mask >> i) & 1) for i in range(count)}
+
+
+def brute_force_satisfiable(formula: BooleanFormula) -> bool:
+    """Exhaustive satisfiability check (used as a test oracle for the solver)."""
+    return any(formula.evaluate(val) for val in all_valuations(formula.variables()))

@@ -1,0 +1,129 @@
+"""A self-contained DPLL SAT solver.
+
+The solver works on :class:`~repro.boolsat.cnf.CNF` instances or on arbitrary
+:class:`~repro.boolsat.formulas.BooleanFormula` objects (which are first run
+through the Tseytin transformation).  It implements unit propagation and pure
+literal elimination -- enough for all instances produced by the reductions in
+this repository.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.boolsat.cnf import CNF, Clause, Literal, to_cnf_tseytin
+from repro.boolsat.formulas import BooleanFormula, all_valuations
+
+
+def _simplify(clauses: List[Clause], assignment: Dict[str, bool]) -> Optional[List[Clause]]:
+    """Apply *assignment*; return simplified clauses or ``None`` on conflict."""
+    result: List[Clause] = []
+    for clause in clauses:
+        satisfied = False
+        remaining: Set[Literal] = set()
+        for name, polarity in clause:
+            if name in assignment:
+                if assignment[name] == polarity:
+                    satisfied = True
+                    break
+            else:
+                remaining.add((name, polarity))
+        if satisfied:
+            continue
+        if not remaining:
+            return None
+        result.append(frozenset(remaining))
+    return result
+
+
+def _unit_propagate(
+    clauses: List[Clause], assignment: Dict[str, bool]
+) -> Optional[List[Clause]]:
+    """Repeatedly assign unit clauses; return ``None`` on conflict."""
+    current = clauses
+    while True:
+        unit: Optional[Literal] = None
+        for clause in current:
+            if len(clause) == 1:
+                unit = next(iter(clause))
+                break
+        if unit is None:
+            return current
+        name, polarity = unit
+        assignment[name] = polarity
+        current = _simplify(current, {name: polarity})
+        if current is None:
+            return None
+
+
+def _pure_literals(clauses: List[Clause]) -> Dict[str, bool]:
+    polarities: Dict[str, Set[bool]] = {}
+    for clause in clauses:
+        for name, polarity in clause:
+            polarities.setdefault(name, set()).add(polarity)
+    return {name: next(iter(p)) for name, p in polarities.items() if len(p) == 1}
+
+
+def _dpll(clauses: List[Clause], assignment: Dict[str, bool]) -> Optional[Dict[str, bool]]:
+    clauses = _unit_propagate(clauses, assignment)
+    if clauses is None:
+        return None
+    pure = _pure_literals(clauses)
+    if pure:
+        assignment.update(pure)
+        clauses = _simplify(clauses, pure)
+        if clauses is None:
+            return None
+    if not clauses:
+        return assignment
+    # Branch on the first literal of the shortest clause.
+    shortest = min(clauses, key=len)
+    name, polarity = next(iter(shortest))
+    for value in (polarity, not polarity):
+        trial = dict(assignment)
+        trial[name] = value
+        simplified = _simplify(clauses, {name: value})
+        if simplified is None:
+            continue
+        result = _dpll(simplified, trial)
+        if result is not None:
+            return result
+    return None
+
+
+def dpll_satisfiable(value: CNF | BooleanFormula) -> bool:
+    """Whether the given CNF or Boolean formula is satisfiable."""
+    return satisfying_assignment(value) is not None
+
+
+def satisfying_assignment(value: CNF | BooleanFormula) -> Optional[Dict[str, bool]]:
+    """A satisfying assignment of the original variables, or ``None``.
+
+    When a general formula is passed, Tseytin auxiliary variables are removed
+    from the returned assignment and unassigned original variables default to
+    ``False``.
+    """
+    if isinstance(value, CNF):
+        cnf_value = value
+        original_variables = set(cnf_value.variables())
+    else:
+        cnf_value = to_cnf_tseytin(value, prefix="_tseytin")
+        original_variables = set(value.variables())
+
+    assignment = _dpll(list(cnf_value.clauses), {})
+    if assignment is None:
+        return None
+    result = {name: assignment.get(name, False) for name in original_variables}
+    return result
+
+
+def enumerate_models(formula: BooleanFormula) -> Iterator[Dict[str, bool]]:
+    """Yield every satisfying valuation of *formula* (exhaustive; small use only)."""
+    for valuation in all_valuations(formula.variables()):
+        if formula.evaluate(valuation):
+            yield dict(valuation)
+
+
+def count_models(formula: BooleanFormula) -> int:
+    """The number of satisfying valuations of *formula*."""
+    return sum(1 for _ in enumerate_models(formula))

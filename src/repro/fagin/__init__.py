@@ -1,0 +1,29 @@
+"""The generalized Fagin theorem made executable (Sections 7 and 8).
+
+* :mod:`repro.fagin.compiler` -- the backward direction of Theorems 14/15:
+  compile a sentence of the local second-order hierarchy into an arbiter for
+  the corresponding level of the locally polynomial hierarchy.  Certificates
+  encode the interpretations of the quantified relation variables, restricted
+  (as in the paper) to tuples of elements near the certificate's owner.
+* :mod:`repro.fagin.cook_levin` -- the construction of Theorem 22: from a
+  Sigma^lfo_1 sentence and an input graph, build the Boolean graph whose
+  satisfiability is equivalent to the sentence holding on the graph.  This is
+  the executable content of the generalized Cook-Levin theorem.
+"""
+
+from repro.fagin.compiler import (
+    CompiledArbiter,
+    compile_sentence,
+    relation_certificate_space,
+    decode_relation_certificates,
+)
+from repro.fagin.cook_levin import cook_levin_boolean_graph, cook_levin_reduction_check
+
+__all__ = [
+    "CompiledArbiter",
+    "compile_sentence",
+    "relation_certificate_space",
+    "decode_relation_certificates",
+    "cook_levin_boolean_graph",
+    "cook_levin_reduction_check",
+]

@@ -1,0 +1,186 @@
+"""The generalized Cook-Levin construction (Theorem 22).
+
+Given a Sigma^lfo_1 sentence ``∃R_1 ... ∃R_n ∀x φ(x)`` defining a graph
+property ``L``, and an input graph ``G`` with a locally unique identifier
+assignment, this module builds the Boolean graph ``G''`` of the paper's proof:
+every node ``u`` is labeled with the Boolean formula
+
+    φ^G_u  =  ⋀_{a owned by u}  τ_{x ↦ a}(φ)
+
+where ``τ_σ`` replaces relation-free atoms by their truth values in ``$G``,
+replaces ``R(y_1, ..., y_k)`` by the Boolean variable
+``P_R(id-reference of σ(y_1), ..., σ(y_k))``, and expands bounded quantifiers
+into finite disjunctions/conjunctions over the connected elements.
+
+``G`` satisfies the sentence iff ``G''`` is a satisfiable Boolean graph
+(``G ∈ L  ⟺  G'' ∈ sat-graph``); this is the executable content of the
+NLP-hardness of ``sat-graph``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.boolsat import formulas as bf
+from repro.boolsat.boolean_graph import boolean_graph_from_formulas
+from repro.graphs.identifiers import small_identifier_assignment
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.graphs.structures import Structure, bit_element, structural_representation
+from repro.logic.fragments import classify_local_second_order, second_order_prefix
+from repro.logic.syntax import (
+    And,
+    BinaryAtom,
+    BoundedExists,
+    BoundedForall,
+    Equal,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    LocalExists,
+    LocalForall,
+    Not,
+    Or,
+    RelationAtom,
+    SOExists,
+    TruthConstant,
+    UnaryAtom,
+)
+
+
+def _element_reference(ids: Mapping[Node, str], element: object) -> str:
+    """A stable name for a structural element, built from identifiers."""
+    if isinstance(element, tuple) and len(element) == 3 and element[0] == "bit":
+        _, node, position = element
+        return f"v{ids[node] or 'e'}b{position}"
+    return f"v{ids[element] or 'e'}"
+
+
+def _translate(
+    formula: Formula,
+    sigma: Dict[str, object],
+    structure: Structure,
+    reference: Callable[[object], str],
+) -> bf.BooleanFormula:
+    """The translation ``τ_σ`` of the proof of Theorem 22."""
+    if isinstance(formula, TruthConstant):
+        return bf.Const(formula.value)
+    if isinstance(formula, UnaryAtom):
+        return bf.Const(structure.in_unary(formula.index, sigma[formula.variable]))
+    if isinstance(formula, BinaryAtom):
+        return bf.Const(
+            structure.in_binary(formula.index, sigma[formula.left], sigma[formula.right])
+        )
+    if isinstance(formula, Equal):
+        return bf.Const(sigma[formula.left] == sigma[formula.right])
+    if isinstance(formula, RelationAtom):
+        arguments = "_".join(reference(sigma[name]) for name in formula.arguments)
+        return bf.Var(f"{formula.relation.name}_{arguments}")
+    if isinstance(formula, Not):
+        return bf.Not(_translate(formula.operand, sigma, structure, reference))
+    if isinstance(formula, And):
+        return bf.And(
+            _translate(formula.left, sigma, structure, reference),
+            _translate(formula.right, sigma, structure, reference),
+        )
+    if isinstance(formula, Or):
+        return bf.Or(
+            _translate(formula.left, sigma, structure, reference),
+            _translate(formula.right, sigma, structure, reference),
+        )
+    if isinstance(formula, Implies):
+        return bf.Or(
+            bf.Not(_translate(formula.left, sigma, structure, reference)),
+            _translate(formula.right, sigma, structure, reference),
+        )
+    if isinstance(formula, Iff):
+        left = _translate(formula.left, sigma, structure, reference)
+        right = _translate(formula.right, sigma, structure, reference)
+        return bf.And(bf.Or(bf.Not(left), right), bf.Or(left, bf.Not(right)))
+    if isinstance(formula, (BoundedExists, BoundedForall)):
+        anchor = sigma[formula.anchor]
+        parts = [
+            _translate(formula.body, {**sigma, formula.variable: element}, structure, reference)
+            for element in structure.connections(anchor)
+        ]
+        if isinstance(formula, BoundedExists):
+            return bf.disjunction(parts)
+        return bf.conjunction(parts)
+    if isinstance(formula, (LocalExists, LocalForall)):
+        anchor = sigma[formula.anchor]
+        parts = [
+            _translate(formula.body, {**sigma, formula.variable: element}, structure, reference)
+            for element in structure.ball(anchor, formula.radius)
+        ]
+        if isinstance(formula, LocalExists):
+            return bf.disjunction(parts)
+        return bf.conjunction(parts)
+    raise ValueError(
+        f"formula node {type(formula).__name__} is not allowed inside the BF matrix"
+    )
+
+
+def cook_levin_boolean_graph(
+    sentence: Formula,
+    graph: LabeledGraph,
+    ids: Optional[Mapping[Node, str]] = None,
+) -> LabeledGraph:
+    """The Boolean graph ``G''`` of Theorem 22 for a Sigma^lfo_1 sentence.
+
+    The sentence must be of the form ``∃R_1 ... ∃R_n ∀x φ(x)`` with ``φ`` in
+    BF (i.e. it must lie in Sigma^lfo_1, possibly with an empty prefix).
+    """
+    logic_class = classify_local_second_order(sentence)
+    if logic_class is None or logic_class.kind != "Sigma" or logic_class.level > 1:
+        raise ValueError("the Cook-Levin construction expects a Sigma^lfo_1 sentence")
+
+    prefix, matrix = second_order_prefix(sentence)
+    if any(kind != "E" for kind, _ in prefix):
+        raise ValueError("the second-order prefix must be purely existential")
+    assert isinstance(matrix, Forall)
+    phi = matrix.body
+    variable = matrix.variable
+
+    if ids is None:
+        # The proof uses (r + 1)-locally unique identifiers where r is the
+        # visibility radius of phi; a globally-unique small assignment also works.
+        from repro.fagin.compiler import bounded_quantifier_depth
+
+        ids = small_identifier_assignment(graph, bounded_quantifier_depth(phi) + 1)
+
+    structure = structural_representation(graph)
+    reference = lambda element: _element_reference(ids, element)
+
+    node_formulas: Dict[Node, bf.BooleanFormula] = {}
+    for u in graph.nodes:
+        owned: List[object] = [u]
+        owned.extend(bit_element(u, i) for i in range(1, len(graph.label(u)) + 1))
+        parts = [
+            _translate(phi, {variable: element}, structure, reference) for element in owned
+        ]
+        node_formulas[u] = bf.conjunction(parts)
+
+    edges = [tuple(edge) for edge in graph.edges]
+    return boolean_graph_from_formulas(node_formulas, edges)
+
+
+def cook_levin_reduction_check(
+    sentence: Formula,
+    graphs: Sequence[LabeledGraph],
+    ground_truth: Callable[[LabeledGraph], bool],
+) -> List[Tuple[LabeledGraph, bool, bool]]:
+    """Check ``G ∈ L ⟺ G'' ∈ sat-graph`` on the given graphs.
+
+    Returns the list of counterexamples ``(graph, ground_truth_value,
+    sat_graph_value)``; empty means the equivalence held everywhere.
+    """
+    from repro.properties.satgraph import sat_graph
+
+    failures: List[Tuple[LabeledGraph, bool, bool]] = []
+    for graph in graphs:
+        boolean_graph = cook_levin_boolean_graph(sentence, graph)
+        expected = ground_truth(graph)
+        actual = sat_graph(boolean_graph)
+        if expected != actual:
+            failures.append((graph, expected, actual))
+    return failures

@@ -1,0 +1,80 @@
+"""Bit-string encoding of relation interpretations as certificates.
+
+The backward direction of Theorem 15 lets Eve and Adam encode interpretations
+of the quantified relation variables in their certificates: the certificate
+of node ``u`` stores, for every relation variable of the current block, the
+set of tuples whose *first* element is ``u`` itself or one of ``u``'s
+labeling bits (the "owned" elements), with the other elements drawn from a
+bounded neighborhood of ``u``.  Elements are referenced by the owning node's
+locally unique identifier together with an optional bit position.
+
+The concrete wire format is a plain ASCII description converted to a bit
+string with the 8-bit encoding of :mod:`repro.boolsat.encoding` -- the paper
+leaves the encoding of finite objects unspecified, so any injective encoding
+will do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.boolsat.encoding import decode_text, encode_text
+
+ElementRef = Tuple[str, Optional[int]]
+"""A reference to a structural element: (owner identifier, bit position or None)."""
+
+TupleRef = Tuple[ElementRef, ...]
+RelationContent = Dict[str, FrozenSet[TupleRef]]
+
+
+def _render_element(ref: ElementRef) -> str:
+    identifier, position = ref
+    return f"{identifier or '@'}.{position if position is not None else '-'}"
+
+
+def _parse_element(text: str) -> ElementRef:
+    identifier, _, position = text.partition(".")
+    if identifier == "@":
+        identifier = ""
+    return (identifier, None if position == "-" else int(position))
+
+
+def encode_relation_content(content: Mapping[str, Iterable[TupleRef]]) -> str:
+    """Serialize a per-node relation fragment into a certificate bit string."""
+    parts = []
+    for name in sorted(content):
+        tuples = sorted(content[name])
+        rendered = ",".join("+".join(_render_element(ref) for ref in tup) for tup in tuples)
+        parts.append(f"{name}:{rendered}")
+    return encode_text(";".join(parts))
+
+
+def decode_relation_content(bits: str) -> RelationContent:
+    """Parse a certificate produced by :func:`encode_relation_content`.
+
+    Raises ``ValueError`` on malformed input; arbiters treat such certificates
+    as empty relation fragments (the restrictive-arbiter convention).
+    """
+    text = decode_text(bits)
+    result: Dict[str, FrozenSet[TupleRef]] = {}
+    if not text:
+        return result
+    for part in text.split(";"):
+        if not part:
+            continue
+        name, _, body = part.partition(":")
+        tuples: List[TupleRef] = []
+        if body:
+            for tuple_text in body.split(","):
+                refs = tuple(_parse_element(item) for item in tuple_text.split("+"))
+                tuples.append(refs)
+        result[name] = frozenset(tuples)
+    return result
+
+
+def safe_decode_relation_content(bits: str) -> RelationContent:
+    """Like :func:`decode_relation_content` but returning ``{}`` on malformed input."""
+    try:
+        return decode_relation_content(bits)
+    except (ValueError, KeyError):
+        return {}

@@ -1,0 +1,310 @@
+"""Space-time diagrams as relations over string structures (Theorem 12).
+
+The heart of Fagin's proof -- and of its distributed generalization in
+Theorem 14 -- is the encoding of a polynomial-time machine's space-time
+diagram as a collection of relations over the input structure: because the
+running time is polynomially bounded in the structure's cardinality, every
+time step and every tape position can be addressed by a ``k``-tuple of domain
+elements, where ``k`` depends only on the degree of the bounding polynomial.
+
+This module performs that encoding executably for the single-node case (the
+classical theorem), which the paper recovers by restricting Theorem 14 to
+single-node graphs:
+
+* :func:`diagram_relations` converts the diagram of an accepting or rejecting
+  run of a :class:`~repro.machines.classical.ClassicalTuringMachine` into the
+  relations ``S_q`` (states), ``H`` (head positions) and ``T_α`` (tape
+  contents), indexed by ``k``-tuples of elements of the string structure;
+* the ``verify_*`` functions check the consistency conditions that the
+  formula of Fagin's proof expresses (``ExecGroundRules``, ``OwnInput``,
+  ``ComputeLocally``, ``Accept``) directly against those relations;
+* :func:`fagin_theorem_check` confirms, input by input, that the machine
+  accepts exactly when its canonical witness satisfies all the conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.generators import string_graph
+from repro.graphs.structures import Structure, structural_representation
+from repro.machines.classical import BLANK, LEFT_END, ClassicalTuringMachine, MachineRun
+
+__all__ = [
+    "FaginWitness",
+    "element_order",
+    "tuple_degree",
+    "index_tuple",
+    "diagram_relations",
+    "verify_ground_rules",
+    "verify_initial_configuration",
+    "verify_transitions",
+    "verify_acceptance",
+    "verify_witness",
+    "fagin_theorem_check",
+]
+
+TAPE_ALPHABET = ("0", "1", BLANK, LEFT_END)
+
+ElementTuple = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class FaginWitness:
+    """The relational encoding of one space-time diagram.
+
+    Attributes
+    ----------
+    degree:
+        The tuple length ``k``: times and positions are ``k``-tuples of
+        elements, so the encoding can address ``card(S)^k`` cells.
+    order:
+        The canonical linear order of the structure's elements used to read
+        tuples as numbers.
+    states:
+        ``states[q]`` is the set of time tuples at which the machine is in
+        state ``q``.
+    heads:
+        The set of pairs ``(time tuple, position tuple)`` scanned by the head.
+    tape:
+        ``tape[symbol]`` is the set of pairs ``(time tuple, position tuple)``
+        carrying that symbol.
+    steps, width:
+        The dimensions of the encoded diagram.
+    """
+
+    degree: int
+    order: Tuple[object, ...]
+    states: Mapping[str, FrozenSet[ElementTuple]]
+    heads: FrozenSet[Tuple[ElementTuple, ElementTuple]]
+    tape: Mapping[str, FrozenSet[Tuple[ElementTuple, ElementTuple]]]
+    steps: int
+    width: int
+
+
+# ----------------------------------------------------------------------
+# Addressing cells by tuples of elements
+# ----------------------------------------------------------------------
+def element_order(structure: Structure) -> Tuple[object, ...]:
+    """The canonical linear order of the structure's elements (domain order)."""
+    return tuple(structure.domain)
+
+
+def tuple_degree(structure: Structure, needed: int) -> int:
+    """The smallest ``k`` with ``card(S)^k >= needed`` (at least 1)."""
+    size = structure.cardinality()
+    if size < 2 and needed > size:
+        # A one-element structure can address only one cell, no matter the
+        # tuple length; the paper treats this case separately (footnote 2).
+        raise ValueError("structures with a single element cannot address multiple cells")
+    degree = 1
+    capacity = size
+    while capacity < needed:
+        degree += 1
+        capacity *= size
+    return degree
+
+
+def index_tuple(index: int, order: Sequence[object], degree: int) -> ElementTuple:
+    """The ``index``-th ``degree``-tuple of elements in lexicographic order."""
+    size = len(order)
+    if index >= size**degree:
+        raise ValueError(f"index {index} does not fit into {degree}-tuples over {size} elements")
+    digits: List[int] = []
+    remaining = index
+    for _ in range(degree):
+        digits.append(remaining % size)
+        remaining //= size
+    return tuple(order[digit] for digit in reversed(digits))
+
+
+# ----------------------------------------------------------------------
+# Encoding a diagram
+# ----------------------------------------------------------------------
+def diagram_relations(run: MachineRun, structure: Structure) -> FaginWitness:
+    """Encode the space-time diagram of *run* as relations over *structure*."""
+    diagram = run.diagram
+    needed = max(diagram.steps + 1, diagram.width, 1)
+    degree = tuple_degree(structure, needed)
+    order = element_order(structure)
+
+    states: Dict[str, set] = {}
+    heads: set = set()
+    tape: Dict[str, set] = {symbol: set() for symbol in TAPE_ALPHABET}
+
+    time_tuples = [index_tuple(t, order, degree) for t in range(diagram.steps + 1)]
+    position_tuples = [index_tuple(p, order, degree) for p in range(diagram.width)]
+
+    for time, time_tuple in enumerate(time_tuples):
+        states.setdefault(diagram.states[time], set()).add(time_tuple)
+        heads.add((time_tuple, position_tuples[diagram.heads[time]]))
+        for position, position_tuple in enumerate(position_tuples):
+            tape[diagram.cell(time, position)].add((time_tuple, position_tuple))
+
+    return FaginWitness(
+        degree=degree,
+        order=order,
+        states={state: frozenset(tuples) for state, tuples in states.items()},
+        heads=frozenset(heads),
+        tape={symbol: frozenset(cells) for symbol, cells in tape.items()},
+        steps=diagram.steps,
+        width=diagram.width,
+    )
+
+
+# ----------------------------------------------------------------------
+# The consistency conditions of Fagin's formula
+# ----------------------------------------------------------------------
+def _time_tuples(witness: FaginWitness) -> List[ElementTuple]:
+    return [index_tuple(t, witness.order, witness.degree) for t in range(witness.steps + 1)]
+
+
+def _position_tuples(witness: FaginWitness) -> List[ElementTuple]:
+    return [index_tuple(p, witness.order, witness.degree) for p in range(witness.width)]
+
+
+def verify_ground_rules(witness: FaginWitness, machine: ClassicalTuringMachine) -> bool:
+    """``ExecGroundRules``: one state per time, one symbol per cell, one head per time."""
+    times = _time_tuples(witness)
+    positions = _position_tuples(witness)
+    for time_tuple in times:
+        holding_states = [q for q, tuples in witness.states.items() if time_tuple in tuples]
+        if len(holding_states) != 1 or holding_states[0] not in machine.states:
+            return False
+        head_cells = [pair for pair in witness.heads if pair[0] == time_tuple]
+        if len(head_cells) != 1:
+            return False
+        for position_tuple in positions:
+            symbols = [
+                symbol
+                for symbol, cells in witness.tape.items()
+                if (time_tuple, position_tuple) in cells
+            ]
+            if len(symbols) != 1:
+                return False
+    return True
+
+
+def verify_initial_configuration(witness: FaginWitness, machine: ClassicalTuringMachine, word: str) -> bool:
+    """``OwnInput``: at time 0 the tape spells ``> word`` (padded with blanks)."""
+    times = _time_tuples(witness)
+    positions = _position_tuples(witness)
+    initial = (LEFT_END + word).ljust(witness.width, BLANK)
+    time0 = times[0]
+    if time0 not in witness.states.get(machine.initial_state, frozenset()):
+        return False
+    if (time0, positions[0]) not in witness.heads:
+        return False
+    for position, position_tuple in enumerate(positions):
+        expected = initial[position]
+        if (time0, position_tuple) not in witness.tape[expected]:
+            return False
+    return True
+
+
+def _cell_symbol(witness: FaginWitness, time_tuple: ElementTuple, position_tuple: ElementTuple) -> Optional[str]:
+    for symbol, cells in witness.tape.items():
+        if (time_tuple, position_tuple) in cells:
+            return symbol
+    return None
+
+
+def _state_at(witness: FaginWitness, time_tuple: ElementTuple) -> Optional[str]:
+    for state, tuples in witness.states.items():
+        if time_tuple in tuples:
+            return state
+    return None
+
+
+def verify_transitions(witness: FaginWitness, machine: ClassicalTuringMachine) -> bool:
+    """``ComputeLocally``: consecutive configurations respect the transition function."""
+    times = _time_tuples(witness)
+    positions = _position_tuples(witness)
+    position_index = {tuple_: index for index, tuple_ in enumerate(positions)}
+
+    for step in range(witness.steps):
+        now, nxt = times[step], times[step + 1]
+        state = _state_at(witness, now)
+        next_state = _state_at(witness, nxt)
+        head_pairs = [pair for pair in witness.heads if pair[0] == now]
+        next_head_pairs = [pair for pair in witness.heads if pair[0] == nxt]
+        if len(head_pairs) != 1 or len(next_head_pairs) != 1:
+            return False
+        head = position_index[head_pairs[0][1]]
+        next_head = position_index[next_head_pairs[0][1]]
+        scanned = _cell_symbol(witness, now, positions[head])
+
+        if state in (machine.accept_state, machine.reject_state):
+            # Halting states do not move; configurations stay frozen.
+            expected_state, expected_written, expected_move = state, scanned, 0
+        else:
+            transition = machine.transitions.get((state, scanned))
+            if transition is None:
+                expected_state, expected_written, expected_move = machine.reject_state, scanned, 0
+            else:
+                expected_state, expected_written, expected_move = transition
+
+        if next_state != expected_state:
+            return False
+        if next_head != max(0, head + expected_move):
+            return False
+        for position, position_tuple in enumerate(positions):
+            before = _cell_symbol(witness, now, position_tuple)
+            after = _cell_symbol(witness, nxt, position_tuple)
+            expected_symbol = expected_written if position == head else before
+            if after != expected_symbol:
+                return False
+    return True
+
+
+def verify_acceptance(witness: FaginWitness, machine: ClassicalTuringMachine) -> bool:
+    """``Accept``: the final configuration is in the accepting state."""
+    final_time = _time_tuples(witness)[-1]
+    return final_time in witness.states.get(machine.accept_state, frozenset())
+
+
+def verify_witness(
+    witness: FaginWitness, machine: ClassicalTuringMachine, word: str
+) -> Dict[str, bool]:
+    """Evaluate all four condition groups; the witness is accepting iff all hold."""
+    checks = {
+        "ground_rules": verify_ground_rules(witness, machine),
+        "initial_configuration": verify_initial_configuration(witness, machine, word),
+        "transitions": verify_transitions(witness, machine),
+        "acceptance": verify_acceptance(witness, machine),
+    }
+    checks["all"] = all(checks.values())
+    return checks
+
+
+def fagin_theorem_check(machine: ClassicalTuringMachine, word: str) -> Dict[str, object]:
+    """The executable content of Theorem 12 on one input.
+
+    Runs the machine on *word*, encodes the run's space-time diagram over the
+    structural representation of the single-node graph labeled *word*, and
+    verifies the Fagin conditions.  The machine accepts exactly when the
+    canonical witness passes all checks; on rejecting runs the ground rules,
+    initial configuration and transition conditions still hold (the diagram is
+    genuine) but the acceptance condition fails.
+    """
+    if not word:
+        raise ValueError(
+            "the empty word corresponds to a one-element structure, which the paper "
+            "treats as a special case (footnote 2); pass a nonempty bit string"
+        )
+    graph = string_graph(word)
+    structure = structural_representation(graph)
+    run = machine.run(word)
+    witness = diagram_relations(run, structure)
+    checks = verify_witness(witness, machine, word)
+    return {
+        "word": word,
+        "accepted_by_machine": run.accepted,
+        "witness_checks": checks,
+        "witness_is_accepting": checks["all"],
+        "agreement": run.accepted == checks["all"],
+        "tuple_degree": witness.degree,
+        "structure_cardinality": structure.cardinality(),
+        "diagram_cells": (witness.steps + 1) * witness.width,
+    }

@@ -1,0 +1,46 @@
+"""Graph substrate: labeled graphs, identifiers, certificates, structures.
+
+This package implements Section 3 ("Preliminaries") of the paper:
+
+* :class:`~repro.graphs.labeled_graph.LabeledGraph` -- finite, simple,
+  undirected, connected graphs whose nodes carry bit-string labels.
+* Identifier assignments (locally unique, small) in
+  :mod:`repro.graphs.identifiers`.
+* Certificate assignments and the ``(r, p)``-boundedness condition in
+  :mod:`repro.graphs.certificates`.
+* Relational structures and the structural representation ``$G`` of a graph
+  (Figure 5 of the paper) in :mod:`repro.graphs.structures`.
+* Graph generators used throughout the tests, examples and benchmarks in
+  :mod:`repro.graphs.generators`.
+"""
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.identifiers import (
+    IdentifierAssignment,
+    is_locally_unique,
+    small_identifier_assignment,
+    sequential_identifier_assignment,
+)
+from repro.graphs.certificates import (
+    CertificateAssignment,
+    CertificateList,
+    neighborhood_information,
+    is_rp_bounded,
+)
+from repro.graphs.structures import Structure, structural_representation
+from repro.graphs import generators
+
+__all__ = [
+    "LabeledGraph",
+    "IdentifierAssignment",
+    "is_locally_unique",
+    "small_identifier_assignment",
+    "sequential_identifier_assignment",
+    "CertificateAssignment",
+    "CertificateList",
+    "neighborhood_information",
+    "is_rp_bounded",
+    "Structure",
+    "structural_representation",
+    "generators",
+]

@@ -1,0 +1,153 @@
+"""Certificate assignments and the ``(r, p)``-boundedness condition (Section 3).
+
+A certificate assignment maps every node to a bit string.  The key resource
+bound of the paper is that a certificate may only be polynomially large in the
+amount of information contained in the node's constant-radius neighborhood:
+
+    len(kappa(u)) <= p( sum_{v in N^G_r(u)} 1 + len(label(v)) + len(id(v)) )
+
+Several certificate assignments are combined into a certificate-list
+assignment, separating the individual certificates with ``#``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Mapping, Sequence
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+
+CertificateAssignment = Dict[Node, str]
+Polynomial = Callable[[int], int]
+
+_CERT_CHARS = frozenset("01")
+_LIST_CHARS = frozenset("01#")
+
+
+def trivial_certificate_assignment(graph: LabeledGraph) -> CertificateAssignment:
+    """The assignment giving every node the empty certificate."""
+    return {u: "" for u in graph.nodes}
+
+
+def validate_certificate_assignment(graph: LabeledGraph, kappa: Mapping[Node, str]) -> None:
+    """Raise ``ValueError`` unless *kappa* assigns a bit string to every node."""
+    for u in graph.nodes:
+        if u not in kappa:
+            raise ValueError(f"certificate assignment is missing node {u!r}")
+        if not set(kappa[u]) <= _CERT_CHARS:
+            raise ValueError(f"certificate of {u!r} is not a bit string: {kappa[u]!r}")
+
+
+def neighborhood_information(
+    graph: LabeledGraph,
+    ids: Mapping[Node, str],
+    node: Node,
+    radius: int,
+) -> int:
+    """The quantity the paper bounds certificates by.
+
+    Returns ``sum_{v in N^G_r(node)} (1 + len(label(v)) + len(id(v)))``.
+    """
+    total = 0
+    for v in graph.ball(node, radius):
+        total += 1 + len(graph.label(v)) + len(ids[v])
+    return total
+
+
+def is_rp_bounded(
+    graph: LabeledGraph,
+    ids: Mapping[Node, str],
+    kappa: Mapping[Node, str],
+    radius: int,
+    bound: Polynomial,
+) -> bool:
+    """Whether *kappa* is an ``(radius, bound)``-bounded certificate assignment."""
+    validate_certificate_assignment(graph, kappa)
+    for u in graph.nodes:
+        info = neighborhood_information(graph, ids, u, radius)
+        if len(kappa[u]) > bound(info):
+            return False
+    return True
+
+
+def polynomial(degree: int, coefficient: int = 1, constant: int = 0) -> Polynomial:
+    """Convenience constructor for the monomial bound ``c * n**d + constant``."""
+    if degree < 0 or coefficient < 0 or constant < 0:
+        raise ValueError("polynomial bounds must have nonnegative parameters")
+
+    def bound(n: int) -> int:
+        return coefficient * (n**degree) + constant
+
+    return bound
+
+
+class CertificateList:
+    """A certificate-list assignment ``kappa_1 . kappa_2 . ... . kappa_l``.
+
+    The paper represents a list of certificate assignments as a single
+    function to ``{0, 1, #}*`` where ``#`` separates individual certificates.
+    """
+
+    __slots__ = ("_assignments",)
+
+    def __init__(self, assignments: Sequence[Mapping[Node, str]] = ()) -> None:
+        self._assignments: List[Dict[Node, str]] = [dict(a) for a in assignments]
+
+    @property
+    def assignments(self) -> List[Dict[Node, str]]:
+        """The individual certificate assignments, in order."""
+        return [dict(a) for a in self._assignments]
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def append(self, kappa: Mapping[Node, str]) -> "CertificateList":
+        """Return a new list extended by one more certificate assignment."""
+        return CertificateList(self._assignments + [dict(kappa)])
+
+    def combined(self, node: Node) -> str:
+        """The string ``kappa_1(u) # kappa_2(u) # ... # kappa_l(u)``."""
+        return "#".join(a.get(node, "") for a in self._assignments)
+
+    def certificate(self, index: int, node: Node) -> str:
+        """The ``index``-th certificate of *node* (0-based)."""
+        return self._assignments[index].get(node, "")
+
+    def is_rp_bounded(
+        self,
+        graph: LabeledGraph,
+        ids: Mapping[Node, str],
+        radius: int,
+        bound: Polynomial,
+    ) -> bool:
+        """Whether every component assignment is ``(radius, bound)``-bounded."""
+        return all(
+            is_rp_bounded(graph, ids, kappa, radius, bound) for kappa in self._assignments
+        )
+
+    @classmethod
+    def from_combined(cls, graph: LabeledGraph, combined: Mapping[Node, str]) -> "CertificateList":
+        """Parse ``#``-separated per-node strings back into a list of assignments.
+
+        All nodes must agree on the number of ``#`` separators.
+        """
+        lengths = {combined.get(u, "").count("#") for u in graph.nodes}
+        if len(lengths) > 1:
+            raise ValueError("nodes disagree on the number of certificates")
+        count = (lengths.pop() if lengths else 0) + 1
+        assignments: List[Dict[Node, str]] = [{} for _ in range(count)]
+        for u in graph.nodes:
+            value = combined.get(u, "")
+            if not set(value) <= _LIST_CHARS:
+                raise ValueError(f"invalid certificate-list string for node {u!r}: {value!r}")
+            parts = value.split("#")
+            for i in range(count):
+                assignments[i][u] = parts[i] if i < len(parts) else ""
+        return cls(assignments)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CertificateList):
+            return NotImplemented
+        return self._assignments == other._assignments
+
+    def __repr__(self) -> str:
+        return f"CertificateList(length={len(self._assignments)})"

@@ -1,0 +1,163 @@
+"""Identifier assignments (Section 3 of the paper).
+
+An identifier assignment maps every node of a graph to a bit string.  The
+paper requires only *local* uniqueness: an assignment is ``r``-locally unique
+if any two distinct nodes within distance ``2r`` of each other (equivalently,
+in the ``r``-neighborhood of a common node) receive distinct identifiers.  An
+assignment is *small* if every identifier has length at most
+``ceil(log2 card(N^G_{2r}(u)))``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Hashable, Mapping
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+
+IdentifierAssignment = Dict[Node, str]
+
+_BIT_CHARS = frozenset("01")
+
+
+def identifier_key(identifier: str):
+    """Sort key realizing the paper's lexicographic identifier order.
+
+    ``id(u) < id(v)`` iff ``id(u)`` is a proper prefix of ``id(v)`` or the
+    first differing bit of ``id(u)`` is smaller.  Ordinary tuple comparison of
+    the character sequence implements exactly this order.
+    """
+    return tuple(identifier)
+
+
+def validate_identifier_assignment(graph: LabeledGraph, ids: Mapping[Node, str]) -> None:
+    """Raise ``ValueError`` if *ids* is not a bit-string map covering all nodes."""
+    for u in graph.nodes:
+        if u not in ids:
+            raise ValueError(f"identifier assignment is missing node {u!r}")
+        if not set(ids[u]) <= _BIT_CHARS:
+            raise ValueError(f"identifier of node {u!r} is not a bit string: {ids[u]!r}")
+
+
+def is_locally_unique(graph: LabeledGraph, ids: Mapping[Node, str], radius: int) -> bool:
+    """Whether *ids* is ``radius``-locally unique on *graph*.
+
+    Two distinct nodes within distance ``2 * radius`` of each other must carry
+    distinct identifiers.
+    """
+    validate_identifier_assignment(graph, ids)
+    if radius < 0:
+        raise ValueError("radius must be nonnegative")
+    for u in graph.nodes:
+        ball = graph.ball(u, 2 * radius)
+        for v in ball:
+            if v != u and ids[v] == ids[u]:
+                return False
+    return True
+
+
+def is_globally_unique(graph: LabeledGraph, ids: Mapping[Node, str]) -> bool:
+    """Whether all identifiers are pairwise distinct."""
+    validate_identifier_assignment(graph, ids)
+    values = [ids[u] for u in graph.nodes]
+    return len(set(values)) == len(values)
+
+
+def is_small(graph: LabeledGraph, ids: Mapping[Node, str], radius: int) -> bool:
+    """Whether *ids* is small with respect to *radius* (Section 3).
+
+    Every identifier must have length at most
+    ``ceil(log2 card(N^G_{2 radius}(u)))``.
+    """
+    validate_identifier_assignment(graph, ids)
+    for u in graph.nodes:
+        ball_size = len(graph.ball(u, 2 * radius))
+        bound = math.ceil(math.log2(ball_size)) if ball_size > 1 else 0
+        if len(ids[u]) > bound:
+            return False
+    return True
+
+
+def _to_bits(value: int, width: int) -> str:
+    if width == 0:
+        return ""
+    return format(value, "b").zfill(width)
+
+
+def small_identifier_assignment(graph: LabeledGraph, radius: int) -> IdentifierAssignment:
+    """Construct a small ``radius``-locally unique identifier assignment.
+
+    This realizes Remark 3 of the paper: greedily colour the nodes so that any
+    two nodes within distance ``2 * radius`` receive different colours; the
+    number of colours needed never exceeds the size of the largest
+    ``2 * radius``-ball, so encoding the colour in binary stays within the
+    logarithmic bound.
+    """
+    if radius < 0:
+        raise ValueError("radius must be nonnegative")
+    colour: Dict[Node, int] = {}
+    for u in graph.nodes:
+        ball = graph.ball(u, 2 * radius)
+        used = {colour[v] for v in ball if v in colour and v != u}
+        candidate = 0
+        while candidate in used:
+            candidate += 1
+        colour[u] = candidate
+
+    ids: IdentifierAssignment = {}
+    for u in graph.nodes:
+        ball_size = len(graph.ball(u, 2 * radius))
+        width = math.ceil(math.log2(ball_size)) if ball_size > 1 else 0
+        ids[u] = _to_bits(colour[u], width)
+    return ids
+
+
+def sequential_identifier_assignment(graph: LabeledGraph, width: int | None = None) -> IdentifierAssignment:
+    """Globally unique identifiers ``0, 1, 2, ...`` encoded in binary.
+
+    If *width* is ``None`` the minimal fixed width is used so that all
+    identifiers have equal length (and are therefore pairwise distinct as bit
+    strings).
+    """
+    n = graph.cardinality()
+    if width is None:
+        width = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+    ids: IdentifierAssignment = {}
+    for index, u in enumerate(graph.nodes):
+        if index >= 2**width:
+            raise ValueError("width too small for the number of nodes")
+        ids[u] = _to_bits(index, width)
+    return ids
+
+
+def cyclic_identifier_assignment(graph: LabeledGraph, period: int) -> IdentifierAssignment:
+    """Assign identifiers cyclically ``0 .. period-1`` in node order.
+
+    This is the assignment used in the proof of Proposition 26 for cycle
+    graphs: on a cycle whose length is a multiple of ``period`` it is
+    ``r``-locally unique whenever ``period >= 2 r + 1``.
+    """
+    if period < 1:
+        raise ValueError("period must be positive")
+    width = max(1, math.ceil(math.log2(period))) if period > 1 else 1
+    ids: IdentifierAssignment = {}
+    for index, u in enumerate(graph.nodes):
+        ids[u] = _to_bits(index % period, width)
+    return ids
+
+
+def random_identifier_assignment(
+    graph: LabeledGraph, radius: int, rng: random.Random | None = None
+) -> IdentifierAssignment:
+    """A random globally unique assignment (hence locally unique for any radius).
+
+    Identifiers are random permutations of ``0 .. n-1`` encoded with a fixed
+    width, useful for property-based tests that identifiers must not matter.
+    """
+    rng = rng or random.Random(0)
+    n = graph.cardinality()
+    width = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+    values = list(range(n))
+    rng.shuffle(values)
+    return {u: _to_bits(values[i], width) for i, u in enumerate(graph.nodes)}

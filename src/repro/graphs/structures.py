@@ -1,0 +1,234 @@
+"""Relational structures and structural representations (Section 3, Figure 5).
+
+A structure ``S = (D, unary_1..unary_m, binary_1..binary_n)`` consists of a
+finite nonempty domain, ``m`` unary relations and ``n`` binary relations; the
+pair ``(m, n)`` is its signature.
+
+The structural representation ``$G`` of a labeled graph ``G`` has signature
+``(1, 2)``:
+
+* one element per node and one element ``(u, i)`` per labeling bit,
+* ``unary_1`` marks the labeling bits of value 1,
+* ``binary_1`` contains the (symmetric) edges and the successor relation on
+  each node's labeling bits,
+* ``binary_2`` points from each node to each of its labeling bits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+
+Element = Hashable
+Pair = Tuple[Element, Element]
+
+
+class Structure:
+    """A finite relational structure with unary and binary relations."""
+
+    __slots__ = ("_domain", "_unary", "_binary", "_adjacency")
+
+    def __init__(
+        self,
+        domain: Iterable[Element],
+        unary: Sequence[Iterable[Element]] = (),
+        binary: Sequence[Iterable[Pair]] = (),
+    ) -> None:
+        domain_list = list(domain)
+        if not domain_list:
+            raise ValueError("structures must have a nonempty domain")
+        domain_set = set(domain_list)
+        if len(domain_set) != len(domain_list):
+            raise ValueError("duplicate elements in domain")
+
+        unary_rels: List[FrozenSet[Element]] = []
+        for rel in unary:
+            rel_set = frozenset(rel)
+            if not rel_set <= domain_set:
+                raise ValueError("unary relation contains elements outside the domain")
+            unary_rels.append(rel_set)
+
+        binary_rels: List[FrozenSet[Pair]] = []
+        for rel in binary:
+            rel_set = frozenset(tuple(pair) for pair in rel)
+            for a, b in rel_set:
+                if a not in domain_set or b not in domain_set:
+                    raise ValueError("binary relation contains elements outside the domain")
+            binary_rels.append(rel_set)
+
+        self._domain: Tuple[Element, ...] = tuple(domain_list)
+        self._unary: Tuple[FrozenSet[Element], ...] = tuple(unary_rels)
+        self._binary: Tuple[FrozenSet[Pair], ...] = tuple(binary_rels)
+
+        adjacency: Dict[Element, Set[Element]] = {a: set() for a in domain_list}
+        for rel in self._binary:
+            for a, b in rel:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        self._adjacency = {a: frozenset(neigh) for a, neigh in adjacency.items()}
+
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> Tuple[Element, ...]:
+        """The elements of the structure."""
+        return self._domain
+
+    @property
+    def signature(self) -> Tuple[int, int]:
+        """The pair ``(m, n)``: number of unary and binary relations."""
+        return (len(self._unary), len(self._binary))
+
+    def cardinality(self) -> int:
+        """Number of elements, ``card(S)``."""
+        return len(self._domain)
+
+    def __len__(self) -> int:
+        return len(self._domain)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._adjacency
+
+    def unary(self, index: int) -> FrozenSet[Element]:
+        """The ``index``-th unary relation (1-based, as in the paper)."""
+        return self._unary[index - 1]
+
+    def binary(self, index: int) -> FrozenSet[Pair]:
+        """The ``index``-th binary relation (1-based, as in the paper)."""
+        return self._binary[index - 1]
+
+    def in_unary(self, index: int, element: Element) -> bool:
+        """Whether *element* lies in the ``index``-th unary relation."""
+        return element in self._unary[index - 1]
+
+    def in_binary(self, index: int, a: Element, b: Element) -> bool:
+        """Whether ``(a, b)`` lies in the ``index``-th binary relation."""
+        return (a, b) in self._binary[index - 1]
+
+    def connected(self, a: Element, b: Element) -> bool:
+        """The symmetric closure of all binary relations: ``a -⇀↽- b``."""
+        return b in self._adjacency[a]
+
+    def connections(self, element: Element) -> FrozenSet[Element]:
+        """All elements connected to *element* by some binary relation."""
+        return self._adjacency[element]
+
+    def degree(self, element: Element) -> int:
+        """Number of elements connected to *element* (structure degree)."""
+        return len(self._adjacency[element])
+
+    def max_degree(self) -> int:
+        """Maximum structure degree over all elements."""
+        return max(self.degree(a) for a in self._domain)
+
+    # ------------------------------------------------------------------
+    def ball(self, center: Element, radius: int) -> Set[Element]:
+        """Elements reachable from *center* in at most *radius* connection steps."""
+        if radius < 0:
+            raise ValueError("radius must be nonnegative")
+        dist = {center: 0}
+        queue = deque([center])
+        while queue:
+            a = queue.popleft()
+            if dist[a] == radius:
+                continue
+            for b in self._adjacency[a]:
+                if b not in dist:
+                    dist[b] = dist[a] + 1
+                    queue.append(b)
+        return set(dist)
+
+    def restriction(self, elements: Iterable[Element]) -> "Structure":
+        """The substructure induced by *elements*."""
+        element_set = set(elements)
+        unary = [rel & element_set for rel in self._unary]
+        binary = [
+            {(a, b) for (a, b) in rel if a in element_set and b in element_set}
+            for rel in self._binary
+        ]
+        ordered = [a for a in self._domain if a in element_set]
+        return Structure(ordered, unary, binary)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return (
+            set(self._domain) == set(other._domain)
+            and self._unary == other._unary
+            and self._binary == other._binary
+        )
+
+    def __repr__(self) -> str:
+        m, n = self.signature
+        return f"Structure(|D|={len(self._domain)}, signature=({m}, {n}))"
+
+
+# ----------------------------------------------------------------------
+# Structural representation of labeled graphs (Figure 5)
+# ----------------------------------------------------------------------
+def bit_element(node: Node, position: int) -> Tuple[str, Node, int]:
+    """The domain element representing the ``position``-th labeling bit of *node*.
+
+    Positions are 1-based, following the paper.
+    """
+    return ("bit", node, position)
+
+
+def node_element(node: Node) -> Node:
+    """The domain element representing *node* itself (the node identity)."""
+    return node
+
+
+def is_bit_element(element: Element) -> bool:
+    """Whether *element* is a labeling-bit element created by :func:`bit_element`."""
+    return isinstance(element, tuple) and len(element) == 3 and element[0] == "bit"
+
+
+def structural_representation(graph: LabeledGraph) -> Structure:
+    """The structure ``$G`` of signature ``(1, 2)`` representing *graph*.
+
+    * ``unary_1``: labeling bits of value ``1``.
+    * ``binary_1``: graph edges (both orientations) plus the successor relation
+      on each node's labeling bits.
+    * ``binary_2``: node-to-labeling-bit ownership.
+    """
+    domain: List[Element] = []
+    ones: Set[Element] = set()
+    rel1: Set[Pair] = set()
+    rel2: Set[Pair] = set()
+
+    for u in graph.nodes:
+        domain.append(node_element(u))
+    for u in graph.nodes:
+        label = graph.label(u)
+        for i in range(1, len(label) + 1):
+            element = bit_element(u, i)
+            domain.append(element)
+            if label[i - 1] == "1":
+                ones.add(element)
+            rel2.add((node_element(u), element))
+            if i > 1:
+                rel1.add((bit_element(u, i - 1), element))
+
+    for u, v in graph.edge_pairs():
+        rel1.add((node_element(u), node_element(v)))
+        rel1.add((node_element(v), node_element(u)))
+
+    return Structure(domain, unary=[ones], binary=[rel1, rel2])
+
+
+def neighborhood_representation(graph: LabeledGraph, center: Node, radius: int) -> Structure:
+    """The structural representation ``N^{$G}_r(u)`` of a node's r-neighborhood."""
+    return structural_representation(graph.neighborhood(center, radius))
+
+
+def node_elements(structure: Structure) -> List[Element]:
+    """The elements of a structural representation that correspond to nodes.
+
+    A node element is one with no ``binary_2`` arrow pointing *to* it (the
+    formula ``IsNode`` of Section 5.1).
+    """
+    targets = {b for (a, b) in structure.binary(2)}
+    return [a for a in structure.domain if a not in targets]

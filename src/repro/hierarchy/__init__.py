@@ -1,0 +1,60 @@
+"""The locally polynomial hierarchy as an executable game (Sections 4 and 6).
+
+A graph property lies in Sigma^lp_l / Pi^lp_l if there is a locally polynomial
+*arbiter* M such that Eve (existential) and Adam (universal), alternately
+assigning bounded certificates to all nodes, produce an accepting execution of
+M exactly on the graphs in the property -- with Eve moving first for Sigma and
+Adam first for Pi.
+
+This package makes the game concrete and finite:
+
+* :mod:`repro.hierarchy.certificate_spaces` -- finite per-node certificate
+  candidate sets (the moves available to the players),
+* :mod:`repro.hierarchy.game` -- exhaustive game solving: does Eve have a
+  winning strategy on a given graph under a given arbiter?
+* :mod:`repro.hierarchy.arbiters` -- bundling of an arbiter machine with its
+  parameters (radius, bound, certificate spaces, quantifier prefix) into a
+  reusable :class:`~repro.hierarchy.arbiters.ArbiterSpec`, including the
+  standard arbiters used in the paper (3-colorability, 2-colorability,
+  certificate-free LP deciders).
+"""
+
+from repro.hierarchy.certificate_spaces import (
+    CertificateSpace,
+    enumerated_space,
+    color_space,
+    bit_space,
+    empty_space,
+)
+from repro.hierarchy.game import (
+    Quantifier,
+    eve_wins,
+    sigma_membership,
+    pi_membership,
+    enumerate_assignments,
+)
+from repro.hierarchy.arbiters import (
+    ArbiterSpec,
+    lp_decider_spec,
+    nlp_verifier_spec,
+    three_colorability_spec,
+    two_colorability_spec,
+)
+
+__all__ = [
+    "CertificateSpace",
+    "enumerated_space",
+    "color_space",
+    "bit_space",
+    "empty_space",
+    "Quantifier",
+    "eve_wins",
+    "sigma_membership",
+    "pi_membership",
+    "enumerate_assignments",
+    "ArbiterSpec",
+    "lp_decider_spec",
+    "nlp_verifier_spec",
+    "three_colorability_spec",
+    "two_colorability_spec",
+]

@@ -1,0 +1,245 @@
+"""The class structure of Figures 2 and 13: inclusions, strictness, incomparability.
+
+The paper's headline picture is the diagram of the locally polynomial
+hierarchy and its complement hierarchy (Figure 2, extended in Figure 13):
+which classes include which, which inclusions are strict, which classes are
+pairwise distinct, and how the picture collapses to a strict linear chain on
+graphs of bounded structural degree.  This module encodes the part of that
+diagram that the paper states explicitly as a queryable object, so that the
+test suite and the Figure-2 benchmark can regenerate the table of
+relationships and cross-check it against the executable separation witnesses
+of :mod:`repro.separations`.
+
+Encoded facts (with their sources):
+
+* the definitional inclusions inside each hierarchy -- every class is
+  contained in both classes of every higher level (Section 4);
+* pairwise distinctness and incomparability of same-level classes
+  (Proposition 24, Proposition 26, Theorem 36, Corollaries 39/41/43);
+* strictness of the level-increasing inclusions (Theorem 36 and Section 9.3);
+* the bounded-degree collapse to the strict chain
+  ``Pi^lp_0 ⊊ Sigma^lp_1 ⊊ Pi^lp_2 ⊊ Sigma^lp_3 ⊊ ...`` (Section 9,
+  Proposition 38).
+
+The cross-hierarchy edges of Figure 13 (Proposition 42) relate each class to
+classes of the *complement* hierarchy; they are intentionally not encoded
+here because their exact placement is part of the figure we do not reproduce
+line by line -- the complement classes are still representable (``co...``
+names) so that membership witnesses can talk about them.
+
+Class names follow the paper: ``LP``, ``NLP``, ``Sigma^lp_l``, ``Pi^lp_l``
+and their complements ``coLP``, ``coNLP``, ``coSigma^lp_l``, ``coPi^lp_l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "HierarchyClass",
+    "parse_class",
+    "class_name",
+    "hierarchy_classes",
+    "includes",
+    "strictly_includes",
+    "incomparable",
+    "bounded_degree_chain",
+    "inclusion_edges",
+    "figure2_rows",
+]
+
+
+@dataclass(frozen=True)
+class HierarchyClass:
+    """A class of the locally polynomial hierarchy or its complement hierarchy.
+
+    Attributes
+    ----------
+    kind:
+        ``"Sigma"`` or ``"Pi"``.
+    level:
+        The alternation level ``l >= 0``.
+    complement:
+        Whether this is the complement class (``co`` prefix in the paper).
+    """
+
+    kind: str
+    level: int
+    complement: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("Sigma", "Pi"):
+            raise ValueError("kind must be 'Sigma' or 'Pi'")
+        if self.level < 0:
+            raise ValueError("level must be nonnegative")
+
+    def name(self) -> str:
+        """The paper's name for this class."""
+        prefix = "co" if self.complement else ""
+        if self.level == 0:
+            return f"{prefix}LP"
+        if self.level == 1 and self.kind == "Sigma":
+            return f"{prefix}NLP"
+        return f"{prefix}{self.kind}^lp_{self.level}"
+
+    def dual(self) -> "HierarchyClass":
+        """The complement class (Figure 2's right-hand hierarchy)."""
+        return HierarchyClass(self.kind, self.level, not self.complement)
+
+    def __str__(self) -> str:
+        return self.name()
+
+
+def class_name(kind: str, level: int, complement: bool = False) -> str:
+    """The paper's name of the class with the given parameters."""
+    return HierarchyClass(kind, level, complement).name()
+
+
+def parse_class(name: str) -> HierarchyClass:
+    """Parse a class name such as ``"NLP"``, ``"coLP"`` or ``"Pi^lp_3"``."""
+    text = name.strip()
+    complement = text.startswith("co")
+    if complement:
+        text = text[2:]
+    if text == "LP":
+        return HierarchyClass("Sigma", 0, complement)
+    if text == "NLP":
+        return HierarchyClass("Sigma", 1, complement)
+    for kind in ("Sigma", "Pi"):
+        prefix = f"{kind}^lp_"
+        if text.startswith(prefix):
+            return HierarchyClass(kind, int(text[len(prefix) :]), complement)
+    raise ValueError(f"cannot parse hierarchy class name {name!r}")
+
+
+def hierarchy_classes(max_level: int) -> List[HierarchyClass]:
+    """All classes of both hierarchies up to the given level, as drawn in Figure 13."""
+    classes: List[HierarchyClass] = []
+    for complement in (False, True):
+        for level in range(max_level + 1):
+            classes.append(HierarchyClass("Sigma", level, complement))
+            if level >= 1:
+                classes.append(HierarchyClass("Pi", level, complement))
+    return classes
+
+
+# ----------------------------------------------------------------------
+# Inclusions and separations
+# ----------------------------------------------------------------------
+def _canonical(value) -> HierarchyClass:
+    return value if isinstance(value, HierarchyClass) else parse_class(str(value))
+
+
+def includes(higher, lower) -> bool:
+    """Whether ``lower ⊆ higher`` holds by the definitional inclusions of Section 4.
+
+    Inside one hierarchy (same complement flag), every class is contained in
+    both classes of every strictly higher level, and level 0 is contained in
+    everything; the two classes of the same positive level are *not* related.
+    Complementing both sides preserves inclusions, so the same rules apply
+    verbatim to the complement hierarchy.
+    """
+    low = _canonical(lower)
+    high = _canonical(higher)
+    if low == high:
+        return True
+    if low.complement != high.complement:
+        return False
+    if low.level > high.level:
+        return False
+    if low.level == high.level:
+        # Level 0 is a single class under two names; positive levels are not
+        # comparable within the same level.
+        return low.level == 0
+    return True
+
+
+def strictly_includes(higher, lower) -> bool:
+    """Whether the paper proves ``lower ⊊ higher``.
+
+    All level-increasing inclusions inside each hierarchy are strict: the
+    ground-level separations (Propositions 24 and 26) and the infiniteness
+    theorem (Theorem 36 with Section 9.3) show that no two classes on
+    different levels coincide, even on graphs of bounded structural degree.
+    """
+    low = _canonical(lower)
+    high = _canonical(higher)
+    return includes(high, low) and low != high and high.level > low.level
+
+
+def incomparable(first, second) -> bool:
+    """Whether the two classes are provably incomparable (same level, different kind).
+
+    Proposition 26 gives ``coLP`` vs ``NLP``; Corollaries 39, 41 and 43 extend
+    pairwise distinctness to all same-level classes, and same-level classes of
+    different kind contain each other in neither direction.
+    """
+    a = _canonical(first)
+    b = _canonical(second)
+    if a == b:
+        return False
+    if a.level != b.level or a.level == 0:
+        return False
+    return not includes(a, b) and not includes(b, a)
+
+
+def bounded_degree_chain(max_level: int) -> List[str]:
+    """The strict chain the hierarchy collapses to on bounded structural degree.
+
+    Section 9: ``Pi^lp_0 ⊊ Sigma^lp_1 ⊊ Pi^lp_2 ⊊ Sigma^lp_3 ⊊ ...`` -- the
+    representative of level ``l`` ends with a block of existential quantifiers
+    for odd ``l`` and universal ones for even ``l``.
+    """
+    chain: List[str] = []
+    for level in range(max_level + 1):
+        kind = "Sigma" if level % 2 == 1 else "Pi"
+        chain.append(HierarchyClass(kind, level).name())
+    return chain
+
+
+def inclusion_edges(max_level: int) -> List[Tuple[str, str, str]]:
+    """The covering edges of each hierarchy up to *max_level*: ``(lower, higher, label)``.
+
+    Edges whose endpoints lie on consecutive levels inside one hierarchy; all
+    of them are strict (label ``"strict"``).
+    """
+    classes = hierarchy_classes(max_level)
+    edges: List[Tuple[str, str, str]] = []
+    for lower in classes:
+        for higher in classes:
+            if lower == higher or not includes(higher, lower):
+                continue
+            has_intermediate = any(
+                middle not in (lower, higher)
+                and includes(middle, lower)
+                and includes(higher, middle)
+                for middle in classes
+            )
+            if has_intermediate:
+                continue
+            label = "strict" if strictly_includes(higher, lower) else "definitional"
+            edges.append((lower.name(), higher.name(), label))
+    return sorted(edges)
+
+
+def figure2_rows(max_level: int = 4) -> List[Dict[str, object]]:
+    """The per-level summary of Figure 2, as data rows for the benchmark harness."""
+    rows: List[Dict[str, object]] = []
+    chain = bounded_degree_chain(max_level + 1)
+    for level in range(max_level + 1):
+        sigma = HierarchyClass("Sigma", level)
+        pi = HierarchyClass("Pi", level)
+        rows.append(
+            {
+                "level": level,
+                "sigma": sigma.name(),
+                "pi": pi.name(),
+                "sigma_pi_incomparable": incomparable(sigma, pi),
+                "included_in_next_sigma": includes(HierarchyClass("Sigma", level + 1), sigma),
+                "included_in_next_pi": includes(HierarchyClass("Pi", level + 1), pi),
+                "strict_step_up": strictly_includes(HierarchyClass("Sigma", level + 1), sigma),
+                "bounded_degree_representative": chain[level],
+            }
+        )
+    return rows

@@ -1,0 +1,139 @@
+"""Exhaustive solving of the Eve/Adam certificate game (Section 4).
+
+For a fixed arbiter ``M``, graph ``G``, identifier assignment ``id`` and a
+quantifier prefix ``Q_1 ... Q_l`` over certificate spaces, the game value is
+
+    Q_1 kappa_1  Q_2 kappa_2  ...  Q_l kappa_l :  M(G, id, kappa_1 ... kappa_l) ≡ accept
+
+with existential quantifiers belonging to Eve and universal ones to Adam.
+``G`` has the arbitrated property iff Eve wins, i.e. iff the quantified
+statement is true.  The solver simply expands the quantifiers with
+short-circuiting; its cost is the product of the assignment-space sizes, so
+it is meant for the small graphs used in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.certificates import CertificateList
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.hierarchy.certificate_spaces import CertificateSpace
+from repro.machines.interface import NodeMachine
+from repro.machines.simulator import execute
+
+
+class Quantifier(str, Enum):
+    """A quantifier of the game prefix: Eve's ∃ or Adam's ∀."""
+
+    EXISTS = "E"
+    FORALL = "A"
+
+
+def sigma_prefix(level: int) -> List[Quantifier]:
+    """The Sigma^lp_level prefix: Eve moves first, strictly alternating."""
+    return [Quantifier.EXISTS if i % 2 == 0 else Quantifier.FORALL for i in range(level)]
+
+
+def pi_prefix(level: int) -> List[Quantifier]:
+    """The Pi^lp_level prefix: Adam moves first, strictly alternating."""
+    return [Quantifier.FORALL if i % 2 == 0 else Quantifier.EXISTS for i in range(level)]
+
+
+def enumerate_assignments(
+    space: CertificateSpace, graph: LabeledGraph, ids: Mapping[Node, str]
+) -> Iterator[Dict[Node, str]]:
+    """All certificate assignments of *space* on ``(graph, ids)``."""
+    return space.assignments(graph, ids)
+
+
+def eve_wins(
+    arbiter: NodeMachine,
+    graph: LabeledGraph,
+    ids: Mapping[Node, str],
+    spaces: Sequence[CertificateSpace],
+    prefix: Sequence[Quantifier],
+    fixed: Optional[Sequence[Mapping[Node, str]]] = None,
+) -> bool:
+    """Whether Eve has a winning strategy in the certificate game.
+
+    Parameters
+    ----------
+    arbiter:
+        The locally polynomial machine determining the winner.
+    graph, ids:
+        The input graph and its identifier assignment.
+    spaces:
+        One certificate space per quantifier level (``len(spaces) == len(prefix)``).
+    prefix:
+        The quantifier prefix, e.g. ``[EXISTS, FORALL]`` for Sigma^lp_2.
+    fixed:
+        Certificate assignments already chosen for the leading levels (used by
+        the recursion; callers normally omit it).
+    """
+    if len(spaces) != len(prefix):
+        raise ValueError("there must be exactly one certificate space per quantifier")
+    chosen: List[Mapping[Node, str]] = list(fixed or [])
+    depth = len(chosen)
+
+    if depth == len(prefix):
+        certificates = CertificateList(chosen)
+        return execute(arbiter, graph, ids, certificates).accepts()
+
+    quantifier = prefix[depth]
+    space = spaces[depth]
+    outcomes = (
+        eve_wins(arbiter, graph, ids, spaces, prefix, chosen + [assignment])
+        for assignment in enumerate_assignments(space, graph, ids)
+    )
+    if quantifier is Quantifier.EXISTS:
+        return any(outcomes)
+    return all(outcomes)
+
+
+def sigma_membership(
+    arbiter: NodeMachine,
+    graph: LabeledGraph,
+    ids: Mapping[Node, str],
+    spaces: Sequence[CertificateSpace],
+) -> bool:
+    """Game value with Eve moving first (membership under a Sigma^lp_l arbiter)."""
+    return eve_wins(arbiter, graph, ids, spaces, sigma_prefix(len(spaces)))
+
+
+def pi_membership(
+    arbiter: NodeMachine,
+    graph: LabeledGraph,
+    ids: Mapping[Node, str],
+    spaces: Sequence[CertificateSpace],
+) -> bool:
+    """Game value with Adam moving first (membership under a Pi^lp_l arbiter)."""
+    return eve_wins(arbiter, graph, ids, spaces, pi_prefix(len(spaces)))
+
+
+def winning_first_move(
+    arbiter: NodeMachine,
+    graph: LabeledGraph,
+    ids: Mapping[Node, str],
+    spaces: Sequence[CertificateSpace],
+    prefix: Sequence[Quantifier],
+) -> Optional[Dict[Node, str]]:
+    """A winning first move for the player owning the first quantifier, if any.
+
+    For an existential first quantifier this is a certificate assignment that
+    keeps Eve winning; for a universal one it is a *refuting* assignment that
+    makes Eve lose (i.e. a winning move for Adam).  Returns ``None`` when the
+    first player has no winning move.
+    """
+    if not prefix:
+        raise ValueError("the game must have at least one quantifier")
+    space = spaces[0]
+    for assignment in enumerate_assignments(space, graph, ids):
+        value = eve_wins(arbiter, graph, ids, spaces, prefix, [assignment])
+        if prefix[0] is Quantifier.EXISTS and value:
+            return dict(assignment)
+        if prefix[0] is Quantifier.FORALL and not value:
+            return dict(assignment)
+    return None

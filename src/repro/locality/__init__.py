@@ -1,0 +1,46 @@
+"""Locality measures: quantifier alternation vs certificate size (Section 2.5, Figure 7).
+
+Two measures of how "global" a graph property is are compared in Figure 7 of
+the paper:
+
+* the **alternation level**: the lowest level of the locally bounded (here:
+  locally polynomial / local second-order) hierarchy containing the property,
+  computed in this repository from the syntactic class of the Section 5.2
+  formulas (:mod:`repro.locality.alternation`);
+* the **certificate size** in the locally-checkable-proofs model of Göös and
+  Suomela: the asymptotic length of the certificates a prover needs,
+  witnessed here by concrete proof-labeling schemes
+  (:mod:`repro.locality.proof_labeling`).
+
+:mod:`repro.locality.comparison` assembles both into the Figure 7 table.
+"""
+
+from repro.locality.alternation import alternation_class_of_formula, alternation_levels
+from repro.locality.proof_labeling import (
+    ProofLabelingScheme,
+    spanning_tree_certificates,
+    acyclicity_scheme,
+    odd_scheme,
+    three_colorability_scheme,
+    eulerian_scheme,
+    non_two_colorability_scheme,
+    automorphism_scheme,
+    all_schemes,
+)
+from repro.locality.comparison import figure7_rows, figure7_table
+
+__all__ = [
+    "alternation_class_of_formula",
+    "alternation_levels",
+    "ProofLabelingScheme",
+    "spanning_tree_certificates",
+    "acyclicity_scheme",
+    "odd_scheme",
+    "three_colorability_scheme",
+    "eulerian_scheme",
+    "non_two_colorability_scheme",
+    "automorphism_scheme",
+    "all_schemes",
+    "figure7_rows",
+    "figure7_table",
+]

@@ -1,0 +1,50 @@
+"""The alternation-based locality measure (Section 2.5).
+
+The number of quantifier alternations needed to define a property in the
+local second-order hierarchy -- equivalently, by the generalized Fagin theorem,
+its level in the locally polynomial / locally bounded hierarchy -- serves as a
+measure of locality: purely local properties need no alternation, almost local
+ones a single existential block, and so on.  Here the measure is computed
+syntactically from the example formulas of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.logic.examples import all_example_formulas
+from repro.logic.fragments import LogicClass, classify_local_second_order
+from repro.logic.syntax import Formula
+
+
+def alternation_class_of_formula(formula: Formula) -> Optional[LogicClass]:
+    """The hierarchy class of a formula (``None`` if it falls outside the local hierarchy)."""
+    return classify_local_second_order(formula)
+
+
+def alternation_levels() -> Dict[str, LogicClass]:
+    """The alternation class of every Section 5.2 example formula, keyed by property name."""
+    levels: Dict[str, LogicClass] = {}
+    for name, formula in all_example_formulas().items():
+        logic_class = classify_local_second_order(formula)
+        if logic_class is not None:
+            levels[name] = logic_class
+    return levels
+
+
+def locality_band(logic_class: Optional[LogicClass]) -> str:
+    """The coarse Figure 7 band a hierarchy class falls into.
+
+    ``purely local`` (level 0), ``almost local`` (level 1), ``intermediate``
+    (levels 2-3), ``high`` (level 4 and above) and ``inherently global``
+    (outside the hierarchy).
+    """
+    if logic_class is None:
+        return "inherently global"
+    if logic_class.level == 0:
+        return "purely local"
+    if logic_class.level == 1:
+        return "almost local"
+    if logic_class.level <= 3:
+        return "intermediate"
+    return "high"

@@ -1,0 +1,122 @@
+"""The Figure 7 comparison: alternation level vs certificate size.
+
+For each of the example properties of Figure 7 the table records
+
+* the level of the locally bounded hierarchy the paper places it at, together
+  with the level our Section 5.2 formula actually achieves (where we have
+  one), and
+* the LCP certificate-size class the paper places it at, together with the
+  certificate sizes measured from the proof-labeling schemes of
+  :mod:`repro.locality.proof_labeling` on a family of sample graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graphs import generators
+from repro.locality.alternation import alternation_levels, locality_band
+from repro.locality.proof_labeling import ProofLabelingScheme, all_schemes
+from repro.properties.base import property_registry
+
+
+@dataclass
+class Figure7Row:
+    """One row of the Figure 7 comparison table."""
+
+    property_name: str
+    paper_alternation_class: str
+    formula_alternation_class: Optional[str]
+    paper_lcp_class: str
+    measured_certificate_lengths: Optional[Dict[int, int]]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "property": self.property_name,
+            "paper alternation": self.paper_alternation_class,
+            "our formula": self.formula_alternation_class or "-",
+            "paper LCP": self.paper_lcp_class,
+            "measured |certificate| by n": self.measured_certificate_lengths or {},
+        }
+
+
+#: The properties shown in Figure 7, in the paper's bottom-to-top order.
+FIGURE7_PROPERTIES = [
+    "eulerian",
+    "3-colorable",
+    "odd",
+    "acyclic",
+    "hamiltonian",
+    "non-2-colorable",
+    "non-3-colorable",
+    "automorphic",
+    "prime",
+]
+
+
+def _sample_graphs_for(scheme: ProofLabelingScheme) -> Dict[int, object]:
+    """Yes-instances of growing size for measuring certificate lengths."""
+    samples = {}
+    for size in (5, 9, 15, 21):
+        if scheme.property_name == "eulerian":
+            graph = generators.cycle_graph(size)
+        elif scheme.property_name == "3-colorable":
+            graph = generators.cycle_graph(size if size % 2 == 0 else size + 1)
+        elif scheme.property_name == "odd":
+            graph = generators.path_graph(size if size % 2 == 1 else size + 1)
+        elif scheme.property_name == "acyclic":
+            graph = generators.random_tree(size, seed=size)
+        elif scheme.property_name == "non-2-colorable":
+            graph = generators.cycle_graph(size if size % 2 == 1 else size + 1)
+        elif scheme.property_name == "automorphic":
+            graph = generators.cycle_graph(size)
+        else:
+            continue
+        samples[graph.cardinality()] = graph
+    return samples
+
+
+def figure7_rows() -> List[Figure7Row]:
+    """Compute the Figure 7 table rows."""
+    formula_levels = {name: str(cls) for name, cls in alternation_levels().items()}
+    schemes = {scheme.property_name: scheme for scheme in all_schemes()}
+    rows: List[Figure7Row] = []
+    for name in FIGURE7_PROPERTIES:
+        registered = property_registry.get(name)
+        paper_alt = registered.paper_alternation_class if registered else "?"
+        paper_lcp = registered.paper_lcp_class if registered else "?"
+        measured: Optional[Dict[int, int]] = None
+        if name in schemes:
+            scheme = schemes[name]
+            measured = {}
+            for size, graph in _sample_graphs_for(scheme).items():
+                measured[size] = scheme.max_certificate_length(graph)
+        rows.append(
+            Figure7Row(
+                property_name=name,
+                paper_alternation_class=paper_alt or "?",
+                formula_alternation_class=formula_levels.get(name),
+                paper_lcp_class=paper_lcp or "?",
+                measured_certificate_lengths=measured,
+            )
+        )
+    return rows
+
+
+def figure7_table() -> str:
+    """A human-readable rendering of the Figure 7 comparison."""
+    rows = figure7_rows()
+    header = f"{'property':<18} {'paper-alt':<28} {'our formula':<16} {'paper-LCP':<16} measured certificate bits"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        measured = (
+            ", ".join(f"n={size}: {length}" for size, length in sorted(row.measured_certificate_lengths.items()))
+            if row.measured_certificate_lengths
+            else "-"
+        )
+        lines.append(
+            f"{row.property_name:<18} {row.paper_alternation_class:<28} "
+            f"{(row.formula_alternation_class or '-'):<16} {row.paper_lcp_class:<16} {measured}"
+        )
+    return "\n".join(lines)

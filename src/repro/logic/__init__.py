@@ -1,0 +1,94 @@
+"""Logic with bounded quantifiers (Section 5) and the local second-order hierarchy.
+
+* :mod:`repro.logic.syntax` -- the formula AST: atomic formulas over a
+  structure's unary/binary relations, Boolean connectives, unbounded and
+  bounded first-order quantifiers, and second-order quantifiers.
+* :mod:`repro.logic.semantics` -- model checking of formulas on
+  :class:`~repro.graphs.structures.Structure` objects, with optional locality
+  restriction of second-order quantifier ranges (matching the restriction the
+  paper imposes on certificates in Theorem 15).
+* :mod:`repro.logic.fragments` -- syntactic classification into BF, LFO and
+  the classes Sigma^lfo_l / Pi^lfo_l of the local second-order hierarchy, plus
+  monadicity checks.
+* :mod:`repro.logic.shorthands` -- the paper's notational conveniences
+  (IsNode, IsBit0/1, node-restricted and radius-``r`` quantifiers).
+* :mod:`repro.logic.examples` -- the example formulas of Section 5.2.
+"""
+
+from repro.logic.syntax import (
+    Formula,
+    TruthConstant,
+    UnaryAtom,
+    BinaryAtom,
+    Equal,
+    RelationAtom,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Exists,
+    Forall,
+    BoundedExists,
+    BoundedForall,
+    LocalExists,
+    LocalForall,
+    SOExists,
+    SOForall,
+    RelationVariable,
+    conjunction,
+    disjunction,
+    free_variables,
+    free_first_order_variables,
+    free_relation_variables,
+)
+from repro.logic.semantics import EvaluationOptions, evaluate, defines_property, graph_satisfies
+from repro.logic.fragments import (
+    is_bounded_fragment,
+    is_lfo_sentence,
+    is_monadic,
+    classify_local_second_order,
+    quantifier_alternation_level,
+    LogicClass,
+)
+from repro.logic import shorthands, examples
+
+__all__ = [
+    "Formula",
+    "TruthConstant",
+    "UnaryAtom",
+    "BinaryAtom",
+    "Equal",
+    "RelationAtom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Exists",
+    "Forall",
+    "BoundedExists",
+    "BoundedForall",
+    "LocalExists",
+    "LocalForall",
+    "SOExists",
+    "SOForall",
+    "RelationVariable",
+    "conjunction",
+    "disjunction",
+    "free_variables",
+    "free_first_order_variables",
+    "free_relation_variables",
+    "EvaluationOptions",
+    "evaluate",
+    "defines_property",
+    "graph_satisfies",
+    "is_bounded_fragment",
+    "is_lfo_sentence",
+    "is_monadic",
+    "classify_local_second_order",
+    "quantifier_alternation_level",
+    "LogicClass",
+    "shorthands",
+    "examples",
+]

@@ -1,0 +1,205 @@
+"""Negation, duality and the complement hierarchy (Sections 2.1, 5.1 and 9.3).
+
+Classes on the same level of the locally polynomial hierarchy are *not*
+complement classes of each other, which is why the paper studies the
+complement hierarchy ``{coΣ^lp_ℓ, coΠ^lp_ℓ}`` separately (Figure 2).  On the
+logic side the same asymmetry appears: negating a ``Σ^lfo_ℓ`` sentence yields
+a ``Π^fo_ℓ`` sentence of the *non-local* hierarchy, because pushing the
+negation through the single unbounded universal first-order quantifier of LFO
+produces an unbounded existential quantifier, and LFO is not closed under
+negation (Section 5.1).
+
+This module implements the syntactic side of these observations:
+
+* :func:`negate_sentence` pushes a negation through the second-order prefix
+  and the leading first-order quantifier, producing the dual prefix;
+* :func:`negation_normal_form` pushes negations down to the atoms of a
+  bounded or first-order formula;
+* :func:`dual_class` and :func:`complement_class_name` compute where the
+  negated formula lands, mirroring the class arithmetic of Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic.fragments import LogicClass, classify_second_order
+from repro.logic.syntax import (
+    And,
+    BinaryAtom,
+    BoundedExists,
+    BoundedForall,
+    Equal,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    LocalExists,
+    LocalForall,
+    Not,
+    Or,
+    RelationAtom,
+    SOExists,
+    SOForall,
+    TruthConstant,
+    UnaryAtom,
+)
+
+__all__ = [
+    "negate_sentence",
+    "negation_normal_form",
+    "dual_class",
+    "complement_class_name",
+    "is_in_negation_normal_form",
+]
+
+
+def negate_sentence(sentence: Formula) -> Formula:
+    """The negation of a prenex second-order sentence, with the prefix dualized.
+
+    ``∃R̄ ∀S̄ ... ∀x φ`` becomes ``∀R̄ ∃S̄ ... ∃x ¬φ`` (and symmetrically), so a
+    ``Σ^(l)fo_ℓ`` sentence turns into a ``Π^fo_ℓ`` sentence.  Note the result
+    generally leaves the *local* hierarchy: the innermost quantifier becomes
+    an unbounded existential one, which LFO does not allow -- this is exactly
+    why the paper's complement constructions (Examples 6 and 7) have to work
+    much harder than a simple negation.
+    """
+    if isinstance(sentence, SOExists):
+        return SOForall(sentence.relation, negate_sentence(sentence.body))
+    if isinstance(sentence, SOForall):
+        return SOExists(sentence.relation, negate_sentence(sentence.body))
+    if isinstance(sentence, Forall):
+        return Exists(sentence.variable, negate_sentence(sentence.body))
+    if isinstance(sentence, Exists):
+        return Forall(sentence.variable, negate_sentence(sentence.body))
+    return negation_normal_form(Not(sentence))
+
+
+def negation_normal_form(formula: Formula) -> Formula:
+    """Push negations down to the atoms (literals), eliminating ``→`` and ``↔``.
+
+    Works on arbitrary formulas of the paper's logics; bounded and local
+    quantifiers dualize into their universal/existential counterparts.
+    """
+    if isinstance(formula, Not):
+        return _negate_nnf(formula.operand)
+    if isinstance(formula, (TruthConstant, UnaryAtom, BinaryAtom, Equal, RelationAtom)):
+        return formula
+    if isinstance(formula, And):
+        return And(negation_normal_form(formula.left), negation_normal_form(formula.right))
+    if isinstance(formula, Or):
+        return Or(negation_normal_form(formula.left), negation_normal_form(formula.right))
+    if isinstance(formula, Implies):
+        return Or(_negate_nnf(formula.left), negation_normal_form(formula.right))
+    if isinstance(formula, Iff):
+        left, right = formula.left, formula.right
+        return Or(
+            And(negation_normal_form(left), negation_normal_form(right)),
+            And(_negate_nnf(left), _negate_nnf(right)),
+        )
+    if isinstance(formula, Exists):
+        return Exists(formula.variable, negation_normal_form(formula.body))
+    if isinstance(formula, Forall):
+        return Forall(formula.variable, negation_normal_form(formula.body))
+    if isinstance(formula, BoundedExists):
+        return BoundedExists(formula.variable, formula.anchor, negation_normal_form(formula.body))
+    if isinstance(formula, BoundedForall):
+        return BoundedForall(formula.variable, formula.anchor, negation_normal_form(formula.body))
+    if isinstance(formula, LocalExists):
+        return LocalExists(
+            formula.variable, formula.anchor, formula.radius, negation_normal_form(formula.body)
+        )
+    if isinstance(formula, LocalForall):
+        return LocalForall(
+            formula.variable, formula.anchor, formula.radius, negation_normal_form(formula.body)
+        )
+    if isinstance(formula, SOExists):
+        return SOExists(formula.relation, negation_normal_form(formula.body))
+    if isinstance(formula, SOForall):
+        return SOForall(formula.relation, negation_normal_form(formula.body))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _negate_nnf(formula: Formula) -> Formula:
+    """The negation normal form of ``¬formula``."""
+    if isinstance(formula, TruthConstant):
+        return TruthConstant(not formula.value)
+    if isinstance(formula, (UnaryAtom, BinaryAtom, Equal, RelationAtom)):
+        return Not(formula)
+    if isinstance(formula, Not):
+        return negation_normal_form(formula.operand)
+    if isinstance(formula, And):
+        return Or(_negate_nnf(formula.left), _negate_nnf(formula.right))
+    if isinstance(formula, Or):
+        return And(_negate_nnf(formula.left), _negate_nnf(formula.right))
+    if isinstance(formula, Implies):
+        return And(negation_normal_form(formula.left), _negate_nnf(formula.right))
+    if isinstance(formula, Iff):
+        left, right = formula.left, formula.right
+        return Or(
+            And(negation_normal_form(left), _negate_nnf(right)),
+            And(_negate_nnf(left), negation_normal_form(right)),
+        )
+    if isinstance(formula, Exists):
+        return Forall(formula.variable, _negate_nnf(formula.body))
+    if isinstance(formula, Forall):
+        return Exists(formula.variable, _negate_nnf(formula.body))
+    if isinstance(formula, BoundedExists):
+        return BoundedForall(formula.variable, formula.anchor, _negate_nnf(formula.body))
+    if isinstance(formula, BoundedForall):
+        return BoundedExists(formula.variable, formula.anchor, _negate_nnf(formula.body))
+    if isinstance(formula, LocalExists):
+        return LocalForall(formula.variable, formula.anchor, formula.radius, _negate_nnf(formula.body))
+    if isinstance(formula, LocalForall):
+        return LocalExists(formula.variable, formula.anchor, formula.radius, _negate_nnf(formula.body))
+    if isinstance(formula, SOExists):
+        return SOForall(formula.relation, _negate_nnf(formula.body))
+    if isinstance(formula, SOForall):
+        return SOExists(formula.relation, _negate_nnf(formula.body))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def is_in_negation_normal_form(formula: Formula) -> bool:
+    """Whether negations occur only directly in front of atoms (and ``→``/``↔`` are absent)."""
+    if isinstance(formula, (TruthConstant, UnaryAtom, BinaryAtom, Equal, RelationAtom)):
+        return True
+    if isinstance(formula, Not):
+        return isinstance(formula.operand, (UnaryAtom, BinaryAtom, Equal, RelationAtom))
+    if isinstance(formula, (And, Or)):
+        return is_in_negation_normal_form(formula.left) and is_in_negation_normal_form(formula.right)
+    if isinstance(formula, (Implies, Iff)):
+        return False
+    if isinstance(formula, (Exists, Forall)):
+        return is_in_negation_normal_form(formula.body)
+    if isinstance(formula, (BoundedExists, BoundedForall, LocalExists, LocalForall)):
+        return is_in_negation_normal_form(formula.body)
+    if isinstance(formula, (SOExists, SOForall)):
+        return is_in_negation_normal_form(formula.body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def dual_class(logic_class: LogicClass) -> LogicClass:
+    """The class of the negated sentences: ``Σ`` and ``Π`` swap, the level stays.
+
+    The result always lives in the *non-local* hierarchy (``local=False``),
+    reflecting that LFO is not closed under negation.
+    """
+    kind = "Pi" if logic_class.kind == "Sigma" else "Sigma"
+    return LogicClass(kind, logic_class.level, local=False, monadic=logic_class.monadic)
+
+
+def complement_class_name(class_name: str) -> str:
+    """The paper's name for the complement of a hierarchy class (Figure 2).
+
+    ``LP -> coLP``, ``NLP -> coNLP``, ``Sigma^lp_l -> coSigma^lp_l`` and so on;
+    applying the function twice returns the original name.
+    """
+    if class_name.startswith("co"):
+        return class_name[2:]
+    return f"co{class_name}"
+
+
+def negated_classification(sentence: Formula) -> Optional[LogicClass]:
+    """Classify the negation of *sentence* in the (non-local) second-order hierarchy."""
+    return classify_second_order(negate_sentence(sentence))

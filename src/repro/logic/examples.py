@@ -1,0 +1,353 @@
+"""The example formulas of Section 5.2 of the paper.
+
+Each function builds the formula exactly as presented in the paper (Examples
+4-10) and returns it as an AST.  The formulas serve two purposes:
+
+* their *syntactic class* in the local second-order hierarchy is the
+  alternation-based locality measure of Figure 7, computed by
+  :func:`repro.logic.fragments.classify_local_second_order`;
+* the smaller ones are *model checked* against the ground-truth property
+  checkers of :mod:`repro.properties` in the test suite (on small graphs, and
+  with the node-only/locality restrictions of
+  :class:`repro.logic.semantics.EvaluationOptions`, which do not affect their
+  truth values -- see the module docstring of :mod:`repro.logic.semantics`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.logic.shorthands import (
+    exists_node,
+    exists_node_within,
+    forall_node,
+    forall_node_within,
+    forall_nodes_sentence,
+    is_selected,
+)
+from repro.logic.syntax import (
+    And,
+    Equal,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    RelationVariable,
+    SOExists,
+    SOForall,
+    conjunction,
+    disjunction,
+)
+
+ThetaSchema = Callable[[str], Formula]
+"""A formula schema instantiated at a first-order variable, like the paper's ``ϑ(x)``."""
+
+
+# ----------------------------------------------------------------------
+# Example 4: all-selected (LFO)
+# ----------------------------------------------------------------------
+def all_selected_formula() -> Formula:
+    """``∀◦x IsSelected(x)`` -- every node is labeled with the string ``1``."""
+    return forall_nodes_sentence("x", is_selected("x"))
+
+
+# ----------------------------------------------------------------------
+# Example 5: 3-colorable (Sigma^lfo_1, monadic)
+# ----------------------------------------------------------------------
+def color_relations(count: int = 3) -> Tuple[RelationVariable, ...]:
+    """The unary color variables ``C_0, ..., C_{count-1}``."""
+    return tuple(RelationVariable(f"C{i}", 1) for i in range(count))
+
+
+def well_colored(variable: str, colors: Tuple[RelationVariable, ...]) -> Formula:
+    """The paper's ``WellColored(x)``: exactly one color, different from all neighbors."""
+    has_some_color = disjunction(RelationAtom(c, (variable,)) for c in colors)
+    at_most_one = conjunction(
+        Not(And(RelationAtom(colors[i], (variable,)), RelationAtom(colors[j], (variable,))))
+        for i in range(len(colors))
+        for j in range(len(colors))
+        if i != j
+    )
+    neighbor = f"_nb{variable}"
+    differs_from_neighbors = forall_node(
+        neighbor,
+        variable,
+        conjunction(
+            Not(And(RelationAtom(c, (variable,)), RelationAtom(c, (neighbor,)))) for c in colors
+        ),
+    )
+    return And(And(has_some_color, at_most_one), differs_from_neighbors)
+
+
+def k_colorable_formula(colors: int) -> Formula:
+    """``∃C_0 ... C_{k-1} ∀◦x WellColored(x)`` (Example 5 generalized to k colors)."""
+    relations = color_relations(colors)
+    body = forall_nodes_sentence("x", well_colored("x", relations))
+    result: Formula = body
+    for relation in reversed(relations):
+        result = SOExists(relation, result)
+    return result
+
+
+def three_colorable_formula() -> Formula:
+    """The Sigma^lfo_1 formula for 3-colorability (Example 5)."""
+    return k_colorable_formula(3)
+
+
+def two_colorable_formula() -> Formula:
+    """The Sigma^lfo_1 formula for 2-colorability (used around Proposition 24)."""
+    return k_colorable_formula(2)
+
+
+# ----------------------------------------------------------------------
+# Example 6: the PointsTo spanning-forest schema and not-all-selected
+# ----------------------------------------------------------------------
+PARENT = RelationVariable("P", 2)
+CHALLENGE = RelationVariable("X", 1)
+CHARGE = RelationVariable("Y", 1)
+UNIQUE_FLAG = RelationVariable("Z", 1)
+
+
+def root(variable: str, parent: RelationVariable = PARENT) -> Formula:
+    """``Root(x) = P(x, x)``."""
+    return RelationAtom(parent, (variable, variable))
+
+
+def unique_parent(variable: str, parent: RelationVariable = PARENT) -> Formula:
+    """``UniqueParent(x)``: x has exactly one parent within distance 1 (possibly itself)."""
+    y, z = f"_up_y{variable}", f"_up_z{variable}"
+    return exists_node_within(
+        y,
+        variable,
+        1,
+        And(
+            RelationAtom(parent, (variable, y)),
+            forall_node_within(
+                z, variable, 1, Implies(RelationAtom(parent, (variable, z)), Equal(z, y))
+            ),
+        ),
+    )
+
+
+def root_case(variable: str, theta: ThetaSchema, parent: RelationVariable = PARENT,
+              charge: RelationVariable = CHARGE) -> Formula:
+    """``RootCase[ϑ](x)``: a root satisfies ϑ and is positively charged."""
+    return Implies(root(variable, parent), And(theta(variable), RelationAtom(charge, (variable,))))
+
+
+def child_case(variable: str, parent: RelationVariable = PARENT,
+               challenge: RelationVariable = CHALLENGE, charge: RelationVariable = CHARGE) -> Formula:
+    """``ChildCase(x)``: a child's charge relates to its parent's charge via X."""
+    y = f"_cc_y{variable}"
+    return Implies(
+        Not(root(variable, parent)),
+        exists_node(
+            y,
+            variable,
+            And(
+                RelationAtom(parent, (variable, y)),
+                Iff(
+                    RelationAtom(charge, (variable,)),
+                    Not(Iff(RelationAtom(charge, (y,)), RelationAtom(challenge, (variable,)))),
+                ),
+            ),
+        ),
+    )
+
+
+def points_to(variable: str, theta: ThetaSchema, parent: RelationVariable = PARENT,
+              challenge: RelationVariable = CHALLENGE, charge: RelationVariable = CHARGE) -> Formula:
+    """The formula schema ``PointsTo[ϑ](x)`` of Example 6."""
+    return And(
+        And(unique_parent(variable, parent), root_case(variable, theta, parent, charge)),
+        child_case(variable, parent, challenge, charge),
+    )
+
+
+def exists_unselected_node_formula() -> Formula:
+    """``∃P ∀X ∃Y ∀◦x PointsTo[¬IsSelected](x)`` -- Example 6's Sigma^lfo_3 formula."""
+    theta: ThetaSchema = lambda v: Not(is_selected(v))
+    matrix = forall_nodes_sentence("x", points_to("x", theta))
+    return SOExists(PARENT, SOForall(CHALLENGE, SOExists(CHARGE, matrix)))
+
+
+def not_all_selected_formula() -> Formula:
+    """Alias for :func:`exists_unselected_node_formula` (defines not-all-selected)."""
+    return exists_unselected_node_formula()
+
+
+# ----------------------------------------------------------------------
+# Example 7: non-3-colorable (Pi^lfo_4)
+# ----------------------------------------------------------------------
+def non_three_colorable_formula() -> Formula:
+    """``∀C_0 C_1 C_2 ∃P ∀X ∃Y ∀◦x PointsTo[¬WellColored](x)`` (Example 7)."""
+    colors = color_relations(3)
+    theta: ThetaSchema = lambda v: Not(well_colored(v, colors))
+    matrix = forall_nodes_sentence("x", points_to("x", theta))
+    result: Formula = SOExists(PARENT, SOForall(CHALLENGE, SOExists(CHARGE, matrix)))
+    for relation in reversed(colors):
+        result = SOForall(relation, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Example 8: one-selected (Sigma^lfo_3) via the spanning-tree refinement
+# ----------------------------------------------------------------------
+def believes_in_one(variable: str, theta: ThetaSchema,
+                    challenge: RelationVariable = CHALLENGE,
+                    unique_flag: RelationVariable = UNIQUE_FLAG) -> Formula:
+    """``BelievesInOne[ϑ](x)``: x's information is consistent with a unique ϑ-node."""
+    y = f"_bo_y{variable}"
+    agree_on_z = forall_node(
+        y, variable, Iff(RelationAtom(unique_flag, (variable,)), RelationAtom(unique_flag, (y,)))
+    )
+    flag_matches = Implies(
+        theta(variable),
+        Iff(RelationAtom(unique_flag, (variable,)), RelationAtom(challenge, (variable,))),
+    )
+    return And(agree_on_z, flag_matches)
+
+
+def points_to_unique(variable: str, theta: ThetaSchema) -> Formula:
+    """``PointsToUnique[ϑ](x) = PointsTo[ϑ](x) ∧ BelievesInOne[ϑ](x)`` (Example 8)."""
+    return And(points_to(variable, theta), believes_in_one(variable, theta))
+
+
+def one_selected_formula() -> Formula:
+    """``∃P ∀X ∃Y,Z ∀◦x PointsToUnique[IsSelected](x)`` -- exactly one selected node."""
+    theta: ThetaSchema = lambda v: is_selected(v)
+    matrix = forall_nodes_sentence("x", points_to_unique("x", theta))
+    return SOExists(PARENT, SOForall(CHALLENGE, SOExists(CHARGE, SOExists(UNIQUE_FLAG, matrix))))
+
+
+# ----------------------------------------------------------------------
+# Example 9: hamiltonian (Sigma^lfo_3)
+# ----------------------------------------------------------------------
+def max_one_child(variable: str, parent: RelationVariable = PARENT) -> Formula:
+    """``MaxOneChild(x)``: at most one neighbor points to x."""
+    y, z = f"_mc_y{variable}", f"_mc_z{variable}"
+    return forall_node(
+        y,
+        variable,
+        forall_node(
+            z,
+            variable,
+            Implies(
+                And(RelationAtom(parent, (y, variable)), RelationAtom(parent, (z, variable))),
+                Equal(y, z),
+            ),
+        ),
+    )
+
+
+def sees_leaf_if_root(variable: str, parent: RelationVariable = PARENT) -> Formula:
+    """``SeesLeafIfRoot(x)``: the root is adjacent to the unique leaf of the path."""
+    y, z = f"_sl_y{variable}", f"_sl_z{variable}"
+    leaf = And(
+        Not(RelationAtom(parent, (y, variable))),
+        forall_node(z, y, Not(RelationAtom(parent, (z, y)))),
+    )
+    return Implies(root(variable, parent), exists_node(y, variable, leaf))
+
+
+def hamiltonian_formula() -> Formula:
+    """``∃P ∀X ∃Y,Z ∀◦x (PointsToUnique[Root](x) ∧ MaxOneChild(x) ∧ SeesLeafIfRoot(x))``.
+
+    Example 9: a Hamiltonian cycle is a Hamiltonian path (a spanning tree in
+    which every node has at most one child) plus an edge from the root back to
+    the unique leaf.
+    """
+    theta: ThetaSchema = lambda v: root(v)
+    body = And(
+        And(points_to_unique("x", theta), max_one_child("x")),
+        sees_leaf_if_root("x"),
+    )
+    matrix = forall_nodes_sentence("x", body)
+    return SOExists(PARENT, SOForall(CHALLENGE, SOExists(CHARGE, SOExists(UNIQUE_FLAG, matrix))))
+
+
+# ----------------------------------------------------------------------
+# Example 10: non-hamiltonian (Pi^lfo_4)
+# ----------------------------------------------------------------------
+def non_hamiltonian_formula() -> Formula:
+    """The Pi^lfo_4 formula of Example 10 for the complement of Hamiltonicity.
+
+    Adam proposes a 2-regular spanning subgraph H; Eve either exhibits a node
+    violating 2-regularity or a nontrivial partition S that does not cut H,
+    in both cases validated by the spanning-forest schema of Example 6.
+    """
+    subgraph = RelationVariable("H", 2)
+    case_flag = RelationVariable("C", 1)
+    side = RelationVariable("S", 1)
+
+    def in_agreement_on(relation: RelationVariable, variable: str) -> Formula:
+        y = f"_ag_y{variable}{relation.name}"
+        return forall_node(
+            y, variable, Iff(RelationAtom(relation, (variable,)), RelationAtom(relation, (y,)))
+        )
+
+    def degree_two(variable: str) -> Formula:
+        y1, y2, z = f"_d2_a{variable}", f"_d2_b{variable}", f"_d2_c{variable}"
+        both_neighbors = And(
+            Not(Equal(y1, y2)),
+            conjunction(
+                And(RelationAtom(subgraph, (variable, y)), RelationAtom(subgraph, (y, variable)))
+                for y in (y1, y2)
+            ),
+        )
+        nothing_else = forall_node(
+            z,
+            variable,
+            Implies(
+                Or(RelationAtom(subgraph, (variable, z)), RelationAtom(subgraph, (z, variable))),
+                Or(Equal(z, y1), Equal(z, y2)),
+            ),
+        )
+        return exists_node(y1, variable, exists_node(y2, variable, And(both_neighbors, nothing_else)))
+
+    def cut_at(variable: str) -> Formula:
+        y = f"_cut_y{variable}"
+        return exists_node(
+            y,
+            variable,
+            And(
+                RelationAtom(subgraph, (variable, y)),
+                Iff(RelationAtom(side, (variable,)), Not(RelationAtom(side, (y,)))),
+            ),
+        )
+
+    def separation_at(variable: str) -> Formula:
+        return Not(in_agreement_on(side, variable))
+
+    invalid_case = Implies(
+        Not(RelationAtom(case_flag, ("x",))), points_to("x", lambda v: Not(degree_two(v)))
+    )
+    disjoint_case = Implies(
+        RelationAtom(case_flag, ("x",)),
+        And(Not(cut_at("x")), points_to("x", separation_at)),
+    )
+    body = And(And(in_agreement_on(case_flag, "x"), invalid_case), disjoint_case)
+    matrix = forall_nodes_sentence("x", body)
+
+    inner: Formula = SOForall(CHALLENGE, SOExists(CHARGE, matrix))
+    inner = SOExists(case_flag, SOExists(side, SOExists(PARENT, inner)))
+    return SOForall(subgraph, inner)
+
+
+# ----------------------------------------------------------------------
+# Convenience: every named example formula
+# ----------------------------------------------------------------------
+def all_example_formulas() -> dict:
+    """All Section 5.2 formulas keyed by the paper's property names."""
+    return {
+        "all-selected": all_selected_formula(),
+        "3-colorable": three_colorable_formula(),
+        "2-colorable": two_colorable_formula(),
+        "not-all-selected": not_all_selected_formula(),
+        "non-3-colorable": non_three_colorable_formula(),
+        "one-selected": one_selected_formula(),
+        "hamiltonian": hamiltonian_formula(),
+        "non-hamiltonian": non_hamiltonian_formula(),
+    }

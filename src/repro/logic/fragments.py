@@ -1,0 +1,176 @@
+"""Syntactic classification of formulas into the paper's logics (Section 5.1).
+
+* **BF** -- the bounded fragment of first-order logic: no unbounded
+  first-order quantifiers, no second-order quantifiers.
+* **LFO** -- local first-order logic: a single unbounded universal first-order
+  quantifier in front of a BF formula.
+* **Sigma^lfo_l / Pi^lfo_l** -- the local second-order hierarchy: alternating
+  blocks of existential/universal second-order quantifiers in front of an LFO
+  formula (level 0 is LFO itself).
+* **mSigma^lfo_l / mPi^lfo_l** -- the monadic versions, in which all quantified
+  relation variables have arity 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.logic.syntax import (
+    And,
+    BinaryAtom,
+    BoundedExists,
+    BoundedForall,
+    Equal,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    LocalExists,
+    LocalForall,
+    Not,
+    Or,
+    RelationAtom,
+    RelationVariable,
+    SOExists,
+    SOForall,
+    TruthConstant,
+    UnaryAtom,
+)
+
+
+@dataclass(frozen=True)
+class LogicClass:
+    """A class of the (local) second-order hierarchy, e.g. ``Sigma^lfo_3``."""
+
+    kind: str  # "Sigma" or "Pi"
+    level: int
+    local: bool = True
+    monadic: bool = False
+
+    def __str__(self) -> str:
+        base = "lfo" if self.local else "fo"
+        prefix = "m" if self.monadic else ""
+        return f"{prefix}{self.kind}^{base}_{self.level}"
+
+
+def is_bounded_fragment(formula: Formula) -> bool:
+    """Whether *formula* belongs to BF (Section 5.1, grammar ``(BF)``).
+
+    Second-order variables may occur free (as relation atoms) but must not be
+    quantified, and all first-order quantification must be bounded.
+    """
+    if isinstance(formula, (TruthConstant, UnaryAtom, BinaryAtom, Equal, RelationAtom)):
+        return True
+    if isinstance(formula, Not):
+        return is_bounded_fragment(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return is_bounded_fragment(formula.left) and is_bounded_fragment(formula.right)
+    if isinstance(formula, (BoundedExists, BoundedForall, LocalExists, LocalForall)):
+        return is_bounded_fragment(formula.body)
+    if isinstance(formula, (Exists, Forall, SOExists, SOForall)):
+        return False
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def is_first_order(formula: Formula) -> bool:
+    """Whether the formula contains no second-order quantifiers (class FO)."""
+    if isinstance(formula, (TruthConstant, UnaryAtom, BinaryAtom, Equal, RelationAtom)):
+        return True
+    if isinstance(formula, Not):
+        return is_first_order(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return is_first_order(formula.left) and is_first_order(formula.right)
+    if isinstance(formula, (Exists, Forall, BoundedExists, BoundedForall, LocalExists, LocalForall)):
+        return is_first_order(formula.body)
+    if isinstance(formula, (SOExists, SOForall)):
+        return False
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def is_lfo_sentence(formula: Formula) -> bool:
+    """Whether *formula* is of the form ``∀x ψ`` with ``ψ`` in BF (class LFO)."""
+    return isinstance(formula, Forall) and is_bounded_fragment(formula.body)
+
+
+def second_order_prefix(formula: Formula) -> Tuple[List[Tuple[str, RelationVariable]], Formula]:
+    """Peel off the leading second-order quantifier prefix.
+
+    Returns a list of ``("E" | "A", relation_variable)`` pairs and the
+    remaining matrix formula.
+    """
+    prefix: List[Tuple[str, RelationVariable]] = []
+    current = formula
+    while isinstance(current, (SOExists, SOForall)):
+        prefix.append(("E" if isinstance(current, SOExists) else "A", current.relation))
+        current = current.body
+    return prefix, current
+
+
+def _prefix_blocks(prefix: List[Tuple[str, RelationVariable]]) -> List[str]:
+    """Collapse a quantifier prefix into its blocks, e.g. ``EEAAE -> ['E','A','E']``."""
+    blocks: List[str] = []
+    for kind, _ in prefix:
+        if not blocks or blocks[-1] != kind:
+            blocks.append(kind)
+    return blocks
+
+
+def quantifier_alternation_level(formula: Formula) -> int:
+    """The number of second-order quantifier blocks in the prefix."""
+    prefix, _ = second_order_prefix(formula)
+    return len(_prefix_blocks(prefix))
+
+
+def is_monadic(formula: Formula) -> bool:
+    """Whether all *quantified* second-order variables have arity 1."""
+    if isinstance(formula, (TruthConstant, UnaryAtom, BinaryAtom, Equal, RelationAtom)):
+        return True
+    if isinstance(formula, Not):
+        return is_monadic(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return is_monadic(formula.left) and is_monadic(formula.right)
+    if isinstance(formula, (Exists, Forall, BoundedExists, BoundedForall, LocalExists, LocalForall)):
+        return is_monadic(formula.body)
+    if isinstance(formula, (SOExists, SOForall)):
+        return formula.relation.arity == 1 and is_monadic(formula.body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def classify_local_second_order(formula: Formula) -> Optional[LogicClass]:
+    """The smallest class of the local second-order hierarchy containing *formula*.
+
+    Returns ``None`` if the matrix after the second-order prefix is not an LFO
+    sentence (e.g. because it uses unbounded first-order quantification), in
+    which case the formula lies outside the local hierarchy.
+
+    Level 0 formulas (no second-order prefix) are reported as ``Sigma^lfo_0``,
+    which by definition equals ``Pi^lfo_0 = LFO``.
+    """
+    prefix, matrix = second_order_prefix(formula)
+    if not is_lfo_sentence(matrix):
+        return None
+    blocks = _prefix_blocks(prefix)
+    monadic = is_monadic(formula)
+    if not blocks:
+        return LogicClass("Sigma", 0, local=True, monadic=monadic)
+    kind = "Sigma" if blocks[0] == "E" else "Pi"
+    return LogicClass(kind, len(blocks), local=True, monadic=monadic)
+
+
+def classify_second_order(formula: Formula) -> Optional[LogicClass]:
+    """Like :func:`classify_local_second_order` but for the non-local hierarchy.
+
+    The matrix may be an arbitrary first-order formula (class FO); bounded
+    quantifiers are allowed as well since BF is a fragment of FO.
+    """
+    prefix, matrix = second_order_prefix(formula)
+    if not is_first_order(matrix):
+        return None
+    blocks = _prefix_blocks(prefix)
+    monadic = is_monadic(formula)
+    if not blocks:
+        return LogicClass("Sigma", 0, local=False, monadic=monadic)
+    kind = "Sigma" if blocks[0] == "E" else "Pi"
+    return LogicClass(kind, len(blocks), local=False, monadic=monadic)

@@ -1,0 +1,302 @@
+"""From local second-order logic to its monadic fragment (Proposition 31).
+
+Proposition 31 of the paper shows that on structures of bounded degree,
+second-order quantification over relations of arbitrary arity can be replaced
+by quantification over *sets*: each element receives a **name** that is unique
+within distance ``2r`` (where ``r`` is the nesting depth of bounded
+quantifiers), the names are represented by a family of unary variables
+``X_0, ..., X_{m-1}``, and an arity-``k`` relation ``R`` is encoded by the
+unary variables ``Y_{R(*, n_2, ..., n_k)}`` collecting the elements ``a_1``
+such that ``(a_1, a_2, ..., a_k)`` lies in ``R`` for the elements ``a_i``
+named ``n_i`` nearby.
+
+This module implements the translation executably:
+
+* :func:`local_names` constructs a concrete ``2r``-locally unique naming,
+* :func:`monadic_matrix` is the syntactic translation ``τ_r`` of the proof,
+* :func:`encode_relation` produces the interpretations of the ``Y`` variables
+  corresponding to a given interpretation of ``R``, so that the translated
+  matrix can be model checked against the original one, and
+* :func:`to_monadic_sentence` assembles the full ``mΣ^lfo_ℓ`` / ``mΠ^lfo_ℓ``
+  sentence, including the ``UniqueName`` relativization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.structures import Structure
+from repro.logic.fragments import second_order_prefix
+from repro.logic.syntax import (
+    And,
+    BinaryAtom,
+    BoundedExists,
+    BoundedForall,
+    Equal,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    LocalExists,
+    LocalForall,
+    Not,
+    Or,
+    RelationAtom,
+    RelationVariable,
+    SOExists,
+    SOForall,
+    TruthConstant,
+    UnaryAtom,
+    conjunction,
+    disjunction,
+)
+
+__all__ = [
+    "name_variable",
+    "name_variables",
+    "encoded_relation_variable",
+    "required_name_count",
+    "local_names",
+    "name_interpretation",
+    "unique_name_formula",
+    "monadic_matrix",
+    "encode_relation",
+    "to_monadic_sentence",
+]
+
+
+# ----------------------------------------------------------------------
+# Names
+# ----------------------------------------------------------------------
+def name_variable(index: int) -> RelationVariable:
+    """The unary variable ``X_index`` holding the elements named *index*."""
+    return RelationVariable(f"Name_{index}", 1)
+
+
+def name_variables(count: int) -> List[RelationVariable]:
+    """The name variables ``X_0, ..., X_{count-1}``."""
+    return [name_variable(index) for index in range(count)]
+
+
+def encoded_relation_variable(relation: RelationVariable, names: Sequence[int]) -> RelationVariable:
+    """The unary variable ``Y_{R(*, n_2, ..., n_k)}`` encoding one "slice" of ``R``."""
+    suffix = ",".join(str(n) for n in names)
+    return RelationVariable(f"{relation.name}(*,{suffix})", 1)
+
+
+def required_name_count(structure: Structure, radius: int) -> int:
+    """The number of names needed for a ``2*radius``-locally unique naming of *structure*.
+
+    The greedy naming of :func:`local_names` never needs more names than the
+    largest ``2*radius``-ball, which is the bound ``m = Σ_i Δ^i`` of the
+    paper's proof specialized to the structure at hand.
+    """
+    return max(len(structure.ball(element, 2 * radius)) for element in structure.domain)
+
+
+def local_names(structure: Structure, radius: int, count: Optional[int] = None) -> Dict[object, int]:
+    """A concrete naming of the elements that is unique within distance ``2*radius``.
+
+    Elements are processed in domain order; each receives the smallest name
+    not already used within its ``2*radius``-ball.  Raises ``ValueError`` if
+    *count* names do not suffice.
+    """
+    available = count if count is not None else required_name_count(structure, radius)
+    names: Dict[object, int] = {}
+    for element in structure.domain:
+        taken = {
+            names[other]
+            for other in structure.ball(element, 2 * radius)
+            if other in names
+        }
+        for candidate in range(available):
+            if candidate not in taken:
+                names[element] = candidate
+                break
+        else:
+            raise ValueError(
+                f"{available} names are not enough for a {2 * radius}-locally unique naming"
+            )
+    return names
+
+
+def name_interpretation(
+    structure: Structure, names: Mapping[object, int], count: int
+) -> Dict[RelationVariable, FrozenSet[Tuple[object, ...]]]:
+    """The interpretation of the name variables induced by a concrete naming."""
+    interpretation: Dict[RelationVariable, FrozenSet[Tuple[object, ...]]] = {}
+    for index in range(count):
+        members = frozenset((element,) for element, name in names.items() if name == index)
+        interpretation[name_variable(index)] = members
+    return interpretation
+
+
+def unique_name_formula(variable: str, count: int, radius: int) -> Formula:
+    """``UniqueName(x)``: ``x`` carries exactly one name, unique within distance ``2*radius``."""
+    some_name = disjunction(
+        RelationAtom(name_variable(index), (variable,)) for index in range(count)
+    )
+    at_most_one = conjunction(
+        Not(
+            And(
+                RelationAtom(name_variable(first), (variable,)),
+                RelationAtom(name_variable(second), (variable,)),
+            )
+        )
+        for first in range(count)
+        for second in range(first + 1, count)
+    )
+    other = f"_un_{variable}"
+    no_clash = LocalForall(
+        other,
+        variable,
+        2 * radius,
+        Or(
+            Equal(other, variable),
+            conjunction(
+                Not(
+                    And(
+                        RelationAtom(name_variable(index), (variable,)),
+                        RelationAtom(name_variable(index), (other,)),
+                    )
+                )
+                for index in range(count)
+            ),
+        ),
+    )
+    return And(And(some_name, at_most_one), no_clash)
+
+
+# ----------------------------------------------------------------------
+# The translation tau_r
+# ----------------------------------------------------------------------
+def monadic_matrix(formula: Formula, count: int) -> Formula:
+    """The translation ``τ_r`` of the proof of Proposition 31.
+
+    Atomic formulas over relation variables of arity at least two are replaced
+    by disjunctions over name tuples; everything else is preserved.  Relation
+    variables of arity at least two that are *quantified* inside the formula
+    are replaced by blocks of quantifiers over the corresponding encoded unary
+    variables.
+    """
+    if isinstance(formula, (TruthConstant, UnaryAtom, BinaryAtom, Equal)):
+        return formula
+    if isinstance(formula, RelationAtom):
+        if formula.relation.arity == 1:
+            return formula
+        first, *rest = formula.arguments
+        alternatives: List[Formula] = []
+        for combination in itertools.product(range(count), repeat=len(rest)):
+            parts: List[Formula] = [
+                RelationAtom(encoded_relation_variable(formula.relation, combination), (first,))
+            ]
+            for argument, name in zip(rest, combination):
+                parts.append(RelationAtom(name_variable(name), (argument,)))
+            alternatives.append(conjunction(parts))
+        return disjunction(alternatives)
+    if isinstance(formula, Not):
+        return Not(monadic_matrix(formula.operand, count))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        cls = type(formula)
+        return cls(monadic_matrix(formula.left, count), monadic_matrix(formula.right, count))
+    if isinstance(formula, (Exists, Forall)):
+        cls = type(formula)
+        return cls(formula.variable, monadic_matrix(formula.body, count))
+    if isinstance(formula, (BoundedExists, BoundedForall)):
+        cls = type(formula)
+        return cls(formula.variable, formula.anchor, monadic_matrix(formula.body, count))
+    if isinstance(formula, (LocalExists, LocalForall)):
+        cls = type(formula)
+        return cls(formula.variable, formula.anchor, formula.radius, monadic_matrix(formula.body, count))
+    if isinstance(formula, (SOExists, SOForall)):
+        cls = type(formula)
+        body = monadic_matrix(formula.body, count)
+        if formula.relation.arity == 1:
+            return cls(formula.relation, body)
+        result = body
+        for combination in reversed(
+            list(itertools.product(range(count), repeat=formula.relation.arity - 1))
+        ):
+            result = cls(encoded_relation_variable(formula.relation, combination), result)
+        return result
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def encode_relation(
+    structure: Structure,
+    relation: RelationVariable,
+    interpretation: FrozenSet[Tuple[object, ...]],
+    names: Mapping[object, int],
+    count: int,
+    radius: int,
+) -> Dict[RelationVariable, FrozenSet[Tuple[object, ...]]]:
+    """The interpretations of the encoded unary variables corresponding to ``R``.
+
+    Only tuples whose later elements lie within distance ``2*radius`` of the
+    first element are encoded -- exactly the restriction of the paper's proof,
+    which is harmless because bounded formulas cannot relate elements that are
+    further apart.
+    """
+    if relation.arity < 2:
+        raise ValueError("only relations of arity at least two need encoding")
+    encoded: Dict[RelationVariable, set] = {
+        encoded_relation_variable(relation, combination): set()
+        for combination in itertools.product(range(count), repeat=relation.arity - 1)
+    }
+    for entry in interpretation:
+        first, *rest = entry
+        ball = structure.ball(first, 2 * radius)
+        if any(element not in ball for element in rest):
+            continue
+        combination = tuple(names[element] for element in rest)
+        encoded[encoded_relation_variable(relation, combination)].add((first,))
+    return {variable: frozenset(members) for variable, members in encoded.items()}
+
+
+# ----------------------------------------------------------------------
+# Full sentences
+# ----------------------------------------------------------------------
+def to_monadic_sentence(sentence: Formula, radius: int, count: int) -> Formula:
+    """The full Proposition 31 translation of a local second-order sentence.
+
+    The second-order prefix is rewritten block by block (higher-arity
+    variables become blocks of unary ones); the name variables are bound at
+    the very front with the same quantifier as the first block, and the matrix
+    is relativized to ``2*radius``-locally unique names: conjunctively for an
+    existential first block, by implication for a universal one.
+    """
+    prefix, matrix = second_order_prefix(sentence)
+    if not isinstance(matrix, Forall):
+        raise ValueError("expected a local second-order sentence of the form prefix + ∀x BF")
+
+    inner = monadic_matrix(matrix.body, count)
+    x = matrix.variable
+    # The guard only needs to mention x itself: a violation elsewhere is seen
+    # by the violating element, which is itself universally quantified.
+    guard = unique_name_formula(x, count, radius)
+
+    first_kind = prefix[0][0] if prefix else "E"
+    if first_kind == "E":
+        new_matrix = Forall(x, And(guard, inner))
+    else:
+        new_matrix = Forall(x, Implies(guard, inner))
+
+    # Rebuild the prefix with higher-arity variables expanded into unary blocks.
+    result: Formula = new_matrix
+    expanded: List[Tuple[str, RelationVariable]] = []
+    for kind, relation in prefix:
+        if relation.arity == 1:
+            expanded.append((kind, relation))
+        else:
+            for combination in itertools.product(range(count), repeat=relation.arity - 1):
+                expanded.append((kind, encoded_relation_variable(relation, combination)))
+    for kind, relation in reversed(expanded):
+        result = SOExists(relation, result) if kind == "E" else SOForall(relation, result)
+
+    # Finally bind the name variables with the same quantifier as the first block.
+    binder = SOExists if first_kind == "E" else SOForall
+    for variable in reversed(name_variables(count)):
+        result = binder(variable, result)
+    return result

@@ -1,0 +1,266 @@
+"""Model checking of formulas on relational structures.
+
+The evaluator implements the semantics of Table 1 directly.  Second-order
+quantification is exhaustive over all interpretations of the quantified
+relation variable and is therefore exponential; two mitigations are provided
+through :class:`EvaluationOptions`:
+
+* ``second_order_locality`` restricts the interpretations of relation
+  variables of arity >= 2 to tuples whose elements all lie within the given
+  distance of the tuple's first element.  This mirrors the restriction the
+  paper imposes on certificates in the backward direction of Theorem 15
+  ("the certificate must encode a set of k-tuples whose ... remaining
+  elements all represent nodes or labeling bits that lie in the
+  2r-neighborhood"), and it does not change the truth value of formulas that
+  only ever relate nearby elements -- which is the case for every example
+  formula of Section 5.2.
+* ``candidate_limit`` aborts with an error instead of silently attempting an
+  astronomically large enumeration.
+
+Both existential and universal quantifiers short-circuit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.structures import Structure, structural_representation
+from repro.logic.syntax import (
+    And,
+    BinaryAtom,
+    BoundedExists,
+    BoundedForall,
+    Equal,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    LocalExists,
+    LocalForall,
+    Not,
+    Or,
+    RelationAtom,
+    RelationVariable,
+    SOExists,
+    SOForall,
+    TruthConstant,
+    UnaryAtom,
+)
+
+Element = object
+Assignment = Dict[Union[str, RelationVariable], object]
+
+
+@dataclass(frozen=True)
+class EvaluationOptions:
+    """Tuning knobs for the exhaustive evaluator.
+
+    Attributes
+    ----------
+    second_order_locality:
+        If set, relation variables of arity >= 2 range only over sets of
+        tuples whose elements all lie within this distance of the tuple's
+        first element.  ``None`` means unrestricted (full) quantification.
+    second_order_node_only:
+        If true, relation variables range only over tuples of *node* elements
+        (elements with no incoming arrow of the second binary relation).  This
+        is sound for formulas that only ever apply their relation variables to
+        node-quantified variables -- which is the case for every example
+        formula of Section 5.2 -- and drastically shrinks the search space on
+        structural representations of labeled graphs.
+    candidate_limit:
+        Maximum number of candidate tuples per second-order quantifier before
+        the evaluator refuses to enumerate (guards against runaway blowup).
+    """
+
+    second_order_locality: Optional[int] = None
+    second_order_node_only: bool = False
+    candidate_limit: int = 22
+
+    def __post_init__(self) -> None:
+        if self.candidate_limit < 0:
+            raise ValueError("candidate_limit must be nonnegative")
+
+
+DEFAULT_OPTIONS = EvaluationOptions()
+
+
+class EvaluationBudgetExceeded(RuntimeError):
+    """Raised when a second-order quantifier would enumerate too many interpretations."""
+
+
+def _node_elements(structure: Structure) -> List[Element]:
+    """Elements with no incoming arrow of the second binary relation.
+
+    On structural representations of labeled graphs these are exactly the
+    elements representing nodes (the ``IsNode`` predicate of Section 5.1).
+    """
+    if structure.signature[1] < 2:
+        return list(structure.domain)
+    targets = {b for (_, b) in structure.binary(2)}
+    return [a for a in structure.domain if a not in targets]
+
+
+def _candidate_tuples(
+    structure: Structure, arity: int, options: EvaluationOptions
+) -> List[Tuple[Element, ...]]:
+    domain = _node_elements(structure) if options.second_order_node_only else list(structure.domain)
+    allowed = set(domain)
+    if arity == 1 or options.second_order_locality is None:
+        candidates = list(itertools.product(domain, repeat=arity))
+    else:
+        radius = options.second_order_locality
+        candidates = []
+        for first in domain:
+            ball = [a for a in structure.ball(first, radius) if a in allowed]
+            for rest in itertools.product(sorted(ball, key=str), repeat=arity - 1):
+                candidates.append((first, *rest))
+    if len(candidates) > options.candidate_limit:
+        raise EvaluationBudgetExceeded(
+            f"second-order quantifier over arity-{arity} relation would need "
+            f"{len(candidates)} candidate tuples (> limit {options.candidate_limit}); "
+            "use a smaller structure, set second_order_locality, or raise candidate_limit"
+        )
+    return candidates
+
+
+def _relation_interpretations(
+    structure: Structure, relation: RelationVariable, options: EvaluationOptions
+) -> Iterator[FrozenSet[Tuple[Element, ...]]]:
+    """All interpretations of *relation* allowed by *options* (lazily)."""
+    candidates = _candidate_tuples(structure, relation.arity, options)
+    count = len(candidates)
+    for mask in range(2**count):
+        yield frozenset(candidates[i] for i in range(count) if (mask >> i) & 1)
+
+
+def evaluate(
+    structure: Structure,
+    formula: Formula,
+    assignment: Optional[Assignment] = None,
+    options: EvaluationOptions = DEFAULT_OPTIONS,
+) -> bool:
+    """Whether ``structure, assignment |= formula``."""
+    sigma: Assignment = dict(assignment or {})
+    return _eval(structure, formula, sigma, options)
+
+
+def _lookup_element(sigma: Assignment, name: str) -> Element:
+    if name not in sigma:
+        raise KeyError(f"first-order variable {name!r} is not assigned")
+    return sigma[name]
+
+
+def _lookup_relation(sigma: Assignment, relation: RelationVariable) -> FrozenSet[Tuple[Element, ...]]:
+    if relation in sigma:
+        return sigma[relation]  # type: ignore[return-value]
+    # Allow lookup by name as a convenience for hand-written assignments.
+    for key, value in sigma.items():
+        if isinstance(key, RelationVariable) and key.name == relation.name:
+            return value  # type: ignore[return-value]
+    raise KeyError(f"second-order variable {relation.name!r} is not assigned")
+
+
+def _eval(structure: Structure, formula: Formula, sigma: Assignment, options: EvaluationOptions) -> bool:
+    if isinstance(formula, TruthConstant):
+        return formula.value
+    if isinstance(formula, UnaryAtom):
+        return structure.in_unary(formula.index, _lookup_element(sigma, formula.variable))
+    if isinstance(formula, BinaryAtom):
+        return structure.in_binary(
+            formula.index,
+            _lookup_element(sigma, formula.left),
+            _lookup_element(sigma, formula.right),
+        )
+    if isinstance(formula, Equal):
+        return _lookup_element(sigma, formula.left) == _lookup_element(sigma, formula.right)
+    if isinstance(formula, RelationAtom):
+        interpretation = _lookup_relation(sigma, formula.relation)
+        arguments = tuple(_lookup_element(sigma, name) for name in formula.arguments)
+        return arguments in interpretation
+    if isinstance(formula, Not):
+        return not _eval(structure, formula.operand, sigma, options)
+    if isinstance(formula, And):
+        return _eval(structure, formula.left, sigma, options) and _eval(
+            structure, formula.right, sigma, options
+        )
+    if isinstance(formula, Or):
+        return _eval(structure, formula.left, sigma, options) or _eval(
+            structure, formula.right, sigma, options
+        )
+    if isinstance(formula, Implies):
+        return (not _eval(structure, formula.left, sigma, options)) or _eval(
+            structure, formula.right, sigma, options
+        )
+    if isinstance(formula, Iff):
+        return _eval(structure, formula.left, sigma, options) == _eval(
+            structure, formula.right, sigma, options
+        )
+    if isinstance(formula, Exists):
+        return any(
+            _eval(structure, formula.body, {**sigma, formula.variable: element}, options)
+            for element in structure.domain
+        )
+    if isinstance(formula, Forall):
+        return all(
+            _eval(structure, formula.body, {**sigma, formula.variable: element}, options)
+            for element in structure.domain
+        )
+    if isinstance(formula, BoundedExists):
+        anchor = _lookup_element(sigma, formula.anchor)
+        return any(
+            _eval(structure, formula.body, {**sigma, formula.variable: element}, options)
+            for element in structure.connections(anchor)
+        )
+    if isinstance(formula, BoundedForall):
+        anchor = _lookup_element(sigma, formula.anchor)
+        return all(
+            _eval(structure, formula.body, {**sigma, formula.variable: element}, options)
+            for element in structure.connections(anchor)
+        )
+    if isinstance(formula, LocalExists):
+        anchor = _lookup_element(sigma, formula.anchor)
+        return any(
+            _eval(structure, formula.body, {**sigma, formula.variable: element}, options)
+            for element in structure.ball(anchor, formula.radius)
+        )
+    if isinstance(formula, LocalForall):
+        anchor = _lookup_element(sigma, formula.anchor)
+        return all(
+            _eval(structure, formula.body, {**sigma, formula.variable: element}, options)
+            for element in structure.ball(anchor, formula.radius)
+        )
+    if isinstance(formula, SOExists):
+        return any(
+            _eval(structure, formula.body, {**sigma, formula.relation: interpretation}, options)
+            for interpretation in _relation_interpretations(structure, formula.relation, options)
+        )
+    if isinstance(formula, SOForall):
+        return all(
+            _eval(structure, formula.body, {**sigma, formula.relation: interpretation}, options)
+            for interpretation in _relation_interpretations(structure, formula.relation, options)
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def graph_satisfies(
+    graph: LabeledGraph,
+    formula: Formula,
+    assignment: Optional[Assignment] = None,
+    options: EvaluationOptions = DEFAULT_OPTIONS,
+) -> bool:
+    """Whether the structural representation ``$G`` of *graph* satisfies *formula*."""
+    return evaluate(structural_representation(graph), formula, assignment, options)
+
+
+def defines_property(formula: Formula, options: EvaluationOptions = DEFAULT_OPTIONS):
+    """The graph property defined by a sentence: a callable ``LabeledGraph -> bool``."""
+
+    def decide(graph: LabeledGraph) -> bool:
+        return graph_satisfies(graph, formula, options=options)
+
+    return decide

@@ -1,0 +1,85 @@
+"""Notational shorthands used throughout Section 5 of the paper.
+
+On structural representations of labeled graphs (signature ``(1, 2)``):
+
+* ``IsNode(x)``   -- x has no dotted (ownership) arrow pointing to it,
+* ``IsBit0(x)``   -- x is a labeling bit of value 0,
+* ``IsBit1(x)``   -- x is a labeling bit of value 1,
+* ``IsSelected(x)`` -- the node x is labeled with exactly the string ``1``,
+* node-restricted quantifiers ``∃◦`` / ``∀◦`` and their radius-``r`` variants.
+"""
+
+from __future__ import annotations
+
+from repro.logic.syntax import (
+    And,
+    BinaryAtom,
+    BoundedExists,
+    BoundedForall,
+    Forall,
+    Formula,
+    Implies,
+    LocalExists,
+    LocalForall,
+    Not,
+    Or,
+    UnaryAtom,
+)
+
+
+def is_node(variable: str, helper: str = "_own") -> Formula:
+    """``IsNode(x) = ¬∃y−⇀↽−x (y ⇀2 x)``: no ownership arrow points to x."""
+    return Not(BoundedExists(helper, variable, BinaryAtom(2, helper, variable)))
+
+
+def is_bit(variable: str, helper: str = "_own") -> Formula:
+    """``¬IsNode(x)``: x is a labeling bit."""
+    return BoundedExists(helper, variable, BinaryAtom(2, helper, variable))
+
+
+def is_bit0(variable: str, helper: str = "_own") -> Formula:
+    """``IsBit0(x)``: x is a labeling bit of value 0."""
+    return And(is_bit(variable, helper), Not(UnaryAtom(1, variable)))
+
+
+def is_bit1(variable: str, helper: str = "_own") -> Formula:
+    """``IsBit1(x)``: x is a labeling bit of value 1."""
+    return And(is_bit(variable, helper), UnaryAtom(1, variable))
+
+
+def is_selected(variable: str, bit: str = "_b", succ: str = "_s") -> Formula:
+    """``IsSelected(x)``: the node x is labeled with the string ``1`` (Example 4).
+
+    There is a labeling bit of value 1 adjacent to x that has neither a
+    successor nor a predecessor among the labeling bits (so the label has
+    length exactly one).
+    """
+    no_successor_or_predecessor = Not(
+        BoundedExists(succ, bit, Or(BinaryAtom(1, succ, bit), BinaryAtom(1, bit, succ)))
+    )
+    return BoundedExists(bit, variable, And(is_bit1(bit, succ + "o"), no_successor_or_predecessor))
+
+
+def exists_node(variable: str, anchor: str, formula: Formula) -> Formula:
+    """``∃◦x −⇀↽− y φ``: bounded existential quantification restricted to nodes."""
+    return BoundedExists(variable, anchor, And(is_node(variable, f"_n{variable}"), formula))
+
+
+def forall_node(variable: str, anchor: str, formula: Formula) -> Formula:
+    """``∀◦x −⇀↽− y φ``: bounded universal quantification restricted to nodes."""
+    return BoundedForall(variable, anchor, Implies(is_node(variable, f"_n{variable}"), formula))
+
+
+def exists_node_within(variable: str, anchor: str, radius: int, formula: Formula) -> Formula:
+    """``∃◦x ≤r−⇀↽− y φ``: radius-``r`` existential quantification restricted to nodes."""
+    return LocalExists(variable, anchor, radius, And(is_node(variable, f"_n{variable}"), formula))
+
+
+def forall_node_within(variable: str, anchor: str, radius: int, formula: Formula) -> Formula:
+    """``∀◦x ≤r−⇀↽− y φ``: radius-``r`` universal quantification restricted to nodes."""
+    return LocalForall(variable, anchor, radius, Implies(is_node(variable, f"_n{variable}"), formula))
+
+
+def forall_nodes_sentence(variable: str, formula: Formula) -> Formula:
+    """``∀◦x φ``: the unbounded universal node quantifier opening an LFO sentence."""
+    return Forall(variable, Implies(is_node(variable, f"_n{variable}"), formula))

@@ -1,0 +1,567 @@
+"""Spanning-tree based example formulas and their strategies (Section 5.2).
+
+After Example 9, the paper lists three further graph properties expressible
+as ``Σ^lfo_3`` formulas through the spanning-tree construction of Example 8:
+
+* ``acyclic`` -- Eve provides a spanning tree and every node checks that all
+  its incident edges belong to it;
+* ``odd`` -- Eve provides a spanning tree and aggregates a modulo-two counter
+  from the leaves to the root;
+* ``non-2-colorable`` -- Eve retraces an odd cycle, roots a spanning tree on
+  it, and propagates a modulo-two counter around the cycle.
+
+This module builds those formulas, and -- because exhaustively quantifying
+over the binary spanning-tree relation is exponential -- it also implements
+the *strategies* the paper describes in prose: Eve's canonical first move
+(a spanning tree / odd cycle), her response to Adam's challenge (the charge
+assignment of Example 6), and Adam's refutation of a cyclic "forest".  The
+game evaluator :func:`eve_wins_with_strategy` plays these strategies against
+an exhaustive Adam, turning "Eve has a winning strategy" into executable
+checks that scale beyond brute-force second-order quantification.
+
+The ``odd`` formula is parameterized by a degree bound: the paper implements
+the modulo-two aggregation with a finite automaton reading the children in
+some order chosen by Eve; on graphs of bounded degree the same computation
+can be expressed directly with threshold counting in BF, which is the
+substitution used here (the separation results of Section 9 are stated for
+bounded structural degree anyway).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.graphs.structures import node_element, structural_representation
+from repro.logic.examples import (
+    CHALLENGE,
+    CHARGE,
+    PARENT,
+    UNIQUE_FLAG,
+    points_to_unique,
+    root,
+)
+from repro.logic.semantics import evaluate
+from repro.logic.shorthands import exists_node, forall_node, forall_nodes_sentence
+from repro.logic.syntax import (
+    TOP,
+    And,
+    Equal,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    RelationVariable,
+    SOExists,
+    SOForall,
+    conjunction,
+    disjunction,
+)
+
+__all__ = [
+    "CYCLE",
+    "COUNTER",
+    "SUBTREE_PARITY",
+    "acyclic_formula",
+    "odd_formula",
+    "non_two_colorable_formula",
+    "spanning_tree_parent_pairs",
+    "charge_response",
+    "unique_flag_response",
+    "subtree_parity_set",
+    "odd_cycle_witness",
+    "adam_refutation_challenge",
+    "eve_wins_with_strategy",
+    "acyclic_strategy_verdict",
+    "odd_strategy_verdict",
+    "non_two_colorable_strategy_verdict",
+]
+
+CYCLE = RelationVariable("R", 2)
+COUNTER = RelationVariable("C", 1)
+SUBTREE_PARITY = RelationVariable("D", 1)
+
+
+# ----------------------------------------------------------------------
+# Formula building blocks
+# ----------------------------------------------------------------------
+def _edge_in_tree(variable: str, neighbor: str, parent: RelationVariable = PARENT) -> Formula:
+    """The graph edge ``{variable, neighbor}`` is a tree edge (in either orientation)."""
+    return Or(RelationAtom(parent, (variable, neighbor)), RelationAtom(parent, (neighbor, variable)))
+
+
+def all_incident_edges_in_tree(variable: str, parent: RelationVariable = PARENT) -> Formula:
+    """Every edge incident to the node is a tree edge (the ``acyclic`` local check)."""
+    neighbor = f"_ae_{variable}"
+    return forall_node(neighbor, variable, _edge_in_tree(variable, neighbor, parent))
+
+
+def acyclic_formula() -> Formula:
+    """The ``Σ^lfo_3`` formula for ``acyclic`` sketched after Example 9.
+
+    Eve provides a spanning tree (validated by ``PointsToUnique[Root]``, so
+    Adam can refute cycles and duplicate roots); every node additionally
+    checks that all of its incident edges belong to the tree.  A graph all of
+    whose edges form a spanning tree has no cycles, and conversely.
+    """
+    matrix = forall_nodes_sentence(
+        "x", And(points_to_unique("x", root), all_incident_edges_in_tree("x"))
+    )
+    return SOExists(
+        PARENT,
+        SOForall(CHALLENGE, SOExists(CHARGE, SOExists(UNIQUE_FLAG, matrix))),
+    )
+
+
+def _distinct(variables: Sequence[str]) -> Formula:
+    """All the listed variables denote pairwise distinct elements."""
+    return conjunction(
+        Not(Equal(a, b)) for index, a in enumerate(variables) for b in variables[index + 1 :]
+    )
+
+
+def _is_child_with(variable: str, child: str, condition: Optional[Formula],
+                   parent: RelationVariable) -> Formula:
+    """``child`` is a child of ``variable`` in the tree, optionally satisfying *condition*."""
+    base = RelationAtom(parent, (child, variable))
+    if condition is None:
+        return base
+    return And(base, condition)
+
+
+def at_least_k_children(variable: str, k: int, condition_of, parent: RelationVariable = PARENT,
+                        tag: str = "") -> Formula:
+    """There are at least ``k`` distinct children of the node satisfying the condition.
+
+    ``condition_of`` maps a fresh variable name to the condition formula (or
+    returns ``None`` for "no extra condition").
+    """
+    if k == 0:
+        return TOP
+    names = [f"_c{tag}{k}_{i}_{variable}" for i in range(k)]
+    body: Formula = _distinct(names)
+    for name in names:
+        body = And(body, _is_child_with(variable, name, condition_of(name), parent))
+    result = body
+    for name in reversed(names):
+        result = exists_node(name, variable, result)
+    return result
+
+
+def exactly_k_children(variable: str, k: int, condition_of, parent: RelationVariable = PARENT,
+                       tag: str = "") -> Formula:
+    """Exactly ``k`` distinct children of the node satisfy the condition."""
+    return And(
+        at_least_k_children(variable, k, condition_of, parent, tag=f"{tag}a"),
+        Not(at_least_k_children(variable, k + 1, condition_of, parent, tag=f"{tag}b")),
+    )
+
+
+def even_number_of_odd_children(variable: str, max_degree: int,
+                                parity: RelationVariable = SUBTREE_PARITY,
+                                parent: RelationVariable = PARENT) -> Formula:
+    """The number of children with odd subtree cardinality is even (threshold counting)."""
+    condition_of = lambda name: RelationAtom(parity, (name,))  # noqa: E731 -- tiny schema
+    cases = [
+        exactly_k_children(variable, k, condition_of, parent, tag=f"e{k}")
+        for k in range(0, max_degree + 1, 2)
+    ]
+    return disjunction(cases)
+
+
+def odd_formula(max_degree: int = 3) -> Formula:
+    """The ``Σ^lfo_3`` formula for ``odd`` (odd number of nodes), for bounded degree.
+
+    Eve provides a spanning tree together with the set ``D`` of nodes whose
+    subtree has odd cardinality.  Every node checks the modulo-two recurrence
+    ``D(x) <-> (the number of children in D is even)`` -- a subtree has odd
+    cardinality exactly if an even number of its child subtrees do -- and the
+    root checks ``D(root)``.  The child counting uses thresholds up to
+    *max_degree*, the degree bound of the graphs under consideration.
+    """
+    parity_recurrence = Iff(
+        RelationAtom(SUBTREE_PARITY, ("x",)),
+        even_number_of_odd_children("x", max_degree),
+    )
+    root_is_odd = Implies(root("x"), RelationAtom(SUBTREE_PARITY, ("x",)))
+    matrix = forall_nodes_sentence(
+        "x",
+        And(points_to_unique("x", root), And(parity_recurrence, root_is_odd)),
+    )
+    return SOExists(
+        PARENT,
+        SOForall(
+            CHALLENGE,
+            SOExists(CHARGE, SOExists(UNIQUE_FLAG, SOExists(SUBTREE_PARITY, matrix))),
+        ),
+    )
+
+
+def on_cycle(variable: str, cycle: RelationVariable = CYCLE) -> Formula:
+    """The node is touched by the retraced cycle relation ``R``."""
+    neighbor = f"_oc_{variable}"
+    return exists_node(
+        neighbor,
+        variable,
+        Or(RelationAtom(cycle, (variable, neighbor)), RelationAtom(cycle, (neighbor, variable))),
+    )
+
+
+def unique_cycle_successor(variable: str, cycle: RelationVariable = CYCLE) -> Formula:
+    """The node has exactly one ``R``-successor among its neighbors."""
+    succ, other = f"_us_{variable}", f"_uso_{variable}"
+    return exists_node(
+        succ,
+        variable,
+        And(
+            RelationAtom(cycle, (variable, succ)),
+            forall_node(other, variable, Implies(RelationAtom(cycle, (variable, other)), Equal(other, succ))),
+        ),
+    )
+
+
+def unique_cycle_predecessor(variable: str, cycle: RelationVariable = CYCLE) -> Formula:
+    """The node has exactly one ``R``-predecessor among its neighbors."""
+    pred, other = f"_up2_{variable}", f"_up2o_{variable}"
+    return exists_node(
+        pred,
+        variable,
+        And(
+            RelationAtom(cycle, (pred, variable)),
+            forall_node(other, variable, Implies(RelationAtom(cycle, (other, variable)), Equal(other, pred))),
+        ),
+    )
+
+
+def counter_step(variable: str, cycle: RelationVariable = CYCLE,
+                 counter: RelationVariable = COUNTER) -> Formula:
+    """The modulo-two counter flips along the cycle, except at the root where it repeats."""
+    pred = f"_cs_{variable}"
+    same = Iff(RelationAtom(counter, (variable,)), RelationAtom(counter, (pred,)))
+    flip = Iff(RelationAtom(counter, (variable,)), Not(RelationAtom(counter, (pred,))))
+    return exists_node(
+        pred,
+        variable,
+        And(
+            RelationAtom(cycle, (pred, variable)),
+            And(Implies(root(variable), same), Implies(Not(root(variable)), flip)),
+        ),
+    )
+
+
+def non_two_colorable_formula() -> Formula:
+    """The ``Σ^lfo_3`` formula for ``non-2-colorable`` sketched after Example 9.
+
+    A graph is non-2-colorable iff it contains an odd cycle.  Eve retraces
+    such a cycle with the binary relation ``R`` (consistently oriented),
+    constructs a spanning tree rooted on the cycle, and propagates a
+    modulo-two counter ``C`` around it.  The root checks that it carries the
+    same counter value as its ``R``-predecessor while every other cycle node
+    flips; since the root is unique, the cycle through it must be odd.
+    """
+    cycle_checks = Implies(
+        on_cycle("x"),
+        And(And(unique_cycle_successor("x"), unique_cycle_predecessor("x")), counter_step("x")),
+    )
+    root_on_cycle = Implies(root("x"), on_cycle("x"))
+    matrix = forall_nodes_sentence(
+        "x",
+        And(points_to_unique("x", root), And(cycle_checks, root_on_cycle)),
+    )
+    return SOExists(
+        CYCLE,
+        SOExists(
+            PARENT,
+            SOExists(
+                COUNTER,
+                SOForall(CHALLENGE, SOExists(CHARGE, SOExists(UNIQUE_FLAG, matrix))),
+            ),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Eve's strategies (her concrete moves, as described in the paper's prose)
+# ----------------------------------------------------------------------
+def spanning_tree_parent_pairs(graph: LabeledGraph, tree_root: Optional[Node] = None) -> FrozenSet[Tuple[Node, Node]]:
+    """A BFS spanning tree as a parent relation ``P`` with ``P(root, root)``."""
+    start = tree_root if tree_root is not None else graph.nodes[0]
+    parent: Dict[Node, Node] = {start: start}
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in parent:
+                parent[v] = u
+                queue.append(v)
+    return frozenset((child, par) for child, par in parent.items())
+
+
+def _roots_of(parent_pairs: Iterable[Tuple[Node, Node]]) -> List[Node]:
+    return [child for child, par in parent_pairs if child == par]
+
+
+def _children_map(parent_pairs: Iterable[Tuple[Node, Node]]) -> Dict[Node, List[Node]]:
+    children: Dict[Node, List[Node]] = {}
+    for child, par in parent_pairs:
+        if child != par:
+            children.setdefault(par, []).append(child)
+    return children
+
+
+def charge_response(
+    graph: LabeledGraph,
+    parent_pairs: FrozenSet[Tuple[Node, Node]],
+    challenge: FrozenSet[Node],
+) -> FrozenSet[Node]:
+    """Eve's charge assignment ``Y`` (Example 6): positive at roots, flipped inside ``X``.
+
+    Traverses each tree of the forest top-down, starting positively at the
+    root and inverting the charge at every node belonging to the challenge
+    set.  Nodes not reachable from any root (which only happens when Adam's
+    claim of a cycle is correct) keep a default positive charge.
+    """
+    children = _children_map(parent_pairs)
+    positive: Set[Node] = set()
+    for tree_root in _roots_of(parent_pairs):
+        charge_of: Dict[Node, bool] = {tree_root: True}
+        stack = [tree_root]
+        while stack:
+            node = stack.pop()
+            if charge_of[node]:
+                positive.add(node)
+            for child in children.get(node, []):
+                charge_of[child] = (
+                    not charge_of[node] if child in challenge else charge_of[node]
+                )
+                stack.append(child)
+    return frozenset(positive)
+
+
+def unique_flag_response(
+    target_nodes: Iterable[Node], challenge: FrozenSet[Node], graph: LabeledGraph
+) -> FrozenSet[Node]:
+    """Eve's Boolean flag ``Z`` (Example 8): "the unique target node lies in ``X``".
+
+    ``Z`` is an all-or-nothing set: every node carries the same bit, namely
+    whether the (claimed unique) target node belongs to Adam's challenge set.
+    """
+    targets = list(target_nodes)
+    if targets and targets[0] in challenge:
+        return frozenset(graph.nodes)
+    return frozenset()
+
+
+def subtree_parity_set(parent_pairs: FrozenSet[Tuple[Node, Node]]) -> FrozenSet[Node]:
+    """The set ``D`` of nodes whose subtree has odd cardinality."""
+    children = _children_map(parent_pairs)
+    sizes: Dict[Node, int] = {}
+
+    def size_of(node: Node) -> int:
+        if node not in sizes:
+            sizes[node] = 1 + sum(size_of(child) for child in children.get(node, []))
+        return sizes[node]
+
+    nodes = {child for child, _ in parent_pairs} | {par for _, par in parent_pairs}
+    return frozenset(node for node in nodes if size_of(node) % 2 == 1)
+
+
+def odd_cycle_witness(graph: LabeledGraph) -> Optional[Tuple[FrozenSet[Tuple[Node, Node]], FrozenSet[Node], Node]]:
+    """An oriented odd cycle ``R``, its alternating counter set ``C``, and a root on it.
+
+    Returns ``None`` when the graph is bipartite (2-colorable).  The cycle is
+    found through the standard BFS layering argument: an edge inside a BFS
+    layer closes an odd cycle through the two endpoints' lowest common
+    ancestor.
+    """
+    start = graph.nodes[0]
+    parent: Dict[Node, Optional[Node]] = {start: None}
+    depth: Dict[Node, int] = {start: 0}
+    queue = deque([start])
+    offending: Optional[Tuple[Node, Node]] = None
+    while queue and offending is None:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in depth:
+                depth[v] = depth[u] + 1
+                parent[v] = u
+                queue.append(v)
+            elif depth[v] == depth[u] and v != parent.get(u):
+                offending = (u, v)
+                break
+    if offending is None:
+        return None
+
+    u, v = offending
+    # Walk both endpoints up to their lowest common ancestor.
+    path_u: List[Node] = [u]
+    path_v: List[Node] = [v]
+    a, b = u, v
+    while a != b:
+        a = parent[a]  # type: ignore[assignment]
+        b = parent[b]  # type: ignore[assignment]
+        path_u.append(a)
+        path_v.append(b)
+    # Cycle: u -> ... -> lca -> ... -> v -> u (odd length because depths match).
+    cycle_nodes = path_u + list(reversed(path_v[:-1]))
+    oriented = frozenset(
+        (cycle_nodes[i], cycle_nodes[(i + 1) % len(cycle_nodes)]) for i in range(len(cycle_nodes))
+    )
+    counter = frozenset(cycle_nodes[i] for i in range(len(cycle_nodes)) if i % 2 == 0)
+    return oriented, counter, cycle_nodes[0]
+
+
+def adam_refutation_challenge(
+    graph: LabeledGraph, parent_pairs: FrozenSet[Tuple[Node, Node]]
+) -> Optional[FrozenSet[Node]]:
+    """Adam's refuting challenge set ``X`` when ``P`` is not a forest (Example 6).
+
+    Follows parent pointers from every node; if some node never reaches a
+    root, the walk must enter a directed cycle, and Adam challenges a single
+    node of that cycle.  Returns ``None`` when ``P`` really is a forest.
+    """
+    parent_of = {child: par for child, par in parent_pairs}
+    roots = set(_roots_of(parent_pairs))
+    for start in graph.nodes:
+        seen: List[Node] = []
+        current = start
+        visited: Set[Node] = set()
+        while current in parent_of and current not in roots:
+            if current in visited:
+                cycle_start = seen.index(current)
+                return frozenset({seen[cycle_start]})
+            visited.add(current)
+            seen.append(current)
+            current = parent_of[current]
+        if current not in parent_of and current not in roots:
+            # A node without a parent pointer that is not a root: Eve's move is
+            # malformed; challenging it exposes the defect.
+            return frozenset({current})
+    return None
+
+
+# ----------------------------------------------------------------------
+# Playing the game with explicit strategies
+# ----------------------------------------------------------------------
+def _interpretation_for(graph: LabeledGraph, nodes: Iterable[Node]) -> FrozenSet[Tuple[object, ...]]:
+    return frozenset((node_element(u),) for u in nodes)
+
+
+def _pair_interpretation(graph: LabeledGraph, pairs: Iterable[Tuple[Node, Node]]) -> FrozenSet[Tuple[object, ...]]:
+    return frozenset((node_element(a), node_element(b)) for a, b in pairs)
+
+
+def eve_wins_with_strategy(
+    graph: LabeledGraph,
+    matrix: Formula,
+    first_move: Mapping[RelationVariable, FrozenSet[Tuple[object, ...]]],
+    response,
+) -> bool:
+    """Play ``∃(first move) ∀X ∃(response) matrix`` with Eve's explicit strategy.
+
+    *first_move* interprets the relations Eve fixes before Adam's challenge;
+    *response* maps a challenge set of nodes to the interpretations Eve
+    answers with (at least ``Y``, possibly also ``Z`` and further sets).  Adam
+    is exhaustive: all subsets of nodes are tried as challenges, so a ``True``
+    result certifies that the displayed strategy wins, and hence that the
+    graph satisfies the corresponding ``Σ^lfo_3`` sentence.
+    """
+    structure = structural_representation(graph)
+    for size in range(graph.cardinality() + 1):
+        for subset in itertools.combinations(graph.nodes, size):
+            challenge = frozenset(subset)
+            assignment: Dict[object, object] = dict(first_move)
+            assignment[CHALLENGE] = _interpretation_for(graph, challenge)
+            assignment.update(response(challenge))
+            if not evaluate(structure, matrix, assignment):
+                return False
+    return True
+
+
+def acyclic_strategy_verdict(graph: LabeledGraph) -> bool:
+    """Whether Eve's canonical strategy wins the ``acyclic`` game on *graph*.
+
+    On acyclic graphs this returns ``True`` (certifying membership); on graphs
+    with a cycle Eve's canonical spanning tree cannot cover all edges, so the
+    verdict is ``False`` (her strategy loses; Proposition-style refutations of
+    *every* strategy are exercised on tiny graphs in the test suite).
+    """
+    parent_pairs = spanning_tree_parent_pairs(graph)
+    matrix = forall_nodes_sentence(
+        "x", And(points_to_unique("x", root), all_incident_edges_in_tree("x"))
+    )
+    first_move = {PARENT: _pair_interpretation(graph, parent_pairs)}
+
+    def response(challenge: FrozenSet[Node]):
+        return {
+            CHARGE: _interpretation_for(graph, charge_response(graph, parent_pairs, challenge)),
+            UNIQUE_FLAG: _interpretation_for(
+                graph, unique_flag_response(_roots_of(parent_pairs), challenge, graph)
+            ),
+        }
+
+    return eve_wins_with_strategy(graph, matrix, first_move, response)
+
+
+def odd_strategy_verdict(graph: LabeledGraph, max_degree: Optional[int] = None) -> bool:
+    """Whether Eve's canonical strategy wins the ``odd`` game on *graph*."""
+    bound = max_degree if max_degree is not None else graph.max_degree()
+    parent_pairs = spanning_tree_parent_pairs(graph)
+    parity = subtree_parity_set(parent_pairs)
+    parity_recurrence = Iff(
+        RelationAtom(SUBTREE_PARITY, ("x",)),
+        even_number_of_odd_children("x", bound),
+    )
+    root_is_odd = Implies(root("x"), RelationAtom(SUBTREE_PARITY, ("x",)))
+    matrix = forall_nodes_sentence(
+        "x", And(points_to_unique("x", root), And(parity_recurrence, root_is_odd))
+    )
+    first_move = {PARENT: _pair_interpretation(graph, parent_pairs)}
+
+    def response(challenge: FrozenSet[Node]):
+        return {
+            CHARGE: _interpretation_for(graph, charge_response(graph, parent_pairs, challenge)),
+            UNIQUE_FLAG: _interpretation_for(
+                graph, unique_flag_response(_roots_of(parent_pairs), challenge, graph)
+            ),
+            SUBTREE_PARITY: _interpretation_for(graph, parity),
+        }
+
+    return eve_wins_with_strategy(graph, matrix, first_move, response)
+
+
+def non_two_colorable_strategy_verdict(graph: LabeledGraph) -> bool:
+    """Whether Eve's canonical strategy wins the ``non-2-colorable`` game on *graph*."""
+    witness = odd_cycle_witness(graph)
+    if witness is None:
+        return False
+    oriented, counter, cycle_root = witness
+    parent_pairs = spanning_tree_parent_pairs(graph, tree_root=cycle_root)
+
+    cycle_checks = Implies(
+        on_cycle("x"),
+        And(And(unique_cycle_successor("x"), unique_cycle_predecessor("x")), counter_step("x")),
+    )
+    root_on_cycle = Implies(root("x"), on_cycle("x"))
+    matrix = forall_nodes_sentence(
+        "x", And(points_to_unique("x", root), And(cycle_checks, root_on_cycle))
+    )
+    first_move = {
+        CYCLE: _pair_interpretation(graph, oriented),
+        PARENT: _pair_interpretation(graph, parent_pairs),
+        COUNTER: _interpretation_for(graph, counter),
+    }
+
+    def response(challenge: FrozenSet[Node]):
+        return {
+            CHARGE: _interpretation_for(graph, charge_response(graph, parent_pairs, challenge)),
+            UNIQUE_FLAG: _interpretation_for(
+                graph, unique_flag_response(_roots_of(parent_pairs), challenge, graph)
+            ),
+        }
+
+    return eve_wins_with_strategy(graph, matrix, first_move, response)

@@ -1,0 +1,425 @@
+"""The formula AST of the paper's logics (Table 1, Section 5.1).
+
+Atomic formulas refer to the unary relations ``⊙_i`` and binary relations
+``⇀_i`` of a structure, to equality, and to second-order (relation) variables.
+Connectives are negation, disjunction, and the derived conjunction,
+implication and equivalence.  First-order quantification comes in the
+unbounded form ``∃x φ`` and the bounded form ``∃x −⇀↽− y φ`` ("there is an x
+connected to y"); the radius-``r`` variant ``∃x ≤r−⇀↽− y φ`` of the paper's
+syntactic sugar is provided as a primitive (:class:`LocalExists`).
+Second-order quantification binds relation variables of a fixed arity.
+
+Formulas are immutable dataclasses, so they can be hashed, compared and used
+as dictionary keys (the evaluator exploits this for memoization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Sequence, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class RelationVariable:
+    """A second-order variable of a fixed arity (``Vso(k)`` in the paper)."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise ValueError("relation variables must have arity at least 1")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Formula:
+    """Base class of all formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+# ----------------------------------------------------------------------
+# Atomic formulas
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TruthConstant(Formula):
+    """The constants ``⊤`` and ``⊥``."""
+
+    value: bool
+
+    def __str__(self) -> str:
+        return "⊤" if self.value else "⊥"
+
+
+TOP = TruthConstant(True)
+BOTTOM = TruthConstant(False)
+
+
+@dataclass(frozen=True)
+class UnaryAtom(Formula):
+    """``⊙_i x`` -- the element named by *variable* lies in the i-th unary relation."""
+
+    index: int
+    variable: str
+
+    def __str__(self) -> str:
+        return f"⊙{self.index}({self.variable})"
+
+
+@dataclass(frozen=True)
+class BinaryAtom(Formula):
+    """``x ⇀_i y`` -- the pair lies in the i-th binary relation."""
+
+    index: int
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"{self.left} ⇀{self.index} {self.right}"
+
+
+@dataclass(frozen=True)
+class Equal(Formula):
+    """``x = y``."""
+
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class RelationAtom(Formula):
+    """``R(x_1, ..., x_k)`` for a second-order variable ``R`` of arity ``k``."""
+
+    relation: RelationVariable
+    arguments: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.arguments) != self.relation.arity:
+            raise ValueError(
+                f"relation {self.relation.name} has arity {self.relation.arity}, "
+                f"got {len(self.arguments)} arguments"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.relation.name}({', '.join(self.arguments)})"
+
+
+# ----------------------------------------------------------------------
+# Connectives
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication (derived connective, kept as a node for readability)."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} → {self.right})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Equivalence (derived connective)."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} ↔ {self.right})"
+
+
+# ----------------------------------------------------------------------
+# First-order quantifiers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Unbounded first-order existential quantification ``∃x φ``."""
+
+    variable: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"∃{self.variable} ({self.body})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Unbounded first-order universal quantification ``∀x φ``."""
+
+    variable: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"∀{self.variable} ({self.body})"
+
+
+@dataclass(frozen=True)
+class BoundedExists(Formula):
+    """Bounded existential quantification ``∃x −⇀↽− y φ`` (x ranges over elements connected to y)."""
+
+    variable: str
+    anchor: str
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if self.variable == self.anchor:
+            raise ValueError("the bound variable must differ from the anchor variable")
+
+    def __str__(self) -> str:
+        return f"∃{self.variable}−⇀↽−{self.anchor} ({self.body})"
+
+
+@dataclass(frozen=True)
+class BoundedForall(Formula):
+    """Bounded universal quantification ``∀x −⇀↽− y φ``."""
+
+    variable: str
+    anchor: str
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if self.variable == self.anchor:
+            raise ValueError("the bound variable must differ from the anchor variable")
+
+    def __str__(self) -> str:
+        return f"∀{self.variable}−⇀↽−{self.anchor} ({self.body})"
+
+
+@dataclass(frozen=True)
+class LocalExists(Formula):
+    """Radius-``r`` existential quantification ``∃x ≤r−⇀↽− y φ``.
+
+    Semantically, x ranges over the elements at distance at most ``radius``
+    from the anchor in the structure's connection graph -- the paper defines
+    this as nested bounded quantification; we treat it as a primitive for
+    efficiency.  The anchor itself (distance 0) is included.
+    """
+
+    variable: str
+    anchor: str
+    radius: int
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError("radius must be nonnegative")
+
+    def __str__(self) -> str:
+        return f"∃{self.variable} ≤{self.radius}−⇀↽− {self.anchor} ({self.body})"
+
+
+@dataclass(frozen=True)
+class LocalForall(Formula):
+    """Radius-``r`` universal quantification ``∀x ≤r−⇀↽− y φ``."""
+
+    variable: str
+    anchor: str
+    radius: int
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError("radius must be nonnegative")
+
+    def __str__(self) -> str:
+        return f"∀{self.variable} ≤{self.radius}−⇀↽− {self.anchor} ({self.body})"
+
+
+# ----------------------------------------------------------------------
+# Second-order quantifiers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SOExists(Formula):
+    """Existential second-order quantification ``∃R φ``."""
+
+    relation: RelationVariable
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"∃{self.relation.name} ({self.body})"
+
+
+@dataclass(frozen=True)
+class SOForall(Formula):
+    """Universal second-order quantification ``∀R φ``."""
+
+    relation: RelationVariable
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"∀{self.relation.name} ({self.body})"
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def conjunction(formulas: Iterable[Formula]) -> Formula:
+    """The conjunction of the given formulas (``⊤`` if empty)."""
+    result: Formula | None = None
+    for item in formulas:
+        result = item if result is None else And(result, item)
+    return result if result is not None else TOP
+
+
+def disjunction(formulas: Iterable[Formula]) -> Formula:
+    """The disjunction of the given formulas (``⊥`` if empty)."""
+    result: Formula | None = None
+    for item in formulas:
+        result = item if result is None else Or(result, item)
+    return result if result is not None else BOTTOM
+
+
+def so_exists_many(relations: Sequence[RelationVariable], body: Formula) -> Formula:
+    """``∃R_1 ... ∃R_n body``."""
+    result = body
+    for relation in reversed(relations):
+        result = SOExists(relation, result)
+    return result
+
+
+def so_forall_many(relations: Sequence[RelationVariable], body: Formula) -> Formula:
+    """``∀R_1 ... ∀R_n body``."""
+    result = body
+    for relation in reversed(relations):
+        result = SOForall(relation, result)
+    return result
+
+
+def free_variables(formula: Formula) -> Set[Union[str, RelationVariable]]:
+    """All free variables (first- and second-order) of *formula*."""
+    return free_first_order_variables(formula) | free_relation_variables(formula)
+
+
+def free_first_order_variables(formula: Formula) -> Set[str]:
+    """The free first-order variables of *formula* (Table 1's ``free`` column)."""
+    if isinstance(formula, TruthConstant):
+        return set()
+    if isinstance(formula, UnaryAtom):
+        return {formula.variable}
+    if isinstance(formula, BinaryAtom):
+        return {formula.left, formula.right}
+    if isinstance(formula, Equal):
+        return {formula.left, formula.right}
+    if isinstance(formula, RelationAtom):
+        return set(formula.arguments)
+    if isinstance(formula, Not):
+        return free_first_order_variables(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return free_first_order_variables(formula.left) | free_first_order_variables(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return free_first_order_variables(formula.body) - {formula.variable}
+    if isinstance(formula, (BoundedExists, BoundedForall, LocalExists, LocalForall)):
+        return (free_first_order_variables(formula.body) - {formula.variable}) | {formula.anchor}
+    if isinstance(formula, (SOExists, SOForall)):
+        return free_first_order_variables(formula.body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def free_relation_variables(formula: Formula) -> Set[RelationVariable]:
+    """The free second-order variables of *formula*."""
+    if isinstance(formula, (TruthConstant, UnaryAtom, BinaryAtom, Equal)):
+        return set()
+    if isinstance(formula, RelationAtom):
+        return {formula.relation}
+    if isinstance(formula, Not):
+        return free_relation_variables(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return free_relation_variables(formula.left) | free_relation_variables(formula.right)
+    if isinstance(formula, (Exists, Forall, BoundedExists, BoundedForall, LocalExists, LocalForall)):
+        return free_relation_variables(formula.body)
+    if isinstance(formula, (SOExists, SOForall)):
+        return free_relation_variables(formula.body) - {formula.relation}
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def is_sentence(formula: Formula) -> bool:
+    """Whether the formula has no free variables at all."""
+    return not free_variables(formula)
+
+
+def substitute(formula: Formula, mapping: dict) -> Formula:
+    """Capture-avoiding substitution of free first-order variables by other variable names.
+
+    Only renaming substitutions (variable to variable) are supported, which is
+    all the paper's constructions need (``φ[x ↦ y]``).
+    """
+
+    def rename(name: str) -> str:
+        return mapping.get(name, name)
+
+    if isinstance(formula, TruthConstant):
+        return formula
+    if isinstance(formula, UnaryAtom):
+        return UnaryAtom(formula.index, rename(formula.variable))
+    if isinstance(formula, BinaryAtom):
+        return BinaryAtom(formula.index, rename(formula.left), rename(formula.right))
+    if isinstance(formula, Equal):
+        return Equal(rename(formula.left), rename(formula.right))
+    if isinstance(formula, RelationAtom):
+        return RelationAtom(formula.relation, tuple(rename(a) for a in formula.arguments))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.operand, mapping))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        cls = type(formula)
+        return cls(substitute(formula.left, mapping), substitute(formula.right, mapping))
+    if isinstance(formula, (Exists, Forall)):
+        cls = type(formula)
+        inner = {k: v for k, v in mapping.items() if k != formula.variable}
+        return cls(formula.variable, substitute(formula.body, inner))
+    if isinstance(formula, (BoundedExists, BoundedForall)):
+        cls = type(formula)
+        inner = {k: v for k, v in mapping.items() if k != formula.variable}
+        return cls(formula.variable, rename(formula.anchor), substitute(formula.body, inner))
+    if isinstance(formula, (LocalExists, LocalForall)):
+        cls = type(formula)
+        inner = {k: v for k, v in mapping.items() if k != formula.variable}
+        return cls(formula.variable, rename(formula.anchor), formula.radius, substitute(formula.body, inner))
+    if isinstance(formula, (SOExists, SOForall)):
+        cls = type(formula)
+        return cls(formula.relation, substitute(formula.body, mapping))
+    raise TypeError(f"unknown formula node {formula!r}")

@@ -1,0 +1,47 @@
+"""Distributed Turing machines and the LOCAL-model simulator (Section 4, Fig. 8).
+
+Two layers are provided:
+
+* :mod:`repro.machines.turing` -- a faithful low-level implementation of the
+  paper's distributed Turing machines: a finite state set, a transition
+  function over the tape alphabet ``{⊢, □, #, 0, 1}``, and three tapes
+  (receiving, internal, sending) per node.
+* :mod:`repro.machines.local_algorithm` -- a practical layer of constant-round
+  local algorithms (most constructions in the paper are of the form "gather
+  the r-neighborhood, then compute"), with round- and step-cost accounting so
+  the LP/NLP resource bounds remain checkable.
+
+Both layers plug into the same synchronous simulator
+(:mod:`repro.machines.simulator`), which implements the three communication
+phases of Section 4 and acceptance by unanimity.
+"""
+
+from repro.machines.interface import NodeInput, NodeMachine
+from repro.machines.turing import DistributedTuringMachine, TuringTransition, BLANK, LEFT_END, SEPARATOR
+from repro.machines.local_algorithm import (
+    LocalAlgorithm,
+    LocalView,
+    NeighborhoodGatherAlgorithm,
+    gather_view,
+)
+from repro.machines.simulator import ExecutionResult, execute, accepts, result_graph
+from repro.machines import builtin
+
+__all__ = [
+    "NodeInput",
+    "NodeMachine",
+    "DistributedTuringMachine",
+    "TuringTransition",
+    "BLANK",
+    "LEFT_END",
+    "SEPARATOR",
+    "LocalAlgorithm",
+    "LocalView",
+    "NeighborhoodGatherAlgorithm",
+    "gather_view",
+    "ExecutionResult",
+    "execute",
+    "accepts",
+    "result_graph",
+    "builtin",
+]

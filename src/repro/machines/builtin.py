@@ -1,0 +1,125 @@
+"""Built-in local algorithms used throughout the paper's constructions.
+
+Each of these is a constant-round, polynomial-step local algorithm in the
+sense of Section 4.  The deciders (no certificates) witness membership in LP;
+the verifiers read Eve's certificate and witness membership in NLP when
+plugged into the hierarchy game of :mod:`repro.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.machines.local_algorithm import LocalView, NeighborhoodGatherAlgorithm
+
+
+def constant_algorithm(verdict: str = "1") -> NeighborhoodGatherAlgorithm:
+    """An algorithm whose every node outputs the fixed label *verdict*."""
+    return NeighborhoodGatherAlgorithm(0, lambda view: verdict, name=f"constant[{verdict}]")
+
+
+def predicate_decider(radius: int, predicate: Callable[[LocalView], bool], name: str = "") -> NeighborhoodGatherAlgorithm:
+    """Accept at a node iff *predicate* holds on its radius-``radius`` view."""
+
+    def compute(view: LocalView) -> str:
+        return "1" if predicate(view) else "0"
+
+    return NeighborhoodGatherAlgorithm(radius, compute, name=name or "predicate")
+
+
+def all_selected_decider() -> NeighborhoodGatherAlgorithm:
+    """LP-decider for ``all-selected``: each node checks its own label is ``1``."""
+    return predicate_decider(0, lambda view: view.center_label() == "1", name="all-selected")
+
+
+def not_all_selected_complement_decider() -> NeighborhoodGatherAlgorithm:
+    """The machine whose *rejections* witness ``not-all-selected`` (coLP view).
+
+    It is the same machine as :func:`all_selected_decider`; the complement
+    class coLP is about reading its rejections as acceptances of the
+    complement property.
+    """
+    return all_selected_decider()
+
+
+def eulerian_decider() -> NeighborhoodGatherAlgorithm:
+    """LP-decider for Eulerianness: every node checks that its degree is even.
+
+    By Euler's theorem a connected graph has an Eulerian cycle iff all degrees
+    are even (Proposition 18).
+    """
+
+    def predicate(view: LocalView) -> bool:
+        return len(view.neighbors_of(view.center)) % 2 == 0
+
+    return predicate_decider(1, predicate, name="eulerian")
+
+
+def coloring_label_verifier(colors: int = 3) -> NeighborhoodGatherAlgorithm:
+    """LP-decider for "the labels form a valid ``colors``-coloring".
+
+    Labels are expected to be binary encodings of color indices; a node
+    accepts iff its label decodes to a color smaller than *colors* and differs
+    from all its neighbors' colors.  This is the LCL-style locally checkable
+    version of coloring.
+    """
+
+    def predicate(view: LocalView) -> bool:
+        own = view.center_label()
+        if not own or int(own, 2) >= colors:
+            return False
+        for neighbor in view.neighbors_of(view.center):
+            if view.label_of(neighbor) == own:
+                return False
+        return True
+
+    return predicate_decider(1, predicate, name=f"{colors}-coloring-labels")
+
+
+def three_colorability_verifier() -> NeighborhoodGatherAlgorithm:
+    """NLP-verifier for 3-colorability: Eve's certificate is the node's color.
+
+    Each node accepts iff its first certificate decodes to a color in
+    ``{0, 1, 2}`` that differs from the first certificate of every neighbor.
+    Used with the Sigma^lp_1 game this verifies ``3-colorable``.
+    """
+
+    def predicate(view: LocalView) -> bool:
+        certs = view.center_certificates()
+        if not certs or certs[0] not in ("00", "01", "10"):
+            return False
+        own = certs[0]
+        for neighbor in view.neighbors_of(view.center):
+            neighbor_certs = view.certificates_of(neighbor)
+            if not neighbor_certs or neighbor_certs[0] == own:
+                return False
+        return True
+
+    return predicate_decider(1, predicate, name="3-colorability-verifier")
+
+
+def two_colorability_verifier() -> NeighborhoodGatherAlgorithm:
+    """NLP-verifier for 2-colorability (used in the proof of Proposition 24)."""
+
+    def predicate(view: LocalView) -> bool:
+        certs = view.center_certificates()
+        if not certs or certs[0] not in ("0", "1"):
+            return False
+        own = certs[0]
+        for neighbor in view.neighbors_of(view.center):
+            neighbor_certs = view.certificates_of(neighbor)
+            if not neighbor_certs or neighbor_certs[0] == own:
+                return False
+        return True
+
+    return predicate_decider(1, predicate, name="2-colorability-verifier")
+
+
+def selected_equals_certificate_verifier() -> NeighborhoodGatherAlgorithm:
+    """A toy verifier: accept iff the certificate repeats the node's label."""
+
+    def predicate(view: LocalView) -> bool:
+        certs = view.center_certificates()
+        return bool(certs) and certs[0] == view.center_label()
+
+    return predicate_decider(0, predicate, name="certificate-equals-label")

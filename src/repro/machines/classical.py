@@ -1,0 +1,233 @@
+"""Classical (single-computer) Turing machines -- the single-node special case.
+
+The paper's whole program rests on the observation that centralized computing
+is the restriction of the LOCAL model to single-node graphs (Section 2.1,
+"Connection to standard complexity classes").  To exercise that restriction we
+need the centralized machine model itself: a standard one-tape Turing machine
+with polynomially bounded running time.  This module provides it, together
+with space-time diagrams -- the central object of Fagin's proof (Theorem 12),
+which :mod:`repro.fagin.space_time` encodes as relations over string
+structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "ClassicalTuringMachine",
+    "MachineRun",
+    "SpaceTimeDiagram",
+    "all_ones_machine",
+    "even_length_machine",
+    "contains_zero_machine",
+]
+
+BLANK = "_"
+LEFT_END = ">"
+
+Transition = Tuple[str, str, int]
+"""``(new_state, written_symbol, head_move)`` with the move in ``{-1, 0, +1}``."""
+
+
+@dataclass(frozen=True)
+class SpaceTimeDiagram:
+    """The full space-time diagram of a halting run.
+
+    ``rows[t]`` is the tape content at time ``t`` (padded with blanks to the
+    diagram's width), ``states[t]`` the machine state at time ``t`` and
+    ``heads[t]`` the head position at time ``t``.  The diagram has
+    ``steps + 1`` rows: row 0 is the initial configuration.
+    """
+
+    rows: Tuple[str, ...]
+    states: Tuple[str, ...]
+    heads: Tuple[int, ...]
+
+    @property
+    def steps(self) -> int:
+        """Number of computation steps taken."""
+        return len(self.rows) - 1
+
+    @property
+    def width(self) -> int:
+        """Number of tape cells represented in every row (the space usage)."""
+        return len(self.rows[0]) if self.rows else 0
+
+    def cell(self, time: int, position: int) -> str:
+        """The tape symbol at the given time and position."""
+        return self.rows[time][position]
+
+
+@dataclass(frozen=True)
+class MachineRun:
+    """The outcome of running a classical Turing machine on an input string."""
+
+    accepted: bool
+    steps: int
+    space: int
+    diagram: SpaceTimeDiagram
+
+
+class ClassicalTuringMachine:
+    """A deterministic one-tape Turing machine over the alphabet ``{0, 1}``.
+
+    Parameters
+    ----------
+    states:
+        The state set; must contain *initial_state*, ``accept`` and ``reject``.
+    transitions:
+        Mapping from ``(state, symbol)`` to ``(new_state, written_symbol,
+        move)``.  Symbols are ``0``, ``1``, the blank ``_`` and the left-end
+        marker ``>`` (which may not be overwritten).  Missing entries send the
+        machine to the rejecting state.
+    initial_state:
+        The starting state (default ``start``).
+    """
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        transitions: Mapping[Tuple[str, str], Transition],
+        initial_state: str = "start",
+        accept_state: str = "accept",
+        reject_state: str = "reject",
+    ) -> None:
+        state_set = set(states)
+        for required in (initial_state, accept_state, reject_state):
+            if required not in state_set:
+                raise ValueError(f"the state set must contain {required!r}")
+        for (state, symbol), (new_state, written, move) in transitions.items():
+            if state not in state_set or new_state not in state_set:
+                raise ValueError("transition refers to an unknown state")
+            if symbol not in {"0", "1", BLANK, LEFT_END}:
+                raise ValueError(f"unknown tape symbol {symbol!r}")
+            if written not in {"0", "1", BLANK, LEFT_END}:
+                raise ValueError(f"unknown written symbol {written!r}")
+            if symbol == LEFT_END and written != LEFT_END:
+                raise ValueError("the left-end marker may not be overwritten")
+            if move not in (-1, 0, 1):
+                raise ValueError("head moves must be -1, 0 or +1")
+        self.states = frozenset(state_set)
+        self.transitions = dict(transitions)
+        self.initial_state = initial_state
+        self.accept_state = accept_state
+        self.reject_state = reject_state
+
+    # ------------------------------------------------------------------
+    def run(self, word: str, max_steps: int = 10_000) -> MachineRun:
+        """Run the machine on ``> word`` and record the full space-time diagram.
+
+        Raises ``RuntimeError`` if the machine does not halt within
+        *max_steps* steps -- the polynomial-time machines of the paper always
+        halt well before any reasonable bound.
+        """
+        if not set(word) <= {"0", "1"}:
+            raise ValueError(f"inputs must be bit strings, got {word!r}")
+        tape: List[str] = [LEFT_END] + list(word)
+        state = self.initial_state
+        head = 0
+
+        snapshots: List[Tuple[str, str, int]] = [("".join(tape), state, head)]
+        steps = 0
+        while state not in (self.accept_state, self.reject_state):
+            if steps >= max_steps:
+                raise RuntimeError(f"machine did not halt within {max_steps} steps")
+            symbol = tape[head] if head < len(tape) else BLANK
+            transition = self.transitions.get((state, symbol))
+            if transition is None:
+                state = self.reject_state
+                snapshots.append(("".join(tape), state, head))
+                steps += 1
+                break
+            new_state, written, move = transition
+            while head >= len(tape):
+                tape.append(BLANK)
+            tape[head] = written
+            head = max(0, head + move)
+            state = new_state
+            steps += 1
+            snapshots.append(("".join(tape), state, head))
+
+        width = max(len(content) for content, _, _ in snapshots)
+        width = max(width, max(h for _, _, h in snapshots) + 1)
+        rows = tuple(content.ljust(width, BLANK) for content, _, _ in snapshots)
+        diagram = SpaceTimeDiagram(
+            rows=rows,
+            states=tuple(s for _, s, _ in snapshots),
+            heads=tuple(h for _, _, h in snapshots),
+        )
+        return MachineRun(
+            accepted=(state == self.accept_state),
+            steps=steps,
+            space=width,
+            diagram=diagram,
+        )
+
+    def accepts(self, word: str, max_steps: int = 10_000) -> bool:
+        """Whether the machine accepts *word*."""
+        return self.run(word, max_steps).accepted
+
+    def runs_in_polynomial_time(
+        self, words: Sequence[str], degree: int = 1, coefficient: int = 4, constant: int = 4
+    ) -> bool:
+        """Empirically check the step bound ``coefficient * n^degree + constant`` on samples."""
+        for word in words:
+            bound = coefficient * (len(word) ** degree) + constant
+            if self.run(word).steps > bound:
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Example machines (used by the Fagin and Cook-Levin tests)
+# ----------------------------------------------------------------------
+def all_ones_machine() -> ClassicalTuringMachine:
+    """Accepts exactly the (possibly empty) strings consisting of ``1`` characters.
+
+    This is the single-node restriction of ``all-selected``: a single
+    left-to-right scan.
+    """
+    transitions: Dict[Tuple[str, str], Transition] = {
+        ("start", LEFT_END): ("scan", LEFT_END, 1),
+        ("scan", "1"): ("scan", "1", 1),
+        ("scan", BLANK): ("accept", BLANK, 0),
+        ("scan", "0"): ("reject", "0", 0),
+    }
+    return ClassicalTuringMachine(
+        states=["start", "scan", "accept", "reject"], transitions=transitions
+    )
+
+
+def even_length_machine() -> ClassicalTuringMachine:
+    """Accepts exactly the strings of even length (a two-state parity scan)."""
+    transitions: Dict[Tuple[str, str], Transition] = {
+        ("start", LEFT_END): ("even", LEFT_END, 1),
+        ("even", "0"): ("odd", "0", 1),
+        ("even", "1"): ("odd", "1", 1),
+        ("odd", "0"): ("even", "0", 1),
+        ("odd", "1"): ("even", "1", 1),
+        ("even", BLANK): ("accept", BLANK, 0),
+        ("odd", BLANK): ("reject", BLANK, 0),
+    }
+    return ClassicalTuringMachine(
+        states=["start", "even", "odd", "accept", "reject"], transitions=transitions
+    )
+
+
+def contains_zero_machine() -> ClassicalTuringMachine:
+    """Accepts exactly the strings containing at least one ``0``.
+
+    This is the single-node restriction of ``not-all-selected``, the property
+    the paper uses to separate the nondeterministic classes (Section 1.3).
+    """
+    transitions: Dict[Tuple[str, str], Transition] = {
+        ("start", LEFT_END): ("scan", LEFT_END, 1),
+        ("scan", "1"): ("scan", "1", 1),
+        ("scan", "0"): ("accept", "0", 0),
+        ("scan", BLANK): ("reject", BLANK, 0),
+    }
+    return ClassicalTuringMachine(
+        states=["start", "scan", "accept", "reject"], transitions=transitions
+    )

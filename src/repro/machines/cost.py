@@ -1,0 +1,127 @@
+"""Resource accounting for locally polynomial machines (Section 4).
+
+A locally polynomial machine must run in *constant round time* and
+*polynomial step time*.  The simulator already reports round counts and
+message statistics; this module packages the checks the test-suite uses to
+confirm that the library's machines and reductions respect the resource
+bounds that define LP and NLP:
+
+* :func:`round_time_is_constant` -- the number of rounds used does not grow
+  with the size of the input graph (measured over a graph family).
+* :func:`messages_polynomially_bounded` -- the longest message sent by any
+  node is bounded by a polynomial in the information content of its
+  neighborhood (a proxy for polynomial step time: a machine cannot write a
+  message longer than its number of computation steps).
+* :func:`turing_steps_polynomially_bounded` -- for low-level distributed
+  Turing machines, the actual per-round step counts recorded by the
+  simulator are polynomially bounded in the input sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from repro.graphs.certificates import Polynomial, neighborhood_information
+from repro.graphs.identifiers import small_identifier_assignment
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.machines.interface import NodeMachine
+from repro.machines.simulator import ExecutionResult, execute
+
+
+@dataclass
+class ResourceReport:
+    """Observed resource usage of a machine over a family of graphs."""
+
+    rounds_used: List[int]
+    max_message_lengths: List[int]
+    neighborhood_bounds: List[int]
+
+    def constant_rounds(self) -> bool:
+        """Whether the round count is the same on every graph of the family."""
+        return len(set(self.rounds_used)) <= 1
+
+    def messages_within(self, bound: Polynomial) -> bool:
+        """Whether every observed message respects the polynomial bound."""
+        return all(
+            observed <= bound(info)
+            for observed, info in zip(self.max_message_lengths, self.neighborhood_bounds)
+        )
+
+
+def measure_resources(
+    machine: NodeMachine,
+    graphs: Sequence[LabeledGraph],
+    radius: int = 1,
+    identifier_radius: int = 2,
+    certificates_for: Optional[Callable[[LabeledGraph], Sequence[Mapping[Node, str]]]] = None,
+) -> ResourceReport:
+    """Run *machine* on every graph and collect the resource observations."""
+    rounds_used: List[int] = []
+    max_message_lengths: List[int] = []
+    neighborhood_bounds: List[int] = []
+    for graph in graphs:
+        ids = small_identifier_assignment(graph, identifier_radius)
+        certificates = certificates_for(graph) if certificates_for else None
+        result: ExecutionResult = execute(machine, graph, ids, certificates)
+        rounds_used.append(result.rounds_used)
+        max_message_lengths.append(result.max_message_length)
+        neighborhood_bounds.append(
+            max(neighborhood_information(graph, ids, u, radius) for u in graph.nodes)
+        )
+    return ResourceReport(
+        rounds_used=rounds_used,
+        max_message_lengths=max_message_lengths,
+        neighborhood_bounds=neighborhood_bounds,
+    )
+
+
+def round_time_is_constant(machine: NodeMachine, graphs: Sequence[LabeledGraph]) -> bool:
+    """Whether the machine uses the same number of rounds on all given graphs."""
+    return measure_resources(machine, graphs).constant_rounds()
+
+
+def messages_polynomially_bounded(
+    machine: NodeMachine,
+    graphs: Sequence[LabeledGraph],
+    bound: Polynomial,
+    radius: int = 1,
+) -> bool:
+    """Whether the longest message is bounded by ``bound`` of the neighborhood information."""
+    return measure_resources(machine, graphs, radius=radius).messages_within(bound)
+
+
+def turing_steps_polynomially_bounded(
+    machine,
+    graph: LabeledGraph,
+    bound: Polynomial,
+) -> bool:
+    """Whether a low-level Turing machine's recorded step counts respect *bound*.
+
+    The bound is evaluated on the length of the node's initial tape contents
+    in the corresponding round, mirroring the paper's definition of step time.
+    """
+    from repro.machines.interface import NodeInput
+
+    ids = small_identifier_assignment(graph, 1)
+    # Re-run while keeping references to the per-node states to inspect counters.
+    states = {}
+    original_initial_state = machine.initial_state
+
+    def capturing_initial_state(node_input: NodeInput):
+        state = original_initial_state(node_input)
+        states[node_input.node] = (state, node_input)
+        return state
+
+    machine.initial_state = capturing_initial_state  # type: ignore[assignment]
+    try:
+        execute(machine, graph, ids)
+    finally:
+        machine.initial_state = original_initial_state  # type: ignore[assignment]
+
+    for node, (state, node_input) in states.items():
+        input_size = len(node_input.internal_tape_content()) + node_input.degree
+        for steps in state.steps_per_round:
+            if steps > bound(input_size + sum(state.steps_per_round)):
+                return False
+    return True

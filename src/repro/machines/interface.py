@@ -1,0 +1,91 @@
+"""Common interface between the simulator and the two machine layers.
+
+A *node machine* is the per-node program executed by the synchronous
+simulator.  Every round it receives the list of messages sent by its
+neighbors in the previous round (sorted by ascending identifier order, as in
+the paper) and produces one outgoing message per neighbor plus a flag saying
+whether it has stopped.  After the execution, the machine's output label is
+read off its final state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Protocol, Sequence, Tuple
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class NodeInput:
+    """The local input available to a node at the start of an execution.
+
+    Attributes
+    ----------
+    node:
+        The node's identity (only used for bookkeeping by the simulator; the
+        machine itself must not depend on it).
+    label:
+        The node's bit-string label ``lambda(u)``.
+    identifier:
+        The node's identifier ``id(u)``.
+    certificates:
+        The node's certificate list ``kappa_1(u), ..., kappa_l(u)``.
+    degree:
+        The number of neighbors.
+    """
+
+    node: Node
+    label: str
+    identifier: str
+    certificates: Tuple[str, ...]
+    degree: int
+
+    def certificate_list_string(self) -> str:
+        """The combined certificate string ``kappa_1(u) # ... # kappa_l(u)``."""
+        return "#".join(self.certificates)
+
+    def internal_tape_content(self) -> str:
+        """The initial internal tape content ``label # id # certificates``."""
+        return f"{self.label}#{self.identifier}#{self.certificate_list_string()}"
+
+
+class NodeMachine(Protocol):
+    """Protocol implemented by both distributed Turing machines and local algorithms."""
+
+    def initial_state(self, node_input: NodeInput) -> Any:
+        """The node's state before the first round."""
+
+    def round(
+        self, state: Any, received: Sequence[str], round_index: int
+    ) -> Tuple[Any, List[str], bool]:
+        """Execute one round.
+
+        Parameters
+        ----------
+        state:
+            The node state at the beginning of the round.
+        received:
+            Messages received from the neighbors, in ascending identifier
+            order of the senders (empty strings for silent neighbors).
+        round_index:
+            The 1-based round number.
+
+        Returns
+        -------
+        A triple ``(new_state, outgoing_messages, stopped)``.  The outgoing
+        messages are addressed to the neighbors in ascending identifier
+        order; missing entries default to the empty string.  Once ``stopped``
+        is returned true the node keeps silent for the rest of the execution.
+        """
+
+    def output(self, state: Any) -> str:
+        """The node's output label after the execution has terminated."""
+
+    def max_rounds(self) -> int:
+        """An upper bound on the number of rounds the machine needs."""
+
+
+def verdict_of(output_label: str) -> bool:
+    """Acceptance convention of the paper: a node accepts iff its output is ``"1"``."""
+    return output_label == "1"

@@ -1,0 +1,279 @@
+"""Constant-round local algorithms (the practical machine layer).
+
+Almost every construction in the paper follows the same scheme: *in the first
+r rounds each node collects its r-neighborhood (labels, identifiers and
+certificates included), and in the last round it evaluates some predicate on
+that local view*.  :class:`NeighborhoodGatherAlgorithm` implements exactly
+this scheme on top of the simulator, with the local view handed to a
+user-supplied ``compute`` function.
+
+The information gathered per node is the :class:`LocalView`: the induced
+subgraph of the radius-``r`` ball around the node together with the
+identifiers and certificates of all nodes in the ball.  Node identities inside
+the view are the *identifiers*, not the original node objects, so that a
+compute function cannot accidentally depend on information a real distributed
+algorithm would not have.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.machines.interface import NodeInput
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """What a node knows after ``radius`` rounds of flooding.
+
+    Attributes
+    ----------
+    center:
+        The identifier of the node at the center of the view.
+    radius:
+        The gathering radius.
+    nodes:
+        Identifiers of all nodes in the radius-``radius`` ball.
+    edges:
+        Edges among those nodes (as frozensets of identifiers) -- note that
+        edges between two nodes at distance exactly ``radius`` from the center
+        are known only if some ball member reported them, exactly as in the
+        LOCAL model.
+    labels, identifiers, certificates, distances:
+        Per-node data, keyed by identifier.  ``identifiers`` maps each view
+        node to its identifier string (identity map, kept for clarity),
+        ``certificates`` maps to the tuple of certificates, ``distances`` to
+        the hop distance from the center.
+    """
+
+    center: str
+    radius: int
+    nodes: FrozenSet[str]
+    edges: FrozenSet[FrozenSet[str]]
+    labels: Tuple[Tuple[str, str], ...]
+    certificates: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    distances: Tuple[Tuple[str, int], ...]
+
+    def label_of(self, identifier: str) -> str:
+        """The label of the view node with the given identifier."""
+        return dict(self.labels)[identifier]
+
+    def certificates_of(self, identifier: str) -> Tuple[str, ...]:
+        """The certificate tuple of the view node with the given identifier."""
+        return dict(self.certificates)[identifier]
+
+    def distance_of(self, identifier: str) -> int:
+        """Hop distance from the center to the given view node."""
+        return dict(self.distances)[identifier]
+
+    def neighbors_of(self, identifier: str) -> FrozenSet[str]:
+        """Neighbors of the given view node *within the view*."""
+        result = set()
+        for edge in self.edges:
+            if identifier in edge:
+                (other,) = set(edge) - {identifier}
+                result.add(other)
+        return frozenset(result)
+
+    def center_label(self) -> str:
+        """The label of the center node."""
+        return self.label_of(self.center)
+
+    def center_certificates(self) -> Tuple[str, ...]:
+        """The certificates of the center node."""
+        return self.certificates_of(self.center)
+
+    def size(self) -> int:
+        """Number of nodes in the view."""
+        return len(self.nodes)
+
+
+ComputeFunction = Callable[[LocalView], str]
+
+
+class LocalAlgorithm:
+    """Base class for constant-round local algorithms.
+
+    Subclasses implement :meth:`initial_state`, :meth:`round` and
+    :meth:`output` (the :class:`~repro.machines.interface.NodeMachine`
+    protocol); this base class only fixes the constant round bound.
+    """
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError("the number of rounds must be nonnegative")
+        self._rounds = rounds
+
+    def max_rounds(self) -> int:
+        return self._rounds
+
+    def initial_state(self, node_input: NodeInput) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def round(
+        self, state: Any, received: Sequence[str], round_index: int
+    ) -> Tuple[Any, List[str], bool]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def output(self, state: Any) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Neighborhood gathering
+# ----------------------------------------------------------------------
+@dataclass
+class _GatherState:
+    node_input: NodeInput
+    # Knowledge tables keyed by identifier.
+    labels: Dict[str, str]
+    certificates: Dict[str, Tuple[str, ...]]
+    distances: Dict[str, int]
+    edges: set
+    output_label: str = ""
+
+
+def _encode_knowledge(state: _GatherState) -> str:
+    """Serialize a node's current knowledge into a message string."""
+    payload = {
+        "labels": state.labels,
+        "certificates": {k: list(v) for k, v in state.certificates.items()},
+        "distances": state.distances,
+        "edges": sorted(sorted(edge) for edge in state.edges),
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def _merge_knowledge(state: _GatherState, message: str) -> None:
+    """Merge a neighbor's serialized knowledge into *state* (distances shifted by 1)."""
+    if not message:
+        return
+    payload = json.loads(message)
+    for identifier, label in payload["labels"].items():
+        state.labels.setdefault(identifier, label)
+    for identifier, certs in payload["certificates"].items():
+        state.certificates.setdefault(identifier, tuple(certs))
+    for identifier, distance in payload["distances"].items():
+        shifted = distance + 1
+        if identifier not in state.distances or shifted < state.distances[identifier]:
+            state.distances[identifier] = shifted
+    for edge in payload["edges"]:
+        state.edges.add(frozenset(edge))
+
+
+class NeighborhoodGatherAlgorithm(LocalAlgorithm):
+    """Collect the radius-``r`` neighborhood, then apply ``compute`` to the view.
+
+    Parameters
+    ----------
+    radius:
+        The gathering radius ``r``.  The algorithm runs for ``r + 2`` rounds:
+        ``r + 1`` communication rounds (so that the full induced subgraph on
+        the radius-``r`` ball, including edges between two nodes at distance
+        exactly ``r``, becomes known) plus a final local-computation round in
+        which nothing is sent.
+    compute:
+        A function from :class:`LocalView` to the node's output label.
+        Returning ``"1"`` means the node accepts.
+    name:
+        Optional human-readable name, used in reprs and error messages.
+    """
+
+    def __init__(self, radius: int, compute: ComputeFunction, name: str = "") -> None:
+        super().__init__(rounds=radius + 2)
+        if radius < 0:
+            raise ValueError("radius must be nonnegative")
+        self.radius = radius
+        self.compute = compute
+        self.name = name or f"gather[{radius}]"
+
+    # NodeMachine protocol -------------------------------------------------
+    def initial_state(self, node_input: NodeInput) -> _GatherState:
+        identifier = node_input.identifier
+        return _GatherState(
+            node_input=node_input,
+            labels={identifier: node_input.label},
+            certificates={identifier: tuple(node_input.certificates)},
+            distances={identifier: 0},
+            edges=set(),
+        )
+
+    def round(
+        self, state: _GatherState, received: Sequence[str], round_index: int
+    ) -> Tuple[_GatherState, List[str], bool]:
+        own_id = state.node_input.identifier
+        # Record the edges to direct neighbors as soon as their identity is known.
+        for message in received:
+            if not message:
+                continue
+            payload = json.loads(message)
+            sender = min(payload["distances"], key=lambda k: payload["distances"][k])
+            state.edges.add(frozenset({own_id, sender}))
+            _merge_knowledge(state, message)
+
+        if round_index <= self.radius + 1:
+            outgoing = _encode_knowledge(state)
+            return state, [outgoing] * state.node_input.degree, False
+
+        # Final round: evaluate the predicate on the gathered view.
+        view = self._view_of(state)
+        state.output_label = self.compute(view)
+        return state, ["" for _ in range(state.node_input.degree)], True
+
+    def output(self, state: _GatherState) -> str:
+        return state.output_label
+
+    # ----------------------------------------------------------------------
+    def _view_of(self, state: _GatherState) -> LocalView:
+        in_range = {
+            identifier
+            for identifier, distance in state.distances.items()
+            if distance <= self.radius
+        }
+        edges = frozenset(edge for edge in state.edges if set(edge) <= in_range)
+        return LocalView(
+            center=state.node_input.identifier,
+            radius=self.radius,
+            nodes=frozenset(in_range),
+            edges=edges,
+            labels=tuple(sorted((i, state.labels[i]) for i in in_range)),
+            certificates=tuple(sorted((i, state.certificates.get(i, ())) for i in in_range)),
+            distances=tuple(sorted((i, state.distances[i]) for i in in_range)),
+        )
+
+    def __repr__(self) -> str:
+        return f"NeighborhoodGatherAlgorithm(radius={self.radius}, name={self.name!r})"
+
+
+def gather_view(
+    graph, ids, node, radius: int, certificates: Optional[Sequence[Dict]] = None
+) -> LocalView:
+    """Directly build the :class:`LocalView` a node would gather (no simulation).
+
+    Useful as an oracle in tests: the view produced by running
+    :class:`NeighborhoodGatherAlgorithm` through the simulator must coincide
+    with the view constructed centrally here.
+    """
+    certificates = certificates or []
+    ball = graph.ball(node, radius)
+    distances = graph.distances_from(node)
+    id_of = dict(ids)
+    nodes = frozenset(id_of[v] for v in ball)
+    edges = frozenset(
+        frozenset({id_of[u], id_of[v]})
+        for u, v in graph.edge_pairs()
+        if u in ball and v in ball
+    )
+    return LocalView(
+        center=id_of[node],
+        radius=radius,
+        nodes=nodes,
+        edges=edges,
+        labels=tuple(sorted((id_of[v], graph.label(v)) for v in ball)),
+        certificates=tuple(
+            sorted((id_of[v], tuple(k.get(v, "") for k in certificates)) for v in ball)
+        ),
+        distances=tuple(sorted((id_of[v], distances[v]) for v in ball)),
+    )

@@ -1,0 +1,326 @@
+"""Low-level distributed Turing machines (Section 4, Figure 8).
+
+A distributed Turing machine is a pair ``(Q, delta)`` over the tape alphabet
+``{⊢, □, #, 0, 1}``.  Each node runs its own copy with three one-way infinite
+tapes:
+
+* the **receiving tape**, overwritten at the start of each round with the
+  concatenation of the incoming messages separated (and terminated) by ``#``,
+* the **internal tape**, initialized in round 1 with
+  ``label # identifier # certificates`` and persistent across rounds,
+* the **sending tape**, cleared at the start of each round; at the end of the
+  round its first ``d`` ``#``-separated bit strings are sent to the ``d``
+  neighbors in ascending identifier order.
+
+The local computation of a round starts in ``q_start`` with all heads on the
+leftmost cell and runs until ``q_pause`` or ``q_stop`` is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.machines.interface import NodeInput
+
+LEFT_END = "⊢"
+BLANK = "□"
+SEPARATOR = "#"
+ALPHABET = (LEFT_END, BLANK, SEPARATOR, "0", "1")
+
+Q_START = "q_start"
+Q_PAUSE = "q_pause"
+Q_STOP = "q_stop"
+
+TransitionKey = Tuple[str, str, str, str]
+"""(state, symbol_receiving, symbol_internal, symbol_sending)."""
+
+TransitionValue = Tuple[str, str, str, str, int, int, int]
+"""(new_state, write_receiving, write_internal, write_sending,
+    move_receiving, move_internal, move_sending)."""
+
+
+@dataclass(frozen=True)
+class TuringTransition:
+    """One entry of the transition function ``delta``."""
+
+    state: str
+    read: Tuple[str, str, str]
+    next_state: str
+    write: Tuple[str, str, str]
+    moves: Tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        for symbol in self.read + self.write:
+            if symbol not in ALPHABET:
+                raise ValueError(f"symbol {symbol!r} is not in the tape alphabet")
+        for move in self.moves:
+            if move not in (-1, 0, 1):
+                raise ValueError("head moves must be -1, 0 or 1")
+
+
+class Tape:
+    """A one-way infinite tape with a left-end marker in cell 0."""
+
+    __slots__ = ("cells", "head")
+
+    def __init__(self, content: str = "") -> None:
+        self.cells: List[str] = [LEFT_END] + list(content)
+        self.head = 0
+
+    def read(self) -> str:
+        if self.head < len(self.cells):
+            return self.cells[self.head]
+        return BLANK
+
+    def write(self, symbol: str) -> None:
+        while self.head >= len(self.cells):
+            self.cells.append(BLANK)
+        if self.head == 0 and symbol != LEFT_END:
+            # The left-end marker may not be overwritten; this mirrors the
+            # usual convention for one-way infinite tapes.
+            return
+        self.cells[self.head] = symbol
+
+    def move(self, direction: int) -> None:
+        self.head = max(0, self.head + direction)
+
+    def content(self) -> str:
+        """Tape content ignoring leading/trailing ``⊢`` and ``□`` (Section 4)."""
+        text = "".join(self.cells)
+        return text.strip(LEFT_END + BLANK)
+
+    def reset_with(self, content: str) -> None:
+        self.cells = [LEFT_END] + list(content)
+        self.head = 0
+
+    def space_usage(self) -> int:
+        return len(self.cells)
+
+
+@dataclass
+class _TuringNodeState:
+    """Per-node runtime state of a distributed Turing machine."""
+
+    state: str
+    receiving: Tape
+    internal: Tape
+    sending: Tape
+    degree: int
+    stopped: bool = False
+    steps_per_round: List[int] = field(default_factory=list)
+    space_per_round: List[int] = field(default_factory=list)
+
+
+class DistributedTuringMachine:
+    """A distributed Turing machine ``M = (Q, delta)``.
+
+    Parameters
+    ----------
+    states:
+        The state set; must contain ``q_start``, ``q_pause`` and ``q_stop``.
+    transitions:
+        The transition function, given either as a mapping from
+        ``(state, s_rcv, s_int, s_snd)`` to
+        ``(state', w_rcv, w_int, w_snd, m_rcv, m_int, m_snd)`` or as an
+        iterable of :class:`TuringTransition`.  Missing entries default to
+        "halt in the current configuration by entering ``q_stop``" so that
+        partial tables stay total, as customary.
+    rounds:
+        The (constant) number of communication rounds the machine runs for.
+    step_limit:
+        Safety cap on the number of computation steps per node per round.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        transitions: Mapping[TransitionKey, TransitionValue] | Sequence[TuringTransition],
+        rounds: int = 1,
+        step_limit: int = 100_000,
+    ) -> None:
+        state_set = set(states) | {Q_START, Q_PAUSE, Q_STOP}
+        self.states = frozenset(state_set)
+        self.rounds = rounds
+        self.step_limit = step_limit
+
+        table: Dict[TransitionKey, TransitionValue] = {}
+        if isinstance(transitions, Mapping):
+            table.update(transitions)
+        else:
+            for tr in transitions:
+                key = (tr.state, *tr.read)
+                table[key] = (tr.next_state, *tr.write, *tr.moves)
+        for key, value in table.items():
+            if key[0] not in self.states or value[0] not in self.states:
+                raise ValueError(f"transition {key} -> {value} uses unknown state")
+        self.transitions = table
+
+    # ------------------------------------------------------------------
+    # NodeMachine protocol
+    # ------------------------------------------------------------------
+    def initial_state(self, node_input: NodeInput) -> _TuringNodeState:
+        return _TuringNodeState(
+            state=Q_START,
+            receiving=Tape(),
+            internal=Tape(node_input.internal_tape_content()),
+            sending=Tape(),
+            degree=node_input.degree,
+        )
+
+    def round(
+        self, state: _TuringNodeState, received: Sequence[str], round_index: int
+    ) -> Tuple[_TuringNodeState, List[str], bool]:
+        # Phase 1: overwrite the receiving tape with the incoming messages.
+        state.receiving.reset_with(SEPARATOR.join(received) + SEPARATOR if received else "")
+
+        # Phase 2: local computation (skipped if the machine already stopped).
+        steps = 0
+        if not state.stopped:
+            state.sending.reset_with("")
+            state.state = Q_START
+            state.receiving.head = 0
+            state.internal.head = 0
+            state.sending.head = 0
+            while state.state not in (Q_PAUSE, Q_STOP):
+                if steps >= self.step_limit:
+                    raise RuntimeError(
+                        f"distributed Turing machine exceeded the step limit of {self.step_limit}"
+                    )
+                symbols = (
+                    state.receiving.read(),
+                    state.internal.read(),
+                    state.sending.read(),
+                )
+                key = (state.state, *symbols)
+                if key not in self.transitions:
+                    state.state = Q_STOP
+                    break
+                next_state, w_rcv, w_int, w_snd, m_rcv, m_int, m_snd = self.transitions[key]
+                state.receiving.write(w_rcv)
+                state.internal.write(w_int)
+                state.sending.write(w_snd)
+                state.receiving.move(m_rcv)
+                state.internal.move(m_int)
+                state.sending.move(m_snd)
+                state.state = next_state
+                steps += 1
+            if state.state == Q_STOP:
+                state.stopped = True
+        state.steps_per_round.append(steps)
+        state.space_per_round.append(
+            state.receiving.space_usage() + state.internal.space_usage() + state.sending.space_usage()
+        )
+
+        # Phase 3: extract the outgoing messages from the sending tape.
+        if state.stopped and steps == 0:
+            outgoing = ["" for _ in range(state.degree)]
+        else:
+            outgoing = self._outgoing_messages(state)
+        return state, outgoing, state.stopped
+
+    def output(self, state: _TuringNodeState) -> str:
+        content = state.internal.content()
+        return "".join(ch for ch in content if ch in "01")
+
+    def max_rounds(self) -> int:
+        return self.rounds
+
+    # ------------------------------------------------------------------
+    def _outgoing_messages(self, state: _TuringNodeState) -> List[str]:
+        raw = "".join(state.sending.cells[1:])
+        raw = raw.replace(BLANK, "")
+        parts = raw.split(SEPARATOR)
+        messages = []
+        for i in range(state.degree):
+            messages.append(parts[i] if i < len(parts) else "")
+        return messages
+
+
+def accept_machine(rounds: int = 1) -> DistributedTuringMachine:
+    """A trivial machine that immediately accepts (writes ``1``) at every node."""
+    transitions = {
+        (Q_START, LEFT_END, LEFT_END, LEFT_END): ("q_write", LEFT_END, LEFT_END, LEFT_END, 0, 1, 0),
+    }
+    # In state q_write the head of the internal tape is on cell 1; write 1,
+    # then clear the rest of the original content.
+    for s_rcv in ALPHABET:
+        for s_int in ALPHABET:
+            for s_snd in ALPHABET:
+                transitions.setdefault(
+                    ("q_write", s_rcv, s_int, s_snd),
+                    ("q_clear", s_rcv, "1", s_snd, 0, 1, 0),
+                )
+                if s_int == BLANK:
+                    transitions.setdefault(
+                        ("q_clear", s_rcv, s_int, s_snd),
+                        (Q_STOP, s_rcv, s_int, s_snd, 0, 0, 0),
+                    )
+                else:
+                    transitions.setdefault(
+                        ("q_clear", s_rcv, s_int, s_snd),
+                        ("q_clear", s_rcv, BLANK, s_snd, 0, 1, 0),
+                    )
+    return DistributedTuringMachine(
+        ["q_write", "q_clear"], transitions, rounds=rounds
+    )
+
+
+def label_is_one_machine() -> DistributedTuringMachine:
+    """A one-round machine that accepts iff the node's label is exactly ``1``.
+
+    The internal tape initially holds ``label#id#certs``; the machine checks
+    that the first symbol is ``1`` and the second is ``#``, then erases the
+    tape and writes the verdict.  Running it under acceptance by unanimity
+    decides the property ``all-selected`` (Remark 17) at the Turing-machine
+    level.
+    """
+    transitions: Dict[TransitionKey, TransitionValue] = {}
+
+    def add(state: str, s_int: str, value: TransitionValue) -> None:
+        for s_rcv in ALPHABET:
+            for s_snd in ALPHABET:
+                transitions[(state, s_rcv, s_int, s_snd)] = value
+
+    # Move off the left-end marker.
+    add(Q_START, LEFT_END, ("q_first", LEFT_END, LEFT_END, LEFT_END, 0, 1, 0))
+    # First symbol of the label must be '1'.
+    for symbol in ALPHABET:
+        if symbol == LEFT_END:
+            continue
+        if symbol == "1":
+            add("q_first", symbol, ("q_second", symbol, symbol, symbol, 0, 1, 0))
+        else:
+            add("q_first", symbol, ("q_reject", symbol, symbol, symbol, 0, 0, 0))
+    # Second symbol must be '#' (label has length exactly one).
+    for symbol in ALPHABET:
+        if symbol == LEFT_END:
+            continue
+        if symbol == SEPARATOR:
+            add("q_second", symbol, ("q_accept", symbol, symbol, symbol, 0, -1, 0))
+        else:
+            add("q_second", symbol, ("q_reject", symbol, symbol, symbol, 0, 0, 0))
+    # Rewind to the left end before writing the verdict.
+    for symbol in ALPHABET:
+        if symbol == LEFT_END:
+            add("q_accept", symbol, ("q_write1", symbol, symbol, symbol, 0, 1, 0))
+            add("q_reject", symbol, ("q_write0", symbol, symbol, symbol, 0, 1, 0))
+        else:
+            add("q_accept", symbol, ("q_accept", symbol, symbol, symbol, 0, -1, 0))
+            add("q_reject", symbol, ("q_reject", symbol, symbol, symbol, 0, -1, 0))
+    # Write the verdict and erase the remaining tape content.
+    for symbol in ALPHABET:
+        if symbol == LEFT_END:
+            continue
+        add("q_write1", symbol, ("q_erase", symbol, "1", symbol, 0, 1, 0))
+        add("q_write0", symbol, ("q_erase", symbol, "0", symbol, 0, 1, 0))
+        if symbol == BLANK:
+            add("q_erase", symbol, (Q_STOP, symbol, symbol, symbol, 0, 0, 0))
+        else:
+            add("q_erase", symbol, ("q_erase", symbol, BLANK, symbol, 0, 1, 0))
+
+    return DistributedTuringMachine(
+        ["q_first", "q_second", "q_accept", "q_reject", "q_write1", "q_write0", "q_erase"],
+        transitions,
+        rounds=1,
+    )

@@ -1,0 +1,44 @@
+"""Pictures and tiling systems (Section 9.2 of the paper).
+
+Pictures are matrices of fixed-length bit strings; they are the structures on
+which the paper's infiniteness proof operates.  This package provides:
+
+* :mod:`repro.pictures.picture` -- t-bit pictures and their structural
+  representations (Figure 6 / Figure 14),
+* :mod:`repro.pictures.tiling` -- tiling systems (the 2-dimensional automaton
+  model of Giammarresi-Restivo) and their recognition procedure,
+* :mod:`repro.pictures.languages` -- example picture languages together with
+  recognizing tiling systems (used to exercise the TS = existential-MSO
+  machinery that Theorem 32 builds on),
+* :mod:`repro.pictures.grid_encoding` -- the encoding of pictures as labeled
+  grid graphs used to transfer results from pictures to graphs
+  (Section 9.2.2).
+"""
+
+from repro.pictures.picture import Picture, picture_structure
+from repro.pictures.tiling import Tile, TilingSystem, BORDER
+from repro.pictures.languages import (
+    square_pictures_system,
+    is_square_picture,
+    all_ones_system,
+    is_all_ones_picture,
+    top_row_has_one_system,
+    has_one_in_top_row,
+)
+from repro.pictures.grid_encoding import picture_to_grid_graph, grid_graph_to_picture
+
+__all__ = [
+    "Picture",
+    "picture_structure",
+    "Tile",
+    "TilingSystem",
+    "BORDER",
+    "square_pictures_system",
+    "is_square_picture",
+    "all_ones_system",
+    "is_all_ones_picture",
+    "top_row_has_one_system",
+    "has_one_in_top_row",
+    "picture_to_grid_graph",
+    "grid_graph_to_picture",
+]

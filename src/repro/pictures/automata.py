@@ -1,0 +1,425 @@
+"""Finite automata on words (Section 9.3).
+
+Section 9.3 of the paper uses two classical results about finite automata to
+place natural graph properties *outside* the locally polynomial hierarchy:
+
+* the **Buechi-Elgot-Trakhtenbrot theorem**, which identifies the word
+  languages definable in monadic second-order logic with the regular
+  languages, and
+* the **pumping lemma** for regular languages.
+
+This module implements deterministic and nondeterministic finite automata
+over alphabets of fixed-length bit strings, together with the standard
+constructions the paper's arguments rely on: the subset construction,
+product automata (intersection), complementation of DFAs, and an executable
+pumping lemma (both the decomposition it guarantees and the pumped words it
+produces).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "dfa_from_nfa",
+    "product_dfa",
+    "complement_dfa",
+    "parity_dfa",
+    "divisibility_dfa",
+    "contains_factor_nfa",
+    "all_ones_dfa",
+    "pumping_decomposition",
+    "pumped_words",
+    "enumerate_words",
+]
+
+Symbol = str
+State = str
+
+
+def _check_symbol(symbol: Symbol, width: int) -> None:
+    if len(symbol) != width or not set(symbol) <= {"0", "1"}:
+        raise ValueError(f"symbols must be bit strings of length {width}, got {symbol!r}")
+
+
+def _split_word(word: str, width: int) -> List[Symbol]:
+    if len(word) % width != 0:
+        raise ValueError(f"word length {len(word)} is not divisible by symbol width {width}")
+    return [word[i : i + width] for i in range(0, len(word), width)]
+
+
+@dataclass(frozen=True)
+class NFA:
+    """A nondeterministic finite automaton over length-``width`` bit-string symbols.
+
+    Attributes
+    ----------
+    width:
+        Length of each alphabet symbol (1 for plain bit strings).
+    states:
+        The state set.
+    initial:
+        The set of initial states.
+    accepting:
+        The set of accepting states.
+    transitions:
+        Mapping from ``(state, symbol)`` to the set of successor states.
+        Missing entries mean "no transition".
+    """
+
+    width: int
+    states: FrozenSet[State]
+    initial: FrozenSet[State]
+    accepting: FrozenSet[State]
+    transitions: Mapping[Tuple[State, Symbol], FrozenSet[State]]
+
+    @classmethod
+    def build(
+        cls,
+        width: int,
+        states: Iterable[State],
+        initial: Iterable[State],
+        accepting: Iterable[State],
+        transitions: Mapping[Tuple[State, Symbol], Iterable[State]],
+    ) -> "NFA":
+        """Validating constructor."""
+        state_set = frozenset(states)
+        initial_set = frozenset(initial)
+        accepting_set = frozenset(accepting)
+        if not initial_set <= state_set or not accepting_set <= state_set:
+            raise ValueError("initial and accepting states must be drawn from the state set")
+        table: Dict[Tuple[State, Symbol], FrozenSet[State]] = {}
+        for (state, symbol), targets in transitions.items():
+            if state not in state_set:
+                raise ValueError(f"transition from unknown state {state!r}")
+            _check_symbol(symbol, width)
+            target_set = frozenset(targets)
+            if not target_set <= state_set:
+                raise ValueError(f"transition to unknown state from {state!r} on {symbol!r}")
+            table[(state, symbol)] = target_set
+        return cls(
+            width=width,
+            states=state_set,
+            initial=initial_set,
+            accepting=accepting_set,
+            transitions=dict(table),
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, current: FrozenSet[State], symbol: Symbol) -> FrozenSet[State]:
+        """The set of states reachable from *current* by reading *symbol*."""
+        _check_symbol(symbol, self.width)
+        successors: Set[State] = set()
+        for state in current:
+            successors |= self.transitions.get((state, symbol), frozenset())
+        return frozenset(successors)
+
+    def run(self, word: str) -> FrozenSet[State]:
+        """The set of states reachable after reading *word* from the initial states."""
+        current = self.initial
+        for symbol in _split_word(word, self.width):
+            current = self.step(current, symbol)
+        return current
+
+    def accepts(self, word: str) -> bool:
+        """Whether *word* is in the recognized language."""
+        return bool(self.run(word) & self.accepting)
+
+    def alphabet(self) -> List[Symbol]:
+        """All length-``width`` bit strings."""
+        return ["".join(bits) for bits in itertools.product("01", repeat=self.width)]
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A (complete) deterministic finite automaton over bit-string symbols."""
+
+    width: int
+    states: FrozenSet[State]
+    initial: State
+    accepting: FrozenSet[State]
+    transitions: Mapping[Tuple[State, Symbol], State]
+
+    @classmethod
+    def build(
+        cls,
+        width: int,
+        states: Iterable[State],
+        initial: State,
+        accepting: Iterable[State],
+        transitions: Mapping[Tuple[State, Symbol], State],
+    ) -> "DFA":
+        """Validating constructor; the transition table must be complete."""
+        state_set = frozenset(states)
+        accepting_set = frozenset(accepting)
+        if initial not in state_set or not accepting_set <= state_set:
+            raise ValueError("initial and accepting states must be drawn from the state set")
+        alphabet = ["".join(bits) for bits in itertools.product("01", repeat=width)]
+        for state in state_set:
+            for symbol in alphabet:
+                if (state, symbol) not in transitions:
+                    raise ValueError(f"missing transition from {state!r} on {symbol!r}")
+        for (state, symbol), target in transitions.items():
+            if state not in state_set or target not in state_set:
+                raise ValueError("transition refers to unknown state")
+            _check_symbol(symbol, width)
+        return cls(
+            width=width,
+            states=state_set,
+            initial=initial,
+            accepting=accepting_set,
+            transitions=dict(transitions),
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, state: State, symbol: Symbol) -> State:
+        """The unique successor state."""
+        _check_symbol(symbol, self.width)
+        return self.transitions[(state, symbol)]
+
+    def trace(self, word: str) -> List[State]:
+        """The full state sequence visited while reading *word* (length ``|word|/width + 1``)."""
+        states = [self.initial]
+        for symbol in _split_word(word, self.width):
+            states.append(self.step(states[-1], symbol))
+        return states
+
+    def run(self, word: str) -> State:
+        """The state reached after reading *word*."""
+        return self.trace(word)[-1]
+
+    def accepts(self, word: str) -> bool:
+        """Whether *word* is in the recognized language."""
+        return self.run(word) in self.accepting
+
+    def alphabet(self) -> List[Symbol]:
+        """All length-``width`` bit strings."""
+        return ["".join(bits) for bits in itertools.product("01", repeat=self.width)]
+
+    def to_nfa(self) -> NFA:
+        """View the DFA as an NFA (every DFA is one)."""
+        return NFA.build(
+            width=self.width,
+            states=self.states,
+            initial=[self.initial],
+            accepting=self.accepting,
+            transitions={key: [target] for key, target in self.transitions.items()},
+        )
+
+
+# ----------------------------------------------------------------------
+# Standard constructions
+# ----------------------------------------------------------------------
+def dfa_from_nfa(nfa: NFA) -> DFA:
+    """The subset construction: an equivalent DFA whose states are sets of NFA states."""
+
+    def name_of(subset: FrozenSet[State]) -> State:
+        return "{" + ",".join(sorted(subset)) + "}"
+
+    alphabet = nfa.alphabet()
+    start = nfa.initial
+    seen: Dict[FrozenSet[State], State] = {start: name_of(start)}
+    worklist: List[FrozenSet[State]] = [start]
+    transitions: Dict[Tuple[State, Symbol], State] = {}
+    accepting: Set[State] = set()
+
+    while worklist:
+        subset = worklist.pop()
+        if subset & nfa.accepting:
+            accepting.add(name_of(subset))
+        for symbol in alphabet:
+            successor = nfa.step(subset, symbol)
+            if successor not in seen:
+                seen[successor] = name_of(successor)
+                worklist.append(successor)
+            transitions[(name_of(subset), symbol)] = name_of(successor)
+
+    return DFA.build(
+        width=nfa.width,
+        states=seen.values(),
+        initial=name_of(start),
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+def product_dfa(first: DFA, second: DFA, mode: str = "intersection") -> DFA:
+    """The product automaton recognizing the intersection or union of two DFA languages."""
+    if first.width != second.width:
+        raise ValueError("product requires automata over the same alphabet")
+    if mode not in ("intersection", "union"):
+        raise ValueError("mode must be 'intersection' or 'union'")
+
+    def name_of(a: State, b: State) -> State:
+        return f"({a}|{b})"
+
+    states = [name_of(a, b) for a in first.states for b in second.states]
+    transitions: Dict[Tuple[State, Symbol], State] = {}
+    for a in first.states:
+        for b in second.states:
+            for symbol in first.alphabet():
+                transitions[(name_of(a, b), symbol)] = name_of(
+                    first.transitions[(a, symbol)], second.transitions[(b, symbol)]
+                )
+    if mode == "intersection":
+        accepting = [
+            name_of(a, b) for a in first.accepting for b in second.accepting
+        ]
+    else:
+        accepting = [
+            name_of(a, b)
+            for a in first.states
+            for b in second.states
+            if a in first.accepting or b in second.accepting
+        ]
+    return DFA.build(
+        width=first.width,
+        states=states,
+        initial=name_of(first.initial, second.initial),
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+def complement_dfa(dfa: DFA) -> DFA:
+    """The DFA recognizing the complement language (swap accepting and rejecting states)."""
+    return DFA.build(
+        width=dfa.width,
+        states=dfa.states,
+        initial=dfa.initial,
+        accepting=dfa.states - dfa.accepting,
+        transitions=dfa.transitions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Concrete automata used by the Section 9.3 arguments
+# ----------------------------------------------------------------------
+def parity_dfa(bit: str = "1", parity: int = 1) -> DFA:
+    """Words containing an odd (``parity=1``) or even (``parity=0``) number of *bit*."""
+    if bit not in ("0", "1"):
+        raise ValueError("bit must be '0' or '1'")
+    if parity not in (0, 1):
+        raise ValueError("parity must be 0 or 1")
+    transitions = {}
+    for state in ("even", "odd"):
+        for symbol in ("0", "1"):
+            if symbol == bit:
+                transitions[(state, symbol)] = "odd" if state == "even" else "even"
+            else:
+                transitions[(state, symbol)] = state
+    return DFA.build(
+        width=1,
+        states=["even", "odd"],
+        initial="even",
+        accepting=["odd" if parity == 1 else "even"],
+        transitions=transitions,
+    )
+
+
+def divisibility_dfa(modulus: int, remainder: int = 0, bit: str = "1") -> DFA:
+    """Words in which the number of occurrences of *bit* is ``remainder`` modulo *modulus*."""
+    if modulus < 1:
+        raise ValueError("modulus must be positive")
+    if not 0 <= remainder < modulus:
+        raise ValueError("remainder must lie in [0, modulus)")
+    states = [f"r{i}" for i in range(modulus)]
+    transitions = {}
+    for i in range(modulus):
+        for symbol in ("0", "1"):
+            if symbol == bit:
+                transitions[(f"r{i}", symbol)] = f"r{(i + 1) % modulus}"
+            else:
+                transitions[(f"r{i}", symbol)] = f"r{i}"
+    return DFA.build(
+        width=1,
+        states=states,
+        initial="r0",
+        accepting=[f"r{remainder}"],
+        transitions=transitions,
+    )
+
+
+def contains_factor_nfa(factor: str) -> NFA:
+    """Words containing *factor* as a (contiguous) factor."""
+    if not factor or not set(factor) <= {"0", "1"}:
+        raise ValueError("factor must be a nonempty bit string")
+    states = [f"q{i}" for i in range(len(factor) + 1)]
+    transitions: Dict[Tuple[State, Symbol], List[State]] = {}
+    for symbol in ("0", "1"):
+        transitions[("q0", symbol)] = ["q0"]
+        transitions[(states[-1], symbol)] = [states[-1]]
+    for i, expected in enumerate(factor):
+        key = (f"q{i}", expected)
+        transitions.setdefault(key, [])
+        transitions[key] = list(transitions[key]) + [f"q{i + 1}"]
+    return NFA.build(
+        width=1,
+        states=states,
+        initial=["q0"],
+        accepting=[states[-1]],
+        transitions=transitions,
+    )
+
+
+def all_ones_dfa() -> DFA:
+    """Words consisting only of ``1`` characters (the word version of all-selected)."""
+    transitions = {
+        ("good", "1"): "good",
+        ("good", "0"): "bad",
+        ("bad", "0"): "bad",
+        ("bad", "1"): "bad",
+    }
+    return DFA.build(
+        width=1, states=["good", "bad"], initial="good", accepting=["good"], transitions=transitions
+    )
+
+
+# ----------------------------------------------------------------------
+# The pumping lemma, executably
+# ----------------------------------------------------------------------
+def pumping_decomposition(dfa: DFA, word: str) -> Optional[Tuple[str, str, str]]:
+    """A decomposition ``word = x y z`` with ``|xy| <= #states``, ``y`` nonempty, and
+    ``x y^i z`` accepted for all ``i`` whenever *word* is accepted and long enough.
+
+    Returns ``None`` if the word is shorter than the number of states (the
+    pumping lemma then gives no guarantee).  The decomposition is obtained the
+    standard way: the state trace of a long word must repeat a state within
+    the first ``#states`` steps, and the factor read between the two visits
+    can be pumped.
+    """
+    symbols = _split_word(word, dfa.width)
+    bound = len(dfa.states)
+    if len(symbols) < bound:
+        return None
+    trace = dfa.trace(word)
+    seen: Dict[State, int] = {}
+    for position in range(bound + 1):
+        state = trace[position]
+        if state in seen:
+            start, end = seen[state], position
+            x = "".join(symbols[:start])
+            y = "".join(symbols[start:end])
+            z = "".join(symbols[end:])
+            return (x, y, z)
+        seen[state] = position
+    raise AssertionError("pigeonhole violated: a trace of length > #states must repeat a state")
+
+
+def pumped_words(decomposition: Tuple[str, str, str], repetitions: Sequence[int]) -> List[str]:
+    """The words ``x y^i z`` for the given exponents ``i``."""
+    x, y, z = decomposition
+    if not y:
+        raise ValueError("the pumped factor y must be nonempty")
+    return [x + y * i + z for i in repetitions]
+
+
+def enumerate_words(length: int, width: int = 1) -> Iterator[str]:
+    """All words of exactly *length* symbols over the length-*width* bit-string alphabet."""
+    symbols = ["".join(bits) for bits in itertools.product("01", repeat=width)]
+    for choice in itertools.product(symbols, repeat=length):
+        yield "".join(choice)

@@ -1,0 +1,189 @@
+"""Closure properties of tiling-system languages (Section 9.2.1).
+
+The class of picture languages recognized by tiling systems is closed under
+union, intersection, alphabet projection and transposition.  These closure
+operations are the automata-side counterpart of closing existential monadic
+second-order logic under disjunction, conjunction, existential projection and
+swapping the two successor relations; the paper's induction over quantifier
+alternation levels (Theorem 34) implicitly relies on them.
+
+Each function returns a new :class:`~repro.pictures.tiling.TilingSystem`
+whose recognized language is the corresponding combination of the inputs'
+languages, and the test suite verifies this on exhaustive samples of small
+pictures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.pictures.picture import Picture
+from repro.pictures.tiling import BORDER, CellContent, Tile, TilingSystem
+
+__all__ = [
+    "union_system",
+    "intersection_system",
+    "projection_system",
+    "transpose_system",
+    "transpose_picture",
+    "project_picture",
+    "systems_agree_on",
+]
+
+
+def _tag_state(tag: str, state: str) -> str:
+    return f"{tag}:{state}"
+
+
+def _tag_cell(tag: str, cell: CellContent) -> CellContent:
+    if cell == BORDER:
+        return BORDER
+    entry, state = cell
+    return (entry, _tag_state(tag, state))
+
+
+def union_system(first: TilingSystem, second: TilingSystem) -> TilingSystem:
+    """A tiling system recognizing the union of the two languages.
+
+    The state sets are kept disjoint by tagging, so any accepting assignment
+    uses states of only one of the two systems: a window mixing states from
+    both systems matches no tile, and every window of a picture of size at
+    least ``1 x 2`` or ``2 x 1`` connects two pixels.
+    """
+    if first.bits != second.bits:
+        raise ValueError("union requires tiling systems over the same number of bits")
+    states = [_tag_state("L", s) for s in first.states] + [
+        _tag_state("R", s) for s in second.states
+    ]
+    tiles: Set[Tile] = set()
+    for tile in first.tiles:
+        tiles.add(tuple(_tag_cell("L", cell) for cell in tile))
+    for tile in second.tiles:
+        tiles.add(tuple(_tag_cell("R", cell) for cell in tile))
+    return TilingSystem.build(bits=first.bits, states=states, tiles=tiles)
+
+
+def _pair_state(a: str, b: str) -> str:
+    return f"({a}&{b})"
+
+
+def _pair_cell(a: CellContent, b: CellContent) -> CellContent:
+    if a == BORDER and b == BORDER:
+        return BORDER
+    if a == BORDER or b == BORDER:
+        raise ValueError("cannot pair a border cell with a pixel cell")
+    entry_a, state_a = a
+    entry_b, state_b = b
+    if entry_a != entry_b:
+        raise ValueError("paired cells must carry the same entry")
+    return (entry_a, _pair_state(state_a, state_b))
+
+
+def intersection_system(first: TilingSystem, second: TilingSystem) -> TilingSystem:
+    """The product tiling system recognizing the intersection of the two languages.
+
+    Its states are pairs of states, and a product tile exists for every pair
+    of tiles (one from each system) that agree on their entry bits and on
+    where the frame lies.
+    """
+    if first.bits != second.bits:
+        raise ValueError("intersection requires tiling systems over the same number of bits")
+    states = [_pair_state(a, b) for a in first.states for b in second.states]
+    tiles: Set[Tile] = set()
+    for tile_a in first.tiles:
+        for tile_b in second.tiles:
+            compatible = True
+            combined: List[CellContent] = []
+            for cell_a, cell_b in zip(tile_a, tile_b):
+                if (cell_a == BORDER) != (cell_b == BORDER):
+                    compatible = False
+                    break
+                if cell_a == BORDER:
+                    combined.append(BORDER)
+                    continue
+                if cell_a[0] != cell_b[0]:
+                    compatible = False
+                    break
+                combined.append(_pair_cell(cell_a, cell_b))
+            if compatible:
+                tiles.add(tuple(combined))
+    return TilingSystem.build(bits=first.bits, states=states, tiles=tiles)
+
+
+def projection_system(
+    system: TilingSystem, mapping: Callable[[str], str], target_bits: int
+) -> TilingSystem:
+    """The image of the language under a letter-to-letter projection of the entries.
+
+    ``mapping`` sends each ``system.bits``-bit entry to a ``target_bits``-bit
+    entry; a projected picture is accepted precisely if it is the image of
+    some accepted picture.  As in the classical construction, the projected
+    system remembers the original entry inside its states, which is exactly
+    how existential quantification over set variables is eliminated in the
+    proof of Theorem 32.
+    """
+    if target_bits < 1:
+        raise ValueError("target_bits must be positive")
+    original_entries = ["".join(bits) for bits in itertools.product("01", repeat=system.bits)]
+    for entry in original_entries:
+        image = mapping(entry)
+        if len(image) != target_bits or not set(image) <= {"0", "1"}:
+            raise ValueError(
+                f"projection of {entry!r} must be a bit string of length {target_bits}, got {image!r}"
+            )
+
+    def project_state(entry: str, state: str) -> str:
+        return f"{state}[{entry}]"
+
+    states = [project_state(entry, state) for entry in original_entries for state in system.states]
+    tiles: Set[Tile] = set()
+    for tile in system.tiles:
+        projected: List[CellContent] = []
+        for cell in tile:
+            if cell == BORDER:
+                projected.append(BORDER)
+                continue
+            entry, state = cell
+            projected.append((mapping(entry), project_state(entry, state)))
+        tiles.add(tuple(projected))
+    return TilingSystem.build(bits=target_bits, states=states, tiles=tiles)
+
+
+def transpose_system(system: TilingSystem) -> TilingSystem:
+    """The tiling system recognizing the transposed pictures.
+
+    Transposition swaps the roles of the vertical and horizontal successor
+    relations; on tiles it swaps the top-right and bottom-left entries.
+    """
+    tiles: Set[Tile] = set()
+    for top_left, top_right, bottom_left, bottom_right in system.tiles:
+        tiles.add((top_left, bottom_left, top_right, bottom_right))
+    return TilingSystem.build(bits=system.bits, states=system.states, tiles=tiles)
+
+
+def transpose_picture(picture: Picture) -> Picture:
+    """The transposed picture (rows become columns)."""
+    rows = tuple(
+        tuple(picture.entry(i, j) for i in range(picture.height)) for j in range(picture.width)
+    )
+    return Picture(bits=picture.bits, rows=rows)
+
+
+def project_picture(picture: Picture, mapping: Callable[[str], str], target_bits: int) -> Picture:
+    """Apply a letter-to-letter projection to every entry of *picture*."""
+    rows = tuple(
+        tuple(mapping(picture.entry(i, j)) for j in range(picture.width))
+        for i in range(picture.height)
+    )
+    return Picture(bits=target_bits, rows=rows)
+
+
+def systems_agree_on(
+    first: TilingSystem, second: TilingSystem, pictures: Iterable[Picture]
+) -> Tuple[bool, List[Picture]]:
+    """Check that two tiling systems accept exactly the same of the given pictures."""
+    disagreements = [
+        picture for picture in pictures if first.accepts(picture) != second.accepts(picture)
+    ]
+    return (not disagreements, disagreements)

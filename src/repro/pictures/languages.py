@@ -1,0 +1,206 @@
+"""Example picture languages and recognizing tiling systems.
+
+These languages exercise the tiling-system machinery that the infiniteness
+proof relies on (Theorem 32: tiling systems = existential monadic second-order
+logic on pictures).  Each language comes in two forms: a direct (centralized)
+membership test and a tiling system recognizing it, so the tests can confirm
+that the automaton model behaves as the theory predicts.
+
+The systems are built by enumerating every possible 2x2 window over the cell
+alphabet (entries x states, plus the boundary symbol ``#``) and keeping the
+windows allowed by a local predicate; the predicates encode the classical
+constructions (diagonal marking for squares, a one-way word automaton threaded
+along the top row, and so on).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.pictures.picture import Picture
+from repro.pictures.tiling import BORDER, CellContent, Tile, TilingSystem
+
+WindowPredicate = Callable[[CellContent, CellContent, CellContent, CellContent], bool]
+
+
+def _state(cell: CellContent) -> Optional[str]:
+    return None if cell == BORDER else cell[1]
+
+
+def _entry(cell: CellContent) -> Optional[str]:
+    return None if cell == BORDER else cell[0]
+
+
+def system_from_predicate(
+    bits: int, states: Sequence[str], entries: Sequence[str], predicate: WindowPredicate
+) -> TilingSystem:
+    """Build a tiling system whose tiles are the windows allowed by *predicate*."""
+    pool: List[CellContent] = [BORDER]
+    pool.extend((entry, state) for entry in entries for state in states)
+    tiles = [
+        window for window in itertools.product(pool, repeat=4) if predicate(*window)
+    ]
+    return TilingSystem.build(bits, states, tiles)
+
+
+# ----------------------------------------------------------------------
+# all-ones pictures (1-bit): every entry is "1"
+# ----------------------------------------------------------------------
+def is_all_ones_picture(picture: Picture) -> bool:
+    """Whether every entry of the (1-bit) picture is ``1``."""
+    return all(picture.entry(i, j) == "1" for i, j in picture.pixels())
+
+
+def all_ones_system() -> TilingSystem:
+    """A single-state tiling system recognizing the all-ones pictures."""
+
+    def predicate(tl: CellContent, tr: CellContent, bl: CellContent, br: CellContent) -> bool:
+        return all(cell == BORDER or cell[0] == "1" for cell in (tl, tr, bl, br))
+
+    return system_from_predicate(1, ["q"], ["0", "1"], predicate)
+
+
+# ----------------------------------------------------------------------
+# square pictures (1-bit, contents irrelevant): height == width
+# ----------------------------------------------------------------------
+def is_square_picture(picture: Picture) -> bool:
+    """Whether the picture has as many rows as columns."""
+    return picture.height == picture.width
+
+
+def square_pictures_system() -> TilingSystem:
+    """The classical diagonal-marking tiling system for square pictures.
+
+    State ``d`` marks the main diagonal, ``a`` the cells above it, ``b`` the
+    cells below it.  The window predicate forces the diagonal to start at the
+    top-left corner, advance one step right and down per row, never touch the
+    right or bottom frame except at the bottom-right corner, and end there --
+    which is possible exactly when the picture is square.
+    """
+    horizontal_pairs = {("d", "a"), ("a", "a"), ("b", "b"), ("b", "d")}
+    vertical_pairs = {("d", "b"), ("a", "a"), ("b", "b"), ("a", "d")}
+    full_windows = {
+        ("d", "a", "b", "d"),
+        ("a", "a", "d", "a"),
+        ("b", "d", "b", "b"),
+        ("a", "a", "a", "a"),
+        ("b", "b", "b", "b"),
+    }
+
+    def predicate(tl: CellContent, tr: CellContent, bl: CellContent, br: CellContent) -> bool:
+        states = tuple(_state(cell) for cell in (tl, tr, bl, br))
+        s_tl, s_tr, s_bl, s_br = states
+        borders = tuple(cell == BORDER for cell in (tl, tr, bl, br))
+        b_tl, b_tr, b_bl, b_br = borders
+
+        # Full interior windows must match one of the five canonical patterns.
+        if not any(borders):
+            return states in full_windows
+
+        # Pairwise constraints wherever both cells of a pair are pixels.
+        if not b_tl and not b_tr and (s_tl, s_tr) not in horizontal_pairs:
+            return False
+        if not b_bl and not b_br and (s_bl, s_br) not in horizontal_pairs:
+            return False
+        if not b_tl and not b_bl and (s_tl, s_bl) not in vertical_pairs:
+            return False
+        if not b_tr and not b_br and (s_tr, s_br) not in vertical_pairs:
+            return False
+
+        # Corner and edge conditions.
+        if b_tl and b_tr and b_bl and not b_br:
+            # top-left corner of the picture: the first pixel lies on the diagonal
+            if s_br != "d":
+                return False
+        if b_tl and b_tr and b_br and not b_bl:
+            # top-right corner: allowed to be 'a' (or 'd' for a 1x1 picture)
+            if s_bl == "b":
+                return False
+        if b_bl and b_br and b_tl and not b_tr:
+            # bottom-left corner: allowed to be 'b' (or 'd' for a 1x1 picture)
+            if s_tr == "a":
+                return False
+        if b_tr and b_bl and b_br and not b_tl:
+            # bottom-right corner of the picture: the diagonal must end here
+            if s_tl != "d":
+                return False
+        if b_tl and b_tr and not b_bl and not b_br:
+            # top edge: only 'd' (at the corner) followed by 'a's
+            if (s_bl, s_br) not in {("d", "a"), ("a", "a")}:
+                return False
+        if b_bl and b_br and not b_tl and not b_tr:
+            # bottom edge: 'b's, then 'd' exactly at the last column
+            if (s_tl, s_tr) not in {("b", "b"), ("b", "d")}:
+                return False
+        if b_tl and b_bl and not b_tr and not b_br:
+            # left edge: 'd' at the top, then 'b's
+            if (s_tr, s_br) not in {("d", "b"), ("b", "b")}:
+                return False
+        if b_tr and b_br and not b_tl and not b_bl:
+            # right edge: 'a's, then 'd' exactly at the last row
+            if (s_tl, s_bl) not in {("a", "a"), ("a", "d")}:
+                return False
+        return True
+
+    return system_from_predicate(1, ["d", "a", "b"], ["0", "1"], predicate)
+
+
+# ----------------------------------------------------------------------
+# pictures whose top row contains a 1 (1-bit)
+# ----------------------------------------------------------------------
+def has_one_in_top_row(picture: Picture) -> bool:
+    """Whether some entry of the first row is ``1``."""
+    return any(picture.entry(0, j) == "1" for j in range(picture.width))
+
+
+def top_row_has_one_system() -> TilingSystem:
+    """A tiling system threading a word automaton along the top row.
+
+    Top-row pixels carry state ``l`` ("no 1 seen so far, including here") or
+    ``m`` ("a 1 has been seen at or before this cell"); all other pixels carry
+    the free state ``f``.  The transition ``l -> m`` is only allowed on an
+    entry ``1``, the leftmost top-row pixel must not start in ``m`` unless its
+    own entry is ``1``, and the rightmost top-row pixel must end in ``m``.
+    """
+
+    def predicate(tl: CellContent, tr: CellContent, bl: CellContent, br: CellContent) -> bool:
+        b_tl, b_tr, b_bl, b_br = (cell == BORDER for cell in (tl, tr, bl, br))
+
+        # Row membership is detected through the cell directly above: a pixel
+        # in the bottom half of the window lies in the picture's top row iff
+        # the cell above it is the border.
+        def expects_top_state(above_is_border: bool, cell: CellContent) -> bool:
+            if cell == BORDER:
+                return True
+            state = _state(cell)
+            if above_is_border:
+                return state in ("l", "m")
+            return state == "f"
+
+        if not expects_top_state(b_tl, bl) or not expects_top_state(b_tr, br):
+            return False
+
+        # Horizontal transition along the top row (both bottom cells are top-row pixels).
+        if b_tl and b_tr and not b_bl and not b_br:
+            left_state, right_state = _state(bl), _state(br)
+            right_entry = _entry(br)
+            transition_ok = (
+                (left_state == "l" and right_state == "l")
+                or (left_state == "m" and right_state == "m")
+                or (left_state == "l" and right_state == "m" and right_entry == "1")
+            )
+            if not transition_ok:
+                return False
+
+        # Start condition: the top-left pixel may be 'm' only if its entry is '1'.
+        if b_tl and b_tr and b_bl and not b_br:
+            if _state(br) == "m" and _entry(br) != "1":
+                return False
+        # Acceptance condition: the top-right pixel must be in state 'm'.
+        if b_tl and b_tr and b_br and not b_bl:
+            if _state(bl) != "m":
+                return False
+        return True
+
+    return system_from_predicate(1, ["l", "m", "f"], ["0", "1"], predicate)

@@ -1,0 +1,209 @@
+"""From tiling systems to existential local monadic second-order logic (Corollary 33).
+
+Corollary 33 of the paper observes that every tiling system can be described
+by a sentence of the form ``∃(X_q)_{q∈Q} ∀x (OneState(x) ∧ LegalTiling(x))``,
+where each ``X_q`` is a unary relation variable collecting the pixels in
+state ``q`` and the two subformulas are bounded around ``x``.  This module
+performs that translation mechanically: :func:`tiling_sentence` produces the
+formula, and the test suite model checks it against the tiling-system
+recognizer on small pictures.
+
+Pixel cells relative to the quantified pixel ``x`` are addressed through the
+two successor relations of the picture structure (binary relation 1 is the
+vertical successor, binary relation 2 the horizontal successor); the frame of
+boundary symbols surrounding the picture is represented by the *absence* of
+the corresponding successor or predecessor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.logic.semantics import EvaluationOptions, evaluate
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    BinaryAtom,
+    BoundedExists,
+    Formula,
+    Forall,
+    Not,
+    RelationAtom,
+    RelationVariable,
+    SOExists,
+    UnaryAtom,
+    conjunction,
+    disjunction,
+)
+from repro.pictures.picture import Picture, picture_structure
+from repro.pictures.tiling import BORDER, CellContent, Tile, TilingSystem
+
+__all__ = [
+    "state_variable",
+    "one_state",
+    "legal_tiling",
+    "tiling_sentence",
+    "formula_agrees_with_system",
+]
+
+VERTICAL = 1
+HORIZONTAL = 2
+
+#: The four positions a pixel can occupy inside a 2x2 window, as (row, column)
+#: offsets of the window's top-left corner relative to the pixel.
+_WINDOW_POSITIONS: Tuple[Tuple[int, int], ...] = ((0, 0), (0, -1), (-1, 0), (-1, -1))
+
+#: Cell offsets of a 2x2 window relative to its top-left corner.
+_CELL_OFFSETS: Tuple[Tuple[int, int], ...] = ((0, 0), (0, 1), (1, 0), (1, 1))
+
+
+def state_variable(state: str) -> RelationVariable:
+    """The unary relation variable ``X_q`` collecting the pixels in state ``q``."""
+    return RelationVariable(f"X_{state}", 1)
+
+
+def _entry_is(variable: str, entry: str) -> Formula:
+    """The pixel named by *variable* carries the bit pattern *entry*."""
+    literals: List[Formula] = []
+    for index, bit in enumerate(entry, start=1):
+        atom = UnaryAtom(index, variable)
+        literals.append(atom if bit == "1" else Not(atom))
+    return conjunction(literals)
+
+
+def _pixel_content(variable: str, cell: CellContent) -> Formula:
+    """The pixel named by *variable* matches the (non-border) tile cell *cell*."""
+    entry, state = cell
+    return And(_entry_is(variable, entry), RelationAtom(state_variable(state), (variable,)))
+
+
+def _step(anchor: str, fresh: str, offset: int, relation: int, body: Formula) -> Formula:
+    """``∃ fresh`` connected to *anchor* one step in the given direction, satisfying *body*.
+
+    ``offset`` is +1 for a successor step and -1 for a predecessor step along
+    the given binary relation.
+    """
+    if offset == 1:
+        arrow = BinaryAtom(relation, anchor, fresh)
+    else:
+        arrow = BinaryAtom(relation, fresh, anchor)
+    return BoundedExists(fresh, anchor, And(arrow, body))
+
+
+def _cell_formula(variable: str, row_offset: int, column_offset: int, cell: CellContent, tag: str) -> Formula:
+    """The framed-picture cell at the given offset from *variable* matches *cell*.
+
+    A border cell means the offset leads outside the picture, i.e. the chain
+    of successor/predecessor steps does not exist.
+    """
+    steps: List[Tuple[int, int]] = []
+    if column_offset:
+        steps.append((column_offset, HORIZONTAL))
+    if row_offset:
+        steps.append((row_offset, VERTICAL))
+
+    if not steps:
+        if cell == BORDER:
+            # The quantified element is always a pixel, never a frame cell.
+            return BOTTOM
+        return _pixel_content(variable, cell)
+
+    if cell == BORDER:
+        # The target cell is border exactly if the step chain breaks somewhere.
+        reach = _reach_formula(variable, steps, lambda name: None, tag)
+        return Not(reach)
+    return _reach_formula(variable, steps, lambda name: _pixel_content(name, cell), tag)
+
+
+def _reach_formula(variable: str, steps: Sequence[Tuple[int, int]], payload, tag: str) -> Formula:
+    """``∃`` a chain of steps from *variable*; apply *payload* at the final element.
+
+    *payload* maps the final element's variable name to a formula (or ``None``
+    for "just reach it").
+    """
+    names = [variable] + [f"_w{tag}_{i}" for i in range(len(steps))]
+
+    def build(index: int) -> Formula:
+        if index == len(steps):
+            inner = payload(names[index])
+            if inner is None:
+                return TOP
+            return inner
+        offset, relation = steps[index]
+        return _step(names[index], names[index + 1], offset, relation, build(index + 1))
+
+    return build(0)
+
+
+def one_state(variable: str, states: Sequence[str]) -> Formula:
+    """``OneState(x)``: the pixel lies in exactly one of the state sets ``X_q``."""
+    some_state = disjunction(RelationAtom(state_variable(q), (variable,)) for q in states)
+    exclusions = conjunction(
+        Not(And(RelationAtom(state_variable(a), (variable,)), RelationAtom(state_variable(b), (variable,))))
+        for i, a in enumerate(states)
+        for b in states[i + 1 :]
+    )
+    return And(some_state, exclusions)
+
+
+def _window_formula(variable: str, position: Tuple[int, int], tiles: Iterable[Tile], tag: str) -> Formula:
+    """The 2x2 window in which *variable* occupies *position* matches some tile."""
+    row_shift, column_shift = position
+    alternatives: List[Formula] = []
+    for tile_index, tile in enumerate(tiles):
+        cell_checks: List[Formula] = []
+        for (cell_row, cell_column), cell in zip(_CELL_OFFSETS, tile):
+            row_offset = cell_row + row_shift
+            column_offset = cell_column + column_shift
+            cell_checks.append(
+                _cell_formula(
+                    variable,
+                    row_offset,
+                    column_offset,
+                    cell,
+                    tag=f"{tag}_{tile_index}_{cell_row}{cell_column}",
+                )
+            )
+        alternatives.append(conjunction(cell_checks))
+    return disjunction(alternatives)
+
+
+def legal_tiling(variable: str, system: TilingSystem) -> Formula:
+    """``LegalTiling(x)``: every 2x2 window containing the pixel ``x`` matches a tile."""
+    sorted_tiles = sorted(system.tiles, key=str)
+    return conjunction(
+        _window_formula(variable, position, sorted_tiles, tag=f"p{index}")
+        for index, position in enumerate(_WINDOW_POSITIONS)
+    )
+
+
+def tiling_sentence(system: TilingSystem) -> Formula:
+    """The ``mΣ^lfo_1`` sentence of Corollary 33 describing *system*."""
+    states = sorted(system.states)
+    matrix = Forall("x", And(one_state("x", states), legal_tiling("x", system)))
+    sentence: Formula = matrix
+    for state in reversed(states):
+        sentence = SOExists(state_variable(state), sentence)
+    return sentence
+
+
+def formula_agrees_with_system(
+    system: TilingSystem,
+    pictures: Iterable[Picture],
+    options: EvaluationOptions | None = None,
+) -> Tuple[bool, List[Picture]]:
+    """Model check :func:`tiling_sentence` against the tiling-system recognizer.
+
+    Returns ``(all_agree, disagreements)`` over the given pictures.  Intended
+    for small pictures only: the evaluator enumerates all interpretations of
+    the state sets, which is exponential in the number of pixels.
+    """
+    sentence = tiling_sentence(system)
+    opts = options or EvaluationOptions(candidate_limit=64)
+    disagreements = [
+        picture
+        for picture in pictures
+        if evaluate(picture_structure(picture), sentence, options=opts) != system.accepts(picture)
+    ]
+    return (not disagreements, disagreements)

@@ -1,0 +1,104 @@
+"""t-bit pictures and their structural representations (Section 9.2.1, Figure 14).
+
+A t-bit picture of size ``(m, n)`` is an ``m x n`` matrix whose entries are
+bit strings of length ``t``.  Its structural representation has one element
+per pixel, ``t`` unary relations giving the bit values, and two binary
+successor relations (vertical and horizontal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.graphs.structures import Structure
+
+Pixel = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Picture:
+    """An immutable t-bit picture."""
+
+    bits: int
+    rows: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.rows or not self.rows[0]:
+            raise ValueError("pictures must have at least one row and one column")
+        width = len(self.rows[0])
+        for row in self.rows:
+            if len(row) != width:
+                raise ValueError("all rows of a picture must have the same length")
+            for entry in row:
+                if len(entry) != self.bits or not set(entry) <= {"0", "1"}:
+                    raise ValueError(
+                        f"every entry must be a bit string of length {self.bits}, got {entry!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence[str]], bits: int | None = None) -> "Picture":
+        """Build a picture from nested sequences of equal-length bit strings."""
+        row_tuples = tuple(tuple(row) for row in rows)
+        if bits is None:
+            bits = len(row_tuples[0][0]) if row_tuples and row_tuples[0] else 0
+        return cls(bits=bits, rows=row_tuples)
+
+    @classmethod
+    def constant(cls, height: int, width: int, entry: str) -> "Picture":
+        """The picture all of whose entries equal *entry*."""
+        return cls(bits=len(entry), rows=tuple(tuple(entry for _ in range(width)) for _ in range(height)))
+
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of rows ``m``."""
+        return len(self.rows)
+
+    @property
+    def width(self) -> int:
+        """Number of columns ``n``."""
+        return len(self.rows[0])
+
+    def size(self) -> Tuple[int, int]:
+        """The pair ``(m, n)``."""
+        return (self.height, self.width)
+
+    def entry(self, row: int, column: int) -> str:
+        """The bit string at pixel ``(row, column)`` (0-based)."""
+        return self.rows[row][column]
+
+    def pixels(self) -> Iterable[Pixel]:
+        """All pixel coordinates in row-major order."""
+        for i in range(self.height):
+            for j in range(self.width):
+                yield (i, j)
+
+    def bit(self, row: int, column: int, index: int) -> bool:
+        """The value of the ``index``-th bit (1-based, as in the paper) of a pixel."""
+        return self.entry(row, column)[index - 1] == "1"
+
+    def __str__(self) -> str:
+        return "\n".join(" ".join(row) for row in self.rows)
+
+
+def picture_structure(picture: Picture) -> Structure:
+    """The structural representation ``$P`` of a picture (Figure 14).
+
+    Signature ``(t, 2)``: unary relation ``k`` holds at the pixels whose
+    ``k``-th bit is 1, binary relation 1 is the vertical successor
+    (``(i, j) -> (i+1, j)``), binary relation 2 the horizontal successor
+    (``(i, j) -> (i, j+1)``).
+    """
+    domain: List[Pixel] = list(picture.pixels())
+    unary: List[Set[Pixel]] = []
+    for index in range(1, picture.bits + 1):
+        unary.append({p for p in domain if picture.bit(p[0], p[1], index)})
+    vertical = {
+        ((i, j), (i + 1, j)) for i in range(picture.height - 1) for j in range(picture.width)
+    }
+    horizontal = {
+        ((i, j), (i, j + 1)) for i in range(picture.height) for j in range(picture.width - 1)
+    }
+    return Structure(domain, unary=unary, binary=[vertical, horizontal])

@@ -1,0 +1,143 @@
+"""Tiling systems: nondeterministic finite automata on pictures (Section 9.2.1).
+
+A t-bit tiling system ``T = (Q, Theta)`` accepts a picture ``P`` if the pixels
+can be assigned states from ``Q`` such that every 2x2 window of the picture --
+including the windows that overlap the frame of boundary symbols ``#``
+surrounding the picture -- matches one of the tiles in ``Theta``.  A tile
+entry is either the boundary symbol or a pair ``(bit string, state)``.
+
+Giammarresi, Restivo, Seibert and Thomas showed that tiling systems recognize
+exactly the picture languages definable in existential monadic second-order
+logic (Theorem 32 of the paper); the recognizer implemented here is the
+machine side of that correspondence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.pictures.picture import Picture, Pixel
+
+BORDER = "#"
+
+CellContent = Union[str, Tuple[str, str]]
+"""Either the boundary symbol or a pair ``(entry bits, state)``."""
+
+Tile = Tuple[CellContent, CellContent, CellContent, CellContent]
+"""A 2x2 tile, listed as (top-left, top-right, bottom-left, bottom-right)."""
+
+
+@dataclass(frozen=True)
+class TilingSystem:
+    """A t-bit tiling system ``(Q, Theta)``."""
+
+    bits: int
+    states: FrozenSet[str]
+    tiles: FrozenSet[Tile]
+
+    @classmethod
+    def build(cls, bits: int, states: Iterable[str], tiles: Iterable[Tile]) -> "TilingSystem":
+        """Validating constructor."""
+        state_set = frozenset(states)
+        tile_set = set()
+        for tile in tiles:
+            if len(tile) != 4:
+                raise ValueError("tiles must have exactly four entries")
+            for cell in tile:
+                if cell == BORDER:
+                    continue
+                entry, state = cell
+                if len(entry) != bits or not set(entry) <= {"0", "1"}:
+                    raise ValueError(f"invalid tile entry {entry!r} for a {bits}-bit system")
+                if state not in state_set:
+                    raise ValueError(f"tile uses unknown state {state!r}")
+            tile_set.add(tuple(tile))
+        return cls(bits=bits, states=state_set, tiles=frozenset(tile_set))
+
+    # ------------------------------------------------------------------
+    def accepts(self, picture: Picture) -> bool:
+        """Whether some state assignment makes every 2x2 window match a tile."""
+        return self.accepting_assignment(picture) is not None
+
+    def accepting_assignment(self, picture: Picture) -> Optional[Dict[Pixel, str]]:
+        """An accepting state assignment, or ``None``.
+
+        Backtracking in row-major pixel order: assigning pixel ``(i, j)``
+        completes every window whose bottom-right in-range pixel is
+        ``(i, j)``, so tiles can be checked incrementally.
+        """
+        if picture.bits != self.bits:
+            raise ValueError("picture and tiling system disagree on the number of bits")
+        height, width = picture.size()
+        order: List[Pixel] = [(i, j) for i in range(height) for j in range(width)]
+        assignment: Dict[Pixel, str] = {}
+
+        def cell_content(i: int, j: int) -> Optional[CellContent]:
+            """Content of position (i, j) in the framed picture; None if not yet assigned."""
+            if i < -1 or j < -1 or i > height or j > width:
+                raise IndexError
+            if i in (-1, height) or j in (-1, width):
+                return BORDER
+            if (i, j) not in assignment:
+                return None
+            return (picture.entry(i, j), assignment[(i, j)])
+
+        def window_matches(a: int, b: int) -> bool:
+            contents = []
+            for di, dj in ((0, 0), (0, 1), (1, 0), (1, 1)):
+                content = cell_content(a + di, b + dj)
+                if content is None:
+                    return True  # not fully determined yet; checked later
+                contents.append(content)
+            return tuple(contents) in self.tiles
+
+        def all_windows() -> List[Tuple[int, int]]:
+            return [(a, b) for a in range(-1, height) for b in range(-1, width)]
+
+        def backtrack(index: int) -> bool:
+            if index == len(order):
+                return all(window_matches(a, b) for a, b in all_windows())
+            i, j = order[index]
+            for state in sorted(self.states):
+                assignment[(i, j)] = state
+                # Check every window containing (i, j) that is already fully
+                # determined; later windows are checked when completed.
+                consistent = True
+                for a in (i - 1, i):
+                    for b in (j - 1, j):
+                        if not window_matches(a, b):
+                            consistent = False
+                            break
+                    if not consistent:
+                        break
+                if consistent and backtrack(index + 1):
+                    return True
+                del assignment[(i, j)]
+            return False
+
+        if backtrack(0):
+            return dict(assignment)
+        return None
+
+    def recognized_sample(
+        self, heights: Sequence[int], widths: Sequence[int], entries: Sequence[str]
+    ) -> List[Picture]:
+        """All accepted pictures over the given sizes and entry alphabet (brute force)."""
+        accepted = []
+        for height in heights:
+            for width in widths:
+                for choice in itertools.product(entries, repeat=height * width):
+                    rows = [
+                        tuple(choice[row * width : (row + 1) * width]) for row in range(height)
+                    ]
+                    picture = Picture(bits=self.bits, rows=tuple(rows))
+                    if self.accepts(picture):
+                        accepted.append(picture)
+        return accepted
+
+
+def tiles_from_windows(windows: Iterable[Sequence[CellContent]]) -> FrozenSet[Tile]:
+    """Convenience: normalize an iterable of 4-sequences into tiles."""
+    return frozenset(tuple(window) for window in windows)

@@ -1,0 +1,163 @@
+"""Finite automata as tiling systems on one-row pictures (Sections 9.2-9.3).
+
+On one-row pictures, tiling systems are exactly nondeterministic finite
+automata: a run of an NFA assigns a state to every position of the word, the
+left frame column plays the role of the initial state, and the right frame
+column plays the role of acceptance.  This correspondence is the word-level
+shadow of the Giammarresi-Restivo-Seibert-Thomas theorem (Theorem 32) and is
+what lets the paper transfer the Buechi-Elgot-Trakhtenbrot theorem and the
+pumping lemma into the picture/graph world in Section 9.3.
+
+Both directions of the correspondence are implemented:
+
+* :func:`nfa_to_tiling_system` turns an NFA into a tiling system that accepts
+  exactly the one-row pictures of accepted words, and
+* :func:`tiling_system_to_nfa` turns a tiling system into an NFA that agrees
+  with it on all one-row pictures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.pictures.automata import NFA
+from repro.pictures.picture import Picture
+from repro.pictures.tiling import BORDER, CellContent, Tile, TilingSystem
+from repro.pictures.words import picture_to_word, word_to_picture
+
+__all__ = [
+    "nfa_to_tiling_system",
+    "tiling_system_to_nfa",
+    "tiling_system_accepts_word",
+    "agree_on_words",
+]
+
+
+def _content(entry: str, state: str) -> CellContent:
+    return (entry, state)
+
+
+def nfa_to_tiling_system(nfa: NFA) -> TilingSystem:
+    """A tiling system accepting exactly the one-row pictures of NFA-accepted words.
+
+    The state assigned to pixel ``j`` is the NFA state reached *after* reading
+    the ``j``-th symbol.  The tiles of the top window row (frame above,
+    pixels below) enforce the run conditions:
+
+    * ``(#, #, #, (s, q))``    -- ``q`` is reachable from an initial state on ``s``,
+    * ``(#, #, (s, q), (s', q'))`` -- ``q'`` is a ``δ(q, s')`` successor,
+    * ``(#, #, (s, q), #)``    -- ``q`` is accepting.
+
+    The bottom window row (pixels above, frame below) repeats the same pixels
+    and is admitted without further constraints.
+    """
+    alphabet = nfa.alphabet()
+    contents: List[CellContent] = [
+        _content(symbol, state) for symbol in alphabet for state in sorted(nfa.states)
+    ]
+
+    tiles: Set[Tile] = set()
+
+    # Top window row: (#, #, left cell, right cell) -- this is where the run
+    # conditions live.
+    for symbol in alphabet:
+        for state in nfa.step(nfa.initial, symbol):
+            tiles.add((BORDER, BORDER, BORDER, _content(symbol, state)))
+    for symbol, state in itertools.product(alphabet, sorted(nfa.states)):
+        for next_symbol in alphabet:
+            for next_state in nfa.transitions.get((state, next_symbol), frozenset()):
+                tiles.add(
+                    (BORDER, BORDER, _content(symbol, state), _content(next_symbol, next_state))
+                )
+        if state in nfa.accepting:
+            tiles.add((BORDER, BORDER, _content(symbol, state), BORDER))
+
+    # Bottom window row: (left cell, right cell, #, #) -- no constraints beyond
+    # the contents being well-formed, so every combination is allowed.
+    for left in contents:
+        tiles.add((left, BORDER, BORDER, BORDER))
+        tiles.add((BORDER, left, BORDER, BORDER))
+        for right in contents:
+            tiles.add((left, right, BORDER, BORDER))
+
+    return TilingSystem.build(bits=nfa.width, states=sorted(nfa.states), tiles=tiles)
+
+
+def _adjacency_allowed(system: TilingSystem, left: CellContent, right: CellContent) -> bool:
+    """Whether two horizontally adjacent cells are jointly allowed on a one-row picture."""
+    return (BORDER, BORDER, left, right) in system.tiles and (left, right, BORDER, BORDER) in system.tiles
+
+
+def tiling_system_to_nfa(system: TilingSystem) -> NFA:
+    """An NFA agreeing with *system* on all one-row pictures.
+
+    The NFA's states are the possible cell contents ``entry|state`` of the
+    tiling system plus a fresh initial state; a transition reading symbol
+    ``s`` moves to a content with entry ``s`` whenever both the top and the
+    bottom window of the corresponding horizontal adjacency are tiles.
+    """
+    alphabet = ["".join(bits) for bits in itertools.product("01", repeat=system.bits)]
+    contents: List[CellContent] = [
+        (symbol, state) for symbol in alphabet for state in sorted(system.states)
+    ]
+
+    def name(content: CellContent) -> str:
+        entry, state = content
+        return f"{entry}|{state}"
+
+    start = "<start>"
+    states = [start] + [name(content) for content in contents]
+
+    transitions: Dict[Tuple[str, str], List[str]] = {}
+    for content in contents:
+        entry, _ = content
+        starts_ok = (BORDER, BORDER, BORDER, content) in system.tiles and (
+            BORDER,
+            content,
+            BORDER,
+            BORDER,
+        ) in system.tiles
+        if starts_ok:
+            transitions.setdefault((start, entry), []).append(name(content))
+    for left in contents:
+        for right in contents:
+            if _adjacency_allowed(system, left, right):
+                entry = right[0]
+                transitions.setdefault((name(left), entry), []).append(name(right))
+
+    accepting = [
+        name(content)
+        for content in contents
+        if (BORDER, BORDER, content, BORDER) in system.tiles
+        and (content, BORDER, BORDER, BORDER) in system.tiles
+    ]
+
+    return NFA.build(
+        width=system.bits,
+        states=states,
+        initial=[start],
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+def tiling_system_accepts_word(system: TilingSystem, word: str) -> bool:
+    """Whether *system* accepts the one-row picture spelled out by *word*."""
+    return system.accepts(word_to_picture(word, bits=system.bits))
+
+
+def agree_on_words(
+    system: TilingSystem, nfa: NFA, words: Iterable[str]
+) -> Tuple[bool, List[str]]:
+    """Check that a tiling system and an NFA accept exactly the same of the given words.
+
+    Returns ``(all_agree, disagreements)``; the second component lists the
+    words on which the two recognizers differ (empty when they agree).
+    """
+    disagreements = [
+        word
+        for word in words
+        if tiling_system_accepts_word(system, word) != nfa.accepts(word)
+    ]
+    return (not disagreements, disagreements)

@@ -1,0 +1,151 @@
+"""Words as one-row pictures (Section 9.3).
+
+The paper's separation arguments for properties *outside* the locally
+polynomial hierarchy (Section 9.3) go through word languages: a bit string
+``w`` of length ``n`` can be viewed as a 1-bit picture of size ``(1, n)``,
+and the Buechi-Elgot-Trakhtenbrot theorem identifies the word languages
+definable in monadic second-order logic with the regular languages.  This
+module provides the conversions between bit strings, one-row pictures, and
+the string graphs / cycle graphs on which the fooling arguments of
+Section 9.3 are played.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.pictures.picture import Picture
+
+__all__ = [
+    "word_to_picture",
+    "picture_to_word",
+    "is_word_picture",
+    "word_to_path_graph",
+    "word_to_cycle_graph",
+    "path_graph_to_word",
+    "rotations",
+    "pump_word",
+]
+
+
+def word_to_picture(word: str, bits: int = 1) -> Picture:
+    """The ``(1, len(word))`` picture whose row spells out *word*.
+
+    For ``bits == 1`` each character of *word* must be ``0`` or ``1`` and
+    becomes one pixel; for larger ``bits`` the word is cut into consecutive
+    blocks of ``bits`` characters (its length must be divisible by ``bits``).
+    """
+    if not word:
+        raise ValueError("the empty word has no picture representation (pictures are nonempty)")
+    if not set(word) <= {"0", "1"}:
+        raise ValueError(f"words must be bit strings, got {word!r}")
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    if len(word) % bits != 0:
+        raise ValueError(f"word length {len(word)} is not divisible by the pixel width {bits}")
+    row = tuple(word[i : i + bits] for i in range(0, len(word), bits))
+    return Picture(bits=bits, rows=(row,))
+
+
+def picture_to_word(picture: Picture) -> str:
+    """The bit string spelled out by a one-row picture (inverse of :func:`word_to_picture`)."""
+    if picture.height != 1:
+        raise ValueError(f"only one-row pictures encode words, got height {picture.height}")
+    return "".join(picture.rows[0])
+
+
+def is_word_picture(picture: Picture) -> bool:
+    """Whether *picture* has exactly one row (and therefore encodes a word)."""
+    return picture.height == 1
+
+
+def word_to_path_graph(word: str) -> LabeledGraph:
+    """The path graph with one node per character of *word*, labeled by that character.
+
+    This is the graph-side counterpart of the string structures of Section 9.3:
+    a word of length ``n`` becomes a path of ``n`` nodes of bounded structural
+    degree, on which constant-radius algorithms see only a window of the word.
+    """
+    if not word:
+        raise ValueError("the empty word has no path-graph representation")
+    if not set(word) <= {"0", "1"}:
+        raise ValueError(f"words must be bit strings, got {word!r}")
+    nodes = list(range(len(word)))
+    edges = [(i, i + 1) for i in range(len(word) - 1)]
+    labels = {i: word[i] for i in nodes}
+    return LabeledGraph(nodes, edges, labels)
+
+
+def word_to_cycle_graph(word: str) -> LabeledGraph:
+    """The cycle graph spelled out by *word* (requires length at least 3).
+
+    Cycles are the workhorse of the pumping arguments in Sections 9.1 and 9.3:
+    a constant-radius algorithm cannot distinguish a long cycle from a pumped
+    copy of it.
+    """
+    if len(word) < 3:
+        raise ValueError("cycle graphs need at least three nodes")
+    if not set(word) <= {"0", "1"}:
+        raise ValueError(f"words must be bit strings, got {word!r}")
+    nodes = list(range(len(word)))
+    edges = [(i, (i + 1) % len(word)) for i in nodes]
+    labels = {i: word[i] for i in nodes}
+    return LabeledGraph(nodes, edges, labels)
+
+
+def path_graph_to_word(graph: LabeledGraph) -> str:
+    """Read the word back off a path graph produced by :func:`word_to_path_graph`.
+
+    The graph must be a path whose node labels are single bits; the word is
+    read from one endpoint to the other (the endpoint with the smaller node
+    identity comes first, so the round trip with :func:`word_to_path_graph`
+    is exact).
+    """
+    endpoints = [u for u in graph.nodes if graph.degree(u) <= 1]
+    if graph.cardinality() == 1:
+        (only,) = graph.nodes
+        return graph.label(only)
+    if len(endpoints) != 2:
+        raise ValueError("graph is not a path (it does not have exactly two endpoints)")
+    degree_bound = max(graph.degree(u) for u in graph.nodes)
+    if degree_bound > 2:
+        raise ValueError("graph is not a path (some node has degree greater than two)")
+    start = min(endpoints, key=str)
+    order: List = [start]
+    previous = None
+    current = start
+    while len(order) < graph.cardinality():
+        candidates = [v for v in graph.neighbors(current) if v != previous]
+        if len(candidates) != 1:
+            raise ValueError("graph is not a path")
+        previous, current = current, candidates[0]
+        order.append(current)
+    word = "".join(graph.label(u) for u in order)
+    if not set(word) <= {"0", "1"} or any(len(graph.label(u)) != 1 for u in order):
+        raise ValueError("path nodes must carry single-bit labels")
+    return word
+
+
+def rotations(word: str) -> List[str]:
+    """All cyclic rotations of *word* (used when comparing cycle graphs up to isomorphism)."""
+    return [word[i:] + word[:i] for i in range(len(word))]
+
+
+def pump_word(word: str, start: int, length: int, repetitions: int) -> str:
+    """Repeat the factor ``word[start : start + length]`` the given number of times.
+
+    This is the pumping operation of the pumping lemma for regular languages:
+    ``pump_word(xyz, len(x), len(y), i)`` is ``x y^i z``.  ``repetitions == 1``
+    returns the word unchanged; ``repetitions == 0`` removes the factor.
+    """
+    if length <= 0:
+        raise ValueError("the pumped factor must be nonempty")
+    if repetitions < 0:
+        raise ValueError("repetitions must be nonnegative")
+    if start < 0 or start + length > len(word):
+        raise ValueError("the pumped factor must lie inside the word")
+    prefix = word[:start]
+    factor = word[start : start + length]
+    suffix = word[start + length :]
+    return prefix + factor * repetitions + suffix

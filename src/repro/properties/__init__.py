@@ -1,0 +1,74 @@
+"""Ground-truth graph property checkers.
+
+Every graph property mentioned in the paper is implemented here as a
+*centralized* decision procedure on :class:`~repro.graphs.labeled_graph.LabeledGraph`.
+These serve as oracles: the distributed machinery (deciders, verifiers,
+arbiters, reductions, logical formulas) is tested against them.
+
+All properties are closed under isomorphism by construction, since they only
+inspect the graph's topology and labels.
+"""
+
+from repro.properties.base import GraphProperty, property_registry, register_property
+from repro.properties.selection import (
+    all_selected,
+    not_all_selected,
+    one_selected,
+    none_selected,
+)
+from repro.properties.coloring import (
+    is_k_colorable,
+    three_colorable,
+    two_colorable,
+    non_two_colorable,
+    non_three_colorable,
+    chromatic_number,
+    three_round_three_colorable,
+    labels_form_proper_coloring,
+)
+from repro.properties.cycles import (
+    eulerian,
+    non_eulerian,
+    hamiltonian,
+    non_hamiltonian,
+    acyclic,
+    odd,
+    is_tree,
+)
+from repro.properties.misc import (
+    automorphic,
+    prime_cardinality,
+    bounded_structural_degree,
+)
+from repro.properties.satgraph import sat_graph, three_sat_graph, three_sat_graph_domain
+
+__all__ = [
+    "GraphProperty",
+    "property_registry",
+    "register_property",
+    "all_selected",
+    "not_all_selected",
+    "one_selected",
+    "none_selected",
+    "is_k_colorable",
+    "three_colorable",
+    "two_colorable",
+    "non_two_colorable",
+    "non_three_colorable",
+    "chromatic_number",
+    "three_round_three_colorable",
+    "labels_form_proper_coloring",
+    "eulerian",
+    "non_eulerian",
+    "hamiltonian",
+    "non_hamiltonian",
+    "acyclic",
+    "odd",
+    "is_tree",
+    "automorphic",
+    "prime_cardinality",
+    "bounded_structural_degree",
+    "sat_graph",
+    "three_sat_graph",
+    "three_sat_graph_domain",
+]

@@ -1,0 +1,53 @@
+"""The graph-property abstraction and a registry of named properties."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.graphs.labeled_graph import LabeledGraph
+
+PropertyFunction = Callable[[LabeledGraph], bool]
+
+
+@dataclass(frozen=True)
+class GraphProperty:
+    """A named, isomorphism-closed graph property.
+
+    Wraps a centralized decision function together with metadata used by the
+    locality-comparison machinery of Figure 7 (the paper's classification of
+    the property in the locally bounded hierarchy and in the LCP hierarchy).
+    """
+
+    name: str
+    decide: PropertyFunction
+    description: str = ""
+    paper_alternation_class: Optional[str] = None
+    paper_lcp_class: Optional[str] = None
+
+    def __call__(self, graph: LabeledGraph) -> bool:
+        return self.decide(graph)
+
+    def complement(self) -> "GraphProperty":
+        """The complement property (within the class of all labeled graphs)."""
+        return GraphProperty(
+            name=f"non-{self.name}",
+            decide=lambda graph: not self.decide(graph),
+            description=f"complement of {self.name}",
+        )
+
+
+property_registry: Dict[str, GraphProperty] = {}
+
+
+def register_property(prop: GraphProperty) -> GraphProperty:
+    """Register *prop* under its name; returns it for decorator-like use."""
+    property_registry[prop.name] = prop
+    return prop
+
+
+def get_property(name: str) -> GraphProperty:
+    """Look up a registered property by name."""
+    if name not in property_registry:
+        raise KeyError(f"unknown graph property {name!r}; known: {sorted(property_registry)}")
+    return property_registry[name]

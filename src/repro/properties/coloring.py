@@ -1,0 +1,247 @@
+"""Coloring properties, including the 3-round 3-colorability game of Figure 1.
+
+``k-colorable`` is decided by backtracking (graphs in this repository are
+small).  ``3-round 3-colorability`` (Ajtai-Fagin-Stockmeyer, Example 1 of the
+paper) is the game in which Eve first colors the degree-1 nodes, Adam then
+colors the degree-2 nodes, and finally Eve colors all remaining nodes; the
+graph has the property iff Eve can always complete a proper 3-coloring.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.properties.base import GraphProperty, register_property
+
+
+def _coloring_via_sat(graph: LabeledGraph, colors: int) -> Optional[Dict[Node, int]]:
+    """Find a proper coloring by encoding into CNF and running the DPLL solver.
+
+    Used for larger graphs (notably the gadget graphs produced by the
+    Theorem 23 reduction), where plain backtracking degrades.
+    """
+    from repro.boolsat.cnf import CNF
+    from repro.boolsat.solver import satisfying_assignment
+
+    def var(node: Node, color: int) -> str:
+        return f"c_{node}_{color}"
+
+    clauses = []
+    for u in graph.nodes:
+        clauses.append(frozenset((var(u, c), True) for c in range(colors)))
+        for c1 in range(colors):
+            for c2 in range(c1 + 1, colors):
+                clauses.append(frozenset({(var(u, c1), False), (var(u, c2), False)}))
+    for u, v in graph.edge_pairs():
+        for c in range(colors):
+            clauses.append(frozenset({(var(u, c), False), (var(v, c), False)}))
+
+    model = satisfying_assignment(CNF(tuple(clauses)))
+    if model is None:
+        return None
+    coloring: Dict[Node, int] = {}
+    for u in graph.nodes:
+        for c in range(colors):
+            if model.get(var(u, c), False):
+                coloring[u] = c
+                break
+    return coloring
+
+
+def find_proper_coloring(graph: LabeledGraph, colors: int) -> Optional[Dict[Node, int]]:
+    """A proper *colors*-coloring of the graph, or ``None`` if none exists.
+
+    Backtracking with forward checking and the minimum-remaining-values
+    heuristic; fast on the sparse gadget graphs produced by the Theorem 23
+    reduction as well as on the small dense graphs used in tests.
+    """
+    if colors < 1:
+        return None
+
+    assignment: Dict[Node, int] = {}
+    available: Dict[Node, set] = {u: set(range(colors)) for u in graph.nodes}
+
+    def choose_next() -> Node:
+        unassigned = [u for u in graph.nodes if u not in assignment]
+        return min(unassigned, key=lambda u: (len(available[u]), -graph.degree(u), str(u)))
+
+    def backtrack() -> bool:
+        if len(assignment) == len(graph.nodes):
+            return True
+        node = choose_next()
+        for color in sorted(available[node]):
+            assignment[node] = color
+            removed = []
+            feasible = True
+            for neighbor in graph.neighbors(node):
+                if neighbor in assignment:
+                    continue
+                if color in available[neighbor]:
+                    available[neighbor].discard(color)
+                    removed.append(neighbor)
+                    if not available[neighbor]:
+                        feasible = False
+            if feasible and backtrack():
+                return True
+            for neighbor in removed:
+                available[neighbor].add(color)
+            del assignment[node]
+        return False
+
+    if backtrack():
+        return dict(assignment)
+    return None
+
+
+def is_k_colorable(graph: LabeledGraph, colors: int) -> bool:
+    """Whether the graph admits a proper coloring with *colors* colors."""
+    return find_proper_coloring(graph, colors) is not None
+
+
+def two_colorable(graph: LabeledGraph) -> bool:
+    """Whether the graph is 2-colorable (equivalently, bipartite)."""
+    return is_k_colorable(graph, 2)
+
+
+def non_two_colorable(graph: LabeledGraph) -> bool:
+    """Whether the graph is not 2-colorable (contains an odd cycle)."""
+    return not two_colorable(graph)
+
+
+def three_colorable(graph: LabeledGraph) -> bool:
+    """Whether the graph is 3-colorable (the NLP-complete property of Theorem 23)."""
+    return is_k_colorable(graph, 3)
+
+
+def non_three_colorable(graph: LabeledGraph) -> bool:
+    """Whether the graph is not 3-colorable."""
+    return not three_colorable(graph)
+
+
+def chromatic_number(graph: LabeledGraph) -> int:
+    """The smallest number of colors in any proper coloring."""
+    for colors in range(1, graph.cardinality() + 1):
+        if is_k_colorable(graph, colors):
+            return colors
+    return graph.cardinality()
+
+
+def labels_form_proper_coloring(graph: LabeledGraph, colors: int = 3) -> bool:
+    """Whether the node labels encode a proper *colors*-coloring.
+
+    Labels are read as binary numbers; an unreadable or out-of-range label
+    makes the property fail.  This is the LCL-style decision version of
+    coloring (Section 1.1).
+    """
+    values: Dict[Node, int] = {}
+    for u in graph.nodes:
+        label = graph.label(u)
+        if not label:
+            return False
+        value = int(label, 2)
+        if value >= colors:
+            return False
+        values[u] = value
+    return all(values[u] != values[v] for u, v in graph.edge_pairs())
+
+
+# ----------------------------------------------------------------------
+# 3-round 3-colorability (Example 1 / Figure 1)
+# ----------------------------------------------------------------------
+def _nodes_by_degree(graph: LabeledGraph) -> Tuple[List[Node], List[Node], List[Node]]:
+    """Partition nodes into (degree 1, degree 2, the rest), each sorted."""
+    degree_one = [u for u in graph.nodes if graph.degree(u) == 1]
+    degree_two = [u for u in graph.nodes if graph.degree(u) == 2]
+    rest = [u for u in graph.nodes if graph.degree(u) not in (1, 2)]
+    return degree_one, degree_two, rest
+
+
+def _extends_to_proper(graph: LabeledGraph, fixed: Dict[Node, int], remaining: List[Node], colors: int) -> bool:
+    """Whether *fixed* can be extended on *remaining* to a proper coloring."""
+    for u, v in graph.edge_pairs():
+        if u in fixed and v in fixed and fixed[u] == fixed[v]:
+            return False
+
+    assignment = dict(fixed)
+
+    def backtrack(index: int) -> bool:
+        if index == len(remaining):
+            return True
+        node = remaining[index]
+        forbidden = {assignment[v] for v in graph.neighbors(node) if v in assignment}
+        for color in range(colors):
+            if color in forbidden:
+                continue
+            assignment[node] = color
+            if backtrack(index + 1):
+                return True
+            del assignment[node]
+        return False
+
+    return backtrack(0)
+
+
+def three_round_three_colorable(graph: LabeledGraph, colors: int = 3) -> bool:
+    """The 3-round 3-colorability game (Example 1, Figure 1).
+
+    Round 1: Eve colors all nodes of degree 1.
+    Round 2: Adam colors all nodes of degree 2.
+    Round 3: Eve colors every remaining node.
+
+    The graph has the property iff Eve has a strategy forcing the final
+    assignment to be a proper coloring whatever Adam plays.
+    """
+    degree_one, degree_two, rest = _nodes_by_degree(graph)
+
+    def adam_cannot_win(eve_round_one: Dict[Node, int]) -> bool:
+        for adam_choice in itertools.product(range(colors), repeat=len(degree_two)):
+            fixed = dict(eve_round_one)
+            fixed.update(dict(zip(degree_two, adam_choice)))
+            if not _extends_to_proper(graph, fixed, rest, colors):
+                return False
+        return True
+
+    for eve_choice in itertools.product(range(colors), repeat=len(degree_one)):
+        eve_round_one = dict(zip(degree_one, eve_choice))
+        if adam_cannot_win(eve_round_one):
+            return True
+    return False
+
+
+def adam_winning_strategy_exists(graph: LabeledGraph, colors: int = 3) -> bool:
+    """Whether Adam can force a monochromatic edge in the 3-round game."""
+    return not three_round_three_colorable(graph, colors)
+
+
+THREE_COLORABLE = register_property(
+    GraphProperty(
+        name="3-colorable",
+        decide=three_colorable,
+        description="admits a proper 3-coloring",
+        paper_alternation_class="Sigma_lb_1",
+        paper_lcp_class="LCP(O(1))",
+    )
+)
+
+NON_TWO_COLORABLE = register_property(
+    GraphProperty(
+        name="non-2-colorable",
+        decide=non_two_colorable,
+        description="contains an odd cycle",
+        paper_alternation_class="Sigma_lb_3",
+        paper_lcp_class="LCP(O(log n))",
+    )
+)
+
+NON_THREE_COLORABLE = register_property(
+    GraphProperty(
+        name="non-3-colorable",
+        decide=non_three_colorable,
+        description="admits no proper 3-coloring",
+        paper_alternation_class="Pi_lb_4",
+        paper_lcp_class="LCP(O(log n))",
+    )
+)

@@ -1,0 +1,167 @@
+"""Cycle-related properties: Eulerianness, Hamiltonicity, acyclicity, parity.
+
+* ``eulerian`` -- all node degrees are even (Euler's theorem for connected
+  graphs); LP-complete in the paper (Proposition 18).
+* ``hamiltonian`` -- there is a cycle through every node exactly once; both
+  LP-hard and coLP-hard (Propositions 19 and 20), hence outside NLP and coNLP.
+* ``acyclic`` -- the graph is a tree (connected and without cycles);
+  Sigma^lfo_3-definable (Section 5.2).
+* ``odd`` -- the number of nodes is odd; Sigma^lfo_3-definable (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.properties.base import GraphProperty, register_property
+
+
+def eulerian(graph: LabeledGraph) -> bool:
+    """Whether the (connected) graph has an Eulerian cycle: all degrees even."""
+    return all(graph.degree(u) % 2 == 0 for u in graph.nodes)
+
+
+def non_eulerian(graph: LabeledGraph) -> bool:
+    """Whether some node has odd degree."""
+    return not eulerian(graph)
+
+
+def find_hamiltonian_cycle(graph: LabeledGraph) -> Optional[List[Node]]:
+    """A Hamiltonian cycle as a node sequence (without repeating the start), or ``None``.
+
+    Backtracking search; exponential in the worst case but fine for the graph
+    sizes produced by the reductions in this repository.  Following the usual
+    convention, a single node or a single edge does not constitute a cycle, so
+    graphs with fewer than three nodes are never Hamiltonian.
+    """
+    n = graph.cardinality()
+    if n < 3:
+        return None
+    # A node of degree < 2 can never lie on a cycle.
+    if any(graph.degree(u) < 2 for u in graph.nodes):
+        return None
+    nodes = list(graph.nodes)
+    start = min(nodes, key=str)
+    path = [start]
+    visited = {start}
+
+    def prune() -> bool:
+        """Return True if the current partial path provably cannot be extended.
+
+        Two checks: (1) every unvisited node must keep at least two usable
+        neighbors (unvisited ones, or the path endpoints); (2) the unvisited
+        nodes together with the two endpoints must be connected.
+        """
+        if len(path) == n:
+            return False
+        current = path[-1]
+        unvisited = [u for u in nodes if u not in visited]
+        usable = set(unvisited) | {current, start}
+        for u in unvisited:
+            if len(graph.neighbors(u) & usable) < 2:
+                return True
+        # Connectivity of unvisited ∪ {current} (the cycle must sweep them up).
+        component = {unvisited[0]}
+        frontier = [unvisited[0]]
+        allowed = set(unvisited) | {current, start}
+        while frontier:
+            x = frontier.pop()
+            for y in graph.neighbors(x):
+                if y in allowed and y not in component:
+                    component.add(y)
+                    frontier.append(y)
+        return not set(unvisited) <= component
+
+    def backtrack() -> Optional[List[Node]]:
+        if len(path) == n:
+            if graph.has_edge(path[-1], start):
+                return list(path)
+            return None
+        if prune():
+            return None
+        current = path[-1]
+        # Order neighbors by degree to fail fast on forced vertices.
+        for neighbor in sorted(graph.neighbors(current), key=lambda v: (graph.degree(v), str(v))):
+            if neighbor in visited:
+                continue
+            path.append(neighbor)
+            visited.add(neighbor)
+            result = backtrack()
+            if result is not None:
+                return result
+            visited.remove(neighbor)
+            path.pop()
+        return None
+
+    return backtrack()
+
+
+def hamiltonian(graph: LabeledGraph) -> bool:
+    """Whether the graph contains a Hamiltonian cycle."""
+    return find_hamiltonian_cycle(graph) is not None
+
+
+def non_hamiltonian(graph: LabeledGraph) -> bool:
+    """Whether the graph contains no Hamiltonian cycle."""
+    return not hamiltonian(graph)
+
+
+def acyclic(graph: LabeledGraph) -> bool:
+    """Whether the graph has no cycles.
+
+    Since graphs are connected, this is equivalent to being a tree, i.e. to
+    having exactly ``card(G) - 1`` edges.
+    """
+    return len(graph.edges) == graph.cardinality() - 1
+
+
+def is_tree(graph: LabeledGraph) -> bool:
+    """Alias for :func:`acyclic` (connected and cycle-free)."""
+    return acyclic(graph)
+
+
+def odd(graph: LabeledGraph) -> bool:
+    """Whether the number of nodes is odd."""
+    return graph.cardinality() % 2 == 1
+
+
+EULERIAN = register_property(
+    GraphProperty(
+        name="eulerian",
+        decide=eulerian,
+        description="all node degrees are even",
+        paper_alternation_class="LP",
+        paper_lcp_class="LCP(0)",
+    )
+)
+
+HAMILTONIAN = register_property(
+    GraphProperty(
+        name="hamiltonian",
+        decide=hamiltonian,
+        description="contains a Hamiltonian cycle",
+        paper_alternation_class="Sigma_lb_3",
+        paper_lcp_class="LCP(O(log n))",
+    )
+)
+
+ACYCLIC = register_property(
+    GraphProperty(
+        name="acyclic",
+        decide=acyclic,
+        description="contains no cycle (is a tree)",
+        paper_alternation_class="Sigma_lb_3",
+        paper_lcp_class="LCP(O(log n))",
+    )
+)
+
+ODD = register_property(
+    GraphProperty(
+        name="odd",
+        decide=odd,
+        description="has an odd number of nodes",
+        paper_alternation_class="Sigma_lb_3",
+        paper_lcp_class="LCP(O(log n))",
+    )
+)

@@ -1,0 +1,63 @@
+"""Boolean graph satisfiability as graph properties (Section 8).
+
+``sat-graph`` contains the Boolean graphs (graphs whose labels encode Boolean
+formulas) that admit a consistent family of satisfying valuations; it is the
+paper's NLP-complete generalization of ``sat`` (Theorem 22).  ``3-sat-graph``
+additionally requires every node formula to be in 3-CNF.
+"""
+
+from __future__ import annotations
+
+from repro.boolsat.boolean_graph import sat_graph_satisfiable, three_sat_graph_member
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.properties.base import GraphProperty, register_property
+
+
+def _decodes_to_formulas(graph: LabeledGraph) -> bool:
+    from repro.boolsat.boolean_graph import decode_boolean_graph
+
+    try:
+        decode_boolean_graph(graph)
+    except (ValueError, KeyError):
+        return False
+    return True
+
+
+def sat_graph(graph: LabeledGraph) -> bool:
+    """Whether *graph* is a satisfiable Boolean graph.
+
+    Graphs whose labels do not decode to Boolean formulas are not in the
+    property (they are simply no-instances).
+    """
+    if not _decodes_to_formulas(graph):
+        return False
+    return sat_graph_satisfiable(graph)
+
+
+def three_sat_graph_domain(graph: LabeledGraph) -> bool:
+    """Whether every node label decodes to a 3-CNF formula."""
+    return three_sat_graph_member(graph)
+
+
+def three_sat_graph(graph: LabeledGraph) -> bool:
+    """Whether *graph* is a satisfiable Boolean graph with 3-CNF labels."""
+    return three_sat_graph_domain(graph) and sat_graph_satisfiable(graph)
+
+
+SAT_GRAPH = register_property(
+    GraphProperty(
+        name="sat-graph",
+        decide=sat_graph,
+        description="Boolean graph with a consistent satisfying valuation family",
+        paper_alternation_class="NLP-complete",
+    )
+)
+
+THREE_SAT_GRAPH = register_property(
+    GraphProperty(
+        name="3-sat-graph",
+        decide=three_sat_graph,
+        description="satisfiable Boolean graph whose labels are 3-CNF formulas",
+        paper_alternation_class="NLP-complete",
+    )
+)

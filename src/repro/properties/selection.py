@@ -1,0 +1,68 @@
+"""Selection properties: all-selected, not-all-selected, one-selected.
+
+``all-selected`` is the trivially LP-complete property requiring every node
+to carry the label ``1`` (Remark 17); its complement ``not-all-selected``
+separates several classes in the paper (it is coLP-complete and lies outside
+NLP by Proposition 26); ``one-selected`` (exactly one node labeled ``1``) is
+the Sigma^lfo_3 example of Example 8.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.properties.base import GraphProperty, register_property
+
+
+def _selected_count(graph: LabeledGraph) -> int:
+    return sum(1 for u in graph.nodes if graph.label(u) == "1")
+
+
+def all_selected(graph: LabeledGraph) -> bool:
+    """Every node is labeled with the bit string ``1``."""
+    return _selected_count(graph) == graph.cardinality()
+
+
+def not_all_selected(graph: LabeledGraph) -> bool:
+    """At least one node carries a label different from ``1``."""
+    return not all_selected(graph)
+
+
+def one_selected(graph: LabeledGraph) -> bool:
+    """Exactly one node is labeled with the bit string ``1`` (Example 8)."""
+    return _selected_count(graph) == 1
+
+
+def none_selected(graph: LabeledGraph) -> bool:
+    """No node is labeled with the bit string ``1``."""
+    return _selected_count(graph) == 0
+
+
+ALL_SELECTED = register_property(
+    GraphProperty(
+        name="all-selected",
+        decide=all_selected,
+        description="every node is labeled 1",
+        paper_alternation_class="LP",
+        paper_lcp_class="LCP(0)",
+    )
+)
+
+NOT_ALL_SELECTED = register_property(
+    GraphProperty(
+        name="not-all-selected",
+        decide=not_all_selected,
+        description="some node is not labeled 1",
+        paper_alternation_class="coLP-complete",
+        paper_lcp_class="LCP(0)",
+    )
+)
+
+ONE_SELECTED = register_property(
+    GraphProperty(
+        name="one-selected",
+        decide=one_selected,
+        description="exactly one node is labeled 1",
+        paper_alternation_class="Sigma_lb_3",
+        paper_lcp_class="LCP(O(log n))",
+    )
+)

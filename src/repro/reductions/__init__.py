@@ -1,0 +1,50 @@
+"""Locally polynomial reductions (Section 8).
+
+A locally polynomial reduction transforms an input graph ``G`` into a new
+graph ``G'`` such that ``G`` has property ``L`` iff ``G'`` has property
+``L'``; the transformation is performed node by node, each node of ``G``
+emitting a *cluster* of ``G'`` computed from its constant-radius
+neighborhood, with edges allowed only inside clusters and between clusters of
+adjacent nodes.
+
+The concrete reductions implemented here are exactly those of Section 8:
+
+============================================  ==========================
+Reduction                                     Paper reference
+============================================  ==========================
+LP property  -> all-selected                  Remark 17
+all-selected -> eulerian                      Proposition 18 / Figure 9
+all-selected -> hamiltonian                   Proposition 19 / Figures 3, 10
+not-all-selected -> hamiltonian               Proposition 20 / Figure 11
+sat-graph -> 3-sat-graph                      Theorem 23 (first step)
+3-sat-graph -> 3-colorable                    Theorem 23 / Figures 4, 12
+============================================  ==========================
+"""
+
+from repro.reductions.base import (
+    ClusterReduction,
+    ReductionResult,
+    verify_cluster_map,
+    verify_reduction_equivalence,
+    decide_through_reduction,
+)
+from repro.reductions.to_all_selected import LPToAllSelectedReduction
+from repro.reductions.all_selected_to_eulerian import AllSelectedToEulerian
+from repro.reductions.all_selected_to_hamiltonian import AllSelectedToHamiltonian
+from repro.reductions.not_all_selected_to_hamiltonian import NotAllSelectedToHamiltonian
+from repro.reductions.satgraph_to_threesatgraph import SatGraphToThreeSatGraph
+from repro.reductions.threesatgraph_to_threecolorable import ThreeSatGraphToThreeColorable
+
+__all__ = [
+    "ClusterReduction",
+    "ReductionResult",
+    "verify_cluster_map",
+    "verify_reduction_equivalence",
+    "decide_through_reduction",
+    "LPToAllSelectedReduction",
+    "AllSelectedToEulerian",
+    "AllSelectedToHamiltonian",
+    "NotAllSelectedToHamiltonian",
+    "SatGraphToThreeSatGraph",
+    "ThreeSatGraphToThreeColorable",
+]

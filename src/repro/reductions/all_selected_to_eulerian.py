@@ -1,0 +1,52 @@
+"""Reduction from ``all-selected`` to ``eulerian`` (Proposition 18, Figure 9).
+
+Each input node ``u`` is represented by two copies ``u0`` and ``u1``; each
+input edge ``{u, v}`` becomes the four edges ``{u_i, v_j}``.  If the label of
+``u`` is not ``1``, the extra "vertical" edge ``{u0, u1}`` is added, giving
+both copies odd degree.  Hence all degrees of the output graph are even
+(Eulerian) iff every input node is labeled ``1``.
+
+Single-node graphs are treated as a special case (as allowed in the paper):
+a selected single node maps to a single node (trivially Eulerian), an
+unselected one maps to a two-node path (not Eulerian).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.reductions.base import ClusterReduction
+
+
+class AllSelectedToEulerian(ClusterReduction):
+    """``G`` has all labels ``1``  iff  ``G'`` is Eulerian."""
+
+    name = "all-selected-to-eulerian"
+    radius = 0
+
+    def cluster(self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node) -> Dict[Hashable, str]:
+        selected = graph.label(node) == "1"
+        if graph.cardinality() == 1:
+            return {"copy0": ""} if selected else {"copy0": "", "copy1": ""}
+        return {"copy0": "", "copy1": ""}
+
+    def intra_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node
+    ) -> Iterable[Tuple[Hashable, Hashable]]:
+        selected = graph.label(node) == "1"
+        if graph.cardinality() == 1:
+            return [] if selected else [("copy0", "copy1")]
+        if selected:
+            return []
+        return [("copy0", "copy1")]
+
+    def inter_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node, neighbor: Node
+    ) -> Iterable[Tuple[Hashable, Hashable]]:
+        return [
+            ("copy0", "copy0"),
+            ("copy0", "copy1"),
+            ("copy1", "copy0"),
+            ("copy1", "copy1"),
+        ]

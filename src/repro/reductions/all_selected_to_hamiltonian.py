@@ -1,0 +1,70 @@
+"""Reduction from ``all-selected`` to ``hamiltonian`` (Proposition 19, Figures 3/10).
+
+Each input node ``u`` of degree ``d`` with neighbors ``v_1 < ... < v_d`` (in
+identifier order) is represented by a cycle of length ``max(3, 2d)``
+containing, for every neighbor ``v_i``, the two adjacent "ports"
+``to(v_i)`` and ``from(v_i)``; dummy nodes pad the cycle when ``d <= 1``.
+Every input edge ``{u, v}`` contributes the two inter-cluster edges
+``{to_u(v), from_v(u)}`` and ``{from_u(v), to_v(u)}``, so a Hamiltonian cycle
+of the output graph can traverse it twice (Euler-tour technique).  If the
+label of ``u`` differs from ``1``, an extra degree-1 node ``bad`` is attached
+to ``u``'s cycle, which destroys Hamiltonicity.
+
+Hence the output graph is Hamiltonian iff every input node is labeled ``1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.graphs.identifiers import identifier_key
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.reductions.base import ClusterReduction
+
+
+def _sorted_neighbors(graph: LabeledGraph, ids: Mapping[Node, str], node: Node) -> List[Node]:
+    return sorted(graph.neighbors(node), key=lambda v: identifier_key(ids[v]))
+
+
+def _cycle_tags(graph: LabeledGraph, ids: Mapping[Node, str], node: Node) -> List[Hashable]:
+    """The tags of the cluster cycle of *node*, in cyclic order."""
+    neighbors = _sorted_neighbors(graph, ids, node)
+    tags: List[Hashable] = []
+    for v in neighbors:
+        tags.append(("to", ids[v]))
+        tags.append(("from", ids[v]))
+    if len(neighbors) == 0:
+        tags = [("dummy", 0), ("dummy", 1), ("dummy", 2)]
+    elif len(neighbors) == 1:
+        tags.append(("dummy", 0))
+    return tags
+
+
+class AllSelectedToHamiltonian(ClusterReduction):
+    """``G`` has all labels ``1``  iff  ``G'`` is Hamiltonian."""
+
+    name = "all-selected-to-hamiltonian"
+    radius = 1
+
+    def cluster(self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node) -> Dict[Hashable, str]:
+        tags = {tag: "" for tag in _cycle_tags(graph, ids, node)}
+        if graph.label(node) != "1":
+            tags[("bad",)] = ""
+        return tags
+
+    def intra_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node
+    ) -> Iterable[Tuple[Hashable, Hashable]]:
+        tags = _cycle_tags(graph, ids, node)
+        edges = [(tags[i], tags[(i + 1) % len(tags)]) for i in range(len(tags))]
+        if graph.label(node) != "1":
+            edges.append((("bad",), tags[0]))
+        return edges
+
+    def inter_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node, neighbor: Node
+    ) -> Iterable[Tuple[Hashable, Hashable]]:
+        return [
+            (("to", ids[neighbor]), ("from", ids[node])),
+            (("from", ids[neighbor]), ("to", ids[node])),
+        ]

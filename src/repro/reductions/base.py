@@ -1,0 +1,183 @@
+"""The cluster-based reduction framework (Section 8).
+
+A :class:`ClusterReduction` describes, for every node ``u`` of the input
+graph, the *cluster* of new nodes representing ``u`` in the output graph, the
+edges inside that cluster, and the edges between the clusters of adjacent
+nodes.  All three are computed from information available in a
+constant-radius neighborhood of ``u`` (typically ``u`` itself, its label, its
+identifier and its neighbors' identifiers), which is what makes the reduction
+implementable by a locally polynomial machine.
+
+New node identities are pairs ``(u, tag)`` where ``u`` is the owning input
+node; the cluster map of the paper is therefore simply ``(u, tag) ↦ u``, and
+:func:`verify_cluster_map` checks the two structural conditions: clusters do
+not overlap, and edges only connect clusters of equal or adjacent input
+nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.identifiers import small_identifier_assignment
+from repro.graphs.labeled_graph import LabeledGraph, Node
+
+NewNode = Tuple[Node, Hashable]
+Edge = Tuple[NewNode, NewNode]
+
+
+@dataclass
+class ReductionResult:
+    """The output of applying a reduction to a graph."""
+
+    input_graph: LabeledGraph
+    output_graph: LabeledGraph
+    cluster_of: Dict[NewNode, Node]
+
+    def cluster_nodes(self, node: Node) -> List[NewNode]:
+        """All output nodes belonging to the cluster of *node*."""
+        return [w for w, owner in self.cluster_of.items() if owner == node]
+
+
+class ClusterReduction:
+    """Base class for locally polynomial reductions.
+
+    Subclasses implement :meth:`cluster`, :meth:`intra_edges` and
+    :meth:`inter_edges`; :meth:`apply` assembles the output graph.  The
+    default identifier assignment used by :meth:`apply` is a small
+    ``identifier_radius``-locally unique one; reductions whose output depends
+    on identifiers (e.g. the Tseytin step of Theorem 23) receive it explicitly.
+    """
+
+    name: str = "cluster-reduction"
+    #: Radius of the neighborhood a node needs to see to compute its cluster.
+    radius: int = 1
+    #: Identifier local-uniqueness radius required by the reduction.
+    identifier_radius: int = 1
+
+    # ------------------------------------------------------------------
+    # The three locally computable pieces
+    # ------------------------------------------------------------------
+    def cluster(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node
+    ) -> Dict[Hashable, str]:
+        """The cluster of *node*: a mapping ``tag -> label`` of new nodes."""
+        raise NotImplementedError
+
+    def intra_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node
+    ) -> Iterable[Tuple[Hashable, Hashable]]:
+        """Edges inside the cluster of *node*, as pairs of tags."""
+        raise NotImplementedError
+
+    def inter_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node, neighbor: Node
+    ) -> Iterable[Tuple[Hashable, Hashable]]:
+        """Edges between the clusters of the adjacent nodes *node* and *neighbor*.
+
+        Returned pairs are ``(tag_in_node_cluster, tag_in_neighbor_cluster)``.
+        The assembler calls this once per ordered pair, so implementations may
+        report each edge from either side (duplicates are merged).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def apply(
+        self, graph: LabeledGraph, ids: Optional[Mapping[Node, str]] = None
+    ) -> ReductionResult:
+        """Assemble the output graph from the per-node clusters."""
+        if ids is None:
+            ids = small_identifier_assignment(graph, self.identifier_radius)
+
+        nodes: List[NewNode] = []
+        labels: Dict[NewNode, str] = {}
+        cluster_of: Dict[NewNode, Node] = {}
+        edges: List[Edge] = []
+
+        for u in graph.nodes:
+            cluster = self.cluster(graph, ids, u)
+            for tag, label in cluster.items():
+                new_node: NewNode = (u, tag)
+                nodes.append(new_node)
+                labels[new_node] = label
+                cluster_of[new_node] = u
+            for tag_a, tag_b in self.intra_edges(graph, ids, u):
+                edges.append(((u, tag_a), (u, tag_b)))
+
+        for u, v in graph.edge_pairs():
+            for tag_u, tag_v in self.inter_edges(graph, ids, u, v):
+                edges.append(((u, tag_u), (v, tag_v)))
+            for tag_v, tag_u in self.inter_edges(graph, ids, v, u):
+                edges.append(((v, tag_v), (u, tag_u)))
+
+        output = LabeledGraph(nodes, edges, labels)
+        return ReductionResult(input_graph=graph, output_graph=output, cluster_of=cluster_of)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Verification helpers
+# ----------------------------------------------------------------------
+def verify_cluster_map(result: ReductionResult) -> bool:
+    """Check the structural conditions on cluster maps (Section 8).
+
+    * every output node belongs to exactly one cluster (guaranteed by
+      construction here, but re-checked), and
+    * every output edge connects nodes of the same cluster or of clusters
+      whose owning input nodes are adjacent.
+    """
+    graph = result.input_graph
+    output = result.output_graph
+    for w in output.nodes:
+        if w not in result.cluster_of:
+            return False
+        if result.cluster_of[w] not in graph:
+            return False
+    for a, b in output.edge_pairs():
+        owner_a = result.cluster_of[a]
+        owner_b = result.cluster_of[b]
+        if owner_a != owner_b and not graph.has_edge(owner_a, owner_b):
+            return False
+    return True
+
+
+def verify_reduction_equivalence(
+    reduction: ClusterReduction,
+    source_property: Callable[[LabeledGraph], bool],
+    target_property: Callable[[LabeledGraph], bool],
+    graphs: Sequence[LabeledGraph],
+    ids_for: Optional[Callable[[LabeledGraph], Mapping[Node, str]]] = None,
+) -> List[Tuple[LabeledGraph, bool, bool]]:
+    """Check ``G ∈ L  ⟺  G' ∈ L'`` on every test graph.
+
+    Returns the list of counterexamples as triples
+    ``(graph, source_value, target_value)``; an empty list means the
+    equivalence held on all inputs.
+    """
+    failures: List[Tuple[LabeledGraph, bool, bool]] = []
+    for graph in graphs:
+        ids = ids_for(graph) if ids_for is not None else None
+        result = reduction.apply(graph, ids)
+        source_value = source_property(graph)
+        target_value = target_property(result.output_graph)
+        if source_value != target_value:
+            failures.append((graph, source_value, target_value))
+    return failures
+
+
+def decide_through_reduction(
+    reduction: ClusterReduction,
+    target_property: Callable[[LabeledGraph], bool],
+    graph: LabeledGraph,
+    ids: Optional[Mapping[Node, str]] = None,
+) -> bool:
+    """Decide the source property by reducing and querying the target property.
+
+    This is the operational content of "``L'`` is at least as hard as ``L``":
+    a decider for the target immediately yields one for the source.
+    """
+    result = reduction.apply(graph, ids)
+    return target_property(result.output_graph)

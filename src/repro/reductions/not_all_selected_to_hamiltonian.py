@@ -1,0 +1,76 @@
+"""Reduction from ``not-all-selected`` to ``hamiltonian`` (Proposition 20, Figure 11).
+
+Each input node ``u`` of degree ``d`` is represented by *two* cycles (a "top"
+and a "bottom" one), each of length ``2d + 3``: the port pairs of the
+Proposition 19 construction plus three auxiliary nodes ``x1, x2, x3``.  The
+two cycles are joined by the "vertical" edge ``{x2_top, x2_bot}`` at every
+node, and additionally by ``{x1_top, x1_bot}`` exactly at the nodes whose
+label differs from ``1``.  Inter-cluster edges connect the top cycles of
+adjacent clusters and, separately, their bottom cycles.
+
+The top cycles together admit a Hamiltonian cycle of their subgraph, and so do
+the bottom cycles.  These two cycles can be merged into a Hamiltonian cycle of
+the whole graph iff some cluster offers *two* vertical edges, i.e. iff some
+input node is unselected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.graphs.identifiers import identifier_key
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.reductions.base import ClusterReduction
+
+_LAYERS = ("top", "bot")
+
+
+def _sorted_neighbors(graph: LabeledGraph, ids: Mapping[Node, str], node: Node) -> List[Node]:
+    return sorted(graph.neighbors(node), key=lambda v: identifier_key(ids[v]))
+
+
+def _layer_cycle_tags(
+    graph: LabeledGraph, ids: Mapping[Node, str], node: Node, layer: str
+) -> List[Hashable]:
+    """The tags of one layer's cycle (length ``2d + 3``), in cyclic order."""
+    tags: List[Hashable] = []
+    for v in _sorted_neighbors(graph, ids, node):
+        tags.append((layer, "to", ids[v]))
+        tags.append((layer, "from", ids[v]))
+    tags.extend([(layer, "x1"), (layer, "x2"), (layer, "x3")])
+    return tags
+
+
+class NotAllSelectedToHamiltonian(ClusterReduction):
+    """``G`` has some label different from ``1``  iff  ``G'`` is Hamiltonian."""
+
+    name = "not-all-selected-to-hamiltonian"
+    radius = 1
+
+    def cluster(self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node) -> Dict[Hashable, str]:
+        tags: Dict[Hashable, str] = {}
+        for layer in _LAYERS:
+            for tag in _layer_cycle_tags(graph, ids, node, layer):
+                tags[tag] = ""
+        return tags
+
+    def intra_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node
+    ) -> Iterable[Tuple[Hashable, Hashable]]:
+        edges: List[Tuple[Hashable, Hashable]] = []
+        for layer in _LAYERS:
+            tags = _layer_cycle_tags(graph, ids, node, layer)
+            edges.extend((tags[i], tags[(i + 1) % len(tags)]) for i in range(len(tags)))
+        edges.append((("top", "x2"), ("bot", "x2")))
+        if graph.label(node) != "1":
+            edges.append((("top", "x1"), ("bot", "x1")))
+        return edges
+
+    def inter_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node, neighbor: Node
+    ) -> Iterable[Tuple[Hashable, Hashable]]:
+        edges: List[Tuple[Hashable, Hashable]] = []
+        for layer in _LAYERS:
+            edges.append(((layer, "to", ids[neighbor]), (layer, "from", ids[node])))
+            edges.append(((layer, "from", ids[neighbor]), (layer, "to", ids[node])))
+        return edges

@@ -1,0 +1,143 @@
+"""Reduction from ``3-sat-graph`` to ``3-colorable`` (Theorem 23, Figures 4/12).
+
+Each node ``u`` labeled with a 3-CNF formula is represented by a *formula
+gadget*: a palette triangle ``{true, false, ground}``, a literal pair
+``{P, ¬P}`` per variable (both adjacent to ``ground`` and to each other), and
+a standard two-stage OR gadget per clause whose output node is adjacent to
+``false`` and ``ground`` (forcing it to take the ``true`` color).  The gadget
+is 3-colorable iff the node's formula is satisfiable, with the literal colors
+encoding the satisfying valuation.
+
+For every input edge ``{u, v}`` the clusters are linked by *connector
+gadgets* that force equal colors on ``false_u``/``false_v``,
+``ground_u``/``ground_v`` and on the positive literal nodes of every variable
+shared by the two formulas; hence any 3-coloring of the output graph induces
+a globally consistent family of valuations, and vice versa.  The connector
+gadget used here consists of two middle nodes (one per cluster) adjacent to
+each other and to both endpoints.
+
+The output graph is 3-colorable iff the input Boolean graph is satisfiable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.boolsat.cnf import CNF, formula_to_cnf_clauses
+from repro.boolsat.encoding import decode_formula
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.reductions.base import ClusterReduction
+
+Tag = Hashable
+
+TRUE = ("palette", "true")
+FALSE = ("palette", "false")
+GROUND = ("palette", "ground")
+
+
+def _node_cnf(graph: LabeledGraph, node: Node) -> CNF:
+    """The node's 3-CNF formula as a :class:`CNF` (clauses of literals)."""
+    formula = decode_formula(graph.label(node))
+    return formula_to_cnf_clauses(formula)
+
+
+def _literal_tag(name: str, polarity: bool) -> Tag:
+    return ("literal", name, polarity)
+
+
+def _padded_literals(clause: FrozenSet[Tuple[str, bool]]) -> List[Tuple[str, bool]]:
+    """The clause's literals padded to exactly three by repetition."""
+    literals = sorted(clause)
+    if not literals:
+        raise ValueError("empty clauses cannot be represented by the coloring gadget")
+    while len(literals) < 3:
+        literals.append(literals[-1])
+    return literals[:3]
+
+
+def _shared_variables(graph: LabeledGraph, node: Node, neighbor: Node) -> List[str]:
+    """Variables occurring in both endpoints' formulas, sorted."""
+    own = decode_formula(graph.label(node)).variables()
+    other = decode_formula(graph.label(neighbor)).variables()
+    return sorted(own & other)
+
+
+def _connector_kinds(graph: LabeledGraph, node: Node, neighbor: Node) -> List[Tag]:
+    """What gets forced equal across the edge: false, ground, and shared literals."""
+    kinds: List[Tag] = [FALSE, GROUND]
+    kinds.extend(_literal_tag(name, True) for name in _shared_variables(graph, node, neighbor))
+    return kinds
+
+
+class ThreeSatGraphToThreeColorable(ClusterReduction):
+    """``G`` is a satisfiable Boolean graph  iff  ``G'`` is 3-colorable."""
+
+    name = "3-sat-graph-to-3-colorable"
+    radius = 1
+    identifier_radius = 1
+
+    # ------------------------------------------------------------------
+    def cluster(self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node) -> Dict[Tag, str]:
+        cnf = _node_cnf(graph, node)
+        tags: Dict[Tag, str] = {TRUE: "", FALSE: "", GROUND: ""}
+        for name in sorted(cnf.variables()):
+            tags[_literal_tag(name, True)] = ""
+            tags[_literal_tag(name, False)] = ""
+        for index, clause in enumerate(cnf.clauses):
+            for position in range(6):
+                tags[("clause", index, position)] = ""
+        # Connector middle nodes: one per neighbor and per forced-equal kind.
+        for neighbor in graph.neighbors(node):
+            for kind in _connector_kinds(graph, node, neighbor):
+                tags[("connector", ids[neighbor], kind)] = ""
+        return tags
+
+    def intra_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node
+    ) -> Iterable[Tuple[Tag, Tag]]:
+        cnf = _node_cnf(graph, node)
+        edges: List[Tuple[Tag, Tag]] = [(TRUE, FALSE), (FALSE, GROUND), (GROUND, TRUE)]
+        for name in sorted(cnf.variables()):
+            positive = _literal_tag(name, True)
+            negative = _literal_tag(name, False)
+            edges.append((positive, negative))
+            edges.append((positive, GROUND))
+            edges.append((negative, GROUND))
+        for index, clause in enumerate(cnf.clauses):
+            first, second, third = _padded_literals(clause)
+            o1, o2, o3 = ("clause", index, 0), ("clause", index, 1), ("clause", index, 2)
+            o4, o5, o6 = ("clause", index, 3), ("clause", index, 4), ("clause", index, 5)
+            edges.extend(
+                [
+                    (_literal_tag(*first), o1),
+                    (_literal_tag(*second), o2),
+                    (o1, o2),
+                    (o1, o3),
+                    (o2, o3),
+                    (o3, o4),
+                    (_literal_tag(*third), o5),
+                    (o4, o5),
+                    (o4, o6),
+                    (o5, o6),
+                    (o6, FALSE),
+                    (o6, GROUND),
+                ]
+            )
+        # Each connector middle node is adjacent to the forced node of its own cluster.
+        for neighbor in graph.neighbors(node):
+            for kind in _connector_kinds(graph, node, neighbor):
+                edges.append((("connector", ids[neighbor], kind), kind))
+        return edges
+
+    def inter_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node, neighbor: Node
+    ) -> Iterable[Tuple[Tag, Tag]]:
+        edges: List[Tuple[Tag, Tag]] = []
+        for kind in _connector_kinds(graph, node, neighbor):
+            own_middle = ("connector", ids[neighbor], kind)
+            other_middle = ("connector", ids[node], kind)
+            # middle(u) -- middle(v), middle(u) -- forced node of v's cluster,
+            # forced node of u's cluster -- middle(v) is reported from v's side.
+            edges.append((own_middle, other_middle))
+            edges.append((own_middle, kind))
+        return edges

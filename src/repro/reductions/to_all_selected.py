@@ -1,0 +1,44 @@
+"""The trivial reduction from any LP property to ``all-selected`` (Remark 17).
+
+Any graph property decided by a locally polynomial machine reduces to
+``all-selected`` simply by executing the machine and relabeling every node
+with its verdict.  The reduction is topology-preserving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.machines.interface import NodeMachine
+from repro.machines.simulator import execute
+from repro.reductions.base import ClusterReduction
+
+
+class LPToAllSelectedReduction(ClusterReduction):
+    """Run an LP decider and replace every label by the node's verdict."""
+
+    name = "LP-to-all-selected"
+
+    def __init__(self, decider: NodeMachine, identifier_radius: int = 1) -> None:
+        self.decider = decider
+        self.identifier_radius = identifier_radius
+        self._cache: Dict[int, Dict[Node, str]] = {}
+
+    def _verdicts(self, graph: LabeledGraph, ids: Mapping[Node, str]) -> Dict[Node, str]:
+        key = id(graph)
+        if key not in self._cache:
+            result = execute(self.decider, graph, ids)
+            self._cache[key] = {u: "1" if v else "0" for u, v in result.verdicts().items()}
+        return self._cache[key]
+
+    def cluster(self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node) -> Dict[Hashable, str]:
+        return {"core": self._verdicts(graph, ids)[node]}
+
+    def intra_edges(self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node) -> Iterable[Tuple[Hashable, Hashable]]:
+        return []
+
+    def inter_edges(
+        self, graph: LabeledGraph, ids: Mapping[Node, str], node: Node, neighbor: Node
+    ) -> Iterable[Tuple[Hashable, Hashable]]:
+        return [("core", "core")]

@@ -1,0 +1,218 @@
+"""coLP vs NLP: the pumping argument of Proposition 26, made executable.
+
+``not-all-selected`` is coLP-complete but lies outside NLP.  The paper's
+argument: suppose an NLP verifier existed; run it on a long cycle with a
+single unselected node and an accepting certificate assignment; by the
+pigeonhole principle two nodes have identical certified views; cut the cycle
+between them (keeping the side *without* the unselected node) and glue the
+ends -- the verifier still accepts, although every node of the pumped cycle is
+selected.  Contradiction.
+
+To make this concrete we implement the natural candidate verifier a designer
+would try -- certificates are "distance to the nearest unselected node" capped
+modulo a constant (any fixed certificate-length bound forces such a cap on
+long cycles) -- and show that the pumping construction defeats it: the pumped
+all-selected cycle is still accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.identifiers import cyclic_identifier_assignment
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.machines.builtin import predicate_decider
+from repro.machines.local_algorithm import LocalView, NeighborhoodGatherAlgorithm
+from repro.machines.simulator import execute
+from repro.properties.selection import all_selected, not_all_selected
+from repro.separations.views import nodes_with_equal_views
+
+
+# ----------------------------------------------------------------------
+# The candidate verifier and its honest certificates
+# ----------------------------------------------------------------------
+def distance_counter_verifier(modulus: int) -> NeighborhoodGatherAlgorithm:
+    """An NLP-style verifier for ``not-all-selected`` with modulo-``modulus`` counters.
+
+    Eve's certificate at a node is meant to be the distance to the nearest
+    unselected node, reduced modulo *modulus* (a fixed modulus is forced by
+    any fixed bound on certificate length).  Each node checks:
+
+    * unselected nodes accept with counter 0;
+    * selected nodes accept iff their counter is nonzero and some neighbor
+      carries counter one less (modulo *modulus*), or their counter is 0 and
+      some neighbor carries counter ``modulus - 1``.
+
+    The verifier is *complete* (honest certificates are accepted on every
+    yes-instance) but, as the pumping construction shows, not sound.
+    """
+    if modulus < 2:
+        raise ValueError("the modulus must be at least 2")
+    width = max(1, (modulus - 1).bit_length())
+
+    def decode(certificate: str) -> Optional[int]:
+        if len(certificate) != width or not set(certificate) <= {"0", "1"}:
+            return None
+        value = int(certificate, 2)
+        return value if value < modulus else None
+
+    def predicate(view: LocalView) -> bool:
+        certs = view.center_certificates()
+        counter = decode(certs[0]) if certs else None
+        if counter is None:
+            return False
+        if view.center_label() != "1":
+            return counter == 0
+        expected = (counter - 1) % modulus
+        for neighbor in view.neighbors_of(view.center):
+            neighbor_certs = view.certificates_of(neighbor)
+            neighbor_counter = decode(neighbor_certs[0]) if neighbor_certs else None
+            if neighbor_counter == expected:
+                return True
+        return False
+
+    return predicate_decider(1, predicate, name=f"not-all-selected/mod{modulus}")
+
+
+def counter_certificates(
+    graph: LabeledGraph, modulus: int
+) -> Dict[Node, str]:
+    """The honest certificates: distance to the nearest unselected node, mod *modulus*."""
+    width = max(1, (modulus - 1).bit_length())
+    unselected = [u for u in graph.nodes if graph.label(u) != "1"]
+    if not unselected:
+        raise ValueError("the graph has no unselected node; honest certificates do not exist")
+    certificates: Dict[Node, str] = {}
+    for u in graph.nodes:
+        distance = min(graph.distances_from(u)[z] for z in unselected)
+        certificates[u] = format(distance % modulus, "b").zfill(width)
+    return certificates
+
+
+# ----------------------------------------------------------------------
+# The pumping construction
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PumpedCycle:
+    """The result of cutting and regluing a certified cycle."""
+
+    graph: LabeledGraph
+    ids: Dict[Node, str]
+    certificates: Dict[Node, str]
+    glue_node: Node
+    removed_nodes: Tuple[Node, ...]
+
+
+def pump_cycle(
+    cycle: LabeledGraph,
+    ids: Mapping[Node, str],
+    certificates: Mapping[Node, str],
+    cut_a: Node,
+    cut_b: Node,
+    avoid: Node,
+) -> PumpedCycle:
+    """Cut the cycle at two indistinguishable nodes and keep the side avoiding *avoid*.
+
+    The nodes of *cycle* must be listed in cyclic order (as produced by
+    :func:`repro.graphs.generators.cycle_graph`).  The two cut nodes are
+    identified with each other; the returned cycle inherits labels,
+    identifiers and certificates from the kept segment.
+    """
+    order = list(cycle.nodes)
+    position = {u: i for i, u in enumerate(order)}
+    n = len(order)
+    i, j = sorted((position[cut_a], position[cut_b]))
+    z = position[avoid]
+
+    # The forward segment order[i..j] and the complementary segment both run
+    # between the two cut nodes; keep the one not containing `avoid`.
+    if i < z < j:
+        kept_positions = list(range(j, n)) + list(range(0, i + 1))
+    else:
+        kept_positions = list(range(i, j + 1))
+    kept = [order[p] for p in kept_positions]
+    # Identify the two endpoints: drop the last node and close the cycle.
+    glue = kept[0]
+    interior = kept[:-1]
+    removed = tuple(u for u in order if u not in interior)
+
+    if len(interior) < 3:
+        raise ValueError("the kept segment is too short to form a cycle")
+
+    edges = [(interior[k], interior[(k + 1) % len(interior)]) for k in range(len(interior))]
+    labels = {u: cycle.label(u) for u in interior}
+    new_graph = LabeledGraph(interior, edges, labels)
+    new_ids = {u: ids[u] for u in interior}
+    new_certs = {u: certificates[u] for u in interior}
+    return PumpedCycle(
+        graph=new_graph,
+        ids=new_ids,
+        certificates=new_certs,
+        glue_node=glue,
+        removed_nodes=removed,
+    )
+
+
+def pumping_breaks_verifier(
+    modulus: int = 4,
+    identifier_period: int = 3,
+    cycle_length: Optional[int] = None,
+    view_radius: int = 1,
+) -> Dict[str, object]:
+    """Run the full Proposition 26 pipeline against the counter verifier.
+
+    Returns a report containing, in particular, ``verifier_complete`` (the
+    honest certificate is accepted on the yes-instance), ``pumped_all_selected``
+    (the pumped cycle has no unselected node) and ``pumped_still_accepted``
+    (the verifier accepts it anyway) -- the last two together are the
+    soundness failure predicted by the paper.
+    """
+    from repro.graphs.generators import cycle_graph
+
+    if cycle_length is None:
+        # Long enough that two nodes far from the unselected node share both
+        # their identifier pattern and their counter value.
+        cycle_length = 3 * identifier_period * modulus
+
+    labels = ["1"] * cycle_length
+    labels[0] = "0"
+    cycle = cycle_graph(cycle_length, labels=labels)
+    ids = cyclic_identifier_assignment(cycle, identifier_period)
+    certificates = counter_certificates(cycle, modulus)
+    verifier = distance_counter_verifier(modulus)
+
+    accepted = execute(verifier, cycle, ids, [certificates]).accepts()
+
+    # Find two indistinguishable certified nodes far away from the unselected node.
+    pairs = nodes_with_equal_views(cycle, ids, view_radius, [certificates])
+    order = list(cycle.nodes)
+    position = {u: k for k, u in enumerate(order)}
+    chosen: Optional[Tuple[Node, Node]] = None
+    for a, b in pairs:
+        pa, pb = sorted((position[a], position[b]))
+        # Both nodes must lie strictly inside the half not containing node 0,
+        # with some slack so the glued views stay unchanged.
+        if 2 * view_radius + 1 <= pa and pb <= cycle_length - 2 and pb - pa >= 2 * view_radius + 1:
+            chosen = (order[pa], order[pb])
+            break
+    report: Dict[str, object] = {
+        "cycle_length": cycle_length,
+        "verifier_complete": accepted,
+        "indistinguishable_pairs": len(pairs),
+        "pair_found": chosen is not None,
+    }
+    if chosen is None:
+        return report
+
+    pumped = pump_cycle(cycle, ids, certificates, chosen[0], chosen[1], avoid=order[0])
+    pumped_accepted = execute(verifier, pumped.graph, pumped.ids, [pumped.certificates]).accepts()
+    report.update(
+        {
+            "pumped_length": pumped.graph.cardinality(),
+            "pumped_all_selected": all_selected(pumped.graph),
+            "pumped_still_accepted": pumped_accepted,
+            "soundness_broken": all_selected(pumped.graph) and pumped_accepted,
+        }
+    )
+    return report

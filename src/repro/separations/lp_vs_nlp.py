@@ -1,0 +1,146 @@
+"""LP ⊊ NLP: the fooling-pair construction of Proposition 24.
+
+2-colorability is verifiable with single-bit certificates (the color), but no
+locally polynomial machine can *decide* it.  The witness: take an odd cycle
+``G`` (not 2-colorable) longer than ``2 r_id`` and glue two copies of it into
+the even cycle ``G'`` (2-colorable), assigning the two copies of each node the
+*same* identifier.  The resulting identifier assignment of ``G'`` is still
+``r_id``-locally unique, and every node of ``G'`` has exactly the same
+radius-``r`` view as its original in ``G`` -- for every radius ``r`` up to
+roughly half the cycle length.  Hence any constant-round machine accepts ``G``
+iff it accepts ``G'`` and therefore decides 2-colorability incorrectly on one
+of the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.graphs.identifiers import IdentifierAssignment, is_locally_unique
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.machines.interface import NodeMachine
+from repro.machines.simulator import execute
+from repro.properties.coloring import two_colorable
+from repro.separations.views import certified_view_signature
+
+
+@dataclass(frozen=True)
+class FoolingPair:
+    """The two graphs of Proposition 24 with their identifier assignments."""
+
+    odd_cycle: LabeledGraph
+    doubled_cycle: LabeledGraph
+    odd_ids: Dict[Node, str]
+    doubled_ids: Dict[Node, str]
+    correspondence: Dict[Node, Node]
+    identifier_radius: int
+
+
+def fooling_pair(identifier_radius: int, length: int | None = None) -> FoolingPair:
+    """Construct the fooling pair for a given identifier radius.
+
+    ``length`` (the odd cycle length) defaults to the smallest odd number
+    greater than ``2 * identifier_radius`` and at least 5, exactly as in the
+    paper's proof.
+    """
+    if identifier_radius < 1:
+        raise ValueError("the identifier radius must be positive")
+    if length is None:
+        length = max(5, 2 * identifier_radius + 1)
+        if length % 2 == 0:
+            length += 1
+    if length % 2 == 0 or length <= 2 * identifier_radius:
+        raise ValueError("the cycle length must be odd and exceed 2 * identifier_radius")
+
+    odd_nodes = [f"u{i}" for i in range(length)]
+    odd_edges = [(odd_nodes[i], odd_nodes[(i + 1) % length]) for i in range(length)]
+    odd_cycle = LabeledGraph(odd_nodes, odd_edges)
+
+    # G': two copies u_i and u'_i glued into a single cycle of length 2 * length,
+    # traversed as u_0, u_1, ..., u_{length-1}, u'_0, u'_1, ..., u'_{length-1}.
+    primed = [f"u{i}_prime" for i in range(length)]
+    doubled_nodes = odd_nodes + primed
+    doubled_edges = [
+        (doubled_nodes[i], doubled_nodes[(i + 1) % (2 * length)]) for i in range(2 * length)
+    ]
+    doubled_cycle = LabeledGraph(doubled_nodes, doubled_edges)
+
+    width = max(1, (length - 1).bit_length())
+    odd_ids = {odd_nodes[i]: format(i, "b").zfill(width) for i in range(length)}
+    doubled_ids: Dict[Node, str] = {}
+    for i in range(length):
+        doubled_ids[odd_nodes[i]] = odd_ids[odd_nodes[i]]
+        doubled_ids[primed[i]] = odd_ids[odd_nodes[i]]
+
+    correspondence = {odd_nodes[i]: odd_nodes[i] for i in range(length)}
+    correspondence.update({primed[i]: odd_nodes[i] for i in range(length)})
+
+    return FoolingPair(
+        odd_cycle=odd_cycle,
+        doubled_cycle=doubled_cycle,
+        odd_ids=odd_ids,
+        doubled_ids=doubled_ids,
+        correspondence=correspondence,
+        identifier_radius=identifier_radius,
+    )
+
+
+def views_coincide(pair: FoolingPair, radius: int) -> bool:
+    """Whether every node of ``G'`` has the same radius-``r`` view as its original in ``G``.
+
+    This holds whenever ``2 * radius < length`` (the view does not wrap around
+    the odd cycle); it is the premise of the fooling argument.
+    """
+    for node_doubled, node_odd in pair.correspondence.items():
+        signature_doubled = certified_view_signature(
+            pair.doubled_cycle, pair.doubled_ids, node_doubled, radius
+        )
+        signature_odd = certified_view_signature(pair.odd_cycle, pair.odd_ids, node_odd, radius)
+        # Compare everything except the center's node identity.
+        if signature_doubled[1:] != signature_odd[1:]:
+            return False
+        if pair.doubled_ids[node_doubled] != pair.odd_ids[node_odd]:
+            return False
+    return True
+
+
+def decider_is_fooled(machine: NodeMachine, pair: FoolingPair) -> bool:
+    """Whether the machine gives the same answer on both graphs of the pair.
+
+    For any machine whose round count keeps its views inside half the cycle,
+    this *must* return ``True`` -- which is the contradiction, since only the
+    doubled cycle is 2-colorable.
+    """
+    accepts_odd = execute(machine, pair.odd_cycle, pair.odd_ids).accepts()
+    accepts_doubled = execute(machine, pair.doubled_cycle, pair.doubled_ids).accepts()
+    return accepts_odd == accepts_doubled
+
+
+def lp_vs_nlp_separation_report(machine: NodeMachine, identifier_radius: int = 2) -> Dict[str, object]:
+    """Assemble the full Proposition 24 argument against a candidate decider.
+
+    Returns a report stating whether the identifier assignments are admissible,
+    whether the two graphs really differ on 2-colorability, and whether the
+    candidate machine was fooled (gave the same verdict on both).
+    """
+    pair = fooling_pair(identifier_radius)
+    report = {
+        "odd_cycle_length": pair.odd_cycle.cardinality(),
+        "doubled_cycle_length": pair.doubled_cycle.cardinality(),
+        "ids_locally_unique_odd": is_locally_unique(pair.odd_cycle, pair.odd_ids, identifier_radius),
+        "ids_locally_unique_doubled": is_locally_unique(
+            pair.doubled_cycle, pair.doubled_ids, identifier_radius
+        ),
+        "odd_cycle_2colorable": two_colorable(pair.odd_cycle),
+        "doubled_cycle_2colorable": two_colorable(pair.doubled_cycle),
+        "machine_fooled": decider_is_fooled(machine, pair),
+    }
+    report["separation_established"] = (
+        report["ids_locally_unique_odd"]
+        and report["ids_locally_unique_doubled"]
+        and not report["odd_cycle_2colorable"]
+        and report["doubled_cycle_2colorable"]
+        and report["machine_fooled"]
+    )
+    return report

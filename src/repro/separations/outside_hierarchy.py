@@ -1,0 +1,291 @@
+"""Properties outside the locally polynomial hierarchy (Section 9.3).
+
+Section 9.3 identifies natural graph properties -- among them ``prime``
+(the number of nodes is a prime) and ``automorphic`` (the graph has a
+nontrivial automorphism) -- that lie outside *every* level of the locally
+polynomial hierarchy.  The arguments combine the pumping lemma for regular
+languages with the Buechi-Elgot-Trakhtenbrot theorem: on long cycles with
+periodic identifiers, a constant-round arbiter only sees a bounded window of
+the cycle, so its verdict survives cutting-and-regluing the cycle, while a
+cardinality property such as primality does not.
+
+This module makes both halves of that argument executable:
+
+* :func:`dfa_pumping_contradiction` refutes, for any concrete DFA, the claim
+  that it recognizes a non-regular unary cardinality language (primality,
+  powers of two, perfect squares);
+* :func:`cycle_pumping_report` runs the graph-side version of the argument
+  against any concrete constant-radius verifier: it accepts a cycle whose
+  length has the property, pumps it between two indistinguishable nodes, and
+  reports that the verifier still accepts although the property is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.generators import cycle_graph
+from repro.graphs.identifiers import cyclic_identifier_assignment
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.machines.interface import NodeMachine
+from repro.machines.simulator import execute
+from repro.pictures.automata import DFA, pumped_words, pumping_decomposition
+from repro.separations.colp_vs_nlp import pump_cycle
+from repro.separations.views import nodes_with_equal_views
+
+__all__ = [
+    "is_prime",
+    "is_power_of_two",
+    "is_perfect_square",
+    "unary_word",
+    "dfa_pumping_contradiction",
+    "CyclePumpingReport",
+    "cycle_pumping_report",
+    "prime_cardinality_fooling",
+    "power_of_two_cardinality_fooling",
+]
+
+
+# ----------------------------------------------------------------------
+# Cardinality predicates (the unary languages of Section 9.3)
+# ----------------------------------------------------------------------
+def is_prime(value: int) -> bool:
+    """Whether *value* is a prime number."""
+    if value < 2:
+        return False
+    divisor = 2
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 1
+    return True
+
+
+def is_power_of_two(value: int) -> bool:
+    """Whether *value* is a power of two (1, 2, 4, 8, ...)."""
+    return value >= 1 and value & (value - 1) == 0
+
+
+def is_perfect_square(value: int) -> bool:
+    """Whether *value* is a perfect square."""
+    if value < 0:
+        return False
+    root = int(value**0.5)
+    return root * root == value or (root + 1) * (root + 1) == value
+
+
+def unary_word(length: int) -> str:
+    """The unary encoding ``1^length`` of a cardinality."""
+    if length < 1:
+        raise ValueError("unary words must have positive length")
+    return "1" * length
+
+
+# ----------------------------------------------------------------------
+# Word-level half: the pumping lemma against concrete DFAs
+# ----------------------------------------------------------------------
+def dfa_pumping_contradiction(
+    dfa: DFA,
+    predicate: Callable[[int], bool],
+    max_length: Optional[int] = None,
+) -> Optional[Dict[str, object]]:
+    """A concrete witness that *dfa* does not recognize ``{1^n | predicate(n)}``.
+
+    The search proceeds in two stages.  First, a direct disagreement on some
+    unary word up to *max_length* is reported if one exists.  Otherwise the
+    DFA agrees with the predicate on all short words; we then take a long
+    accepted word, extract its pumping decomposition, and pump until the
+    membership predicate flips while the DFA (provably, by the pumping lemma)
+    keeps accepting.  Returns ``None`` only if no witness was found within the
+    search bounds, which for the non-regular predicates of Section 9.3 does
+    not happen once *max_length* exceeds a couple of multiples of the state
+    count.
+    """
+    bound = max_length if max_length is not None else 4 * len(dfa.states) + 16
+
+    for length in range(1, bound + 1):
+        word = unary_word(length)
+        if dfa.accepts(word) != predicate(length):
+            return {
+                "kind": "direct disagreement",
+                "length": length,
+                "dfa_accepts": dfa.accepts(word),
+                "predicate_holds": predicate(length),
+            }
+
+    # The DFA agrees with the predicate on all lengths up to the bound; pump a
+    # long accepted word until the predicate fails.
+    for length in range(len(dfa.states), bound + 1):
+        if not predicate(length):
+            continue
+        word = unary_word(length)
+        if not dfa.accepts(word):
+            continue
+        decomposition = pumping_decomposition(dfa, word)
+        if decomposition is None:
+            continue
+        _, factor, _ = decomposition
+        for repetitions in range(2, 2 * bound):
+            pumped = pumped_words(decomposition, [repetitions])[0]
+            if not predicate(len(pumped)):
+                return {
+                    "kind": "pumping contradiction",
+                    "base_length": length,
+                    "pumped_length": len(pumped),
+                    "factor_length": len(factor),
+                    "dfa_accepts_pumped": dfa.accepts(pumped),
+                    "predicate_holds_pumped": predicate(len(pumped)),
+                }
+    return None
+
+
+# ----------------------------------------------------------------------
+# Graph-level half: pumping cycles against constant-radius verifiers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CyclePumpingReport:
+    """Outcome of the cycle-pumping argument against a concrete verifier.
+
+    Attributes
+    ----------
+    cycle_length:
+        Length of the original cycle (chosen to satisfy the property).
+    property_holds_originally:
+        Whether the cardinality property holds on the original cycle.
+    verifier_accepts_originally:
+        Whether the verifier accepts the original certified cycle.
+    pumped_length:
+        Length of the pumped cycle (``None`` if no suitable pair was found).
+    property_holds_pumped:
+        Whether the property still holds after pumping.
+    verifier_accepts_pumped:
+        Whether the verifier still accepts after pumping.
+    fooled:
+        The headline fact: the verifier accepts a pumped cycle on which the
+        property fails (or rejects one on which it holds).
+    """
+
+    cycle_length: int
+    property_holds_originally: bool
+    verifier_accepts_originally: bool
+    pumped_length: Optional[int]
+    property_holds_pumped: Optional[bool]
+    verifier_accepts_pumped: Optional[bool]
+    fooled: bool
+
+
+def cycle_pumping_report(
+    verifier: NodeMachine,
+    cardinality_predicate: Callable[[int], bool],
+    cycle_length: int,
+    certificates_for: Optional[Callable[[LabeledGraph], Mapping[Node, str]]] = None,
+    identifier_period: int = 3,
+    view_radius: int = 1,
+) -> CyclePumpingReport:
+    """Run the Section 9.3 cycle-pumping argument against *verifier*.
+
+    The cycle of the given length (which should satisfy the cardinality
+    predicate) is labeled uniformly with ``1``, given periodic locally unique
+    identifiers, and certified by *certificates_for* (defaults to empty
+    certificates).  If the verifier accepts, two nodes with identical certified
+    views are glued together; by construction every node of the pumped cycle
+    still sees an identical neighborhood, so the verifier's verdict cannot
+    change, while the cardinality drops.
+    """
+    labels = ["1"] * cycle_length
+    cycle = cycle_graph(cycle_length, labels=labels)
+    ids = cyclic_identifier_assignment(cycle, identifier_period)
+    certificates: Dict[Node, str] = (
+        dict(certificates_for(cycle)) if certificates_for is not None else {u: "" for u in cycle.nodes}
+    )
+
+    original_accepts = execute(verifier, cycle, ids, [certificates]).accepts()
+    original_property = cardinality_predicate(cycle_length)
+
+    pairs = nodes_with_equal_views(cycle, ids, view_radius, [certificates])
+    order = list(cycle.nodes)
+    position = {u: index for index, u in enumerate(order)}
+
+    chosen: Optional[Tuple[Node, Node]] = None
+    pumped_length: Optional[int] = None
+    for a, b in sorted(pairs, key=lambda pair: (position[pair[0]], position[pair[1]])):
+        pa, pb = sorted((position[a], position[b]))
+        separation = pb - pa
+        if separation < 2 * view_radius + 1:
+            continue
+        if cycle_length - separation < 3:
+            continue
+        candidate_length = cycle_length - separation
+        if cardinality_predicate(candidate_length) == original_property:
+            continue
+        chosen = (order[pa], order[pb])
+        pumped_length = candidate_length
+        break
+
+    if chosen is None:
+        return CyclePumpingReport(
+            cycle_length=cycle_length,
+            property_holds_originally=original_property,
+            verifier_accepts_originally=original_accepts,
+            pumped_length=None,
+            property_holds_pumped=None,
+            verifier_accepts_pumped=None,
+            fooled=False,
+        )
+
+    avoid = chosen[0]
+    # Keep the segment between the two cut nodes that goes the "long way
+    # around" relative to the segment being removed: pump_cycle keeps the side
+    # avoiding `avoid`, so pass a node strictly inside the removed segment.
+    pa, pb = sorted((position[chosen[0]], position[chosen[1]]))
+    inside_removed = order[(pa + 1) % cycle_length]
+    pumped = pump_cycle(cycle, ids, certificates, chosen[0], chosen[1], avoid=inside_removed)
+    pumped_accepts = execute(verifier, pumped.graph, pumped.ids, [pumped.certificates]).accepts()
+    pumped_property = cardinality_predicate(pumped.graph.cardinality())
+
+    return CyclePumpingReport(
+        cycle_length=cycle_length,
+        property_holds_originally=original_property,
+        verifier_accepts_originally=original_accepts,
+        pumped_length=pumped.graph.cardinality(),
+        property_holds_pumped=pumped_property,
+        verifier_accepts_pumped=pumped_accepts,
+        fooled=original_accepts and pumped_accepts and original_property and not pumped_property,
+    )
+
+
+def prime_cardinality_fooling(
+    verifier: NodeMachine,
+    prime_length: int = 23,
+    identifier_period: int = 3,
+    view_radius: int = 1,
+) -> CyclePumpingReport:
+    """The cycle-pumping argument instantiated for the ``prime`` property."""
+    if not is_prime(prime_length):
+        raise ValueError(f"{prime_length} is not prime")
+    return cycle_pumping_report(
+        verifier,
+        is_prime,
+        prime_length,
+        identifier_period=identifier_period,
+        view_radius=view_radius,
+    )
+
+
+def power_of_two_cardinality_fooling(
+    verifier: NodeMachine,
+    exponent: int = 5,
+    identifier_period: int = 3,
+    view_radius: int = 1,
+) -> CyclePumpingReport:
+    """The cycle-pumping argument instantiated for power-of-two cardinality."""
+    if exponent < 3:
+        raise ValueError("the exponent must be at least 3 so the cycle is long enough")
+    return cycle_pumping_report(
+        verifier,
+        is_power_of_two,
+        2**exponent,
+        identifier_period=identifier_period,
+        view_radius=view_radius,
+    )

@@ -1,0 +1,96 @@
+"""View indistinguishability: the engine behind the ground-level separations.
+
+A constant-round distributed algorithm's verdict at a node is a function of
+the node's certified view: the labels, identifiers and certificates in its
+radius-``r`` neighborhood together with the local topology.  Two nodes with
+identical certified views therefore receive identical verdicts under *every*
+``r``-round machine -- which is exactly what the fooling-pair and pumping
+arguments exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.machines.local_algorithm import gather_view
+
+
+def certified_view_signature(
+    graph: LabeledGraph,
+    ids: Mapping[Node, str],
+    node: Node,
+    radius: int,
+    certificates: Optional[Sequence[Mapping[Node, str]]] = None,
+) -> Tuple:
+    """A canonical, comparable description of a node's certified radius-``r`` view.
+
+    Two nodes with equal signatures are indistinguishable to any ``r``-round
+    algorithm: the signature contains the full induced ball (re-labeled by
+    identifiers), all labels, identifiers and certificates, and the distances
+    from the center.
+    """
+    cert_dicts = [dict(c) for c in (certificates or [])]
+    view = gather_view(graph, ids, node, radius, certificates=cert_dicts)
+    return (
+        view.center,
+        tuple(sorted(view.nodes)),
+        tuple(sorted(tuple(sorted(edge)) for edge in view.edges)),
+        view.labels,
+        view.certificates,
+        view.distances,
+    )
+
+
+def nodes_with_equal_views(
+    graph: LabeledGraph,
+    ids: Mapping[Node, str],
+    radius: int,
+    certificates: Optional[Sequence[Mapping[Node, str]]] = None,
+) -> List[Tuple[Node, Node]]:
+    """All pairs of distinct nodes whose certified views coincide *up to recentering*.
+
+    Since identifiers are only locally unique, two distant nodes can have
+    literally identical views (same identifiers, labels, certificates and
+    local topology); such pairs drive the pigeonhole argument of
+    Proposition 26.
+    """
+    signatures: Dict[Tuple, List[Node]] = {}
+    for u in graph.nodes:
+        signature = certified_view_signature(graph, ids, u, radius, certificates)
+        # Keep everything except the raw center node object; the center's
+        # identifier is retained so recentered views only compare equal when
+        # the centers themselves are indistinguishable.
+        anonymous = signature[1:] + (ids[u],)
+        signatures.setdefault(anonymous, []).append(u)
+    pairs: List[Tuple[Node, Node]] = []
+    for group in signatures.values():
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                pairs.append((group[i], group[j]))
+    return pairs
+
+
+def corresponding_verdicts_equal(
+    machine,
+    graph_a: LabeledGraph,
+    ids_a: Mapping[Node, str],
+    graph_b: LabeledGraph,
+    ids_b: Mapping[Node, str],
+    correspondence: Mapping[Node, Node],
+    certificates_a: Optional[Sequence[Mapping[Node, str]]] = None,
+    certificates_b: Optional[Sequence[Mapping[Node, str]]] = None,
+) -> bool:
+    """Whether a machine gives equal verdicts to corresponding nodes of two graphs.
+
+    Used to demonstrate fooling: if the correspondence maps each node of
+    ``graph_a`` to a node of ``graph_b`` with an identical certified view,
+    then this function returns ``True`` for every constant-round machine.
+    """
+    from repro.machines.simulator import execute
+
+    result_a = execute(machine, graph_a, ids_a, certificates_a)
+    result_b = execute(machine, graph_b, ids_b, certificates_b)
+    verdicts_a = result_a.verdicts()
+    verdicts_b = result_b.verdicts()
+    return all(verdicts_a[u] == verdicts_b[v] for u, v in correspondence.items())

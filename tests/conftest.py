@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
+
+
+@pytest.fixture
+def triangle():
+    """The 3-cycle."""
+    return generators.cycle_graph(3)
+
+
+@pytest.fixture
+def square():
+    """The 4-cycle."""
+    return generators.cycle_graph(4)
+
+
+@pytest.fixture
+def five_cycle():
+    """The 5-cycle."""
+    return generators.cycle_graph(5)
+
+
+@pytest.fixture
+def path4():
+    """A path on four nodes."""
+    return generators.path_graph(4)
+
+
+@pytest.fixture
+def k4():
+    """The complete graph on four nodes."""
+    return generators.complete_graph(4)
+
+
+@pytest.fixture
+def all_ones_path():
+    """A path whose nodes are all labeled 1."""
+    return generators.path_graph(4, labels=["1", "1", "1", "1"])
+
+
+@pytest.fixture
+def one_zero_path():
+    """A path with a single 0-labeled node."""
+    return generators.path_graph(4, labels=["1", "0", "1", "1"])
+
+
+def ids_of(graph):
+    """Sequential identifiers for a graph (helper, not a fixture)."""
+    return sequential_identifier_assignment(graph)

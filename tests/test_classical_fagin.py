@@ -1,0 +1,192 @@
+"""Tests for classical Turing machines and the space-time encoding of Theorem 12."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fagin.space_time import (
+    diagram_relations,
+    fagin_theorem_check,
+    index_tuple,
+    tuple_degree,
+    verify_acceptance,
+    verify_ground_rules,
+    verify_initial_configuration,
+    verify_transitions,
+    verify_witness,
+)
+from repro.graphs.generators import string_graph
+from repro.graphs.structures import structural_representation
+from repro.machines.classical import (
+    ClassicalTuringMachine,
+    all_ones_machine,
+    contains_zero_machine,
+    even_length_machine,
+)
+
+words = st.text(alphabet="01", min_size=1, max_size=10)
+
+
+# ----------------------------------------------------------------------
+# Classical machines
+# ----------------------------------------------------------------------
+class TestClassicalMachines:
+    @given(words)
+    def test_all_ones_machine(self, word):
+        assert all_ones_machine().accepts(word) == (set(word) == {"1"})
+
+    @given(words)
+    def test_even_length_machine(self, word):
+        assert even_length_machine().accepts(word) == (len(word) % 2 == 0)
+
+    @given(words)
+    def test_contains_zero_machine(self, word):
+        assert contains_zero_machine().accepts(word) == ("0" in word)
+
+    @given(words)
+    def test_machines_run_in_linear_time(self, word):
+        for machine in (all_ones_machine(), even_length_machine(), contains_zero_machine()):
+            run = machine.run(word)
+            assert run.steps <= len(word) + 3
+            assert run.space <= len(word) + 3
+
+    def test_runs_in_polynomial_time_helper(self):
+        machine = all_ones_machine()
+        assert machine.runs_in_polynomial_time(["1", "11", "1111", "10101"])
+
+    def test_diagram_shape(self):
+        run = all_ones_machine().run("111")
+        assert run.diagram.steps == run.steps
+        assert len(run.diagram.rows) == run.steps + 1
+        assert all(len(row) == run.diagram.width for row in run.diagram.rows)
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(ValueError):
+            all_ones_machine().run("10a")
+
+    def test_missing_transition_rejects(self):
+        machine = ClassicalTuringMachine(
+            states=["start", "accept", "reject"],
+            transitions={("start", ">"): ("start", ">", 1)},
+        )
+        assert not machine.accepts("1")
+
+    def test_left_end_marker_protected(self):
+        with pytest.raises(ValueError):
+            ClassicalTuringMachine(
+                states=["start", "accept", "reject"],
+                transitions={("start", ">"): ("accept", "0", 0)},
+            )
+
+    def test_nonhalting_machine_raises(self):
+        machine = ClassicalTuringMachine(
+            states=["start", "loop", "accept", "reject"],
+            transitions={
+                ("start", ">"): ("loop", ">", 0),
+                ("loop", ">"): ("loop", ">", 0),
+            },
+        )
+        with pytest.raises(RuntimeError):
+            machine.run("1", max_steps=50)
+
+
+# ----------------------------------------------------------------------
+# Tuple addressing
+# ----------------------------------------------------------------------
+class TestTupleAddressing:
+    def test_tuple_degree(self):
+        structure = structural_representation(string_graph("111"))  # 4 elements
+        assert tuple_degree(structure, 4) == 1
+        assert tuple_degree(structure, 5) == 2
+        assert tuple_degree(structure, 16) == 2
+        assert tuple_degree(structure, 17) == 3
+
+    def test_tuple_degree_single_element(self):
+        structure = structural_representation(string_graph("1")).restriction(
+            [structural_representation(string_graph("1")).domain[0]]
+        )
+        with pytest.raises(ValueError):
+            tuple_degree(structure, 5)
+
+    def test_index_tuples_are_distinct(self):
+        structure = structural_representation(string_graph("11"))  # 3 elements
+        order = structure.domain
+        tuples = [index_tuple(i, order, 2) for i in range(9)]
+        assert len(set(tuples)) == 9
+
+    def test_index_tuple_out_of_range(self):
+        structure = structural_representation(string_graph("1"))
+        with pytest.raises(ValueError):
+            index_tuple(5, structure.domain, 1)
+
+
+# ----------------------------------------------------------------------
+# The Fagin witness and its consistency conditions
+# ----------------------------------------------------------------------
+class TestFaginWitness:
+    def test_accepting_run_yields_accepting_witness(self):
+        machine = all_ones_machine()
+        word = "111"
+        structure = structural_representation(string_graph(word))
+        witness = diagram_relations(machine.run(word), structure)
+        checks = verify_witness(witness, machine, word)
+        assert checks["all"], checks
+
+    def test_rejecting_run_fails_only_acceptance(self):
+        machine = all_ones_machine()
+        word = "101"
+        structure = structural_representation(string_graph(word))
+        witness = diagram_relations(machine.run(word), structure)
+        assert verify_ground_rules(witness, machine)
+        assert verify_initial_configuration(witness, machine, word)
+        assert verify_transitions(witness, machine)
+        assert not verify_acceptance(witness, machine)
+
+    def test_tampered_witness_is_caught(self):
+        machine = all_ones_machine()
+        word = "11"
+        structure = structural_representation(string_graph(word))
+        witness = diagram_relations(machine.run(word), structure)
+        # Claim the machine was already accepting at time 0: the transition
+        # conditions (and the initial-configuration state) must now fail.
+        tampered_states = dict(witness.states)
+        first_time = sorted(witness.states[machine.initial_state], key=str)[0]
+        tampered_states[machine.initial_state] = frozenset()
+        tampered_states[machine.accept_state] = witness.states.get(
+            machine.accept_state, frozenset()
+        ) | {first_time}
+        from dataclasses import replace
+
+        tampered = replace(witness, states=tampered_states)
+        checks = verify_witness(tampered, machine, word)
+        assert not checks["all"]
+
+    @given(words)
+    @settings(max_examples=30, deadline=None)
+    def test_fagin_agreement_all_ones(self, word):
+        report = fagin_theorem_check(all_ones_machine(), word)
+        assert report["agreement"]
+        assert report["accepted_by_machine"] == (set(word) == {"1"})
+
+    @given(words)
+    @settings(max_examples=30, deadline=None)
+    def test_fagin_agreement_even_length(self, word):
+        report = fagin_theorem_check(even_length_machine(), word)
+        assert report["agreement"]
+
+    @given(words)
+    @settings(max_examples=30, deadline=None)
+    def test_fagin_agreement_contains_zero(self, word):
+        report = fagin_theorem_check(contains_zero_machine(), word)
+        assert report["agreement"]
+
+    def test_tuple_degree_reported(self):
+        report = fagin_theorem_check(all_ones_machine(), "1111")
+        assert report["tuple_degree"] >= 1
+        assert report["structure_cardinality"] == 5
+
+    def test_empty_word_is_a_special_case(self):
+        with pytest.raises(ValueError):
+            fagin_theorem_check(all_ones_machine(), "")

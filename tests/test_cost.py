@@ -1,0 +1,56 @@
+"""Tests for the resource accounting of locally polynomial machines."""
+
+from repro.graphs import generators
+from repro.graphs.certificates import polynomial
+from repro.machines import builtin
+from repro.machines.cost import (
+    measure_resources,
+    messages_polynomially_bounded,
+    round_time_is_constant,
+    turing_steps_polynomially_bounded,
+)
+from repro.machines.turing import label_is_one_machine
+
+
+def graph_family():
+    return [
+        generators.cycle_graph(4, labels=["1"] * 4),
+        generators.cycle_graph(8, labels=["1"] * 8),
+        generators.cycle_graph(16, labels=["1"] * 16),
+    ]
+
+
+class TestConstantRoundTime:
+    def test_all_selected_decider(self):
+        assert round_time_is_constant(builtin.all_selected_decider(), graph_family())
+
+    def test_eulerian_decider(self):
+        assert round_time_is_constant(builtin.eulerian_decider(), graph_family())
+
+    def test_turing_machine(self):
+        assert round_time_is_constant(label_is_one_machine(), graph_family())
+
+
+class TestMessageBounds:
+    def test_gathering_messages_are_polynomially_bounded(self):
+        # The radius-1 gatherer forwards its known ball: polynomial (here even
+        # quasi-linear) in the neighborhood information content.
+        bound = polynomial(2, coefficient=32, constant=64)
+        assert messages_polynomially_bounded(builtin.eulerian_decider(), graph_family(), bound)
+
+    def test_turing_machine_sends_nothing(self):
+        report = measure_resources(label_is_one_machine(), graph_family())
+        assert all(length == 0 for length in report.max_message_lengths)
+
+    def test_report_contents(self):
+        report = measure_resources(builtin.all_selected_decider(), graph_family())
+        assert len(report.rounds_used) == 3
+        assert report.constant_rounds()
+
+
+class TestTuringStepBounds:
+    def test_label_machine_steps_are_linear(self):
+        graph = generators.cycle_graph(6, labels=["1"] * 6)
+        assert turing_steps_polynomially_bounded(
+            label_is_one_machine(), graph, polynomial(1, coefficient=4, constant=8)
+        )

@@ -1,0 +1,146 @@
+"""Tests for the Fagin compiler and the Cook-Levin construction (Sections 7 and 8)."""
+
+import pytest
+
+from repro.fagin import compile_sentence, cook_levin_boolean_graph, cook_levin_reduction_check
+from repro.fagin.compiler import bounded_quantifier_depth, quantifier_blocks
+from repro.fagin.encoding import (
+    decode_relation_content,
+    encode_relation_content,
+    safe_decode_relation_content,
+)
+from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
+from repro.logic import examples
+from repro.logic.syntax import (
+    BoundedExists,
+    Equal,
+    Forall,
+    LocalExists,
+    RelationVariable,
+    SOExists,
+    UnaryAtom,
+)
+import repro.properties as props
+
+
+class TestCertificateEncoding:
+    def test_round_trip(self):
+        content = {
+            "C0": frozenset({(("01", None),), (("01", 2),)}),
+            "P": frozenset({(("01", None), ("10", None))}),
+        }
+        bits = encode_relation_content(content)
+        assert decode_relation_content(bits) == content
+
+    def test_empty_content(self):
+        assert decode_relation_content(encode_relation_content({})) == {}
+
+    def test_safe_decode_on_garbage(self):
+        assert safe_decode_relation_content("10101") == {}
+
+
+class TestStaticAnalysis:
+    def test_bounded_quantifier_depth(self):
+        phi = BoundedExists("y", "x", BoundedExists("z", "y", Equal("z", "y")))
+        assert bounded_quantifier_depth(phi) == 2
+        assert bounded_quantifier_depth(LocalExists("y", "x", 3, Equal("y", "x"))) == 3
+        assert bounded_quantifier_depth(UnaryAtom(1, "x")) == 0
+
+    def test_quantifier_blocks(self):
+        X = RelationVariable("X", 1)
+        Y = RelationVariable("Y", 1)
+        matrix = Forall("x", UnaryAtom(1, "x"))
+        blocks, inner = quantifier_blocks(SOExists(X, SOExists(Y, matrix)))
+        assert [(kind, [r.name for r in rels]) for kind, rels in blocks] == [("E", ["X", "Y"])]
+        assert inner == matrix
+
+
+class TestCompiledArbiters:
+    def test_all_selected_compiles_to_lp_decider(self):
+        spec = compile_sentence(examples.all_selected_formula()).spec("all-selected")
+        assert spec.class_name() == "LP"
+        assert spec.decide(generators.path_graph(3, labels=["1", "1", "1"]))
+        assert not spec.decide(generators.path_graph(3, labels=["1", "0", "1"]))
+
+    def test_three_colorable_compiles_to_nlp_verifier(self):
+        compiled = compile_sentence(examples.three_colorable_formula())
+        assert [kind for kind, _ in compiled.blocks] == ["E"]
+        spec = compiled.spec("3-colorable")
+        assert spec.class_name() == "NLP"
+        assert spec.decide(generators.cycle_graph(3))
+
+    def test_compiled_game_rejects_non_three_colorable(self):
+        spec = compile_sentence(examples.three_colorable_formula()).spec("3-colorable")
+        assert not spec.decide(generators.complete_graph(4))
+
+    def test_compiled_game_matches_ground_truth_on_paths(self):
+        spec = compile_sentence(examples.three_colorable_formula()).spec("3-colorable")
+        graph = generators.path_graph(3)
+        assert spec.decide(graph) == props.three_colorable(graph)
+
+    def test_rejects_non_lfo_matrix(self):
+        from repro.logic.syntax import Exists
+
+        X = RelationVariable("X", 1)
+        bad = SOExists(X, Exists("x", UnaryAtom(1, "x")))
+        with pytest.raises(ValueError):
+            compile_sentence(bad)
+
+    def test_certificate_space_blowup_is_reported(self):
+        # Binary relation variables on labeled graphs exceed the candidate cap.
+        compiled = compile_sentence(examples.hamiltonian_formula(), candidate_limit=4)
+        graph = generators.cycle_graph(4, labels=["1"] * 4)
+        ids = sequential_identifier_assignment(graph)
+        with pytest.raises(ValueError):
+            compiled.spaces[0].node_candidates(graph, ids, list(graph.nodes)[0])
+
+
+class TestCookLevin:
+    def test_three_colorability_equivalence(self):
+        graphs = [
+            generators.cycle_graph(3),
+            generators.complete_graph(4),
+            generators.path_graph(3),
+            generators.cycle_graph(5),
+        ]
+        failures = cook_levin_reduction_check(
+            examples.three_colorable_formula(), graphs, props.three_colorable
+        )
+        assert failures == []
+
+    def test_all_selected_equivalence(self):
+        graphs = [
+            generators.path_graph(3, labels=["1", "1", "1"]),
+            generators.path_graph(3, labels=["1", "0", "1"]),
+            generators.single_node("1"),
+            generators.single_node("0"),
+        ]
+        failures = cook_levin_reduction_check(
+            examples.all_selected_formula(), graphs, props.all_selected
+        )
+        assert failures == []
+
+    def test_output_is_boolean_graph_with_same_topology(self):
+        graph = generators.cycle_graph(4)
+        boolean_graph = cook_levin_boolean_graph(examples.three_colorable_formula(), graph)
+        assert boolean_graph.cardinality() == graph.cardinality()
+        assert len(boolean_graph.edges) == len(graph.edges)
+        from repro.boolsat.boolean_graph import decode_boolean_graph
+
+        decode_boolean_graph(boolean_graph)  # must not raise
+
+    def test_rejects_non_sigma1_sentences(self):
+        with pytest.raises(ValueError):
+            cook_levin_boolean_graph(
+                examples.non_three_colorable_formula(), generators.cycle_graph(3)
+            )
+
+    def test_single_node_case_recovers_classical_cook_levin(self):
+        # On single-node graphs the construction specializes to NP's Cook-Levin:
+        # a string satisfies the property iff the produced formula is satisfiable.
+        yes = generators.single_node("1")
+        no = generators.single_node("0")
+        formula = examples.all_selected_formula()
+        assert props.sat_graph(cook_levin_boolean_graph(formula, yes))
+        assert not props.sat_graph(cook_levin_boolean_graph(formula, no))

@@ -1,0 +1,92 @@
+"""Tests for the graph generators, including the paper's figure instances."""
+
+import pytest
+
+from repro.graphs import generators
+import repro.properties as props
+
+
+class TestBasicGenerators:
+    def test_path_and_cycle_shapes(self):
+        path = generators.path_graph(5)
+        cycle = generators.cycle_graph(5)
+        assert len(path.edges) == 4
+        assert len(cycle.edges) == 5
+        assert path.max_degree() == 2
+        assert cycle.max_degree() == 2
+
+    def test_cycle_requires_three_nodes(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_star_graph(self):
+        star = generators.star_graph(4, center_label="1")
+        assert star.degree("center") == 4
+        assert star.label("center") == "1"
+
+    def test_complete_graph(self):
+        k5 = generators.complete_graph(5)
+        assert len(k5.edges) == 10
+        assert k5.max_degree() == 4
+
+    def test_grid_graph(self):
+        grid = generators.grid_graph(3, 4)
+        assert grid.cardinality() == 12
+        assert grid.degree((0, 0)) == 2
+        assert grid.degree((1, 1)) == 4
+
+    def test_labels_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            generators.path_graph(3, labels=["1", "1"])
+
+    def test_random_connected_graph_is_connected(self):
+        for seed in range(5):
+            graph = generators.random_connected_graph(9, seed=seed)
+            assert graph.cardinality() == 9  # constructor enforces connectivity
+
+    def test_string_graph_is_single_node(self):
+        graph = generators.string_graph("0101")
+        assert graph.is_single_node()
+        assert graph.label(list(graph.nodes)[0]) == "0101"
+
+
+class TestFigureInstances:
+    def test_figure1_instances_differ_in_one_edge(self):
+        no_instance = generators.figure1_no_instance()
+        yes_instance = generators.figure1_yes_instance()
+        assert len(no_instance.edges) == len(yes_instance.edges) + 1
+        assert yes_instance.edges <= no_instance.edges
+
+    def test_figure1_degree_structure(self):
+        graph = generators.figure1_no_instance()
+        assert graph.degree("u") == 1
+        assert graph.degree("v1") == 2
+        assert graph.degree("v2") == 2
+        assert all(graph.degree(w) >= 3 for w in ("w1", "w2", "w3"))
+
+    def test_figure1_reproduces_example1(self):
+        # Figure 1a: 3-colorable but not 3-round 3-colorable.
+        no_instance = generators.figure1_no_instance()
+        assert props.three_colorable(no_instance)
+        assert not props.three_round_three_colorable(no_instance)
+        # Figure 1b: both.
+        yes_instance = generators.figure1_yes_instance()
+        assert props.three_colorable(yes_instance)
+        assert props.three_round_three_colorable(yes_instance)
+
+    def test_figure3_graph_labels(self):
+        graph = generators.figure3_graph()
+        assert graph.label("u2") == "0"
+        assert props.not_all_selected(graph)
+
+    def test_figure9_graph(self):
+        graph = generators.figure9_graph()
+        assert graph.cardinality() == 3
+        assert props.not_all_selected(graph)
+
+    def test_boolean_graph_generator_round_trips(self):
+        from repro.boolsat.boolean_graph import decode_boolean_graph
+
+        graph = generators.boolean_graph({"u": "P1 & P2", "v": "~P1"}, [("u", "v")])
+        decoded = decode_boolean_graph(graph)
+        assert str(decoded["u"]) == "(P1 & P2)"

@@ -1,0 +1,197 @@
+"""Tests for the Eve/Adam certificate game and the arbiter specifications (Section 4)."""
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.identifiers import (
+    random_identifier_assignment,
+    sequential_identifier_assignment,
+    small_identifier_assignment,
+)
+from repro.hierarchy import (
+    ArbiterSpec,
+    Quantifier,
+    bit_space,
+    color_space,
+    empty_space,
+    enumerated_space,
+    eve_wins,
+    pi_membership,
+    sigma_membership,
+    three_colorability_spec,
+    two_colorability_spec,
+)
+from repro.hierarchy.arbiters import all_selected_spec, eulerian_spec, lp_decider_spec, nlp_verifier_spec
+from repro.hierarchy.game import sigma_prefix, pi_prefix, winning_first_move
+from repro.machines import builtin
+import repro.properties as props
+
+
+class TestCertificateSpaces:
+    def test_enumerated_space_assignments(self, triangle):
+        ids = sequential_identifier_assignment(triangle)
+        space = enumerated_space(("0", "1"))
+        assignments = list(space.assignments(triangle, ids))
+        assert len(assignments) == 8
+        assert space.assignment_count(triangle, ids) == 8
+
+    def test_color_space_widths(self):
+        assert set(color_space(3).candidates(None, None, None)) == {"00", "01", "10"}
+        assert set(color_space(2).candidates(None, None, None)) == {"0", "1"}
+
+    def test_empty_space(self, triangle):
+        ids = sequential_identifier_assignment(triangle)
+        assert list(empty_space().assignments(triangle, ids)) == [
+            {u: "" for u in triangle.nodes}
+        ]
+
+    def test_boundedness_check(self, triangle):
+        from repro.graphs.certificates import polynomial
+
+        ids = sequential_identifier_assignment(triangle)
+        small = color_space(3)
+        huge = enumerated_space(("1" * 1000,))
+        assert small.is_bounded(triangle, ids, 1, polynomial(1))
+        assert not huge.is_bounded(triangle, ids, 1, polynomial(1))
+
+
+class TestGamePrefixes:
+    def test_sigma_and_pi_prefixes(self):
+        assert sigma_prefix(3) == [Quantifier.EXISTS, Quantifier.FORALL, Quantifier.EXISTS]
+        assert pi_prefix(2) == [Quantifier.FORALL, Quantifier.EXISTS]
+
+    def test_prefix_and_space_length_must_match(self, triangle):
+        ids = sequential_identifier_assignment(triangle)
+        with pytest.raises(ValueError):
+            eve_wins(builtin.constant_algorithm(), triangle, ids, [bit_space()], [])
+
+
+class TestNLPGames:
+    def test_three_colorability_game(self):
+        spec = three_colorability_spec()
+        assert spec.decide(generators.cycle_graph(3))
+        assert spec.decide(generators.cycle_graph(5))
+        assert not spec.decide(generators.complete_graph(4))
+
+    def test_two_colorability_game(self):
+        spec = two_colorability_spec()
+        assert spec.decide(generators.cycle_graph(4))
+        assert not spec.decide(generators.cycle_graph(5))
+
+    def test_game_outcome_independent_of_identifiers(self):
+        spec = three_colorability_spec()
+        graph = generators.cycle_graph(5)
+        outcomes = {
+            spec.decide(graph, sequential_identifier_assignment(graph)),
+            spec.decide(graph, small_identifier_assignment(graph, 1)),
+            spec.decide(graph, random_identifier_assignment(graph, 1)),
+        }
+        assert outcomes == {True}
+
+    def test_sigma_membership_function(self, triangle):
+        ids = sequential_identifier_assignment(triangle)
+        assert sigma_membership(
+            builtin.three_colorability_verifier(), triangle, ids, [color_space(3)]
+        )
+
+    def test_pi_membership_is_dual(self, triangle):
+        ids = sequential_identifier_assignment(triangle)
+        # With a universal quantifier, the bad colorings make the game false.
+        assert not pi_membership(
+            builtin.three_colorability_verifier(), triangle, ids, [color_space(3)]
+        )
+
+    def test_winning_first_move_is_a_proper_coloring(self, triangle):
+        ids = sequential_identifier_assignment(triangle)
+        move = winning_first_move(
+            builtin.three_colorability_verifier(),
+            triangle,
+            ids,
+            [color_space(3)],
+            sigma_prefix(1),
+        )
+        assert move is not None
+        colors = {u: move[u] for u in triangle.nodes}
+        assert len(set(colors.values())) == 3
+
+    def test_no_winning_move_on_k4(self, k4):
+        ids = sequential_identifier_assignment(k4)
+        move = winning_first_move(
+            builtin.three_colorability_verifier(), k4, ids, [color_space(3)], sigma_prefix(1)
+        )
+        assert move is None
+
+
+class TestLPSpecs:
+    def test_all_selected_spec(self):
+        spec = all_selected_spec()
+        assert spec.class_name() == "LP"
+        assert spec.decide(generators.path_graph(3, labels=["1", "1", "1"]))
+        assert not spec.decide(generators.path_graph(3, labels=["1", "0", "1"]))
+
+    def test_eulerian_spec_matches_ground_truth(self):
+        spec = eulerian_spec()
+        for graph in (generators.cycle_graph(4), generators.path_graph(4), generators.star_graph(4)):
+            assert spec.decide(graph) == props.eulerian(graph)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ArbiterSpec("broken", builtin.constant_algorithm(), level=1, spaces=())
+        with pytest.raises(ValueError):
+            ArbiterSpec("broken", builtin.constant_algorithm(), level=0, kind="Delta")
+
+    def test_class_names(self):
+        nlp = nlp_verifier_spec("x", builtin.constant_algorithm(), bit_space())
+        lp = lp_decider_spec("y", builtin.constant_algorithm())
+        assert nlp.class_name() == "NLP"
+        assert lp.class_name() == "LP"
+        pi2 = ArbiterSpec(
+            "z", builtin.constant_algorithm(), level=2, kind="Pi", spaces=(bit_space(), bit_space())
+        )
+        assert pi2.class_name() == "Pi^lp_2"
+
+    def test_certificates_bounded(self, triangle):
+        spec = three_colorability_spec()
+        ids = sequential_identifier_assignment(triangle)
+        assert spec.certificates_bounded(triangle, ids)
+
+
+class TestLevelTwoGame:
+    def test_toy_sigma2_game(self):
+        """A Sigma^lp_2 game: Eve commits a bit, Adam challenges, arbiter compares.
+
+        The arbiter accepts iff Eve's certificate (level 1) equals the node's
+        label at every node -- regardless of Adam's certificate.  Hence Eve
+        wins exactly on every graph, and the game degenerates as expected.
+        """
+        from repro.machines.local_algorithm import LocalView, NeighborhoodGatherAlgorithm
+
+        def compute(view: LocalView) -> str:
+            certs = view.center_certificates()
+            return "1" if certs and certs[0] == view.center_label() else "0"
+
+        arbiter = NeighborhoodGatherAlgorithm(0, compute)
+        spec = ArbiterSpec(
+            "echo-label", arbiter, level=2, kind="Sigma", spaces=(bit_space(), bit_space())
+        )
+        graph = generators.path_graph(3, labels=["0", "1", "0"])
+        assert spec.decide(graph)
+
+    def test_toy_pi2_game(self):
+        """A Pi^lp_2 game where Adam can always break the arbiter.
+
+        The arbiter accepts iff Adam's certificate (level 1) is all zeros;
+        since Adam moves first he simply plays a 1 somewhere, so no graph has
+        the arbitrated property.
+        """
+        from repro.machines.local_algorithm import LocalView, NeighborhoodGatherAlgorithm
+
+        def compute(view: LocalView) -> str:
+            certs = view.center_certificates()
+            return "1" if certs and certs[0] == "0" else "0"
+
+        arbiter = NeighborhoodGatherAlgorithm(0, compute)
+        spec = ArbiterSpec(
+            "adam-breaks", arbiter, level=2, kind="Pi", spaces=(bit_space(), bit_space())
+        )
+        assert not spec.decide(generators.path_graph(2))

@@ -1,0 +1,133 @@
+"""Tests for the Figure 2 / Figure 13 class registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hierarchy.classes import (
+    HierarchyClass,
+    bounded_degree_chain,
+    class_name,
+    figure2_rows,
+    hierarchy_classes,
+    includes,
+    incomparable,
+    inclusion_edges,
+    parse_class,
+    strictly_includes,
+)
+
+levels = st.integers(min_value=0, max_value=6)
+kinds = st.sampled_from(["Sigma", "Pi"])
+complements = st.booleans()
+classes = st.builds(HierarchyClass, kind=kinds, level=levels, complement=complements)
+
+
+class TestNamesAndParsing:
+    def test_special_names(self):
+        assert class_name("Sigma", 0) == "LP"
+        assert class_name("Pi", 0) == "LP"
+        assert class_name("Sigma", 1) == "NLP"
+        assert class_name("Sigma", 0, complement=True) == "coLP"
+        assert class_name("Sigma", 1, complement=True) == "coNLP"
+        assert class_name("Pi", 3) == "Pi^lp_3"
+
+    @given(classes)
+    def test_parse_round_trip(self, cls):
+        parsed = parse_class(cls.name())
+        assert parsed.level == cls.level
+        assert parsed.complement == cls.complement
+        # Level 0 collapses Sigma and Pi into the single name LP/coLP.
+        if cls.level > 0:
+            assert parsed.kind == cls.kind
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_class("Delta^lp_2")
+
+    def test_dual(self):
+        assert parse_class("NLP").dual().name() == "coNLP"
+        assert parse_class("coPi^lp_2").dual().name() == "Pi^lp_2"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HierarchyClass("Gamma", 1)
+        with pytest.raises(ValueError):
+            HierarchyClass("Sigma", -1)
+
+
+class TestInclusions:
+    @given(classes)
+    def test_reflexive(self, cls):
+        assert includes(cls, cls)
+
+    @given(classes, classes)
+    def test_antisymmetric_up_to_level0(self, a, b):
+        if includes(a, b) and includes(b, a) and a != b:
+            # Only the two names of level 0 are mutually included.
+            assert a.level == b.level == 0
+
+    @given(classes, classes, classes)
+    def test_transitive(self, a, b, c):
+        if includes(b, a) and includes(c, b):
+            assert includes(c, a)
+
+    def test_definitional_inclusions(self):
+        assert includes("NLP", "LP")
+        assert includes("Pi^lp_1", "LP")
+        assert includes("Sigma^lp_3", "Pi^lp_2")
+        assert includes("Pi^lp_3", "NLP")
+        assert includes("coNLP", "coLP")
+        assert not includes("NLP", "coLP")
+        assert not includes("Pi^lp_1", "NLP")
+        assert not includes("NLP", "Pi^lp_1")
+
+    def test_strictness(self):
+        assert strictly_includes("NLP", "LP")
+        assert strictly_includes("Sigma^lp_4", "Pi^lp_2")
+        assert not strictly_includes("LP", "LP")
+        assert not strictly_includes("LP", "NLP")
+
+    def test_incomparability(self):
+        assert incomparable("NLP", "Pi^lp_1")
+        assert incomparable("coNLP", "coPi^lp_1")
+        assert incomparable("Sigma^lp_3", "Pi^lp_3")
+        assert not incomparable("LP", "NLP")
+        assert not incomparable("LP", "LP")
+
+    @given(st.integers(min_value=1, max_value=5))
+    def test_same_level_classes_incomparable(self, level):
+        assert incomparable(HierarchyClass("Sigma", level), HierarchyClass("Pi", level))
+
+
+class TestFigureData:
+    def test_bounded_degree_chain(self):
+        chain = bounded_degree_chain(4)
+        assert chain == ["LP", "NLP", "Pi^lp_2", "Sigma^lp_3", "Pi^lp_4"]
+
+    def test_hierarchy_classes_count(self):
+        # Levels 0..3 of both hierarchies: (1 + 2*3) classes per hierarchy.
+        assert len(hierarchy_classes(3)) == 2 * (1 + 2 * 3)
+
+    def test_inclusion_edges_are_covering_and_strict(self):
+        edges = inclusion_edges(3)
+        assert edges, "there must be at least one edge"
+        for lower, higher, label in edges:
+            assert strictly_includes(higher, lower)
+            assert label == "strict"
+        # A concrete covering edge from Figure 13.
+        assert ("LP", "NLP", "strict") in edges
+        # Non-covering inclusions (skipping a level) must not appear.
+        assert all(not (lower == "LP" and higher == "Sigma^lp_2") for lower, higher, _ in edges)
+
+    def test_figure2_rows(self):
+        rows = figure2_rows(3)
+        assert [row["level"] for row in rows] == [0, 1, 2, 3]
+        assert rows[0]["sigma"] == "LP"
+        assert rows[1]["sigma"] == "NLP"
+        assert not rows[0]["sigma_pi_incomparable"]
+        assert all(row["sigma_pi_incomparable"] for row in rows[1:])
+        assert all(row["strict_step_up"] for row in rows)
+        assert rows[2]["bounded_degree_representative"] == "Pi^lp_2"

@@ -1,0 +1,141 @@
+"""Tests for identifier assignments and certificate assignments (Section 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators
+from repro.graphs.certificates import (
+    CertificateList,
+    is_rp_bounded,
+    neighborhood_information,
+    polynomial,
+    trivial_certificate_assignment,
+)
+from repro.graphs.identifiers import (
+    cyclic_identifier_assignment,
+    is_globally_unique,
+    is_locally_unique,
+    is_small,
+    random_identifier_assignment,
+    sequential_identifier_assignment,
+    small_identifier_assignment,
+)
+
+
+class TestIdentifierAssignments:
+    def test_sequential_ids_are_globally_unique(self, five_cycle):
+        ids = sequential_identifier_assignment(five_cycle)
+        assert is_globally_unique(five_cycle, ids)
+        assert is_locally_unique(five_cycle, ids, radius=3)
+
+    def test_small_assignment_is_locally_unique_and_small(self):
+        graph = generators.cycle_graph(9)
+        for radius in (1, 2):
+            ids = small_identifier_assignment(graph, radius)
+            assert is_locally_unique(graph, ids, radius)
+            assert is_small(graph, ids, radius)
+
+    def test_remark3_small_assignment_exists_on_random_graphs(self):
+        # Remark 3: small locally unique assignments always exist.
+        for seed in range(4):
+            graph = generators.random_connected_graph(7, seed=seed)
+            ids = small_identifier_assignment(graph, 2)
+            assert is_locally_unique(graph, ids, 2)
+            assert is_small(graph, ids, 2)
+
+    def test_cyclic_assignment_local_uniqueness(self):
+        graph = generators.cycle_graph(12)
+        ids = cyclic_identifier_assignment(graph, period=3)
+        assert is_locally_unique(graph, ids, radius=1)
+        assert not is_globally_unique(graph, ids)
+
+    def test_cyclic_assignment_fails_for_too_large_radius(self):
+        graph = generators.cycle_graph(12)
+        ids = cyclic_identifier_assignment(graph, period=3)
+        assert not is_locally_unique(graph, ids, radius=3)
+
+    def test_random_assignment_is_globally_unique(self):
+        graph = generators.random_connected_graph(8, seed=1)
+        ids = random_identifier_assignment(graph, radius=2)
+        assert is_globally_unique(graph, ids)
+
+    def test_missing_node_raises(self, triangle):
+        ids = sequential_identifier_assignment(triangle)
+        del ids[list(triangle.nodes)[0]]
+        with pytest.raises(ValueError):
+            is_locally_unique(triangle, ids, 1)
+
+
+class TestCertificates:
+    def test_trivial_assignment_is_bounded(self, path4):
+        ids = sequential_identifier_assignment(path4)
+        kappa = trivial_certificate_assignment(path4)
+        assert is_rp_bounded(path4, ids, kappa, radius=1, bound=polynomial(1))
+
+    def test_neighborhood_information_counts_labels_and_ids(self):
+        graph = generators.path_graph(3, labels=["11", "1", ""])
+        ids = {u: "0" if i == 0 else "1" for i, u in enumerate(graph.nodes)}
+        ids[list(graph.nodes)[2]] = "10"
+        center = list(graph.nodes)[1]
+        # ball(center, 1) = all 3 nodes: (1+2+1) + (1+1+1) + (1+0+2) = 10
+        assert neighborhood_information(graph, ids, center, 1) == 10
+
+    def test_rp_bound_violation_detected(self, triangle):
+        ids = sequential_identifier_assignment(triangle)
+        nodes = list(triangle.nodes)
+        kappa = {nodes[0]: "1" * 500, nodes[1]: "", nodes[2]: ""}
+        assert not is_rp_bounded(triangle, ids, kappa, radius=1, bound=polynomial(1))
+
+    def test_certificate_list_combined_string(self, triangle):
+        nodes = list(triangle.nodes)
+        k1 = {u: "1" for u in nodes}
+        k2 = {u: "01" for u in nodes}
+        certificate_list = CertificateList([k1, k2])
+        assert certificate_list.combined(nodes[0]) == "1#01"
+        assert certificate_list.certificate(1, nodes[0]) == "01"
+
+    def test_certificate_list_roundtrip(self, path4):
+        nodes = list(path4.nodes)
+        k1 = {u: "10" for u in nodes}
+        k2 = {u: "" for u in nodes}
+        k3 = {u: "111" for u in nodes}
+        original = CertificateList([k1, k2, k3])
+        combined = {u: original.combined(u) for u in nodes}
+        parsed = CertificateList.from_combined(path4, combined)
+        assert parsed == original
+
+    def test_append_does_not_mutate(self, triangle):
+        base = CertificateList()
+        extended = base.append({u: "1" for u in triangle.nodes})
+        assert len(base) == 0
+        assert len(extended) == 1
+
+    def test_polynomial_constructor_validation(self):
+        with pytest.raises(ValueError):
+            polynomial(-1)
+        bound = polynomial(2, coefficient=3, constant=1)
+        assert bound(2) == 13
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(min_value=3, max_value=10), radius=st.integers(min_value=0, max_value=2))
+def test_small_assignment_always_locally_unique(size, radius):
+    graph = generators.cycle_graph(size)
+    ids = small_identifier_assignment(graph, radius)
+    assert is_locally_unique(graph, ids, radius)
+    assert is_small(graph, ids, radius)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    values=st.lists(st.text(alphabet="01", max_size=4), min_size=3, max_size=3),
+    second=st.lists(st.text(alphabet="01", max_size=4), min_size=3, max_size=3),
+)
+def test_certificate_list_roundtrip_property(values, second, triangle=None):
+    graph = generators.cycle_graph(3)
+    nodes = list(graph.nodes)
+    k1 = dict(zip(nodes, values))
+    k2 = dict(zip(nodes, second))
+    original = CertificateList([k1, k2])
+    combined = {u: original.combined(u) for u in nodes}
+    assert CertificateList.from_combined(graph, combined) == original

@@ -1,0 +1,167 @@
+"""Tests for the locality measures: proof-labeling schemes and the Figure 7 table."""
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
+from repro.locality import (
+    acyclicity_scheme,
+    all_schemes,
+    alternation_levels,
+    automorphism_scheme,
+    eulerian_scheme,
+    figure7_rows,
+    figure7_table,
+    non_two_colorability_scheme,
+    odd_scheme,
+    three_colorability_scheme,
+)
+from repro.locality.alternation import locality_band
+import repro.properties as props
+
+
+class TestSchemeCompleteness:
+    """On yes-instances, the prover's certificates convince the verifier."""
+
+    def test_eulerian(self):
+        scheme = eulerian_scheme()
+        assert scheme.prove_and_verify(generators.cycle_graph(6))
+        assert scheme.prover(generators.path_graph(4), {}) is None
+
+    def test_three_colorability(self):
+        scheme = three_colorability_scheme()
+        assert scheme.prove_and_verify(generators.cycle_graph(5))
+        assert scheme.prove_and_verify(generators.random_tree(7, seed=1))
+        assert scheme.prover(generators.complete_graph(4), {}) is None
+
+    def test_acyclicity(self):
+        scheme = acyclicity_scheme()
+        for seed in range(3):
+            assert scheme.prove_and_verify(generators.random_tree(8, seed=seed))
+
+    def test_odd(self):
+        scheme = odd_scheme()
+        assert scheme.prove_and_verify(generators.path_graph(7))
+        assert scheme.prove_and_verify(generators.star_graph(4))
+        assert scheme.prover(generators.path_graph(6), sequential_identifier_assignment(generators.path_graph(6))) is None
+
+    def test_non_two_colorability(self):
+        scheme = non_two_colorability_scheme()
+        assert scheme.prove_and_verify(generators.cycle_graph(5))
+        assert scheme.prove_and_verify(generators.cycle_graph(7))
+        assert scheme.prove_and_verify(generators.complete_graph(4))
+
+    def test_automorphism(self):
+        scheme = automorphism_scheme()
+        assert scheme.prove_and_verify(generators.cycle_graph(5))
+        assert scheme.prove_and_verify(generators.path_graph(4))
+
+
+class TestSchemeSoundness:
+    """No-instances are rejected: honest certificates do not exist, and tampered ones fail."""
+
+    def test_eulerian_rejects_odd_degree(self):
+        scheme = eulerian_scheme()
+        graph = generators.path_graph(4)
+        assert not scheme.verify(graph, {u: "" for u in graph.nodes})
+
+    def test_three_colorability_rejects_bad_coloring(self):
+        scheme = three_colorability_scheme()
+        graph = generators.cycle_graph(5)
+        assert not scheme.verify(graph, {u: "00" for u in graph.nodes})
+
+    def test_acyclicity_rejects_cycles_for_all_small_certificates(self):
+        # Exhaustive soundness check on a small cycle: no distance certificate
+        # with values in {0,..,3} convinces the verifier that C4 is acyclic.
+        import itertools
+
+        scheme = acyclicity_scheme()
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        nodes = list(graph.nodes)
+        from repro.locality.proof_labeling import _pack
+
+        for values in itertools.product(range(4), repeat=4):
+            certificates = {nodes[i]: _pack({"dist": str(values[i])}) for i in range(4)}
+            assert not scheme.verify(graph, certificates, ids)
+
+    def test_odd_rejects_tampered_parity(self):
+        scheme = odd_scheme()
+        graph = generators.path_graph(6)
+        ids = sequential_identifier_assignment(graph)
+        # Take honest certificates from a 7-node path and truncate them onto a
+        # 6-node path: the verifier must not accept.
+        bigger = generators.path_graph(7)
+        bigger_ids = sequential_identifier_assignment(bigger)
+        honest = odd_scheme().prover(bigger, bigger_ids)
+        truncated = {u: honest[v] for u, v in zip(graph.nodes, list(bigger.nodes)[:6])}
+        assert not scheme.verify(graph, truncated, ids)
+
+    def test_non_two_colorability_rejects_even_cycles(self):
+        scheme = non_two_colorability_scheme()
+        graph = generators.cycle_graph(6)
+        assert scheme.prover(graph, sequential_identifier_assignment(graph)) is None
+        # Tampered certificates from an odd cycle do not fit an even one.
+        odd = generators.cycle_graph(7)
+        odd_ids = sequential_identifier_assignment(odd)
+        honest = scheme.prover(odd, odd_ids)
+        shrunk = {u: honest[v] for u, v in zip(graph.nodes, list(odd.nodes)[:6])}
+        assert not scheme.verify(graph, shrunk, sequential_identifier_assignment(graph))
+
+    def test_automorphism_rejects_rigid_graph(self):
+        scheme = automorphism_scheme()
+        rigid = generators.path_graph(3, labels=["1", "", "0"])
+        assert scheme.prover(rigid, sequential_identifier_assignment(rigid)) is None
+        # A certificate claiming the identity mapping is rejected as trivial.
+        cycle = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(cycle)
+        honest = scheme.prover(cycle, ids)
+        assert honest is not None
+
+
+class TestCertificateSizes:
+    def test_constant_size_for_coloring(self):
+        scheme = three_colorability_scheme()
+        small = scheme.max_certificate_length(generators.cycle_graph(4))
+        large = scheme.max_certificate_length(generators.cycle_graph(20))
+        assert small == large == 2
+
+    def test_zero_size_for_eulerian(self):
+        scheme = eulerian_scheme()
+        assert scheme.max_certificate_length(generators.cycle_graph(12)) == 0
+
+    def test_automorphism_certificates_grow_superlinearly(self):
+        scheme = automorphism_scheme()
+        small = scheme.max_certificate_length(generators.cycle_graph(5))
+        large = scheme.max_certificate_length(generators.cycle_graph(15))
+        assert large > 2 * small
+
+
+class TestFigure7:
+    def test_alternation_levels_match_paper(self):
+        levels = alternation_levels()
+        assert str(levels["3-colorable"]) == "mSigma^lfo_1"
+        assert levels["hamiltonian"].level == 3
+        assert levels["non-3-colorable"].kind == "Pi"
+
+    def test_locality_bands(self):
+        levels = alternation_levels()
+        assert locality_band(levels["all-selected"]) == "purely local"
+        assert locality_band(levels["3-colorable"]) == "almost local"
+        assert locality_band(levels["hamiltonian"]) == "intermediate"
+        assert locality_band(None) == "inherently global"
+
+    def test_figure7_rows_cover_all_properties(self):
+        rows = figure7_rows()
+        names = [row.property_name for row in rows]
+        for expected in ("eulerian", "3-colorable", "odd", "acyclic", "hamiltonian",
+                         "non-2-colorable", "non-3-colorable", "automorphic", "prime"):
+            assert expected in names
+
+    def test_figure7_table_renders(self):
+        table = figure7_table()
+        assert "eulerian" in table
+        assert "LCP" in table
+
+    def test_all_schemes_listed(self):
+        assert len(all_schemes()) == 6

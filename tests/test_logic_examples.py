@@ -1,0 +1,103 @@
+"""Model checking the Section 5.2 example formulas against the ground truth.
+
+The formulas are evaluated with the locality/node-only restrictions of
+:class:`repro.logic.semantics.EvaluationOptions`; as discussed in the module
+docstrings, these restrictions do not change the truth values of the example
+formulas (which only ever relate nearby node elements), and they keep the
+exhaustive second-order quantification feasible on the small graphs used here.
+"""
+
+import pytest
+
+from repro.graphs import generators
+from repro.logic import EvaluationOptions, graph_satisfies
+from repro.logic.examples import (
+    all_selected_formula,
+    exists_unselected_node_formula,
+    hamiltonian_formula,
+    k_colorable_formula,
+    one_selected_formula,
+    three_colorable_formula,
+    two_colorable_formula,
+)
+import repro.properties as props
+
+OPTIONS = EvaluationOptions(second_order_locality=1, second_order_node_only=True, candidate_limit=40)
+
+
+class TestAllSelectedFormula:
+    def test_paths(self):
+        formula = all_selected_formula()
+        assert graph_satisfies(generators.path_graph(4, labels=["1"] * 4), formula)
+        assert not graph_satisfies(generators.path_graph(4, labels=["1", "0", "1", "1"]), formula)
+
+    def test_label_must_be_exactly_one(self):
+        formula = all_selected_formula()
+        assert not graph_satisfies(generators.path_graph(2, labels=["1", "11"]), formula)
+        assert not graph_satisfies(generators.path_graph(2, labels=["1", ""]), formula)
+
+    def test_agrees_with_ground_truth_on_small_graphs(self):
+        formula = all_selected_formula()
+        for labels in (["1", "1", "1"], ["1", "0", "1"], ["0", "0", "0"], ["1", "1", "11"]):
+            graph = generators.cycle_graph(3, labels=labels)
+            assert graph_satisfies(graph, formula) == props.all_selected(graph)
+
+
+class TestColorabilityFormulas:
+    def test_three_colorable_formula(self):
+        formula = three_colorable_formula()
+        assert graph_satisfies(generators.cycle_graph(3), formula, options=OPTIONS)
+        assert graph_satisfies(generators.cycle_graph(5), formula, options=OPTIONS)
+        assert not graph_satisfies(generators.complete_graph(4), formula, options=OPTIONS)
+
+    def test_two_colorable_formula(self):
+        formula = two_colorable_formula()
+        assert graph_satisfies(generators.cycle_graph(4), formula, options=OPTIONS)
+        assert not graph_satisfies(generators.cycle_graph(5), formula, options=OPTIONS)
+
+    def test_one_colorable_formula(self):
+        formula = k_colorable_formula(1)
+        assert graph_satisfies(generators.single_node(), formula, options=OPTIONS)
+        assert not graph_satisfies(generators.path_graph(2), formula, options=OPTIONS)
+
+    def test_agreement_with_ground_truth(self):
+        formula = three_colorable_formula()
+        for graph in (
+            generators.path_graph(4),
+            generators.complete_graph(4),
+            generators.star_graph(3),
+        ):
+            assert graph_satisfies(graph, formula, options=OPTIONS) == props.three_colorable(graph)
+
+
+class TestSpanningForestFormulas:
+    """The Sigma^lfo_3 constructions of Examples 6, 8 and 9 (small graphs only)."""
+
+    def test_not_all_selected_formula(self):
+        formula = exists_unselected_node_formula()
+        yes = generators.path_graph(3, labels=["1", "0", "1"])
+        no = generators.path_graph(3, labels=["1", "1", "1"])
+        assert graph_satisfies(yes, formula, options=OPTIONS)
+        assert not graph_satisfies(no, formula, options=OPTIONS)
+
+    def test_not_all_selected_on_triangle(self):
+        formula = exists_unselected_node_formula()
+        yes = generators.cycle_graph(3, labels=["1", "1", "0"])
+        assert graph_satisfies(yes, formula, options=OPTIONS)
+
+    def test_one_selected_formula(self):
+        formula = one_selected_formula()
+        yes = generators.path_graph(3, labels=["", "1", ""])
+        two = generators.path_graph(3, labels=["1", "", "1"])
+        assert graph_satisfies(yes, formula, options=OPTIONS)
+        assert not graph_satisfies(two, formula, options=OPTIONS)
+
+    def test_hamiltonian_formula(self):
+        formula = hamiltonian_formula()
+        assert graph_satisfies(generators.cycle_graph(3), formula, options=OPTIONS)
+        assert not graph_satisfies(generators.path_graph(3), formula, options=OPTIONS)
+
+    def test_hamiltonian_formula_agrees_with_ground_truth(self):
+        formula = hamiltonian_formula()
+        star = generators.star_graph(2)
+        assert graph_satisfies(star, formula, options=OPTIONS) == props.hamiltonian(star)

@@ -1,0 +1,350 @@
+"""Tests for the monadic translation (Prop. 31), duality, and spanning-tree formulas."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators
+from repro.graphs.structures import node_element, structural_representation
+from repro.logic.duality import (
+    complement_class_name,
+    dual_class,
+    is_in_negation_normal_form,
+    negate_sentence,
+    negation_normal_form,
+)
+from repro.logic.examples import (
+    CHALLENGE,
+    CHARGE,
+    PARENT,
+    all_selected_formula,
+    exists_unselected_node_formula,
+    points_to,
+    three_colorable_formula,
+)
+from repro.logic.fragments import classify_local_second_order, classify_second_order, is_monadic
+from repro.logic.monadic import (
+    encode_relation,
+    local_names,
+    monadic_matrix,
+    name_interpretation,
+    name_variable,
+    required_name_count,
+    to_monadic_sentence,
+    unique_name_formula,
+)
+from repro.logic.semantics import evaluate, graph_satisfies
+from repro.logic.shorthands import is_selected
+from repro.logic.spanning import (
+    CYCLE,
+    acyclic_formula,
+    acyclic_strategy_verdict,
+    adam_refutation_challenge,
+    charge_response,
+    non_two_colorable_formula,
+    non_two_colorable_strategy_verdict,
+    odd_cycle_witness,
+    odd_formula,
+    odd_strategy_verdict,
+    spanning_tree_parent_pairs,
+    subtree_parity_set,
+)
+from repro.logic.syntax import Not, RelationAtom, free_relation_variables
+from repro.properties.coloring import two_colorable
+from repro.properties.cycles import acyclic, odd
+
+
+# ----------------------------------------------------------------------
+# Proposition 31: the monadic translation
+# ----------------------------------------------------------------------
+class TestMonadicTranslation:
+    def test_required_name_count_on_a_path(self):
+        graph = generators.path_graph(5)
+        structure = structural_representation(graph)
+        # Radius 1 means 2-locally unique names; the largest 2-ball on an
+        # unlabeled path of five nodes is centered at the middle node and
+        # contains all five elements.
+        assert required_name_count(structure, 1) == 5
+
+    def test_local_names_are_locally_unique(self):
+        graph = generators.cycle_graph(6)
+        structure = structural_representation(graph)
+        names = local_names(structure, radius=1)
+        for element in structure.domain:
+            for other in structure.ball(element, 2):
+                if other != element:
+                    assert names[element] != names[other]
+
+    def test_local_names_raise_when_too_few(self):
+        graph = generators.complete_graph(4)
+        structure = structural_representation(graph)
+        with pytest.raises(ValueError):
+            local_names(structure, radius=1, count=2)
+
+    def test_unique_name_formula_accepts_valid_naming(self):
+        graph = generators.path_graph(3)
+        structure = structural_representation(graph)
+        count = required_name_count(structure, 1)
+        names = local_names(structure, radius=1, count=count)
+        assignment = dict(name_interpretation(structure, names, count))
+        formula = unique_name_formula("x", count, radius=1)
+        for element in structure.domain:
+            assert evaluate(structure, formula, {**assignment, "x": element})
+
+    def test_unique_name_formula_rejects_clash(self):
+        graph = generators.path_graph(3)
+        structure = structural_representation(graph)
+        count = required_name_count(structure, 1)
+        # Give every element the same name: adjacent elements now clash.
+        clashing = {element: 0 for element in structure.domain}
+        assignment = dict(name_interpretation(structure, clashing, count))
+        formula = unique_name_formula("x", count, radius=1)
+        violations = [
+            element
+            for element in structure.domain
+            if not evaluate(structure, formula, {**assignment, "x": element})
+        ]
+        assert violations
+
+    def test_monadic_matrix_preserves_binary_relation_semantics(self):
+        # The BF matrix of Example 6 (PointsTo) evaluated under a concrete
+        # interpretation of the binary parent relation must agree with its
+        # monadic translation under the encoded unary interpretations.
+        graph = generators.path_graph(3)
+        structure = structural_representation(graph)
+        count = required_name_count(structure, 2)
+        names = local_names(structure, radius=2, count=count)
+        name_assignment = name_interpretation(structure, names, count)
+
+        theta = lambda v: Not(is_selected(v))  # noqa: E731 -- tiny schema
+        matrix = points_to("x", theta)
+
+        nodes = [node_element(u) for u in graph.nodes]
+        # A valid forest: 1 -> 0 <- 0 (node 0 is its own parent/root).
+        parent_interpretation = frozenset(
+            {(nodes[0], nodes[0]), (nodes[1], nodes[0]), (nodes[2], nodes[1])}
+        )
+        encoded = encode_relation(structure, PARENT, parent_interpretation, names, count, radius=2)
+        translated = monadic_matrix(matrix, count)
+
+        for challenge in [frozenset(), frozenset({nodes[1]})]:
+            for charge in [frozenset(nodes), frozenset({nodes[0]})]:
+                base = {
+                    CHALLENGE: frozenset((u,) for u in challenge),
+                    CHARGE: frozenset((u,) for u in charge),
+                }
+                for element in nodes:
+                    original = evaluate(
+                        structure,
+                        matrix,
+                        {**base, PARENT: parent_interpretation, "x": element},
+                    )
+                    monadic = evaluate(
+                        structure,
+                        translated,
+                        {**base, **encoded, **name_assignment, "x": element},
+                    )
+                    assert original == monadic
+
+    def test_to_monadic_sentence_is_monadic_and_level_preserving(self):
+        sentence = exists_unselected_node_formula()
+        original_class = classify_local_second_order(sentence)
+        translated = to_monadic_sentence(sentence, radius=2, count=3)
+        assert is_monadic(translated)
+        translated_class = classify_local_second_order(translated)
+        assert translated_class is not None
+        assert translated_class.level == original_class.level
+        assert translated_class.kind == original_class.kind
+
+    def test_already_monadic_sentences_pass_through(self):
+        sentence = three_colorable_formula()
+        translated = to_monadic_sentence(sentence, radius=1, count=2)
+        assert is_monadic(translated)
+        assert classify_local_second_order(translated).level == 1
+
+    def test_name_variable_arity(self):
+        assert name_variable(3).arity == 1
+
+
+# ----------------------------------------------------------------------
+# Duality and the complement hierarchy
+# ----------------------------------------------------------------------
+class TestDuality:
+    def test_negate_sentence_swaps_quantifiers(self):
+        sentence = exists_unselected_node_formula()  # Sigma^lfo_3
+        negated = negate_sentence(sentence)
+        negated_class = classify_second_order(negated)
+        assert negated_class is not None
+        assert negated_class.kind == "Pi"
+        assert negated_class.level == 3
+
+    def test_negation_is_semantically_correct(self):
+        sentence = all_selected_formula()
+        negated = negate_sentence(sentence)
+        for graph in [
+            generators.path_graph(3, labels=["1", "1", "1"]),
+            generators.path_graph(3, labels=["1", "0", "1"]),
+            generators.cycle_graph(4, labels=["1", "1", "1", "1"]),
+        ]:
+            assert graph_satisfies(graph, negated) == (not graph_satisfies(graph, sentence))
+
+    def test_negation_normal_form_is_nnf_and_equivalent(self):
+        graph = generators.path_graph(3, labels=["1", "0", "1"])
+        structure = structural_representation(graph)
+        formula = Not(is_selected("x"))
+        nnf = negation_normal_form(formula)
+        assert is_in_negation_normal_form(nnf)
+        for element in structure.domain:
+            assert evaluate(structure, formula, {"x": element}) == evaluate(
+                structure, nnf, {"x": element}
+            )
+
+    def test_double_negation(self):
+        formula = Not(Not(is_selected("x")))
+        nnf = negation_normal_form(formula)
+        assert is_in_negation_normal_form(nnf)
+
+    def test_dual_class(self):
+        sigma3 = classify_local_second_order(exists_unselected_node_formula())
+        pi3 = dual_class(sigma3)
+        assert pi3.kind == "Pi"
+        assert pi3.level == 3
+        assert not pi3.local
+
+    def test_complement_class_name_involution(self):
+        for name in ["LP", "NLP", "Sigma^lp_2", "coPi^lp_3"]:
+            assert complement_class_name(complement_class_name(name)) == name
+        assert complement_class_name("NLP") == "coNLP"
+
+
+# ----------------------------------------------------------------------
+# The spanning-tree formulas: acyclic, odd, non-2-colorable
+# ----------------------------------------------------------------------
+class TestSpanningFormulas:
+    def test_syntactic_classes(self):
+        for sentence in [acyclic_formula(), odd_formula(3), non_two_colorable_formula()]:
+            logic_class = classify_local_second_order(sentence)
+            assert logic_class is not None, str(sentence)[:80]
+            assert logic_class.kind == "Sigma"
+            assert logic_class.level == 3
+
+    def test_formulas_are_sentences(self):
+        for sentence in [acyclic_formula(), odd_formula(2), non_two_colorable_formula()]:
+            assert not free_relation_variables(sentence)
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: generators.path_graph(4),
+            lambda: generators.star_graph(3),
+            lambda: generators.random_tree(5, seed=1),
+        ],
+        ids=["path4", "star3", "tree5"],
+    )
+    def test_acyclic_strategy_wins_on_trees(self, maker):
+        graph = maker()
+        assert acyclic(graph)
+        assert acyclic_strategy_verdict(graph)
+
+    @pytest.mark.parametrize(
+        "maker",
+        [lambda: generators.cycle_graph(4), lambda: generators.complete_graph(4)],
+        ids=["cycle4", "k4"],
+    )
+    def test_acyclic_strategy_loses_on_cyclic_graphs(self, maker):
+        graph = maker()
+        assert not acyclic(graph)
+        assert not acyclic_strategy_verdict(graph)
+
+    def test_odd_strategy_matches_ground_truth(self):
+        for size in range(3, 7):
+            path = generators.path_graph(size)
+            assert odd_strategy_verdict(path) == odd(path)
+            star = generators.star_graph(size - 1)
+            assert odd_strategy_verdict(star) == odd(star)
+
+    def test_non_two_colorable_strategy_matches_ground_truth(self):
+        cases = [
+            generators.cycle_graph(5),
+            generators.cycle_graph(4),
+            generators.complete_graph(3),
+            generators.path_graph(4),
+            generators.star_graph(3),
+        ]
+        for graph in cases:
+            assert non_two_colorable_strategy_verdict(graph) == (not two_colorable(graph))
+
+
+# ----------------------------------------------------------------------
+# The strategies themselves (Eve's and Adam's moves from Examples 6 and 8)
+# ----------------------------------------------------------------------
+class TestStrategies:
+    def test_spanning_tree_is_a_tree(self):
+        graph = generators.random_connected_graph(7, 10, seed=3)
+        pairs = spanning_tree_parent_pairs(graph)
+        roots = [child for child, parent in pairs if child == parent]
+        assert len(roots) == 1
+        assert len(pairs) == graph.cardinality()
+        # Every non-root edge of the relation is a graph edge.
+        for child, parent in pairs:
+            if child != parent:
+                assert graph.has_edge(child, parent)
+
+    def test_charge_response_flips_exactly_in_challenge(self):
+        graph = generators.path_graph(5)
+        pairs = spanning_tree_parent_pairs(graph)
+        challenge = frozenset({graph.nodes[2]})
+        charges = charge_response(graph, pairs, challenge)
+        parent_of = {child: parent for child, parent in pairs}
+        for child, parent in pairs:
+            if child == parent:
+                assert child in charges
+            elif child in challenge:
+                assert (child in charges) == (parent not in charges)
+            else:
+                assert (child in charges) == (parent in charges)
+
+    def test_subtree_parity(self):
+        graph = generators.path_graph(5)
+        pairs = spanning_tree_parent_pairs(graph, tree_root=graph.nodes[0])
+        parity = subtree_parity_set(pairs)
+        # Rooted at an endpoint of a path of 5: subtree sizes are 5,4,3,2,1.
+        sizes = {graph.nodes[i]: 5 - i for i in range(5)}
+        for node, size in sizes.items():
+            assert (node in parity) == (size % 2 == 1)
+
+    def test_odd_cycle_witness_on_bipartite_graph_is_none(self):
+        assert odd_cycle_witness(generators.cycle_graph(6)) is None
+        assert odd_cycle_witness(generators.path_graph(4)) is None
+
+    def test_odd_cycle_witness_finds_an_odd_cycle(self):
+        graph = generators.complete_graph(4)
+        witness = odd_cycle_witness(graph)
+        assert witness is not None
+        oriented, counter, cycle_root = witness
+        assert len(oriented) % 2 == 1
+        successors = {a: b for a, b in oriented}
+        assert cycle_root in successors
+        # The oriented edges really are graph edges and form a closed walk.
+        for a, b in oriented:
+            assert graph.has_edge(a, b)
+
+    def test_adam_refutes_a_cyclic_parent_relation(self):
+        graph = generators.cycle_graph(4)
+        nodes = list(graph.nodes)
+        # A "parent" relation that is one big directed cycle: no root at all.
+        cyclic_pairs = frozenset(
+            (nodes[i], nodes[(i + 1) % len(nodes)]) for i in range(len(nodes))
+        )
+        challenge = adam_refutation_challenge(graph, cyclic_pairs)
+        assert challenge is not None
+        assert len(challenge) == 1
+
+    def test_adam_accepts_a_genuine_forest(self):
+        graph = generators.path_graph(4)
+        pairs = spanning_tree_parent_pairs(graph)
+        assert adam_refutation_challenge(graph, pairs) is None

@@ -1,0 +1,164 @@
+"""Tests for formula evaluation on structures (Table 1 semantics)."""
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.structures import Structure, structural_representation
+from repro.logic import EvaluationOptions, evaluate, graph_satisfies
+from repro.logic.semantics import EvaluationBudgetExceeded
+from repro.logic.shorthands import is_bit1, is_node, is_selected
+from repro.logic.syntax import (
+    And,
+    BinaryAtom,
+    BoundedExists,
+    BoundedForall,
+    Equal,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    LocalExists,
+    Not,
+    Or,
+    RelationAtom,
+    RelationVariable,
+    SOExists,
+    SOForall,
+    TruthConstant,
+    UnaryAtom,
+)
+
+
+@pytest.fixture
+def chain_structure():
+    """A 3-element chain 1 -> 2 -> 3 with element 2 in the unary relation."""
+    return Structure([1, 2, 3], unary=[{2}], binary=[{(1, 2), (2, 3)}])
+
+
+class TestAtomsAndConnectives:
+    def test_unary_and_binary_atoms(self, chain_structure):
+        assert evaluate(chain_structure, UnaryAtom(1, "x"), {"x": 2})
+        assert not evaluate(chain_structure, UnaryAtom(1, "x"), {"x": 1})
+        assert evaluate(chain_structure, BinaryAtom(1, "x", "y"), {"x": 1, "y": 2})
+        assert not evaluate(chain_structure, BinaryAtom(1, "x", "y"), {"x": 2, "y": 1})
+
+    def test_equality_and_constants(self, chain_structure):
+        assert evaluate(chain_structure, Equal("x", "y"), {"x": 3, "y": 3})
+        assert evaluate(chain_structure, TruthConstant(True), {})
+        assert not evaluate(chain_structure, TruthConstant(False), {})
+
+    def test_connectives(self, chain_structure):
+        t, f = TruthConstant(True), TruthConstant(False)
+        assert evaluate(chain_structure, Or(f, t), {})
+        assert not evaluate(chain_structure, And(t, f), {})
+        assert evaluate(chain_structure, Implies(f, f), {})
+        assert evaluate(chain_structure, Iff(t, t), {})
+        assert not evaluate(chain_structure, Iff(t, f), {})
+
+    def test_missing_variable_raises(self, chain_structure):
+        with pytest.raises(KeyError):
+            evaluate(chain_structure, UnaryAtom(1, "x"), {})
+
+
+class TestFirstOrderQuantifiers:
+    def test_unbounded_quantifiers(self, chain_structure):
+        assert evaluate(chain_structure, Exists("x", UnaryAtom(1, "x")))
+        assert not evaluate(chain_structure, Forall("x", UnaryAtom(1, "x")))
+
+    def test_bounded_quantifier_ranges_over_connections(self, chain_structure):
+        # Element 1 is connected to 2 only; element 2 to both 1 and 3.
+        phi = BoundedExists("y", "x", UnaryAtom(1, "y"))
+        assert evaluate(chain_structure, phi, {"x": 1})
+        assert not evaluate(chain_structure, phi, {"x": 2})  # neighbors of 2 are 1 and 3
+
+    def test_bounded_forall(self, chain_structure):
+        phi = BoundedForall("y", "x", Not(UnaryAtom(1, "y")))
+        assert evaluate(chain_structure, phi, {"x": 2})
+        assert not evaluate(chain_structure, phi, {"x": 1})
+
+    def test_local_quantifier_includes_anchor(self, chain_structure):
+        phi = LocalExists("y", "x", 0, UnaryAtom(1, "y"))
+        assert evaluate(chain_structure, phi, {"x": 2})
+        assert not evaluate(chain_structure, phi, {"x": 1})
+        phi1 = LocalExists("y", "x", 1, UnaryAtom(1, "y"))
+        assert evaluate(chain_structure, phi1, {"x": 1})
+
+
+class TestSecondOrderQuantifiers:
+    def test_exists_monadic(self, chain_structure):
+        X = RelationVariable("X", 1)
+        # There is a set containing exactly the elements in the unary relation.
+        phi = SOExists(X, Forall("x", Iff(RelationAtom(X, ("x",)), UnaryAtom(1, "x"))))
+        assert evaluate(chain_structure, phi)
+
+    def test_forall_monadic(self, chain_structure):
+        X = RelationVariable("X", 1)
+        # Not every set contains element 1.
+        phi = SOForall(X, RelationAtom(X, ("x",)))
+        assert not evaluate(chain_structure, phi, {"x": 1})
+
+    def test_binary_relation_quantification(self):
+        structure = Structure([1, 2], binary=[{(1, 2)}])
+        R = RelationVariable("R", 2)
+        # There is a relation equal to the edge relation.
+        phi = SOExists(
+            R,
+            Forall(
+                "x",
+                Forall("y", Iff(RelationAtom(R, ("x", "y")), BinaryAtom(1, "x", "y"))),
+            ),
+        )
+        assert evaluate(structure, phi)
+
+    def test_candidate_limit_guard(self):
+        structure = Structure(list(range(8)), binary=[set()])
+        R = RelationVariable("R", 2)
+        phi = SOExists(R, Forall("x", TruthConstant(True)))
+        with pytest.raises(EvaluationBudgetExceeded):
+            evaluate(structure, phi, options=EvaluationOptions(candidate_limit=10))
+
+    def test_locality_restriction_shrinks_candidates(self):
+        structure = Structure(list(range(6)), binary=[{(i, i + 1) for i in range(5)}])
+        R = RelationVariable("R", 2)
+        phi = SOExists(R, Forall("x", TruthConstant(True)))
+        options = EvaluationOptions(second_order_locality=1, candidate_limit=20)
+        assert evaluate(structure, phi, options=options)
+
+    def test_node_only_restriction(self):
+        graph = generators.path_graph(2, labels=["1", "1"])
+        structure = structural_representation(graph)
+        X = RelationVariable("X", 1)
+        # "There is a set containing every element" is false under the
+        # node-only restriction (bits can never be included) but true without it.
+        phi = SOExists(X, Forall("x", RelationAtom(X, ("x",))))
+        assert evaluate(structure, phi)
+        assert not evaluate(
+            structure, phi, options=EvaluationOptions(second_order_node_only=True)
+        )
+
+
+class TestGraphSatisfaction:
+    def test_shorthand_predicates(self):
+        graph = generators.path_graph(2, labels=["1", "0"])
+        structure = structural_representation(graph)
+        nodes = list(graph.nodes)
+        assert evaluate(structure, is_node("x"), {"x": nodes[0]})
+        assert evaluate(structure, is_selected("x"), {"x": nodes[0]})
+        assert not evaluate(structure, is_selected("x"), {"x": nodes[1]})
+        from repro.graphs.structures import bit_element
+
+        assert evaluate(structure, is_bit1("x"), {"x": bit_element(nodes[0], 1)})
+        assert not evaluate(structure, is_node("x"), {"x": bit_element(nodes[0], 1)})
+
+    def test_selected_requires_label_exactly_one(self):
+        graph = generators.path_graph(2, labels=["11", "1"])
+        structure = structural_representation(graph)
+        nodes = list(graph.nodes)
+        assert not evaluate(structure, is_selected("x"), {"x": nodes[0]})
+        assert evaluate(structure, is_selected("x"), {"x": nodes[1]})
+
+    def test_graph_satisfies_wrapper(self):
+        from repro.logic.examples import all_selected_formula
+
+        assert graph_satisfies(generators.path_graph(2, labels=["1", "1"]), all_selected_formula())
+        assert not graph_satisfies(generators.path_graph(2, labels=["1", "0"]), all_selected_formula())

@@ -1,0 +1,159 @@
+"""Tests for the formula AST, fragments and classification (Section 5.1)."""
+
+import pytest
+
+from repro.logic import examples, shorthands
+from repro.logic.fragments import (
+    classify_local_second_order,
+    classify_second_order,
+    is_bounded_fragment,
+    is_first_order,
+    is_lfo_sentence,
+    is_monadic,
+    quantifier_alternation_level,
+)
+from repro.logic.syntax import (
+    And,
+    BinaryAtom,
+    BoundedExists,
+    Equal,
+    Exists,
+    Forall,
+    LocalExists,
+    Not,
+    Or,
+    RelationAtom,
+    RelationVariable,
+    SOExists,
+    SOForall,
+    UnaryAtom,
+    conjunction,
+    disjunction,
+    free_first_order_variables,
+    free_relation_variables,
+    is_sentence,
+    substitute,
+    TOP,
+    BOTTOM,
+)
+
+
+class TestAST:
+    def test_relation_atom_arity_check(self):
+        relation = RelationVariable("R", 2)
+        with pytest.raises(ValueError):
+            RelationAtom(relation, ("x",))
+
+    def test_bounded_quantifier_needs_distinct_variables(self):
+        with pytest.raises(ValueError):
+            BoundedExists("x", "x", UnaryAtom(1, "x"))
+
+    def test_relation_variable_arity_positive(self):
+        with pytest.raises(ValueError):
+            RelationVariable("R", 0)
+
+    def test_operator_sugar(self):
+        phi = UnaryAtom(1, "x") & ~BinaryAtom(1, "x", "y")
+        assert isinstance(phi, And)
+        assert isinstance(phi.right, Not)
+
+    def test_conjunction_and_disjunction_of_empty(self):
+        assert conjunction([]) == TOP
+        assert disjunction([]) == BOTTOM
+
+
+class TestFreeVariables:
+    def test_atoms(self):
+        assert free_first_order_variables(BinaryAtom(1, "x", "y")) == {"x", "y"}
+        relation = RelationVariable("R", 1)
+        assert free_relation_variables(RelationAtom(relation, ("x",))) == {relation}
+
+    def test_bounded_quantifier_keeps_anchor_free(self):
+        phi = BoundedExists("z", "y", Equal("z", "y"))
+        assert free_first_order_variables(phi) == {"y"}
+
+    def test_second_order_quantifier_binds_relation(self):
+        relation = RelationVariable("R", 1)
+        phi = SOExists(relation, Forall("x", RelationAtom(relation, ("x",))))
+        assert free_relation_variables(phi) == set()
+        assert is_sentence(phi)
+
+    def test_example_formulas_are_sentences(self):
+        for formula in examples.all_example_formulas().values():
+            assert is_sentence(formula)
+
+
+class TestSubstitution:
+    def test_basic_renaming(self):
+        phi = BinaryAtom(1, "x", "y")
+        assert substitute(phi, {"x": "z"}) == BinaryAtom(1, "z", "y")
+
+    def test_bound_variables_not_renamed(self):
+        phi = BoundedExists("x", "y", Equal("x", "y"))
+        renamed = substitute(phi, {"x": "w", "y": "z"})
+        assert renamed == BoundedExists("x", "z", Equal("x", "z"))
+
+
+class TestFragments:
+    def test_bf_membership(self):
+        bounded = BoundedExists("y", "x", UnaryAtom(1, "y"))
+        unbounded = Exists("y", UnaryAtom(1, "y"))
+        assert is_bounded_fragment(bounded)
+        assert not is_bounded_fragment(unbounded)
+        assert is_bounded_fragment(LocalExists("y", "x", 3, UnaryAtom(1, "y")))
+
+    def test_lfo_sentences(self):
+        good = Forall("x", BoundedExists("y", "x", Equal("x", "y")))
+        bad = Forall("x", Exists("y", Equal("x", "y")))
+        assert is_lfo_sentence(good)
+        assert not is_lfo_sentence(bad)
+
+    def test_first_order_check(self):
+        relation = RelationVariable("R", 1)
+        assert is_first_order(Exists("x", RelationAtom(relation, ("x",))))
+        assert not is_first_order(SOExists(relation, Forall("x", RelationAtom(relation, ("x",)))))
+
+    def test_monadicity(self):
+        assert is_monadic(examples.three_colorable_formula())
+        assert not is_monadic(examples.hamiltonian_formula())
+
+    def test_alternation_levels_of_prefixes(self):
+        unary = RelationVariable("X", 1)
+        binary = RelationVariable("P", 2)
+        matrix = Forall("x", BoundedExists("y", "x", Equal("x", "y")))
+        assert quantifier_alternation_level(SOExists(unary, matrix)) == 1
+        assert quantifier_alternation_level(SOExists(unary, SOExists(binary, matrix))) == 1
+        assert quantifier_alternation_level(SOExists(unary, SOForall(binary, matrix))) == 2
+
+
+class TestPaperClassification:
+    """The Section 5.2 formulas land exactly in the classes the paper states."""
+
+    def test_example_classes(self):
+        expected = {
+            "all-selected": ("Sigma", 0, True),
+            "3-colorable": ("Sigma", 1, True),
+            "not-all-selected": ("Sigma", 3, False),
+            "non-3-colorable": ("Pi", 4, False),
+            "one-selected": ("Sigma", 3, False),
+            "hamiltonian": ("Sigma", 3, False),
+            "non-hamiltonian": ("Pi", 4, False),
+        }
+        formulas = examples.all_example_formulas()
+        for name, (kind, level, monadic) in expected.items():
+            logic_class = classify_local_second_order(formulas[name])
+            assert logic_class is not None, name
+            assert logic_class.kind == kind, name
+            assert logic_class.level == level, name
+            assert logic_class.monadic == monadic, name
+
+    def test_unbounded_matrix_falls_outside_local_hierarchy(self):
+        relation = RelationVariable("X", 1)
+        phi = SOExists(relation, Forall("x", Exists("y", Equal("x", "y"))))
+        assert classify_local_second_order(phi) is None
+        assert classify_second_order(phi) is not None
+
+    def test_shorthands_are_bf(self):
+        assert is_bounded_fragment(shorthands.is_node("x"))
+        assert is_bounded_fragment(shorthands.is_selected("x"))
+        assert is_bounded_fragment(shorthands.is_bit0("x"))

@@ -1,0 +1,131 @@
+"""Tests for the Section 9.3 outside-the-hierarchy witnesses."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.builtin import constant_algorithm, predicate_decider
+from repro.pictures.automata import divisibility_dfa, parity_dfa
+from repro.separations.outside_hierarchy import (
+    cycle_pumping_report,
+    dfa_pumping_contradiction,
+    is_perfect_square,
+    is_power_of_two,
+    is_prime,
+    power_of_two_cardinality_fooling,
+    prime_cardinality_fooling,
+    unary_word,
+)
+
+
+# ----------------------------------------------------------------------
+# Cardinality predicates
+# ----------------------------------------------------------------------
+class TestCardinalityPredicates:
+    def test_primes(self):
+        primes = [n for n in range(1, 30) if is_prime(n)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_powers_of_two(self):
+        powers = [n for n in range(1, 40) if is_power_of_two(n)]
+        assert powers == [1, 2, 4, 8, 16, 32]
+
+    def test_perfect_squares(self):
+        squares = [n for n in range(0, 30) if is_perfect_square(n)]
+        assert squares == [0, 1, 4, 9, 16, 25]
+
+    @given(st.integers(min_value=2, max_value=500))
+    def test_prime_definition(self, value):
+        divisors = [d for d in range(2, value) if value % d == 0]
+        assert is_prime(value) == (not divisors)
+
+    def test_unary_word(self):
+        assert unary_word(4) == "1111"
+        with pytest.raises(ValueError):
+            unary_word(0)
+
+
+# ----------------------------------------------------------------------
+# Word-level half: no DFA recognizes the prime / power-of-two lengths
+# ----------------------------------------------------------------------
+class TestDfaPumpingContradiction:
+    @pytest.mark.parametrize("modulus", [2, 3, 4, 5])
+    def test_divisibility_dfas_fail_on_primes(self, modulus):
+        witness = dfa_pumping_contradiction(divisibility_dfa(modulus), is_prime)
+        assert witness is not None
+        if witness["kind"] == "pumping contradiction":
+            assert witness["dfa_accepts_pumped"]
+            assert not witness["predicate_holds_pumped"]
+
+    def test_parity_dfa_fails_on_powers_of_two(self):
+        witness = dfa_pumping_contradiction(parity_dfa(), is_power_of_two)
+        assert witness is not None
+
+    def test_parity_dfa_fails_on_squares(self):
+        witness = dfa_pumping_contradiction(parity_dfa(), is_perfect_square)
+        assert witness is not None
+
+    def test_correct_dfa_for_its_own_language_gives_no_direct_disagreement(self):
+        # A DFA that genuinely recognizes its own (regular) language yields no
+        # *direct* disagreement; if a witness is produced at all, it must come
+        # from the pumping stage and must not be a refutation of regularity.
+        dfa = divisibility_dfa(3)
+        predicate = lambda n: n % 3 == 0  # noqa: E731 -- tiny inline predicate
+        witness = dfa_pumping_contradiction(dfa, predicate, max_length=30)
+        assert witness is None
+
+
+# ----------------------------------------------------------------------
+# Graph-level half: cycle pumping against concrete verifiers
+# ----------------------------------------------------------------------
+class TestCyclePumping:
+    def test_accept_everything_verifier_is_fooled_on_primes(self):
+        report = prime_cardinality_fooling(constant_algorithm("1"), prime_length=23)
+        assert report.property_holds_originally
+        assert report.verifier_accepts_originally
+        assert report.fooled
+        assert report.pumped_length is not None
+        assert not is_prime(report.pumped_length)
+        assert report.verifier_accepts_pumped
+
+    def test_accept_everything_verifier_is_fooled_on_powers_of_two(self):
+        report = power_of_two_cardinality_fooling(constant_algorithm("1"), exponent=5)
+        assert report.fooled
+        assert report.pumped_length is not None
+        assert not is_power_of_two(report.pumped_length)
+
+    def test_local_window_verifier_is_fooled(self):
+        # A verifier that checks an arbitrary radius-1 local condition (here:
+        # "the node and its neighbors are all selected") cannot tell prime
+        # cycles from pumped composite ones.
+        verifier = predicate_decider(
+            1,
+            lambda view: all(view.label_of(v) == "1" for v in view.nodes),
+            name="local-window",
+        )
+        report = prime_cardinality_fooling(verifier, prime_length=29)
+        assert report.verifier_accepts_originally
+        assert report.fooled
+
+    def test_report_when_no_pair_exists(self):
+        # On a very short cycle there is no pair of indistinguishable nodes far
+        # enough apart, so the argument reports that no pumping was possible.
+        report = cycle_pumping_report(
+            constant_algorithm("1"),
+            is_prime,
+            cycle_length=5,
+            identifier_period=5,
+            view_radius=2,
+        )
+        assert report.pumped_length is None
+        assert not report.fooled
+
+    def test_prime_length_validation(self):
+        with pytest.raises(ValueError):
+            prime_cardinality_fooling(constant_algorithm("1"), prime_length=24)
+
+    def test_exponent_validation(self):
+        with pytest.raises(ValueError):
+            power_of_two_cardinality_fooling(constant_algorithm("1"), exponent=2)

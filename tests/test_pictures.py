@@ -1,0 +1,134 @@
+"""Tests for pictures, tiling systems and the picture-to-graph encoding (Section 9.2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pictures import (
+    BORDER,
+    Picture,
+    TilingSystem,
+    all_ones_system,
+    grid_graph_to_picture,
+    has_one_in_top_row,
+    is_all_ones_picture,
+    is_square_picture,
+    picture_structure,
+    picture_to_grid_graph,
+    square_pictures_system,
+    top_row_has_one_system,
+)
+import repro.properties as props
+
+
+def all_pictures(height, width):
+    """All 1-bit pictures of the given size."""
+    for choice in itertools.product("01", repeat=height * width):
+        rows = [tuple(choice[r * width : (r + 1) * width]) for r in range(height)]
+        yield Picture(bits=1, rows=tuple(rows))
+
+
+class TestPicture:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Picture(bits=1, rows=())
+        with pytest.raises(ValueError):
+            Picture(bits=1, rows=(("0", "1"), ("0",)))
+        with pytest.raises(ValueError):
+            Picture(bits=2, rows=(("0",),))
+
+    def test_figure14_structure(self):
+        picture = Picture.from_rows([["00", "01", "00", "01"], ["10", "11", "10", "11"], ["00", "01", "00", "01"]])
+        structure = picture_structure(picture)
+        assert structure.cardinality() == 12
+        assert structure.signature == (2, 2)
+        # Vertical successor: (0,0) -> (1,0); horizontal: (0,0) -> (0,1).
+        assert structure.in_binary(1, (0, 0), (1, 0))
+        assert structure.in_binary(2, (0, 0), (0, 1))
+        assert not structure.in_binary(1, (0, 0), (0, 1))
+        # The second bit of the entry at (0, 1) is 1.
+        assert (0, 1) in structure.unary(2)
+        assert (0, 0) not in structure.unary(1)
+
+    def test_constant_picture(self):
+        picture = Picture.constant(2, 3, "1")
+        assert picture.size() == (2, 3)
+        assert is_all_ones_picture(picture)
+
+
+class TestTilingSystems:
+    def test_build_validation(self):
+        with pytest.raises(ValueError):
+            TilingSystem.build(1, ["q"], [(("1", "missing"), BORDER, BORDER, BORDER)])
+
+    def test_all_ones_system_exact(self):
+        system = all_ones_system()
+        for height in (1, 2, 3):
+            for width in (1, 2):
+                for picture in all_pictures(height, width):
+                    assert system.accepts(picture) == is_all_ones_picture(picture)
+
+    def test_top_row_system_exact(self):
+        system = top_row_has_one_system()
+        for height in (1, 2):
+            for width in (1, 2, 3):
+                for picture in all_pictures(height, width):
+                    assert system.accepts(picture) == has_one_in_top_row(picture)
+
+    def test_square_system_on_rectangles(self):
+        system = square_pictures_system()
+        for height in range(1, 5):
+            for width in range(1, 5):
+                picture = Picture.constant(height, width, "0")
+                assert system.accepts(picture) == is_square_picture(picture), (height, width)
+
+    def test_square_system_ignores_entries(self):
+        system = square_pictures_system()
+        for picture in all_pictures(2, 2):
+            assert system.accepts(picture)
+
+    def test_accepting_assignment_is_returned(self):
+        system = all_ones_system()
+        picture = Picture.constant(2, 2, "1")
+        assignment = system.accepting_assignment(picture)
+        assert assignment is not None
+        assert set(assignment) == set(picture.pixels())
+
+    def test_recognized_sample(self):
+        system = all_ones_system()
+        accepted = system.recognized_sample(heights=[1, 2], widths=[1], entries=["0", "1"])
+        assert len(accepted) == 2  # the 1x1 and 2x1 all-ones pictures
+
+
+class TestGridEncoding:
+    def test_round_trip_figure14(self):
+        picture = Picture.from_rows([["00", "01", "00", "01"], ["10", "11", "10", "11"], ["00", "01", "00", "01"]])
+        graph = picture_to_grid_graph(picture)
+        assert grid_graph_to_picture(graph) == picture
+
+    def test_encoding_has_bounded_structural_degree(self):
+        picture = Picture.constant(4, 5, "10")
+        graph = picture_to_grid_graph(picture)
+        assert props.bounded_structural_degree(graph, 4 + 2 + 2)
+
+    def test_decoding_rejects_non_grids(self):
+        from repro.graphs import generators
+
+        with pytest.raises(ValueError):
+            grid_graph_to_picture(generators.cycle_graph(5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        height=st.integers(min_value=1, max_value=3),
+        width=st.integers(min_value=1, max_value=3),
+        data=st.data(),
+    )
+    def test_round_trip_property(self, height, width, data):
+        rows = []
+        for _ in range(height):
+            rows.append(
+                tuple(data.draw(st.sampled_from(["0", "1"])) for _ in range(width))
+            )
+        picture = Picture(bits=1, rows=tuple(rows))
+        assert grid_graph_to_picture(picture_to_grid_graph(picture)) == picture

@@ -1,0 +1,158 @@
+"""Tests for the ground-truth graph property checkers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators
+import repro.properties as props
+from repro.properties.base import get_property, property_registry
+from repro.properties.coloring import find_proper_coloring, _coloring_via_sat
+
+
+class TestSelectionProperties:
+    def test_all_selected(self):
+        assert props.all_selected(generators.path_graph(3, labels=["1", "1", "1"]))
+        assert not props.all_selected(generators.path_graph(3, labels=["1", "11", "1"]))
+        assert not props.all_selected(generators.path_graph(3, labels=["1", "", "1"]))
+
+    def test_not_all_selected_is_complement(self):
+        for labels in (["1", "1"], ["1", "0"], ["", ""]):
+            graph = generators.path_graph(2, labels=labels)
+            assert props.not_all_selected(graph) == (not props.all_selected(graph))
+
+    def test_one_selected(self):
+        assert props.one_selected(generators.path_graph(3, labels=["", "1", ""]))
+        assert not props.one_selected(generators.path_graph(3, labels=["1", "1", ""]))
+        assert not props.one_selected(generators.path_graph(3, labels=["", "", ""]))
+
+
+class TestColoring:
+    def test_chromatic_numbers(self):
+        assert props.chromatic_number(generators.complete_graph(4)) == 4
+        assert props.chromatic_number(generators.cycle_graph(5)) == 3
+        assert props.chromatic_number(generators.cycle_graph(6)) == 2
+        assert props.chromatic_number(generators.single_node()) == 1
+
+    def test_two_colorable_is_bipartiteness(self):
+        assert props.two_colorable(generators.cycle_graph(8))
+        assert not props.two_colorable(generators.cycle_graph(9))
+        assert props.two_colorable(generators.random_tree(9, seed=2))
+
+    def test_three_colorable(self):
+        assert props.three_colorable(generators.cycle_graph(5))
+        assert not props.three_colorable(generators.complete_graph(4))
+
+    def test_found_coloring_is_proper(self):
+        graph = generators.random_connected_graph(8, seed=5)
+        coloring = find_proper_coloring(graph, 3)
+        if coloring is not None:
+            for u, v in graph.edge_pairs():
+                assert coloring[u] != coloring[v]
+
+    def test_sat_based_coloring_agrees_with_backtracking(self):
+        for seed in range(3):
+            graph = generators.random_connected_graph(7, seed=seed)
+            assert (find_proper_coloring(graph, 3) is None) == (_coloring_via_sat(graph, 3) is None)
+
+    def test_labels_form_proper_coloring(self):
+        good = generators.cycle_graph(4, labels=["0", "1", "0", "10"])
+        bad = generators.cycle_graph(4, labels=["0", "0", "1", "10"])
+        missing = generators.cycle_graph(4, labels=["0", "1", "0", ""])
+        assert props.labels_form_proper_coloring(good, 3)
+        assert not props.labels_form_proper_coloring(bad, 3)
+        assert not props.labels_form_proper_coloring(missing, 3)
+
+
+class TestThreeRoundColoring:
+    def test_figure1(self):
+        assert not props.three_round_three_colorable(generators.figure1_no_instance())
+        assert props.three_round_three_colorable(generators.figure1_yes_instance())
+
+    def test_graph_without_low_degree_nodes_reduces_to_plain_coloring(self):
+        # With no degree-1 or degree-2 nodes, Eve colors everything herself.
+        k4 = generators.complete_graph(4)
+        assert props.three_round_three_colorable(k4) == props.three_colorable(k4)
+
+    def test_three_round_implies_three_colorable(self):
+        for graph in (
+            generators.figure1_yes_instance(),
+            generators.star_graph(3),
+            generators.path_graph(4),
+        ):
+            if props.three_round_three_colorable(graph):
+                assert props.three_colorable(graph)
+
+
+class TestCycleProperties:
+    def test_eulerian_iff_all_degrees_even(self):
+        assert props.eulerian(generators.cycle_graph(7))
+        assert not props.eulerian(generators.path_graph(5))
+        assert not props.eulerian(generators.star_graph(3))
+
+    def test_hamiltonian_examples(self):
+        assert props.hamiltonian(generators.cycle_graph(5))
+        assert props.hamiltonian(generators.complete_graph(4))
+        assert not props.hamiltonian(generators.path_graph(4))
+        assert not props.hamiltonian(generators.star_graph(3))
+
+    def test_hamiltonian_on_tiny_graphs(self):
+        assert not props.hamiltonian(generators.single_node())
+        assert not props.hamiltonian(generators.path_graph(2))
+
+    def test_acyclic(self):
+        assert props.acyclic(generators.random_tree(8, seed=0))
+        assert not props.acyclic(generators.cycle_graph(4))
+
+    def test_odd(self):
+        assert props.odd(generators.path_graph(5))
+        assert not props.odd(generators.path_graph(6))
+
+
+class TestMiscProperties:
+    def test_automorphic(self):
+        assert props.automorphic(generators.cycle_graph(5))
+        asym = generators.path_graph(3, labels=["1", "", "0"])
+        assert not props.automorphic(asym)
+
+    def test_prime_cardinality(self):
+        assert props.prime_cardinality(generators.cycle_graph(7))
+        assert not props.prime_cardinality(generators.cycle_graph(9))
+        assert not props.prime_cardinality(generators.single_node())
+
+    def test_bounded_structural_degree(self):
+        graph = generators.cycle_graph(4, labels=["11", "", "", ""])
+        assert props.bounded_structural_degree(graph, 4)
+        assert not props.bounded_structural_degree(graph, 3)
+
+
+class TestRegistry:
+    def test_registry_contains_figure7_properties(self):
+        for name in ("eulerian", "3-colorable", "hamiltonian", "automorphic", "prime"):
+            assert name in property_registry
+
+    def test_get_property_and_complement(self):
+        eulerian = get_property("eulerian")
+        assert eulerian(generators.cycle_graph(4))
+        assert not eulerian.complement()(generators.cycle_graph(4))
+
+    def test_get_property_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_property("definitely-not-a-property")
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(min_value=3, max_value=9))
+def test_cycles_are_hamiltonian_and_two_colorable_iff_even(size):
+    cycle = generators.cycle_graph(size)
+    assert props.hamiltonian(cycle)
+    assert props.two_colorable(cycle) == (size % 2 == 0)
+    assert props.eulerian(cycle)
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(min_value=2, max_value=9), seed=st.integers(min_value=0, max_value=20))
+def test_trees_are_acyclic_and_never_hamiltonian(size, seed):
+    tree = generators.random_tree(size, seed=seed)
+    assert props.acyclic(tree)
+    assert not props.hamiltonian(tree)
+    assert props.two_colorable(tree)

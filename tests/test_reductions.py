@@ -1,0 +1,206 @@
+"""Tests for the locally polynomial reductions of Section 8."""
+
+import pytest
+
+from repro.boolsat import boolean_graph_from_formulas
+from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
+from repro.machines import builtin
+from repro.reductions import (
+    AllSelectedToEulerian,
+    AllSelectedToHamiltonian,
+    LPToAllSelectedReduction,
+    NotAllSelectedToHamiltonian,
+    SatGraphToThreeSatGraph,
+    ThreeSatGraphToThreeColorable,
+    decide_through_reduction,
+    verify_cluster_map,
+    verify_reduction_equivalence,
+)
+import repro.properties as props
+
+
+def labeled_test_graphs():
+    """Labeled graphs mixing yes- and no-instances of all-selected."""
+    return [
+        generators.path_graph(3, labels=["1", "1", "1"]),
+        generators.path_graph(3, labels=["1", "0", "1"]),
+        generators.figure3_graph(),
+        generators.figure3_graph().with_uniform_label("1"),
+        generators.cycle_graph(4, labels=["1"] * 4),
+        generators.cycle_graph(4, labels=["1", "1", "11", "1"]),
+        generators.single_node("1"),
+        generators.single_node("0"),
+        generators.star_graph(3, center_label="1", leaf_label="1"),
+        generators.star_graph(3, center_label="0", leaf_label="1"),
+    ]
+
+
+class TestEulerianReduction:
+    """Proposition 18 / Figure 9: all-selected -> eulerian."""
+
+    def test_equivalence(self):
+        failures = verify_reduction_equivalence(
+            AllSelectedToEulerian(), props.all_selected, props.eulerian, labeled_test_graphs()
+        )
+        assert failures == []
+
+    def test_cluster_map_validity(self):
+        reduction = AllSelectedToEulerian()
+        for graph in labeled_test_graphs():
+            assert verify_cluster_map(reduction.apply(graph))
+
+    def test_figure9_instance(self):
+        result = AllSelectedToEulerian().apply(generators.figure9_graph())
+        assert not props.eulerian(result.output_graph)
+        assert result.output_graph.cardinality() == 6
+
+    def test_output_size_is_linear(self):
+        graph = generators.cycle_graph(6, labels=["1"] * 6)
+        result = AllSelectedToEulerian().apply(graph)
+        assert result.output_graph.cardinality() == 2 * graph.cardinality()
+
+    def test_decide_through_reduction(self):
+        reduction = AllSelectedToEulerian()
+        for graph in labeled_test_graphs():
+            assert decide_through_reduction(reduction, props.eulerian, graph) == props.all_selected(graph)
+
+
+class TestHamiltonianReduction:
+    """Proposition 19 / Figures 3 and 10: all-selected -> hamiltonian."""
+
+    def test_equivalence(self):
+        failures = verify_reduction_equivalence(
+            AllSelectedToHamiltonian(), props.all_selected, props.hamiltonian, labeled_test_graphs()
+        )
+        assert failures == []
+
+    def test_cluster_map_validity(self):
+        reduction = AllSelectedToHamiltonian()
+        for graph in labeled_test_graphs():
+            assert verify_cluster_map(reduction.apply(graph))
+
+    def test_figure3_instance_has_bad_node(self):
+        result = AllSelectedToHamiltonian().apply(generators.figure3_graph())
+        bad_nodes = [w for w in result.output_graph.nodes if w[1] == ("bad",)]
+        assert len(bad_nodes) == 1
+        assert result.output_graph.degree(bad_nodes[0]) == 1
+        assert not props.hamiltonian(result.output_graph)
+
+    def test_all_selected_figure3_variant_is_hamiltonian(self):
+        graph = generators.figure3_graph().with_uniform_label("1")
+        result = AllSelectedToHamiltonian().apply(graph)
+        assert props.hamiltonian(result.output_graph)
+
+    def test_cluster_sizes_follow_degrees(self):
+        graph = generators.star_graph(3, center_label="1", leaf_label="1")
+        result = AllSelectedToHamiltonian().apply(graph)
+        center_cluster = result.cluster_nodes("center")
+        leaf_cluster = result.cluster_nodes("leaf0")
+        assert len(center_cluster) == 6  # 2 * degree 3
+        assert len(leaf_cluster) == 3  # 2 * degree 1 + one dummy
+
+
+class TestNotAllSelectedReduction:
+    """Proposition 20 / Figure 11: not-all-selected -> hamiltonian."""
+
+    def test_equivalence_on_small_graphs(self):
+        graphs = [
+            generators.path_graph(2, labels=["1", "1"]),
+            generators.path_graph(2, labels=["1", "0"]),
+            generators.path_graph(3, labels=["1", "0", "1"]),
+            generators.cycle_graph(3, labels=["1", "1", "1"]),
+            generators.single_node("1"),
+            generators.single_node("0"),
+        ]
+        failures = verify_reduction_equivalence(
+            NotAllSelectedToHamiltonian(), props.not_all_selected, props.hamiltonian, graphs
+        )
+        assert failures == []
+
+    def test_cluster_has_two_layers(self):
+        graph = generators.path_graph(2, labels=["1", "0"])
+        result = NotAllSelectedToHamiltonian().apply(graph)
+        nodes = list(graph.nodes)
+        cluster = result.cluster_nodes(nodes[0])
+        assert len(cluster) == 2 * (2 * 1 + 3)
+        assert verify_cluster_map(result)
+
+    def test_vertical_edges_follow_labels(self):
+        graph = generators.path_graph(2, labels=["1", "0"])
+        result = NotAllSelectedToHamiltonian().apply(graph)
+        output = result.output_graph
+        selected, unselected = list(graph.nodes)
+        assert output.has_edge((unselected, ("top", "x1")), (unselected, ("bot", "x1")))
+        assert not output.has_edge((selected, ("top", "x1")), (selected, ("bot", "x1")))
+
+
+class TestLPToAllSelected:
+    """Remark 17: every LP property reduces to all-selected."""
+
+    def test_eulerian_reduces_to_all_selected(self):
+        reduction = LPToAllSelectedReduction(builtin.eulerian_decider())
+        graphs = [generators.cycle_graph(4), generators.path_graph(4), generators.star_graph(4)]
+        failures = verify_reduction_equivalence(
+            reduction, props.eulerian, props.all_selected, graphs
+        )
+        assert failures == []
+
+    def test_reduction_is_topology_preserving(self):
+        reduction = LPToAllSelectedReduction(builtin.eulerian_decider())
+        graph = generators.cycle_graph(5)
+        result = reduction.apply(graph)
+        assert result.output_graph.cardinality() == graph.cardinality()
+        assert len(result.output_graph.edges) == len(graph.edges)
+
+
+class TestSatGraphReductions:
+    """Theorem 23: sat-graph -> 3-sat-graph -> 3-colorable."""
+
+    @staticmethod
+    def boolean_test_graphs():
+        return [
+            boolean_graph_from_formulas({"u": "P1 | ~P2", "v": "P2 & P3"}, [("u", "v")]),
+            boolean_graph_from_formulas({"u": "P1 & ~P1"}, []),
+            boolean_graph_from_formulas({"u": "P1", "v": "~P1"}, [("u", "v")]),
+            boolean_graph_from_formulas({"u": "P1", "v": "~P1", "w": "P2"}, [("u", "w"), ("w", "v")]),
+        ]
+
+    def test_tseytin_step_equivalence_and_domain(self):
+        reduction = SatGraphToThreeSatGraph()
+        graphs = self.boolean_test_graphs()
+        failures = verify_reduction_equivalence(
+            reduction, props.sat_graph, props.three_sat_graph, graphs
+        )
+        assert failures == []
+        for graph in graphs:
+            assert props.three_sat_graph_domain(reduction.apply(graph).output_graph)
+
+    def test_tseytin_step_is_topology_preserving(self):
+        reduction = SatGraphToThreeSatGraph()
+        graph = self.boolean_test_graphs()[0]
+        result = reduction.apply(graph)
+        assert result.output_graph.cardinality() == graph.cardinality()
+
+    def test_coloring_step_equivalence(self):
+        to_three = SatGraphToThreeSatGraph()
+        to_coloring = ThreeSatGraphToThreeColorable()
+        graphs = [to_three.apply(g).output_graph for g in self.boolean_test_graphs()]
+        failures = verify_reduction_equivalence(
+            to_coloring, props.sat_graph, props.three_colorable, graphs
+        )
+        assert failures == []
+
+    def test_coloring_step_cluster_map(self):
+        to_three = SatGraphToThreeSatGraph()
+        to_coloring = ThreeSatGraphToThreeColorable()
+        graph = to_three.apply(self.boolean_test_graphs()[0]).output_graph
+        assert verify_cluster_map(to_coloring.apply(graph))
+
+    def test_full_pipeline_matches_sat_graph(self):
+        to_three = SatGraphToThreeSatGraph()
+        to_coloring = ThreeSatGraphToThreeColorable()
+        for graph in self.boolean_test_graphs():
+            intermediate = to_three.apply(graph).output_graph
+            final = to_coloring.apply(intermediate).output_graph
+            assert props.three_colorable(final) == props.sat_graph(graph)

@@ -1,0 +1,157 @@
+"""Tests for the separation witnesses of Section 9.1 (Propositions 24 and 26)."""
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.identifiers import is_locally_unique, sequential_identifier_assignment
+from repro.machines import builtin, execute
+from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
+from repro.separations import (
+    decider_is_fooled,
+    distance_counter_verifier,
+    counter_certificates,
+    fooling_pair,
+    hierarchy_facts,
+    lp_vs_nlp_separation_report,
+    nodes_with_equal_views,
+    pump_cycle,
+    pumping_breaks_verifier,
+    separation_table,
+)
+from repro.separations.lp_vs_nlp import views_coincide
+from repro.separations.views import certified_view_signature, corresponding_verdicts_equal
+import repro.properties as props
+
+
+class TestViewSignatures:
+    def test_identical_nodes_on_symmetric_cycle(self):
+        graph = generators.cycle_graph(9)
+        from repro.graphs.identifiers import cyclic_identifier_assignment
+
+        ids = cyclic_identifier_assignment(graph, period=3)
+        pairs = nodes_with_equal_views(graph, ids, radius=1)
+        assert pairs  # period-3 identifiers on C9 create indistinguishable nodes
+
+    def test_distinct_labels_break_equality(self):
+        graph = generators.cycle_graph(6, labels=["1", "0", "1", "1", "1", "1"])
+        ids = sequential_identifier_assignment(graph)
+        assert nodes_with_equal_views(graph, ids, radius=1) == []
+
+    def test_signature_contains_certificates(self):
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        nodes = list(graph.nodes)
+        sig_plain = certified_view_signature(graph, ids, nodes[0], 1)
+        sig_cert = certified_view_signature(graph, ids, nodes[0], 1, [{u: "1" for u in nodes}])
+        assert sig_plain != sig_cert
+
+
+class TestLPvsNLP:
+    def test_fooling_pair_shape(self):
+        pair = fooling_pair(identifier_radius=2)
+        assert pair.odd_cycle.cardinality() % 2 == 1
+        assert pair.doubled_cycle.cardinality() == 2 * pair.odd_cycle.cardinality()
+        assert not props.two_colorable(pair.odd_cycle)
+        assert props.two_colorable(pair.doubled_cycle)
+
+    def test_identifier_assignments_are_locally_unique(self):
+        pair = fooling_pair(identifier_radius=2)
+        assert is_locally_unique(pair.odd_cycle, pair.odd_ids, 2)
+        assert is_locally_unique(pair.doubled_cycle, pair.doubled_ids, 2)
+
+    def test_views_coincide_below_half_length(self):
+        pair = fooling_pair(identifier_radius=3)  # odd cycle of length 7
+        assert views_coincide(pair, radius=1)
+        assert views_coincide(pair, radius=2)
+
+    def test_every_constant_round_machine_is_fooled(self):
+        pair = fooling_pair(identifier_radius=2)
+        machines = [
+            builtin.all_selected_decider(),
+            builtin.eulerian_decider(),
+            NeighborhoodGatherAlgorithm(1, lambda view: "1" if view.size() == 3 else "0"),
+        ]
+        for machine in machines:
+            assert decider_is_fooled(machine, pair)
+            assert corresponding_verdicts_equal(
+                machine,
+                pair.doubled_cycle,
+                pair.doubled_ids,
+                pair.odd_cycle,
+                pair.odd_ids,
+                pair.correspondence,
+            )
+
+    def test_separation_report(self):
+        candidate = NeighborhoodGatherAlgorithm(1, lambda view: "1", name="candidate")
+        report = lp_vs_nlp_separation_report(candidate, identifier_radius=2)
+        assert report["separation_established"]
+
+    def test_nlp_side_distinguishes_the_pair(self):
+        # 2-colorability *is* in NLP: the game arbitrates the two graphs differently.
+        from repro.hierarchy import two_colorability_spec
+
+        pair = fooling_pair(identifier_radius=1)
+        spec = two_colorability_spec()
+        assert not spec.decide(pair.odd_cycle, pair.odd_ids)
+        assert spec.decide(pair.doubled_cycle, pair.doubled_ids)
+
+    def test_fooling_pair_validation(self):
+        with pytest.raises(ValueError):
+            fooling_pair(identifier_radius=0)
+        with pytest.raises(ValueError):
+            fooling_pair(identifier_radius=2, length=6)
+
+
+class TestColPvsNLP:
+    def test_counter_verifier_is_complete(self):
+        graph = generators.cycle_graph(12, labels=["0"] + ["1"] * 11)
+        from repro.graphs.identifiers import cyclic_identifier_assignment
+
+        ids = cyclic_identifier_assignment(graph, 3)
+        certificates = counter_certificates(graph, modulus=4)
+        verifier = distance_counter_verifier(4)
+        assert execute(verifier, graph, ids, [certificates]).accepts()
+
+    def test_counter_certificates_require_unselected_node(self):
+        with pytest.raises(ValueError):
+            counter_certificates(generators.cycle_graph(5, labels=["1"] * 5), 4)
+
+    def test_pump_cycle_removes_the_unselected_node(self):
+        graph = generators.cycle_graph(12, labels=["0"] + ["1"] * 11)
+        ids = sequential_identifier_assignment(graph)
+        certificates = {u: "0" for u in graph.nodes}
+        order = list(graph.nodes)
+        pumped = pump_cycle(graph, ids, certificates, order[3], order[9], avoid=order[0])
+        assert props.all_selected(pumped.graph)
+        assert pumped.graph.cardinality() == 6
+
+    def test_pumping_breaks_the_counter_verifier(self):
+        report = pumping_breaks_verifier(modulus=4, identifier_period=3)
+        assert report["verifier_complete"]
+        assert report["pair_found"]
+        assert report["pumped_all_selected"]
+        assert report["pumped_still_accepted"]
+        assert report["soundness_broken"]
+
+    def test_pumping_with_other_parameters(self):
+        report = pumping_breaks_verifier(modulus=2, identifier_period=3, cycle_length=24)
+        assert report["verifier_complete"]
+        if report["pair_found"]:
+            assert report["soundness_broken"]
+
+
+class TestWitnessTable:
+    def test_facts_cover_the_figure(self):
+        facts = hierarchy_facts()
+        statements = " ".join(fact.statement for fact in facts)
+        assert "LP ⊊ NLP" in statements
+        assert "coLP" in statements
+        assert len(facts) >= 8
+
+    def test_executable_witnesses_run(self):
+        rows = separation_table()
+        evidence_rows = [row for row in rows if "evidence" in row]
+        assert len(evidence_rows) >= 3
+        lp_nlp = next(row for row in rows if "LP ⊊ NLP" in row["statement"])
+        assert lp_nlp["evidence"]["separation_established"]

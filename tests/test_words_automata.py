@@ -1,0 +1,192 @@
+"""Tests for words-as-pictures and finite automata (Section 9.3 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pictures.automata import (
+    all_ones_dfa,
+    complement_dfa,
+    contains_factor_nfa,
+    dfa_from_nfa,
+    divisibility_dfa,
+    enumerate_words,
+    parity_dfa,
+    product_dfa,
+    pumped_words,
+    pumping_decomposition,
+)
+from repro.pictures.words import (
+    is_word_picture,
+    path_graph_to_word,
+    picture_to_word,
+    pump_word,
+    rotations,
+    word_to_cycle_graph,
+    word_to_path_graph,
+    word_to_picture,
+)
+
+words = st.text(alphabet="01", min_size=1, max_size=12)
+
+
+# ----------------------------------------------------------------------
+# Words <-> pictures <-> graphs
+# ----------------------------------------------------------------------
+class TestWordConversions:
+    @given(words)
+    def test_picture_round_trip(self, word):
+        assert picture_to_word(word_to_picture(word)) == word
+
+    @given(words)
+    def test_word_picture_has_one_row(self, word):
+        picture = word_to_picture(word)
+        assert is_word_picture(picture)
+        assert picture.size() == (1, len(word))
+
+    def test_multi_bit_pixels(self):
+        picture = word_to_picture("0110", bits=2)
+        assert picture.size() == (1, 2)
+        assert picture.entry(0, 0) == "01"
+        assert picture.entry(0, 1) == "10"
+
+    def test_multi_bit_requires_divisible_length(self):
+        with pytest.raises(ValueError):
+            word_to_picture("011", bits=2)
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            word_to_picture("")
+
+    def test_non_bit_word_rejected(self):
+        with pytest.raises(ValueError):
+            word_to_picture("01a")
+
+    @given(words)
+    def test_path_graph_round_trip(self, word):
+        assert path_graph_to_word(word_to_path_graph(word)) == word
+
+    def test_path_graph_structure(self):
+        graph = word_to_path_graph("0101")
+        assert graph.cardinality() == 4
+        assert sorted(graph.degree(u) for u in graph.nodes) == [1, 1, 2, 2]
+
+    def test_cycle_graph_structure(self):
+        graph = word_to_cycle_graph("01011")
+        assert graph.cardinality() == 5
+        assert all(graph.degree(u) == 2 for u in graph.nodes)
+
+    def test_cycle_graph_needs_three_nodes(self):
+        with pytest.raises(ValueError):
+            word_to_cycle_graph("01")
+
+    def test_rotations(self):
+        assert set(rotations("011")) == {"011", "110", "101"}
+
+    def test_pump_word_basic(self):
+        # word = x y z with x = "0", y = "11", z = "00"
+        assert pump_word("01100", 1, 2, 0) == "000"
+        assert pump_word("01100", 1, 2, 1) == "01100"
+        assert pump_word("01100", 1, 2, 3) == "011111100"
+
+    def test_pump_word_validates_bounds(self):
+        with pytest.raises(ValueError):
+            pump_word("0110", 3, 2, 2)
+        with pytest.raises(ValueError):
+            pump_word("0110", 0, 0, 2)
+
+
+# ----------------------------------------------------------------------
+# DFAs and NFAs
+# ----------------------------------------------------------------------
+class TestAutomata:
+    @given(words)
+    def test_parity_dfa(self, word):
+        assert parity_dfa().accepts(word) == (word.count("1") % 2 == 1)
+
+    @given(words)
+    def test_divisibility_dfa(self, word):
+        assert divisibility_dfa(3).accepts(word) == (word.count("1") % 3 == 0)
+
+    @given(words)
+    def test_all_ones_dfa(self, word):
+        assert all_ones_dfa().accepts(word) == (set(word) == {"1"})
+
+    @given(words)
+    def test_contains_factor_nfa(self, word):
+        assert contains_factor_nfa("010").accepts(word) == ("010" in word)
+
+    @given(words)
+    def test_subset_construction_preserves_language(self, word):
+        nfa = contains_factor_nfa("11")
+        assert dfa_from_nfa(nfa).accepts(word) == nfa.accepts(word)
+
+    @given(words)
+    def test_complement_dfa(self, word):
+        dfa = parity_dfa()
+        assert complement_dfa(dfa).accepts(word) == (not dfa.accepts(word))
+
+    @given(words)
+    def test_product_intersection(self, word):
+        first, second = parity_dfa(), divisibility_dfa(3)
+        product = product_dfa(first, second, mode="intersection")
+        assert product.accepts(word) == (first.accepts(word) and second.accepts(word))
+
+    @given(words)
+    def test_product_union(self, word):
+        first, second = parity_dfa(), all_ones_dfa()
+        product = product_dfa(first, second, mode="union")
+        assert product.accepts(word) == (first.accepts(word) or second.accepts(word))
+
+    def test_product_requires_same_width(self):
+        with pytest.raises(ValueError):
+            product_dfa(parity_dfa(), parity_dfa(), mode="xor")
+
+    def test_dfa_trace_length(self):
+        dfa = parity_dfa()
+        assert len(dfa.trace("0101")) == 5
+
+    def test_enumerate_words(self):
+        assert sorted(enumerate_words(2)) == ["00", "01", "10", "11"]
+        assert len(list(enumerate_words(3))) == 8
+
+
+# ----------------------------------------------------------------------
+# The pumping lemma, executably
+# ----------------------------------------------------------------------
+class TestPumpingLemma:
+    def test_short_words_give_no_decomposition(self):
+        dfa = divisibility_dfa(5)
+        assert pumping_decomposition(dfa, "1") is None
+
+    def test_decomposition_shape(self):
+        dfa = divisibility_dfa(3)
+        word = "1" * 9
+        decomposition = pumping_decomposition(dfa, word)
+        assert decomposition is not None
+        x, y, z = decomposition
+        assert x + y + z == word
+        assert y != ""
+        assert len(x + y) <= len(dfa.states)
+
+    @given(st.integers(min_value=0, max_value=5))
+    def test_pumped_words_stay_in_language(self, repetitions):
+        dfa = divisibility_dfa(3)
+        word = "1" * 9
+        decomposition = pumping_decomposition(dfa, word)
+        (pumped,) = pumped_words(decomposition, [repetitions])
+        assert dfa.accepts(pumped)
+
+    def test_pumping_preserves_acceptance_for_parity(self):
+        dfa = parity_dfa()
+        word = "10101"
+        assert dfa.accepts(word)
+        decomposition = pumping_decomposition(dfa, word)
+        for pumped in pumped_words(decomposition, [0, 1, 2, 3, 4]):
+            assert dfa.accepts(pumped)
+
+    def test_pumped_words_require_nonempty_factor(self):
+        with pytest.raises(ValueError):
+            pumped_words(("0", "", "1"), [2])
