@@ -37,7 +37,8 @@ def main() -> None:
 
     print("\n== 3. The NLP certificate game (Eve proposes colors, nodes verify) ==")
     spec = three_colorability_spec()
-    print(f"Eve wins on C5: {spec.decide(five_cycle)}")
+    print(f"Eve wins on C5: {spec.decide(five_cycle)}   (memoized game engine)")
+    print(f"...and the exhaustive oracle agrees: {spec.decide_naive(five_cycle)}")
     ids = small_identifier_assignment(five_cycle, 1)
     witness = winning_first_move(
         spec.machine, five_cycle, ids, list(spec.spaces), sigma_prefix(1)

@@ -1,0 +1,237 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+The DPLL solver of :mod:`repro.boolsat.solver` is fine for the small
+formulas of the logic layer, but the reductions produce CNF encodings with
+thousands of clauses -- most prominently the 3-coloring encodings of the
+Theorem 23 gadget graphs -- on which plain backtracking thrashes.  This
+module implements the standard modern architecture at a deliberately small
+scale:
+
+* two watched literals per clause (no work on clause visits that cannot
+  propagate),
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style variable activities with exponential decay,
+* geometric restarts (learnt clauses are kept across restarts).
+
+Literal encoding: variable ``v`` (an index) appears as literal ``2 * v``
+positively and ``2 * v + 1`` negatively; ``lit ^ 1`` negates a literal.
+The public entry points work on the named-variable
+:class:`~repro.boolsat.cnf.CNF` objects used throughout the repository and
+return named assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.boolsat.cnf import CNF
+
+_RESTART_BASE = 100
+_RESTART_FACTOR = 1.5
+_ACTIVITY_DECAY = 1.05
+_ACTIVITY_LIMIT = 1e100
+
+
+def _solve_int_clauses(clause_list: Sequence[Sequence[int]], variables: int) -> Optional[List[int]]:
+    """CDCL search on integer-literal clauses.
+
+    Returns a list mapping each variable index to 0 (false) or 1 (true), or
+    ``None`` when the instance is unsatisfiable.  Variables never touched by
+    propagation or decisions default to false.
+    """
+    watches: List[List[List[int]]] = [[] for _ in range(2 * variables)]
+    units: List[int] = []
+    clauses: List[List[int]] = []
+    for raw in clause_list:
+        clause = list(dict.fromkeys(raw))
+        if not clause:
+            return None
+        if len(clause) == 1:
+            units.append(clause[0])
+            continue
+        clauses.append(clause)
+        watches[clause[0]].append(clause)
+        watches[clause[1]].append(clause)
+
+    assign: List[int] = [-1] * variables  # -1 unassigned / 0 false / 1 true
+    level: List[int] = [0] * variables
+    reason: List[Optional[List[int]]] = [None] * variables
+    trail: List[int] = []
+    activity: List[float] = [0.0] * variables
+    activity_step = 1.0
+
+    def literal_true(literal: int) -> bool:
+        return assign[literal >> 1] == 1 - (literal & 1)
+
+    def literal_false(literal: int) -> bool:
+        return assign[literal >> 1] == (literal & 1)
+
+    def enqueue(literal: int, clause: Optional[List[int]], current_level: int) -> None:
+        variable = literal >> 1
+        assign[variable] = 1 - (literal & 1)
+        level[variable] = current_level
+        reason[variable] = clause
+        trail.append(literal)
+
+    def propagate(current_level: int, queue_head: int) -> Tuple[Optional[List[int]], int]:
+        """Unit propagation from *queue_head*; returns (conflict clause, head)."""
+        while queue_head < len(trail):
+            literal = trail[queue_head]
+            queue_head += 1
+            falsified = literal ^ 1
+            watch_list = watches[falsified]
+            index = 0
+            while index < len(watch_list):
+                clause = watch_list[index]
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if literal_true(clause[0]):
+                    index += 1
+                    continue
+                for other in range(2, len(clause)):
+                    if not literal_false(clause[other]):
+                        clause[1], clause[other] = clause[other], clause[1]
+                        watches[clause[1]].append(clause)
+                        watch_list[index] = watch_list[-1]
+                        watch_list.pop()
+                        break
+                else:
+                    if assign[clause[0] >> 1] == -1:
+                        enqueue(clause[0], clause, current_level)
+                        index += 1
+                    else:
+                        return clause, queue_head
+        return None, queue_head
+
+    def analyze(conflict: List[int], current_level: int) -> Tuple[List[int], int]:
+        """First-UIP learning: returns (learnt clause, backjump level)."""
+        nonlocal activity_step
+        learnt: List[int] = []
+        seen = [False] * variables
+        open_paths = 0
+        trail_index = len(trail) - 1
+        clause = conflict
+        expanded_variable = -1
+        while True:
+            for literal in clause:
+                variable = literal >> 1
+                if variable == expanded_variable:
+                    continue
+                if not seen[variable] and level[variable] > 0:
+                    seen[variable] = True
+                    activity[variable] += activity_step
+                    if level[variable] == current_level:
+                        open_paths += 1
+                    else:
+                        learnt.append(literal)
+            while not seen[trail[trail_index] >> 1]:
+                trail_index -= 1
+            pivot = trail[trail_index]
+            trail_index -= 1
+            variable = pivot >> 1
+            seen[variable] = False
+            open_paths -= 1
+            if open_paths == 0:
+                learnt.insert(0, pivot ^ 1)
+                break
+            expanded_variable = variable
+            clause = reason[variable]  # never None: the decision is a UIP
+        activity_step *= _ACTIVITY_DECAY
+        if activity_step > _ACTIVITY_LIMIT:
+            for index in range(variables):
+                activity[index] /= _ACTIVITY_LIMIT
+            activity_step /= _ACTIVITY_LIMIT
+        if len(learnt) == 1:
+            return learnt, 0
+        deepest = max(range(1, len(learnt)), key=lambda k: level[learnt[k] >> 1])
+        learnt[1], learnt[deepest] = learnt[deepest], learnt[1]
+        return learnt, level[learnt[1] >> 1]
+
+    def backjump(target_level: int) -> None:
+        while trail and level[trail[-1] >> 1] > target_level:
+            literal = trail.pop()
+            assign[literal >> 1] = -1
+            reason[literal >> 1] = None
+
+    # Top-level units.
+    for literal in units:
+        if literal_false(literal):
+            return None
+        if assign[literal >> 1] == -1:
+            enqueue(literal, None, 0)
+    conflict, queue_head = propagate(0, 0)
+    if conflict is not None:
+        return None
+
+    current_level = 0
+    restart_limit = _RESTART_BASE
+    conflicts_since_restart = 0
+    while True:
+        decision_variable = -1
+        best_activity = -1.0
+        for variable in range(variables):
+            if assign[variable] == -1 and activity[variable] > best_activity:
+                best_activity = activity[variable]
+                decision_variable = variable
+        if decision_variable == -1:
+            return [value if value != -1 else 0 for value in assign]
+        current_level += 1
+        enqueue(2 * decision_variable + 1, None, current_level)  # decide "false" first
+        while True:
+            conflict, queue_head = propagate(current_level, queue_head)
+            if conflict is None:
+                break
+            if current_level == 0:
+                return None
+            learnt, backjump_level = analyze(conflict, current_level)
+            conflicts_since_restart += 1
+            backjump(backjump_level)
+            queue_head = len(trail)
+            current_level = backjump_level
+            if len(learnt) == 1:
+                if literal_false(learnt[0]):
+                    return None
+                if assign[learnt[0] >> 1] == -1:
+                    enqueue(learnt[0], None, 0)
+            else:
+                clauses.append(learnt)
+                watches[learnt[0]].append(learnt)
+                watches[learnt[1]].append(learnt)
+                enqueue(learnt[0], learnt, backjump_level)
+        if conflicts_since_restart >= restart_limit:
+            conflicts_since_restart = 0
+            restart_limit = int(restart_limit * _RESTART_FACTOR)
+            backjump(0)
+            queue_head = len(trail)
+            current_level = 0
+
+
+def cdcl_satisfying_assignment(cnf: CNF) -> Optional[Dict[str, bool]]:
+    """A satisfying assignment of the CNF's variables, or ``None`` if UNSAT.
+
+    The returned assignment covers exactly ``cnf.variables()``; variables
+    the search never constrained default to ``False``.  The model is checked
+    against every clause before being returned (a cheap safety net for the
+    solver's internal invariants).
+    """
+    names = sorted(cnf.variables())
+    variable_index = {name: position for position, name in enumerate(names)}
+    int_clauses: List[List[int]] = []
+    for clause in cnf.clauses:
+        int_clauses.append(
+            [2 * variable_index[name] + (0 if polarity else 1) for name, polarity in clause]
+        )
+    values = _solve_int_clauses(int_clauses, len(names))
+    if values is None:
+        return None
+    model = {name: bool(values[variable_index[name]]) for name in names}
+    for clause in cnf.clauses:
+        if not any(model[name] == polarity for name, polarity in clause):
+            raise RuntimeError("CDCL produced a non-model; solver invariant violated")
+    return model
+
+
+def cdcl_satisfiable(cnf: CNF) -> bool:
+    """Whether the CNF is satisfiable (CDCL search)."""
+    return cdcl_satisfying_assignment(cnf) is not None

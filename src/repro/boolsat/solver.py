@@ -1,10 +1,19 @@
-"""A self-contained DPLL SAT solver.
+"""SAT solving: a reference DPLL plus the CDCL production path.
 
-The solver works on :class:`~repro.boolsat.cnf.CNF` instances or on arbitrary
-:class:`~repro.boolsat.formulas.BooleanFormula` objects (which are first run
-through the Tseytin transformation).  It implements unit propagation and pure
-literal elimination -- enough for all instances produced by the reductions in
-this repository.
+The module offers two solvers over :class:`~repro.boolsat.cnf.CNF` instances
+(or arbitrary :class:`~repro.boolsat.formulas.BooleanFormula` objects, which
+are first run through the Tseytin transformation):
+
+* a small self-contained DPLL with unit propagation and pure-literal
+  elimination, kept as an easily auditable reference implementation
+  (:func:`dpll_satisfiable`);
+* the clause-learning solver of :mod:`repro.boolsat.cdcl`, which
+  :func:`satisfying_assignment` uses so that the large CNF encodings
+  produced by the reductions (e.g. 3-coloring the Theorem 23 gadget graphs)
+  are solved in milliseconds instead of hours.
+
+Randomized tests assert that the two agree with brute force on small
+formulas.
 """
 
 from __future__ import annotations
@@ -92,17 +101,24 @@ def _dpll(clauses: List[Clause], assignment: Dict[str, bool]) -> Optional[Dict[s
 
 
 def dpll_satisfiable(value: CNF | BooleanFormula) -> bool:
-    """Whether the given CNF or Boolean formula is satisfiable."""
-    return satisfying_assignment(value) is not None
+    """Whether the given CNF or Boolean formula is satisfiable (reference DPLL)."""
+    if isinstance(value, CNF):
+        cnf_value = value
+    else:
+        cnf_value = to_cnf_tseytin(value, prefix="_tseytin")
+    return _dpll(list(cnf_value.clauses), {}) is not None
 
 
 def satisfying_assignment(value: CNF | BooleanFormula) -> Optional[Dict[str, bool]]:
     """A satisfying assignment of the original variables, or ``None``.
 
-    When a general formula is passed, Tseytin auxiliary variables are removed
-    from the returned assignment and unassigned original variables default to
-    ``False``.
+    Uses the clause-learning solver of :mod:`repro.boolsat.cdcl` (the DPLL
+    above is kept as a cross-checked reference).  When a general formula is
+    passed, Tseytin auxiliary variables are removed from the returned
+    assignment and unassigned original variables default to ``False``.
     """
+    from repro.boolsat.cdcl import cdcl_satisfying_assignment
+
     if isinstance(value, CNF):
         cnf_value = value
         original_variables = set(cnf_value.variables())
@@ -110,7 +126,7 @@ def satisfying_assignment(value: CNF | BooleanFormula) -> Optional[Dict[str, boo
         cnf_value = to_cnf_tseytin(value, prefix="_tseytin")
         original_variables = set(value.variables())
 
-    assignment = _dpll(list(cnf_value.clauses), {})
+    assignment = cdcl_satisfying_assignment(cnf_value)
     if assignment is None:
         return None
     result = {name: assignment.get(name, False) for name in original_variables}

@@ -1,0 +1,47 @@
+"""Fast certificate-game engine: memoized local views, pruning, batching.
+
+This package is the performance backbone of the repository.  The exhaustive
+game solver of :mod:`repro.hierarchy.game` re-runs the full LOCAL-model
+simulator at every leaf of the quantifier tree; the engine replaces that
+with per-node local-view evaluation built on three observations:
+
+1. **Verdicts are local.**  A node's accept/reject verdict depends only on
+   the certificate restriction to its dependency ball (the gathering radius
+   for neighborhood-gather algorithms, the round bound for arbitrary
+   machines).  :class:`~repro.engine.views.BallIndex` precomputes the balls
+   and the static part of every local view once per instance.
+2. **Leaves repeat locally.**  Adjacent leaves of the quantifier tree differ
+   in few certificates, so most per-node verdicts recur;
+   :class:`~repro.engine.evaluator.LeafEvaluator` memoizes them by
+   restriction key and short-circuits a leaf on the first rejection.
+3. **The tree repeats globally.**  Partial quantifier assignments recur
+   across game-value and winning-move queries;
+   :class:`~repro.engine.game.GameEngine` keeps a transposition cache and
+   solves the innermost level by pruned search (backtracking for ∃,
+   per-ball decomposition for ∀) instead of flat enumeration.
+
+:mod:`repro.engine.batch` adds a batch API that evaluates many
+``(graph, ids, property)`` instances at once, sharing evaluators and
+engines across them.
+
+The exhaustive solver is retained, untouched, as the reference oracle; the
+equivalence of the two is asserted by randomized tests
+(``tests/test_engine.py``).
+"""
+
+from repro.engine.views import BallIndex, RestrictionKey
+from repro.engine.evaluator import EvaluatorStats, LeafEvaluator, shared_evaluator
+from repro.engine.game import GameEngine
+from repro.engine.batch import GameInstance, decide_batch, evaluate_batch
+
+__all__ = [
+    "BallIndex",
+    "RestrictionKey",
+    "EvaluatorStats",
+    "LeafEvaluator",
+    "shared_evaluator",
+    "GameEngine",
+    "GameInstance",
+    "decide_batch",
+    "evaluate_batch",
+]

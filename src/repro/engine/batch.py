@@ -1,0 +1,130 @@
+"""Batch evaluation of many certificate-game instances.
+
+The separations, the locality comparison and the benchmark harness all ask
+the same shape of question many times over: *for each of these graphs (or
+identifier assignments, or properties), who wins the game?*  The batch API
+answers a whole list of such questions while sharing every piece of state
+that can be shared:
+
+* leaf evaluators (per-node verdict caches) are shared across instances
+  with the same ``(machine, graph, ids)`` triple, regardless of certificate
+  spaces or quantifier prefixes, via
+  :func:`repro.engine.evaluator.shared_evaluator`;
+* game engines (transposition caches) are shared across instances that also
+  agree on the certificate spaces.
+
+A :class:`GameInstance` describes one question; :func:`evaluate_batch`
+answers a sequence of them in order.  :func:`decide_batch` is the common
+special case of running one arbiter specification over many graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.hierarchy.certificate_spaces import CertificateSpace
+from repro.hierarchy.game import Quantifier
+from repro.machines.interface import NodeMachine
+
+from repro.engine.game import GameEngine
+
+
+@dataclass
+class GameInstance:
+    """One certificate-game question: a full ``(M, G, id, spaces, prefix)`` tuple.
+
+    Attributes
+    ----------
+    machine:
+        The arbiter deciding the leaves.
+    graph, ids:
+        The input graph and its identifier assignment.
+    spaces:
+        One certificate space per quantifier level.
+    prefix:
+        The quantifier prefix (``len(prefix) == len(spaces)``).
+    name:
+        Optional tag carried through to results and error messages.
+    """
+
+    machine: NodeMachine
+    graph: LabeledGraph
+    ids: Mapping[Node, str]
+    spaces: Sequence[CertificateSpace]
+    prefix: Sequence[Quantifier]
+    name: str = ""
+
+    def engine(self) -> GameEngine:
+        """A game engine for this instance (shared leaf evaluator)."""
+        return GameEngine.for_game(self.machine, self.graph, self.ids, self.spaces)
+
+
+def evaluate_batch(instances: Sequence[GameInstance]) -> List[bool]:
+    """Game values of many instances, sharing caches wherever possible.
+
+    Returns one boolean per instance, in input order.  Instances agreeing on
+    ``(machine, graph, ids, spaces)`` share a single engine (and hence its
+    transposition cache); instances agreeing only on ``(machine, graph,
+    ids)`` still share the per-node verdict cache through the evaluator
+    registry.
+    """
+    engines: Dict[Tuple[int, LabeledGraph, Tuple[str, ...], Tuple[int, ...]], GameEngine] = {}
+    values: List[bool] = []
+    for instance in instances:
+        ids_key = tuple(instance.ids[u] for u in instance.graph.nodes)
+        key = (
+            id(instance.machine),
+            instance.graph,
+            ids_key,
+            tuple(id(space) for space in instance.spaces),
+        )
+        engine = engines.get(key)
+        if engine is None:
+            engine = instance.engine()
+            engines[key] = engine
+        values.append(engine.eve_wins(instance.prefix))
+    return values
+
+
+def decide_batch(
+    spec,
+    graphs: Iterable[LabeledGraph],
+    ids_list: Optional[Sequence[Mapping[Node, str]]] = None,
+) -> List[bool]:
+    """Decide one arbiter specification on many graphs through the engine.
+
+    Parameters
+    ----------
+    spec:
+        An :class:`~repro.hierarchy.arbiters.ArbiterSpec` (or any object
+        with ``machine``, ``spaces``, ``identifier_radius`` attributes and a
+        ``prefix()`` method).
+    graphs:
+        The input graphs.
+    ids_list:
+        Optional identifier assignments, parallel to *graphs*; small locally
+        unique assignments are constructed where omitted.
+    """
+    from repro.graphs.identifiers import small_identifier_assignment
+
+    graph_list = list(graphs)
+    instances: List[GameInstance] = []
+    for index, graph in enumerate(graph_list):
+        ids = None
+        if ids_list is not None and index < len(ids_list) and ids_list[index] is not None:
+            ids = ids_list[index]
+        if ids is None:
+            ids = small_identifier_assignment(graph, spec.identifier_radius)
+        instances.append(
+            GameInstance(
+                machine=spec.machine,
+                graph=graph,
+                ids=ids,
+                spaces=list(spec.spaces),
+                prefix=spec.prefix(),
+                name=getattr(spec, "name", ""),
+            )
+        )
+    return evaluate_batch(instances)

@@ -1,0 +1,245 @@
+"""Memoized per-node verdict evaluation (the engine's leaf layer).
+
+A leaf of the certificate game asks: does ``M(G, id, kappa_1 ... kappa_l)``
+accept?  Acceptance is by unanimity, so the leaf value is the conjunction of
+per-node verdicts -- and each node's verdict depends only on the certificate
+restriction to its dependency ball (:mod:`repro.engine.views`).  The
+:class:`LeafEvaluator` exploits this twice:
+
+* **memoization** -- each node caches its verdict keyed by the restriction of
+  the certificate-list assignment to its ball.  A changed certificate only
+  invalidates (that is, produces a fresh key for) the nodes whose ball
+  contains the changed node; every other node answers from cache without any
+  simulation.
+* **short-circuiting** -- nodes are evaluated one at a time and the leaf is
+  rejected the moment a single node rejects.  A last-reject-first heuristic
+  moves the most recently rejecting node to the front of the evaluation
+  order, so that in reject-heavy regions of the quantifier tree most leaves
+  cost a single dictionary lookup.
+
+Two evaluation strategies fill cache misses:
+
+* the **direct path** (for plain
+  :class:`~repro.machines.local_algorithm.NeighborhoodGatherAlgorithm`
+  machines): the node's :class:`LocalView` is rebuilt from the precomputed
+  static parts and the machine's ``compute`` function is applied to it
+  directly, skipping the round-by-round message simulation entirely;
+* the **simulation path** (for arbitrary
+  :class:`~repro.machines.interface.NodeMachine` implementations): the
+  machine is executed on the induced subgraph of the node's radius-``R``
+  ball, where ``R`` is the machine's round bound.  Because information
+  travels at most one hop per round, the center's output on the ball equals
+  its output on the full graph.  When a ball spans the whole graph the
+  single execution is *harvested*: the verdicts of all nodes are written to
+  their respective cache slots at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.machines.interface import NodeMachine, verdict_of
+from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
+from repro.machines.simulator import execute
+
+from repro.engine.views import BallIndex, RestrictionKey
+
+
+@dataclass
+class EvaluatorStats:
+    """Counters exposed for tests and benchmarks.
+
+    Attributes
+    ----------
+    leaves:
+        Number of leaf (full-assignment) evaluations requested.
+    node_hits, node_misses:
+        Per-node verdict cache hits and misses.
+    simulator_runs:
+        Number of times the round-by-round simulator actually ran (zero on
+        the direct path).
+    """
+
+    leaves: int = 0
+    node_hits: int = 0
+    node_misses: int = 0
+    simulator_runs: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of node-verdict requests answered from cache."""
+        total = self.node_hits + self.node_misses
+        return self.node_hits / total if total else 0.0
+
+
+class LeafEvaluator:
+    """Per-node memoized evaluation of ``M(G, id, certs) ≡ accept``.
+
+    Parameters
+    ----------
+    machine:
+        The arbiter.  Plain :class:`NeighborhoodGatherAlgorithm` instances
+        take the direct path; everything else is simulated on ball subgraphs.
+    graph, ids:
+        The game instance.  Fixed for the evaluator's lifetime; the
+        certificate assignments are the only varying input.
+
+    Notes
+    -----
+    The dependency radius is the gathering radius on the direct path and
+    ``max(1, machine.max_rounds())`` on the simulation path (the ``max`` is
+    needed so that the center's true degree is visible in the ball
+    subgraph).  The direct path additionally requires the identifiers to be
+    pairwise distinct inside every radius-``(r + 1)`` ball -- the *gather
+    horizon*: the simulated gather runs ``r + 1`` communication rounds, so
+    its identifier-keyed knowledge tables span one hop beyond the view
+    radius, and a collision anywhere in that horizon can plant phantom
+    entries (e.g. an edge between two in-view identifiers reported by an
+    out-of-view name-sharing node).  When the horizon check fails the
+    evaluator silently falls back to simulation, which reproduces any such
+    collision behavior exactly (e.g. on the periodic-identifier cycles of
+    Proposition 26).
+    """
+
+    def __init__(
+        self,
+        machine: NodeMachine,
+        graph: LabeledGraph,
+        ids: Mapping[Node, str],
+    ) -> None:
+        self.machine = machine
+        self.graph = graph
+        self.ids: Dict[Node, str] = dict(ids)
+        self.stats = EvaluatorStats()
+
+        direct = type(machine) is NeighborhoodGatherAlgorithm
+        if direct and not self._ids_unique_in_horizon(graph, ids, machine.radius + 1):
+            direct = False
+        radius = machine.radius if direct else max(1, machine.max_rounds())
+        self.index = BallIndex(graph, ids, radius)
+        self.direct = direct
+
+        self._memo: Dict[Node, Dict[RestrictionKey, bool]] = {u: {} for u in graph.nodes}
+        self._order: List[Node] = list(graph.nodes)
+
+    @staticmethod
+    def _ids_unique_in_horizon(
+        graph: LabeledGraph, ids: Mapping[Node, str], horizon: int
+    ) -> bool:
+        """Whether identifiers are distinct inside every radius-``horizon`` ball."""
+        for u in graph.nodes:
+            ball = graph.ball(u, horizon)
+            if len({ids[v] for v in ball}) != len(ball):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Leaf evaluation
+    # ------------------------------------------------------------------
+    def accepts(self, assignments: Sequence[Mapping[Node, str]]) -> bool:
+        """Whether every node accepts under the given certificate assignments.
+
+        Short-circuits on the first rejecting node and moves it to the front
+        of the evaluation order for subsequent leaves.
+        """
+        self.stats.leaves += 1
+        order = self._order
+        for position, node in enumerate(order):
+            if not self.node_accepts(node, assignments):
+                if position:
+                    order.insert(0, order.pop(position))
+                return False
+        return True
+
+    def node_accepts(self, node: Node, assignments: Sequence[Mapping[Node, str]]) -> bool:
+        """The verdict of a single node, memoized by its certificate restriction.
+
+        Only the certificates of the node's dependency ball enter the cache
+        key, so assignments that differ outside the ball share one entry.
+        The node's ball must be fully covered by *assignments* (any node
+        absent from a mapping is read as carrying the empty certificate,
+        exactly as :class:`~repro.graphs.certificates.CertificateList` does).
+        """
+        key = self.index.restriction(node, assignments)
+        memo = self._memo[node]
+        verdict = memo.get(key)
+        if verdict is not None:
+            self.stats.node_hits += 1
+            return verdict
+        self.stats.node_misses += 1
+        if self.direct:
+            verdict = verdict_of(self.machine.compute(self.index.view(node, assignments)))
+        else:
+            verdict = self._simulate(node, assignments)
+        memo[key] = verdict
+        return verdict
+
+    def verdicts(self, assignments: Sequence[Mapping[Node, str]]) -> Dict[Node, bool]:
+        """All per-node verdicts (no short-circuiting; for diagnostics and tests)."""
+        return {u: self.node_accepts(u, assignments) for u in self.graph.nodes}
+
+    # ------------------------------------------------------------------
+    # Simulation path
+    # ------------------------------------------------------------------
+    def _simulate(self, node: Node, assignments: Sequence[Mapping[Node, str]]) -> bool:
+        self.stats.simulator_runs += 1
+        subgraph = self.index.ball_subgraph(node)
+        result = execute(self.machine, subgraph, self.ids, list(assignments))
+        outputs = result.outputs
+        if subgraph is self.graph:
+            # The ball spans the whole graph: one execution determines every
+            # node's verdict, so harvest them all into the cache.
+            for other, output in outputs.items():
+                other_key = self.index.restriction(other, assignments)
+                self._memo[other][other_key] = verdict_of(output)
+        return verdict_of(outputs[node])
+
+    def __repr__(self) -> str:
+        mode = "direct" if self.direct else "simulate"
+        return (
+            f"LeafEvaluator({mode}, radius={self.index.radius}, "
+            f"nodes={len(self.graph.nodes)}, stats={self.stats})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Evaluator sharing
+# ----------------------------------------------------------------------
+#: machine -> {(graph, identifier tuple): LeafEvaluator}
+_SHARED: "WeakKeyDictionary[NodeMachine, Dict[Tuple[LabeledGraph, Tuple[str, ...]], LeafEvaluator]]" = (
+    WeakKeyDictionary()
+)
+
+#: Per-machine registry bound: beyond this many distinct ``(graph, ids)``
+#: instances the oldest evaluator (and its caches) is evicted, so long
+#: sweeps over many graphs do not grow memory without limit.
+_SHARED_LIMIT = 64
+
+
+def shared_evaluator(
+    machine: NodeMachine, graph: LabeledGraph, ids: Mapping[Node, str]
+) -> LeafEvaluator:
+    """A :class:`LeafEvaluator` shared across games on the same instance.
+
+    The verdict cache depends only on ``(machine, graph, ids)`` -- not on
+    certificate spaces or quantifier prefixes -- so Sigma and Pi games, the
+    membership functions and :func:`repro.engine.batch.evaluate_batch` can
+    all reuse one evaluator.  The registry is weak in the machine and holds
+    at most ``_SHARED_LIMIT`` instances per machine (FIFO eviction).
+    Machines that do not support weak references simply get a fresh
+    evaluator each time.
+    """
+    try:
+        per_machine = _SHARED.setdefault(machine, {})
+    except TypeError:
+        return LeafEvaluator(machine, graph, ids)
+    key = (graph, tuple(ids[u] for u in graph.nodes))
+    evaluator = per_machine.get(key)
+    if evaluator is None:
+        evaluator = LeafEvaluator(machine, graph, ids)
+        while len(per_machine) >= _SHARED_LIMIT:
+            per_machine.pop(next(iter(per_machine)))
+        per_machine[key] = evaluator
+    return evaluator

@@ -1,0 +1,266 @@
+"""The fast certificate-game engine (Section 4, made to scale).
+
+:class:`GameEngine` computes the value of the Eve/Adam certificate game
+
+    Q_1 kappa_1  Q_2 kappa_2  ...  Q_l kappa_l :  M(G, id, kappa_1...kappa_l) ≡ accept
+
+for a fixed arbiter, graph and identifier assignment.  It is observationally
+equivalent to the exhaustive reference solver
+:func:`repro.hierarchy.game.eve_wins` (which is kept as the oracle the
+engine is tested against) but avoids almost all of its work:
+
+* leaves are decided by the memoizing :class:`~repro.engine.evaluator.LeafEvaluator`
+  instead of a fresh LOCAL-model simulation -- per-node verdicts are cached
+  by the certificate restriction to the node's dependency ball and the leaf
+  short-circuits on the first rejecting node;
+* a **transposition cache** stores the game value of every evaluated partial
+  quantifier assignment, so repeated positions (reached e.g. by
+  :meth:`winning_first_move` after :meth:`eve_wins`, or by Sigma and Pi
+  games sharing an engine) are answered without re-expansion;
+* the **innermost quantifier level is never enumerated as a flat product**:
+
+  - an innermost *existential* level is solved by backtracking search over
+    per-node certificate choices, pruning a branch as soon as any node whose
+    ball is fully assigned rejects (for the 3-colorability verifier this
+    turns ``3^n`` simulator runs into a proper-coloring search);
+  - an innermost *universal* level decomposes per node: a rejecting leaf
+    exists iff some node rejects under some assignment of *its ball alone*,
+    so the engine enumerates each ball's product separately -- exponential
+    in the ball size instead of the graph size.
+
+Outer levels still enumerate their assignment space (each assignment leads
+to a genuinely different subgame), but with short-circuiting and with every
+subgame below them accelerated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.hierarchy.certificate_spaces import CertificateSpace
+from repro.hierarchy.game import Quantifier, pi_prefix, sigma_prefix
+from repro.machines.interface import NodeMachine
+
+from repro.engine.evaluator import LeafEvaluator, shared_evaluator
+
+#: A certificate assignment frozen to a hashable transposition-key component:
+#: one certificate per node, in graph node order.
+FrozenAssignment = Tuple[str, ...]
+
+
+class GameEngine:
+    """Fast solver for the certificate game of a fixed ``(M, G, id)`` instance.
+
+    Parameters
+    ----------
+    machine:
+        The locally polynomial arbiter.
+    graph, ids:
+        The input graph and its identifier assignment.
+    spaces:
+        One finite :class:`CertificateSpace` per quantifier level.
+    evaluator:
+        Optionally, a pre-built (possibly shared) :class:`LeafEvaluator`
+        for the same ``(machine, graph, ids)`` triple.
+
+    Use :meth:`for_game` to construct an engine whose leaf evaluator is
+    shared process-wide across games on the same instance.
+    """
+
+    def __init__(
+        self,
+        machine: NodeMachine,
+        graph: LabeledGraph,
+        ids: Mapping[Node, str],
+        spaces: Sequence[CertificateSpace],
+        evaluator: Optional[LeafEvaluator] = None,
+    ) -> None:
+        self.machine = machine
+        self.graph = graph
+        self.ids: Dict[Node, str] = dict(ids)
+        self.spaces: List[CertificateSpace] = list(spaces)
+        self.evaluator = evaluator or LeafEvaluator(machine, graph, ids)
+        self.nodes: List[Node] = list(graph.nodes)
+        #: Per level, per node (in graph order): the candidate certificates.
+        self._candidates: List[List[List[str]]] = [
+            [space.node_candidates(graph, ids, u) for u in self.nodes] for space in self.spaces
+        ]
+        self._transposition: Dict[Tuple[Tuple[Quantifier, ...], Tuple[FrozenAssignment, ...]], bool] = {}
+        self._position: Dict[Node, int] = {u: i for i, u in enumerate(self.nodes)}
+        # checkable_at[i]: nodes whose ball is contained in nodes[0..i]; used
+        # by the innermost-level backtracking search.
+        self._checkable_at: List[List[Node]] = [[] for _ in self.nodes]
+        for u in self.nodes:
+            frontier = max(self._position[v] for v in self.evaluator.index.ball(u))
+            self._checkable_at[frontier].append(u)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_game(
+        cls,
+        machine: NodeMachine,
+        graph: LabeledGraph,
+        ids: Mapping[Node, str],
+        spaces: Sequence[CertificateSpace],
+    ) -> "GameEngine":
+        """An engine backed by the process-wide shared leaf evaluator."""
+        return cls(machine, graph, ids, spaces, evaluator=shared_evaluator(machine, graph, ids))
+
+    # ------------------------------------------------------------------
+    # Game values
+    # ------------------------------------------------------------------
+    def eve_wins(
+        self,
+        prefix: Sequence[Quantifier],
+        fixed: Optional[Sequence[Mapping[Node, str]]] = None,
+    ) -> bool:
+        """Whether Eve wins the game with the given quantifier prefix.
+
+        Mirrors the signature and semantics of the reference solver
+        :func:`repro.hierarchy.game.eve_wins`: *fixed* pins certificate
+        assignments for the leading quantifier levels.
+        """
+        if len(self.spaces) != len(prefix):
+            raise ValueError("there must be exactly one certificate space per quantifier")
+        chosen = [dict(assignment) for assignment in (fixed or [])]
+        return self._value(tuple(prefix), chosen)
+
+    def sigma_value(self) -> bool:
+        """Game value with Eve moving first (Sigma^lp membership)."""
+        return self.eve_wins(sigma_prefix(len(self.spaces)))
+
+    def pi_value(self) -> bool:
+        """Game value with Adam moving first (Pi^lp membership)."""
+        return self.eve_wins(pi_prefix(len(self.spaces)))
+
+    def winning_first_move(self, prefix: Sequence[Quantifier]) -> Optional[Dict[Node, str]]:
+        """A winning first move for the owner of the first quantifier, if any.
+
+        For an existential first quantifier: an assignment keeping Eve
+        winning.  For a universal one: a refuting assignment (a winning move
+        for Adam).  ``None`` when the first player has no winning move --
+        exactly the semantics of
+        :func:`repro.hierarchy.game.winning_first_move`, and the enumeration
+        order matches the reference solver's, so both return the same move.
+        """
+        if not prefix:
+            raise ValueError("the game must have at least one quantifier")
+        if len(self.spaces) != len(prefix):
+            raise ValueError("there must be exactly one certificate space per quantifier")
+        prefix = tuple(prefix)
+        for assignment in self._assignments(0):
+            value = self._value(prefix, [assignment])
+            if prefix[0] is Quantifier.EXISTS and value:
+                return dict(assignment)
+            if prefix[0] is Quantifier.FORALL and not value:
+                return dict(assignment)
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _freeze(self, assignment: Mapping[Node, str]) -> FrozenAssignment:
+        return tuple(assignment.get(u, "") for u in self.nodes)
+
+    def _assignments(self, level: int) -> Iterator[Dict[Node, str]]:
+        """All assignments of one level, in the reference solver's order."""
+        for combination in itertools.product(*self._candidates[level]):
+            yield dict(zip(self.nodes, combination))
+
+    def _value(self, prefix: Tuple[Quantifier, ...], chosen: List[Dict[Node, str]]) -> bool:
+        depth = len(chosen)
+        if depth == len(prefix):
+            return self.evaluator.accepts(chosen)
+
+        key = (prefix[depth:], tuple(self._freeze(a) for a in chosen))
+        cached = self._transposition.get(key)
+        if cached is not None:
+            return cached
+
+        quantifier = prefix[depth]
+        if depth == len(prefix) - 1:
+            value = self._innermost(quantifier, depth, chosen)
+        elif quantifier is Quantifier.EXISTS:
+            value = any(
+                self._value(prefix, chosen + [assignment])
+                for assignment in self._assignments(depth)
+            )
+        else:
+            value = all(
+                self._value(prefix, chosen + [assignment])
+                for assignment in self._assignments(depth)
+            )
+        self._transposition[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Innermost level: pruned search instead of flat enumeration
+    # ------------------------------------------------------------------
+    def _innermost(
+        self, quantifier: Quantifier, level: int, chosen: List[Dict[Node, str]]
+    ) -> bool:
+        candidates = self._candidates[level]
+        if any(not node_candidates for node_candidates in candidates):
+            # No assignment exists at all: the existential player is stuck,
+            # the universal statement is vacuously true (matching the empty
+            # itertools.product of the reference solver).
+            return quantifier is Quantifier.FORALL
+        if quantifier is Quantifier.EXISTS:
+            return self._exists_accepting(level, chosen, 0, {})
+        return self._forall_accepting(level, chosen)
+
+    def _exists_accepting(
+        self,
+        level: int,
+        chosen: List[Dict[Node, str]],
+        position: int,
+        partial: Dict[Node, str],
+    ) -> bool:
+        """Backtracking search for one assignment making every node accept.
+
+        Certificates are chosen node by node (in graph order); as soon as all
+        of a node's ball is assigned its verdict is checked, and the branch
+        is pruned on the first rejection.  This replaces the ``prod_u c_u``
+        flat enumeration with a classic constraint-satisfaction search.
+        """
+        if position == len(self.nodes):
+            return True
+        node = self.nodes[position]
+        assignments = chosen + [partial]
+        for certificate in self._candidates[level][position]:
+            partial[node] = certificate
+            if all(
+                self.evaluator.node_accepts(u, assignments)
+                for u in self._checkable_at[position]
+            ) and self._exists_accepting(level, chosen, position + 1, partial):
+                return True
+        del partial[node]
+        return False
+
+    def _forall_accepting(self, level: int, chosen: List[Dict[Node, str]]) -> bool:
+        """Whether every innermost assignment makes every node accept.
+
+        Decomposes per node: a rejecting leaf exists iff some node rejects
+        under some assignment of its *ball* (any completion outside the ball
+        yields a full assignment with the same verdict, and completions
+        exist because every candidate set is nonempty).  Enumerating each
+        ball's product separately is exponential in the ball size only.
+        """
+        for node in self.nodes:
+            ball = self.evaluator.index.ball(node)
+            ball_candidates = [self._candidates[level][self._position[v]] for v in ball]
+            for combination in itertools.product(*ball_candidates):
+                partial = dict(zip(ball, combination))
+                if not self.evaluator.node_accepts(node, chosen + [partial]):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"GameEngine(levels={len(self.spaces)}, nodes={len(self.nodes)}, "
+            f"transpositions={len(self._transposition)}, evaluator={self.evaluator!r})"
+        )

@@ -39,11 +39,29 @@ def _parse_element(text: str) -> ElementRef:
     return (identifier, None if position == "-" else int(position))
 
 
+def _element_sort_key(ref: ElementRef) -> Tuple[str, int, int]:
+    """Total order on element references; ``None`` positions sort first.
+
+    Plain tuple comparison would try ``int < None`` when a whole-node
+    reference meets a bit-position reference of the same owner.
+    """
+    identifier, position = ref
+    return (identifier, 0 if position is None else 1, position if position is not None else 0)
+
+
+def _tuple_sort_key(tup: TupleRef) -> Tuple[Tuple[str, int, int], ...]:
+    return tuple(_element_sort_key(ref) for ref in tup)
+
+
 def encode_relation_content(content: Mapping[str, Iterable[TupleRef]]) -> str:
-    """Serialize a per-node relation fragment into a certificate bit string."""
+    """Serialize a per-node relation fragment into a certificate bit string.
+
+    Tuples are sorted under a ``None``-safe key so the encoding is canonical
+    (equal fragments always serialize to equal bit strings).
+    """
     parts = []
     for name in sorted(content):
-        tuples = sorted(content[name])
+        tuples = sorted(content[name], key=_tuple_sort_key)
         rendered = ",".join("+".join(_render_element(ref) for ref in tup) for tup in tuples)
         parts.append(f"{name}:{rendered}")
     return encode_text(";".join(parts))

@@ -80,12 +80,39 @@ class ArbiterSpec:
         assignment is constructed; by definition of the classes the outcome
         must not depend on this choice (tests verify this on several
         assignments).
+
+        Solved through the fast :class:`~repro.engine.game.GameEngine`;
+        :meth:`decide_naive` runs the exhaustive reference solver instead.
+        """
+        return self.game_engine(graph, ids).eve_wins(self.prefix())
+
+    def decide_naive(
+        self, graph: LabeledGraph, ids: Optional[Mapping[Node, str]] = None
+    ) -> bool:
+        """Reference path: the exhaustive solver (and, at level 0, one raw execution).
+
+        Kept as the oracle the engine is cross-checked against; exponential
+        in the graph size for positive levels.
         """
         if ids is None:
             ids = small_identifier_assignment(graph, self.identifier_radius)
         if self.level == 0:
             return execute(self.machine, graph, ids).accepts()
         return eve_wins(self.machine, graph, ids, list(self.spaces), self.prefix())
+
+    def game_engine(
+        self, graph: LabeledGraph, ids: Optional[Mapping[Node, str]] = None
+    ) -> "GameEngine":
+        """A :class:`~repro.engine.game.GameEngine` for this spec on *graph*.
+
+        The engine's leaf evaluator is shared process-wide across games on
+        the same ``(machine, graph, ids)`` instance.
+        """
+        from repro.engine import GameEngine
+
+        if ids is None:
+            ids = small_identifier_assignment(graph, self.identifier_radius)
+        return GameEngine.for_game(self.machine, graph, ids, list(self.spaces))
 
     def certificates_bounded(self, graph: LabeledGraph, ids: Mapping[Node, str]) -> bool:
         """Whether every candidate certificate respects the ``(r, p)`` bound."""

@@ -1,4 +1,4 @@
-"""Exhaustive solving of the Eve/Adam certificate game (Section 4).
+"""The Eve/Adam certificate game (Section 4): reference solver and fast front.
 
 For a fixed arbiter ``M``, graph ``G``, identifier assignment ``id`` and a
 quantifier prefix ``Q_1 ... Q_l`` over certificate spaces, the game value is
@@ -7,9 +7,21 @@ quantifier prefix ``Q_1 ... Q_l`` over certificate spaces, the game value is
 
 with existential quantifiers belonging to Eve and universal ones to Adam.
 ``G`` has the arbitrated property iff Eve wins, i.e. iff the quantified
-statement is true.  The solver simply expands the quantifiers with
-short-circuiting; its cost is the product of the assignment-space sizes, so
-it is meant for the small graphs used in tests and benchmarks.
+statement is true.
+
+Two solvers live behind this interface:
+
+* :func:`eve_wins` is the **exhaustive reference oracle**: it expands the
+  quantifiers with short-circuiting and re-runs the full LOCAL-model
+  simulator at every leaf.  Its cost is the product of the assignment-space
+  sizes times a full simulation -- keep it for tiny instances and for
+  cross-checking.
+* :func:`sigma_membership`, :func:`pi_membership` and
+  :func:`winning_first_move` route through the memoizing
+  :class:`~repro.engine.game.GameEngine` (cached per-node local views,
+  leaf short-circuiting, transposition cache, pruned innermost search),
+  which is observationally equivalent and orders of magnitude faster.
+  Randomized tests (``tests/test_engine.py``) assert the equivalence.
 """
 
 from __future__ import annotations
@@ -99,8 +111,14 @@ def sigma_membership(
     ids: Mapping[Node, str],
     spaces: Sequence[CertificateSpace],
 ) -> bool:
-    """Game value with Eve moving first (membership under a Sigma^lp_l arbiter)."""
-    return eve_wins(arbiter, graph, ids, spaces, sigma_prefix(len(spaces)))
+    """Game value with Eve moving first (membership under a Sigma^lp_l arbiter).
+
+    Solved through the fast :class:`~repro.engine.game.GameEngine`; use
+    :func:`eve_wins` directly for the exhaustive reference path.
+    """
+    from repro.engine import GameEngine
+
+    return GameEngine.for_game(arbiter, graph, ids, spaces).sigma_value()
 
 
 def pi_membership(
@@ -109,8 +127,14 @@ def pi_membership(
     ids: Mapping[Node, str],
     spaces: Sequence[CertificateSpace],
 ) -> bool:
-    """Game value with Adam moving first (membership under a Pi^lp_l arbiter)."""
-    return eve_wins(arbiter, graph, ids, spaces, pi_prefix(len(spaces)))
+    """Game value with Adam moving first (membership under a Pi^lp_l arbiter).
+
+    Solved through the fast :class:`~repro.engine.game.GameEngine`; use
+    :func:`eve_wins` directly for the exhaustive reference path.
+    """
+    from repro.engine import GameEngine
+
+    return GameEngine.for_game(arbiter, graph, ids, spaces).pi_value()
 
 
 def winning_first_move(
@@ -126,14 +150,11 @@ def winning_first_move(
     keeps Eve winning; for a universal one it is a *refuting* assignment that
     makes Eve lose (i.e. a winning move for Adam).  Returns ``None`` when the
     first player has no winning move.
+
+    Solved through the fast :class:`~repro.engine.game.GameEngine`, whose
+    enumeration order matches the exhaustive solver's, so both return the
+    same move.
     """
-    if not prefix:
-        raise ValueError("the game must have at least one quantifier")
-    space = spaces[0]
-    for assignment in enumerate_assignments(space, graph, ids):
-        value = eve_wins(arbiter, graph, ids, spaces, prefix, [assignment])
-        if prefix[0] is Quantifier.EXISTS and value:
-            return dict(assignment)
-        if prefix[0] is Quantifier.FORALL and not value:
-            return dict(assignment)
-    return None
+    from repro.engine import GameEngine
+
+    return GameEngine.for_game(arbiter, graph, ids, spaces).winning_first_move(prefix)

@@ -63,14 +63,22 @@ class ProofLabelingScheme:
         certificates = self.prover(graph, ids)
         if certificates is None:
             return False
-        return execute(self.verifier, graph, ids, [certificates]).accepts()
+        return self.verify(graph, certificates, ids)
 
     def verify(self, graph: LabeledGraph, certificates: Mapping[Node, str],
                ids: Optional[Mapping[Node, str]] = None) -> bool:
-        """Run only the verifier on the given certificates."""
+        """Run only the verifier on the given certificates.
+
+        Routed through the engine's shared
+        :class:`~repro.engine.evaluator.LeafEvaluator`, so sweeps that try
+        many certificate assignments on one graph (e.g. the soundness tests)
+        reuse each node's cached verdicts instead of re-simulating.
+        """
+        from repro.engine import shared_evaluator
+
         if ids is None:
             ids = sequential_identifier_assignment(graph)
-        return execute(self.verifier, graph, ids, [dict(certificates)]).accepts()
+        return shared_evaluator(self.verifier, graph, ids).accepts([dict(certificates)])
 
     def max_certificate_length(self, graph: LabeledGraph, ids: Optional[Mapping[Node, str]] = None) -> int:
         """The longest certificate the prover assigns on *graph* (0 if it cannot prove)."""

@@ -51,15 +51,25 @@ def _coloring_via_sat(graph: LabeledGraph, colors: int) -> Optional[Dict[Node, i
     return coloring
 
 
+#: Above this many nodes, colorings are found through the CDCL SAT solver
+#: instead of plain backtracking.  The Theorem 23 gadget graphs (~1000
+#: nodes) encode SAT instances, on which backtracking without clause
+#: learning does not terminate in reasonable time.
+_SAT_COLORING_THRESHOLD = 48
+
+
 def find_proper_coloring(graph: LabeledGraph, colors: int) -> Optional[Dict[Node, int]]:
     """A proper *colors*-coloring of the graph, or ``None`` if none exists.
 
-    Backtracking with forward checking and the minimum-remaining-values
-    heuristic; fast on the sparse gadget graphs produced by the Theorem 23
-    reduction as well as on the small dense graphs used in tests.
+    Small graphs use backtracking with forward checking and the
+    minimum-remaining-values heuristic; larger graphs (notably the gadget
+    graphs produced by the Theorem 23 reduction, which embed SAT instances)
+    are routed through the CDCL SAT encoding of :func:`_coloring_via_sat`.
     """
     if colors < 1:
         return None
+    if graph.cardinality() > _SAT_COLORING_THRESHOLD:
+        return _coloring_via_sat(graph, colors)
 
     assignment: Dict[Node, int] = {}
     available: Dict[Node, set] = {u: set(range(colors)) for u in graph.nodes}

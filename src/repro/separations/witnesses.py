@@ -46,6 +46,7 @@ def _colp_vs_nlp_witness() -> Dict[str, object]:
 
 
 def _three_colorable_witness() -> Dict[str, object]:
+    from repro.engine import decide_batch
     from repro.graphs import generators
     from repro.hierarchy.arbiters import three_colorability_spec
     from repro.properties.coloring import three_colorable
@@ -53,10 +54,12 @@ def _three_colorable_witness() -> Dict[str, object]:
     spec = three_colorability_spec()
     triangle = generators.cycle_graph(3)
     k4 = generators.complete_graph(4)
+    # Both NLP games are solved in one engine batch (shared verdict caches).
+    triangle_wins, k4_wins = decide_batch(spec, [triangle, k4])
     return {
-        "triangle_in_NLP_game": spec.decide(triangle),
+        "triangle_in_NLP_game": triangle_wins,
         "triangle_3colorable": three_colorable(triangle),
-        "K4_in_NLP_game": spec.decide(k4),
+        "K4_in_NLP_game": k4_wins,
         "K4_3colorable": three_colorable(k4),
     }
 

@@ -131,7 +131,7 @@ def test_small_assignment_always_locally_unique(size, radius):
     values=st.lists(st.text(alphabet="01", max_size=4), min_size=3, max_size=3),
     second=st.lists(st.text(alphabet="01", max_size=4), min_size=3, max_size=3),
 )
-def test_certificate_list_roundtrip_property(values, second, triangle=None):
+def test_certificate_list_roundtrip_property(values, second):
     graph = generators.cycle_graph(3)
     nodes = list(graph.nodes)
     k1 = dict(zip(nodes, values))

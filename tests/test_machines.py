@@ -57,14 +57,16 @@ class TestTuringMachines:
         assert result.rounds_used == 1
 
     def test_step_limit_guards_against_runaway(self):
-        # A machine that never halts: keep moving right forever.
+        # A machine that never halts: whatever the three heads read, keep
+        # moving the internal head right (the table must cover *every*
+        # symbol triple -- missing entries mean "halt by convention").
+        import itertools
+
         transitions = {}
-        for symbol in ("⊢", "□", "#", "0", "1"):
-            transitions[("q_start", symbol, symbol, symbol)] = (
+        for symbols in itertools.product(("⊢", "□", "#", "0", "1"), repeat=3):
+            transitions[("q_start", *symbols)] = (
                 "q_start",
-                symbol,
-                symbol,
-                symbol,
+                *symbols,
                 0,
                 1,
                 0,
