@@ -21,8 +21,9 @@ from repro.separations import (
     pumping_breaks_verifier,
     separation_table,
 )
+from repro.sweep import run_scenario
 
-from conftest import report
+from conftest import benchmark_median_seconds, report, write_bench_json
 
 
 def test_lp_strictly_below_nlp(benchmark):
@@ -45,6 +46,37 @@ def test_full_separation_table(benchmark):
     report("Figure 2 / Figure 13 facts", [
         {"statement": row["statement"], "kind": row["kind"]} for row in rows
     ])
+    write_bench_json(
+        "fig02",
+        {
+            "separation_table_median_seconds": benchmark_median_seconds(benchmark),
+            "separation_table_rows": len(rows),
+        },
+    )
+
+
+def test_separations_sweep_scenario(benchmark):
+    """The Figure 2 membership games, run as a registered sweep scenario.
+
+    The sweep executor shards the scenario's instances by shared leaf
+    evaluator and answers them through the engine; the fooling-pair games
+    must come out exactly as Proposition 24 predicts (only the doubled
+    cycle is 2-colorable).
+    """
+    result = benchmark(run_scenario, "separations")
+    by_name = {r.name: r.verdict for r in result.results}
+    for radius in (1, 2):
+        assert by_name[f"2-colorable|fooling-odd-r{radius}|glued"] is False
+        assert by_name[f"2-colorable|fooling-doubled-r{radius}|glued"] is True
+    assert by_name["3-colorable|k4|small"] is False
+    assert by_name["3-colorable|fig1-yes|small"] is True
+    write_bench_json(
+        "fig02",
+        {
+            "sweep_separations_median_seconds": benchmark_median_seconds(benchmark),
+            "sweep_separations_instances": len(result.results),
+        },
+    )
 
 
 def test_engine_speedup_over_naive_game(benchmark):
@@ -86,5 +118,20 @@ def test_engine_speedup_over_naive_game(benchmark):
                 "speedup": round(speedup, 1),
             }
         ],
+    )
+    engine_median = benchmark_median_seconds(benchmark)
+    write_bench_json(
+        "fig02",
+        {
+            "engine_vs_naive": {
+                "naive_seconds": naive_seconds,
+                "engine_seconds": engine_seconds,
+                "engine_median_seconds": engine_median,
+                "speedup": round(speedup, 2),
+                "speedup_median": round(naive_seconds / engine_median, 2)
+                if engine_median
+                else None,
+            }
+        },
     )
     assert speedup >= 5.0, f"engine speedup {speedup:.1f}x below the required 5x"

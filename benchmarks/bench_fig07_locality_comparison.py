@@ -7,8 +7,9 @@ proof-labeling schemes, for the properties shown in Figure 7.
 
 from repro.locality import figure7_rows, figure7_table, all_schemes
 from repro.graphs import generators
+from repro.sweep import run_scenario
 
-from conftest import report
+from conftest import benchmark_median_seconds, report, write_bench_json
 
 
 def test_figure7_table(benchmark):
@@ -26,6 +27,38 @@ def test_figure7_table(benchmark):
     assert max(automorphic_lengths.values()) > 4 * max(odd_lengths.values()) / 3
     print()
     print(figure7_table())
+    write_bench_json(
+        "fig07",
+        {
+            "figure7_rows_median_seconds": benchmark_median_seconds(benchmark),
+            "measured_certificate_lengths": {
+                row.property_name: row.measured_certificate_lengths
+                for row in rows
+                if row.measured_certificate_lengths
+            },
+        },
+    )
+
+
+def test_locality_sweep_scenario(benchmark):
+    """The Figure 7 verification games as a registered sweep scenario.
+
+    Every proof-labeling scheme's honest certificates must be accepted on
+    every sample graph (completeness), here checked through the sharded
+    sweep executor rather than one-off verifier runs.
+    """
+    result = benchmark(run_scenario, "locality")
+    assert result.results, "the locality scenario must produce instances"
+    assert all(r.verdict for r in result.results), [
+        r.name for r in result.results if not r.verdict
+    ]
+    write_bench_json(
+        "fig07",
+        {
+            "sweep_locality_median_seconds": benchmark_median_seconds(benchmark),
+            "sweep_locality_instances": len(result.results),
+        },
+    )
 
 
 def test_proof_labeling_completeness_sweep(benchmark):

@@ -8,7 +8,17 @@ computation.  Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
+
+#: Where the machine-readable ``BENCH_<figure>.json`` files land (the repo
+#: root by default, so CI can glob and upload ``BENCH_*.json``).
+BENCH_OUTPUT_DIR = Path(
+    os.environ.get("BENCH_OUTPUT_DIR", Path(__file__).resolve().parent.parent)
+)
 
 
 def report(title: str, rows) -> None:
@@ -17,3 +27,30 @@ def report(title: str, rows) -> None:
     print(f"== {title} ==")
     for row in rows:
         print("  ", row)
+
+
+def benchmark_median_seconds(benchmark) -> float | None:
+    """The median time of a pytest-benchmark run, if stats were collected."""
+    try:
+        return benchmark.stats.stats.median
+    except AttributeError:
+        return None
+
+
+def write_bench_json(figure: str, payload: dict) -> Path:
+    """Merge *payload* into ``BENCH_<figure>.json`` (per-PR perf trajectory).
+
+    Each benchmark module contributes its own keys, so several tests can
+    extend one figure's file; existing keys are overwritten, unknown keys
+    preserved.
+    """
+    path = BENCH_OUTPUT_DIR / f"BENCH_{figure}.json"
+    merged = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text())
+        except (ValueError, OSError):
+            merged = {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return path

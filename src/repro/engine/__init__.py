@@ -32,7 +32,13 @@ equivalence of the two is asserted by randomized tests
 from repro.engine.views import BallIndex, RestrictionKey
 from repro.engine.evaluator import EvaluatorStats, LeafEvaluator, shared_evaluator
 from repro.engine.game import GameEngine
-from repro.engine.batch import GameInstance, decide_batch, evaluate_batch
+from repro.engine.batch import (
+    GameInstance,
+    IdentityKey,
+    decide_batch,
+    engine_sharing_key,
+    evaluate_batch,
+)
 
 __all__ = [
     "BallIndex",
@@ -42,6 +48,8 @@ __all__ = [
     "shared_evaluator",
     "GameEngine",
     "GameInstance",
+    "IdentityKey",
     "decide_batch",
+    "engine_sharing_key",
     "evaluate_batch",
 ]

@@ -31,6 +31,39 @@ from repro.machines.interface import NodeMachine
 from repro.engine.game import GameEngine
 
 
+class IdentityKey:
+    """A hashable identity key that keeps its referents alive.
+
+    Earlier versions keyed the engine registry by ``id(machine)`` and
+    ``id(space)``.  Raw ``id`` values may alias: once an object is garbage
+    collected its address can be handed to a brand-new object, so a caller
+    that builds instances lazily (letting machines or spaces die between
+    iterations) could silently inherit another instance's engine -- and its
+    cached game values.  This wrapper hashes and compares by identity but
+    holds strong references, so any object participating in a live cache key
+    cannot be collected and its identity cannot be reused.
+    """
+
+    __slots__ = ("objects", "_hash")
+
+    def __init__(self, *objects: object) -> None:
+        self.objects = objects
+        self._hash = hash(tuple(id(obj) for obj in objects))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IdentityKey):
+            return NotImplemented
+        return len(self.objects) == len(other.objects) and all(
+            mine is theirs for mine, theirs in zip(self.objects, other.objects)
+        )
+
+    def __repr__(self) -> str:
+        return f"IdentityKey({', '.join(type(obj).__name__ for obj in self.objects)})"
+
+
 @dataclass
 class GameInstance:
     """One certificate-game question: a full ``(M, G, id, spaces, prefix)`` tuple.
@@ -61,25 +94,39 @@ class GameInstance:
         return GameEngine.for_game(self.machine, self.graph, self.ids, self.spaces)
 
 
-def evaluate_batch(instances: Sequence[GameInstance]) -> List[bool]:
+def engine_sharing_key(instance: GameInstance) -> Tuple[IdentityKey, LabeledGraph, Tuple[str, ...]]:
+    """The key under which instances share a single :class:`GameEngine`.
+
+    Instances with equal keys agree on ``(machine, graph, ids, spaces)`` and
+    may share one engine (and hence its transposition cache).  The machine
+    and the spaces are compared by identity through :class:`IdentityKey`,
+    which pins them in memory so the key cannot alias after garbage
+    collection.
+    """
+    ids_key = tuple(instance.ids[u] for u in instance.graph.nodes)
+    return (
+        IdentityKey(instance.machine, *instance.spaces),
+        instance.graph,
+        ids_key,
+    )
+
+
+def evaluate_batch(instances: Iterable[GameInstance]) -> List[bool]:
     """Game values of many instances, sharing caches wherever possible.
 
     Returns one boolean per instance, in input order.  Instances agreeing on
     ``(machine, graph, ids, spaces)`` share a single engine (and hence its
     transposition cache); instances agreeing only on ``(machine, graph,
     ids)`` still share the per-node verdict cache through the evaluator
-    registry.
+    registry.  *instances* may be any iterable, including a lazy generator:
+    the engine registry's keys hold strong references, so identity-based
+    sharing stays sound even when the caller drops its own references
+    between iterations.
     """
-    engines: Dict[Tuple[int, LabeledGraph, Tuple[str, ...], Tuple[int, ...]], GameEngine] = {}
+    engines: Dict[Tuple[IdentityKey, LabeledGraph, Tuple[str, ...]], GameEngine] = {}
     values: List[bool] = []
     for instance in instances:
-        ids_key = tuple(instance.ids[u] for u in instance.graph.nodes)
-        key = (
-            id(instance.machine),
-            instance.graph,
-            ids_key,
-            tuple(id(space) for space in instance.spaces),
-        )
+        key = engine_sharing_key(instance)
         engine = engines.get(key)
         if engine is None:
             engine = instance.engine()
@@ -104,16 +151,26 @@ def decide_batch(
     graphs:
         The input graphs.
     ids_list:
-        Optional identifier assignments, parallel to *graphs*; small locally
-        unique assignments are constructed where omitted.
+        Optional identifier assignments, parallel to *graphs* (one entry per
+        graph; individual entries may be ``None``).  Small locally unique
+        assignments are constructed for ``None`` entries or when the whole
+        list is omitted.  A list whose length differs from the number of
+        graphs raises ``ValueError`` -- silently generating identifiers for
+        the tail would decide part of the batch on assignments the caller
+        never saw.
     """
     from repro.graphs.identifiers import small_identifier_assignment
 
     graph_list = list(graphs)
+    if ids_list is not None and len(ids_list) != len(graph_list):
+        raise ValueError(
+            f"ids_list must have one entry per graph: got {len(ids_list)} "
+            f"assignments for {len(graph_list)} graphs"
+        )
     instances: List[GameInstance] = []
     for index, graph in enumerate(graph_list):
         ids = None
-        if ids_list is not None and index < len(ids_list) and ids_list[index] is not None:
+        if ids_list is not None and ids_list[index] is not None:
             ids = ids_list[index]
         if ids is None:
             ids = small_identifier_assignment(graph, spec.identifier_radius)

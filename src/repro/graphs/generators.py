@@ -99,6 +99,29 @@ def random_tree(size: int, seed: int = 0, labels: Optional[Sequence[str]] = None
     return LabeledGraph(nodes, edges, _label_map(nodes, labels))
 
 
+def random_regular_graph(
+    degree: int, size: int, seed: int = 0, labels: Optional[Sequence[str]] = None
+) -> LabeledGraph:
+    """A random connected *degree*-regular graph on *size* nodes (via networkx).
+
+    ``degree * size`` must be even and ``degree < size``.  Random regular
+    graphs are connected with high probability for ``degree >= 3``; seeds
+    producing a disconnected sample are skipped deterministically, so the
+    result depends only on ``(degree, size, seed)``.
+    """
+    if degree < 2 or degree >= size:
+        raise ValueError("need 2 <= degree < size")
+    if (degree * size) % 2 != 0:
+        raise ValueError("degree * size must be even")
+    for attempt in range(100):
+        sample = nx.random_regular_graph(degree, size, seed=seed + attempt)
+        if nx.is_connected(sample):
+            nodes = [f"r{i}" for i in range(size)]
+            edges = [(f"r{u}", f"r{v}") for u, v in sample.edges]
+            return LabeledGraph(nodes, edges, _label_map(nodes, labels))
+    raise ValueError(f"no connected {degree}-regular graph found near seed {seed}")
+
+
 def random_connected_graph(
     size: int, edge_probability: float = 0.4, seed: int = 0, labels: Optional[Sequence[str]] = None
 ) -> LabeledGraph:

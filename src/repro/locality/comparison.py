@@ -13,9 +13,10 @@ For each of the example properties of Figure 7 the table records
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
 from repro.locality.alternation import alternation_levels, locality_band
 from repro.locality.proof_labeling import ProofLabelingScheme, all_schemes
 from repro.properties.base import property_registry
@@ -82,11 +83,24 @@ def _sample_graphs_for(scheme: ProofLabelingScheme) -> Dict[int, object]:
     return samples
 
 
-def figure7_rows() -> List[Figure7Row]:
-    """Compute the Figure 7 table rows."""
+def _figure7_plan() -> "Tuple[List[Figure7Row], list, List[int]]":
+    """The table rows plus the verification games backing their ``verified`` column.
+
+    Returns ``(rows, instances, instance_rows)`` where ``instance_rows[i]``
+    is the index of the row that instance ``i``'s verdict belongs to.
+    Deterministic (the provers are), which lets the instance list double as
+    a registered scenario for parallel workers and the persistent store.
+    """
+    from repro.engine.batch import GameInstance
+    from repro.hierarchy.game import Quantifier
+    from repro.sweep import fixed_certificate_space
+
     formula_levels = {name: str(cls) for name, cls in alternation_levels().items()}
     schemes = {scheme.property_name: scheme for scheme in all_schemes()}
     rows: List[Figure7Row] = []
+    instances: List[GameInstance] = []
+    #: parallel to *instances*: the row index whose verification it belongs to.
+    instance_rows: List[int] = []
     for name in FIGURE7_PROPERTIES:
         registered = property_registry.get(name)
         paper_alt = registered.paper_alternation_class if registered else "?"
@@ -98,8 +112,26 @@ def figure7_rows() -> List[Figure7Row]:
             measured = {}
             verified = True
             for size, graph in _sample_graphs_for(scheme).items():
-                measured[size] = scheme.max_certificate_length(graph)
-                verified = verified and scheme.prove_and_verify(graph)
+                ids = sequential_identifier_assignment(graph)
+                certificates = scheme.prover(graph, ids)
+                if certificates is None:
+                    measured[size] = 0
+                    verified = False
+                    continue
+                measured[size] = max(len(value) for value in certificates.values())
+                instances.append(
+                    GameInstance(
+                        machine=scheme.verifier,
+                        graph=graph,
+                        ids=ids,
+                        spaces=[
+                            fixed_certificate_space(certificates, name=f"honest[{scheme.name}]")
+                        ],
+                        prefix=[Quantifier.EXISTS],
+                        name=f"pls-{name}|n{size}",
+                    )
+                )
+                instance_rows.append(len(rows))
         rows.append(
             Figure7Row(
                 property_name=name,
@@ -110,6 +142,37 @@ def figure7_rows() -> List[Figure7Row]:
                 scheme_verified=verified,
             )
         )
+    return rows, instances, instance_rows
+
+
+def figure7_verification_instances() -> list:
+    """The verification games backing the table, for the scenario registry.
+
+    Registered as the built-in ``figure7-verification`` scenario in
+    :mod:`repro.sweep.scenarios`; ``figure7_rows`` runs exactly this list,
+    which is what lets it shard across worker processes by name.
+    """
+    return _figure7_plan()[1]
+
+
+def figure7_rows(jobs: int = 0, store: Union[str, object, None] = None) -> List[Figure7Row]:
+    """Compute the Figure 7 table rows.
+
+    The honest-certificate verification games of every scheme x sample pair
+    are collected into one batch and run through the sweep executor as the
+    registered ``figure7-verification`` scenario: engines are shared across
+    pairs, *jobs* > 1 shards the batch over worker processes, and *store*
+    makes re-tabulations incremental across sessions.
+    """
+    from repro.sweep import run_instances
+
+    rows, instances, instance_rows = _figure7_plan()
+    sweep = run_instances(
+        instances, jobs=jobs, store=store, scenario="figure7-verification"
+    )
+    for row_index, result in zip(instance_rows, sweep.results):
+        if not result.verdict:
+            rows[row_index].scheme_verified = False
     return rows
 
 

@@ -335,23 +335,17 @@ def non_two_colorability_scheme() -> ProofLabelingScheme:
     """
 
     def find_odd_cycle(graph: LabeledGraph) -> Optional[List[Node]]:
-        nx_graph = graph.to_networkx()
-        try:
-            cycle_basis = nx.cycle_basis(nx_graph)
-        except nx.NetworkXError:
-            return None
-        for cycle in cycle_basis:
-            if len(cycle) % 2 == 1:
-                return list(cycle)
-        # The basis may contain only even cycles although an odd cycle exists
-        # (combinations of basis cycles); fall back to a direct search.
+        # Deterministic search only: nodes in graph order, neighbors in a
+        # sorted order.  (``nx.cycle_basis`` and raw frozenset iteration
+        # depend on the process hash seed; certificate contents -- and with
+        # them the sweep store's content-addressed keys -- must not.)
         for start in graph.nodes:
             colors = {start: 0}
             stack = [start]
             parent = {start: None}
             while stack:
                 u = stack.pop()
-                for v in graph.neighbors(u):
+                for v in sorted(graph.neighbors(u), key=repr):
                     if v not in colors:
                         colors[v] = 1 - colors[u]
                         parent[v] = u

@@ -46,16 +46,21 @@ def _colp_vs_nlp_witness() -> Dict[str, object]:
 
 
 def _three_colorable_witness() -> Dict[str, object]:
-    from repro.engine import decide_batch
     from repro.graphs import generators
     from repro.hierarchy.arbiters import three_colorability_spec
     from repro.properties.coloring import three_colorable
+    from repro.sweep import instances_for_spec, run_instances
 
     spec = three_colorability_spec()
     triangle = generators.cycle_graph(3)
     k4 = generators.complete_graph(4)
-    # Both NLP games are solved in one engine batch (shared verdict caches).
-    triangle_wins, k4_wins = decide_batch(spec, [triangle, k4])
+    # Both NLP games run through the sweep executor (shared engine caches,
+    # and a persistent-store hit when a verdict store is configured).
+    sweep = run_instances(
+        instances_for_spec(spec, [("triangle", triangle), ("K4", k4)]),
+        scenario_name="figure2-3colorable",
+    )
+    triangle_wins, k4_wins = sweep.verdicts
     return {
         "triangle_in_NLP_game": triangle_wins,
         "triangle_3colorable": three_colorable(triangle),

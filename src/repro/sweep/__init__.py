@@ -1,0 +1,83 @@
+"""Sweep orchestrator: sharded parallel game evaluation over a scenario registry.
+
+Every result in the paper is answered by sweeping one question -- *who wins
+the certificate game?* -- across families of graphs, identifier assignments
+and arbiters.  This package turns such sweeps into first-class objects on
+top of :mod:`repro.engine`:
+
+* :mod:`repro.sweep.scenarios` -- a registry where a sweep is *declared* as
+  a cross-product of graph families x identifier schemes x arbiter specs x
+  quantifier prefixes, with the paper's workloads (separations, locality,
+  fagin) registered out of the box alongside new graph families (random
+  regular, grids, trees, gadgets);
+* :mod:`repro.sweep.executor` -- a sharded executor that keeps instances
+  sharing a leaf evaluator on one shard, runs shards across a
+  ``multiprocessing`` pool (with a deterministic in-process fallback), and
+  merges fresh verdicts back;
+* :mod:`repro.sweep.store` -- persistent verdict stores (SQLite or
+  append-only JSONL) keyed by the content-addressed fingerprints of
+  :mod:`repro.sweep.fingerprint`, making re-runs across sessions
+  incremental;
+* :mod:`repro.sweep.cli` -- ``python -m repro sweep <scenario> [--jobs N]
+  [--store PATH] [--json OUT]``.
+"""
+
+from repro.sweep.fingerprint import (
+    game_instance_key,
+    instance_key,
+    machine_fingerprint,
+    structural_fingerprint,
+)
+from repro.sweep.store import (
+    JsonlVerdictStore,
+    MemoryVerdictStore,
+    SQLiteVerdictStore,
+    VerdictStore,
+    open_store,
+)
+from repro.sweep.scenarios import (
+    IDENTIFIER_SCHEMES,
+    Scenario,
+    all_scenarios,
+    build_instances,
+    fixed_certificate_space,
+    get_scenario,
+    instances_for_spec,
+    register_scenario,
+    scenario_names,
+)
+from repro.sweep.executor import (
+    InstanceResult,
+    SweepResult,
+    evaluator_sharing_key,
+    run_instances,
+    run_scenario,
+    shard_indices,
+)
+
+__all__ = [
+    "game_instance_key",
+    "instance_key",
+    "machine_fingerprint",
+    "structural_fingerprint",
+    "JsonlVerdictStore",
+    "MemoryVerdictStore",
+    "SQLiteVerdictStore",
+    "VerdictStore",
+    "open_store",
+    "IDENTIFIER_SCHEMES",
+    "Scenario",
+    "all_scenarios",
+    "build_instances",
+    "fixed_certificate_space",
+    "get_scenario",
+    "instances_for_spec",
+    "register_scenario",
+    "scenario_names",
+    "InstanceResult",
+    "SweepResult",
+    "evaluator_sharing_key",
+    "run_instances",
+    "run_scenario",
+    "shard_indices",
+]

@@ -1,0 +1,113 @@
+"""Command-line front end: ``python -m repro sweep <scenario> [options]``.
+
+Examples
+--------
+List what can be swept::
+
+    python -m repro scenarios
+
+Run the CI smoke scenario on two processes against a persistent store,
+also dumping machine-readable results::
+
+    python -m repro sweep smoke --jobs 2 --store verdicts.sqlite --json out.json
+
+A second run against the same store answers everything from cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sweep.executor import run_scenario
+from repro.sweep.scenarios import all_scenarios, get_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Sweep orchestrator for the certificate-game engine.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sweep = commands.add_parser("sweep", help="run a registered sweep scenario")
+    sweep.add_argument("scenario", help="scenario name (see `python -m repro scenarios`)")
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="number of parallel worker processes (<= 1: in-process)",
+    )
+    sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent verdict store (SQLite by default, .jsonl for append-only lines)",
+    )
+    sweep.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="write the machine-readable sweep result to this file ('-' for stdout)",
+    )
+    sweep.add_argument(
+        "--limit", type=int, default=None, help="run only the first N instances"
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress the result table (summary only)"
+    )
+
+    commands.add_parser("scenarios", help="list the registered sweep scenarios")
+    return parser
+
+
+def _command_scenarios() -> int:
+    for scenario in all_scenarios():
+        count = len(scenario.instances())
+        tags = f" [{', '.join(scenario.tags)}]" if scenario.tags else ""
+        print(f"{scenario.name:<18} {count:>3} instances{tags}  {scenario.description}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    try:
+        get_scenario(args.scenario)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    result = run_scenario(
+        args.scenario, jobs=args.jobs, store=args.store, limit=args.limit
+    )
+    if args.json == "-":
+        print(result.to_json())
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+    if not args.quiet and args.json != "-":
+        print(result.table())
+    elif not args.quiet:
+        print(
+            f"{len(result.results)} instances: {result.cold_count} solved, "
+            f"{result.cached_count} from store, {result.total_seconds:.3f}s total",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "scenarios":
+            return _command_scenarios()
+        return _command_sweep(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Persistent verdict stores: re-running a sweep across sessions is incremental.
+
+A verdict store maps content-addressed instance keys
+(:func:`repro.sweep.fingerprint.instance_key`) to the boolean game value,
+plus a little provenance (instance name, solve time).  Because the key
+digests everything the game value depends on, a store entry can be trusted
+unconditionally: a changed machine, graph, identifier assignment,
+certificate space or prefix changes the key and therefore misses.
+
+Three interchangeable backends:
+
+* :class:`MemoryVerdictStore` -- a dictionary; the in-process default.
+* :class:`SQLiteVerdictStore` -- one table, keyed by digest; the default
+  on-disk backend (random access, safe concurrent readers).
+* :class:`JsonlVerdictStore` -- append-only JSON lines; trivially
+  inspectable and mergeable with ``cat``.
+
+:func:`open_store` picks a backend from the path: ``.jsonl`` / ``.ndjson``
+suffixes select the append-only file, anything else (including
+``:memory:``) selects SQLite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+#: A stored verdict: (verdict, instance name, cold solve seconds).
+StoredVerdict = Tuple[bool, str, float]
+
+
+class VerdictStore:
+    """Interface shared by all backends (also usable as a context manager)."""
+
+    def get(self, key: str) -> Optional[bool]:
+        raise NotImplementedError
+
+    def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
+        raise NotImplementedError
+
+    def put_many(self, records: Iterable[Tuple[str, bool, str, float]]) -> None:
+        for key, verdict, name, seconds in records:
+            self.put(key, verdict, name, seconds)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def items(self) -> Iterator[Tuple[str, StoredVerdict]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "VerdictStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MemoryVerdictStore(VerdictStore):
+    """A plain in-process dictionary (no persistence)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, StoredVerdict] = {}
+
+    def get(self, key: str) -> Optional[bool]:
+        record = self._data.get(key)
+        return None if record is None else record[0]
+
+    def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
+        self._data[key] = (bool(verdict), name, seconds)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items(self) -> Iterator[Tuple[str, StoredVerdict]]:
+        return iter(self._data.items())
+
+
+class SQLiteVerdictStore(VerdictStore):
+    """Verdicts in a single-table SQLite database."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        if path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS verdicts ("
+            "  key TEXT PRIMARY KEY,"
+            "  verdict INTEGER NOT NULL,"
+            "  name TEXT NOT NULL DEFAULT '',"
+            "  seconds REAL NOT NULL DEFAULT 0,"
+            "  created REAL NOT NULL"
+            ")"
+        )
+        self._connection.commit()
+
+    def get(self, key: str) -> Optional[bool]:
+        row = self._connection.execute(
+            "SELECT verdict FROM verdicts WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else bool(row[0])
+
+    def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO verdicts (key, verdict, name, seconds, created)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (key, int(bool(verdict)), name, seconds, time.time()),
+        )
+        self._connection.commit()
+
+    def put_many(self, records: Iterable[Tuple[str, bool, str, float]]) -> None:
+        now = time.time()
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO verdicts (key, verdict, name, seconds, created)"
+            " VALUES (?, ?, ?, ?, ?)",
+            [
+                (key, int(bool(verdict)), name, seconds, now)
+                for key, verdict, name, seconds in records
+            ],
+        )
+        self._connection.commit()
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute("SELECT COUNT(*) FROM verdicts").fetchone()
+        return int(count)
+
+    def items(self) -> Iterator[Tuple[str, StoredVerdict]]:
+        for key, verdict, name, seconds in self._connection.execute(
+            "SELECT key, verdict, name, seconds FROM verdicts"
+        ):
+            yield key, (bool(verdict), name, seconds)
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+class JsonlVerdictStore(VerdictStore):
+    """Append-only JSON-lines verdicts (one ``{"key": ..., "verdict": ...}`` per line).
+
+    The whole file is read once at open; later lines win on duplicate keys,
+    so two stores can be merged by concatenation.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._data: Dict[str, StoredVerdict] = {}
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    self._data[record["key"]] = (
+                        bool(record["verdict"]),
+                        record.get("name", ""),
+                        float(record.get("seconds", 0.0)),
+                    )
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def get(self, key: str) -> Optional[bool]:
+        record = self._data.get(key)
+        return None if record is None else record[0]
+
+    def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
+        self._data[key] = (bool(verdict), name, seconds)
+        self._handle.write(
+            json.dumps(
+                {"key": key, "verdict": bool(verdict), "name": name, "seconds": seconds},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        self._handle.flush()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items(self) -> Iterator[Tuple[str, StoredVerdict]]:
+        return iter(self._data.items())
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def open_store(path: Optional[str]) -> VerdictStore:
+    """Open (creating if necessary) the verdict store at *path*.
+
+    ``None`` yields a fresh :class:`MemoryVerdictStore`; a path ending in
+    ``.jsonl`` or ``.ndjson`` yields the append-only file backend; anything
+    else (including ``:memory:``) yields SQLite.
+    """
+    if path is None:
+        return MemoryVerdictStore()
+    if path != ":memory:" and os.path.splitext(path)[1] in (".jsonl", ".ndjson"):
+        return JsonlVerdictStore(path)
+    return SQLiteVerdictStore(path)

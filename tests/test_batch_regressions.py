@@ -1,0 +1,94 @@
+"""Regression tests for the batch API's cache keys and input validation."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.engine.batch import GameInstance, IdentityKey, decide_batch, evaluate_batch
+from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
+from repro.hierarchy.arbiters import three_colorability_spec
+from repro.machines import builtin
+
+
+class TestIdentityKey:
+    def test_same_objects_equal(self):
+        machine = builtin.constant_algorithm("1")
+        assert IdentityKey(machine) == IdentityKey(machine)
+        assert hash(IdentityKey(machine)) == hash(IdentityKey(machine))
+
+    def test_equal_but_distinct_objects_differ(self):
+        # Identity, not structural equality: two equal-looking machines get
+        # separate engines (their caches are not interchangeable a priori).
+        assert IdentityKey(builtin.constant_algorithm("1")) != IdentityKey(
+            builtin.constant_algorithm("1")
+        )
+
+    def test_key_pins_referents(self):
+        import weakref
+
+        machine = builtin.constant_algorithm("1")
+        finalized = []
+        weakref.finalize(machine, finalized.append, True)
+        key = IdentityKey(machine)
+        del machine
+        gc.collect()
+        assert not finalized, "a live cache key must keep its machine alive"
+        del key
+        gc.collect()
+        assert finalized
+
+
+class TestEvaluateBatchLazy:
+    def test_lazy_generator_with_dying_machines(self):
+        """Machines created and dropped mid-iteration must not alias caches.
+
+        The old ``id(machine)``-based keys could hand a freshly allocated
+        machine a dead machine's engine -- and its cached game value.  The
+        identity keys hold strong references, so every engine's machine
+        stays alive for the duration of the batch.
+        """
+        graph = generators.path_graph(3)
+        ids = sequential_identifier_assignment(graph)
+
+        def lazy_instances():
+            for round_index in range(6):
+                verdict = "1" if round_index % 2 == 0 else "0"
+                machine = builtin.constant_algorithm(verdict)
+                yield GameInstance(
+                    machine=machine, graph=graph, ids=ids, spaces=[], prefix=[]
+                )
+                del machine
+                gc.collect()
+
+        assert evaluate_batch(lazy_instances()) == [True, False, True, False, True, False]
+
+    def test_list_input_still_works(self):
+        spec = three_colorability_spec()
+        graphs = [generators.cycle_graph(3), generators.complete_graph(4)]
+        assert decide_batch(spec, graphs) == [True, False]
+
+
+class TestDecideBatchValidation:
+    def test_short_ids_list_rejected(self):
+        """A truncated ids_list used to silently fall back to generated ids."""
+        spec = three_colorability_spec()
+        graphs = [generators.cycle_graph(3), generators.cycle_graph(5)]
+        ids = sequential_identifier_assignment(graphs[0])
+        with pytest.raises(ValueError, match="one entry per graph"):
+            decide_batch(spec, graphs, ids_list=[ids])
+
+    def test_long_ids_list_rejected(self):
+        spec = three_colorability_spec()
+        graphs = [generators.cycle_graph(3)]
+        ids = sequential_identifier_assignment(graphs[0])
+        with pytest.raises(ValueError, match="one entry per graph"):
+            decide_batch(spec, graphs, ids_list=[ids, ids])
+
+    def test_none_entries_still_generate(self):
+        spec = three_colorability_spec()
+        graphs = [generators.cycle_graph(3), generators.complete_graph(4)]
+        ids = sequential_identifier_assignment(graphs[0])
+        assert decide_batch(spec, graphs, ids_list=[ids, None]) == [True, False]

@@ -1,0 +1,87 @@
+"""CLI smoke tests for ``python -m repro sweep``."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sweep.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestInProcess:
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "separations" in out
+
+    def test_sweep_smoke_with_store_and_json(self, tmp_path, capsys):
+        store = str(tmp_path / "verdicts.sqlite")
+        out_json = str(tmp_path / "result.json")
+        assert main(["sweep", "smoke", "--jobs", "2", "--store", store, "--json", out_json]) == 0
+        table = capsys.readouterr().out
+        assert "instances:" in table.splitlines()[-1]
+        payload = json.loads(open(out_json).read())
+        assert payload["scenario"] == "smoke"
+        assert payload["summary"]["instances"] == len(payload["instances"])
+        assert payload["summary"]["cold"] == payload["summary"]["instances"]
+        assert all(isinstance(i["verdict"], bool) for i in payload["instances"])
+        assert all(i["key"] for i in payload["instances"])
+
+        # Second run: everything answered from the store.
+        assert main(["sweep", "smoke", "--store", store, "--json", out_json]) == 0
+        capsys.readouterr()
+        warm = json.loads(open(out_json).read())
+        assert warm["summary"]["cached"] == warm["summary"]["instances"]
+        assert [i["verdict"] for i in warm["instances"]] == [
+            i["verdict"] for i in payload["instances"]
+        ]
+
+    def test_limit(self, tmp_path, capsys):
+        assert main(["sweep", "smoke", "--limit", "3", "--quiet"]) == 0
+
+    def test_unknown_scenario_fails(self, capsys):
+        assert main(["sweep", "definitely-not-registered"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["sweep", "smoke", "--limit", "2", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["instances"] == 2
+
+
+@pytest.mark.slow
+class TestSubprocess:
+    def test_python_dash_m_repro(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out_json = str(tmp_path / "out.json")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "sweep",
+                "smoke",
+                "--jobs",
+                "2",
+                "--store",
+                str(tmp_path / "store.sqlite"),
+                "--json",
+                out_json,
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=REPO_ROOT,
+        )
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(open(out_json).read())
+        assert payload["summary"]["instances"] > 10

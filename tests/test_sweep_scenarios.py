@@ -1,0 +1,120 @@
+"""The scenario registry: built-ins, determinism, cross-product helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.identifiers import is_locally_unique, sequential_identifier_assignment
+from repro.hierarchy.arbiters import three_colorability_spec
+from repro.hierarchy.game import Quantifier
+from repro.sweep import (
+    build_instances,
+    fixed_certificate_space,
+    get_scenario,
+    instances_for_spec,
+    register_scenario,
+    scenario_names,
+)
+from repro.sweep.fingerprint import game_instance_key
+
+BUILTIN_SCENARIOS = [
+    "smoke",
+    "separations",
+    "locality",
+    "fagin",
+    "coloring-cycles",
+    "random-regular",
+    "grids-trees",
+]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = scenario_names()
+        for name in BUILTIN_SCENARIOS:
+            assert name in names
+
+    def test_unknown_scenario_lists_known(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_registration_and_shadowing(self):
+        @register_scenario("test-tiny", "one instance")
+        def build():
+            spec = three_colorability_spec()
+            return instances_for_spec(spec, [("c3", generators.cycle_graph(3))])
+
+        assert len(build_instances("test-tiny")) == 1
+
+        @register_scenario("test-tiny", "two instances now")
+        def rebuild():
+            spec = three_colorability_spec()
+            return instances_for_spec(
+                spec, [("c3", generators.cycle_graph(3)), ("c4", generators.cycle_graph(4))]
+            )
+
+        assert len(build_instances("test-tiny")) == 2
+        assert get_scenario("test-tiny").description == "two instances now"
+
+
+@pytest.mark.parametrize("name", BUILTIN_SCENARIOS)
+class TestBuiltinScenarios:
+    def test_builds_well_formed_instances(self, name):
+        instances = build_instances(name)
+        assert len(instances) >= 5
+        seen_names = set()
+        for instance in instances:
+            assert instance.name, "every instance carries a diagnostic name"
+            seen_names.add(instance.name)
+            assert len(instance.spaces) == len(instance.prefix)
+            assert set(instance.ids) >= set(instance.graph.nodes)
+        assert len(seen_names) == len(instances), "instance names are unique"
+
+    def test_rebuild_is_deterministic(self, name):
+        # The parallel workers and the persistent store both rely on the
+        # builder producing the same instances (same content keys) again.
+        first = build_instances(name)
+        second = build_instances(name)
+        assert [i.name for i in first] == [i.name for i in second]
+        assert [game_instance_key(i) for i in first] == [
+            game_instance_key(i) for i in second
+        ]
+
+
+class TestHelpers:
+    def test_instances_for_spec_cross_product(self):
+        spec = three_colorability_spec()
+        graphs = [("c3", generators.cycle_graph(3)), ("c5", generators.cycle_graph(5))]
+        instances = instances_for_spec(spec, graphs, id_schemes=("small", "sequential"))
+        assert len(instances) == 4
+        assert instances[0].name == "3-colorable|c3|small"
+        for instance in instances:
+            assert is_locally_unique(
+                instance.graph, instance.ids, spec.identifier_radius
+            )
+
+    def test_fixed_certificate_space_pins_assignment(self):
+        graph = generators.path_graph(3)
+        ids = sequential_identifier_assignment(graph)
+        certificates = {node: format(i, "b") for i, node in enumerate(graph.nodes)}
+        space = fixed_certificate_space(certificates)
+        for node in graph.nodes:
+            assert space.node_candidates(graph, ids, node) == [certificates[node]]
+        assignments = list(space.assignments(graph, ids))
+        assert assignments == [certificates]
+
+    def test_random_regular_generator(self):
+        graph = generators.random_regular_graph(3, 8, seed=1)
+        assert graph.cardinality() == 8
+        assert all(graph.degree(u) == 3 for u in graph.nodes)
+        again = generators.random_regular_graph(3, 8, seed=1)
+        assert graph == again, "same seed, same graph"
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(3, 9, seed=0)  # odd degree sum
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(1, 5, seed=0)
+
+    def test_gadget_prefix_quantifiers(self):
+        for instance in build_instances("locality"):
+            assert list(instance.prefix) == [Quantifier.EXISTS]

@@ -1,0 +1,154 @@
+"""Verdict stores: round-trips, backend parity, and key invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
+from repro.hierarchy.certificate_spaces import bit_space, color_space
+from repro.hierarchy.game import pi_prefix, sigma_prefix
+from repro.machines import builtin
+from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
+from repro.sweep import (
+    JsonlVerdictStore,
+    MemoryVerdictStore,
+    SQLiteVerdictStore,
+    instance_key,
+    machine_fingerprint,
+    open_store,
+)
+
+
+@pytest.fixture(params=["memory", "sqlite", "jsonl"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryVerdictStore()
+    elif request.param == "sqlite":
+        with SQLiteVerdictStore(str(tmp_path / "verdicts.sqlite")) as opened:
+            yield opened
+    else:
+        with JsonlVerdictStore(str(tmp_path / "verdicts.jsonl")) as opened:
+            yield opened
+
+
+class TestStoreRoundTrip:
+    def test_get_put(self, store):
+        assert store.get("k1") is None
+        store.put("k1", True, name="inst", seconds=0.5)
+        store.put("k2", False)
+        assert store.get("k1") is True
+        assert store.get("k2") is False
+        assert len(store) == 2
+
+    def test_put_many_and_items(self, store):
+        store.put_many([("a", True, "x", 0.1), ("b", False, "y", 0.2)])
+        assert dict(store.items()) == {"a": (True, "x", 0.1), "b": (False, "y", 0.2)}
+
+    def test_overwrite_last_wins(self, store):
+        store.put("k", True)
+        store.put("k", False)
+        assert store.get("k") is False
+        assert len(store) == 1
+
+
+class TestPersistence:
+    def test_sqlite_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        with SQLiteVerdictStore(path) as first:
+            first.put("k", True, name="n", seconds=1.0)
+        with SQLiteVerdictStore(path) as second:
+            assert second.get("k") is True
+            assert len(second) == 1
+
+    def test_jsonl_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "v.jsonl")
+        with JsonlVerdictStore(path) as first:
+            first.put("k", False)
+            first.put("k2", True)
+        with JsonlVerdictStore(path) as second:
+            assert second.get("k") is False
+            assert second.get("k2") is True
+
+    def test_open_store_dispatch(self, tmp_path):
+        assert isinstance(open_store(None), MemoryVerdictStore)
+        with open_store(str(tmp_path / "a.jsonl")) as jsonl:
+            assert isinstance(jsonl, JsonlVerdictStore)
+        with open_store(str(tmp_path / "a.db")) as sqlite:
+            assert isinstance(sqlite, SQLiteVerdictStore)
+
+
+class TestKeyScheme:
+    """The content-addressed keys: stable under reconstruction, fresh on change."""
+
+    def _key(self, machine, graph=None, ids=None, spaces=None, prefix=None):
+        graph = graph if graph is not None else generators.cycle_graph(5)
+        ids = ids or sequential_identifier_assignment(graph)
+        spaces = spaces if spaces is not None else [color_space(3)]
+        prefix = prefix if prefix is not None else sigma_prefix(1)
+        return instance_key(machine, graph, ids, spaces, prefix)
+
+    def test_reconstructed_machine_same_key(self):
+        # Two independently constructed copies of the same machine must
+        # share a key, or cross-session incrementality would never hit.
+        first = self._key(builtin.three_colorability_verifier())
+        second = self._key(builtin.three_colorability_verifier())
+        assert first == second
+
+    def test_changed_machine_is_a_miss(self):
+        base = self._key(builtin.three_colorability_verifier())
+        assert base != self._key(builtin.two_colorability_verifier())
+
+    def test_changed_captured_constant_is_a_miss(self):
+        # The machines differ only in a value captured by the compute
+        # function's closure.
+        assert machine_fingerprint(builtin.constant_algorithm("1")) != machine_fingerprint(
+            builtin.constant_algorithm("0")
+        )
+
+    def test_stateless_helper_attribute_is_stable(self):
+        # A machine dragging along a stateless helper object must not leak
+        # the helper's memory address (default repr) into the key.
+        class Helper:
+            pass
+
+        def make_machine():
+            machine = NeighborhoodGatherAlgorithm(1, lambda view: "1")
+            machine.helper = Helper()
+            return machine
+
+        assert machine_fingerprint(make_machine()) == machine_fingerprint(make_machine())
+
+    def test_changed_radius_is_a_miss(self):
+        accept = lambda view: "1"
+        one = self._key(NeighborhoodGatherAlgorithm(1, accept))
+        two = self._key(NeighborhoodGatherAlgorithm(2, accept))
+        assert one != two
+
+    def test_changed_compute_body_is_a_miss(self):
+        one = self._key(NeighborhoodGatherAlgorithm(1, lambda view: "1"))
+        two = self._key(NeighborhoodGatherAlgorithm(1, lambda view: "0"))
+        assert one != two
+
+    def test_changed_graph_ids_space_prefix_are_misses(self):
+        machine = builtin.three_colorability_verifier()
+        base = self._key(machine)
+        relabeled = generators.cycle_graph(5).relabel({"c0": "1"})
+        assert base != self._key(machine, graph=relabeled)
+        other_graph = generators.cycle_graph(6)
+        assert base != self._key(machine, graph=other_graph)
+        graph = generators.cycle_graph(5)
+        shuffled = sequential_identifier_assignment(graph)
+        nodes = list(graph.nodes)
+        swapped = dict(shuffled)
+        swapped[nodes[0]], swapped[nodes[1]] = shuffled[nodes[1]], shuffled[nodes[0]]
+        assert base != self._key(machine, graph=graph, ids=swapped)
+        assert base != self._key(machine, spaces=[bit_space()])
+        assert base != self._key(machine, prefix=pi_prefix(1))
+
+    def test_store_round_trip_under_real_keys(self, store):
+        machine = builtin.three_colorability_verifier()
+        key = self._key(machine)
+        store.put(key, True, name="3-colorable|c5")
+        assert store.get(self._key(builtin.three_colorability_verifier())) is True
+        assert store.get(self._key(builtin.two_colorability_verifier())) is None
