@@ -9,7 +9,7 @@ from repro.locality import figure7_rows, figure7_table, all_schemes
 from repro.graphs import generators
 from repro.sweep import run_scenario
 
-from conftest import benchmark_median_seconds, report, write_bench_json
+from conftest import report, timed_median_seconds, write_bench_json
 
 
 def test_figure7_table(benchmark):
@@ -30,7 +30,7 @@ def test_figure7_table(benchmark):
     write_bench_json(
         "fig07",
         {
-            "figure7_rows_median_seconds": benchmark_median_seconds(benchmark),
+            "figure7_rows_median_seconds": timed_median_seconds(figure7_rows),
             "measured_certificate_lengths": {
                 row.property_name: row.measured_certificate_lengths
                 for row in rows
@@ -55,7 +55,9 @@ def test_locality_sweep_scenario(benchmark):
     write_bench_json(
         "fig07",
         {
-            "sweep_locality_median_seconds": benchmark_median_seconds(benchmark),
+            "sweep_locality_median_seconds": timed_median_seconds(
+                lambda: run_scenario("locality")
+            ),
             "sweep_locality_instances": len(result.results),
         },
     )

@@ -10,9 +10,15 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
+import time
 from pathlib import Path
+from typing import Callable, Tuple
 
 import pytest
+
+#: Minimum repeats for any median reported in a ``BENCH_*.json`` file.
+MIN_REPEATS = 3
 
 #: Where the machine-readable ``BENCH_<figure>.json`` files land (the repo
 #: root by default, so CI can glob and upload ``BENCH_*.json``).
@@ -29,8 +35,38 @@ def report(title: str, rows) -> None:
         print("  ", row)
 
 
+def timed_median_seconds(fn: Callable[[], object], repeats: int = MIN_REPEATS) -> float:
+    """The median wall time of ``fn()`` over ``>= MIN_REPEATS`` runs.
+
+    This is the canonical source of the ``*_median_seconds`` fields in the
+    ``BENCH_*.json`` files: it does not depend on pytest-benchmark having
+    collected stats (earlier versions emitted ``null`` medians whenever the
+    plugin ran in a mode without stats), so the emitted medians are always
+    real numbers.
+    """
+    return timed_median_with_result(fn, repeats)[0]
+
+
+def timed_median_with_result(
+    fn: Callable[[], object], repeats: int = MIN_REPEATS
+) -> Tuple[float, object]:
+    """Like :func:`timed_median_seconds`, also returning the last result."""
+    repeats = max(repeats, MIN_REPEATS)
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
 def benchmark_median_seconds(benchmark) -> float | None:
-    """The median time of a pytest-benchmark run, if stats were collected."""
+    """The median time of a pytest-benchmark run, if stats were collected.
+
+    Prefer :func:`timed_median_seconds` for anything written to a
+    ``BENCH_*.json`` file; this accessor is kept for display-only uses.
+    """
     try:
         return benchmark.stats.stats.median
     except AttributeError:

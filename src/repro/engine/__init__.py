@@ -24,13 +24,31 @@ with per-node local-view evaluation built on three observations:
 ``(graph, ids, property)`` instances at once, sharing evaluators and
 engines across them.
 
+On top of the three observations sits the **compiled core**
+(:mod:`repro.engine.compiled`): an instance is lowered once to flat integer
+arrays -- CSR adjacency, interned certificate codes, dependency balls as
+index arrays -- and the game runs on packed integer restriction keys
+maintained *incrementally* under assignment deltas, with table-driven leaf
+kernels for machines that declare a :mod:`repro.machines.rules` rule.
+``GameEngine.for_game`` (the production path) returns a
+:class:`~repro.engine.compiled.CompiledGameEngine`; constructing
+``GameEngine`` directly gives the self-contained PR-1 tier.
+
 The exhaustive solver is retained, untouched, as the reference oracle; the
-equivalence of the two is asserted by randomized tests
-(``tests/test_engine.py``).
+equivalence of all tiers is asserted by randomized tests
+(``tests/test_engine.py`` and ``tests/test_compiled.py``).
 """
 
+from repro.engine.caching import EvaluatorStats, LRUCache
 from repro.engine.views import BallIndex, RestrictionKey
-from repro.engine.evaluator import EvaluatorStats, LeafEvaluator, shared_evaluator
+from repro.engine.compiled import (
+    CodedState,
+    CompiledGameEngine,
+    CompiledInstance,
+    InstanceCompiler,
+    compile_instance,
+)
+from repro.engine.evaluator import LeafEvaluator, shared_evaluator
 from repro.engine.game import GameEngine
 from repro.engine.batch import (
     GameInstance,
@@ -44,6 +62,12 @@ __all__ = [
     "BallIndex",
     "RestrictionKey",
     "EvaluatorStats",
+    "LRUCache",
+    "CodedState",
+    "CompiledGameEngine",
+    "CompiledInstance",
+    "InstanceCompiler",
+    "compile_instance",
     "LeafEvaluator",
     "shared_evaluator",
     "GameEngine",

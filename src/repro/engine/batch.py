@@ -89,8 +89,14 @@ class GameInstance:
     prefix: Sequence[Quantifier]
     name: str = ""
 
-    def engine(self) -> GameEngine:
-        """A game engine for this instance (shared leaf evaluator)."""
+    def engine(self):
+        """A compiled game engine for this instance (shared compiled instance).
+
+        Routed through :meth:`GameEngine.for_game`, so instances on the same
+        ``(machine, graph, ids)`` triple share one
+        :class:`~repro.engine.compiled.CompiledInstance` -- and with it the
+        interned certificate alphabet and the per-node verdict memo.
+        """
         return GameEngine.for_game(self.machine, self.graph, self.ids, self.spaces)
 
 
@@ -123,7 +129,7 @@ def evaluate_batch(instances: Iterable[GameInstance]) -> List[bool]:
     sharing stays sound even when the caller drops its own references
     between iterations.
     """
-    engines: Dict[Tuple[IdentityKey, LabeledGraph, Tuple[str, ...]], GameEngine] = {}
+    engines: Dict[Tuple[IdentityKey, LabeledGraph, Tuple[str, ...]], object] = {}
     values: List[bool] = []
     for instance in instances:
         key = engine_sharing_key(instance)

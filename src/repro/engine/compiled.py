@@ -1,0 +1,1068 @@
+"""The compiled instance core: integer-coded games on flat arrays.
+
+The PR-1 engine wins by caching: per-node verdicts are memoized under
+string-tuple restriction keys that are *rebuilt from scratch at every leaf*,
+and cache misses reconstruct dict-heavy local views.  This module makes the
+cold path itself cheap by lowering a ``(machine, graph, ids)`` instance to
+flat integer form once and running the whole game on it:
+
+* **CSR adjacency and balls.**  Nodes become indices ``0..n-1``; adjacency
+  and dependency balls are flat index arrays, so the inner loops touch
+  machine integers instead of hashing node objects.
+* **Integer-coded certificates.**  Certificate strings are interned into a
+  per-instance alphabet; a game position is a small-int array ``kappa[level][v]
+  ∈ range(k)`` instead of dicts of strings.
+* **Incremental packed restriction keys.**  The per-node memo key -- the
+  certificate restriction to the node's ball -- is a single packed integer
+  (``shift`` bits per ball slot per level) maintained *incrementally*: an
+  assignment delta at node ``v`` updates the keys of exactly the nodes whose
+  ball contains ``v``, via precomputed ``(dependent, shift-amount)`` pairs.
+  No tuples are ever rebuilt on the game's hot path.
+* **Table-driven leaf evaluation.**  Machines carrying a declarative
+  :mod:`repro.machines.rules` rule (the coloring verifiers, degree/label
+  deciders, the tree-field proof-labeling verifiers, ...) are evaluated
+  straight off the code arrays: pairwise rules become per-node own-tables
+  plus a shared ``(label, code, label, code)`` pair table; star rules are
+  evaluated on a thin :class:`~repro.machines.rules.StarView` without any
+  LocalView reconstruction.  Machines without a rule keep the generic
+  direct-view path, and arbitrary machines fall back to ball-subgraph
+  simulation -- both memoized under the same packed keys, and all of them
+  cross-checked against the exhaustive solver by the equivalence suite.
+
+:class:`CompiledGameEngine` runs the full quantifier game on this substrate:
+level enumeration is an odometer over code arrays (one ``set_code`` delta
+per step, in exactly the reference solver's ``itertools.product`` order),
+the innermost levels reuse the PR-1 pruning strategies on coded state, and
+transposition keys are packed per-level code integers instead of frozen
+string tuples.  Caches are LRU-bounded (:mod:`repro.engine.caching`).
+
+The alphabet can grow at runtime (callers may present unseen certificate
+strings); when it outgrows the packing width the instance *rebases* --
+doubles ``shift``, bumps its ``generation`` and drops the packed-key memo.
+Generations are part of every engine's transposition key and live
+:class:`CodedState` objects resynchronize lazily, so a rebase can never
+cause a stale or aliased cache hit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.registry import WeakSharedRegistry
+from repro.hierarchy.certificate_spaces import CertificateSpace, materialize_space
+from repro.hierarchy.game import Quantifier, pi_prefix, sigma_prefix
+from repro.machines.interface import NodeMachine, verdict_of
+from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
+from repro.machines.rules import PairwiseRule, rule_of
+from repro.machines.simulator import execute
+
+from repro.engine.caching import EvaluatorStats, LRUCache, MISSING
+from repro.engine.views import BallIndex
+
+#: Default bound on the shared per-node verdict memo of a compiled instance.
+DEFAULT_LEAF_MEMO_CAP = 1 << 20
+#: Default bound on a compiled engine's transposition cache.
+DEFAULT_TRANSPOSITION_CAP = 1 << 18
+
+#: Bound on the per-instance coded-candidate cache (each entry pins one
+#: MaterializedSpace, so the cache must not grow with the number of games).
+_CANDIDATE_CACHE_LIMIT = 128
+
+
+class CompiledInstance:
+    """A ``(machine, graph, ids)`` instance lowered to flat integer arrays.
+
+    Construction performs the whole lowering: node indexing, CSR adjacency,
+    dependency balls and their inverse (the *dependents* of each node, with
+    precomputed packed-key shift amounts), the direct/simulation decision
+    (same criteria as the PR-1 evaluator: plain gather machines with
+    collision-free identifiers in the gather horizon take the direct path),
+    and kernel selection from the machine's declarative rule, if any.
+
+    The instance owns the shared per-node verdict memo (LRU-bounded, keyed
+    by ``(node, levels, packed restriction key)``) and the certificate
+    alphabet; engines and evaluators on the same instance therefore share
+    every cached verdict, exactly like the PR-1 shared leaf evaluator.
+    """
+
+    def __init__(
+        self,
+        machine: NodeMachine,
+        graph: LabeledGraph,
+        ids: Mapping[Node, str],
+        memo_cap: Optional[int] = DEFAULT_LEAF_MEMO_CAP,
+    ) -> None:
+        self.machine = machine
+        self.graph = graph
+        self.ids: Dict[Node, str] = dict(ids)
+        nodes = graph.nodes
+        self.nodes: Tuple[Node, ...] = nodes
+        self.index: Dict[Node, int] = {u: i for i, u in enumerate(nodes)}
+        n = self.n = len(nodes)
+        self.ids_list: List[str] = [self.ids[u] for u in nodes]
+        self.labels: List[str] = [graph.label(u) for u in nodes]
+
+        indptr = [0]
+        indices: List[int] = []
+        for u in nodes:
+            indices.extend(sorted(self.index[v] for v in graph.neighbors(u)))
+            indptr.append(len(indices))
+        self.adj_indptr: List[int] = indptr
+        self.adj_indices: List[int] = indices
+        self.degrees: List[int] = [indptr[i + 1] - indptr[i] for i in range(n)]
+
+        direct = type(machine) is NeighborhoodGatherAlgorithm
+        if direct and not self._ids_unique_in_horizon(machine.radius + 1):
+            direct = False
+        self.direct = direct
+        self.radius = machine.radius if direct else max(1, machine.max_rounds())
+
+        self.balls: List[Tuple[int, ...]] = [self._ball_indices(i) for i in range(n)]
+        self.ball_sizes: List[int] = [len(ball) for ball in self.balls]
+        dependents: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for u in range(n):
+            for position, v in enumerate(self.balls[u]):
+                dependents[v].append((u, position))
+        self.dependents: List[Tuple[Tuple[int, int], ...]] = [tuple(d) for d in dependents]
+
+        rule = rule_of(machine)
+        self.rule = (
+            rule
+            if direct and rule is not None and rule.radius == machine.radius
+            else None
+        )
+        self._rule_is_pairwise = isinstance(self.rule, PairwiseRule)
+        self._uniform_labels = len(set(self.labels)) <= 1
+
+        # Certificate interning.  Code 0 is the empty certificate -- the value
+        # every node implicitly carries in a freshly zeroed state.
+        self.alphabet: List[str] = [""]
+        self.code_of: Dict[str, int] = {"": 0}
+        self.shift = 4
+        self.generation = 0
+        self._dep_shifts: List[List[Tuple[Tuple[int, int], ...]]] = []
+
+        #: Per-node verdict memos, keyed by ``(packed key << 5) | levels``
+        #: (int keys hash faster than tuples on the hot path).  Bounded as a
+        #: whole by *memo_cap* with segment eviction: when full, the oldest
+        #: (insertion-ordered) half of every node's memo is dropped.
+        self.memo_nodes: List[Dict[int, bool]] = [{} for _ in range(n)]
+        self.memo_cap = memo_cap
+        self.memo_entries = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
+        #: Shared evaluation order with the last-reject-first heuristic.
+        self.order: List[int] = list(range(n))
+
+        #: Coded per-node candidate lists, cached per materialized space
+        #: (id-keyed; the entry pins the space so ids cannot alias).
+        self._candidate_cache: Dict[int, tuple] = {}
+        # Lazy fallback helpers (only the non-kernel paths touch these).
+        self._lazy_ball_index: Optional[BallIndex] = None
+        self._own_tables: List[Dict[int, bool]] = [{} for _ in range(n)]
+        self._pair_table: Dict[Tuple[str, int, str, int], bool] = {}
+        self._star_statics: Optional[List[tuple]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _ids_unique_in_horizon(self, horizon: int) -> bool:
+        # Globally unique identifiers (the common schemes) are trivially
+        # unique in every ball; only locally-unique schemes need the BFS.
+        if len(set(self.ids_list)) == self.n:
+            return True
+        graph, ids = self.graph, self.ids
+        for u in graph.nodes:
+            ball = graph.ball(u, horizon)
+            if len({ids[v] for v in ball}) != len(ball):
+                return False
+        return True
+
+    def _ball_indices(self, source: int) -> Tuple[int, ...]:
+        indptr, indices = self.adj_indptr, self.adj_indices
+        if self.radius == 0:
+            return (source,)
+        if self.radius == 1:
+            return tuple(sorted([source, *indices[indptr[source] : indptr[source + 1]]]))
+        distance = {source: 0}
+        frontier = [source]
+        depth = 0
+        while frontier and depth < self.radius:
+            next_frontier = []
+            for u in frontier:
+                for w in indices[indptr[u] : indptr[u + 1]]:
+                    if w not in distance:
+                        distance[w] = depth + 1
+                        next_frontier.append(w)
+            frontier = next_frontier
+            depth += 1
+        return tuple(sorted(distance))
+
+    # ------------------------------------------------------------------
+    # Certificate interning and packed-key plumbing
+    # ------------------------------------------------------------------
+    def intern(self, certificate: str) -> int:
+        """The integer code of a certificate string (allocating if unseen).
+
+        Allocating past the packing capacity triggers a :meth:`_rebase`;
+        callers that cached packed keys must compare :attr:`generation`.
+        """
+        code = self.code_of.get(certificate)
+        if code is None:
+            code = len(self.alphabet)
+            self.code_of[certificate] = code
+            self.alphabet.append(certificate)
+            if code >= (1 << self.shift):
+                self._rebase()
+        return code
+
+    def intern_all(self, certificates: Sequence[str]) -> List[int]:
+        return [self.intern(certificate) for certificate in certificates]
+
+    def candidate_codes(self, materialized) -> List[List[int]]:
+        """Per-node candidate code lists for a materialized space (cached).
+
+        The alphabet is interned once; per-node lists are then plain dict
+        lookups.  Results are cached per materialized space, so engines on
+        one instance that share a space also share the coded candidates.
+        """
+        cached = self._candidate_cache.get(id(materialized))
+        if cached is not None and cached[0] is materialized:
+            return cached[1]
+        for certificate in materialized.alphabet:
+            self.intern(certificate)
+        code_of = self.code_of
+        coded = [
+            [code_of[certificate] for certificate in candidates]
+            for candidates in materialized.per_node
+        ]
+        # The key is the id; the tuple pins the object so the id cannot be
+        # recycled while the entry lives.  Bounded like every other cache:
+        # beyond the cap the oldest entry (and its pin) is dropped.
+        while len(self._candidate_cache) >= _CANDIDATE_CACHE_LIMIT:
+            del self._candidate_cache[next(iter(self._candidate_cache))]
+        self._candidate_cache[id(materialized)] = (materialized, coded)
+        return coded
+
+    def _rebase(self) -> None:
+        """Double the per-slot packing width after alphabet growth.
+
+        Codes themselves are stable (so the rule tables survive); only the
+        *packed* keys change encoding, so the verdict memo is dropped and
+        the generation bumped -- transposition keys embed the generation
+        and :class:`CodedState` objects resync lazily.
+        """
+        self.shift = max(self.shift * 2, (len(self.alphabet) - 1).bit_length() + 1)
+        self.generation += 1
+        self._dep_shifts = []
+        # Int-packed pair keys ride on the shift width; drop them with the memo.
+        self._pair_table.clear()
+        self.clear_memo()
+
+    def clear_memo(self) -> None:
+        for memo in self.memo_nodes:
+            memo.clear()
+        self.memo_entries = 0
+
+    def _memo_put(self, u: int, memo_key: int, verdict: bool) -> None:
+        """Insert a verdict, evicting the oldest memo halves when full."""
+        cap = self.memo_cap
+        if cap is not None and self.memo_entries >= cap:
+            dropped = 0
+            for i, memo in enumerate(self.memo_nodes):
+                keep = len(memo) // 2
+                dropped += len(memo) - keep
+                self.memo_nodes[i] = dict(
+                    itertools.islice(memo.items(), len(memo) - keep, None)
+                )
+            self.memo_entries -= dropped
+            self.memo_evictions += dropped
+        memo = self.memo_nodes[u]
+        if memo_key not in memo:
+            self.memo_entries += 1
+        memo[memo_key] = verdict
+
+    def dep_shifts(self, level: int) -> List[Tuple[Tuple[int, int], ...]]:
+        """Per node ``v``: the ``(dependent u, shift amount)`` pairs of *level*."""
+        tables = self._dep_shifts
+        while len(tables) <= level:
+            built_level = len(tables)
+            shift = self.shift
+            sizes = self.ball_sizes
+            tables.append(
+                [
+                    tuple(
+                        (u, (position + built_level * sizes[u]) * shift)
+                        for u, position in self.dependents[v]
+                    )
+                    for v in range(self.n)
+                ]
+            )
+        return tables[level]
+
+    def new_state(self, levels: int) -> "CodedState":
+        """A zeroed coded assignment state with *levels* certificate levels."""
+        return CodedState(self, levels)
+
+    # ------------------------------------------------------------------
+    # Leaf evaluation on coded state (the engine's hot path)
+    # ------------------------------------------------------------------
+    def node_verdict_state(self, u: int, state: "CodedState", stats: EvaluatorStats) -> bool:
+        """The memoized verdict of node index *u* under *state*.
+
+        The memo key packs the levels count into the low bits of the packed
+        restriction key, so one int lookup answers repeated restrictions.
+        The miss path is deliberately flat -- kernel dispatch and the memo
+        insert are inlined, since this is the engine's innermost call.
+        """
+        levels = state.levels
+        memo_key = (state.keys[u] << 5) | levels
+        verdict = self.memo_nodes[u].get(memo_key, MISSING)
+        if verdict is not MISSING:
+            stats.node_hits += 1
+            self.memo_hits += 1
+            return verdict
+        stats.node_misses += 1
+        self.memo_misses += 1
+        rule = self._usable_rule(levels)
+        if rule is not None:
+            codes = state.codes[rule.level] if rule.level < levels else None
+            if self._rule_is_pairwise:
+                verdict = self._pairwise_codes(u, codes)
+            else:
+                verdict = rule.predicate(self._star_view(rule, u, codes))
+        elif self.direct:
+            verdict = verdict_of(
+                self.machine.compute(
+                    self.ball_index.view(self.nodes[u], self._decode(state, self.balls[u]))
+                )
+            )
+        else:
+            verdict = self._simulate(u, levels, self._decode(state, self.balls[u]), stats)
+        cap = self.memo_cap
+        if cap is None or self.memo_entries < cap:
+            # Re-fetch: _simulate's harvest may have segment-evicted and
+            # rebound the per-node memo dicts while we computed.
+            memo = self.memo_nodes[u]
+            if memo_key not in memo:
+                self.memo_entries += 1
+            memo[memo_key] = verdict
+        else:
+            self._memo_put(u, memo_key, verdict)
+        return verdict
+
+    def accepts_state(self, state: "CodedState", stats: EvaluatorStats) -> bool:
+        """Unanimity over all nodes, short-circuiting with last-reject-first."""
+        stats.leaves += 1
+        order = self.order
+        memo_nodes = self.memo_nodes
+        keys = state.keys
+        levels = state.levels
+        for position, u in enumerate(order):
+            verdict = memo_nodes[u].get((keys[u] << 5) | levels, MISSING)
+            if verdict is MISSING:
+                verdict = self.node_verdict_state(u, state, stats)
+            else:
+                stats.node_hits += 1
+                self.memo_hits += 1
+            if not verdict:
+                if position:
+                    order.insert(0, order.pop(position))
+                return False
+        return True
+
+    def _decode(
+        self, state: "CodedState", only: Optional[Tuple[int, ...]] = None
+    ) -> List[Dict[Node, str]]:
+        """The state as plain per-level certificate dicts (fallback paths only).
+
+        *only* restricts the dicts to the given node indices (a ball): the
+        view and ball-subgraph consumers never read beyond the ball, so
+        per-miss decoding stays proportional to the ball, not the graph.
+        """
+        alphabet = self.alphabet
+        nodes = self.nodes
+        indices = range(self.n) if only is None else only
+        return [
+            {nodes[v]: alphabet[codes[v]] for v in indices}
+            for codes in state.codes
+        ]
+
+    # ------------------------------------------------------------------
+    # Leaf evaluation from certificate dicts (the evaluator-facing path)
+    # ------------------------------------------------------------------
+    def key_from_dicts(self, u: int, assignments: Sequence[Mapping[Node, str]]) -> int:
+        """The packed restriction key of node *u* under dict assignments.
+
+        Interning an unseen certificate may rebase the packing; the key is
+        then recomputed under the new width (the loop converges because a
+        rebase at least doubles the capacity).
+        """
+        while True:
+            generation = self.generation
+            shift = self.shift
+            ball = self.balls[u]
+            ball_size = len(ball)
+            nodes = self.nodes
+            code_of = self.code_of
+            key = 0
+            stable = True
+            for level, assignment in enumerate(assignments):
+                base = level * ball_size
+                for position, v in enumerate(ball):
+                    certificate = assignment.get(nodes[v], "")
+                    code = code_of.get(certificate)
+                    if code is None:
+                        code = self.intern(certificate)
+                        if self.generation != generation:
+                            stable = False
+                            break
+                    key |= code << ((base + position) * shift)
+                if not stable:
+                    break
+            if stable:
+                return key
+
+    def node_verdict_dicts(
+        self, u: int, assignments: Sequence[Mapping[Node, str]], stats: EvaluatorStats
+    ) -> bool:
+        generation = self.generation
+        levels = len(assignments)
+        if levels > 31:
+            raise ValueError("at most 31 quantifier levels are supported")
+        memo_key = (self.key_from_dicts(u, assignments) << 5) | levels
+        verdict = self.memo_nodes[u].get(memo_key, MISSING)
+        if verdict is not MISSING:
+            stats.node_hits += 1
+            self.memo_hits += 1
+            return verdict
+        stats.node_misses += 1
+        self.memo_misses += 1
+        rule = self._usable_rule(levels)
+        if rule is not None:
+            codes = (
+                self._level_codes_from_dict(assignments[rule.level])
+                if rule.level < levels
+                else None
+            )
+            if self._rule_is_pairwise:
+                verdict = self._pairwise_codes(u, codes)
+            else:
+                verdict = rule.predicate(self._star_view(rule, u, codes))
+        elif self.direct:
+            verdict = verdict_of(
+                self.machine.compute(self.ball_index.view(self.nodes[u], assignments))
+            )
+        else:
+            verdict = self._simulate(u, levels, list(assignments), stats)
+        if self.generation != generation:
+            # Evaluation interned an unseen certificate and rebased the
+            # packing: the key computed above is in the old encoding.
+            memo_key = (self.key_from_dicts(u, assignments) << 5) | levels
+        self._memo_put(u, memo_key, verdict)
+        return verdict
+
+    def _level_codes_from_dict(self, assignment: Mapping[Node, str]) -> List[int]:
+        intern = self.intern
+        get = assignment.get
+        return [intern(get(u, "")) for u in self.nodes]
+
+    def accepts_dicts(
+        self, assignments: Sequence[Mapping[Node, str]], stats: EvaluatorStats
+    ) -> bool:
+        stats.leaves += 1
+        order = self.order
+        for position, u in enumerate(order):
+            if not self.node_verdict_dicts(u, assignments, stats):
+                if position:
+                    order.insert(0, order.pop(position))
+                return False
+        return True
+
+    def verdicts_dicts(
+        self, assignments: Sequence[Mapping[Node, str]], stats: EvaluatorStats
+    ) -> Dict[Node, bool]:
+        """All per-node verdicts (no short-circuiting; diagnostics and tests)."""
+        return {
+            self.nodes[u]: self.node_verdict_dicts(u, assignments, stats)
+            for u in range(self.n)
+        }
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def _usable_rule(self, levels: int):
+        rule = self.rule
+        if rule is None:
+            return None
+        if levels > rule.level or not rule.needs_certificate:
+            return rule
+        return None
+
+
+    def _pairwise_codes(self, u: int, codes: Optional[List[int]]) -> bool:
+        """Table-driven pairwise evaluation over a level's code array.
+
+        *codes* is the code array of the rule's level (``None`` when the
+        game has no such level and the rule does not read certificates).
+        Verdict pieces are memoized in per-node own tables and a shared
+        ``(label, code, label, code)`` pair table, so after warmup a node's
+        evaluation is one dict lookup plus one per neighbor.
+        """
+        rule = self.rule
+        own_code = codes[u] if codes is not None else -1
+        own_table = self._own_tables[u]
+        ok = own_table.get(own_code)
+        if ok is None:
+            certificate = self.alphabet[own_code] if own_code >= 0 else None
+            ok = bool(rule.own_ok(self.labels[u], self.degrees[u], certificate))
+            own_table[own_code] = ok
+        if not ok:
+            return False
+        pair_ok = rule.pair_ok
+        if pair_ok is None:
+            return True
+        pair_table = self._pair_table
+        labels = self.labels
+        alphabet = self.alphabet
+        own_label = labels[u]
+        indptr, indices = self.adj_indptr, self.adj_indices
+        if self._uniform_labels:
+            # All labels equal: the pair key packs the two codes into one
+            # int (cleared on rebase, since the width rides on ``shift``).
+            own_part = (own_code + 1) << (self.shift + 1)
+            for w in indices[indptr[u] : indptr[u + 1]]:
+                neighbor_code = codes[w] if codes is not None else -1
+                pair_key = own_part | (neighbor_code + 1)
+                ok = pair_table.get(pair_key)
+                if ok is None:
+                    ok = bool(
+                        pair_ok(
+                            own_label,
+                            alphabet[own_code] if own_code >= 0 else None,
+                            labels[w],
+                            alphabet[neighbor_code] if neighbor_code >= 0 else None,
+                        )
+                    )
+                    pair_table[pair_key] = ok
+                if not ok:
+                    return False
+            return True
+        for w in indices[indptr[u] : indptr[u + 1]]:
+            neighbor_code = codes[w] if codes is not None else -1
+            pair_key = (own_label, own_code, labels[w], neighbor_code)
+            ok = pair_table.get(pair_key)
+            if ok is None:
+                ok = bool(
+                    pair_ok(
+                        own_label,
+                        alphabet[own_code] if own_code >= 0 else None,
+                        labels[w],
+                        alphabet[neighbor_code] if neighbor_code >= 0 else None,
+                    )
+                )
+                pair_table[pair_key] = ok
+            if not ok:
+                return False
+        return True
+
+    def _star_view(self, rule, u: int, codes: Optional[List[int]]):
+        from repro.machines.rules import StarView
+
+        statics = self._star_statics
+        if statics is None:
+            statics = []
+            ids_list, labels = self.ids_list, self.labels
+            indptr, indices = self.adj_indptr, self.adj_indices
+            for v in range(self.n):
+                neighbors = tuple(
+                    sorted(
+                        (ids_list[w], labels[w], w)
+                        for w in indices[indptr[v] : indptr[v + 1]]
+                    )
+                )
+                statics.append((ids_list[v], labels[v], len(neighbors), neighbors))
+            self._star_statics = statics
+        identifier, label, degree, neighbor_statics = statics[u]
+        alphabet = self.alphabet
+
+        def certificate_of(index: int) -> Optional[str]:
+            if codes is None:
+                return None
+            return alphabet[codes[index]]
+
+        return StarView(
+            identifier=identifier,
+            label=label,
+            degree=degree,
+            certificate=certificate_of(u),
+            neighbors=tuple(
+                (neighbor_id, neighbor_label, certificate_of(w))
+                for neighbor_id, neighbor_label, w in neighbor_statics
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Fallback paths (generic machines)
+    # ------------------------------------------------------------------
+    @property
+    def ball_index(self) -> BallIndex:
+        """Lazy :class:`BallIndex` for the generic view/simulation fallbacks."""
+        if self._lazy_ball_index is None:
+            self._lazy_ball_index = BallIndex(self.graph, self.ids, self.radius)
+        return self._lazy_ball_index
+
+    def _simulate(
+        self,
+        u: int,
+        levels: int,
+        assignments: List[Dict[Node, str]],
+        stats: EvaluatorStats,
+    ) -> bool:
+        stats.simulator_runs += 1
+        node = self.nodes[u]
+        subgraph = self.ball_index.ball_subgraph(node)
+        result = execute(self.machine, subgraph, self.ids, assignments)
+        outputs = result.outputs
+        if subgraph is self.graph:
+            # One whole-graph execution decides every node: harvest them all.
+            for other, output in outputs.items():
+                other_index = self.index[other]
+                other_key = (self.key_from_dicts(other_index, assignments) << 5) | levels
+                self._memo_put(other_index, other_key, verdict_of(output))
+        return verdict_of(outputs[node])
+
+    def memo_info(self) -> Dict[str, Optional[int]]:
+        """Hit/miss/eviction counters and occupancy of the shared verdict memo."""
+        return {
+            "size": self.memo_entries,
+            "maxsize": self.memo_cap,
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "evictions": self.memo_evictions,
+        }
+
+    def __repr__(self) -> str:
+        kernel = (
+            type(self.rule).__name__
+            if self.rule is not None
+            else ("direct" if self.direct else "simulate")
+        )
+        return (
+            f"CompiledInstance(nodes={self.n}, radius={self.radius}, kernel={kernel}, "
+            f"alphabet={len(self.alphabet)}, shift={self.shift}, memo={self.memo_entries})"
+        )
+
+
+class CodedState:
+    """A mutable integer-coded certificate assignment with incremental keys.
+
+    ``codes[level][v]`` is node ``v``'s certificate code at *level*;
+    ``keys[v]`` is the packed restriction key of ``v``'s ball, and
+    ``full[level]`` the packed whole-graph key of the level (the engine's
+    transposition-key component).  :meth:`set_code` applies a single-node
+    delta and updates exactly the affected packed keys -- the incremental
+    maintenance that replaces the per-leaf tuple rebuilding of PR 1.
+    """
+
+    __slots__ = (
+        "instance",
+        "levels",
+        "codes",
+        "keys",
+        "full",
+        "full_valid",
+        "generation",
+        "deps",
+    )
+
+    def __init__(self, instance: CompiledInstance, levels: int) -> None:
+        self.instance = instance
+        self.levels = levels
+        n = instance.n
+        if levels > 31:
+            # The memo packs the levels count into 5 low key bits.
+            raise ValueError("at most 31 quantifier levels are supported")
+        self.codes: List[List[int]] = [[0] * n for _ in range(levels)]
+        self.keys: List[int] = [0] * n
+        self.full: List[int] = [0] * levels
+        #: Whole-graph packed keys are maintained only once someone reads
+        #: them (transposition keys of multi-level games); single-level
+        #: games never pay the big-int updates.
+        self.full_valid = False
+        self.generation = instance.generation
+        #: Cached per-level ``(dependent, shift amount)`` tables.
+        self.deps = [instance.dep_shifts(level) for level in range(levels)]
+
+    def ensure_full(self) -> List[int]:
+        """The per-level whole-graph packed keys, enabling their maintenance."""
+        if not self.full_valid:
+            shift = self.instance.shift
+            n = self.instance.n
+            self.full = [
+                sum(codes[v] << (v * shift) for v in range(n)) for codes in self.codes
+            ]
+            self.full_valid = True
+        return self.full
+
+    def sync(self) -> None:
+        """Recompute packed keys if the instance rebased since the last use."""
+        instance = self.instance
+        if self.generation == instance.generation:
+            return
+        self.generation = instance.generation
+        self.deps = [instance.dep_shifts(level) for level in range(self.levels)]
+        shift = instance.shift
+        n = instance.n
+        keys = []
+        for u in range(n):
+            ball = instance.balls[u]
+            ball_size = len(ball)
+            key = 0
+            for level in range(self.levels):
+                codes = self.codes[level]
+                base = level * ball_size
+                for position, v in enumerate(ball):
+                    key |= codes[v] << ((base + position) * shift)
+            keys.append(key)
+        self.keys = keys
+        if self.full_valid:
+            self.full = [
+                sum(codes[v] << (v * shift) for v in range(n)) for codes in self.codes
+            ]
+
+    def set_code(self, level: int, v: int, code: int) -> None:
+        """Assign ``kappa[level][v] = code``, updating dependent packed keys."""
+        codes = self.codes[level]
+        old = codes[v]
+        if old == code:
+            return
+        codes[v] = code
+        delta = code - old
+        keys = self.keys
+        for u, amount in self.deps[level][v]:
+            keys[u] += delta << amount
+        if self.full_valid:
+            self.full[level] += delta << (v * self.instance.shift)
+
+    def __repr__(self) -> str:
+        return f"CodedState(levels={self.levels}, nodes={self.instance.n})"
+
+
+class CompiledGameEngine:
+    """The certificate-game solver running entirely on a compiled instance.
+
+    Drop-in API match for :class:`repro.engine.game.GameEngine`
+    (``eve_wins`` / ``sigma_value`` / ``pi_value`` / ``winning_first_move``,
+    identical enumeration order), but every internal structure is coded:
+    candidate certificates are integer codes materialized from the spaces,
+    level enumeration is a delta odometer on a :class:`CodedState`, the
+    innermost levels run the PR-1 pruning strategies over packed keys, and
+    the transposition cache is keyed by packed per-level code integers.
+    """
+
+    def __init__(
+        self,
+        machine: NodeMachine,
+        graph: LabeledGraph,
+        ids: Mapping[Node, str],
+        spaces: Sequence[CertificateSpace],
+        instance: Optional[CompiledInstance] = None,
+        transposition_cap: Optional[int] = DEFAULT_TRANSPOSITION_CAP,
+    ) -> None:
+        self.machine = machine
+        self.graph = graph
+        self.ids: Dict[Node, str] = dict(ids)
+        self.spaces: List[CertificateSpace] = list(spaces)
+        compiled = instance if instance is not None else compile_instance(machine, graph, ids)
+        self.compiled = compiled
+        self.nodes: List[Node] = list(graph.nodes)
+        self.stats = EvaluatorStats()
+        #: Per level, per node index: candidate certificate codes, in the
+        #: reference solver's enumeration order.
+        self._candidate_codes: List[List[List[int]]] = [
+            compiled.candidate_codes(materialize_space(space, graph, self.ids))
+            for space in self.spaces
+        ]
+        self._state = compiled.new_state(len(self.spaces))
+        self._state.sync()
+        self._transposition = LRUCache(transposition_cap)
+        # checkable_at[p]: node indices whose ball is contained in 0..p (the
+        # innermost backtracking search checks them as soon as p is set).
+        self._checkable_at: List[List[int]] = [[] for _ in range(compiled.n)]
+        for u in range(compiled.n):
+            self._checkable_at[compiled.balls[u][-1]].append(u)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_game(
+        cls,
+        machine: NodeMachine,
+        graph: LabeledGraph,
+        ids: Mapping[Node, str],
+        spaces: Sequence[CertificateSpace],
+    ) -> "CompiledGameEngine":
+        """An engine backed by the process-wide shared compiled instance."""
+        return cls(machine, graph, ids, spaces, instance=compile_instance(machine, graph, ids))
+
+    # ------------------------------------------------------------------
+    # Game values (GameEngine-compatible API)
+    # ------------------------------------------------------------------
+    def eve_wins(
+        self,
+        prefix: Sequence[Quantifier],
+        fixed: Optional[Sequence[Mapping[Node, str]]] = None,
+    ) -> bool:
+        """Whether Eve wins the game with the given quantifier prefix."""
+        if len(self.spaces) != len(prefix):
+            raise ValueError("there must be exactly one certificate space per quantifier")
+        prefix = tuple(prefix)
+        self._state.sync()
+        fixed = list(fixed or [])
+        for level, assignment in enumerate(fixed):
+            self._load_level(level, assignment)
+        return self._value(prefix, len(fixed))
+
+    def sigma_value(self) -> bool:
+        """Game value with Eve moving first (Sigma^lp membership)."""
+        return self.eve_wins(sigma_prefix(len(self.spaces)))
+
+    def pi_value(self) -> bool:
+        """Game value with Adam moving first (Pi^lp membership)."""
+        return self.eve_wins(pi_prefix(len(self.spaces)))
+
+    def winning_first_move(self, prefix: Sequence[Quantifier]) -> Optional[Dict[Node, str]]:
+        """A winning first move for the owner of the first quantifier, if any.
+
+        Enumeration order matches the reference solver's, so all three
+        solvers (exhaustive, PR-1 engine, compiled engine) return the same
+        move.
+        """
+        if not prefix:
+            raise ValueError("the game must have at least one quantifier")
+        if len(self.spaces) != len(prefix):
+            raise ValueError("there must be exactly one certificate space per quantifier")
+        prefix = tuple(prefix)
+        self._state.sync()
+        alphabet = self.compiled.alphabet
+        level_codes = self._state.codes[0] if self.spaces else None
+        for _ in self._enumerate_level(0):
+            value = self._value(prefix, 1)
+            if prefix[0] is Quantifier.EXISTS and value:
+                return {u: alphabet[level_codes[i]] for i, u in enumerate(self.nodes)}
+            if prefix[0] is Quantifier.FORALL and not value:
+                return {u: alphabet[level_codes[i]] for i, u in enumerate(self.nodes)}
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _load_level(self, level: int, assignment: Mapping[Node, str]) -> None:
+        compiled = self.compiled
+        codes = [compiled.intern(assignment.get(u, "")) for u in self.nodes]
+        state = self._state
+        state.sync()  # interning may have rebased
+        for v, code in enumerate(codes):
+            state.set_code(level, v, code)
+
+    def _enumerate_level(self, level: int) -> Iterator[None]:
+        """Odometer enumeration of one level, in ``itertools.product`` order.
+
+        Each step applies single-node deltas to the coded state instead of
+        materializing an assignment dict; yields once per combination.
+        """
+        candidates = self._candidate_codes[level]
+        if any(not node_candidates for node_candidates in candidates):
+            return
+        state = self._state
+        n = len(candidates)
+        positions = [0] * n
+        for v in range(n):
+            state.set_code(level, v, candidates[v][0])
+        while True:
+            yield None
+            v = n - 1
+            while v >= 0 and positions[v] == len(candidates[v]) - 1:
+                positions[v] = 0
+                state.set_code(level, v, candidates[v][0])
+                v -= 1
+            if v < 0:
+                return
+            positions[v] += 1
+            state.set_code(level, v, candidates[v][positions[v]])
+
+    def _value(self, prefix: Tuple[Quantifier, ...], depth: int) -> bool:
+        if depth == len(prefix):
+            return self.compiled.accepts_state(self._state, self.stats)
+
+        state = self._state
+        frozen = tuple(state.ensure_full()[:depth]) if depth else ()
+        key = (prefix[depth:], self.compiled.generation, frozen)
+        cached = self._transposition.get(key, MISSING)
+        if cached is not MISSING:
+            return cached
+
+        quantifier = prefix[depth]
+        if depth == len(prefix) - 1:
+            value = self._innermost(quantifier, depth)
+        elif quantifier is Quantifier.EXISTS:
+            value = any(self._value(prefix, depth + 1) for _ in self._enumerate_level(depth))
+        else:
+            value = all(self._value(prefix, depth + 1) for _ in self._enumerate_level(depth))
+        self._transposition.put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Innermost level: pruned search on coded state
+    # ------------------------------------------------------------------
+    def _innermost(self, quantifier: Quantifier, level: int) -> bool:
+        candidates = self._candidate_codes[level]
+        if any(not node_candidates for node_candidates in candidates):
+            # No assignment exists at all: the existential player is stuck,
+            # the universal statement is vacuously true.
+            return quantifier is Quantifier.FORALL
+        if quantifier is Quantifier.EXISTS:
+            return self._exists_accepting(level, 0)
+        return self._forall_accepting(level)
+
+    def _exists_accepting(self, level: int, position: int) -> bool:
+        """Backtracking search for an accepting assignment, one code at a time.
+
+        Mirrors the PR-1 search exactly (node order, candidate order, prune
+        on the first rejecting fully-assigned ball) but each step is a
+        single ``set_code`` delta plus packed-key memo lookups.
+        """
+        compiled = self.compiled
+        if position == compiled.n:
+            return True
+        state = self._state
+        stats = self.stats
+        checkable = self._checkable_at[position]
+        memo_nodes = compiled.memo_nodes
+        keys = state.keys
+        levels = state.levels
+        set_code = state.set_code
+        # When the instance has a usable pairwise rule, the whole
+        # memo-miss path is inlined here: kernel call plus memo insert,
+        # skipping two dispatch frames on the engine's innermost loop.
+        rule = compiled._usable_rule(levels) if compiled._rule_is_pairwise else None
+        rule_codes = (
+            state.codes[rule.level] if rule is not None and rule.level < levels else None
+        )
+        inline_pairwise = rule is not None
+        pairwise = compiled._pairwise_codes
+        for code in self._candidate_codes[level][position]:
+            set_code(level, position, code)
+            accepted = True
+            for u in checkable:
+                # Inlined memo fast path (node_verdict_state, minus a call).
+                memo = memo_nodes[u]
+                memo_key = (keys[u] << 5) | levels
+                verdict = memo.get(memo_key, MISSING)
+                if verdict is MISSING:
+                    stats.node_misses += 1
+                    compiled.memo_misses += 1
+                    if inline_pairwise:
+                        verdict = pairwise(u, rule_codes)
+                        cap = compiled.memo_cap
+                        if cap is None or compiled.memo_entries < cap:
+                            if memo_key not in memo:
+                                compiled.memo_entries += 1
+                            memo[memo_key] = verdict
+                        else:
+                            compiled._memo_put(u, memo_key, verdict)
+                    else:
+                        # Undo the double count; the full path recounts.
+                        stats.node_misses -= 1
+                        compiled.memo_misses -= 1
+                        verdict = compiled.node_verdict_state(u, state, stats)
+                else:
+                    stats.node_hits += 1
+                    compiled.memo_hits += 1
+                if not verdict:
+                    accepted = False
+                    break
+            if accepted and self._exists_accepting(level, position + 1):
+                return True
+        return False
+
+    def _forall_accepting(self, level: int) -> bool:
+        """Whether every innermost assignment makes every node accept.
+
+        Per-ball decomposition as in PR 1 -- a rejecting leaf exists iff
+        some node rejects under some assignment of its ball alone -- with
+        the ball product enumerated by a coded odometer.
+        """
+        compiled = self.compiled
+        state = self._state
+        stats = self.stats
+        candidates = self._candidate_codes[level]
+        for u in range(compiled.n):
+            ball = compiled.balls[u]
+            ball_candidates = [candidates[v] for v in ball]
+            positions = [0] * len(ball)
+            for slot, v in enumerate(ball):
+                state.set_code(level, v, ball_candidates[slot][0])
+            while True:
+                if not compiled.node_verdict_state(u, state, stats):
+                    return False
+                slot = len(ball) - 1
+                while slot >= 0 and positions[slot] == len(ball_candidates[slot]) - 1:
+                    positions[slot] = 0
+                    state.set_code(level, ball[slot], ball_candidates[slot][0])
+                    slot -= 1
+                if slot < 0:
+                    break
+                positions[slot] += 1
+                state.set_code(level, ball[slot], ball_candidates[slot][positions[slot]])
+        return True
+
+    # ------------------------------------------------------------------
+    def transposition_info(self) -> Dict[str, Optional[int]]:
+        """Hit/miss/eviction counters of the transposition cache."""
+        return self._transposition.info()
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledGameEngine(levels={len(self.spaces)}, nodes={len(self.nodes)}, "
+            f"transpositions={len(self._transposition)}, compiled={self.compiled!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Instance sharing
+# ----------------------------------------------------------------------
+class InstanceCompiler:
+    """Compiles instances and shares them per ``(machine, graph, ids)``.
+
+    The registry is weak in the machine and holds at most *limit* instances
+    per machine (FIFO eviction), mirroring the shared-evaluator registry.
+    Machines that do not support weak references get a fresh instance each
+    time.
+    """
+
+    def __init__(self, limit: int = 64) -> None:
+        self._registry = WeakSharedRegistry(limit=limit)
+
+    def compile(
+        self, machine: NodeMachine, graph: LabeledGraph, ids: Mapping[Node, str]
+    ) -> CompiledInstance:
+        key = (graph, tuple(ids[u] for u in graph.nodes))
+        return self._registry.get_or_build(
+            machine, key, lambda: CompiledInstance(machine, graph, ids)
+        )
+
+
+_DEFAULT_COMPILER = InstanceCompiler()
+
+
+def compile_instance(
+    machine: NodeMachine, graph: LabeledGraph, ids: Mapping[Node, str]
+) -> CompiledInstance:
+    """A :class:`CompiledInstance` shared process-wide per ``(machine, graph, ids)``."""
+    return _DEFAULT_COMPILER.compile(machine, graph, ids)

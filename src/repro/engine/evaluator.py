@@ -17,7 +17,14 @@ restriction to its dependency ball (:mod:`repro.engine.views`).  The
   order, so that in reject-heavy regions of the quantifier tree most leaves
   cost a single dictionary lookup.
 
-Two evaluation strategies fill cache misses:
+Since the compiled core landed (:mod:`repro.engine.compiled`) the evaluator
+is, by default, a thin dict-facing adapter over a shared
+:class:`~repro.engine.compiled.CompiledInstance`: restriction keys are
+packed integers over interned certificate codes, and cache misses dispatch
+to the instance's kernels (table-driven rules, direct views, or ball
+simulation).  Pass ``compiled=False`` to get the self-contained PR-1
+implementation -- kept as the mid-tier reference that the compiled core is
+benchmarked against and cross-checked with:
 
 * the **direct path** (for plain
   :class:`~repro.machines.local_algorithm.NeighborhoodGatherAlgorithm`
@@ -27,51 +34,39 @@ Two evaluation strategies fill cache misses:
 * the **simulation path** (for arbitrary
   :class:`~repro.machines.interface.NodeMachine` implementations): the
   machine is executed on the induced subgraph of the node's radius-``R``
-  ball, where ``R`` is the machine's round bound.  Because information
-  travels at most one hop per round, the center's output on the ball equals
-  its output on the full graph.  When a ball spans the whole graph the
-  single execution is *harvested*: the verdicts of all nodes are written to
-  their respective cache slots at once.
+  ball, where ``R`` is the machine's round bound.  When a ball spans the
+  whole graph the single execution is *harvested*: the verdicts of all
+  nodes are written to their respective cache slots at once.
+
+Either way the per-node memo is LRU-bounded (hit/miss/eviction counters are
+exposed through :meth:`LeafEvaluator.memo_info`), so long sweeps cannot
+grow memory without limit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
-from weakref import WeakKeyDictionary
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.machines.interface import NodeMachine, verdict_of
 from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
 from repro.machines.simulator import execute
+from repro.registry import WeakSharedRegistry
 
+from repro.engine.caching import EvaluatorStats, LRUCache, MISSING
+from repro.engine.compiled import CompiledInstance, compile_instance
 from repro.engine.views import BallIndex, RestrictionKey
 
+#: Default bound on the legacy-path verdict memo (the compiled path uses the
+#: instance's own memo, bounded by ``compiled.DEFAULT_LEAF_MEMO_CAP``).
+DEFAULT_MEMO_CAP = 1 << 20
 
-@dataclass
-class EvaluatorStats:
-    """Counters exposed for tests and benchmarks.
-
-    Attributes
-    ----------
-    leaves:
-        Number of leaf (full-assignment) evaluations requested.
-    node_hits, node_misses:
-        Per-node verdict cache hits and misses.
-    simulator_runs:
-        Number of times the round-by-round simulator actually ran (zero on
-        the direct path).
-    """
-
-    leaves: int = 0
-    node_hits: int = 0
-    node_misses: int = 0
-    simulator_runs: int = 0
-
-    def hit_rate(self) -> float:
-        """Fraction of node-verdict requests answered from cache."""
-        total = self.node_hits + self.node_misses
-        return self.node_hits / total if total else 0.0
+__all__ = [
+    "EvaluatorStats",
+    "LeafEvaluator",
+    "shared_evaluator",
+    "DEFAULT_MEMO_CAP",
+]
 
 
 class LeafEvaluator:
@@ -85,6 +80,14 @@ class LeafEvaluator:
     graph, ids:
         The game instance.  Fixed for the evaluator's lifetime; the
         certificate assignments are the only varying input.
+    compiled:
+        ``None`` (default) backs the evaluator with the process-shared
+        :class:`~repro.engine.compiled.CompiledInstance` for the triple; a
+        :class:`CompiledInstance` uses that specific instance; ``False``
+        selects the self-contained PR-1 implementation.
+    memo_cap:
+        LRU bound of the legacy-path verdict memo (ignored on the compiled
+        path, whose memo lives on the instance).
 
     Notes
     -----
@@ -108,21 +111,44 @@ class LeafEvaluator:
         machine: NodeMachine,
         graph: LabeledGraph,
         ids: Mapping[Node, str],
+        compiled: Union[None, bool, CompiledInstance] = None,
+        memo_cap: Optional[int] = DEFAULT_MEMO_CAP,
     ) -> None:
         self.machine = machine
         self.graph = graph
         self.ids: Dict[Node, str] = dict(ids)
         self.stats = EvaluatorStats()
 
-        direct = type(machine) is NeighborhoodGatherAlgorithm
-        if direct and not self._ids_unique_in_horizon(graph, ids, machine.radius + 1):
-            direct = False
-        radius = machine.radius if direct else max(1, machine.max_rounds())
-        self.index = BallIndex(graph, ids, radius)
-        self.direct = direct
+        if compiled is False:
+            self.compiled: Optional[CompiledInstance] = None
+            direct = type(machine) is NeighborhoodGatherAlgorithm
+            if direct and not self._ids_unique_in_horizon(graph, ids, machine.radius + 1):
+                direct = False
+            radius = machine.radius if direct else max(1, machine.max_rounds())
+            self._index: Optional[BallIndex] = BallIndex(graph, ids, radius)
+            self.direct = direct
+            self._memo: LRUCache = LRUCache(memo_cap)
+            self._order: List[Node] = list(graph.nodes)
+            self._node_index: Dict[Node, int] = {}
+        else:
+            instance = (
+                compiled
+                if isinstance(compiled, CompiledInstance)
+                else compile_instance(machine, graph, ids)
+            )
+            self.compiled = instance
+            self.direct = instance.direct
+            self._index = None
+            self._memo = None
+            self._order = []
+            self._node_index = instance.index
 
-        self._memo: Dict[Node, Dict[RestrictionKey, bool]] = {u: {} for u in graph.nodes}
-        self._order: List[Node] = list(graph.nodes)
+    @property
+    def index(self) -> BallIndex:
+        """The ball index (built lazily on the compiled path)."""
+        if self._index is None:
+            self._index = self.compiled.ball_index
+        return self._index
 
     @staticmethod
     def _ids_unique_in_horizon(
@@ -144,6 +170,8 @@ class LeafEvaluator:
         Short-circuits on the first rejecting node and moves it to the front
         of the evaluation order for subsequent leaves.
         """
+        if self.compiled is not None:
+            return self.compiled.accepts_dicts(assignments, self.stats)
         self.stats.leaves += 1
         order = self._order
         for position, node in enumerate(order):
@@ -162,10 +190,13 @@ class LeafEvaluator:
         absent from a mapping is read as carrying the empty certificate,
         exactly as :class:`~repro.graphs.certificates.CertificateList` does).
         """
-        key = self.index.restriction(node, assignments)
-        memo = self._memo[node]
-        verdict = memo.get(key)
-        if verdict is not None:
+        if self.compiled is not None:
+            return self.compiled.node_verdict_dicts(
+                self._node_index[node], assignments, self.stats
+            )
+        key = (node, self.index.restriction(node, assignments))
+        verdict = self._memo.get(key, MISSING)
+        if verdict is not MISSING:
             self.stats.node_hits += 1
             return verdict
         self.stats.node_misses += 1
@@ -173,15 +204,21 @@ class LeafEvaluator:
             verdict = verdict_of(self.machine.compute(self.index.view(node, assignments)))
         else:
             verdict = self._simulate(node, assignments)
-        memo[key] = verdict
+        self._memo.put(key, verdict)
         return verdict
 
     def verdicts(self, assignments: Sequence[Mapping[Node, str]]) -> Dict[Node, bool]:
         """All per-node verdicts (no short-circuiting; for diagnostics and tests)."""
         return {u: self.node_accepts(u, assignments) for u in self.graph.nodes}
 
+    def memo_info(self) -> Dict[str, Optional[int]]:
+        """Hit/miss/eviction counters of the verdict memo backing this evaluator."""
+        if self.compiled is not None:
+            return self.compiled.memo_info()
+        return self._memo.info()
+
     # ------------------------------------------------------------------
-    # Simulation path
+    # Simulation path (legacy implementation)
     # ------------------------------------------------------------------
     def _simulate(self, node: Node, assignments: Sequence[Mapping[Node, str]]) -> bool:
         self.stats.simulator_runs += 1
@@ -192,11 +229,13 @@ class LeafEvaluator:
             # The ball spans the whole graph: one execution determines every
             # node's verdict, so harvest them all into the cache.
             for other, output in outputs.items():
-                other_key = self.index.restriction(other, assignments)
-                self._memo[other][other_key] = verdict_of(output)
+                other_key = (other, self.index.restriction(other, assignments))
+                self._memo.put(other_key, verdict_of(output))
         return verdict_of(outputs[node])
 
     def __repr__(self) -> str:
+        if self.compiled is not None:
+            return f"LeafEvaluator(compiled, instance={self.compiled!r}, stats={self.stats})"
         mode = "direct" if self.direct else "simulate"
         return (
             f"LeafEvaluator({mode}, radius={self.index.radius}, "
@@ -207,15 +246,10 @@ class LeafEvaluator:
 # ----------------------------------------------------------------------
 # Evaluator sharing
 # ----------------------------------------------------------------------
-#: machine -> {(graph, identifier tuple): LeafEvaluator}
-_SHARED: "WeakKeyDictionary[NodeMachine, Dict[Tuple[LabeledGraph, Tuple[str, ...]], LeafEvaluator]]" = (
-    WeakKeyDictionary()
-)
-
-#: Per-machine registry bound: beyond this many distinct ``(graph, ids)``
-#: instances the oldest evaluator (and its caches) is evicted, so long
-#: sweeps over many graphs do not grow memory without limit.
-_SHARED_LIMIT = 64
+#: machine -> {(graph, identifier tuple): LeafEvaluator}, weak in the
+#: machine and bounded per machine (FIFO eviction), so long sweeps over
+#: many graphs do not grow memory without limit.
+_SHARED = WeakSharedRegistry(limit=64)
 
 
 def shared_evaluator(
@@ -226,20 +260,10 @@ def shared_evaluator(
     The verdict cache depends only on ``(machine, graph, ids)`` -- not on
     certificate spaces or quantifier prefixes -- so Sigma and Pi games, the
     membership functions and :func:`repro.engine.batch.evaluate_batch` can
-    all reuse one evaluator.  The registry is weak in the machine and holds
-    at most ``_SHARED_LIMIT`` instances per machine (FIFO eviction).
-    Machines that do not support weak references simply get a fresh
-    evaluator each time.
+    all reuse one evaluator.  Shared evaluators ride on the process-wide
+    compiled instance for the triple, so they additionally share every
+    cached verdict with the compiled game engines.  Machines that do not
+    support weak references simply get a fresh evaluator each time.
     """
-    try:
-        per_machine = _SHARED.setdefault(machine, {})
-    except TypeError:
-        return LeafEvaluator(machine, graph, ids)
     key = (graph, tuple(ids[u] for u in graph.nodes))
-    evaluator = per_machine.get(key)
-    if evaluator is None:
-        evaluator = LeafEvaluator(machine, graph, ids)
-        while len(per_machine) >= _SHARED_LIMIT:
-            per_machine.pop(next(iter(per_machine)))
-        per_machine[key] = evaluator
-    return evaluator
+    return _SHARED.get_or_build(machine, key, lambda: LeafEvaluator(machine, graph, ids))

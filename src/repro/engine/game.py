@@ -43,11 +43,16 @@ from repro.hierarchy.certificate_spaces import CertificateSpace
 from repro.hierarchy.game import Quantifier, pi_prefix, sigma_prefix
 from repro.machines.interface import NodeMachine
 
-from repro.engine.evaluator import LeafEvaluator, shared_evaluator
+from repro.engine.caching import LRUCache, MISSING
+from repro.engine.evaluator import LeafEvaluator
 
 #: A certificate assignment frozen to a hashable transposition-key component:
 #: one certificate per node, in graph node order.
 FrozenAssignment = Tuple[str, ...]
+
+#: Default bound on the legacy engine's transposition cache (the compiled
+#: engine has its own default in :mod:`repro.engine.compiled`).
+DEFAULT_TRANSPOSITION_CAP = 1 << 18
 
 
 class GameEngine:
@@ -62,11 +67,17 @@ class GameEngine:
     spaces:
         One finite :class:`CertificateSpace` per quantifier level.
     evaluator:
-        Optionally, a pre-built (possibly shared) :class:`LeafEvaluator`
-        for the same ``(machine, graph, ids)`` triple.
+        Optionally, a pre-built :class:`LeafEvaluator` for the same
+        ``(machine, graph, ids)`` triple.  The default is a fresh
+        *legacy-path* evaluator (``compiled=False``): constructing a
+        ``GameEngine`` directly gives the self-contained PR-1 engine tier,
+        kept as the reference the compiled core is benchmarked against.
+    transposition_cap:
+        LRU bound of the transposition cache (``None`` for unbounded).
 
-    Use :meth:`for_game` to construct an engine whose leaf evaluator is
-    shared process-wide across games on the same instance.
+    Use :meth:`for_game` for the production path: it returns a
+    :class:`~repro.engine.compiled.CompiledGameEngine` (same API) backed by
+    the process-wide shared compiled instance.
     """
 
     def __init__(
@@ -76,18 +87,19 @@ class GameEngine:
         ids: Mapping[Node, str],
         spaces: Sequence[CertificateSpace],
         evaluator: Optional[LeafEvaluator] = None,
+        transposition_cap: Optional[int] = DEFAULT_TRANSPOSITION_CAP,
     ) -> None:
         self.machine = machine
         self.graph = graph
         self.ids: Dict[Node, str] = dict(ids)
         self.spaces: List[CertificateSpace] = list(spaces)
-        self.evaluator = evaluator or LeafEvaluator(machine, graph, ids)
+        self.evaluator = evaluator or LeafEvaluator(machine, graph, ids, compiled=False)
         self.nodes: List[Node] = list(graph.nodes)
         #: Per level, per node (in graph order): the candidate certificates.
         self._candidates: List[List[List[str]]] = [
             [space.node_candidates(graph, ids, u) for u in self.nodes] for space in self.spaces
         ]
-        self._transposition: Dict[Tuple[Tuple[Quantifier, ...], Tuple[FrozenAssignment, ...]], bool] = {}
+        self._transposition: LRUCache = LRUCache(transposition_cap)
         self._position: Dict[Node, int] = {u: i for i, u in enumerate(self.nodes)}
         # checkable_at[i]: nodes whose ball is contained in nodes[0..i]; used
         # by the innermost-level backtracking search.
@@ -106,9 +118,18 @@ class GameEngine:
         graph: LabeledGraph,
         ids: Mapping[Node, str],
         spaces: Sequence[CertificateSpace],
-    ) -> "GameEngine":
-        """An engine backed by the process-wide shared leaf evaluator."""
-        return cls(machine, graph, ids, spaces, evaluator=shared_evaluator(machine, graph, ids))
+    ):
+        """The production engine for an instance: compiled, with shared caches.
+
+        Returns a :class:`~repro.engine.compiled.CompiledGameEngine` (same
+        public API as this class) backed by the process-wide compiled
+        instance for ``(machine, graph, ids)``, so games on one instance
+        share the per-node verdict memo.  Construct :class:`GameEngine`
+        directly for the self-contained PR-1 reference tier.
+        """
+        from repro.engine.compiled import CompiledGameEngine
+
+        return CompiledGameEngine.for_game(machine, graph, ids, spaces)
 
     # ------------------------------------------------------------------
     # Game values
@@ -177,8 +198,8 @@ class GameEngine:
             return self.evaluator.accepts(chosen)
 
         key = (prefix[depth:], tuple(self._freeze(a) for a in chosen))
-        cached = self._transposition.get(key)
-        if cached is not None:
+        cached = self._transposition.get(key, MISSING)
+        if cached is not MISSING:
             return cached
 
         quantifier = prefix[depth]
@@ -194,8 +215,12 @@ class GameEngine:
                 self._value(prefix, chosen + [assignment])
                 for assignment in self._assignments(depth)
             )
-        self._transposition[key] = value
+        self._transposition.put(key, value)
         return value
+
+    def transposition_info(self) -> Dict[str, Optional[int]]:
+        """Hit/miss/eviction counters of the transposition cache."""
+        return self._transposition.info()
 
     # ------------------------------------------------------------------
     # Innermost level: pruned search instead of flat enumeration

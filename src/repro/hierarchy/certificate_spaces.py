@@ -18,6 +18,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, 
 from repro.graphs.certificates import Polynomial, is_rp_bounded, neighborhood_information
 from repro.graphs.identifiers import IdentifierAssignment
 from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.registry import WeakSharedRegistry
 
 CandidateFunction = Callable[[LabeledGraph, Mapping[Node, str], Node], Sequence[str]]
 
@@ -77,6 +78,57 @@ class CertificateSpace:
 
     def __repr__(self) -> str:
         return f"CertificateSpace({self.name!r})"
+
+
+@dataclass(frozen=True)
+class MaterializedSpace:
+    """A certificate space evaluated on one ``(graph, ids)`` instance.
+
+    This is the *coded form* of the space: the per-node candidate lists (in
+    graph node order, preserving each node's enumeration order) plus the
+    sorted alphabet of distinct candidate strings.  The compiled engine
+    core interns exactly these strings into its integer alphabet, and the
+    sweep store's fingerprints hash exactly these lists -- both consumers
+    share one materialization instead of re-invoking the candidate function
+    per node per use.
+    """
+
+    space_name: str
+    per_node: Tuple[Tuple[str, ...], ...]
+    alphabet: Tuple[str, ...]
+
+    def assignment_count(self) -> int:
+        """Product of per-node candidate counts (empty sets count as one)."""
+        count = 1
+        for candidates in self.per_node:
+            count *= max(1, len(candidates))
+        return count
+
+
+#: space -> {(graph, identifier tuple): MaterializedSpace}, weak in the space
+#: and bounded per space (FIFO eviction).
+_MATERIALIZED = WeakSharedRegistry(limit=128)
+
+
+def materialize_space(
+    space: CertificateSpace, graph: LabeledGraph, ids: Mapping[Node, str]
+) -> MaterializedSpace:
+    """The (cached) :class:`MaterializedSpace` of *space* on ``(graph, ids)``.
+
+    Candidate functions are deterministic by contract, so the result is
+    cached per ``(space, graph, ids)``; spaces that do not support weak
+    references are materialized afresh each call.
+    """
+
+    def build() -> MaterializedSpace:
+        per_node = tuple(
+            tuple(space.node_candidates(graph, ids, u)) for u in graph.nodes
+        )
+        alphabet = tuple(sorted({c for candidates in per_node for c in candidates}))
+        return MaterializedSpace(space_name=space.name, per_node=per_node, alphabet=alphabet)
+
+    key = (graph, tuple(ids[u] for u in graph.nodes))
+    return _MATERIALIZED.get_or_build(space, key, build)
 
 
 def enumerated_space(strings: Sequence[str], name: str = "") -> CertificateSpace:

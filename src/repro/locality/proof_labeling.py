@@ -36,9 +36,9 @@ import networkx as nx
 from repro.boolsat.encoding import decode_text, encode_text
 from repro.graphs.identifiers import sequential_identifier_assignment
 from repro.graphs.labeled_graph import LabeledGraph, Node
-from repro.machines.builtin import predicate_decider, eulerian_decider, three_colorability_verifier
+from repro.machines.builtin import eulerian_decider, star_predicate_verifier, three_colorability_verifier
 from repro.machines.interface import NodeMachine
-from repro.machines.local_algorithm import LocalView
+from repro.machines.rules import StarView
 from repro.machines.simulator import execute
 from repro.properties import coloring, cycles, misc
 
@@ -135,28 +135,40 @@ def spanning_tree_certificates(
     }
 
 
-def _tree_fields_valid(view: LocalView, fields: Dict[str, str]) -> bool:
-    """Local validity of the spanning-tree fields at the view's center."""
-    center = view.center
+def _center_fields(star: StarView) -> Optional[Dict[str, str]]:
+    """The unpacked certificate fields of the star's center (``None`` if unreadable)."""
+    return _unpack(star.certificate) if star.certificate else None
+
+
+def _fields_by_id(star: StarView) -> Dict[str, Optional[Dict[str, str]]]:
+    """Unpacked certificate fields of every neighbor, keyed by identifier."""
+    return {
+        identifier: (_unpack(certificate) if certificate else None)
+        for identifier, _, certificate in star.neighbors
+    }
+
+
+def _tree_fields_valid(star: StarView, fields: Dict[str, str]) -> bool:
+    """Local validity of the spanning-tree fields at the star's center."""
+    center = star.identifier
     if not {"root", "parent", "dist"} <= set(fields):
         return False
     try:
         distance = int(fields["dist"])
     except ValueError:
         return False
-    neighbors = view.neighbors_of(center)
+    neighbor_fields_by_id = _fields_by_id(star)
     # All neighbors must agree on the root identifier.
-    for neighbor in neighbors:
-        neighbor_fields = _unpack(view.certificates_of(neighbor)[0]) if view.certificates_of(neighbor) else None
+    for neighbor_fields in neighbor_fields_by_id.values():
         if not neighbor_fields or neighbor_fields.get("root") != fields["root"]:
             return False
     if distance == 0:
         # The root must be the node whose identifier equals the claimed root id.
         return fields["root"] == center and fields["parent"] == center
     parent = fields["parent"]
-    if parent not in neighbors:
+    if parent not in neighbor_fields_by_id:
         return False
-    parent_fields = _unpack(view.certificates_of(parent)[0]) if view.certificates_of(parent) else None
+    parent_fields = neighbor_fields_by_id[parent]
     if not parent_fields:
         return False
     try:
@@ -166,13 +178,13 @@ def _tree_fields_valid(view: LocalView, fields: Dict[str, str]) -> bool:
     return parent_distance == distance - 1
 
 
-def _children(view: LocalView, fields_of: Callable[[str], Optional[Dict[str, str]]]) -> List[str]:
-    """The view neighbors that claim the center as their parent."""
+def _children(star: StarView, fields_by_id: Dict[str, Optional[Dict[str, str]]]) -> List[str]:
+    """The neighbors that claim the center as their parent."""
     result = []
-    for neighbor in view.neighbors_of(view.center):
-        neighbor_fields = fields_of(neighbor)
-        if neighbor_fields and neighbor_fields.get("parent") == view.center:
-            result.append(neighbor)
+    for identifier, _, _ in star.neighbors:
+        neighbor_fields = fields_by_id[identifier]
+        if neighbor_fields and neighbor_fields.get("parent") == star.identifier:
+            result.append(identifier)
     return result
 
 
@@ -232,8 +244,8 @@ def acyclicity_scheme() -> ProofLabelingScheme:
         distances = graph.distances_from(graph.nodes[0])
         return {u: _pack({"dist": str(distances[u])}) for u in graph.nodes}
 
-    def predicate(view: LocalView) -> bool:
-        fields = _unpack(view.center_certificates()[0]) if view.center_certificates() else None
+    def predicate(star: StarView) -> bool:
+        fields = _center_fields(star)
         if not fields or "dist" not in fields:
             return False
         try:
@@ -241,8 +253,7 @@ def acyclicity_scheme() -> ProofLabelingScheme:
         except ValueError:
             return False
         neighbor_distances = []
-        for neighbor in view.neighbors_of(view.center):
-            neighbor_fields = _unpack(view.certificates_of(neighbor)[0]) if view.certificates_of(neighbor) else None
+        for neighbor_fields in _fields_by_id(star).values():
             if not neighbor_fields or "dist" not in neighbor_fields:
                 return False
             try:
@@ -260,7 +271,7 @@ def acyclicity_scheme() -> ProofLabelingScheme:
         property_name="acyclic",
         decide=cycles.acyclic,
         prover=prover,
-        verifier=predicate_decider(1, predicate, name="acyclic-pls"),
+        verifier=star_predicate_verifier(1, predicate, name="acyclic-pls"),
         size_class="O(log n)",
     )
 
@@ -292,20 +303,16 @@ def odd_scheme() -> ProofLabelingScheme:
             certificates[u] = _pack(fields)
         return certificates
 
-    def predicate(view: LocalView) -> bool:
-        raw = view.center_certificates()
-        fields = _unpack(raw[0]) if raw else None
-        if not fields or not _tree_fields_valid(view, fields):
+    def predicate(star: StarView) -> bool:
+        fields = _center_fields(star)
+        if not fields or not _tree_fields_valid(star, fields):
             return False
-
-        def fields_of(identifier: str) -> Optional[Dict[str, str]]:
-            certs = view.certificates_of(identifier)
-            return _unpack(certs[0]) if certs else None
-
+        fields_by_id = _fields_by_id(star)
         try:
             own_parity = int(fields.get("parity", ""))
             child_sum = sum(
-                int((fields_of(child) or {}).get("parity", "x")) for child in _children(view, fields_of)
+                int((fields_by_id[child] or {}).get("parity", "x"))
+                for child in _children(star, fields_by_id)
             )
         except ValueError:
             return False
@@ -320,7 +327,7 @@ def odd_scheme() -> ProofLabelingScheme:
         property_name="odd",
         decide=cycles.odd,
         prover=prover,
-        verifier=predicate_decider(1, predicate, name="odd-pls"),
+        verifier=star_predicate_verifier(1, predicate, name="odd-pls"),
         size_class="O(log n)",
     )
 
@@ -394,16 +401,11 @@ def non_two_colorability_scheme() -> ProofLabelingScheme:
             certificates[u] = _pack(fields)
         return certificates
 
-    def predicate(view: LocalView) -> bool:
-        raw = view.center_certificates()
-        fields = _unpack(raw[0]) if raw else None
-        if not fields or not _tree_fields_valid(view, fields):
+    def predicate(star: StarView) -> bool:
+        fields = _center_fields(star)
+        if not fields or not _tree_fields_valid(star, fields):
             return False
-
-        def fields_of(identifier: str) -> Optional[Dict[str, str]]:
-            certs = view.certificates_of(identifier)
-            return _unpack(certs[0]) if certs else None
-
+        fields_by_id = _fields_by_id(star)
         is_root = fields.get("dist") == "0"
         on_cycle = fields.get("cyc") == "1"
         if is_root and not on_cycle:
@@ -413,20 +415,20 @@ def non_two_colorability_scheme() -> ProofLabelingScheme:
         # The successor must be an on-cycle neighbor; exactly one on-cycle
         # neighbor must claim the center as its successor (the predecessor).
         successor = fields.get("succ")
-        if successor not in view.neighbors_of(view.center):
+        if successor not in fields_by_id:
             return False
-        successor_fields = fields_of(successor)
+        successor_fields = fields_by_id[successor]
         if not successor_fields or successor_fields.get("cyc") != "1":
             return False
         predecessors = [
-            neighbor
-            for neighbor in view.neighbors_of(view.center)
-            if (fields_of(neighbor) or {}).get("cyc") == "1"
-            and (fields_of(neighbor) or {}).get("succ") == view.center
+            identifier
+            for identifier, _, _ in star.neighbors
+            if (fields_by_id[identifier] or {}).get("cyc") == "1"
+            and (fields_by_id[identifier] or {}).get("succ") == star.identifier
         ]
         if len(predecessors) != 1:
             return False
-        predecessor_fields = fields_of(predecessors[0]) or {}
+        predecessor_fields = fields_by_id[predecessors[0]] or {}
         if is_root:
             return predecessor_fields.get("par") == fields.get("par")
         return predecessor_fields.get("par") != fields.get("par")
@@ -436,7 +438,7 @@ def non_two_colorability_scheme() -> ProofLabelingScheme:
         property_name="non-2-colorable",
         decide=coloring.non_two_colorable,
         prover=prover,
-        verifier=predicate_decider(1, predicate, name="non2col-pls"),
+        verifier=star_predicate_verifier(1, predicate, name="non2col-pls"),
         size_class="O(log n)",
     )
 
@@ -471,29 +473,28 @@ def automorphism_scheme() -> ProofLabelingScheme:
         certificate = _pack({"edges": edges_text, "map": mapping_text, "labels": labels_text})
         return {u: certificate for u in graph.nodes}
 
-    def predicate(view: LocalView) -> bool:
-        raw = view.center_certificates()
-        fields = _unpack(raw[0]) if raw else None
+    def predicate(star: StarView) -> bool:
+        own_certificate = star.certificate
+        fields = _center_fields(star)
         if not fields or not {"edges", "map", "labels"} <= set(fields):
             return False
         # Certificates must agree with all neighbors.
-        for neighbor in view.neighbors_of(view.center):
-            neighbor_raw = view.certificates_of(neighbor)
-            if not neighbor_raw or neighbor_raw[0] != raw[0]:
+        for _, _, neighbor_certificate in star.neighbors:
+            if neighbor_certificate is None or neighbor_certificate != own_certificate:
                 return False
         edges = set(filter(None, fields["edges"].split(",")))
         mapping = dict(item.split(">") for item in fields["map"].split(",") if item)
         labels = dict(item.split(":") if ":" in item else (item, "") for item in fields["labels"].split(",") if item)
-        center = view.center
+        center = star.identifier
         # The center's incident edges must be exactly those listed for it.
         listed_incident = {e for e in edges if center in e.split("-")}
         actual_incident = {
-            f"{min(center, nb)}-{max(center, nb)}" for nb in view.neighbors_of(center)
+            f"{min(center, nb)}-{max(center, nb)}" for nb, _, _ in star.neighbors
         }
         if listed_incident != actual_incident:
             return False
         # The center's label must match the list.
-        if labels.get(center, "") != view.center_label():
+        if labels.get(center, "") != star.label:
             return False
         # The mapping must be a label-preserving automorphism of the listed graph.
         if set(mapping) != set(labels) or set(mapping.values()) != set(labels):
@@ -515,7 +516,7 @@ def automorphism_scheme() -> ProofLabelingScheme:
         property_name="automorphic",
         decide=misc.automorphic,
         prover=prover,
-        verifier=predicate_decider(1, predicate, name="automorphic-pls"),
+        verifier=star_predicate_verifier(1, predicate, name="automorphic-pls"),
         size_class="O(n^2)",
     )
 

@@ -24,10 +24,24 @@ from repro.machines.local_algorithm import (
     NeighborhoodGatherAlgorithm,
     gather_view,
 )
+from repro.machines.rules import (
+    PairwiseRule,
+    StarRule,
+    StarView,
+    attach_rule,
+    rule_of,
+    star_view_of,
+)
 from repro.machines.simulator import ExecutionResult, execute, accepts, result_graph
 from repro.machines import builtin
 
 __all__ = [
+    "PairwiseRule",
+    "StarRule",
+    "StarView",
+    "attach_rule",
+    "rule_of",
+    "star_view_of",
     "NodeInput",
     "NodeMachine",
     "DistributedTuringMachine",

@@ -4,32 +4,101 @@ Each of these is a constant-round, polynomial-step local algorithm in the
 sense of Section 4.  The deciders (no certificates) witness membership in LP;
 the verifiers read Eve's certificate and witness membership in NLP when
 plugged into the hierarchy game of :mod:`repro.hierarchy`.
+
+Every factory below also attaches a declarative :mod:`repro.machines.rules`
+rule to its machine: a machine-readable statement of the same predicate
+that the compiled engine core (:mod:`repro.engine.compiled`) lowers into
+table-driven evaluation over integer certificate codes.  The LocalView
+``compute`` function remains the source of truth for the simulator; the
+rule is a verdict-equivalent compilable mirror (asserted by the randomized
+equivalence suite).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.machines.local_algorithm import LocalView, NeighborhoodGatherAlgorithm
+from repro.machines.rules import (
+    PairwiseRule,
+    StarRule,
+    StarView,
+    attach_rule,
+    star_view_of,
+)
 
 
 def constant_algorithm(verdict: str = "1") -> NeighborhoodGatherAlgorithm:
     """An algorithm whose every node outputs the fixed label *verdict*."""
-    return NeighborhoodGatherAlgorithm(0, lambda view: verdict, name=f"constant[{verdict}]")
+    machine = NeighborhoodGatherAlgorithm(0, lambda view: verdict, name=f"constant[{verdict}]")
+    accepts = verdict == "1"
+    return attach_rule(
+        machine,
+        PairwiseRule(
+            own_ok=lambda label, degree, cert: accepts,
+            pair_ok=None,
+            radius=0,
+            needs_certificate=False,
+        ),
+    )
 
 
-def predicate_decider(radius: int, predicate: Callable[[LocalView], bool], name: str = "") -> NeighborhoodGatherAlgorithm:
-    """Accept at a node iff *predicate* holds on its radius-``radius`` view."""
+def predicate_decider(
+    radius: int,
+    predicate: Callable[[LocalView], bool],
+    name: str = "",
+    rule: Optional[object] = None,
+) -> NeighborhoodGatherAlgorithm:
+    """Accept at a node iff *predicate* holds on its radius-``radius`` view.
+
+    *rule*, when given, is attached as the machine's compilable local rule
+    (it must be verdict-equivalent to *predicate*).
+    """
 
     def compute(view: LocalView) -> str:
         return "1" if predicate(view) else "0"
 
-    return NeighborhoodGatherAlgorithm(radius, compute, name=name or "predicate")
+    machine = NeighborhoodGatherAlgorithm(radius, compute, name=name or "predicate")
+    if rule is not None:
+        attach_rule(machine, rule)
+    return machine
+
+
+def star_predicate_verifier(
+    radius: int,
+    star_predicate: Callable[[StarView], bool],
+    name: str = "",
+    level: int = 0,
+) -> NeighborhoodGatherAlgorithm:
+    """A verifier defined *once* as a star predicate, simulated and compiled alike.
+
+    The machine's ``compute`` projects its LocalView down to the
+    :class:`~repro.machines.rules.StarView` and applies *star_predicate*;
+    the attached :class:`~repro.machines.rules.StarRule` hands the very
+    same predicate to the compiled core, so the two evaluation paths cannot
+    drift apart.
+    """
+    return predicate_decider(
+        radius,
+        lambda view: star_predicate(star_view_of(view, level)),
+        name=name,
+        rule=StarRule(predicate=star_predicate, level=level, radius=radius),
+    )
 
 
 def all_selected_decider() -> NeighborhoodGatherAlgorithm:
     """LP-decider for ``all-selected``: each node checks its own label is ``1``."""
-    return predicate_decider(0, lambda view: view.center_label() == "1", name="all-selected")
+    return predicate_decider(
+        0,
+        lambda view: view.center_label() == "1",
+        name="all-selected",
+        rule=PairwiseRule(
+            own_ok=lambda label, degree, cert: label == "1",
+            pair_ok=None,
+            radius=0,
+            needs_certificate=False,
+        ),
+    )
 
 
 def not_all_selected_complement_decider() -> NeighborhoodGatherAlgorithm:
@@ -52,7 +121,17 @@ def eulerian_decider() -> NeighborhoodGatherAlgorithm:
     def predicate(view: LocalView) -> bool:
         return len(view.neighbors_of(view.center)) % 2 == 0
 
-    return predicate_decider(1, predicate, name="eulerian")
+    return predicate_decider(
+        1,
+        predicate,
+        name="eulerian",
+        rule=PairwiseRule(
+            own_ok=lambda label, degree, cert: degree % 2 == 0,
+            pair_ok=None,
+            radius=1,
+            needs_certificate=False,
+        ),
+    )
 
 
 def coloring_label_verifier(colors: int = 3) -> NeighborhoodGatherAlgorithm:
@@ -73,7 +152,17 @@ def coloring_label_verifier(colors: int = 3) -> NeighborhoodGatherAlgorithm:
                 return False
         return True
 
-    return predicate_decider(1, predicate, name=f"{colors}-coloring-labels")
+    return predicate_decider(
+        1,
+        predicate,
+        name=f"{colors}-coloring-labels",
+        rule=PairwiseRule(
+            own_ok=lambda label, degree, cert: bool(label) and int(label, 2) < colors,
+            pair_ok=lambda own_label, own_cert, nb_label, nb_cert: nb_label != own_label,
+            radius=1,
+            needs_certificate=False,
+        ),
+    )
 
 
 def three_colorability_verifier() -> NeighborhoodGatherAlgorithm:
@@ -95,7 +184,16 @@ def three_colorability_verifier() -> NeighborhoodGatherAlgorithm:
                 return False
         return True
 
-    return predicate_decider(1, predicate, name="3-colorability-verifier")
+    return predicate_decider(
+        1,
+        predicate,
+        name="3-colorability-verifier",
+        rule=PairwiseRule(
+            own_ok=lambda label, degree, cert: cert in ("00", "01", "10"),
+            pair_ok=lambda own_label, own_cert, nb_label, nb_cert: nb_cert != own_cert,
+            radius=1,
+        ),
+    )
 
 
 def two_colorability_verifier() -> NeighborhoodGatherAlgorithm:
@@ -112,7 +210,16 @@ def two_colorability_verifier() -> NeighborhoodGatherAlgorithm:
                 return False
         return True
 
-    return predicate_decider(1, predicate, name="2-colorability-verifier")
+    return predicate_decider(
+        1,
+        predicate,
+        name="2-colorability-verifier",
+        rule=PairwiseRule(
+            own_ok=lambda label, degree, cert: cert in ("0", "1"),
+            pair_ok=lambda own_label, own_cert, nb_label, nb_cert: nb_cert != own_cert,
+            radius=1,
+        ),
+    )
 
 
 def selected_equals_certificate_verifier() -> NeighborhoodGatherAlgorithm:
@@ -122,4 +229,11 @@ def selected_equals_certificate_verifier() -> NeighborhoodGatherAlgorithm:
         certs = view.center_certificates()
         return bool(certs) and certs[0] == view.center_label()
 
-    return predicate_decider(0, predicate, name="certificate-equals-label")
+    return predicate_decider(
+        0,
+        predicate,
+        name="certificate-equals-label",
+        rule=PairwiseRule(
+            own_ok=lambda label, degree, cert: cert == label, pair_ok=None, radius=0
+        ),
+    )

@@ -169,7 +169,18 @@ def shard_indices(instances: Sequence[GameInstance], shard_count: int) -> List[L
 # Shard evaluation
 # ----------------------------------------------------------------------
 def _evaluate_timed(instances: Sequence[GameInstance]) -> Tuple[List[bool], List[float]]:
-    """Like :func:`~repro.engine.batch.evaluate_batch`, with per-instance timing."""
+    """Like :func:`~repro.engine.batch.evaluate_batch`, with per-instance timing.
+
+    One :class:`~repro.engine.compiled.CompiledInstance` is built per
+    leaf-evaluator group (same ``(machine, graph, ids)``), so every engine
+    of the group -- across certificate spaces and prefixes -- runs on the
+    same interned certificate alphabet and shares the per-node verdict
+    memo.  The explicit per-shard cache keeps the group's compiled form
+    pinned for the shard's lifetime regardless of global-registry eviction.
+    """
+    from repro.engine.compiled import CompiledGameEngine, compile_instance
+
+    compiled_by_group: Dict[object, object] = {}
     engines: Dict[object, object] = {}
     verdicts: List[bool] = []
     seconds: List[float] = []
@@ -177,7 +188,18 @@ def _evaluate_timed(instances: Sequence[GameInstance]) -> Tuple[List[bool], List
         key = engine_sharing_key(instance)
         engine = engines.get(key)
         if engine is None:
-            engine = instance.engine()
+            group_key = evaluator_sharing_key(instance)
+            compiled = compiled_by_group.get(group_key)
+            if compiled is None:
+                compiled = compile_instance(instance.machine, instance.graph, instance.ids)
+                compiled_by_group[group_key] = compiled
+            engine = CompiledGameEngine(
+                instance.machine,
+                instance.graph,
+                instance.ids,
+                instance.spaces,
+                instance=compiled,
+            )
             engines[key] = engine
         start = time.perf_counter()
         verdicts.append(engine.eve_wins(instance.prefix))

@@ -19,7 +19,11 @@ folded into a SHA-256 digest instead:
 * each **certificate space** contributes its *materialized* per-node
   candidate lists on the instance's ``(graph, ids)`` -- the semantics of the
   space on this instance, independent of how the space object is
-  implemented.
+  implemented.  The materialization is the same cached
+  :class:`~repro.hierarchy.certificate_spaces.MaterializedSpace` the
+  compiled engine core interns into its integer alphabet, so fingerprinting
+  a swept instance reuses the coded form instead of re-running the
+  candidate functions.
 * the **prefix** contributes its quantifier string (e.g. ``"EA"``).
 
 Bytecode is version-specific, so stores are effectively partitioned by
@@ -35,7 +39,7 @@ from types import CodeType, FunctionType, MethodType
 from typing import Iterable, List, Mapping, Sequence
 
 from repro.graphs.labeled_graph import LabeledGraph, Node
-from repro.hierarchy.certificate_spaces import CertificateSpace
+from repro.hierarchy.certificate_spaces import CertificateSpace, materialize_space
 from repro.hierarchy.game import Quantifier
 
 #: Recursion bound for structural fingerprinting (closures of closures ...).
@@ -177,7 +181,7 @@ def instance_key(
         "graph": graph_payload(graph),
         "ids": [ids[u] for u in graph.nodes],
         "spaces": [
-            [list(space.node_candidates(graph, ids, u)) for u in graph.nodes]
+            [list(candidates) for candidates in materialize_space(space, graph, ids).per_node]
             for space in spaces
         ],
         "prefix": "".join(q.value for q in prefix),

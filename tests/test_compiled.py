@@ -1,0 +1,543 @@
+"""Compiled core equivalence: compiled engine vs PR-1 engine vs oracle.
+
+The compiled instance core (``repro.engine.compiled``) must be bit-identical
+to both the PR-1 engine (``GameEngine`` constructed directly) and the
+exhaustive reference solver ``repro.hierarchy.game.eve_wins`` on every
+machine kind (table-driven pairwise rules, star rules, the generic direct
+path, ball simulation), every identifier scheme (globally unique, locally
+unique, colliding), every quantifier prefix and every certificate space.
+These tests assert that three-way equivalence on randomized instances, plus
+the compiled-specific machinery: incremental packed restriction keys,
+alphabet rebase, memo bounds and counters, and kernel selection.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    CompiledGameEngine,
+    CompiledInstance,
+    GameEngine,
+    LeafEvaluator,
+    compile_instance,
+    evaluate_batch,
+)
+from repro.engine.batch import GameInstance
+from repro.engine.caching import EvaluatorStats, LRUCache
+from repro.graphs import generators
+from repro.graphs.identifiers import (
+    cyclic_identifier_assignment,
+    random_identifier_assignment,
+    sequential_identifier_assignment,
+    small_identifier_assignment,
+)
+from repro.hierarchy.certificate_spaces import (
+    bit_space,
+    color_space,
+    empty_space,
+    enumerated_space,
+    materialize_space,
+)
+from repro.hierarchy.game import (
+    Quantifier,
+    eve_wins,
+    pi_prefix,
+    sigma_prefix,
+    winning_first_move,
+)
+from repro.locality.proof_labeling import all_schemes
+from repro.machines import builtin
+from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
+from repro.machines.rules import PairwiseRule, StarRule, rule_of
+from repro.machines.simulator import execute
+
+
+class _SubclassedGather(NeighborhoodGatherAlgorithm):
+    """Behaviorally identical subclass: forces the simulation fallback."""
+
+
+def _parity_machine():
+    def compute(view):
+        ones = sum(
+            cert.count("1") for _, certs in view.certificates for cert in certs
+        )
+        return "1" if ones % 2 == 0 else "0"
+
+    return NeighborhoodGatherAlgorithm(1, compute, name="cert-parity")
+
+
+def _graph_pool():
+    return [
+        generators.cycle_graph(3),
+        generators.cycle_graph(5),
+        generators.cycle_graph(6),
+        generators.path_graph(2, labels=["1", "1"]),
+        generators.path_graph(4, labels=["1", "0", "1", "1"]),
+        generators.star_graph(4),
+        generators.complete_graph(4),
+        generators.random_tree(6, seed=11),
+        generators.grid_graph(2, 3),
+    ]
+
+
+def _ruled_machine_pool():
+    """Machines carrying declarative rules (pairwise and star kernels)."""
+    return [
+        builtin.three_colorability_verifier(),
+        builtin.two_colorability_verifier(),
+        builtin.eulerian_decider(),
+        builtin.all_selected_decider(),
+        builtin.coloring_label_verifier(2),
+        builtin.selected_equals_certificate_verifier(),
+        builtin.constant_algorithm("1"),
+        builtin.constant_algorithm("0"),
+    ]
+
+
+def _machine_pool():
+    return _ruled_machine_pool() + [
+        _parity_machine(),
+        _SubclassedGather(1, _parity_machine().compute, name="cert-parity-sub"),
+    ]
+
+
+def _space_pool():
+    return [
+        bit_space(),
+        color_space(2),
+        color_space(3),
+        empty_space(),
+        enumerated_space(("", "1"), name="maybe-one"),
+    ]
+
+
+def _id_schemes(graph, rng):
+    yield sequential_identifier_assignment(graph)
+    yield small_identifier_assignment(graph, 1)
+    yield random_identifier_assignment(graph, 1, rng=random.Random(rng.randrange(100)))
+
+
+class TestThreeWayEquivalence:
+    """compiled == PR-1 engine == exhaustive oracle, on randomized instances."""
+
+    @pytest.mark.parametrize("level", [0, 1])
+    def test_randomized_equivalence(self, level):
+        rng = random.Random(40 + level)
+        for trial in range(10):
+            graph = rng.choice(_graph_pool())
+            machine = rng.choice(_machine_pool())
+            spaces = [rng.choice(_space_pool()) for _ in range(level)]
+            for ids in _id_schemes(graph, rng):
+                for prefix in (sigma_prefix(level), pi_prefix(level)):
+                    expected = eve_wins(machine, graph, ids, spaces, prefix)
+                    legacy = GameEngine(machine, graph, ids, spaces).eve_wins(prefix)
+                    compiled = CompiledGameEngine(
+                        machine, graph, ids, spaces,
+                        instance=CompiledInstance(machine, graph, ids),
+                    ).eve_wins(prefix)
+                    assert expected == legacy == compiled, (
+                        trial, machine, graph, [s.name for s in spaces], prefix, ids,
+                    )
+
+    @pytest.mark.slow
+    def test_randomized_equivalence_level_two(self):
+        rng = random.Random(99)
+        small_graphs = [
+            generators.path_graph(2, labels=["1", "1"]),
+            generators.cycle_graph(3),
+            generators.path_graph(3, labels=["1", "0", "1"]),
+        ]
+        small_spaces = [bit_space(), enumerated_space(("", "1"), name="maybe-one")]
+        for trial in range(6):
+            graph = rng.choice(small_graphs)
+            machine = rng.choice(_machine_pool())
+            spaces = [rng.choice(small_spaces) for _ in range(2)]
+            ids = sequential_identifier_assignment(graph)
+            for prefix in (sigma_prefix(2), pi_prefix(2)):
+                expected = eve_wins(machine, graph, ids, spaces, prefix)
+                compiled = CompiledGameEngine(machine, graph, ids, spaces).eve_wins(prefix)
+                assert expected == compiled, (trial, prefix)
+
+    def test_colliding_identifiers_force_simulation_and_agree(self):
+        # Cyclic identifiers collide at the gather horizon (Proposition 26):
+        # kernels must be refused and the simulator's behavior reproduced.
+        machine = builtin.two_colorability_verifier()
+        graph = generators.cycle_graph(6)
+        ids = cyclic_identifier_assignment(graph, 3)
+        instance = CompiledInstance(machine, graph, ids)
+        assert not instance.direct
+        assert instance.rule is None
+        spaces = [bit_space()]
+        for prefix in (sigma_prefix(1), pi_prefix(1)):
+            expected = eve_wins(machine, graph, ids, spaces, prefix)
+            got = CompiledGameEngine(machine, graph, ids, spaces, instance=instance).eve_wins(prefix)
+            assert expected == got
+
+    def test_fixed_prefix_equivalence(self):
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(3)
+        ids = sequential_identifier_assignment(graph)
+        fixed = [{u: "00" for u in graph.nodes}]
+        expected = eve_wins(machine, graph, ids, [color_space(3)], sigma_prefix(1), fixed)
+        engine = CompiledGameEngine(machine, graph, ids, [color_space(3)])
+        assert engine.eve_wins(sigma_prefix(1), fixed) == expected
+
+    def test_prefix_length_validation(self):
+        graph = generators.cycle_graph(3)
+        ids = sequential_identifier_assignment(graph)
+        engine = CompiledGameEngine(builtin.constant_algorithm(), graph, ids, [bit_space()])
+        with pytest.raises(ValueError):
+            engine.eve_wins([])
+        with pytest.raises(ValueError):
+            engine.winning_first_move([])
+
+    def test_winning_first_move_parity(self):
+        machine = builtin.three_colorability_verifier()
+        for graph in (generators.cycle_graph(3), generators.complete_graph(4)):
+            ids = sequential_identifier_assignment(graph)
+            for prefix in (sigma_prefix(1), pi_prefix(1)):
+                expected = winning_first_move(machine, graph, ids, [color_space(3)], prefix)
+                legacy = GameEngine(machine, graph, ids, [color_space(3)]).winning_first_move(prefix)
+                compiled = CompiledGameEngine(
+                    machine, graph, ids, [color_space(3)],
+                    instance=CompiledInstance(machine, graph, ids),
+                ).winning_first_move(prefix)
+                assert expected == legacy == compiled
+
+
+class TestProofLabelingKernels:
+    """The star-rule verifiers must agree with simulation on real certificates."""
+
+    def test_schemes_verify_through_compiled_kernels(self):
+        samples = {
+            "eulerian": generators.cycle_graph(8),
+            "3-colorable": generators.cycle_graph(9),
+            "acyclic": generators.random_tree(8, seed=4),
+            "odd": generators.path_graph(7),
+            "non-2-colorable": generators.cycle_graph(7),
+            "automorphic": generators.cycle_graph(6),
+        }
+        for scheme in all_schemes():
+            graph = samples[scheme.property_name]
+            ids = sequential_identifier_assignment(graph)
+            certificates = scheme.prover(graph, ids)
+            assert certificates is not None, scheme.property_name
+            instance = CompiledInstance(scheme.verifier, graph, ids)
+            stats = EvaluatorStats()
+            got = instance.accepts_dicts([dict(certificates)], stats)
+            expected = execute(scheme.verifier, graph, ids, [dict(certificates)]).accepts()
+            assert got == expected is True, scheme.property_name
+
+    def test_star_rule_rejections_match_simulator(self):
+        # Corrupted certificates must be rejected identically node by node.
+        rng = random.Random(7)
+        for scheme in all_schemes():
+            if scheme.property_name == "eulerian":
+                continue
+            graph = generators.cycle_graph(5) if scheme.decide(generators.cycle_graph(5)) else generators.path_graph(5)
+            ids = sequential_identifier_assignment(graph)
+            certificates = scheme.prover(graph, ids) or {u: "" for u in graph.nodes}
+            corrupted = dict(certificates)
+            victim = rng.choice(list(corrupted))
+            corrupted[victim] = "10101010"
+            instance = CompiledInstance(scheme.verifier, graph, ids)
+            stats = EvaluatorStats()
+            got = instance.verdicts_dicts([corrupted], stats)
+            expected = execute(scheme.verifier, graph, ids, [corrupted]).verdicts()
+            assert got == expected, scheme.property_name
+
+    def test_kernel_selection(self):
+        graph = generators.cycle_graph(5)
+        ids = sequential_identifier_assignment(graph)
+        pairwise = CompiledInstance(builtin.three_colorability_verifier(), graph, ids)
+        assert isinstance(pairwise.rule, PairwiseRule)
+        star_machine = [s for s in all_schemes() if s.property_name == "acyclic"][0].verifier
+        star = CompiledInstance(star_machine, graph, ids)
+        assert isinstance(star.rule, StarRule)
+        unruled = CompiledInstance(_parity_machine(), graph, ids)
+        assert unruled.rule is None and unruled.direct
+        simulated = CompiledInstance(
+            _SubclassedGather(1, _parity_machine().compute, name="sub"), graph, ids
+        )
+        assert simulated.rule is None and not simulated.direct
+
+    def test_certificate_free_rules_apply_at_level_zero(self):
+        # eulerian's rule reads no certificates, so even the 0-level game
+        # runs on the table-driven kernel (no simulator, no local views).
+        graph = generators.cycle_graph(6)
+        ids = sequential_identifier_assignment(graph)
+        instance = CompiledInstance(builtin.eulerian_decider(), graph, ids)
+        stats = EvaluatorStats()
+        assert instance.accepts_dicts([], stats) is True
+        assert stats.simulator_runs == 0
+        expected = execute(builtin.eulerian_decider(), graph, ids).accepts()
+        assert expected is True
+
+
+class TestIncrementalKeys:
+    """Packed restriction keys under deltas must equal keys rebuilt from dicts."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_incremental_keys_match_rebuilt(self, data):
+        graph_index = data.draw(st.integers(min_value=0, max_value=len(_graph_pool()) - 1))
+        graph = _graph_pool()[graph_index]
+        machine = builtin.three_colorability_verifier()
+        ids = sequential_identifier_assignment(graph)
+        instance = CompiledInstance(machine, graph, ids)
+        levels = data.draw(st.integers(min_value=1, max_value=2))
+        state = instance.new_state(levels)
+        certificates = ["", "0", "1", "00", "01", "10", "11"]
+        n = instance.n
+        deltas = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=levels - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.sampled_from(certificates),
+                ),
+                max_size=25,
+            )
+        )
+        for level, v, certificate in deltas:
+            state.set_code(level, v, instance.intern(certificate))
+            state.sync()
+        # Rebuild every node's key from the decoded assignment dicts.
+        alphabet = instance.alphabet
+        assignments = [
+            {instance.nodes[v]: alphabet[state.codes[level][v]] for v in range(n)}
+            for level in range(levels)
+        ]
+        for u in range(n):
+            assert state.keys[u] == instance.key_from_dicts(u, assignments), (u, deltas)
+
+    def test_rebase_preserves_verdicts_and_keys(self):
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(5)
+        ids = sequential_identifier_assignment(graph)
+        instance = CompiledInstance(machine, graph, ids)
+        state = instance.new_state(1)
+        state.set_code(0, 0, instance.intern("00"))
+        before_gen = instance.generation
+        # Intern past the initial capacity to force at least one rebase.
+        for i in range(2 ** instance.shift + 5):
+            instance.intern(format(i, "b").zfill(12))
+        assert instance.generation > before_gen
+        state.sync()
+        assignments = [{instance.nodes[v]: instance.alphabet[state.codes[0][v]] for v in range(instance.n)}]
+        for u in range(instance.n):
+            assert state.keys[u] == instance.key_from_dicts(u, assignments)
+        # Verdicts after the rebase still match the simulator.
+        stats = EvaluatorStats()
+        expected = execute(machine, graph, ids, [dict(assignments[0])]).accepts()
+        assert instance.accepts_dicts(assignments, stats) == expected
+
+    def test_transposition_keys_span_generations(self):
+        # An engine queried across a rebase must not serve a stale value.
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        instance = CompiledInstance(machine, graph, ids)
+        engine = CompiledGameEngine(machine, graph, ids, [color_space(3)], instance=instance)
+        value = engine.eve_wins(sigma_prefix(1))
+        for i in range(2 ** instance.shift + 5):
+            instance.intern(format(i, "b").zfill(10))
+        assert engine.eve_wins(sigma_prefix(1)) == value
+
+
+class TestBoundsAndCounters:
+    """LRU caps and hit/miss/eviction counters (the memory-bound satellite)."""
+
+    def test_lru_cache_eviction_and_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert "b" not in cache
+        assert cache.get("b", "miss") == "miss"
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        info = cache.info()
+        assert info["evictions"] == 1
+        assert info["hits"] == 3 and info["misses"] == 1
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_compiled_memo_cap_and_counters(self):
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(6)
+        ids = sequential_identifier_assignment(graph)
+        instance = CompiledInstance(machine, graph, ids, memo_cap=8)
+        engine = CompiledGameEngine(machine, graph, ids, [color_space(3)], instance=instance)
+        assert engine.eve_wins(sigma_prefix(1)) is True
+        info = instance.memo_info()
+        assert info["maxsize"] == 8
+        assert info["size"] <= 8 + instance.n  # one segment sweep granularity
+        assert info["evictions"] > 0
+        assert info["hits"] + info["misses"] > 0
+        # Correctness is unaffected by the tiny cap.
+        expected = eve_wins(machine, graph, ids, [color_space(3)], sigma_prefix(1))
+        assert engine.eve_wins(sigma_prefix(1)) == expected
+
+    def test_simulation_harvest_keeps_memo_accounting_consistent(self):
+        # Regression: the whole-graph harvest of the simulation fallback can
+        # trigger segment eviction (rebinding the per-node memo dicts) while
+        # a verdict is being computed; the caller must not write into a
+        # stale dict or count phantom entries.
+        import itertools as it
+
+        machine = _SubclassedGather(1, _parity_machine().compute, name="sub")
+        graph = generators.cycle_graph(5)
+        ids = sequential_identifier_assignment(graph)
+        instance = CompiledInstance(machine, graph, ids, memo_cap=6)
+        assert not instance.direct  # simulation path, whole-graph balls
+        state = instance.new_state(1)
+        stats = EvaluatorStats()
+        zero, one = instance.intern(""), instance.intern("1")
+        for bits in it.product((zero, one), repeat=instance.n):
+            for v, code in enumerate(bits):
+                state.set_code(0, v, code)
+            assignment = {
+                instance.nodes[v]: instance.alphabet[bits[v]] for v in range(instance.n)
+            }
+            expected = execute(machine, graph, ids, [assignment]).verdicts()
+            for u in range(instance.n):
+                got = instance.node_verdict_state(u, state, stats)
+                assert got == expected[instance.nodes[u]], (bits, u)
+        info = instance.memo_info()
+        live_entries = sum(len(memo) for memo in instance.memo_nodes)
+        assert info["size"] == live_entries, (info, live_entries)
+        assert info["evictions"] > 0
+
+    def test_engine_transposition_cap_and_counters(self):
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        engine = CompiledGameEngine(
+            machine, graph, ids, [color_space(3)], transposition_cap=4
+        )
+        value = engine.eve_wins(sigma_prefix(1))
+        assert engine.eve_wins(sigma_prefix(1)) == value
+        info = engine.transposition_info()
+        assert info["maxsize"] == 4
+        assert info["size"] <= 4
+        assert info["hits"] >= 1  # the repeated root query
+
+    def test_legacy_engine_transposition_cap(self):
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        engine = GameEngine(machine, graph, ids, [color_space(3)], transposition_cap=2)
+        value = engine.eve_wins(sigma_prefix(1))
+        assert engine.eve_wins(sigma_prefix(1)) == value
+        info = engine.transposition_info()
+        assert info["maxsize"] == 2 and info["size"] <= 2
+
+    def test_leaf_evaluator_memo_info_both_paths(self):
+        machine = builtin.eulerian_decider()
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        for compiled in (None, False):
+            evaluator = LeafEvaluator(machine, graph, ids, compiled=compiled)
+            evaluator.accepts([])
+            evaluator.accepts([])
+            info = evaluator.memo_info()
+            assert info["hits"] >= 1
+            assert set(info) == {"size", "maxsize", "hits", "misses", "evictions"}
+
+    def test_legacy_leaf_memo_cap(self):
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(5)
+        ids = sequential_identifier_assignment(graph)
+        evaluator = LeafEvaluator(machine, graph, ids, compiled=False, memo_cap=3)
+        rng = random.Random(0)
+        for _ in range(20):
+            assignment = {u: rng.choice(["00", "01", "10"]) for u in graph.nodes}
+            expected = execute(machine, graph, ids, [assignment]).accepts()
+            assert evaluator.accepts([assignment]) == expected
+        info = evaluator.memo_info()
+        assert info["maxsize"] == 3 and info["size"] <= 3
+        assert info["evictions"] > 0
+
+
+class TestSharingAndIntegration:
+    def test_for_game_returns_compiled_engine(self):
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(3)
+        ids = sequential_identifier_assignment(graph)
+        engine = GameEngine.for_game(machine, graph, ids, [color_space(3)])
+        assert isinstance(engine, CompiledGameEngine)
+
+    def test_compile_instance_registry_shares(self):
+        machine = builtin.eulerian_decider()
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        assert compile_instance(machine, graph, ids) is compile_instance(machine, graph, ids)
+
+    def test_leaf_evaluator_shares_instance_memo_with_engine(self):
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        instance = CompiledInstance(machine, graph, ids)
+        engine = CompiledGameEngine(machine, graph, ids, [color_space(3)], instance=instance)
+        assert engine.eve_wins(sigma_prefix(1)) is True
+        evaluator = LeafEvaluator(machine, graph, ids, compiled=instance)
+        coloring = {u: c for u, c in zip(graph.nodes, ["00", "01", "00", "01"])}
+        before = instance.memo_info()["misses"]
+        assert evaluator.accepts([coloring]) is True
+        # The engine's search already visited this proper coloring.
+        assert instance.memo_info()["misses"] == before
+
+    def test_batch_runs_on_compiled_engines(self):
+        machine = builtin.three_colorability_verifier()
+        graphs = [generators.cycle_graph(3), generators.complete_graph(4), generators.cycle_graph(5)]
+        instances = [
+            GameInstance(
+                machine,
+                graph,
+                sequential_identifier_assignment(graph),
+                [color_space(3)],
+                sigma_prefix(1),
+            )
+            for graph in graphs
+        ]
+        values = evaluate_batch(instances)
+        assert values == [True, False, True]
+
+    def test_materialized_space_is_cached_and_coded(self):
+        space = color_space(3)
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        first = materialize_space(space, graph, ids)
+        assert materialize_space(space, graph, ids) is first
+        assert first.alphabet == ("00", "01", "10")
+        assert all(candidates == ("00", "01", "10") for candidates in first.per_node)
+
+    def test_fingerprints_unchanged_by_coded_materialization(self):
+        # The store key must still hash the same payload as the per-node
+        # candidate functions (warm stores stay valid).
+        from repro.sweep.fingerprint import instance_key
+
+        machine = builtin.three_colorability_verifier()
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        key_one = instance_key(machine, graph, ids, [color_space(3)], sigma_prefix(1))
+        key_two = instance_key(machine, graph, ids, [color_space(3)], sigma_prefix(1))
+        assert key_one == key_two
+        other = instance_key(machine, graph, ids, [color_space(2)], sigma_prefix(1))
+        assert other != key_one
+
+    def test_rule_of_rejects_foreign_attributes(self):
+        machine = builtin.three_colorability_verifier()
+        machine.local_rule = object()  # not a rule: must be ignored
+        assert rule_of(machine) is None
+        graph = generators.cycle_graph(3)
+        ids = sequential_identifier_assignment(graph)
+        instance = CompiledInstance(machine, graph, ids)
+        assert instance.rule is None
+        expected = eve_wins(machine, graph, ids, [color_space(3)], sigma_prefix(1))
+        engine = CompiledGameEngine(machine, graph, ids, [color_space(3)], instance=instance)
+        assert engine.eve_wins(sigma_prefix(1)) == expected
