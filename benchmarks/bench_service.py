@@ -1,0 +1,145 @@
+"""The online verdict service: throughput, latency percentiles, tier mix.
+
+Measures the serving layer end to end -- sync clients over real sockets
+against the asyncio daemon -- on the Figure-2 (``separations``) workload
+in three shapes:
+
+* **cold single-query** compute (no daemon, no caches): the baseline the
+  acceptance criterion is phrased against;
+* **hot-cache**: every answer from the daemon's in-process LRU;
+* **warm-store**: a fresh daemon (empty LRU) over a pre-populated verdict
+  store, so every answer is a tier-2 store hit promoted on the way out.
+
+Writes ``BENCH_service.json`` (requests/sec, p50/p99 latency, cache hit
+rate per workload) and asserts the >= 10x warm-over-cold criterion.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.loadgen import run_load, scenario_payloads
+from repro.service.server import ServerThread
+from repro.sweep.executor import evaluate_timed
+from repro.sweep.scenarios import build_instances
+from repro.sweep.store import MemoryVerdictStore
+
+from conftest import MIN_REPEATS, report, write_bench_json
+
+#: The Figure-2 membership games (the acceptance criterion's workload).
+SCENARIO = "separations"
+
+
+def _cold_single_query_rate() -> tuple[float, int]:
+    """Median cold queries/sec: fresh machines, graphs and engines per pass."""
+    passes = []
+    count = 0
+    for _ in range(MIN_REPEATS):
+        instances = build_instances(SCENARIO)
+        count = len(instances)
+        started = time.perf_counter()
+        evaluate_timed(instances)
+        passes.append(time.perf_counter() - started)
+    passes.sort()
+    median = passes[len(passes) // 2]
+    return count / median, count
+
+
+def test_service_throughput_and_latency(benchmark):
+    """Hot/warm serving beats cold compute >= 10x on the Figure-2 workload."""
+    cold_qps, instance_count = _cold_single_query_rate()
+
+    store = MemoryVerdictStore()
+    payloads = scenario_payloads(SCENARIO)
+    with ServerThread(store=store) as server:
+        run_load(server.address, payloads, clients=1, label="warmup")
+        hot = run_load(
+            server.address,
+            payloads,
+            clients=4,
+            total=max(400, 8 * len(payloads)),
+            label="hot-cache",
+        )
+        benchmark(
+            lambda: run_load(server.address, payloads, clients=1, label="bench-pass")
+        )
+        stats = server.service.stats()
+
+    # Fresh daemon, same store: the LRU is empty, tier 2 answers everything.
+    with ServerThread(store=store) as warm_server:
+        warm = run_load(
+            warm_server.address,
+            payloads,
+            clients=4,
+            total=max(200, 4 * len(payloads)),
+            label="warm-store",
+        )
+        warm_sources = dict(warm.sources)
+
+    assert hot.errors == 0 and warm.errors == 0
+    assert hot.cache_hit_rate == 1.0
+    assert warm_sources.get("store", 0) > 0
+
+    hot_speedup = hot.qps / cold_qps
+    warm_speedup = warm.qps / cold_qps
+    report(
+        "Online verdict service vs cold compute (Figure-2 workload)",
+        [
+            {"cold_qps": round(cold_qps, 1), "instances": instance_count},
+            {"hot_qps": round(hot.qps, 1), "speedup": round(hot_speedup, 1)},
+            {"warm_store_qps": round(warm.qps, 1), "speedup": round(warm_speedup, 1)},
+        ],
+    )
+    write_bench_json(
+        "service",
+        {
+            "scenario": SCENARIO,
+            "cold_single_query": {
+                "queries_per_second": round(cold_qps, 2),
+                "instances": instance_count,
+            },
+            "hot_cache": hot.as_dict(),
+            "warm_store": warm.as_dict(),
+            "speedup_hot_vs_cold": round(hot_speedup, 2),
+            "speedup_warm_vs_cold": round(warm_speedup, 2),
+            "daemon": {
+                "coalescer": stats["coalescer"],
+                "engine": stats["tiers"]["compute"],
+                "lru": {
+                    "hits": stats["tiers"]["lru"]["hits"],
+                    "misses": stats["tiers"]["lru"]["misses"],
+                },
+            },
+        },
+    )
+    assert hot_speedup >= 10.0, (
+        f"hot-cache serving at {hot.qps:.0f} qps is only {hot_speedup:.1f}x the "
+        f"cold single-query rate of {cold_qps:.1f} qps (need >= 10x)"
+    )
+    assert warm_speedup >= 10.0, (
+        f"warm-store serving at {warm.qps:.0f} qps is only {warm_speedup:.1f}x the "
+        f"cold single-query rate of {cold_qps:.1f} qps (need >= 10x)"
+    )
+
+
+def test_coalescing_under_concurrent_identical_queries(benchmark):
+    """Concurrent identical cold queries must collapse onto one compute."""
+    with ServerThread(store=None) as server:
+        payloads = [{"v": 1, "op": "query", "scenario": SCENARIO, "index": 0}]
+        first = run_load(server.address, payloads, clients=8, total=8, label="stampede")
+        service = server.service
+        computed = service.compute.computed
+        deduped = service.coalescer.stats()["deduped"]
+        benchmark(
+            lambda: run_load(server.address, payloads, clients=2, total=16, label="hot")
+        )
+    assert first.errors == 0
+    # Eight concurrent clients, one key: exactly one evaluation; the rest
+    # were deduped in flight or read the LRU right after it landed.
+    assert computed == 1
+    assert deduped + first.sources.get("lru", 0) == 7
+    report(
+        "Request coalescing (8 concurrent clients, one cold key)",
+        [{"computed": computed, "deduped_in_flight": deduped,
+          "lru_after_land": first.sources.get("lru", 0)}],
+    )

@@ -1,0 +1,213 @@
+"""The service's tiered read path: per-process LRU -> verdict store -> compute.
+
+Tier 1 (:class:`TieredVerdictCache`'s LRU) answers hot keys in microseconds
+from process memory.  Tier 2 is the shared persistent
+:class:`~repro.sweep.store.VerdictStore` -- the same content-addressed
+store the sweep orchestrator writes, so a daemon pointed at a sweep's
+store starts warm, and verdicts computed online are visible to later
+sweeps.  A store hit is promoted into the LRU on the way out.  Tier 3
+(:class:`ComputeTier`) runs the compiled game engine; it is only reached
+through the coalescer, which batches concurrent misses.
+
+Every tier keeps hit/miss/latency counters, surfaced by the ``stats``
+request so operators can see where queries are being answered.  The
+compute tier additionally aggregates the engine-core telemetry -- the
+per-instance verdict-memo counters (``memo_info``) and per-engine
+transposition-cache counters (``transposition_info``) introduced with the
+compiled core -- across every live cached engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.batch import GameInstance
+from repro.engine.caching import LRUCache, MISSING
+from repro.sweep.executor import evaluate_timed
+from repro.sweep.store import VerdictStore
+
+
+class TieredVerdictCache:
+    """Read path over tier 1 (LRU) and tier 2 (persistent store).
+
+    Thread-compatible: the event loop is the only *lookup* caller in the
+    daemon, but inserts may arrive from compute callbacks, so every access
+    takes the internal lock (uncontended in the common case).
+    """
+
+    def __init__(self, store: Optional[VerdictStore] = None, lru_size: int = 4096) -> None:
+        self.lru = LRUCache(lru_size)
+        self.store = store
+        self._lock = threading.Lock()
+        self.lru_seconds = 0.0
+        self.store_hits = 0
+        self.store_misses = 0
+        self.store_seconds = 0.0
+        self.inserts = 0
+
+    def lookup(self, key: str) -> Optional[Tuple[bool, str]]:
+        """``(verdict, tier)`` when some tier knows *key*; ``None`` on full miss.
+
+        Blocking convenience for synchronous callers; the daemon instead
+        checks :meth:`lookup_lru` on the event loop and ships
+        :meth:`lookup_store` (disk I/O, possibly a busy-timeout wait) to a
+        worker thread.
+        """
+        hit = self.lookup_lru(key)
+        if hit is not None:
+            return hit
+        return self.lookup_store(key)
+
+    def lookup_lru(self, key: str) -> Optional[Tuple[bool, str]]:
+        """Tier 1 only: the in-process LRU (microseconds, loop-safe)."""
+        start = time.perf_counter()
+        with self._lock:
+            verdict = self.lru.get(key, MISSING)
+            self.lru_seconds += time.perf_counter() - start
+            if verdict is not MISSING:
+                return bool(verdict), "lru"
+        return None
+
+    def lookup_store(self, key: str) -> Optional[Tuple[bool, str]]:
+        """Tier 2 only: the persistent store, promoting hits into the LRU.
+
+        May block on disk (up to the store's busy timeout under a
+        concurrent writer) -- call from a worker thread in async contexts.
+        """
+        if self.store is None:
+            return None
+        start = time.perf_counter()
+        stored = self.store.get(key)
+        with self._lock:
+            self.store_seconds += time.perf_counter() - start
+            if stored is None:
+                self.store_misses += 1
+                return None
+            self.store_hits += 1
+            self.lru.put(key, bool(stored))
+        return bool(stored), "store"
+
+    def insert(
+        self,
+        key: str,
+        verdict: bool,
+        name: str = "",
+        seconds: float = 0.0,
+        persist: bool = True,
+    ) -> None:
+        """Record a freshly computed verdict in the LRU and (optionally) the store."""
+        with self._lock:
+            self.lru.put(key, bool(verdict))
+            self.inserts += 1
+        if persist and self.store is not None:
+            self.store.put(key, bool(verdict), name=name, seconds=seconds)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            lru_info = self.lru.info()
+            store_size: Optional[int] = None
+            if self.store is not None:
+                try:
+                    store_size = len(self.store)
+                except Exception:
+                    store_size = None
+            return {
+                "lru": {**lru_info, "seconds": round(self.lru_seconds, 6)},
+                "store": {
+                    "attached": self.store is not None,
+                    "size": store_size,
+                    "hits": self.store_hits,
+                    "misses": self.store_misses,
+                    "seconds": round(self.store_seconds, 6),
+                },
+                "inserts": self.inserts,
+            }
+
+
+def _aggregate_infos(infos: Iterable[Dict[str, Optional[int]]]) -> Dict[str, int]:
+    """Sum hit/miss/eviction/size counters over many cache ``info()`` dicts."""
+    totals = {"size": 0, "hits": 0, "misses": 0, "evictions": 0, "caches": 0}
+    for info in infos:
+        totals["caches"] += 1
+        for field in ("size", "hits", "misses", "evictions"):
+            value = info.get(field)
+            if isinstance(value, int):
+                totals[field] += value
+    return totals
+
+
+class ComputeTier:
+    """Tier 3: the compiled engine, with persistent engine caches.
+
+    Batches are dispatched through the sweep executor's
+    :func:`~repro.sweep.executor.evaluate_timed`, handing it two *long-lived*
+    LRU caches: compiled instances keyed by their leaf-evaluator sharing
+    group, and game engines keyed by the full engine sharing key.  Unlike a
+    sweep shard -- whose caches die with the shard -- the daemon's engines
+    survive across batches, so a miss on a previously seen ``(machine,
+    graph, ids)`` group reuses the interned alphabet, the per-node verdict
+    memo and the transposition cache from earlier traffic.
+
+    Evaluation is serialized by a lock: the engines' memo state is not
+    thread-safe, and the workload is pure Python (GIL-bound), so worker
+    concurrency buys nothing for a single batch anyway.
+    """
+
+    def __init__(self, max_compiled: int = 64, max_engines: int = 256) -> None:
+        self._compiled = LRUCache(max_compiled)
+        self._engines = LRUCache(max_engines)
+        self._lock = threading.Lock()
+        self.batches = 0
+        self.computed = 0
+        self.seconds = 0.0
+        self._snapshot = self._build_stats(stale=False)
+
+    def evaluate(self, instances: Sequence[GameInstance]) -> Tuple[List[bool], List[float]]:
+        """Verdicts and per-instance solve times, sharing cached engines."""
+        start = time.perf_counter()
+        with self._lock:
+            verdicts, seconds = evaluate_timed(
+                instances,
+                compiled_cache=self._compiled,
+                engine_cache=self._engines,
+            )
+            self.batches += 1
+            self.computed += len(verdicts)
+            self.seconds += time.perf_counter() - start
+            self._snapshot = self._build_stats(stale=False)
+        return verdicts, seconds
+
+    def _build_stats(self, stale: bool) -> Dict[str, object]:
+        """Aggregate telemetry (caller holds the lock, or no batch has run)."""
+        compiled = list(self._compiled.data.values())
+        engines = list(self._engines.data.values())
+        return {
+            "batches": self.batches,
+            "computed": self.computed,
+            "seconds": round(self.seconds, 6),
+            "compiled_instances": len(compiled),
+            "engines": len(engines),
+            "memo": _aggregate_infos(instance.memo_info() for instance in compiled),
+            "transposition": _aggregate_infos(
+                engine.transposition_info() for engine in engines
+            ),
+            "stale": stale,
+        }
+
+    def engine_stats(self) -> Dict[str, object]:
+        """Aggregated engine-core telemetry across every live cached engine.
+
+        Never blocks: a ``stats`` request is handled on the daemon's event
+        loop, and the batch lock can be held for a whole cold evaluation.
+        If a batch is in flight, the snapshot taken at the end of the last
+        batch is returned with ``stale: true`` instead of waiting.
+        """
+        if self._lock.acquire(blocking=False):
+            try:
+                self._snapshot = self._build_stats(stale=False)
+            finally:
+                self._lock.release()
+            return self._snapshot
+        return {**self._snapshot, "stale": True}

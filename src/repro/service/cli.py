@@ -1,0 +1,204 @@
+"""CLI front end of the verdict service: ``serve``, ``query``, ``loadgen``.
+
+Run a daemon over a persistent store::
+
+    python -m repro serve --port 7464 --store sqlite://verdicts.sqlite
+
+Ask it who wins (scenario instance or inline spec)::
+
+    python -m repro query --connect 127.0.0.1:7464 --scenario separations --index 3
+    python -m repro query --connect 127.0.0.1:7464 \
+        --arbiter 3-colorable --family cycle --n 9 --scheme sequential
+
+Measure it::
+
+    python -m repro loadgen --connect 127.0.0.1:7464 --scenario smoke --duration 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from typing import Any, Dict, Optional
+
+from repro.service.client import (
+    DEFAULT_PORT,
+    ServiceClient,
+    ServiceError,
+    format_address,
+    parse_address,
+)
+from repro.service.server import ServiceConfig, VerdictServer, VerdictService
+
+
+def add_service_commands(commands: argparse._SubParsersAction) -> None:
+    """Register ``serve`` / ``query`` / ``loadgen`` on the top-level parser."""
+    serve = commands.add_parser("serve", help="run the online verdict daemon")
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT, help="TCP bind port (0: ephemeral)")
+    serve.add_argument("--socket", default=None, metavar="PATH", help="serve on a UNIX socket instead of TCP")
+    serve.add_argument("--store", default=None, metavar="PATH", help="persistent verdict store (sqlite:// or jsonl:// scheme, or a bare path)")
+    serve.add_argument("--lru-size", type=int, default=4096, help="tier-1 in-process LRU capacity")
+    serve.add_argument("--window-ms", type=float, default=2.0, help="micro-batching window in milliseconds")
+    serve.add_argument("--max-batch", type=int, default=32, help="flush a batch early at this many pending queries")
+    serve.add_argument("--max-pending", type=int, default=64, help="admission bound: queries past it get 'overloaded'")
+    serve.set_defaults(handler=_command_serve)
+
+    query = commands.add_parser("query", help="ask a running daemon who wins one game")
+    query.add_argument("--connect", default=f"127.0.0.1:{DEFAULT_PORT}", metavar="ADDR", help="daemon address (host:port or unix:PATH)")
+    query.add_argument("--timeout", type=float, default=30.0, help="request timeout in seconds")
+    query.add_argument("--scenario", default=None, help="registered scenario name")
+    query.add_argument("--instance", default=None, help="instance name within --scenario")
+    query.add_argument("--index", type=int, default=None, help="instance index within --scenario")
+    query.add_argument("--arbiter", default=None, help="inline spec: arbiter name (e.g. 3-colorable)")
+    query.add_argument("--family", default=None, help="inline spec: graph family (cycle, path, grid, ...)")
+    query.add_argument("--n", type=int, default=None, help="inline spec: node-count parameter")
+    query.add_argument("--rows", type=int, default=None, help="inline spec: grid rows")
+    query.add_argument("--cols", type=int, default=None, help="inline spec: grid cols")
+    query.add_argument("--degree", type=int, default=None, help="inline spec: random-regular degree")
+    query.add_argument("--seed", type=int, default=None, help="inline spec: generator seed")
+    query.add_argument("--scheme", default=None, help="inline spec: identifier scheme (small, sequential, random)")
+    query.add_argument("--prefix", default=None, help="inline spec: quantifier prefix override (e.g. E, A)")
+    query.add_argument("--stats", action="store_true", help="fetch daemon statistics instead of querying")
+    query.add_argument("--ping", action="store_true", help="liveness probe instead of querying")
+    query.set_defaults(handler=_command_query)
+
+    loadgen = commands.add_parser("loadgen", help="closed-loop load test against a running daemon")
+    loadgen.add_argument("--connect", default=f"127.0.0.1:{DEFAULT_PORT}", metavar="ADDR", help="daemon address (host:port or unix:PATH)")
+    loadgen.add_argument("--scenario", default="smoke", help="scenario whose instances form the workload")
+    loadgen.add_argument("--workload", choices=("hot", "inline", "mixed"), default="hot", help="payload shape (hot: scenario indices; inline: cycle specs)")
+    loadgen.add_argument("--clients", type=int, default=4, help="concurrent closed-loop clients")
+    loadgen.add_argument("--requests", type=int, default=None, help="stop after this many requests")
+    loadgen.add_argument("--duration", type=float, default=None, help="stop after this many seconds")
+    loadgen.add_argument("--timeout", type=float, default=30.0, help="per-request timeout in seconds")
+    loadgen.set_defaults(handler=_command_loadgen)
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+async def _serve(args: argparse.Namespace) -> int:
+    config = ServiceConfig(
+        lru_size=args.lru_size,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    )
+    service = VerdictService(store=args.store, config=config)
+    server = VerdictServer(
+        service, host=args.host, port=args.port, socket_path=args.socket
+    )
+    address = await server.start()
+    print(f"verdict service listening on {format_address(address)}", file=sys.stderr)
+    if args.store:
+        print(f"verdict store: {args.store}", file=sys.stderr)
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover -- non-POSIX loops
+            pass
+    try:
+        serving = asyncio.ensure_future(server.serve_forever())
+        stopping = asyncio.ensure_future(stop.wait())
+        await asyncio.wait({serving, stopping}, return_when=asyncio.FIRST_COMPLETED)
+        serving.cancel()
+    finally:
+        await server.stop()
+    print("verdict service stopped", file=sys.stderr)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover -- direct ^C without handler
+        return 0
+
+
+# ----------------------------------------------------------------------
+# query
+# ----------------------------------------------------------------------
+def _inline_spec(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
+    spec: Dict[str, Any] = {}
+    for key in ("arbiter", "family", "n", "rows", "cols", "degree", "seed", "scheme", "prefix"):
+        value = getattr(args, key)
+        if value is not None:
+            spec[key] = value
+    return spec or None
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    address = parse_address(args.connect)
+    spec = _inline_spec(args)
+    if not args.stats and not args.ping:
+        if (args.scenario is None) == (spec is None):
+            print(
+                "query needs exactly one of --scenario (with --instance or --index) "
+                "or an inline spec (--arbiter/--family/...)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.scenario is not None and (args.instance is None) == (args.index is None):
+            print("--scenario needs exactly one of --instance or --index", file=sys.stderr)
+            return 2
+    try:
+        with ServiceClient(address, timeout=args.timeout) as client:
+            if args.ping:
+                client.ping()
+                print(json.dumps({"ok": True, "pong": True}))
+                return 0
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.scenario is not None:
+                response = client.query_scenario(
+                    args.scenario, instance=args.instance, index=args.index, check=False
+                )
+            else:
+                response = client.query_spec(check=False, **spec)
+    except (OSError, ServiceError) as error:
+        print(f"cannot reach verdict service at {args.connect}: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 3
+
+
+# ----------------------------------------------------------------------
+# loadgen
+# ----------------------------------------------------------------------
+def _command_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import (
+        inline_cycle_payloads,
+        interleave,
+        run_load,
+        scenario_payloads,
+    )
+
+    address = parse_address(args.connect)
+    if args.workload == "hot":
+        payloads = scenario_payloads(args.scenario)
+    elif args.workload == "inline":
+        payloads = inline_cycle_payloads()
+    else:
+        payloads = interleave(scenario_payloads(args.scenario), inline_cycle_payloads())
+    try:
+        report = run_load(
+            address,
+            payloads,
+            clients=args.clients,
+            total=args.requests,
+            duration=args.duration,
+            label=args.workload,
+            timeout=args.timeout,
+        )
+    except (OSError, ServiceError) as error:
+        print(f"cannot reach verdict service at {args.connect}: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    return 0

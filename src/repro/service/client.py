@@ -1,0 +1,154 @@
+"""A small synchronous client for the verdict daemon (tests, scripts, CLI).
+
+One client wraps one connection; it is not thread-safe -- give each thread
+its own (the load generator does exactly that).  Addresses come in two
+spellings, shared with the CLI:
+
+* ``host:port`` or ``:port`` (TCP; bare port implies 127.0.0.1),
+* ``unix:/path/to.sock`` (UNIX domain socket).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.service.protocol import (
+    PingRequest,
+    QueryRequest,
+    Request,
+    StatsRequest,
+    encode_request,
+    parse_response,
+)
+
+#: ("tcp", host, port) or ("unix", path).
+Address = Tuple[Any, ...]
+
+DEFAULT_PORT = 7464
+
+
+class ServiceError(Exception):
+    """A failed request: transport trouble or an error response.
+
+    ``code`` is the protocol error code when the server answered with one
+    (``overloaded``, ``unknown-scenario``, ...) and ``"transport"`` for
+    connection-level failures.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def parse_address(text: str) -> Address:
+    """Parse a ``host:port`` / ``:port`` / ``unix:PATH`` endpoint spelling."""
+    if text.startswith("unix:"):
+        path = text[len("unix:") :]
+        if not path:
+            raise ValueError("unix address needs a path: unix:/path/to.sock")
+        return ("unix", path)
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        raise ValueError(f"address {text!r} is neither host:port nor unix:PATH")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad port in address {text!r}") from None
+    return ("tcp", host or "127.0.0.1", port)
+
+
+def format_address(address: Address) -> str:
+    if address[0] == "unix":
+        return f"unix:{address[1]}"
+    return f"{address[1]}:{address[2]}"
+
+
+class ServiceClient:
+    """One connection to the daemon, speaking JSON lines synchronously."""
+
+    def __init__(
+        self, address: Union[Address, str], timeout: Optional[float] = 30.0
+    ) -> None:
+        self.address: Address = (
+            parse_address(address) if isinstance(address, str) else address
+        )
+        self.timeout = timeout
+        self._next_id = 0
+        if self.address[0] == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(self.address[1])
+        else:
+            self._sock = socket.create_connection(
+                (self.address[1], self.address[2]), timeout=timeout
+            )
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    def request(self, request: Union[Request, Mapping[str, Any]]) -> Dict[str, Any]:
+        """Send one request, return the raw (possibly ``ok: false``) response."""
+        if isinstance(request, Mapping):
+            import json
+
+            line = json.dumps(dict(request), sort_keys=True, separators=(",", ":"))
+        else:
+            line = encode_request(request)
+        try:
+            self._sock.sendall(line.encode("utf-8") + b"\n")
+            answer = self._reader.readline()
+        except OSError as error:
+            raise ServiceError("transport", f"request failed: {error}") from None
+        if not answer:
+            raise ServiceError("transport", "server closed the connection")
+        return parse_response(answer.decode("utf-8"))
+
+    def _checked(self, response: Dict[str, Any], check: bool) -> Dict[str, Any]:
+        if check and not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", "internal"), error.get("message", "request failed")
+            )
+        return response
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # ------------------------------------------------------------------
+    def query_scenario(
+        self,
+        scenario: str,
+        instance: Optional[str] = None,
+        index: Optional[int] = None,
+        check: bool = True,
+    ) -> Dict[str, Any]:
+        request = QueryRequest(
+            id=self._take_id(), scenario=scenario, instance=instance, index=index
+        )
+        return self._checked(self.request(request), check)
+
+    def query_spec(self, check: bool = True, **spec: Any) -> Dict[str, Any]:
+        request = QueryRequest(id=self._take_id(), spec=spec)
+        return self._checked(self.request(request), check)
+
+    def stats(self) -> Dict[str, Any]:
+        response = self._checked(self.request(StatsRequest(id=self._take_id())), True)
+        return response["stats"]
+
+    def ping(self) -> bool:
+        response = self._checked(self.request(PingRequest(id=self._take_id())), True)
+        return bool(response.get("pong"))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

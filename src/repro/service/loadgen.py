@@ -1,0 +1,236 @@
+"""Closed-loop load generation against a running verdict daemon.
+
+Each of ``clients`` worker threads owns one connection and issues the next
+request the moment the previous response lands (closed loop: offered load
+tracks service capacity, so the daemon is measured at saturation without
+overload artifacts).  Requests are drawn round-robin from a shared payload
+list until a total count or a deadline is reached.  The report carries
+throughput, latency percentiles and the per-tier source mix -- the numbers
+``BENCH_service.json`` records per PR.
+
+Three standard workload shapes:
+
+* :func:`scenario_payloads` -- queries into a registered scenario's
+  instance list; repeated rounds hit the daemon's LRU (the *hot-cache*
+  workload, or *cold-store* on a first pass against an empty store).
+* :func:`inline_cycle_payloads` -- inline specs over a family of cycles
+  (independent keys; exercises resolve + fingerprint + tiers end to end).
+* :func:`interleave` -- a deterministic mix of the above.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.service.client import Address, ServiceClient, ServiceError
+
+Payload = Mapping[str, Any]
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def scenario_payloads(
+    scenario: str, count: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Index queries covering the first *count* instances of *scenario*.
+
+    The instance list is built locally (the registry is deterministic, so
+    the daemon resolves the same list); *count* defaults to all of them.
+    """
+    from repro.sweep.scenarios import build_instances
+
+    total = len(build_instances(scenario))
+    if count is not None:
+        total = min(total, count)
+    return [
+        {"v": 1, "op": "query", "scenario": scenario, "index": index}
+        for index in range(total)
+    ]
+
+
+def inline_cycle_payloads(
+    arbiter: str = "3-colorable",
+    sizes: Sequence[int] = (4, 5, 6, 7, 8),
+    scheme: str = "sequential",
+) -> List[Dict[str, Any]]:
+    """Inline-spec queries for *arbiter* on cycles of the given sizes."""
+    return [
+        {
+            "v": 1,
+            "op": "query",
+            "spec": {"arbiter": arbiter, "family": "cycle", "n": n, "scheme": scheme},
+        }
+        for n in sizes
+    ]
+
+
+def interleave(*payload_lists: Sequence[Payload]) -> List[Payload]:
+    """Round-robin merge of several payload lists (the *mixed* workload)."""
+    merged: List[Payload] = []
+    longest = max((len(payloads) for payloads in payload_lists), default=0)
+    for position in range(longest):
+        for payloads in payload_lists:
+            if position < len(payloads):
+                merged.append(payloads[position])
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """The *fraction*-quantile of an ascending list (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """What one closed-loop run measured."""
+
+    label: str
+    clients: int
+    requests: int
+    errors: int
+    overloaded: int
+    seconds: float
+    sources: Dict[str, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of answered queries served without fresh compute."""
+        answered = sum(self.sources.values())
+        cached = self.sources.get("lru", 0) + self.sources.get("store", 0)
+        return cached / answered if answered else 0.0
+
+    def latency_ms(self, fraction: float) -> float:
+        return percentile(sorted(self.latencies_ms), fraction)
+
+    def as_dict(self) -> Dict[str, Any]:
+        ordered = sorted(self.latencies_ms)
+        return {
+            "label": self.label,
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "overloaded": self.overloaded,
+            "seconds": round(self.seconds, 6),
+            "requests_per_second": round(self.qps, 2),
+            "latency_ms": {
+                "p50": round(percentile(ordered, 0.50), 4),
+                "p90": round(percentile(ordered, 0.90), 4),
+                "p99": round(percentile(ordered, 0.99), 4),
+                "max": round(ordered[-1], 4) if ordered else 0.0,
+            },
+            "sources": dict(self.sources),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+
+class _SharedCounter:
+    """A lock-protected ticket dispenser shared by the worker threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def take(self) -> int:
+        with self._lock:
+            ticket = self._next
+            self._next += 1
+            return ticket
+
+
+def run_load(
+    address: Union[Address, str],
+    payloads: Sequence[Payload],
+    clients: int = 4,
+    total: Optional[int] = None,
+    duration: Optional[float] = None,
+    label: str = "load",
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Drive the daemon closed-loop and report throughput and latency.
+
+    Stops after *total* requests, after *duration* seconds, or -- if neither
+    is given -- after one pass over *payloads*.
+    """
+    if not payloads:
+        raise ValueError("payloads must be non-empty")
+    if total is None and duration is None:
+        total = len(payloads)
+
+    tickets = _SharedCounter()
+    deadline = None if duration is None else time.perf_counter() + duration
+    results: List[Dict[str, Any]] = [
+        {"requests": 0, "errors": 0, "overloaded": 0, "sources": {}, "latencies": []}
+        for _ in range(clients)
+    ]
+
+    def worker(slot: int) -> None:
+        mine = results[slot]
+        try:
+            client = ServiceClient(address, timeout=timeout)
+        except OSError:
+            mine["errors"] += 1
+            return
+        with client:
+            while True:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    return
+                ticket = tickets.take()
+                if total is not None and ticket >= total:
+                    return
+                payload = payloads[ticket % len(payloads)]
+                start = time.perf_counter()
+                try:
+                    response = client.request(payload)
+                except ServiceError:
+                    mine["errors"] += 1
+                    return
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                mine["requests"] += 1
+                mine["latencies"].append(elapsed_ms)
+                if response.get("ok"):
+                    source = response.get("source", "?")
+                    mine["sources"][source] = mine["sources"].get(source, 0) + 1
+                elif (response.get("error") or {}).get("code") == "overloaded":
+                    mine["overloaded"] += 1
+                else:
+                    mine["errors"] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,), name=f"loadgen-{slot}")
+        for slot in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    report = LoadReport(
+        label=label,
+        clients=clients,
+        requests=sum(r["requests"] for r in results),
+        errors=sum(r["errors"] for r in results),
+        overloaded=sum(r["overloaded"] for r in results),
+        seconds=elapsed,
+    )
+    for r in results:
+        for source, count in r["sources"].items():
+            report.sources[source] = report.sources.get(source, 0) + count
+        report.latencies_ms.extend(r["latencies"])
+    return report

@@ -1,0 +1,286 @@
+"""The verdict service's wire protocol: versioned JSON lines.
+
+One request or response per line, each a JSON object carrying the protocol
+version ``"v"``.  Keeping the framing this dumb buys three things: any
+language (or ``nc``) can speak it, a malformed line poisons only itself
+(the connection survives), and the version field lets the daemon serve old
+clients after the protocol grows.
+
+Requests
+--------
+Every request has an ``"op"`` and an optional ``"id"`` (string, int or
+null) that the response echoes, so clients can pipeline.
+
+``query`` asks *who wins this certificate game?* and names the game either
+by **scenario instance** -- a registered sweep scenario plus an instance
+name or index into its deterministic instance list::
+
+    {"v": 1, "op": "query", "id": 7, "scenario": "separations", "index": 3}
+    {"v": 1, "op": "query", "scenario": "smoke", "instance": "3-colorable|cycle4|small"}
+
+or by **inline spec** -- an arbiter, a graph-family recipe, an identifier
+scheme and (optionally) a quantifier prefix override, resolved by
+:mod:`repro.service.resolver`::
+
+    {"v": 1, "op": "query", "spec": {"arbiter": "3-colorable", "family": "cycle",
+                                     "n": 9, "scheme": "sequential"}}
+
+``stats`` returns the daemon's counters (tier hit rates, coalescer and
+engine-cache telemetry); ``ping`` is a liveness probe.
+
+Responses
+---------
+``{"v": 1, "ok": true, ...}`` on success -- for a query: the ``verdict``
+boolean, the ``winner`` (``"eve"``/``"adam"``), the ``source`` tier that
+answered (``lru`` / ``store`` / ``compute`` / ``coalesced``), the
+content-addressed ``key`` and the time ``seconds`` spent.  Failures are
+``{"v": 1, "ok": false, "error": {"code": ..., "message": ...}}``; the
+code ``overloaded`` is the backpressure signal (the request was *not*
+queued and may be retried).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+#: The protocol version this module speaks.
+PROTOCOL_VERSION = 1
+
+#: A request id: echoed verbatim; clients use it to match pipelined pairs.
+RequestId = Union[str, int, None]
+
+#: Error codes a conforming server may emit.
+ERROR_CODES = (
+    "bad-json",
+    "bad-version",
+    "bad-op",
+    "bad-request",
+    "bad-spec",
+    "unknown-scenario",
+    "unknown-instance",
+    "unknown-arbiter",
+    "unknown-family",
+    "unknown-scheme",
+    "overloaded",
+    "internal",
+)
+
+#: Source tiers a query response may report.
+SOURCES = ("lru", "store", "compute", "coalesced")
+
+
+class ProtocolError(Exception):
+    """A request that cannot be served, with its wire-level error code."""
+
+    def __init__(self, code: str, message: str, request_id: RequestId = None) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A ``query`` op: exactly one of (*scenario*, *spec*) addressing modes."""
+
+    id: RequestId = None
+    scenario: Optional[str] = None
+    instance: Optional[str] = None
+    index: Optional[int] = None
+    spec: Optional[Mapping[str, Any]] = None
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": "query"}
+        if self.id is not None:
+            body["id"] = self.id
+        if self.scenario is not None:
+            body["scenario"] = self.scenario
+            if self.instance is not None:
+                body["instance"] = self.instance
+            if self.index is not None:
+                body["index"] = self.index
+        if self.spec is not None:
+            body["spec"] = dict(self.spec)
+        return body
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """A ``stats`` op: the daemon's counters."""
+
+    id: RequestId = None
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": "stats"}
+        if self.id is not None:
+            body["id"] = self.id
+        return body
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    """A ``ping`` op: liveness probe."""
+
+    id: RequestId = None
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": "ping"}
+        if self.id is not None:
+            body["id"] = self.id
+        return body
+
+
+Request = Union[QueryRequest, StatsRequest, PingRequest]
+
+
+def encode_request(request: Request) -> str:
+    """One JSON line (no trailing newline) for *request*."""
+    return json.dumps(request.payload(), sort_keys=True, separators=(",", ":"))
+
+
+def _request_id_of(body: Mapping[str, Any]) -> RequestId:
+    request_id = body.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise ProtocolError("bad-request", "id must be a string, an integer or null")
+    if isinstance(request_id, bool):
+        raise ProtocolError("bad-request", "id must be a string, an integer or null")
+    return request_id
+
+
+def parse_request(line: str) -> Request:
+    """Parse one request line, raising :class:`ProtocolError` on any defect.
+
+    The error's ``request_id`` is recovered whenever the line was at least
+    well-formed JSON with a usable ``id``, so the server can still address
+    its error response.
+    """
+    try:
+        body = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError("bad-json", f"request is not valid JSON: {error}") from None
+    if not isinstance(body, dict):
+        raise ProtocolError("bad-request", "request must be a JSON object")
+
+    request_id: RequestId = None
+    try:
+        request_id = _request_id_of(body)
+        version = body.get("v")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                "bad-version",
+                f"unsupported protocol version {version!r} (this server speaks v{PROTOCOL_VERSION})",
+            )
+        op = body.get("op")
+        if op == "ping":
+            return PingRequest(id=request_id)
+        if op == "stats":
+            return StatsRequest(id=request_id)
+        if op == "query":
+            return _parse_query(body, request_id)
+        raise ProtocolError("bad-op", f"unknown op {op!r}; expected query, stats or ping")
+    except ProtocolError as error:
+        if error.request_id is None:
+            error.request_id = request_id
+        raise
+
+
+def _parse_query(body: Mapping[str, Any], request_id: RequestId) -> QueryRequest:
+    scenario = body.get("scenario")
+    spec = body.get("spec")
+    if (scenario is None) == (spec is None):
+        raise ProtocolError(
+            "bad-request",
+            "a query names exactly one of 'scenario' (plus 'instance' or 'index') or 'spec'",
+            request_id,
+        )
+    if spec is not None:
+        if not isinstance(spec, dict):
+            raise ProtocolError("bad-spec", "spec must be a JSON object", request_id)
+        return QueryRequest(id=request_id, spec=spec)
+
+    if not isinstance(scenario, str):
+        raise ProtocolError("bad-request", "scenario must be a string", request_id)
+    instance = body.get("instance")
+    index = body.get("index")
+    if (instance is None) == (index is None):
+        raise ProtocolError(
+            "bad-request",
+            "a scenario query names exactly one of 'instance' (name) or 'index'",
+            request_id,
+        )
+    if instance is not None and not isinstance(instance, str):
+        raise ProtocolError("bad-request", "instance must be a string", request_id)
+    if index is not None and (isinstance(index, bool) or not isinstance(index, int)):
+        raise ProtocolError("bad-request", "index must be an integer", request_id)
+    return QueryRequest(id=request_id, scenario=scenario, instance=instance, index=index)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def query_response(
+    request_id: RequestId,
+    verdict: bool,
+    source: str,
+    key: str,
+    name: str = "",
+    seconds: float = 0.0,
+) -> Dict[str, Any]:
+    """A successful query answer (``winner`` is derived from ``verdict``)."""
+    if source not in SOURCES:
+        raise ValueError(f"unknown source tier {source!r}")
+    return {
+        "v": PROTOCOL_VERSION,
+        "ok": True,
+        "id": request_id,
+        "verdict": bool(verdict),
+        "winner": "eve" if verdict else "adam",
+        "source": source,
+        "key": key,
+        "name": name,
+        "seconds": round(seconds, 6),
+    }
+
+
+def stats_response(request_id: RequestId, stats: Mapping[str, Any]) -> Dict[str, Any]:
+    return {"v": PROTOCOL_VERSION, "ok": True, "id": request_id, "stats": dict(stats)}
+
+
+def pong_response(request_id: RequestId) -> Dict[str, Any]:
+    return {"v": PROTOCOL_VERSION, "ok": True, "id": request_id, "pong": True}
+
+
+def error_response(request_id: RequestId, code: str, message: str) -> Dict[str, Any]:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {
+        "v": PROTOCOL_VERSION,
+        "ok": False,
+        "id": request_id,
+        "error": {"code": code, "message": message},
+    }
+
+
+def encode_response(response: Mapping[str, Any]) -> str:
+    """One JSON line (no trailing newline) for a response object."""
+    return json.dumps(response, sort_keys=True, separators=(",", ":"))
+
+
+def parse_response(line: str) -> Dict[str, Any]:
+    """Parse one response line (client side), validating version and shape."""
+    try:
+        body = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError("bad-json", f"response is not valid JSON: {error}") from None
+    if not isinstance(body, dict):
+        raise ProtocolError("bad-request", "response must be a JSON object")
+    if body.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad-version", f"unsupported response version {body.get('v')!r}"
+        )
+    if "ok" not in body:
+        raise ProtocolError("bad-request", "response is missing the 'ok' field")
+    return body

@@ -1,0 +1,408 @@
+"""The online verdict daemon: an asyncio JSON-lines server over the tiers.
+
+:class:`VerdictService` is the transport-free core -- parse a request,
+admit or reject it, walk the read path (LRU -> store -> coalesced
+compute), answer.  :class:`VerdictServer` puts it behind an ``asyncio``
+TCP or UNIX-socket listener, one JSON line per request, responses in
+request order per connection.  :class:`ServerThread` runs the whole thing
+on a background thread for tests, benchmarks and the load generator.
+
+Backpressure is explicit and bounded: at most ``max_pending`` queries may
+be past admission at once (pending in the coalescer window, dispatched to
+the compute pool, or reading a tier).  The next query is answered
+immediately with an ``overloaded`` error instead of being queued, so
+memory stays bounded and clients learn to back off; cheap ``ping`` /
+``stats`` requests are always admitted.  ``peak_pending`` in the stats
+response lets tests assert the bound was honored under load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.service.cache import ComputeTier, TieredVerdictCache
+from repro.service.coalescer import RequestCoalescer
+from repro.service.protocol import (
+    PingRequest,
+    ProtocolError,
+    QueryRequest,
+    StatsRequest,
+    encode_response,
+    error_response,
+    parse_request,
+    pong_response,
+    query_response,
+    stats_response,
+)
+from repro.service.resolver import ResolvedQuery, Resolver
+from repro.sweep.store import VerdictStore, open_store
+
+#: A served endpoint: ("tcp", host, port) or ("unix", path).
+Address = Tuple[Any, ...]
+
+#: Longest accepted request line (64 KiB, the StreamReader default).
+MAX_LINE_BYTES = 64 * 1024
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one daemon."""
+
+    lru_size: int = 4096
+    window_seconds: float = 0.002
+    max_batch: int = 32
+    max_pending: int = 64
+    max_compiled: int = 64
+    max_engines: int = 256
+
+
+class VerdictService:
+    """The transport-free service core (owns resolver, tiers, coalescer)."""
+
+    def __init__(
+        self,
+        store: Union[VerdictStore, str, None] = None,
+        config: Optional[ServiceConfig] = None,
+        resolver: Optional[Resolver] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._owns_store = isinstance(store, str) or store is None
+        self.store: Optional[VerdictStore] = (
+            open_store(store) if isinstance(store, str) else store
+        )
+        self.resolver = resolver or Resolver()
+        self.cache = TieredVerdictCache(self.store, lru_size=self.config.lru_size)
+        self.compute = ComputeTier(
+            max_compiled=self.config.max_compiled,
+            max_engines=self.config.max_engines,
+        )
+        self.coalescer = RequestCoalescer(
+            self.compute.evaluate,
+            window_seconds=self.config.window_seconds,
+            max_batch=self.config.max_batch,
+            on_computed=self._record_computed,
+        )
+        self.started_at = time.time()
+        self._monotonic_start = time.perf_counter()
+        self.request_counts: Dict[str, int] = {"query": 0, "stats": 0, "ping": 0}
+        self.error_count = 0
+        self.overloaded_count = 0
+        self.store_put_failures = 0
+        self.pending = 0
+        self.peak_pending = 0
+        self._persist_futures: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _record_computed(self, entries, verdicts, seconds) -> None:
+        """Record a computed batch: LRU now, the store off the event loop."""
+        records = []
+        for (key, _instance, name), verdict, spent in zip(entries, verdicts, seconds):
+            self.cache.insert(key, verdict, name=name, seconds=spent, persist=False)
+            records.append((key, bool(verdict), name, spent))
+        if self.store is not None and records:
+            # A store write is a COMMIT that can wait out a concurrent
+            # writer's lock; keep it off the loop.  close() drains these.
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(None, self.store.put_many, records)
+            self._persist_futures.add(future)
+            future.add_done_callback(self._persist_done)
+
+    def _persist_done(self, future) -> None:
+        self._persist_futures.discard(future)
+        if not future.cancelled() and future.exception() is not None:
+            self.store_put_failures += 1
+
+    # ------------------------------------------------------------------
+    async def handle_line(self, line: str) -> str:
+        """One request line in, one response line out (never raises)."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as error:
+            self.error_count += 1
+            return encode_response(
+                error_response(error.request_id, error.code, str(error))
+            )
+        response = await self.handle_request(request)
+        return encode_response(response)
+
+    async def handle_request(self, request) -> Dict[str, Any]:
+        if isinstance(request, PingRequest):
+            self.request_counts["ping"] += 1
+            return pong_response(request.id)
+        if isinstance(request, StatsRequest):
+            self.request_counts["stats"] += 1
+            return stats_response(request.id, self.stats())
+        assert isinstance(request, QueryRequest)
+        return await self._handle_query(request)
+
+    async def _handle_query(self, request: QueryRequest) -> Dict[str, Any]:
+        self.request_counts["query"] += 1
+        if self.pending >= self.config.max_pending:
+            self.overloaded_count += 1
+            return error_response(
+                request.id,
+                "overloaded",
+                f"{self.pending} queries already pending "
+                f"(max_pending={self.config.max_pending}); retry later",
+            )
+        self.pending += 1
+        self.peak_pending = max(self.peak_pending, self.pending)
+        try:
+            resolved = self.resolver.resolve(request)
+            return await self._answer(request, resolved)
+        except ProtocolError as error:
+            self.error_count += 1
+            return error_response(
+                error.request_id if error.request_id is not None else request.id,
+                error.code,
+                str(error),
+            )
+        except Exception as error:  # noqa: BLE001 -- the daemon must not die
+            self.error_count += 1
+            return error_response(request.id, "internal", repr(error))
+        finally:
+            self.pending -= 1
+
+    async def _answer(
+        self, request: QueryRequest, resolved: ResolvedQuery
+    ) -> Dict[str, Any]:
+        start = time.perf_counter()
+        hit = self.cache.lookup_lru(resolved.key)
+        if hit is None and self.store is not None:
+            # Tier 2 is disk I/O (and can wait out a concurrent writer's
+            # lock): run it on the loop's default worker pool, not the loop.
+            hit = await asyncio.get_running_loop().run_in_executor(
+                None, self.cache.lookup_store, resolved.key
+            )
+        if hit is not None:
+            verdict, tier = hit
+            return query_response(
+                request.id,
+                verdict,
+                source=tier,
+                key=resolved.key,
+                name=resolved.name,
+                seconds=time.perf_counter() - start,
+            )
+        result = await self.coalescer.submit(
+            resolved.key, resolved.instance, resolved.name
+        )
+        return query_response(
+            request.id,
+            result.verdict,
+            source="coalesced" if result.deduped else "compute",
+            key=resolved.key,
+            name=resolved.name,
+            seconds=result.seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Everything the ``stats`` request reports."""
+        tiers = self.cache.stats()
+        tiers["store"]["async_put_failures"] = self.store_put_failures
+        tiers["compute"] = self.compute.engine_stats()
+        return {
+            "uptime_seconds": round(time.perf_counter() - self._monotonic_start, 3),
+            "requests": dict(self.request_counts),
+            "errors": self.error_count,
+            "overloaded": self.overloaded_count,
+            "pending": self.pending,
+            "peak_pending": self.peak_pending,
+            "max_pending": self.config.max_pending,
+            "tiers": tiers,
+            "coalescer": self.coalescer.stats(),
+        }
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        await self.coalescer.close()
+        if self._persist_futures:
+            # Verdicts already answered to clients must reach the store
+            # before it is closed (daemon restarts start warm).
+            await asyncio.gather(*list(self._persist_futures), return_exceptions=True)
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+
+class VerdictServer:
+    """The asyncio listener wrapping one :class:`VerdictService`."""
+
+    def __init__(
+        self,
+        service: VerdictService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.address: Optional[Address] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    async def start(self) -> Address:
+        if self.socket_path is not None:
+            parent = os.path.dirname(os.path.abspath(self.socket_path))
+            os.makedirs(parent, exist_ok=True)
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path, limit=MAX_LINE_BYTES
+            )
+            self.address = ("unix", self.socket_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+            )
+            port = self._server.sockets[0].getsockname()[1]
+            self.address = ("tcp", self.host, port)
+        return self.address
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.service.close()
+        if self.socket_path is not None and os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    response = error_response(
+                        None, "bad-request", f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    )
+                    writer.write(encode_response(response).encode("utf-8") + b"\n")
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", "replace").strip()
+                if not text:
+                    continue
+                response_line = await self.service.handle_line(text)
+                writer.write(response_line.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels live connections; close quietly.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+class ServerThread:
+    """A daemon on a background thread, for tests / benchmarks / the loadgen.
+
+    Creates the event loop, service and listener on the thread, exposes the
+    bound address (and the service object, for in-process assertions), and
+    tears everything down in :meth:`stop`.  Also usable as a context
+    manager.
+    """
+
+    def __init__(
+        self,
+        store: Union[VerdictStore, str, None] = None,
+        config: Optional[ServiceConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+    ) -> None:
+        self._store = store
+        self._config = config
+        self._host = host
+        self._port = port
+        self._socket_path = socket_path
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[VerdictServer] = None
+        self.service: Optional[VerdictService] = None
+        self.address: Optional[Address] = None
+
+    def start(self) -> Address:
+        self._thread = threading.Thread(
+            target=self._run, name="verdict-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("verdict server failed to start") from self._startup_error
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            self.service = VerdictService(store=self._store, config=self._config)
+            self.server = VerdictServer(
+                self.service,
+                host=self._host,
+                port=self._port,
+                socket_path=self._socket_path,
+            )
+            self.address = loop.run_until_complete(self.server.start())
+        except BaseException as error:  # noqa: BLE001 -- reported to starter
+            self._startup_error = error
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -49,6 +49,7 @@ from repro.sweep.scenarios import (
 from repro.sweep.executor import (
     InstanceResult,
     SweepResult,
+    evaluate_timed,
     evaluator_sharing_key,
     run_instances,
     run_scenario,
@@ -76,6 +77,7 @@ __all__ = [
     "scenario_names",
     "InstanceResult",
     "SweepResult",
+    "evaluate_timed",
     "evaluator_sharing_key",
     "run_instances",
     "run_scenario",

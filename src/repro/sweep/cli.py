@@ -1,4 +1,4 @@
-"""Command-line front end: ``python -m repro sweep <scenario> [options]``.
+"""Command-line front end: sweeps, and the online verdict service.
 
 Examples
 --------
@@ -12,6 +12,12 @@ also dumping machine-readable results::
     python -m repro sweep smoke --jobs 2 --store verdicts.sqlite --json out.json
 
 A second run against the same store answers everything from cache.
+
+Serve single-verdict queries online from the same store (see
+:mod:`repro.service.cli` for ``serve`` / ``query`` / ``loadgen``)::
+
+    python -m repro serve --store sqlite://verdicts.sqlite
+    python -m repro query --scenario separations --index 3
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.service.cli import add_service_commands
 from repro.sweep.executor import run_scenario
 from repro.sweep.scenarios import all_scenarios, get_scenario
 
@@ -27,7 +34,8 @@ from repro.sweep.scenarios import all_scenarios, get_scenario
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Sweep orchestrator for the certificate-game engine.",
+        description="Sweep orchestrator and online verdict service "
+        "for the certificate-game engine.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -59,6 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("scenarios", help="list the registered sweep scenarios")
+    add_service_commands(commands)
     return parser
 
 
@@ -100,6 +109,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "scenarios":
             return _command_scenarios()
+        handler = getattr(args, "handler", None)
+        if handler is not None:  # service subcommands register their own
+            return handler(args)
         return _command_sweep(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.

@@ -168,20 +168,31 @@ def shard_indices(instances: Sequence[GameInstance], shard_count: int) -> List[L
 # ----------------------------------------------------------------------
 # Shard evaluation
 # ----------------------------------------------------------------------
-def _evaluate_timed(instances: Sequence[GameInstance]) -> Tuple[List[bool], List[float]]:
+def evaluate_timed(
+    instances: Sequence[GameInstance],
+    compiled_cache=None,
+    engine_cache=None,
+) -> Tuple[List[bool], List[float]]:
     """Like :func:`~repro.engine.batch.evaluate_batch`, with per-instance timing.
 
     One :class:`~repro.engine.compiled.CompiledInstance` is built per
     leaf-evaluator group (same ``(machine, graph, ids)``), so every engine
     of the group -- across certificate spaces and prefixes -- runs on the
     same interned certificate alphabet and shares the per-node verdict
-    memo.  The explicit per-shard cache keeps the group's compiled form
-    pinned for the shard's lifetime regardless of global-registry eviction.
+    memo.  The per-call caches keep the group's compiled form pinned for
+    the batch's lifetime regardless of global-registry eviction.
+
+    *compiled_cache* and *engine_cache* accept any ``get(key, default)`` /
+    ``put(key, value)`` mapping (e.g. :class:`repro.engine.caching.LRUCache`);
+    a long-lived caller -- the online verdict service's compute tier -- passes
+    persistent caches so engines and their memo/transposition state survive
+    across batches, and fresh per-call unbounded caches are used otherwise.
     """
+    from repro.engine.caching import LRUCache
     from repro.engine.compiled import CompiledGameEngine, compile_instance
 
-    compiled_by_group: Dict[object, object] = {}
-    engines: Dict[object, object] = {}
+    compiled_by_group = compiled_cache if compiled_cache is not None else LRUCache(None)
+    engines = engine_cache if engine_cache is not None else LRUCache(None)
     verdicts: List[bool] = []
     seconds: List[float] = []
     for instance in instances:
@@ -192,7 +203,7 @@ def _evaluate_timed(instances: Sequence[GameInstance]) -> Tuple[List[bool], List
             compiled = compiled_by_group.get(group_key)
             if compiled is None:
                 compiled = compile_instance(instance.machine, instance.graph, instance.ids)
-                compiled_by_group[group_key] = compiled
+                compiled_by_group.put(group_key, compiled)
             engine = CompiledGameEngine(
                 instance.machine,
                 instance.graph,
@@ -200,7 +211,7 @@ def _evaluate_timed(instances: Sequence[GameInstance]) -> Tuple[List[bool], List
                 instance.spaces,
                 instance=compiled,
             )
-            engines[key] = engine
+            engines.put(key, engine)
         start = time.perf_counter()
         verdicts.append(engine.eve_wins(instance.prefix))
         seconds.append(time.perf_counter() - start)
@@ -228,7 +239,7 @@ def _evaluate_shard_by_name(
             "the builder is not deterministic or was re-registered"
         )
     shard = [instances[i] for i in indices]
-    verdicts, seconds = _evaluate_timed(shard)
+    verdicts, seconds = evaluate_timed(shard)
     return indices, verdicts, seconds, [instance.name for instance in shard]
 
 
@@ -322,7 +333,7 @@ def run_instances(
         executed_parallel = True
     else:
         for shard in shards:
-            shard_verdicts, shard_seconds = _evaluate_timed([instances[i] for i in shard])
+            shard_verdicts, shard_seconds = evaluate_timed([instances[i] for i in shard])
             for index, verdict, spent in zip(shard, shard_verdicts, shard_seconds):
                 verdicts[index] = verdict
                 seconds[index] = spent

@@ -11,13 +11,18 @@ Three interchangeable backends:
 
 * :class:`MemoryVerdictStore` -- a dictionary; the in-process default.
 * :class:`SQLiteVerdictStore` -- one table, keyed by digest; the default
-  on-disk backend (random access, safe concurrent readers).
+  on-disk backend.  Opened in WAL mode with a busy timeout and an internal
+  lock, so one store object can be shared between the threads of a serving
+  daemon and concurrent processes can read while one writes.
 * :class:`JsonlVerdictStore` -- append-only JSON lines; trivially
   inspectable and mergeable with ``cat``.
 
-:func:`open_store` picks a backend from the path: ``.jsonl`` / ``.ndjson``
-suffixes select the append-only file, anything else (including
-``:memory:``) selects SQLite.
+:func:`open_store` picks a backend from the path: an explicit scheme
+prefix (``sqlite://``, ``jsonl://``, ``memory://``) always wins; without
+one, ``.jsonl`` / ``.ndjson`` suffixes select the append-only file and
+anything else (including ``:memory:``) selects SQLite.  Parent directories
+of on-disk stores are created on open, so a daemon can be pointed at a
+fresh state directory without a bootstrap step.
 """
 
 from __future__ import annotations
@@ -25,8 +30,9 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import time
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 #: A stored verdict: (verdict, instance name, cold solve seconds).
 StoredVerdict = Tuple[bool, str, float]
@@ -37,6 +43,19 @@ class VerdictStore:
 
     def get(self, key: str) -> Optional[bool]:
         raise NotImplementedError
+
+    def get_many(self, keys: Iterable[str]) -> Dict[str, bool]:
+        """Verdicts for every *known* key among *keys* (missing keys absent).
+
+        The default implementation loops over :meth:`get`; backends with a
+        cheaper bulk path (SQLite) override it.
+        """
+        found: Dict[str, bool] = {}
+        for key in keys:
+            verdict = self.get(key)
+            if verdict is not None:
+                found[key] = verdict
+        return found
 
     def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
         raise NotImplementedError
@@ -82,14 +101,33 @@ class MemoryVerdictStore(VerdictStore):
 
 
 class SQLiteVerdictStore(VerdictStore):
-    """Verdicts in a single-table SQLite database."""
+    """Verdicts in a single-table SQLite database.
 
-    def __init__(self, path: str) -> None:
+    File-backed databases run in WAL mode (readers never block the writer
+    and vice versa) with ``busy_timeout`` so a briefly locked database is
+    waited out instead of surfacing ``database is locked``.  All statements
+    go through an internal lock and the connection is opened with
+    ``check_same_thread=False``, so one store object is safe to share
+    between the threads of an asyncio daemon (event loop + worker pool).
+    """
+
+    #: How many keys one bulk ``SELECT ... IN (...)`` carries at most
+    #: (SQLite's default variable limit is 999).
+    GET_MANY_CHUNK = 500
+
+    def __init__(self, path: str, busy_timeout_ms: int = 5000) -> None:
         self.path = path
         if path != ":memory:":
             parent = os.path.dirname(os.path.abspath(path))
             os.makedirs(parent, exist_ok=True)
-        self._connection = sqlite3.connect(path)
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(path, check_same_thread=False)
+        self._connection.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        if path != ":memory:":
+            # WAL persists in the database file; in-memory databases only
+            # support the default journal and would ignore the pragma.
+            self._connection.execute("PRAGMA journal_mode = WAL")
+            self._connection.execute("PRAGMA synchronous = NORMAL")
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS verdicts ("
             "  key TEXT PRIMARY KEY,"
@@ -102,43 +140,72 @@ class SQLiteVerdictStore(VerdictStore):
         self._connection.commit()
 
     def get(self, key: str) -> Optional[bool]:
-        row = self._connection.execute(
-            "SELECT verdict FROM verdicts WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT verdict FROM verdicts WHERE key = ?", (key,)
+            ).fetchone()
         return None if row is None else bool(row[0])
 
+    def get_many(self, keys: Iterable[str]) -> Dict[str, bool]:
+        key_list = list(keys)
+        found: Dict[str, bool] = {}
+        with self._lock:
+            for start in range(0, len(key_list), self.GET_MANY_CHUNK):
+                chunk = key_list[start : start + self.GET_MANY_CHUNK]
+                placeholders = ",".join("?" * len(chunk))
+                for key, verdict in self._connection.execute(
+                    f"SELECT key, verdict FROM verdicts WHERE key IN ({placeholders})",
+                    chunk,
+                ):
+                    found[key] = bool(verdict)
+        return found
+
     def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
-        self._connection.execute(
-            "INSERT OR REPLACE INTO verdicts (key, verdict, name, seconds, created)"
-            " VALUES (?, ?, ?, ?, ?)",
-            (key, int(bool(verdict)), name, seconds, time.time()),
-        )
-        self._connection.commit()
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO verdicts (key, verdict, name, seconds, created)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (key, int(bool(verdict)), name, seconds, time.time()),
+            )
+            self._connection.commit()
 
     def put_many(self, records: Iterable[Tuple[str, bool, str, float]]) -> None:
         now = time.time()
-        self._connection.executemany(
-            "INSERT OR REPLACE INTO verdicts (key, verdict, name, seconds, created)"
-            " VALUES (?, ?, ?, ?, ?)",
-            [
-                (key, int(bool(verdict)), name, seconds, now)
-                for key, verdict, name, seconds in records
-            ],
-        )
-        self._connection.commit()
+        with self._lock:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO verdicts (key, verdict, name, seconds, created)"
+                " VALUES (?, ?, ?, ?, ?)",
+                [
+                    (key, int(bool(verdict)), name, seconds, now)
+                    for key, verdict, name, seconds in records
+                ],
+            )
+            self._connection.commit()
 
     def __len__(self) -> int:
-        (count,) = self._connection.execute("SELECT COUNT(*) FROM verdicts").fetchone()
+        with self._lock:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM verdicts"
+            ).fetchone()
         return int(count)
 
     def items(self) -> Iterator[Tuple[str, StoredVerdict]]:
-        for key, verdict, name, seconds in self._connection.execute(
-            "SELECT key, verdict, name, seconds FROM verdicts"
-        ):
+        with self._lock:
+            rows: List[Tuple[str, int, str, float]] = self._connection.execute(
+                "SELECT key, verdict, name, seconds FROM verdicts"
+            ).fetchall()
+        for key, verdict, name, seconds in rows:
             yield key, (bool(verdict), name, seconds)
 
+    def journal_mode(self) -> str:
+        """The active journal mode (``"wal"`` for file-backed stores)."""
+        with self._lock:
+            (mode,) = self._connection.execute("PRAGMA journal_mode").fetchone()
+        return str(mode).lower()
+
     def close(self) -> None:
-        self._connection.close()
+        with self._lock:
+            self._connection.close()
 
 
 class JsonlVerdictStore(VerdictStore):
@@ -152,6 +219,7 @@ class JsonlVerdictStore(VerdictStore):
         self.path = path
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
+        self._lock = threading.RLock()
         self._data: Dict[str, StoredVerdict] = {}
         if os.path.exists(path):
             with open(path, "r", encoding="utf-8") as handle:
@@ -168,39 +236,73 @@ class JsonlVerdictStore(VerdictStore):
         self._handle = open(path, "a", encoding="utf-8")
 
     def get(self, key: str) -> Optional[bool]:
-        record = self._data.get(key)
+        with self._lock:
+            record = self._data.get(key)
         return None if record is None else record[0]
 
     def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
-        self._data[key] = (bool(verdict), name, seconds)
-        self._handle.write(
-            json.dumps(
-                {"key": key, "verdict": bool(verdict), "name": name, "seconds": seconds},
-                sort_keys=True,
+        with self._lock:
+            self._data[key] = (bool(verdict), name, seconds)
+            self._handle.write(
+                json.dumps(
+                    {"key": key, "verdict": bool(verdict), "name": name, "seconds": seconds},
+                    sort_keys=True,
+                )
+                + "\n"
             )
-            + "\n"
-        )
-        self._handle.flush()
+            self._handle.flush()
 
     def __len__(self) -> int:
         return len(self._data)
 
     def items(self) -> Iterator[Tuple[str, StoredVerdict]]:
-        return iter(self._data.items())
+        with self._lock:
+            return iter(list(self._data.items()))
 
     def close(self) -> None:
-        self._handle.close()
+        with self._lock:
+            self._handle.close()
+
+
+#: Scheme prefixes accepted by :func:`open_store`.
+_SCHEMES: Tuple[str, ...] = ("sqlite", "jsonl", "memory")
+
+
+def _split_scheme(path: str) -> Tuple[Optional[str], str]:
+    """``"sqlite://x.db"`` -> ``("sqlite", "x.db")``; no scheme -> ``(None, path)``."""
+    for scheme in _SCHEMES:
+        prefix = scheme + "://"
+        if path.startswith(prefix):
+            return scheme, path[len(prefix) :]
+    if "://" in path:
+        scheme = path.split("://", 1)[0]
+        raise ValueError(
+            f"unknown store scheme {scheme!r}; expected one of "
+            + ", ".join(f"{s}://" for s in _SCHEMES)
+        )
+    return None, path
 
 
 def open_store(path: Optional[str]) -> VerdictStore:
     """Open (creating if necessary) the verdict store at *path*.
 
-    ``None`` yields a fresh :class:`MemoryVerdictStore`; a path ending in
-    ``.jsonl`` or ``.ndjson`` yields the append-only file backend; anything
-    else (including ``:memory:``) yields SQLite.
+    ``None`` or ``memory://`` yields a fresh :class:`MemoryVerdictStore`.
+    An explicit ``sqlite://PATH`` or ``jsonl://PATH`` scheme forces that
+    backend regardless of suffix -- the form daemons should use, since it
+    cannot be misrouted by an unusual file name.  Without a scheme, a path
+    ending in ``.jsonl`` / ``.ndjson`` yields the append-only file backend
+    and anything else (including ``:memory:``) yields SQLite.  Parent
+    directories are created as needed.
     """
     if path is None:
         return MemoryVerdictStore()
-    if path != ":memory:" and os.path.splitext(path)[1] in (".jsonl", ".ndjson"):
-        return JsonlVerdictStore(path)
-    return SQLiteVerdictStore(path)
+    scheme, stripped = _split_scheme(path)
+    if scheme == "memory":
+        return MemoryVerdictStore()
+    if scheme == "jsonl":
+        return JsonlVerdictStore(stripped)
+    if scheme == "sqlite":
+        return SQLiteVerdictStore(stripped)
+    if stripped != ":memory:" and os.path.splitext(stripped)[1] in (".jsonl", ".ndjson"):
+        return JsonlVerdictStore(stripped)
+    return SQLiteVerdictStore(stripped)

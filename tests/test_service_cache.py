@@ -1,0 +1,157 @@
+"""The tiered read path (LRU -> store -> compute) and engine telemetry."""
+
+from __future__ import annotations
+
+from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
+from repro.engine.batch import GameInstance
+from repro.service.cache import ComputeTier, TieredVerdictCache
+from repro.service.resolver import Resolver
+from repro.service.protocol import QueryRequest
+from repro.sweep.store import MemoryVerdictStore
+
+
+def _instances(sizes=(4, 5, 6)):
+    from repro.hierarchy.arbiters import two_colorability_spec
+
+    spec = two_colorability_spec()
+    instances = []
+    for n in sizes:
+        graph = generators.cycle_graph(n)
+        instances.append(
+            GameInstance(
+                machine=spec.machine,
+                graph=graph,
+                ids=sequential_identifier_assignment(graph),
+                spaces=list(spec.spaces),
+                prefix=spec.prefix(),
+                name=f"2col|cycle{n}",
+            )
+        )
+    return spec, instances
+
+
+class TestTieredVerdictCache:
+    def test_full_miss_returns_none(self):
+        cache = TieredVerdictCache(MemoryVerdictStore())
+        assert cache.lookup("nope") is None
+        stats = cache.stats()
+        assert stats["lru"]["misses"] == 1
+        assert stats["store"]["misses"] == 1
+
+    def test_insert_then_lru_hit(self):
+        cache = TieredVerdictCache(MemoryVerdictStore())
+        cache.insert("k", True, name="x", seconds=0.1)
+        assert cache.lookup("k") == (True, "lru")
+        assert cache.stats()["lru"]["hits"] == 1
+
+    def test_store_hit_is_promoted_into_lru(self):
+        store = MemoryVerdictStore()
+        first = TieredVerdictCache(store)
+        first.insert("k", False)
+        # A fresh process (new LRU) over the same shared store.
+        second = TieredVerdictCache(store)
+        assert second.lookup("k") == (False, "store")
+        assert second.lookup("k") == (False, "lru")
+        stats = second.stats()
+        assert stats["store"]["hits"] == 1
+        assert stats["lru"]["hits"] == 1
+
+    def test_insert_without_persist_skips_store(self):
+        store = MemoryVerdictStore()
+        cache = TieredVerdictCache(store)
+        cache.insert("k", True, persist=False)
+        assert store.get("k") is None
+        assert cache.lookup("k") == (True, "lru")
+
+    def test_no_store_attached(self):
+        cache = TieredVerdictCache(None)
+        assert cache.lookup("k") is None
+        cache.insert("k", True)
+        assert cache.lookup("k") == (True, "lru")
+        assert cache.stats()["store"]["attached"] is False
+
+
+class TestComputeTier:
+    def test_verdicts_match_spec_decisions(self):
+        spec, instances = _instances()
+        tier = ComputeTier()
+        verdicts, seconds = tier.evaluate(instances)
+        expected = [spec.decide(inst.graph, inst.ids) for inst in instances]
+        assert verdicts == expected
+        assert len(seconds) == len(instances)
+        assert all(s >= 0 for s in seconds)
+
+    def test_engines_persist_across_batches(self):
+        _, instances = _instances((5, 6))
+        tier = ComputeTier()
+        tier.evaluate(instances)
+        first = tier.engine_stats()
+        # Re-answering the same instances must hit the cached engines'
+        # transposition state instead of recompiling.
+        tier.evaluate(instances)
+        second = tier.engine_stats()
+        assert second["compiled_instances"] == first["compiled_instances"]
+        assert second["engines"] == first["engines"]
+        assert second["transposition"]["hits"] > first["transposition"]["hits"]
+        assert second["computed"] == first["computed"] + len(instances)
+
+    def test_engine_stats_shape(self):
+        _, instances = _instances((4,))
+        tier = ComputeTier()
+        tier.evaluate(instances)
+        stats = tier.engine_stats()
+        for field in ("batches", "computed", "seconds", "compiled_instances", "engines"):
+            assert field in stats
+        for cache_info in (stats["memo"], stats["transposition"]):
+            for field in ("size", "hits", "misses", "evictions", "caches"):
+                assert isinstance(cache_info[field], int)
+        assert stats["memo"]["caches"] == stats["compiled_instances"]
+        assert stats["stale"] is False
+
+    def test_engine_stats_never_blocks_on_a_running_batch(self):
+        # A stats request during a cold evaluation must return the last
+        # snapshot immediately (marked stale) instead of waiting the batch out.
+        _, instances = _instances((4,))
+        tier = ComputeTier()
+        tier.evaluate(instances)
+        with tier._lock:  # a batch is "in flight"
+            stats = tier.engine_stats()
+        assert stats["stale"] is True
+        assert stats["computed"] == len(instances)
+        assert tier.engine_stats()["stale"] is False
+
+
+class TestResolverIdentityStability:
+    """Repeated resolutions must reuse objects, or the engine caches never hit."""
+
+    def test_scenario_resolutions_share_instances(self):
+        resolver = Resolver()
+        first = resolver.resolve(QueryRequest(scenario="smoke", index=0))
+        second = resolver.resolve(QueryRequest(scenario="smoke", index=0))
+        assert first.instance is second.instance
+        assert first.key == second.key
+
+    def test_scenario_name_and_index_agree(self):
+        resolver = Resolver()
+        by_index = resolver.resolve(QueryRequest(scenario="smoke", index=0))
+        by_name = resolver.resolve(
+            QueryRequest(scenario="smoke", instance=by_index.instance.name)
+        )
+        assert by_name.instance is by_index.instance
+
+    def test_inline_specs_are_memoized(self):
+        resolver = Resolver()
+        spec = {"arbiter": "2-colorable", "family": "cycle", "n": 6, "scheme": "sequential"}
+        first = resolver.resolve(QueryRequest(spec=spec))
+        second = resolver.resolve(QueryRequest(spec=dict(spec)))
+        assert first is second
+
+    def test_inline_key_matches_scenario_style_fingerprint(self):
+        from repro.sweep.fingerprint import game_instance_key
+
+        resolver = Resolver()
+        resolved = resolver.resolve(
+            QueryRequest(spec={"arbiter": "eulerian", "family": "cycle", "n": 6})
+        )
+        assert resolved.key == game_instance_key(resolved.instance)

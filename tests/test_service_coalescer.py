@@ -1,0 +1,248 @@
+"""Request coalescing: in-flight dedup, the batching window, error paths."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import List, Sequence
+
+import pytest
+
+from repro.engine.batch import GameInstance
+from repro.graphs import generators
+from repro.graphs.identifiers import sequential_identifier_assignment
+from repro.service.coalescer import CoalescerClosed, RequestCoalescer
+
+
+def _instance(n: int = 5, name: str = "") -> GameInstance:
+    from repro.hierarchy.arbiters import eulerian_spec
+
+    spec = eulerian_spec()
+    graph = generators.cycle_graph(n)
+    return GameInstance(
+        machine=spec.machine,
+        graph=graph,
+        ids=sequential_identifier_assignment(graph),
+        spaces=list(spec.spaces),
+        prefix=spec.prefix(),
+        name=name or f"eulerian|cycle{n}",
+    )
+
+
+class _FakeEvaluator:
+    """Counts batches; optionally stalls so concurrent submits overlap."""
+
+    def __init__(self, delay: float = 0.0, fail: bool = False) -> None:
+        self.delay = delay
+        self.fail = fail
+        self.calls: List[int] = []
+        self._lock = threading.Lock()
+
+    def __call__(self, instances: Sequence[GameInstance]):
+        with self._lock:
+            self.calls.append(len(instances))
+        if self.delay:
+            time.sleep(self.delay)
+        if self.fail:
+            raise RuntimeError("compute exploded")
+        return [True] * len(instances), [0.001] * len(instances)
+
+
+class TestDedup:
+    def test_concurrent_same_key_computes_once(self):
+        evaluator = _FakeEvaluator(delay=0.05)
+
+        async def scenario():
+            coalescer = RequestCoalescer(evaluator, window_seconds=0.0)
+            instance = _instance()
+            results = await asyncio.gather(
+                coalescer.submit("k1", instance),
+                coalescer.submit("k1", instance),
+                coalescer.submit("k1", instance),
+            )
+            await coalescer.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert evaluator.calls == [1]
+        assert [r.verdict for r in results] == [True, True, True]
+        assert sorted(r.deduped for r in results) == [False, True, True]
+
+    def test_late_arrival_during_compute_still_dedupes(self):
+        evaluator = _FakeEvaluator(delay=0.1)
+
+        async def scenario():
+            coalescer = RequestCoalescer(evaluator, window_seconds=0.0)
+            instance = _instance()
+            first = asyncio.ensure_future(coalescer.submit("k1", instance))
+            # Let the first submit flush and start computing, then arrive late.
+            await asyncio.sleep(0.03)
+            second = await coalescer.submit("k1", instance)
+            stats = coalescer.stats()
+            result_first = await first
+            await coalescer.close()
+            return result_first, second, stats
+
+        first, second, stats = asyncio.run(scenario())
+        assert evaluator.calls == [1]
+        assert not first.deduped and second.deduped
+        assert stats["deduped"] == 1
+
+
+class TestBatchingWindow:
+    def test_same_group_submits_share_one_batch(self):
+        evaluator = _FakeEvaluator()
+        instance = _instance()
+
+        async def scenario():
+            coalescer = RequestCoalescer(evaluator, window_seconds=0.05)
+            # Same (machine, graph, ids) group, distinct keys: one batch.
+            results = await asyncio.gather(
+                coalescer.submit("a", instance),
+                coalescer.submit("b", instance),
+                coalescer.submit("c", instance),
+            )
+            stats = coalescer.stats()
+            await coalescer.close()
+            return results, stats
+
+        results, stats = asyncio.run(scenario())
+        assert evaluator.calls == [3]
+        assert all(r.batch_size == 3 for r in results)
+        assert stats["batches"] == 1
+        assert stats["largest_batch"] == 3
+
+    def test_incompatible_groups_split_into_batches(self):
+        evaluator = _FakeEvaluator()
+
+        async def scenario():
+            coalescer = RequestCoalescer(evaluator, window_seconds=0.05)
+            await asyncio.gather(
+                coalescer.submit("a", _instance(5)),
+                coalescer.submit("b", _instance(6)),
+            )
+            stats = coalescer.stats()
+            await coalescer.close()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert sorted(evaluator.calls) == [1, 1]
+        assert stats["batches"] == 2
+
+    def test_max_batch_flushes_before_window(self):
+        evaluator = _FakeEvaluator()
+        instance = _instance()
+
+        async def scenario():
+            # A 10-minute window that max_batch must preempt.
+            coalescer = RequestCoalescer(evaluator, window_seconds=600.0, max_batch=2)
+            started = time.perf_counter()
+            await asyncio.gather(
+                coalescer.submit("a", instance),
+                coalescer.submit("b", instance),
+            )
+            elapsed = time.perf_counter() - started
+            await coalescer.close()
+            return elapsed
+
+        assert asyncio.run(scenario()) < 5.0
+        assert evaluator.calls == [2]
+
+    def test_on_computed_failure_still_answers_waiters(self):
+        # A store that cannot record (disk full, locked database) must not
+        # hang the waiters or poison the in-flight map.
+        evaluator = _FakeEvaluator()
+
+        def broken_recorder(entries, verdicts, seconds):
+            raise OSError("disk full")
+
+        async def scenario():
+            coalescer = RequestCoalescer(
+                evaluator, window_seconds=0.0, on_computed=broken_recorder
+            )
+            result = await coalescer.submit("a", _instance())
+            stats = coalescer.stats()
+            # The key is released: a retry computes again instead of hanging.
+            retry = await coalescer.submit("a", _instance())
+            await coalescer.close()
+            return result, retry, stats
+
+        result, retry, stats = asyncio.run(scenario())
+        assert result.verdict is True and retry.verdict is True
+        assert stats["record_failures"] == 1
+        assert stats["inflight"] == 0
+
+    def test_on_computed_fires_once_per_batch_entry(self):
+        evaluator = _FakeEvaluator(delay=0.05)
+        recorded = []
+
+        async def scenario():
+            coalescer = RequestCoalescer(
+                evaluator,
+                window_seconds=0.0,
+                on_computed=lambda entries, verdicts, seconds: recorded.extend(
+                    (key, verdict) for (key, _, _), verdict in zip(entries, verdicts)
+                ),
+            )
+            instance = _instance()
+            await asyncio.gather(
+                coalescer.submit("a", instance),
+                coalescer.submit("a", instance),  # deduped: must not re-record
+            )
+            await coalescer.close()
+
+        asyncio.run(scenario())
+        assert recorded == [("a", True)]
+
+
+class TestFailureAndShutdown:
+    def test_compute_error_propagates_to_every_waiter(self):
+        evaluator = _FakeEvaluator(delay=0.02, fail=True)
+
+        async def scenario():
+            coalescer = RequestCoalescer(evaluator, window_seconds=0.0)
+            instance = _instance()
+            results = await asyncio.gather(
+                coalescer.submit("a", instance),
+                coalescer.submit("a", instance),
+                return_exceptions=True,
+            )
+            await coalescer.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(results) == 2
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_key_is_retryable_after_a_failed_compute(self):
+        evaluator = _FakeEvaluator(fail=True)
+
+        async def scenario():
+            coalescer = RequestCoalescer(evaluator, window_seconds=0.0)
+            instance = _instance()
+            with pytest.raises(RuntimeError):
+                await coalescer.submit("a", instance)
+            evaluator.fail = False
+            result = await coalescer.submit("a", instance)
+            await coalescer.close()
+            return result
+
+        assert asyncio.run(scenario()).verdict is True
+
+    def test_close_fails_pending_and_rejects_new(self):
+        evaluator = _FakeEvaluator()
+
+        async def scenario():
+            # A long window, closed before it expires.
+            coalescer = RequestCoalescer(evaluator, window_seconds=600.0)
+            pending = asyncio.ensure_future(coalescer.submit("a", _instance()))
+            await asyncio.sleep(0.01)
+            await coalescer.close()
+            with pytest.raises(CoalescerClosed):
+                await pending
+            with pytest.raises(CoalescerClosed):
+                await coalescer.submit("b", _instance())
+
+        asyncio.run(scenario())
+        assert evaluator.calls == []

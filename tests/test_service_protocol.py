@@ -1,0 +1,135 @@
+"""Wire protocol: round-trips, malformed input, response shapes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    PingRequest,
+    ProtocolError,
+    QueryRequest,
+    StatsRequest,
+    encode_request,
+    encode_response,
+    error_response,
+    parse_request,
+    parse_response,
+    pong_response,
+    query_response,
+    stats_response,
+)
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize(
+        "request_obj",
+        [
+            QueryRequest(id=7, scenario="separations", index=3),
+            QueryRequest(id="abc", scenario="smoke", instance="3-colorable|cycle4|small"),
+            QueryRequest(spec={"arbiter": "3-colorable", "family": "cycle", "n": 6}),
+            StatsRequest(id=0),
+            StatsRequest(),
+            PingRequest(id="p"),
+        ],
+    )
+    def test_encode_parse_identity(self, request_obj):
+        line = encode_request(request_obj)
+        assert "\n" not in line
+        assert parse_request(line) == request_obj
+
+    def test_encoded_request_is_versioned_json(self):
+        body = json.loads(encode_request(PingRequest(id=1)))
+        assert body["v"] == PROTOCOL_VERSION
+        assert body["op"] == "ping"
+
+
+class TestMalformedRequests:
+    def _code(self, line: str) -> str:
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line)
+        return excinfo.value.code
+
+    def test_invalid_json(self):
+        assert self._code("{not json") == "bad-json"
+
+    def test_non_object(self):
+        assert self._code('["a", "list"]') == "bad-request"
+
+    def test_missing_version(self):
+        assert self._code('{"op": "ping"}') == "bad-version"
+
+    def test_future_version(self):
+        assert self._code('{"v": 99, "op": "ping"}') == "bad-version"
+
+    def test_unknown_op(self):
+        assert self._code('{"v": 1, "op": "solve"}') == "bad-op"
+
+    def test_query_needs_exactly_one_addressing_mode(self):
+        assert self._code('{"v": 1, "op": "query"}') == "bad-request"
+        both = '{"v": 1, "op": "query", "scenario": "s", "index": 0, "spec": {}}'
+        assert self._code(both) == "bad-request"
+
+    def test_scenario_query_needs_instance_xor_index(self):
+        assert self._code('{"v": 1, "op": "query", "scenario": "s"}') == "bad-request"
+        both = '{"v": 1, "op": "query", "scenario": "s", "instance": "x", "index": 1}'
+        assert self._code(both) == "bad-request"
+
+    def test_bad_field_types(self):
+        assert self._code('{"v": 1, "op": "query", "scenario": 5, "index": 0}') == "bad-request"
+        assert (
+            self._code('{"v": 1, "op": "query", "scenario": "s", "index": "zero"}')
+            == "bad-request"
+        )
+        assert (
+            self._code('{"v": 1, "op": "query", "scenario": "s", "index": true}')
+            == "bad-request"
+        )
+        assert self._code('{"v": 1, "op": "query", "spec": [1]}') == "bad-spec"
+        assert self._code('{"v": 1, "op": "ping", "id": [1]}') == "bad-request"
+
+    def test_error_keeps_request_id_for_addressable_lines(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request('{"v": 1, "op": "warp", "id": 42}')
+        assert excinfo.value.request_id == 42
+
+
+class TestResponses:
+    def test_query_response_round_trip(self):
+        response = query_response(3, True, source="lru", key="k" * 64, name="x", seconds=0.25)
+        parsed = parse_response(encode_response(response))
+        assert parsed == response
+        assert parsed["winner"] == "eve"
+        assert parsed["ok"] is True
+
+    def test_adam_wins_when_verdict_false(self):
+        assert query_response(None, False, "compute", "k")["winner"] == "adam"
+
+    def test_query_response_rejects_unknown_source(self):
+        with pytest.raises(ValueError):
+            query_response(None, True, source="disk", key="k")
+
+    def test_error_response_round_trip(self):
+        response = error_response("id-1", "overloaded", "busy")
+        parsed = parse_response(encode_response(response))
+        assert parsed["ok"] is False
+        assert parsed["error"]["code"] == "overloaded"
+        assert parsed["id"] == "id-1"
+
+    def test_error_response_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            error_response(None, "weird", "boom")
+
+    def test_stats_and_pong(self):
+        assert parse_response(encode_response(stats_response(1, {"a": 1})))["stats"] == {"a": 1}
+        assert parse_response(encode_response(pong_response(2)))["pong"] is True
+
+    def test_parse_response_rejects_bad_lines(self):
+        with pytest.raises(ProtocolError):
+            parse_response("nope")
+        with pytest.raises(ProtocolError):
+            parse_response('{"v": 2, "ok": true}')
+        with pytest.raises(ProtocolError):
+            parse_response('{"v": 1}')

@@ -1,0 +1,342 @@
+"""End-to-end daemon tests: concurrency, correctness, backpressure, speedup."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.graphs import generators
+from repro.hierarchy.game import eve_wins
+from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
+from repro.service.client import ServiceClient, ServiceError, format_address, parse_address
+from repro.service.loadgen import run_load, scenario_payloads
+from repro.service.server import ServerThread, ServiceConfig
+from repro.sweep.executor import evaluate_timed
+from repro.sweep.scenarios import build_instances, instances_for_spec, register_scenario
+from repro.sweep.store import MemoryVerdictStore
+
+#: The Figure-2 workload the acceptance criteria are phrased over.
+FIG2_SCENARIO = "separations"
+
+
+@pytest.fixture(scope="module")
+def fig2_server():
+    """One daemon over a shared in-memory store, used by the module's tests."""
+    with ServerThread(store=MemoryVerdictStore()) as server:
+        yield server
+
+
+class TestAddresses:
+    def test_parse_and_format(self):
+        assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert parse_address("10.0.0.1:81") == ("tcp", "10.0.0.1", 81)
+        assert parse_address(":81") == ("tcp", "127.0.0.1", 81)
+        assert format_address(("unix", "/a")) == "unix:/a"
+        assert format_address(("tcp", "h", 9)) == "h:9"
+        with pytest.raises(ValueError):
+            parse_address("unix:")
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+class TestEndToEnd:
+    def test_concurrent_clients_match_oracle(self, fig2_server):
+        """>= 8 concurrent clients; every answer identical and engine-correct."""
+        instances = build_instances(FIG2_SCENARIO)
+        expected, _ = evaluate_timed(instances)
+        client_count = 8
+        answers = [None] * client_count
+        errors = []
+
+        def worker(slot: int) -> None:
+            try:
+                with ServiceClient(fig2_server.address) as client:
+                    rows = []
+                    for index in range(len(instances)):
+                        response = client.query_scenario(FIG2_SCENARIO, index=index)
+                        rows.append(
+                            (response["verdict"], response["winner"], response["key"],
+                             response["name"])
+                        )
+                    answers[slot] = rows
+            except Exception as error:  # noqa: BLE001 -- surfaced by the assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(slot,)) for slot in range(client_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert all(rows is not None for rows in answers)
+        # Byte-identical across clients: every client saw the same rows.
+        reference = answers[0]
+        assert all(rows == reference for rows in answers[1:])
+        # And the rows carry the engine's verdicts.
+        assert [row[0] for row in reference] == expected
+
+    def test_small_instances_match_exhaustive_oracle(self, fig2_server):
+        """Cross-check the daemon against the reference solver where affordable."""
+        instances = build_instances(FIG2_SCENARIO)
+        checked = 0
+        with ServiceClient(fig2_server.address) as client:
+            for index, instance in enumerate(instances):
+                if len(instance.graph.nodes) > 6:
+                    continue
+                response = client.query_scenario(FIG2_SCENARIO, index=index)
+                oracle = eve_wins(
+                    instance.machine,
+                    instance.graph,
+                    instance.ids,
+                    list(instance.spaces),
+                    list(instance.prefix),
+                )
+                assert response["verdict"] == oracle, instance.name
+                checked += 1
+        assert checked >= 3
+
+    def test_warm_queries_hit_the_lru(self, fig2_server):
+        with ServiceClient(fig2_server.address) as client:
+            first = client.query_scenario(FIG2_SCENARIO, index=0)
+            second = client.query_scenario(FIG2_SCENARIO, index=0)
+        assert second["source"] == "lru"
+        assert second["verdict"] == first["verdict"]
+
+    def test_store_tier_survives_lru_restart(self):
+        store = MemoryVerdictStore()
+        with ServerThread(store=store) as first:
+            with ServiceClient(first.address) as client:
+                cold = client.query_scenario("smoke", index=0)
+        assert cold["source"] in ("compute", "coalesced")
+        assert len(store) >= 1
+        # A fresh daemon (empty LRU) over the same store answers from tier 2.
+        with ServerThread(store=store) as second:
+            with ServiceClient(second.address) as client:
+                warm = client.query_scenario("smoke", index=0)
+        assert warm["source"] == "store"
+        assert warm["verdict"] == cold["verdict"]
+
+    def test_inline_spec_and_scenario_key_agree(self, fig2_server):
+        """The same game addressed both ways maps to one store key."""
+        with ServiceClient(fig2_server.address) as client:
+            inline = client.query_spec(
+                arbiter="3-colorable", family="cycle", n=4, scheme="small"
+            )
+            named = client.query_scenario("smoke", instance="3-colorable|cycle4|small")
+        assert inline["key"] == named["key"]
+        assert inline["verdict"] == named["verdict"]
+
+    def test_malformed_line_keeps_connection_alive(self, fig2_server):
+        with ServiceClient(fig2_server.address) as client:
+            client._sock.sendall(b"this is not json\n")
+            answer = json.loads(client._reader.readline())
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == "bad-json"
+            # The connection survives and still answers real queries.
+            assert client.ping()
+
+    def test_oversized_inline_spec_is_rejected_before_building(self, fig2_server):
+        # complete(200000) would materialize ~2e10 edges; the size bound
+        # must fire on the raw parameters, so this answers instantly.
+        started = time.perf_counter()
+        with ServiceClient(fig2_server.address) as client:
+            response = client.query_spec(
+                check=False, arbiter="3-colorable", family="complete", n=200_000
+            )
+            grid = client.query_spec(
+                check=False, arbiter="eulerian", family="grid", rows=10_000, cols=10_000
+            )
+        assert time.perf_counter() - started < 5.0
+        assert response["error"]["code"] == "bad-spec"
+        assert grid["error"]["code"] == "bad-spec"
+
+    def test_failing_store_does_not_hang_queries(self):
+        class BrokenPutStore(MemoryVerdictStore):
+            def put_many(self, records):
+                raise OSError("disk full")
+
+        with ServerThread(store=BrokenPutStore()) as server:
+            with ServiceClient(server.address) as client:
+                first = client.query_scenario("smoke", index=0)
+                second = client.query_scenario("smoke", index=0)
+                stats = client.stats()
+        assert first["ok"] and second["ok"]
+        assert second["source"] == "lru"  # tier 1 still works
+        assert stats["tiers"]["store"]["async_put_failures"] >= 1
+
+    def test_unknown_scenario_and_instance_errors(self, fig2_server):
+        with ServiceClient(fig2_server.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.query_scenario("no-such-scenario", index=0)
+            assert excinfo.value.code == "unknown-scenario"
+            response = client.query_scenario(FIG2_SCENARIO, index=10_000, check=False)
+            assert response["error"]["code"] == "unknown-instance"
+
+    def test_stats_expose_engine_telemetry(self, fig2_server):
+        with ServiceClient(fig2_server.address) as client:
+            client.query_scenario(FIG2_SCENARIO, index=1)
+            stats = client.stats()
+        tiers = stats["tiers"]
+        assert tiers["lru"]["maxsize"] == 4096
+        compute = tiers["compute"]
+        assert compute["computed"] >= 1
+        # The compiled core's memo_info / transposition_info counters,
+        # aggregated over live engines (the operator-facing telemetry).
+        for cache_info in (compute["memo"], compute["transposition"]):
+            for field in ("size", "hits", "misses", "evictions", "caches"):
+                assert isinstance(cache_info[field], int)
+        assert compute["compiled_instances"] >= 1
+        assert stats["requests"]["query"] >= 1
+
+
+def _register_slow_scenario(name: str, count: int, delay: float) -> None:
+    """A scenario of *count* independent slow instances (distinct graphs)."""
+
+    def build():
+        from repro.hierarchy.arbiters import lp_decider_spec
+
+        def sleepy(view):
+            time.sleep(delay)
+            return "1"
+
+        spec = lp_decider_spec("sleepy", NeighborhoodGatherAlgorithm(1, sleepy))
+        graphs = [(f"path{n}", generators.path_graph(n)) for n in range(3, 3 + count)]
+        return instances_for_spec(spec, graphs)
+
+    register_scenario(name, "slow instances for backpressure tests", tags=("test",))(build)
+
+
+class TestCoalescingOverSockets:
+    def test_concurrent_same_query_computes_once(self):
+        _register_slow_scenario("service-test-dedup", 1, delay=0.05)
+        config = ServiceConfig(window_seconds=0.005)
+        with ServerThread(store=None, config=config) as server:
+            sources = []
+            lock = threading.Lock()
+
+            def worker():
+                with ServiceClient(server.address) as client:
+                    response = client.query_scenario("service-test-dedup", index=0)
+                    with lock:
+                        sources.append(response["source"])
+
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert len(sources) == 6
+            service = server.service
+            # One compute; everyone else coalesced onto it (or read the LRU
+            # if they arrived after it finished).
+            assert service.compute.computed == 1
+            assert sources.count("compute") == 1
+            assert all(source in ("compute", "coalesced", "lru") for source in sources)
+
+    def test_batching_window_groups_compatible_queries(self):
+        # Sigma and Pi games on ONE (machine, graph, ids) instance are
+        # compatible: they share an evaluator group, so a single batch must
+        # carry both when they land inside one window.
+        config = ServiceConfig(window_seconds=0.05)
+        with ServerThread(store=None, config=config) as server:
+            results = []
+            lock = threading.Lock()
+
+            def worker(prefix):
+                with ServiceClient(server.address) as client:
+                    response = client.query_spec(
+                        arbiter="2-colorable",
+                        family="cycle",
+                        n=6,
+                        scheme="sequential",
+                        prefix=prefix,
+                    )
+                    with lock:
+                        results.append(response)
+
+            threads = [threading.Thread(target=worker, args=(p,)) for p in ("E", "A")]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert len(results) == 2
+            service = server.service
+            assert service.coalescer.stats()["largest_batch"] == 2
+            assert service.compute.batches == 1
+        by_prefix = {r["name"]: r["verdict"] for r in results}
+        assert len(by_prefix) == 2
+
+
+class TestBackpressure:
+    def test_overload_is_explicit_and_bounded(self):
+        _register_slow_scenario("service-test-slow", 12, delay=0.1)
+        config = ServiceConfig(max_pending=2, window_seconds=0.0)
+        with ServerThread(store=None, config=config) as server:
+            outcomes = []
+            lock = threading.Lock()
+
+            def worker(index):
+                with ServiceClient(server.address) as client:
+                    response = client.query_scenario(
+                        "service-test-slow", index=index, check=False
+                    )
+                    with lock:
+                        outcomes.append(response)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(10)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+
+            assert len(outcomes) == 10
+            ok = [r for r in outcomes if r.get("ok")]
+            rejected = [r for r in outcomes if not r.get("ok")]
+            # Under 10 concurrent slow queries with max_pending=2 some must
+            # be rejected, every rejection is the explicit overload signal,
+            # and admission never exceeded the bound.
+            assert ok and rejected
+            assert all(r["error"]["code"] == "overloaded" for r in rejected)
+            service = server.service
+            assert service.peak_pending <= 2
+            assert service.overloaded_count == len(rejected)
+            # Ping/stats stay admitted during overload.
+            with ServiceClient(server.address) as client:
+                assert client.ping()
+                assert client.stats()["max_pending"] == 2
+
+
+class TestWarmThroughputSpeedup:
+    def test_warm_service_is_10x_faster_than_cold_compute(self):
+        """Acceptance: warm loadgen sustains >= 10x cold single-query compute
+        on the Figure-2 workload."""
+        # Cold single-query baseline: fresh machines, graphs and engines per
+        # run (build_instances constructs new objects, so nothing is shared
+        # with the daemon or earlier tests).
+        cold_instances = build_instances(FIG2_SCENARIO)
+        started = time.perf_counter()
+        evaluate_timed(cold_instances)
+        cold_seconds = time.perf_counter() - started
+        cold_qps = len(cold_instances) / cold_seconds
+
+        store = MemoryVerdictStore()
+        with ServerThread(store=store) as server:
+            payloads = scenario_payloads(FIG2_SCENARIO)
+            # Warm the store and LRU once, then measure closed-loop.
+            run_load(server.address, payloads, clients=1, label="warmup")
+            report = run_load(
+                server.address,
+                payloads,
+                clients=4,
+                total=max(200, 4 * len(payloads)),
+                label="hot-cache",
+            )
+        assert report.errors == 0 and report.overloaded == 0
+        assert report.cache_hit_rate == 1.0
+        assert report.qps >= 10 * cold_qps, (
+            f"warm service at {report.qps:.0f} qps is below 10x the cold "
+            f"single-query rate of {cold_qps:.1f} qps"
+        )

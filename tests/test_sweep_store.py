@@ -1,6 +1,8 @@
-"""Verdict stores: round-trips, backend parity, and key invalidation."""
+"""Verdict stores: round-trips, backend parity, concurrency, key invalidation."""
 
 from __future__ import annotations
+
+import threading
 
 import pytest
 
@@ -76,6 +78,105 @@ class TestPersistence:
             assert isinstance(jsonl, JsonlVerdictStore)
         with open_store(str(tmp_path / "a.db")) as sqlite:
             assert isinstance(sqlite, SQLiteVerdictStore)
+
+    def test_open_store_scheme_prefixes_win_over_suffixes(self, tmp_path):
+        # The scheme decides, not the extension: daemons can name their
+        # store unambiguously.
+        with open_store(f"sqlite://{tmp_path}/odd.jsonl") as forced_sqlite:
+            assert isinstance(forced_sqlite, SQLiteVerdictStore)
+        with open_store(f"jsonl://{tmp_path}/odd.db") as forced_jsonl:
+            assert isinstance(forced_jsonl, JsonlVerdictStore)
+        assert isinstance(open_store("memory://"), MemoryVerdictStore)
+        assert isinstance(open_store("sqlite://:memory:"), SQLiteVerdictStore)
+
+    def test_open_store_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            open_store("postgres://x")
+
+    def test_open_store_creates_parent_directories(self, tmp_path):
+        deep_sqlite = tmp_path / "a" / "b" / "c" / "verdicts.sqlite"
+        with open_store(f"sqlite://{deep_sqlite}") as store:
+            store.put("k", True)
+        assert deep_sqlite.exists()
+        deep_jsonl = tmp_path / "x" / "y" / "verdicts.jsonl"
+        with open_store(str(deep_jsonl)) as store:
+            store.put("k", False)
+        assert deep_jsonl.exists()
+
+
+class TestBulkLookup:
+    def test_get_many_on_every_backend(self, store):
+        store.put_many([("a", True, "", 0.0), ("b", False, "", 0.0), ("c", True, "", 0.0)])
+        found = store.get_many(["a", "b", "missing", "c"])
+        assert found == {"a": True, "b": False, "c": True}
+
+    def test_get_many_empty(self, store):
+        assert store.get_many([]) == {}
+
+    def test_sqlite_get_many_spans_chunks(self, tmp_path):
+        with SQLiteVerdictStore(str(tmp_path / "big.sqlite")) as store:
+            count = 2 * SQLiteVerdictStore.GET_MANY_CHUNK + 17
+            store.put_many([(f"k{i}", i % 2 == 0, "", 0.0) for i in range(count)])
+            found = store.get_many([f"k{i}" for i in range(count)] + ["absent"])
+            assert len(found) == count
+            assert found["k0"] is True and found["k1"] is False
+
+
+class TestServiceConcurrency:
+    """The daemon's access pattern: one store shared across threads."""
+
+    def test_sqlite_runs_wal_with_busy_timeout(self, tmp_path):
+        with SQLiteVerdictStore(str(tmp_path / "wal.sqlite")) as store:
+            assert store.journal_mode() == "wal"
+            (timeout,) = store._connection.execute("PRAGMA busy_timeout").fetchone()
+            assert timeout >= 1000
+
+    def test_shared_store_concurrent_readers_and_writers(self, tmp_path):
+        with SQLiteVerdictStore(str(tmp_path / "shared.sqlite")) as store:
+            writers, per_writer = 4, 40
+            errors = []
+
+            def writer(slot: int) -> None:
+                try:
+                    for i in range(per_writer):
+                        store.put(f"w{slot}-{i}", (slot + i) % 2 == 0, name=f"t{slot}")
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            def reader() -> None:
+                try:
+                    for _ in range(30):
+                        keys = [f"w0-{i}" for i in range(per_writer)]
+                        found = store.get_many(keys)
+                        assert all(isinstance(v, bool) for v in found.values())
+                        len(store)
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=writer, args=(slot,)) for slot in range(writers)
+            ] + [threading.Thread(target=reader) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            assert len(store) == writers * per_writer
+            for slot in range(writers):
+                assert store.get(f"w{slot}-0") is (slot % 2 == 0)
+
+    def test_two_connections_reader_sees_writer(self, tmp_path):
+        # Separate store objects (separate SQLite connections) on one path:
+        # WAL lets the reader observe committed writes without locking errors.
+        path = str(tmp_path / "cross.sqlite")
+        with SQLiteVerdictStore(path) as writer, SQLiteVerdictStore(path) as reader:
+            assert reader.get("k") is None
+            writer.put("k", True, name="cross")
+            assert reader.get("k") is True
+            writer.put_many([(f"m{i}", False, "", 0.0) for i in range(10)])
+            assert reader.get_many([f"m{i}" for i in range(10)]) == {
+                f"m{i}": False for i in range(10)
+            }
 
 
 class TestKeyScheme:
