@@ -235,3 +235,60 @@ def test_compiled_speedup_over_engine(benchmark):
     assert speedup_median >= 5.0, (
         f"compiled median speedup {speedup_median:.1f}x below the required 5x"
     )
+
+
+def test_bitset_speedup_over_compiled(benchmark):
+    """The bitset tier must beat the PR-3 compiled tier by >= 3x cold.
+
+    Same Figure-2 workload, same cold-cache discipline (fresh
+    ``CompiledInstance`` and engine per game); the only difference between
+    the tiers is ``use_bitset`` -- mask-pruned innermost search versus the
+    PR-3 per-candidate memo loop.  Reject-heavy instances (K4/K5/K6, odd
+    cycles) dominate, which is exactly where whole-code-block pruning pays.
+    """
+    games = _figure2_workload()
+
+    def run_tier(use_bitset):
+        return [
+            CompiledGameEngine(
+                machine, graph, ids, spaces,
+                instance=CompiledInstance(machine, graph, ids),
+                use_bitset=use_bitset,
+            ).eve_wins(prefix)
+            for machine, graph, ids, spaces, prefix in games
+        ]
+
+    compiled_median, compiled_verdicts = timed_median_with_result(
+        lambda: run_tier(False), repeats=5
+    )
+    bitset_median, bitset_verdicts = timed_median_with_result(
+        lambda: run_tier(True), repeats=5
+    )
+    assert bitset_verdicts == compiled_verdicts
+    speedup_median = compiled_median / bitset_median
+    benchmark(lambda: run_tier(True))
+    report(
+        "Bitset tier vs PR-3 compiled tier (Figure-2 workload, cold)",
+        [
+            {
+                "games": len(games),
+                "compiled_median_seconds": round(compiled_median, 6),
+                "bitset_median_seconds": round(bitset_median, 6),
+                "speedup_median": round(speedup_median, 1),
+            }
+        ],
+    )
+    write_bench_json(
+        "fig02",
+        {
+            "bitset_vs_compiled": {
+                "workload_games": len(games),
+                "compiled_median_seconds": compiled_median,
+                "bitset_median_seconds": bitset_median,
+                "speedup_median": round(speedup_median, 2),
+            }
+        },
+    )
+    assert speedup_median >= 3.0, (
+        f"bitset median speedup {speedup_median:.1f}x below the required 3x"
+    )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import statistics
 import time
 from pathlib import Path
@@ -78,7 +79,8 @@ def write_bench_json(figure: str, payload: dict) -> Path:
 
     Each benchmark module contributes its own keys, so several tests can
     extend one figure's file; existing keys are overwritten, unknown keys
-    preserved.
+    preserved.  Every file also records the interpreter version and CPU
+    count, so numbers from different machines/PRs compare meaningfully.
     """
     path = BENCH_OUTPUT_DIR / f"BENCH_{figure}.json"
     merged = {}
@@ -88,5 +90,7 @@ def write_bench_json(figure: str, payload: dict) -> Path:
         except (ValueError, OSError):
             merged = {}
     merged.update(payload)
+    merged["python_version"] = platform.python_version()
+    merged["cpu_count"] = os.cpu_count()
     path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
     return path

@@ -34,12 +34,26 @@ kernels for machines that declare a :mod:`repro.machines.rules` rule.
 :class:`~repro.engine.compiled.CompiledGameEngine`; constructing
 ``GameEngine`` directly gives the self-contained PR-1 tier.
 
+Above the compiled core sits the **vectorized tier** (on by default in
+``CompiledGameEngine``; ``use_bitset=False`` restores the previous
+behavior): :mod:`repro.engine.bitset` packs per-node acceptance over the
+whole interned code alphabet into single integers emitted by the rules
+themselves, so the innermost search prunes whole code-blocks with a few
+``&`` operations, and a quantifier *collapse* skips subtrees that cannot
+change the verdict.  :mod:`repro.engine.canonical` complements it on the
+expensive rule-less paths: verdicts are shared under a canonical ball
+signature across nodes, instances and (through the verdict store's node
+table) sessions.
+
 The exhaustive solver is retained, untouched, as the reference oracle; the
 equivalence of all tiers is asserted by randomized tests
-(``tests/test_engine.py`` and ``tests/test_compiled.py``).
+(``tests/test_engine.py``, ``tests/test_compiled.py`` and
+``tests/test_bitset.py``).
 """
 
+from repro.engine.bitset import BitsetKernel
 from repro.engine.caching import EvaluatorStats, LRUCache
+from repro.engine.canonical import CanonicalVerdictCache, node_ball_signature
 from repro.engine.views import BallIndex, RestrictionKey
 from repro.engine.compiled import (
     CodedState,
@@ -61,6 +75,9 @@ from repro.engine.batch import (
 __all__ = [
     "BallIndex",
     "RestrictionKey",
+    "BitsetKernel",
+    "CanonicalVerdictCache",
+    "node_ball_signature",
     "EvaluatorStats",
     "LRUCache",
     "CodedState",

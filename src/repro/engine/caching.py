@@ -102,12 +102,20 @@ class EvaluatorStats:
     simulator_runs:
         Number of times the round-by-round simulator actually ran (zero on
         the direct and table-driven paths).
+    bitset_prunes:
+        Search positions killed outright by an empty viability mask in the
+        bitset tier (whole code-blocks discarded before descending).
+    bitset_evaluations:
+        Rule-predicate evaluations spent building bitset slot masks (the
+        pairwise tables count their builds on the kernel instead).
     """
 
     leaves: int = 0
     node_hits: int = 0
     node_misses: int = 0
     simulator_runs: int = 0
+    bitset_prunes: int = 0
+    bitset_evaluations: int = 0
 
     def hit_rate(self) -> float:
         """Fraction of node-verdict requests answered from cache."""

@@ -58,7 +58,9 @@ from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
 from repro.machines.rules import PairwiseRule, rule_of
 from repro.machines.simulator import execute
 
+from repro.engine.bitset import BitsetKernel, mask_of_codes
 from repro.engine.caching import EvaluatorStats, LRUCache, MISSING
+from repro.engine.canonical import node_ball_signature, verdict_key
 from repro.engine.views import BallIndex
 
 #: Default bound on the shared per-node verdict memo of a compiled instance.
@@ -165,6 +167,14 @@ class CompiledInstance:
         self._own_tables: List[Dict[int, bool]] = [{} for _ in range(n)]
         self._pair_table: Dict[Tuple[str, int, str, int], bool] = {}
         self._star_statics: Optional[List[tuple]] = None
+        #: Bitset leaf kernel (snapshot of the alphabet/packing; lazily
+        #: rebuilt by :meth:`bitset_kernel` when stale).
+        self._bitset_kernel: Optional[BitsetKernel] = None
+        #: Canonical ball memoization (attached by sweeps/the service; the
+        #: expensive rule-less paths consult it on per-node memo misses).
+        self.canonical = None
+        self._machine_token: Optional[str] = None
+        self._canonical_statics: List[Optional[bytes]] = [None] * n
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -308,6 +318,61 @@ class CompiledInstance:
         return CodedState(self, levels)
 
     # ------------------------------------------------------------------
+    # Bitset kernel and canonical ball memoization
+    # ------------------------------------------------------------------
+    def bitset_kernel(self) -> Optional[BitsetKernel]:
+        """The bitset leaf kernel for this instance's rule (``None`` if unruled).
+
+        Kernels snapshot the alphabet and packing generation; a stale one is
+        rebuilt here, so callers get masks that always match the current
+        interning (cheap compare on the warm path).
+        """
+        if self.rule is None:
+            return None
+        kernel = self._bitset_kernel
+        if kernel is None or not kernel.fresh():
+            kernel = BitsetKernel(self)
+            self._bitset_kernel = kernel
+        return kernel
+
+    def attach_canonical(self, cache) -> None:
+        """Attach a :class:`~repro.engine.canonical.CanonicalVerdictCache`.
+
+        The rule-less evaluation paths (direct views and ball-subgraph
+        simulation -- the expensive ones) consult it on per-node memo
+        misses, sharing verdicts across nodes, instances and sessions.
+        """
+        self.canonical = cache
+
+    def _canonical_static(self, u: int) -> bytes:
+        static = self._canonical_statics[u]
+        if static is None:
+            static = node_ball_signature(self, u)
+            self._canonical_statics[u] = static
+        return static
+
+    def canonical_key_state(self, u: int, state: "CodedState") -> str:
+        """The canonical ball-verdict key of node *u* under a coded state."""
+        alphabet = self.alphabet
+        ball = self.balls[u]
+        certificates = tuple(
+            tuple(alphabet[codes[v]] for v in ball) for codes in state.codes
+        )
+        return verdict_key(self._canonical_static(u), state.levels, certificates)
+
+    def canonical_key_dicts(
+        self, u: int, assignments: Sequence[Mapping[Node, str]]
+    ) -> str:
+        """The canonical ball-verdict key of node *u* under dict assignments."""
+        nodes = self.nodes
+        ball = self.balls[u]
+        certificates = tuple(
+            tuple(assignment.get(nodes[v], "") for v in ball)
+            for assignment in assignments
+        )
+        return verdict_key(self._canonical_static(u), len(assignments), certificates)
+
+    # ------------------------------------------------------------------
     # Leaf evaluation on coded state (the engine's hot path)
     # ------------------------------------------------------------------
     def node_verdict_state(self, u: int, state: "CodedState", stats: EvaluatorStats) -> bool:
@@ -334,14 +399,30 @@ class CompiledInstance:
                 verdict = self._pairwise_codes(u, codes)
             else:
                 verdict = rule.predicate(self._star_view(rule, u, codes))
-        elif self.direct:
-            verdict = verdict_of(
-                self.machine.compute(
-                    self.ball_index.view(self.nodes[u], self._decode(state, self.balls[u]))
-                )
-            )
         else:
-            verdict = self._simulate(u, levels, self._decode(state, self.balls[u]), stats)
+            canonical = self.canonical
+            canonical_key = None
+            found = None
+            if canonical is not None:
+                canonical_key = self.canonical_key_state(u, state)
+                found = canonical.get(canonical_key)
+            if found is not None:
+                verdict = found
+            else:
+                if self.direct:
+                    verdict = verdict_of(
+                        self.machine.compute(
+                            self.ball_index.view(
+                                self.nodes[u], self._decode(state, self.balls[u])
+                            )
+                        )
+                    )
+                else:
+                    verdict = self._simulate(
+                        u, levels, self._decode(state, self.balls[u]), stats
+                    )
+                if canonical is not None:
+                    canonical.put(canonical_key, verdict)
         cap = self.memo_cap
         if cap is None or self.memo_entries < cap:
             # Re-fetch: _simulate's harvest may have segment-evicted and
@@ -452,12 +533,26 @@ class CompiledInstance:
                 verdict = self._pairwise_codes(u, codes)
             else:
                 verdict = rule.predicate(self._star_view(rule, u, codes))
-        elif self.direct:
-            verdict = verdict_of(
-                self.machine.compute(self.ball_index.view(self.nodes[u], assignments))
-            )
         else:
-            verdict = self._simulate(u, levels, list(assignments), stats)
+            canonical = self.canonical
+            canonical_key = None
+            found = None
+            if canonical is not None:
+                canonical_key = self.canonical_key_dicts(u, assignments)
+                found = canonical.get(canonical_key)
+            if found is not None:
+                verdict = found
+            else:
+                if self.direct:
+                    verdict = verdict_of(
+                        self.machine.compute(
+                            self.ball_index.view(self.nodes[u], assignments)
+                        )
+                    )
+                else:
+                    verdict = self._simulate(u, levels, list(assignments), stats)
+                if canonical is not None:
+                    canonical.put(canonical_key, verdict)
         if self.generation != generation:
             # Evaluation interned an unseen certificate and rebased the
             # packing: the key computed above is in the old encoding.
@@ -629,10 +724,16 @@ class CompiledInstance:
         outputs = result.outputs
         if subgraph is self.graph:
             # One whole-graph execution decides every node: harvest them all.
+            canonical = self.canonical
             for other, output in outputs.items():
                 other_index = self.index[other]
                 other_key = (self.key_from_dicts(other_index, assignments) << 5) | levels
                 self._memo_put(other_index, other_key, verdict_of(output))
+                if canonical is not None:
+                    canonical.put(
+                        self.canonical_key_dicts(other_index, assignments),
+                        verdict_of(output),
+                    )
         return verdict_of(outputs[node])
 
     def memo_info(self) -> Dict[str, Optional[int]]:
@@ -694,8 +795,10 @@ class CodedState:
         #: games never pay the big-int updates.
         self.full_valid = False
         self.generation = instance.generation
-        #: Cached per-level ``(dependent, shift amount)`` tables.
-        self.deps = [instance.dep_shifts(level) for level in range(levels)]
+        #: Cached per-level ``(dependent, shift amount)`` tables, built on
+        #: first :meth:`set_code` -- the bitset search paths never assign
+        #: through the state, so they never pay for these.
+        self.deps: Optional[List[List[Tuple[Tuple[int, int], ...]]]] = None
 
     def ensure_full(self) -> List[int]:
         """The per-level whole-graph packed keys, enabling their maintenance."""
@@ -714,7 +817,7 @@ class CodedState:
         if self.generation == instance.generation:
             return
         self.generation = instance.generation
-        self.deps = [instance.dep_shifts(level) for level in range(self.levels)]
+        self.deps = None
         shift = instance.shift
         n = instance.n
         keys = []
@@ -743,7 +846,13 @@ class CodedState:
         codes[v] = code
         delta = code - old
         keys = self.keys
-        for u, amount in self.deps[level][v]:
+        deps = self.deps
+        if deps is None:
+            instance = self.instance
+            deps = self.deps = [
+                instance.dep_shifts(level) for level in range(self.levels)
+            ]
+        for u, amount in deps[level][v]:
             keys[u] += delta << amount
         if self.full_valid:
             self.full[level] += delta << (v * self.instance.shift)
@@ -772,6 +881,7 @@ class CompiledGameEngine:
         spaces: Sequence[CertificateSpace],
         instance: Optional[CompiledInstance] = None,
         transposition_cap: Optional[int] = DEFAULT_TRANSPOSITION_CAP,
+        use_bitset: bool = True,
     ) -> None:
         self.machine = machine
         self.graph = graph
@@ -781,12 +891,24 @@ class CompiledGameEngine:
         self.compiled = compiled
         self.nodes: List[Node] = list(graph.nodes)
         self.stats = EvaluatorStats()
+        #: Whether the vectorized bitset tier (mask-pruned innermost search,
+        #: quantifier collapse) may be used.  ``False`` pins the engine to
+        #: the PR-3 behavior -- the baseline of the ``bitset_vs_compiled``
+        #: benchmark gate and half of the equivalence suite.
+        self._use_bitset = use_bitset
         #: Per level, per node index: candidate certificate codes, in the
         #: reference solver's enumeration order.
         self._candidate_codes: List[List[List[int]]] = [
             compiled.candidate_codes(materialize_space(space, graph, self.ids))
             for space in self.spaces
         ]
+        #: Per level, per node: the candidate codes as one packed bitmask;
+        #: plus the vacuity tables gating the quantifier collapse.  Built
+        #: lazily on the first bitset dispatch -- rule-less instances and
+        #: ``use_bitset=False`` baselines never read them.
+        self._candidate_masks: Optional[List[List[int]]] = None
+        self._level_has_empty: Optional[List[bool]] = None
+        self._nonempty_below: Optional[List[bool]] = None
         self._state = compiled.new_state(len(self.spaces))
         self._state.sync()
         self._transposition = LRUCache(transposition_cap)
@@ -795,6 +917,9 @@ class CompiledGameEngine:
         self._checkable_at: List[List[int]] = [[] for _ in range(compiled.n)]
         for u in range(compiled.n):
             self._checkable_at[compiled.balls[u][-1]].append(u)
+        #: Per node: its graph neighbors with a smaller index (lazily built;
+        #: the pairwise bitset search filters against exactly these).
+        self._lower_neighbors: Optional[List[List[int]]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -910,12 +1035,70 @@ class CompiledGameEngine:
         quantifier = prefix[depth]
         if depth == len(prefix) - 1:
             value = self._innermost(quantifier, depth)
+        elif self._use_bitset and self._collapsible(depth):
+            value = self._collapsed_value(quantifier, depth)
         elif quantifier is Quantifier.EXISTS:
             value = any(self._value(prefix, depth + 1) for _ in self._enumerate_level(depth))
         else:
             value = all(self._value(prefix, depth + 1) for _ in self._enumerate_level(depth))
         self._transposition.put(key, value)
         return value
+
+    def _candidate_mask_table(self) -> List[List[int]]:
+        masks = self._candidate_masks
+        if masks is None:
+            masks = self._candidate_masks = [
+                [mask_of_codes(codes) for codes in level_candidates]
+                for level_candidates in self._candidate_codes
+            ]
+        return masks
+
+    def _vacuity_tables(self) -> Tuple[List[bool], List[bool]]:
+        """Per level: has-empty-candidate-list; per depth: all-deeper-nonempty."""
+        has_empty = self._level_has_empty
+        if has_empty is None:
+            has_empty = self._level_has_empty = [
+                any(not codes for codes in level_candidates)
+                for level_candidates in self._candidate_codes
+            ]
+            nonempty_below = [True] * len(self.spaces)
+            clear = True
+            for level in range(len(self.spaces) - 1, -1, -1):
+                nonempty_below[level] = clear
+                clear = clear and not has_empty[level]
+            self._nonempty_below = nonempty_below
+        return has_empty, self._nonempty_below
+
+    def _collapsible(self, depth: int) -> bool:
+        """Whether the subtree below *depth* cannot change the leaf verdict.
+
+        True when the instance has a usable rule reading a level ``<= depth``
+        (so every leaf verdict is already determined once *depth* is
+        assigned) *and* no deeper level has an empty candidate list (an
+        empty level makes a FORALL below vacuously true regardless of the
+        verdict, so collapsing would be unsound).
+        """
+        rule = self.compiled._usable_rule(len(self.spaces))
+        if rule is None or rule.level > depth:
+            return False
+        return self._vacuity_tables()[1][depth]
+
+    def _collapsed_value(self, quantifier: Quantifier, depth: int) -> bool:
+        """The value at *depth* without enumerating the irrelevant subtree.
+
+        With the leaf verdict a function of the rule's level alone, the
+        quantifiers below *depth* quantify over a constant: the value at
+        *depth* is the innermost search on *depth* itself (when the rule
+        reads exactly this level) or the already-determined unanimity
+        verdict (when the rule's level is above).  Empty candidate lists at
+        *depth* keep the reference solver's vacuity semantics.
+        """
+        rule = self.compiled.rule
+        if rule.level == depth:
+            return self._innermost(quantifier, depth)
+        if self._vacuity_tables()[0][depth]:
+            return quantifier is Quantifier.FORALL
+        return self.compiled.accepts_state(self._state, self.stats)
 
     # ------------------------------------------------------------------
     # Innermost level: pruned search on coded state
@@ -926,9 +1109,186 @@ class CompiledGameEngine:
             # No assignment exists at all: the existential player is stuck,
             # the universal statement is vacuously true.
             return quantifier is Quantifier.FORALL
+        if self._use_bitset:
+            compiled = self.compiled
+            rule = compiled._usable_rule(self._state.levels)
+            if rule is not None and rule.level == level:
+                kernel = compiled.bitset_kernel()
+                if kernel is not None and kernel.pairwise:
+                    if quantifier is Quantifier.EXISTS:
+                        return self._exists_bitset_pairwise(level, kernel)
+                    return self._forall_bitset_pairwise(level, kernel)
+                if kernel is not None and quantifier is Quantifier.EXISTS:
+                    return self._exists_bitset_star(level, kernel, 0)
+                # Star FORALL keeps the generic per-ball decomposition.
         if quantifier is Quantifier.EXISTS:
             return self._exists_accepting(level, 0)
         return self._forall_accepting(level)
+
+    def _lower_neighbor_lists(self) -> List[List[int]]:
+        lower = self._lower_neighbors
+        if lower is None:
+            compiled = self.compiled
+            indptr, indices = compiled.adj_indptr, compiled.adj_indices
+            lower = [
+                [w for w in indices[indptr[u] : indptr[u + 1]] if w < u]
+                for u in range(compiled.n)
+            ]
+            self._lower_neighbors = lower
+        return lower
+
+    def _exists_bitset_pairwise(self, level: int, kernel) -> bool:
+        """Backtracking search over viability *masks* (pairwise rules).
+
+        At each position the acceptable codes are one integer:
+        ``own & candidates & AND(pair masks of already-assigned neighbors)``.
+        Whole code-blocks die in the intersections before anything is
+        assigned, and the loop maintains nothing but a scratch code list --
+        no packed keys, no memo traffic, no per-candidate predicate calls.
+        Sound because a pairwise leaf accepts iff every node's ``own_ok``
+        and every edge's (mutual) ``pair_ok`` hold: the filters enforce
+        exactly those constraints over the assigned prefix, so reaching
+        position ``n`` is acceptance and a dead mask is a refutation.
+        """
+        compiled = self.compiled
+        n = compiled.n
+        if n == 0:
+            return True
+        codes = list(self._state.codes[compiled.rule.level])
+        labels = compiled.labels
+        own_masks = kernel.own_masks
+        cand_masks = self._candidate_mask_table()[level]
+        lower = self._lower_neighbor_lists()
+        stats = self.stats
+        uniform = compiled._uniform_labels
+        has_pair = kernel.has_pair
+        pair_mask = kernel.pair_mask
+        pair_uniform = kernel._pair_uniform
+        build_uniform = kernel.pair_mask_uniform
+        masks = [0] * n
+        masks[0] = own_masks[0] & cand_masks[0]
+        position = 0
+        while True:
+            m = masks[position]
+            if m:
+                low = m & -m
+                masks[position] = m ^ low
+                codes[position] = low.bit_length() - 1
+                position += 1
+                if position == n:
+                    return True
+                viable = own_masks[position] & cand_masks[position]
+                if viable and has_pair:
+                    if uniform:
+                        for w in lower[position]:
+                            pm = pair_uniform[codes[w]]
+                            if pm is None:
+                                pm = build_uniform(codes[w])
+                            viable &= pm
+                            if not viable:
+                                break
+                    else:
+                        label = labels[position]
+                        for w in lower[position]:
+                            viable &= pair_mask(label, labels[w], codes[w])
+                            if not viable:
+                                break
+                if not viable:
+                    stats.bitset_prunes += 1
+                masks[position] = viable
+            else:
+                position -= 1
+                if position < 0:
+                    return False
+
+    def _forall_bitset_pairwise(self, level: int, kernel) -> bool:
+        """Per-ball universal check as mask comparisons (pairwise rules).
+
+        A node rejects under *some* ball assignment iff some neighbor-code
+        combination leaves a candidate own-code outside the intersection of
+        its pair masks -- one subset test per combination instead of one
+        verdict per ``(own code, combination)`` pair.  Mutual masks are
+        equivalent here: any one-directional violation is caught in the
+        offending endpoint's own iteration, exactly as in the reference
+        per-ball decomposition.
+        """
+        compiled = self.compiled
+        candidates = self._candidate_codes[level]
+        cand_masks = self._candidate_mask_table()[level]
+        own_masks = kernel.own_masks
+        labels = compiled.labels
+        indptr, indices = compiled.adj_indptr, compiled.adj_indices
+        has_pair = kernel.has_pair
+        uniform = compiled._uniform_labels
+        for u in range(compiled.n):
+            cand = cand_masks[u]
+            if cand & ~own_masks[u]:
+                return False
+            if not has_pair:
+                continue
+            neighbors = indices[indptr[u] : indptr[u + 1]]
+            if not neighbors:
+                continue
+            label = labels[u]
+            rows: List[List[int]] = []
+            for w in neighbors:
+                row = [
+                    kernel.pair_mask_uniform(cw)
+                    if uniform
+                    else kernel.pair_mask(label, labels[w], cw)
+                    for cw in candidates[w]
+                ]
+                # Distinct masks only: equal masks yield equal verdicts.
+                rows.append(list(dict.fromkeys(row)))
+            positions = [0] * len(rows)
+            while True:
+                allowed = cand
+                rejected = False
+                for i, row in enumerate(rows):
+                    allowed &= row[positions[i]]
+                    if cand & ~allowed:
+                        rejected = True
+                        break
+                if rejected:
+                    return False
+                i = len(rows) - 1
+                while i >= 0 and positions[i] == len(rows[i]) - 1:
+                    positions[i] = 0
+                    i -= 1
+                if i < 0:
+                    break
+                positions[i] += 1
+        return True
+
+    def _exists_bitset_star(self, level: int, kernel, position: int) -> bool:
+        """Backtracking search with memoized slot masks (star rules).
+
+        Follows the reference schedule (a node is checked once its ball is
+        fully assigned), but each checkable node contributes a *bitmask*
+        over the position's candidate codes -- evaluated once per distinct
+        neighborhood configuration and cached on the kernel -- so repeated
+        configurations prune whole code-blocks with an ``&``.
+        """
+        compiled = self.compiled
+        if position == compiled.n:
+            return True
+        state = self._state
+        stats = self.stats
+        candidates = self._candidate_codes[level][position]
+        viable = self._candidate_mask_table()[level][position]
+        for u in self._checkable_at[position]:
+            viable &= kernel.star_slot_mask(u, position, state, candidates, stats)
+            if not viable:
+                stats.bitset_prunes += 1
+                return False
+        set_code = state.set_code
+        for code in candidates:
+            if not (viable >> code) & 1:
+                continue
+            set_code(level, position, code)
+            if self._exists_bitset_star(level, kernel, position + 1):
+                return True
+        return False
 
     def _exists_accepting(self, level: int, position: int) -> bool:
         """Backtracking search for an accepting assignment, one code at a time.

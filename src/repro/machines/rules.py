@@ -101,6 +101,45 @@ class PairwiseRule:
             for _, neighbor_label, neighbor_certificate in star.neighbors
         )
 
+    # ------------------------------------------------------------------
+    # Mask-table emission (the bitset kernel's primitives)
+    # ------------------------------------------------------------------
+    def own_code_mask(self, label: str, degree: int, alphabet) -> int:
+        """``own_ok`` over a whole code alphabet, as a packed-int bitmask.
+
+        Bit ``c`` is set iff ``own_ok(label, degree, alphabet[c])`` holds, so
+        the compiled bitset tier (:mod:`repro.engine.bitset`) answers "which
+        certificates could this node even carry?" with one integer instead of
+        one predicate call per candidate.
+        """
+        own_ok = self.own_ok
+        mask = 0
+        for code, certificate in enumerate(alphabet):
+            if own_ok(label, degree, certificate):
+                mask |= 1 << code
+        return mask
+
+    def mutual_pair_mask(
+        self, label_a: str, label_b: str, certificate_b: Optional[str], alphabet
+    ) -> int:
+        """The mutually-acceptable certificates of an ``a``--``b`` edge, as a bitmask.
+
+        Bit ``c`` is set iff a node labeled *label_a* carrying ``alphabet[c]``
+        and a neighbor labeled *label_b* carrying *certificate_b* accept each
+        other in **both** orientations of ``pair_ok``.  ``pair_ok is None``
+        yields the all-ones mask (no neighbor constraint).
+        """
+        pair_ok = self.pair_ok
+        if pair_ok is None:
+            return (1 << len(alphabet)) - 1
+        mask = 0
+        for code, certificate in enumerate(alphabet):
+            if pair_ok(label_a, certificate, label_b, certificate_b) and pair_ok(
+                label_b, certificate_b, label_a, certificate
+            ):
+                mask |= 1 << code
+        return mask
+
 
 @dataclass(frozen=True)
 class StarRule:

@@ -25,8 +25,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.batch import GameInstance
 from repro.engine.caching import LRUCache, MISSING
+from repro.engine.canonical import CanonicalVerdictCache
 from repro.sweep.executor import evaluate_timed
 from repro.sweep.store import VerdictStore
+
+#: Bound on the compute tier's in-memory canonical ball cache (the daemon
+#: is long-lived; sweeps use unbounded per-run caches instead).
+CANONICAL_CACHE_ENTRIES = 1 << 18
 
 
 class TieredVerdictCache:
@@ -44,6 +49,7 @@ class TieredVerdictCache:
         self.lru_seconds = 0.0
         self.store_hits = 0
         self.store_misses = 0
+        self.store_promotions = 0
         self.store_seconds = 0.0
         self.inserts = 0
 
@@ -89,6 +95,38 @@ class TieredVerdictCache:
             self.lru.put(key, bool(stored))
         return bool(stored), "store"
 
+    def lookup_store_many(self, keys: Sequence[str]) -> Dict[str, bool]:
+        """Tier 2 in bulk: one :meth:`~repro.sweep.store.VerdictStore.get_many`.
+
+        Every found key is promoted into the LRU, so a multi-key lookup
+        (the daemon promotes a whole scenario on its first store miss)
+        answers all sibling keys from tier 1 afterwards.  Speculative
+        promotions are counted separately (``store_promotions``), never as
+        hits or misses -- per-query tier counters stay meaningful, with the
+        caller recording the outcome of the one key it actually needed
+        (:meth:`note_store_hit` / :meth:`note_store_miss`).
+        """
+        if self.store is None or not keys:
+            return {}
+        start = time.perf_counter()
+        found = self.store.get_many(keys)
+        with self._lock:
+            self.store_seconds += time.perf_counter() - start
+            self.store_promotions += len(found)
+            for key, verdict in found.items():
+                self.lru.put(key, bool(verdict))
+        return {key: bool(verdict) for key, verdict in found.items()}
+
+    def note_store_hit(self) -> None:
+        """Record one tier-2 hit discovered through a bulk lookup."""
+        with self._lock:
+            self.store_hits += 1
+
+    def note_store_miss(self) -> None:
+        """Record one tier-2 miss discovered through a bulk lookup."""
+        with self._lock:
+            self.store_misses += 1
+
     def insert(
         self,
         key: str,
@@ -120,6 +158,7 @@ class TieredVerdictCache:
                     "size": store_size,
                     "hits": self.store_hits,
                     "misses": self.store_misses,
+                    "promotions": self.store_promotions,
                     "seconds": round(self.store_seconds, 6),
                 },
                 "inserts": self.inserts,
@@ -155,9 +194,22 @@ class ComputeTier:
     concurrency buys nothing for a single batch anyway.
     """
 
-    def __init__(self, max_compiled: int = 64, max_engines: int = 256) -> None:
+    def __init__(
+        self,
+        max_compiled: int = 64,
+        max_engines: int = 256,
+        store: Optional[VerdictStore] = None,
+    ) -> None:
         self._compiled = LRUCache(max_compiled)
         self._engines = LRUCache(max_engines)
+        #: Canonical ball cache shared by every compiled instance the tier
+        #: ever touches; store-backed when the daemon has a store, so the
+        #: compute tier starts warm on neighborhoods any sweep ever solved.
+        #: Bounded, like every other cache in the daemon: evicted entries
+        #: stay re-promotable from the store.
+        self.canonical = CanonicalVerdictCache(
+            store=store, max_entries=CANONICAL_CACHE_ENTRIES
+        )
         self._lock = threading.Lock()
         self.batches = 0
         self.computed = 0
@@ -172,7 +224,11 @@ class ComputeTier:
                 instances,
                 compiled_cache=self._compiled,
                 engine_cache=self._engines,
+                canonical=self.canonical,
             )
+            # Fresh node verdicts reach the store inside the batch (the
+            # caller already runs evaluation off the event loop).
+            self.canonical.flush()
             self.batches += 1
             self.computed += len(verdicts)
             self.seconds += time.perf_counter() - start
@@ -193,6 +249,7 @@ class ComputeTier:
             "transposition": _aggregate_infos(
                 engine.transposition_info() for engine in engines
             ),
+            "canonical": self.canonical.info(),
             "stale": stale,
         }
 

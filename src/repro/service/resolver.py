@@ -132,6 +132,27 @@ class Resolver:
                 error.request_id = request.id
             raise
 
+    def scenario_keys(self, name: str) -> List[str]:
+        """Every store key of a scenario, in instance order (computed in bulk).
+
+        This is the multi-key half of the store read path: the daemon hands
+        the whole list to :meth:`VerdictStore.get_many
+        <repro.sweep.store.VerdictStore.get_many>` on a scenario's first
+        store lookup, so sibling instances are promoted in one round-trip
+        instead of one ``get`` per query.
+        """
+        instances = self._scenario_list(name)
+        keys: List[str] = []
+        for index, instance in enumerate(instances):
+            with self._lock:
+                key = self._scenario_keys.get((name, index))
+            if key is None:
+                key = game_instance_key(instance)
+                with self._lock:
+                    self._scenario_keys[(name, index)] = key
+            keys.append(key)
+        return keys
+
     def invalidate(self, scenario: Optional[str] = None) -> None:
         """Drop cached resolutions (all of them, or one scenario's)."""
         with self._lock:

@@ -80,7 +80,10 @@ class VerdictService:
         self.compute = ComputeTier(
             max_compiled=self.config.max_compiled,
             max_engines=self.config.max_engines,
+            store=self.store,
         )
+        #: Scenarios whose keys were already bulk-promoted from the store.
+        self._promoted_scenarios: set = set()
         self.coalescer = RequestCoalescer(
             self.compute.evaluate,
             window_seconds=self.config.window_seconds,
@@ -169,6 +172,29 @@ class VerdictService:
         finally:
             self.pending -= 1
 
+    #: Scenarios larger than this are not bulk-promoted (the first query
+    #: would pay fingerprinting for every sibling instance).
+    SCENARIO_PROMOTE_LIMIT = 512
+
+    def _bulk_store_lookup(
+        self, scenario: str, key: str
+    ) -> Optional[Tuple[bool, str]]:
+        """First store lookup of a scenario: promote all its keys at once.
+
+        Runs on a worker thread.  One ``get_many`` round-trip pulls every
+        stored sibling verdict into the LRU, so a warm-store client sweeping
+        a scenario pays tier-2 latency once instead of once per instance.
+        """
+        keys = self.resolver.scenario_keys(scenario)
+        if len(keys) > self.SCENARIO_PROMOTE_LIMIT:
+            return self.cache.lookup_store(key)
+        found = self.cache.lookup_store_many(keys)
+        if key in found:
+            self.cache.note_store_hit()
+            return found[key], "store"
+        self.cache.note_store_miss()
+        return None
+
     async def _answer(
         self, request: QueryRequest, resolved: ResolvedQuery
     ) -> Dict[str, Any]:
@@ -177,9 +203,17 @@ class VerdictService:
         if hit is None and self.store is not None:
             # Tier 2 is disk I/O (and can wait out a concurrent writer's
             # lock): run it on the loop's default worker pool, not the loop.
-            hit = await asyncio.get_running_loop().run_in_executor(
-                None, self.cache.lookup_store, resolved.key
-            )
+            loop = asyncio.get_running_loop()
+            scenario = request.scenario
+            if scenario is not None and scenario not in self._promoted_scenarios:
+                self._promoted_scenarios.add(scenario)
+                hit = await loop.run_in_executor(
+                    None, self._bulk_store_lookup, scenario, resolved.key
+                )
+            else:
+                hit = await loop.run_in_executor(
+                    None, self.cache.lookup_store, resolved.key
+                )
         if hit is not None:
             verdict, tier = hit
             return query_response(

@@ -67,6 +67,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("scenarios", help="list the registered sweep scenarios")
+
+    profile = commands.add_parser(
+        "profile",
+        help="run a scenario under cProfile and print the hottest call sites",
+    )
+    profile.add_argument(
+        "scenario", help="scenario name (see `python -m repro scenarios`)"
+    )
+    profile.add_argument(
+        "--top", type=int, default=25, help="how many call sites to print"
+    )
+    profile.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "ncalls"),
+        default="cumulative",
+        help="pstats sort order",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=None, help="profile only the first N instances"
+    )
+    profile.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="run against a persistent verdict store (profiles the warm path)",
+    )
+    profile.set_defaults(handler=_command_profile)
+
     add_service_commands(commands)
     return parser
 
@@ -101,6 +129,38 @@ def _command_sweep(args: argparse.Namespace) -> int:
             f"{result.cached_count} from store, {result.total_seconds:.3f}s total",
             file=sys.stderr,
         )
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    """``python -m repro profile <scenario>``: cProfile over one sweep.
+
+    Used to validate engine optimizations: the printout shows where a cold
+    (or warm, with ``--store``) scenario run actually spends its time, the
+    top call sites first.  Profiling always runs in-process (``jobs=1``) --
+    a fork pool would hide the workers from the profiler.
+    """
+    import cProfile
+    import pstats
+
+    try:
+        get_scenario(args.scenario)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_scenario(
+        args.scenario, jobs=1, store=args.store, limit=args.limit
+    )
+    profiler.disable()
+    print(
+        f"profiled scenario {args.scenario!r}: {len(result.results)} instances, "
+        f"{result.cold_count} solved, {result.cached_count} from store, "
+        f"{result.total_seconds:.3f}s total"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0
 
 

@@ -71,6 +71,9 @@ class SweepResult:
     results: List[InstanceResult] = field(default_factory=list)
     total_seconds: float = 0.0
     store_path: Optional[str] = None
+    #: Canonical ball cache counters for the sweep (hits/misses/hit_rate;
+    #: summed over shards on the parallel path).
+    canonical: Optional[Dict[str, object]] = None
 
     @property
     def verdicts(self) -> List[bool]:
@@ -97,6 +100,7 @@ class SweepResult:
                 "cached": self.cached_count,
                 "seconds": round(self.total_seconds, 6),
             },
+            "canonical": self.canonical,
             "instances": [result.as_dict() for result in self.results],
         }
 
@@ -172,6 +176,7 @@ def evaluate_timed(
     instances: Sequence[GameInstance],
     compiled_cache=None,
     engine_cache=None,
+    canonical=None,
 ) -> Tuple[List[bool], List[float]]:
     """Like :func:`~repro.engine.batch.evaluate_batch`, with per-instance timing.
 
@@ -187,6 +192,12 @@ def evaluate_timed(
     a long-lived caller -- the online verdict service's compute tier -- passes
     persistent caches so engines and their memo/transposition state survive
     across batches, and fresh per-call unbounded caches are used otherwise.
+
+    *canonical*, when given, is a
+    :class:`~repro.engine.canonical.CanonicalVerdictCache` attached to every
+    compiled instance of the batch: isomorphic dependency balls then share
+    one verdict across nodes *and* across the batch's instances (and, when
+    the cache is store-backed, across sessions).
     """
     from repro.engine.caching import LRUCache
     from repro.engine.compiled import CompiledGameEngine, compile_instance
@@ -204,6 +215,8 @@ def evaluate_timed(
             if compiled is None:
                 compiled = compile_instance(instance.machine, instance.graph, instance.ids)
                 compiled_by_group.put(group_key, compiled)
+            if canonical is not None:
+                compiled.attach_canonical(canonical)
             engine = CompiledGameEngine(
                 instance.machine,
                 instance.graph,
@@ -219,18 +232,25 @@ def evaluate_timed(
 
 
 def _evaluate_shard_by_name(
-    task: Tuple[str, List[int]]
-) -> Tuple[List[int], List[bool], List[float], List[str]]:
+    task: Tuple[str, List[int], Optional[str]]
+) -> Tuple[List[int], List[bool], List[float], List[str], List[Tuple[str, bool]], Dict[str, object]]:
     """Worker entry point: rebuild the scenario and evaluate one shard.
 
-    Only the scenario name and the shard's indices cross the process
-    boundary; the (unpicklable) machines are rebuilt from the registry.
+    Only the scenario name, the shard's indices and the store *path* cross
+    the process boundary; the (unpicklable) machines are rebuilt from the
+    registry, and the worker opens its own read connection to the store
+    (WAL SQLite serves concurrent readers) so persisted canonical node
+    verdicts warm parallel sweeps too -- all *writes* stay in the parent.
     The rebuilt instances' names are shipped back so the parent can detect
     a scenario whose builder no longer matches the instances it fingerprinted
     (shadowed registration, drifted builder) instead of silently storing
-    wrong verdicts under the caller's keys.
+    wrong verdicts under the caller's keys.  The shard's fresh canonical
+    node verdicts (plain ``(key, bool)`` pairs -- picklable) ride back too,
+    so the parent can persist them and report the shard's hit rates.
     """
-    scenario_name, indices = task
+    from repro.engine.canonical import CanonicalVerdictCache
+
+    scenario_name, indices, store_path = task
     instances = build_instances(scenario_name)
     if indices and max(indices) >= len(instances):
         raise RuntimeError(
@@ -239,8 +259,15 @@ def _evaluate_shard_by_name(
             "the builder is not deterministic or was re-registered"
         )
     shard = [instances[i] for i in indices]
-    verdicts, seconds = evaluate_timed(shard)
-    return indices, verdicts, seconds, [instance.name for instance in shard]
+    read_store = open_store(store_path) if store_path else None
+    canonical = CanonicalVerdictCache(store=read_store)
+    try:
+        verdicts, seconds = evaluate_timed(shard, canonical=canonical)
+    finally:
+        if read_store is not None:
+            read_store.close()
+    names = [instance.name for instance in shard]
+    return indices, verdicts, seconds, names, canonical.drain_records(), canonical.info()
 
 
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
@@ -288,6 +315,8 @@ def run_instances(
     scenario_name:
         Label for reporting when *scenario* is not given.
     """
+    from repro.engine.canonical import CanonicalVerdictCache
+
     started = time.perf_counter()
     instances = list(instances)
     owns_store = isinstance(store, str)
@@ -299,9 +328,11 @@ def run_instances(
     if store_obj is not None:
         for index, instance in enumerate(instances):
             keys[index] = game_instance_key(instance)
-            hit = store_obj.get(keys[index])
-            if hit is not None:
-                cached[index] = hit
+        # One bulk lookup instead of one round-trip per instance.
+        found = store_obj.get_many([key for key in keys if key is not None])
+        for index, key in enumerate(keys):
+            if key in found:
+                cached[index] = found[key]
 
     cold = [index for index in range(len(instances)) if index not in cached]
     shards = shard_indices([instances[i] for i in cold], max(1, jobs))
@@ -310,14 +341,34 @@ def run_instances(
 
     verdicts: Dict[int, bool] = dict(cached)
     seconds: Dict[int, float] = {}
+    canonical_info: Dict[str, object] = {
+        "entries": 0, "hits": 0, "store_hits": 0, "misses": 0, "puts": 0,
+    }
+
+    def _merge_canonical(info: Dict[str, object]) -> None:
+        for field_name in ("entries", "hits", "store_hits", "misses", "puts"):
+            value = info.get(field_name)
+            if isinstance(value, int):
+                canonical_info[field_name] += value
+
     parallel = jobs > 1 and scenario is not None and len(shards) > 1
     context = _fork_context() if parallel else None
     if parallel and context is not None:
-        tasks = [(scenario, shard) for shard in shards]
+        worker_store_path = (
+            store_path
+            if isinstance(store_path, str) and ":memory:" not in store_path
+            else None
+        )
+        tasks = [(scenario, shard, worker_store_path) for shard in shards]
         with context.Pool(processes=min(jobs, len(shards))) as pool:
-            for indices, shard_verdicts, shard_seconds, shard_names in pool.map(
-                _evaluate_shard_by_name, tasks
-            ):
+            for (
+                indices,
+                shard_verdicts,
+                shard_seconds,
+                shard_names,
+                shard_records,
+                shard_canonical,
+            ) in pool.map(_evaluate_shard_by_name, tasks):
                 expected = [instances[index].name for index in indices]
                 if shard_names != expected:
                     raise RuntimeError(
@@ -330,14 +381,28 @@ def run_instances(
                 for index, verdict, spent in zip(indices, shard_verdicts, shard_seconds):
                     verdicts[index] = verdict
                     seconds[index] = spent
+                if store_obj is not None and shard_records:
+                    store_obj.put_node_many(shard_records)
+                _merge_canonical(shard_canonical)
         executed_parallel = True
     else:
+        canonical = CanonicalVerdictCache(store=store_obj)
         for shard in shards:
-            shard_verdicts, shard_seconds = evaluate_timed([instances[i] for i in shard])
+            shard_verdicts, shard_seconds = evaluate_timed(
+                [instances[i] for i in shard], canonical=canonical
+            )
             for index, verdict, spent in zip(shard, shard_verdicts, shard_seconds):
                 verdicts[index] = verdict
                 seconds[index] = spent
+        canonical.flush()
+        _merge_canonical(canonical.info())
         executed_parallel = False
+
+    answered = canonical_info["hits"] + canonical_info["store_hits"]
+    total_lookups = answered + canonical_info["misses"]
+    canonical_info["hit_rate"] = (
+        round(answered / total_lookups, 4) if total_lookups else 0.0
+    )
 
     if store_obj is not None and cold:
         store_obj.put_many(
@@ -365,6 +430,7 @@ def run_instances(
         results=results,
         total_seconds=time.perf_counter() - started,
         store_path=store_path,
+        canonical=canonical_info,
     )
 
 

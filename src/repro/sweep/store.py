@@ -64,6 +64,38 @@ class VerdictStore:
         for key, verdict, name, seconds in records:
             self.put(key, verdict, name, seconds)
 
+    # ------------------------------------------------------------------
+    # Node verdicts (the canonical ball cache's persistence tier)
+    # ------------------------------------------------------------------
+    def get_node(self, key: str) -> Optional[bool]:
+        """A persisted canonical node verdict (``None`` when unknown).
+
+        Node verdicts are keyed by the canonical ball signature
+        (:mod:`repro.engine.canonical`): one entry answers the same local
+        neighborhood wherever it reappears -- other nodes, other graphs,
+        other sessions.  Backends without a node table may keep these
+        defaults (non-persistent, always miss).
+        """
+        return None
+
+    def get_node_many(self, keys: Iterable[str]) -> Dict[str, bool]:
+        found: Dict[str, bool] = {}
+        for key in keys:
+            verdict = self.get_node(key)
+            if verdict is not None:
+                found[key] = verdict
+        return found
+
+    def put_node(self, key: str, verdict: bool) -> None:
+        self.put_node_many([(key, verdict)])
+
+    def put_node_many(self, records: Iterable[Tuple[str, bool]]) -> None:
+        """Persist canonical node verdicts (no-op without a node table)."""
+
+    def node_count(self) -> int:
+        """How many canonical node verdicts are persisted."""
+        return 0
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -85,6 +117,7 @@ class MemoryVerdictStore(VerdictStore):
 
     def __init__(self) -> None:
         self._data: Dict[str, StoredVerdict] = {}
+        self._nodes: Dict[str, bool] = {}
 
     def get(self, key: str) -> Optional[bool]:
         record = self._data.get(key)
@@ -92,6 +125,16 @@ class MemoryVerdictStore(VerdictStore):
 
     def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
         self._data[key] = (bool(verdict), name, seconds)
+
+    def get_node(self, key: str) -> Optional[bool]:
+        return self._nodes.get(key)
+
+    def put_node_many(self, records: Iterable[Tuple[str, bool]]) -> None:
+        for key, verdict in records:
+            self._nodes[key] = bool(verdict)
+
+    def node_count(self) -> int:
+        return len(self._nodes)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -134,6 +177,16 @@ class SQLiteVerdictStore(VerdictStore):
             "  verdict INTEGER NOT NULL,"
             "  name TEXT NOT NULL DEFAULT '',"
             "  seconds REAL NOT NULL DEFAULT 0,"
+            "  created REAL NOT NULL"
+            ")"
+        )
+        # Canonical node verdicts (repro.engine.canonical): one row per
+        # distinct (ball signature, certificate restriction).  Created
+        # alongside the main table, so pre-existing stores migrate on open.
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS node_verdicts ("
+            "  key TEXT PRIMARY KEY,"
+            "  verdict INTEGER NOT NULL,"
             "  created REAL NOT NULL"
             ")"
         )
@@ -182,6 +235,47 @@ class SQLiteVerdictStore(VerdictStore):
             )
             self._connection.commit()
 
+    def get_node(self, key: str) -> Optional[bool]:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT verdict FROM node_verdicts WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else bool(row[0])
+
+    def get_node_many(self, keys: Iterable[str]) -> Dict[str, bool]:
+        key_list = list(keys)
+        found: Dict[str, bool] = {}
+        with self._lock:
+            for start in range(0, len(key_list), self.GET_MANY_CHUNK):
+                chunk = key_list[start : start + self.GET_MANY_CHUNK]
+                placeholders = ",".join("?" * len(chunk))
+                for key, verdict in self._connection.execute(
+                    f"SELECT key, verdict FROM node_verdicts WHERE key IN ({placeholders})",
+                    chunk,
+                ):
+                    found[key] = bool(verdict)
+        return found
+
+    def put_node_many(self, records: Iterable[Tuple[str, bool]]) -> None:
+        now = time.time()
+        rows = [(key, int(bool(verdict)), now) for key, verdict in records]
+        if not rows:
+            return
+        with self._lock:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO node_verdicts (key, verdict, created)"
+                " VALUES (?, ?, ?)",
+                rows,
+            )
+            self._connection.commit()
+
+    def node_count(self) -> int:
+        with self._lock:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM node_verdicts"
+            ).fetchone()
+        return int(count)
+
     def __len__(self) -> int:
         with self._lock:
             (count,) = self._connection.execute(
@@ -221,6 +315,7 @@ class JsonlVerdictStore(VerdictStore):
         os.makedirs(parent, exist_ok=True)
         self._lock = threading.RLock()
         self._data: Dict[str, StoredVerdict] = {}
+        self._nodes: Dict[str, bool] = {}
         if os.path.exists(path):
             with open(path, "r", encoding="utf-8") as handle:
                 for line in handle:
@@ -228,6 +323,12 @@ class JsonlVerdictStore(VerdictStore):
                     if not line:
                         continue
                     record = json.loads(line)
+                    # Canonical node verdicts ride in the same file as
+                    # kind-tagged lines; untagged lines (including every
+                    # pre-node-table store) are instance verdicts.
+                    if record.get("kind") == "node":
+                        self._nodes[record["key"]] = bool(record["verdict"])
+                        continue
                     self._data[record["key"]] = (
                         bool(record["verdict"]),
                         record.get("name", ""),
@@ -251,6 +352,29 @@ class JsonlVerdictStore(VerdictStore):
                 + "\n"
             )
             self._handle.flush()
+
+    def get_node(self, key: str) -> Optional[bool]:
+        with self._lock:
+            return self._nodes.get(key)
+
+    def put_node_many(self, records: Iterable[Tuple[str, bool]]) -> None:
+        with self._lock:
+            wrote = False
+            for key, verdict in records:
+                self._nodes[key] = bool(verdict)
+                self._handle.write(
+                    json.dumps(
+                        {"kind": "node", "key": key, "verdict": bool(verdict)},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                wrote = True
+            if wrote:
+                self._handle.flush()
+
+    def node_count(self) -> int:
+        return len(self._nodes)
 
     def __len__(self) -> int:
         return len(self._data)

@@ -371,7 +371,11 @@ class TestBoundsAndCounters:
         graph = generators.cycle_graph(6)
         ids = sequential_identifier_assignment(graph)
         instance = CompiledInstance(machine, graph, ids, memo_cap=8)
-        engine = CompiledGameEngine(machine, graph, ids, [color_space(3)], instance=instance)
+        # The bitset tier bypasses the per-node memo for pairwise rules, so
+        # the cap machinery is exercised through the PR-3 engine behavior.
+        engine = CompiledGameEngine(
+            machine, graph, ids, [color_space(3)], instance=instance, use_bitset=False
+        )
         assert engine.eve_wins(sigma_prefix(1)) is True
         info = instance.memo_info()
         assert info["maxsize"] == 8
@@ -482,7 +486,11 @@ class TestSharingAndIntegration:
         graph = generators.cycle_graph(4)
         ids = sequential_identifier_assignment(graph)
         instance = CompiledInstance(machine, graph, ids)
-        engine = CompiledGameEngine(machine, graph, ids, [color_space(3)], instance=instance)
+        # The bitset search leaves no memo trail for pairwise rules; the
+        # shared-memo contract is the PR-3 engine behavior.
+        engine = CompiledGameEngine(
+            machine, graph, ids, [color_space(3)], instance=instance, use_bitset=False
+        )
         assert engine.eve_wins(sigma_prefix(1)) is True
         evaluator = LeafEvaluator(machine, graph, ids, compiled=instance)
         coloring = {u: c for u, c in zip(graph.nodes, ["00", "01", "00", "01"])}

@@ -155,3 +155,86 @@ class TestResolverIdentityStability:
             QueryRequest(spec={"arbiter": "eulerian", "family": "cycle", "n": 6})
         )
         assert resolved.key == game_instance_key(resolved.instance)
+
+
+class TestBulkStoreLookups:
+    """Multi-key reads route through VerdictStore.get_many with promotion."""
+
+    def test_lookup_store_many_promotes_all_hits(self):
+        store = MemoryVerdictStore()
+        store.put("a", True)
+        store.put("b", False)
+        cache = TieredVerdictCache(store)
+        found = cache.lookup_store_many(["a", "b", "missing"])
+        assert found == {"a": True, "b": False}
+        stats = cache.stats()
+        # Speculative bulk keys count as promotions, not hits or misses;
+        # the caller notes the outcome of the one key it actually needed.
+        assert stats["store"]["promotions"] == 2
+        assert stats["store"]["hits"] == 0 and stats["store"]["misses"] == 0
+        cache.note_store_hit()
+        cache.note_store_miss()
+        stats = cache.stats()
+        assert stats["store"]["hits"] == 1 and stats["store"]["misses"] == 1
+        # Both hits are now tier-1 answers.
+        assert cache.lookup_lru("a") == (True, "lru")
+        assert cache.lookup_lru("b") == (False, "lru")
+
+    def test_lookup_store_many_without_store(self):
+        cache = TieredVerdictCache(None)
+        assert cache.lookup_store_many(["a", "b"]) == {}
+
+    def test_resolver_scenario_keys_match_per_query_resolution(self):
+        resolver = Resolver()
+        keys = resolver.scenario_keys("smoke")
+        assert keys  # one key per instance, in instance order
+        for index in (0, len(keys) - 1):
+            resolved = resolver.resolve(
+                QueryRequest(id=1, scenario="smoke", index=index)
+            )
+            assert resolved.key == keys[index]
+
+    def test_repeated_resolution_shares_objects_with_scenario_keys(self):
+        resolver = Resolver()
+        requests = [QueryRequest(id=i, scenario="smoke", index=i) for i in range(3)]
+        resolved = [resolver.resolve(request) for request in requests]
+        again = [resolver.resolve(request) for request in requests]
+        assert [r.key for r in resolved] == [r.key for r in again]
+        assert all(a.instance is b.instance for a, b in zip(resolved, again))
+        keys = resolver.scenario_keys("smoke")
+        assert [r.key for r in resolved] == keys[:3]
+
+
+class TestCanonicalTier:
+    def test_compute_tier_reports_canonical_stats(self):
+        _, instances = _instances()
+        tier = ComputeTier()
+        tier.evaluate(instances)
+        stats = tier.engine_stats()
+        assert "canonical" in stats
+        assert set(stats["canonical"]) >= {"entries", "hits", "misses", "hit_rate"}
+
+    def test_compute_tier_flushes_node_verdicts_to_store(self):
+        from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
+        from repro.hierarchy.arbiters import two_colorability_spec
+
+        class _Sim(NeighborhoodGatherAlgorithm):
+            """Simulation-forced clone: the canonical-eligible path."""
+
+        spec = two_colorability_spec()
+        machine = _Sim(spec.machine.radius, spec.machine.compute, name="two-col-sim")
+        graph = generators.cycle_graph(6)
+        instance = GameInstance(
+            machine=machine,
+            graph=graph,
+            ids=sequential_identifier_assignment(graph),
+            spaces=list(spec.spaces),
+            prefix=spec.prefix(),
+            name="sim|cycle6",
+        )
+        store = MemoryVerdictStore()
+        tier = ComputeTier(store=store)
+        tier.evaluate([instance])
+        assert store.node_count() > 0
+        stats = tier.engine_stats()["canonical"]
+        assert stats["entries"] > 0

@@ -119,6 +119,27 @@ class TestEndToEnd:
         assert warm["source"] == "store"
         assert warm["verdict"] == cold["verdict"]
 
+    def test_first_scenario_store_miss_promotes_all_siblings(self):
+        """A scenario's first store lookup bulk-promotes every sibling key.
+
+        The daemon routes the multi-key read through the store's
+        ``get_many``: after one store-sourced answer, the scenario's other
+        stored verdicts are already tier-1 hits, without ever having been
+        queried individually.
+        """
+        store = MemoryVerdictStore()
+        from repro.sweep.executor import run_instances
+
+        run_instances(build_instances("smoke"), store=store, scenario_name="smoke")
+        with ServerThread(store=store) as server:
+            with ServiceClient(server.address) as client:
+                first = client.query_scenario("smoke", index=0)
+                siblings = [
+                    client.query_scenario("smoke", index=i) for i in range(1, 4)
+                ]
+        assert first["source"] == "store"
+        assert all(sibling["source"] == "lru" for sibling in siblings)
+
     def test_inline_spec_and_scenario_key_agree(self, fig2_server):
         """The same game addressed both ways maps to one store key."""
         with ServiceClient(fig2_server.address) as client:

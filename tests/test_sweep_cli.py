@@ -49,6 +49,27 @@ class TestInProcess:
         assert main(["sweep", "definitely-not-registered"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_profile_prints_hot_spots(self, capsys):
+        assert main(["profile", "smoke", "--limit", "3", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "profiled scenario 'smoke': 3 instances" in out
+        assert "cumulative" in out  # pstats sort header
+        assert "ncalls" in out
+
+    def test_profile_sort_and_store(self, tmp_path, capsys):
+        store = str(tmp_path / "profile.sqlite")
+        assert main(["profile", "smoke", "--limit", "2", "--store", store,
+                     "--sort", "tottime", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "2 solved, 0 from store" in out
+        # Warm profile: the store answers everything.
+        assert main(["profile", "smoke", "--limit", "2", "--store", store]) == 0
+        assert "0 solved, 2 from store" in capsys.readouterr().out
+
+    def test_profile_unknown_scenario_fails(self, capsys):
+        assert main(["profile", "nope-not-registered"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
     def test_json_to_stdout(self, capsys):
         assert main(["sweep", "smoke", "--limit", "2", "--json", "-"]) == 0
         payload = json.loads(capsys.readouterr().out)

@@ -253,3 +253,81 @@ class TestKeyScheme:
         store.put(key, True, name="3-colorable|c5")
         assert store.get(self._key(builtin.three_colorability_verifier())) is True
         assert store.get(self._key(builtin.two_colorability_verifier())) is None
+
+
+class TestNodeVerdicts:
+    """The canonical ball cache's persistence tier (node-verdict table)."""
+
+    def test_node_roundtrip(self, store):
+        assert store.get_node("ball:x") is None
+        store.put_node("ball:x", True)
+        store.put_node_many([("ball:y", False), ("ball:z", True)])
+        assert store.get_node("ball:x") is True
+        assert store.get_node("ball:y") is False
+        assert store.get_node_many(["ball:x", "ball:y", "ball:missing"]) == {
+            "ball:x": True,
+            "ball:y": False,
+        }
+        assert store.node_count() == 3
+        # Node verdicts live beside, not inside, the instance table.
+        assert len(store) == 0
+
+    def test_node_overwrite_last_wins(self, store):
+        store.put_node("ball:k", True)
+        store.put_node("ball:k", False)
+        assert store.get_node("ball:k") is False
+        assert store.node_count() == 1
+
+    def test_sqlite_node_verdicts_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "nodes.sqlite")
+        with SQLiteVerdictStore(path) as first:
+            first.put("instance-key", True)
+            first.put_node_many([("ball:a", True), ("ball:b", False)])
+        with SQLiteVerdictStore(path) as second:
+            assert second.get("instance-key") is True
+            assert second.get_node("ball:a") is True
+            assert second.node_count() == 2
+
+    def test_sqlite_pre_node_table_store_migrates_on_open(self, tmp_path):
+        import sqlite3
+        import time as time_module
+
+        path = str(tmp_path / "legacy.sqlite")
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "CREATE TABLE verdicts (key TEXT PRIMARY KEY, verdict INTEGER NOT NULL,"
+            " name TEXT NOT NULL DEFAULT '', seconds REAL NOT NULL DEFAULT 0,"
+            " created REAL NOT NULL)"
+        )
+        connection.execute(
+            "INSERT INTO verdicts VALUES ('old', 1, 'legacy', 0.1, ?)",
+            (time_module.time(),),
+        )
+        connection.commit()
+        connection.close()
+        with SQLiteVerdictStore(path) as store:
+            assert store.get("old") is True
+            assert store.get_node("ball:new") is None
+            store.put_node("ball:new", True)
+            assert store.get_node("ball:new") is True
+
+    def test_jsonl_mixes_kinds_in_one_file(self, tmp_path):
+        path = str(tmp_path / "mixed.jsonl")
+        with JsonlVerdictStore(path) as first:
+            first.put("instance-key", True, name="i")
+            first.put_node_many([("ball:a", False)])
+        with JsonlVerdictStore(path) as second:
+            assert second.get("instance-key") is True
+            assert second.get_node("ball:a") is False
+            assert len(second) == 1 and second.node_count() == 1
+
+    def test_jsonl_legacy_untagged_lines_stay_instance_verdicts(self, tmp_path):
+        import json as json_module
+
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            json_module.dumps({"key": "old", "verdict": True, "name": "i"}) + "\n"
+        )
+        with JsonlVerdictStore(str(path)) as store:
+            assert store.get("old") is True
+            assert store.node_count() == 0
