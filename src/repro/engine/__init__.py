@@ -45,10 +45,17 @@ expensive rule-less paths: verdicts are shared under a canonical ball
 signature across nodes, instances and (through the verdict store's node
 table) sessions.
 
+For graphs that mutate over time, :mod:`repro.engine.dynamic` adds the
+incremental-scenario subsystem: :class:`~repro.engine.dynamic.MutableInstance`
+applies edge/label/identifier deltas to a compiled instance in place,
+repairing only the dirty dependency balls while untouched verdicts survive
+in the memo, canonical and store tiers.  The repair-equals-recompute claim
+is enforced by the differential harness in ``tests/test_dynamic.py``.
+
 The exhaustive solver is retained, untouched, as the reference oracle; the
 equivalence of all tiers is asserted by randomized tests
-(``tests/test_engine.py``, ``tests/test_compiled.py`` and
-``tests/test_bitset.py``).
+(``tests/test_engine.py``, ``tests/test_compiled.py``,
+``tests/test_bitset.py`` and ``tests/test_dynamic.py``).
 """
 
 from repro.engine.bitset import BitsetKernel
@@ -61,6 +68,20 @@ from repro.engine.compiled import (
     CompiledInstance,
     InstanceCompiler,
     compile_instance,
+)
+from repro.engine.dynamic import (
+    Delta,
+    DeltaError,
+    EdgeDelete,
+    EdgeInsert,
+    MutableInstance,
+    RepairReport,
+    SetIdentifier,
+    SetLabel,
+    delta_from_wire,
+    delta_to_wire,
+    random_trace,
+    recompute_verdict,
 )
 from repro.engine.evaluator import LeafEvaluator, shared_evaluator
 from repro.engine.game import GameEngine
@@ -85,6 +106,18 @@ __all__ = [
     "CompiledInstance",
     "InstanceCompiler",
     "compile_instance",
+    "Delta",
+    "DeltaError",
+    "EdgeDelete",
+    "EdgeInsert",
+    "MutableInstance",
+    "RepairReport",
+    "SetIdentifier",
+    "SetLabel",
+    "delta_from_wire",
+    "delta_to_wire",
+    "random_trace",
+    "recompute_verdict",
     "LeafEvaluator",
     "shared_evaluator",
     "GameEngine",

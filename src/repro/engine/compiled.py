@@ -47,7 +47,7 @@ cause a stale or aliased cache hit.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.registry import WeakSharedRegistry
@@ -145,6 +145,12 @@ class CompiledInstance:
         self.shift = 4
         self.generation = 0
         self._dep_shifts: List[List[Tuple[Tuple[int, int], ...]]] = []
+        #: Pre-compaction alphabet snapshots, keyed by the generation the
+        #: compaction produced: a :class:`CodedState` older than a shrink
+        #: decodes its stale codes through the snapshot and re-interns the
+        #: strings in :meth:`CodedState.sync`.  Snapshots are tiny (the
+        #: alphabet is a handful of short strings) and compactions rare.
+        self._compaction_alphabets: Dict[int, List[str]] = {}
 
         #: Per-node verdict memos, keyed by ``(packed key << 5) | levels``
         #: (int keys hash faster than tuples on the hot path).  Bounded as a
@@ -156,6 +162,8 @@ class CompiledInstance:
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_evictions = 0
+        #: Entries dropped by :meth:`rewire` (mutation repair, not pressure).
+        self.memo_invalidations = 0
         #: Shared evaluation order with the last-reject-first heuristic.
         self.order: List[int] = list(range(n))
 
@@ -316,6 +324,141 @@ class CompiledInstance:
     def new_state(self, levels: int) -> "CodedState":
         """A zeroed coded assignment state with *levels* certificate levels."""
         return CodedState(self, levels)
+
+    # ------------------------------------------------------------------
+    # Dynamic mutation support (verdict repair)
+    # ------------------------------------------------------------------
+    def rewire(
+        self,
+        graph: LabeledGraph,
+        ids: Mapping[Node, str],
+        dirty: Optional[Iterable[int]] = None,
+    ) -> Tuple[int, ...]:
+        """Repoint this instance at a mutated ``(graph, ids)`` sharing its nodes.
+
+        *dirty* is an over-approximation of the node indices whose dependency
+        balls (membership, labels, identifiers or internal edges) may differ
+        from the previous graph; ``None`` means every node.  Dirty nodes lose
+        their memoized verdicts, canonical signatures and own-code tables;
+        clean nodes keep them: their balls and everything inside them are
+        unchanged, so their packed restriction keys and canonical signatures
+        still name the identical computation.  If the direct/simulation
+        decision flips (identifier churn breaking horizon-uniqueness changes
+        the dependency radius with it), everything is invalidated regardless
+        of *dirty*.
+
+        The generation is bumped, so live :class:`CodedState` objects
+        resynchronize, transposition entries (which embed the generation)
+        die, and bitset kernels rebuild.  Codes and the packing width are
+        untouched -- the alphabet only ever changes through :meth:`intern`
+        and :meth:`compact_alphabet`.  Returns the invalidated indices.
+        """
+        if tuple(graph.nodes) != self.nodes:
+            raise ValueError("rewire requires the same node set in the same order")
+        old_direct = self.direct
+        old_uniform = self._uniform_labels
+        old_label0 = self.labels[0] if self.labels else ""
+        self.graph = graph
+        self.ids = dict(ids)
+        nodes = self.nodes
+        n = self.n
+        self.ids_list = [self.ids[u] for u in nodes]
+        self.labels = [graph.label(u) for u in nodes]
+        indptr = [0]
+        indices: List[int] = []
+        for u in nodes:
+            indices.extend(sorted(self.index[v] for v in graph.neighbors(u)))
+            indptr.append(len(indices))
+        self.adj_indptr = indptr
+        self.adj_indices = indices
+        self.degrees = [indptr[i + 1] - indptr[i] for i in range(n)]
+
+        machine = self.machine
+        direct = type(machine) is NeighborhoodGatherAlgorithm
+        if direct and not self._ids_unique_in_horizon(machine.radius + 1):
+            direct = False
+        self.direct = direct
+        self.radius = machine.radius if direct else max(1, machine.max_rounds())
+        rule = rule_of(machine)
+        self.rule = (
+            rule
+            if direct and rule is not None and rule.radius == machine.radius
+            else None
+        )
+        self._rule_is_pairwise = isinstance(self.rule, PairwiseRule)
+        self._uniform_labels = len(set(self.labels)) <= 1
+
+        if direct != old_direct or dirty is None:
+            dirty_set = set(range(n))
+        else:
+            dirty_set = {u for u in dirty if 0 <= u < n}
+        for u in dirty_set:
+            self.balls[u] = self._ball_indices(u)
+            self.ball_sizes[u] = len(self.balls[u])
+        dependents: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for u in range(n):
+            for position, v in enumerate(self.balls[u]):
+                dependents[v].append((u, position))
+        self.dependents = [tuple(d) for d in dependents]
+        self._dep_shifts = []
+        self.generation += 1
+
+        label0 = self.labels[0] if self.labels else ""
+        if self._uniform_labels != old_uniform or (
+            self._uniform_labels and label0 != old_label0
+        ):
+            # Uniform-mode pair keys pack the two codes only (no labels), so
+            # entries could alias across a label change; non-uniform keys
+            # carry the labels and survive any mutation.
+            self._pair_table.clear()
+        for u in dirty_set:
+            dropped = len(self.memo_nodes[u])
+            if dropped:
+                self.memo_nodes[u] = {}
+                self.memo_entries -= dropped
+                self.memo_invalidations += dropped
+            self._own_tables[u] = {}
+            self._canonical_statics[u] = None
+        self._star_statics = None
+        self._lazy_ball_index = None
+        self._bitset_kernel = None
+        self._candidate_cache.clear()
+        return tuple(sorted(dirty_set))
+
+    def compact_alphabet(self, keep: Iterable[str]) -> int:
+        """Shrink the interned alphabet to ``{""} | keep``, re-packing tightly.
+
+        The inverse of runtime growth: mutations strand interned
+        certificates (an identifier-derived candidate that no longer occurs
+        after churn), and neither the alphabet nor the packing width ever
+        shrinks on its own.  Dropping codes renumbers the survivors, so
+        every code- or packed-key-addressed structure is invalidated and the
+        generation bumped; the pre-compaction alphabet is snapshotted so
+        live :class:`CodedState` objects re-intern the certificate *strings*
+        they still carry on their next :meth:`CodedState.sync` -- a stale
+        code or packed key can never survive a shrink.  Returns the number
+        of dropped certificates.
+        """
+        keep_set = set(keep)
+        survivors = [""] + [
+            certificate for certificate in self.alphabet[1:] if certificate in keep_set
+        ]
+        dropped = len(self.alphabet) - len(survivors)
+        if dropped == 0:
+            return 0
+        snapshot = self.alphabet
+        self.alphabet = survivors
+        self.code_of = {certificate: code for code, certificate in enumerate(survivors)}
+        self.shift = max(4, (len(survivors) - 1).bit_length() + 1)
+        self.generation += 1
+        self._compaction_alphabets[self.generation] = snapshot
+        self._dep_shifts = []
+        self._pair_table.clear()
+        self._own_tables = [{} for _ in range(self.n)]
+        self._bitset_kernel = None
+        self._candidate_cache.clear()
+        self.clear_memo()
+        return dropped
 
     # ------------------------------------------------------------------
     # Bitset kernel and canonical ball memoization
@@ -744,6 +887,7 @@ class CompiledInstance:
             "hits": self.memo_hits,
             "misses": self.memo_misses,
             "evictions": self.memo_evictions,
+            "invalidations": self.memo_invalidations,
         }
 
     def __repr__(self) -> str:
@@ -812,10 +956,32 @@ class CodedState:
         return self.full
 
     def sync(self) -> None:
-        """Recompute packed keys if the instance rebased since the last use."""
+        """Resynchronize after an instance rebase, rewire or compaction.
+
+        Growth rebases and rewires keep codes valid, so only the packed
+        keys are recomputed.  A *compaction* renumbers (and may drop)
+        codes: the state first decodes its codes through the pre-compaction
+        alphabet snapshot and re-interns the strings -- the semantics
+        (which certificate each node carries) survive the shrink while the
+        stale integers do not.
+        """
         instance = self.instance
         if self.generation == instance.generation:
             return
+        snapshots = instance._compaction_alphabets
+        if snapshots:
+            newer = [g for g in snapshots if g > self.generation]
+            if newer:
+                # Growth between this state's generation and the first
+                # compaction kept codes stable, so the earliest snapshot
+                # still decodes them; re-interning yields codes valid for
+                # the *current* alphabet even across several compactions.
+                snapshot = snapshots[min(newer)]
+                intern = instance.intern
+                for codes in self.codes:
+                    for v, code in enumerate(codes):
+                        if code:
+                            codes[v] = intern(snapshot[code])
         self.generation = instance.generation
         self.deps = None
         shift = instance.shift

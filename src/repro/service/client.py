@@ -14,6 +14,7 @@ import socket
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.service.protocol import (
+    MutateRequest,
     PingRequest,
     QueryRequest,
     Request,
@@ -130,6 +131,39 @@ class ServiceClient:
 
     def query_spec(self, check: bool = True, **spec: Any) -> Dict[str, Any]:
         request = QueryRequest(id=self._take_id(), spec=spec)
+        return self._checked(self.request(request), check)
+
+    def query_session(self, session: str, check: bool = True) -> Dict[str, Any]:
+        """The verdict for a dynamic session's *current* (mutated) state."""
+        request = QueryRequest(id=self._take_id(), session=session)
+        return self._checked(self.request(request), check)
+
+    def mutate(
+        self,
+        session: str,
+        deltas: Any = (),
+        scenario: Optional[str] = None,
+        instance: Optional[str] = None,
+        index: Optional[int] = None,
+        spec: Optional[Mapping[str, Any]] = None,
+        check: bool = True,
+    ) -> Dict[str, Any]:
+        """Stream a delta batch into a dynamic session (opening it if new).
+
+        The first mutate for a session name must carry ``scenario`` or
+        ``spec`` addressing; *deltas* are wire objects (dicts addressing
+        nodes by index) -- use
+        :func:`repro.engine.dynamic.delta_to_wire` to encode typed deltas.
+        """
+        request = MutateRequest(
+            id=self._take_id(),
+            session=session,
+            deltas=tuple(dict(delta) for delta in deltas),
+            scenario=scenario,
+            instance=instance,
+            index=index,
+            spec=spec,
+        )
         return self._checked(self.request(request), check)
 
     def stats(self) -> Dict[str, Any]:

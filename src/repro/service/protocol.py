@@ -25,6 +25,26 @@ scheme and (optionally) a quantifier prefix override, resolved by
     {"v": 1, "op": "query", "spec": {"arbiter": "3-colorable", "family": "cycle",
                                      "n": 9, "scheme": "sequential"}}
 
+``mutate`` streams graph deltas into a **dynamic session** -- a named
+mutable game living in the daemon.  The first mutate for a session name
+must carry scenario/spec addressing (it opens the session from that game);
+later mutates carry only deltas.  Each delta is a small object addressing
+nodes by their index in the session's (fixed) node order::
+
+    {"v": 1, "op": "mutate", "session": "s1",
+     "spec": {"arbiter": "2-colorable", "family": "cycle", "n": 12, "scheme": "sequential"},
+     "deltas": []}
+    {"v": 1, "op": "mutate", "session": "s1",
+     "deltas": [{"kind": "set-label", "node": 3, "label": "1"},
+                {"kind": "edge-insert", "u": 0, "v": 6}]}
+
+and ``query`` accepts ``{"session": "s1"}`` as a third addressing mode,
+answering for the session's *current* state (source tier ``dynamic`` when
+the verdict came from incremental repair).  Structurally malformed deltas
+are rejected with the typed code ``bad-delta`` before any state changes;
+a delta that does not fit the current graph (duplicate edge, bridge
+deletion, identifier clash) rejects the whole batch the same way.
+
 ``stats`` returns the daemon's counters (tier hit rates, coalescer and
 engine-cache telemetry); ``ping`` is a liveness probe.
 
@@ -63,12 +83,27 @@ ERROR_CODES = (
     "unknown-arbiter",
     "unknown-family",
     "unknown-scheme",
+    "unknown-session",
+    "bad-delta",
+    "session-limit",
     "overloaded",
     "internal",
 )
 
 #: Source tiers a query response may report.
-SOURCES = ("lru", "store", "compute", "coalesced")
+SOURCES = ("lru", "store", "compute", "coalesced", "dynamic")
+
+#: Hard cap on deltas per mutate request (a DoS guard, far above any
+#: sensible batch).
+MAX_DELTAS = 256
+
+#: Structural schema of each wire delta kind: required (field, type) pairs.
+_DELTA_FIELDS = {
+    "edge-insert": (("u", int), ("v", int)),
+    "edge-delete": (("u", int), ("v", int)),
+    "set-label": (("node", int), ("label", str)),
+    "set-id": (("node", int), ("id", str)),
+}
 
 
 class ProtocolError(Exception):
@@ -84,16 +119,58 @@ class ProtocolError(Exception):
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """A ``query`` op: exactly one of (*scenario*, *spec*) addressing modes."""
+    """A ``query`` op: exactly one of (*scenario*, *spec*, *session*) modes."""
 
     id: RequestId = None
     scenario: Optional[str] = None
     instance: Optional[str] = None
     index: Optional[int] = None
     spec: Optional[Mapping[str, Any]] = None
+    session: Optional[str] = None
 
     def payload(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": "query"}
+        if self.id is not None:
+            body["id"] = self.id
+        if self.scenario is not None:
+            body["scenario"] = self.scenario
+            if self.instance is not None:
+                body["instance"] = self.instance
+            if self.index is not None:
+                body["index"] = self.index
+        if self.spec is not None:
+            body["spec"] = dict(self.spec)
+        if self.session is not None:
+            body["session"] = self.session
+        return body
+
+
+@dataclass(frozen=True)
+class MutateRequest:
+    """A ``mutate`` op: deltas for a dynamic session (plus opening address).
+
+    The scenario/spec fields are only legal on the request that *opens* the
+    session; afterwards the session name alone addresses the mutable game.
+    ``deltas`` holds structurally validated wire objects (see
+    ``_DELTA_FIELDS``); semantic validation against the current graph
+    happens server-side.
+    """
+
+    id: RequestId = None
+    session: str = ""
+    deltas: tuple = ()
+    scenario: Optional[str] = None
+    instance: Optional[str] = None
+    index: Optional[int] = None
+    spec: Optional[Mapping[str, Any]] = None
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "op": "mutate",
+            "session": self.session,
+            "deltas": [dict(delta) for delta in self.deltas],
+        }
         if self.id is not None:
             body["id"] = self.id
         if self.scenario is not None:
@@ -133,7 +210,7 @@ class PingRequest:
         return body
 
 
-Request = Union[QueryRequest, StatsRequest, PingRequest]
+Request = Union[QueryRequest, MutateRequest, StatsRequest, PingRequest]
 
 
 def encode_request(request: Request) -> str:
@@ -180,7 +257,11 @@ def parse_request(line: str) -> Request:
             return StatsRequest(id=request_id)
         if op == "query":
             return _parse_query(body, request_id)
-        raise ProtocolError("bad-op", f"unknown op {op!r}; expected query, stats or ping")
+        if op == "mutate":
+            return _parse_mutate(body, request_id)
+        raise ProtocolError(
+            "bad-op", f"unknown op {op!r}; expected query, mutate, stats or ping"
+        )
     except ProtocolError as error:
         if error.request_id is None:
             error.request_id = request_id
@@ -190,12 +271,21 @@ def parse_request(line: str) -> Request:
 def _parse_query(body: Mapping[str, Any], request_id: RequestId) -> QueryRequest:
     scenario = body.get("scenario")
     spec = body.get("spec")
-    if (scenario is None) == (spec is None):
+    session = body.get("session")
+    modes = sum(value is not None for value in (scenario, spec, session))
+    if modes != 1:
         raise ProtocolError(
             "bad-request",
-            "a query names exactly one of 'scenario' (plus 'instance' or 'index') or 'spec'",
+            "a query names exactly one of 'scenario' (plus 'instance' or 'index'), "
+            "'spec' or 'session'",
             request_id,
         )
+    if session is not None:
+        if not isinstance(session, str) or not session:
+            raise ProtocolError(
+                "bad-request", "session must be a nonempty string", request_id
+            )
+        return QueryRequest(id=request_id, session=session)
     if spec is not None:
         if not isinstance(spec, dict):
             raise ProtocolError("bad-spec", "spec must be a JSON object", request_id)
@@ -216,6 +306,98 @@ def _parse_query(body: Mapping[str, Any], request_id: RequestId) -> QueryRequest
     if index is not None and (isinstance(index, bool) or not isinstance(index, int)):
         raise ProtocolError("bad-request", "index must be an integer", request_id)
     return QueryRequest(id=request_id, scenario=scenario, instance=instance, index=index)
+
+
+def validate_wire_delta(delta: Any, request_id: RequestId = None) -> Dict[str, Any]:
+    """Structurally validate one wire delta, raising ``bad-delta`` on defects.
+
+    Checks shape only (known kind, required fields, correct JSON types);
+    whether the delta *fits the session's current graph* is the server's
+    semantic check.  Returns the delta as a plain dict.
+    """
+    if not isinstance(delta, dict):
+        raise ProtocolError("bad-delta", "each delta must be a JSON object", request_id)
+    kind = delta.get("kind")
+    if kind not in _DELTA_FIELDS:
+        raise ProtocolError(
+            "bad-delta",
+            f"unknown delta kind {kind!r}; known: {sorted(_DELTA_FIELDS)}",
+            request_id,
+        )
+    for field, expected in _DELTA_FIELDS[kind]:
+        value = delta.get(field)
+        if expected is int and (isinstance(value, bool) or not isinstance(value, int)):
+            raise ProtocolError(
+                "bad-delta",
+                f"delta field {field!r} of {kind!r} must be an integer node index",
+                request_id,
+            )
+        if expected is str and not isinstance(value, str):
+            raise ProtocolError(
+                "bad-delta",
+                f"delta field {field!r} of {kind!r} must be a string",
+                request_id,
+            )
+        if expected is int and value < 0:
+            raise ProtocolError(
+                "bad-delta",
+                f"delta field {field!r} of {kind!r} must be nonnegative",
+                request_id,
+            )
+    return dict(delta)
+
+
+def _parse_mutate(body: Mapping[str, Any], request_id: RequestId) -> MutateRequest:
+    session = body.get("session")
+    if not isinstance(session, str) or not session:
+        raise ProtocolError(
+            "bad-request", "mutate requires a nonempty 'session' string", request_id
+        )
+    deltas = body.get("deltas")
+    if not isinstance(deltas, list):
+        raise ProtocolError("bad-request", "'deltas' must be a JSON array", request_id)
+    if len(deltas) > MAX_DELTAS:
+        raise ProtocolError(
+            "bad-request",
+            f"at most {MAX_DELTAS} deltas per mutate request (got {len(deltas)})",
+            request_id,
+        )
+    validated = tuple(validate_wire_delta(delta, request_id) for delta in deltas)
+
+    scenario = body.get("scenario")
+    spec = body.get("spec")
+    if scenario is not None and spec is not None:
+        raise ProtocolError(
+            "bad-request",
+            "a mutate opening address names at most one of 'scenario' or 'spec'",
+            request_id,
+        )
+    if spec is not None and not isinstance(spec, dict):
+        raise ProtocolError("bad-spec", "spec must be a JSON object", request_id)
+    instance = body.get("instance")
+    index = body.get("index")
+    if scenario is not None:
+        if not isinstance(scenario, str):
+            raise ProtocolError("bad-request", "scenario must be a string", request_id)
+        if (instance is None) == (index is None):
+            raise ProtocolError(
+                "bad-request",
+                "a scenario address names exactly one of 'instance' (name) or 'index'",
+                request_id,
+            )
+        if instance is not None and not isinstance(instance, str):
+            raise ProtocolError("bad-request", "instance must be a string", request_id)
+        if index is not None and (isinstance(index, bool) or not isinstance(index, int)):
+            raise ProtocolError("bad-request", "index must be an integer", request_id)
+    return MutateRequest(
+        id=request_id,
+        session=session,
+        deltas=validated,
+        scenario=scenario,
+        instance=instance if scenario is not None else None,
+        index=index if scenario is not None else None,
+        spec=spec,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -241,6 +423,29 @@ def query_response(
         "source": source,
         "key": key,
         "name": name,
+        "seconds": round(seconds, 6),
+    }
+
+
+def mutate_response(
+    request_id: RequestId,
+    session: str,
+    applied: int,
+    dirty: int,
+    generation: int,
+    seconds: float = 0.0,
+    opened: bool = False,
+) -> Dict[str, Any]:
+    """A successful mutate answer: what the delta batch touched."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "ok": True,
+        "id": request_id,
+        "session": session,
+        "applied": int(applied),
+        "dirty": int(dirty),
+        "generation": int(generation),
+        "opened": bool(opened),
         "seconds": round(seconds, 6),
     }
 

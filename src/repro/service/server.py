@@ -25,15 +25,19 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.engine.canonical import CanonicalVerdictCache
+from repro.engine.dynamic import DeltaError, MutableInstance, delta_from_wire
 from repro.service.cache import ComputeTier, TieredVerdictCache
 from repro.service.coalescer import RequestCoalescer
 from repro.service.protocol import (
+    MutateRequest,
     PingRequest,
     ProtocolError,
     QueryRequest,
     StatsRequest,
     encode_response,
     error_response,
+    mutate_response,
     parse_request,
     pong_response,
     query_response,
@@ -49,6 +53,35 @@ Address = Tuple[Any, ...]
 MAX_LINE_BYTES = 64 * 1024
 
 
+class _DynamicSession:
+    """One named mutable game living in the daemon.
+
+    All access (mutate *and* query) runs on worker threads under
+    ``lock``, so concurrent clients of the same session are serialized:
+    a query observes either all or none of any delta batch, never a
+    half-applied one.  The per-session canonical cache shares the store's
+    ``node_verdicts`` table, so ball verdicts survive mutation exactly when
+    their canonical signature does.
+    """
+
+    def __init__(self, name: str, mutable: MutableInstance) -> None:
+        self.name = name
+        self.lock = threading.Lock()
+        self.mutable = mutable
+        self.created_at = time.time()
+        self.mutate_batches = 0
+        self.deltas_applied = 0
+        self.queries = 0
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "mutate_batches": self.mutate_batches,
+            "deltas_applied": self.deltas_applied,
+            "queries": self.queries,
+            **self.mutable.info(),
+        }
+
+
 @dataclass
 class ServiceConfig:
     """Tuning knobs of one daemon."""
@@ -59,6 +92,7 @@ class ServiceConfig:
     max_pending: int = 64
     max_compiled: int = 64
     max_engines: int = 256
+    max_sessions: int = 32
 
 
 class VerdictService:
@@ -92,7 +126,16 @@ class VerdictService:
         )
         self.started_at = time.time()
         self._monotonic_start = time.perf_counter()
-        self.request_counts: Dict[str, int] = {"query": 0, "stats": 0, "ping": 0}
+        #: Dynamic sessions by name; mutated and queried on worker threads
+        #: under each session's own lock (see :class:`_DynamicSession`).
+        self.sessions: Dict[str, _DynamicSession] = {}
+        self.sessions_opened = 0
+        self.request_counts: Dict[str, int] = {
+            "query": 0,
+            "mutate": 0,
+            "stats": 0,
+            "ping": 0,
+        }
         self.error_count = 0
         self.overloaded_count = 0
         self.store_put_failures = 0
@@ -141,6 +184,8 @@ class VerdictService:
         if isinstance(request, StatsRequest):
             self.request_counts["stats"] += 1
             return stats_response(request.id, self.stats())
+        if isinstance(request, MutateRequest):
+            return await self._handle_mutate(request)
         assert isinstance(request, QueryRequest)
         return await self._handle_query(request)
 
@@ -157,6 +202,8 @@ class VerdictService:
         self.pending += 1
         self.peak_pending = max(self.peak_pending, self.pending)
         try:
+            if request.session is not None:
+                return await self._answer_session(request)
             resolved = self.resolver.resolve(request)
             return await self._answer(request, resolved)
         except ProtocolError as error:
@@ -237,6 +284,180 @@ class VerdictService:
         )
 
     # ------------------------------------------------------------------
+    # Dynamic sessions
+    # ------------------------------------------------------------------
+    async def _handle_mutate(self, request: MutateRequest) -> Dict[str, Any]:
+        self.request_counts["mutate"] += 1
+        if self.pending >= self.config.max_pending:
+            self.overloaded_count += 1
+            return error_response(
+                request.id,
+                "overloaded",
+                f"{self.pending} requests already pending "
+                f"(max_pending={self.config.max_pending}); retry later",
+            )
+        self.pending += 1
+        self.peak_pending = max(self.peak_pending, self.pending)
+        try:
+            session, opened = self._session_for_mutate(request)
+            loop = asyncio.get_running_loop()
+            applied, dirty, seconds = await loop.run_in_executor(
+                None, self._mutate_session, session, request
+            )
+            return mutate_response(
+                request.id,
+                session=request.session,
+                applied=applied,
+                dirty=dirty,
+                generation=session.mutable.compiled.generation,
+                seconds=seconds,
+                opened=opened,
+            )
+        except ProtocolError as error:
+            self.error_count += 1
+            return error_response(
+                error.request_id if error.request_id is not None else request.id,
+                error.code,
+                str(error),
+            )
+        except Exception as error:  # noqa: BLE001 -- the daemon must not die
+            self.error_count += 1
+            return error_response(request.id, "internal", repr(error))
+        finally:
+            self.pending -= 1
+
+    def _session_for_mutate(
+        self, request: MutateRequest
+    ) -> Tuple[_DynamicSession, bool]:
+        """The (possibly freshly opened) session a mutate addresses.
+
+        Runs on the event loop with no awaits between the lookup and the
+        insertion, so two concurrent opens of the same name cannot both
+        create it.  Opening resolves and compiles synchronously -- the same
+        loop-side cost the static query path pays in ``resolver.resolve``.
+        """
+        addressed = request.scenario is not None or request.spec is not None
+        session = self.sessions.get(request.session)
+        if session is not None:
+            if addressed:
+                raise ProtocolError(
+                    "bad-request",
+                    f"session {request.session!r} is already open; "
+                    "later mutates carry only deltas",
+                    request.id,
+                )
+            return session, False
+        if not addressed:
+            raise ProtocolError(
+                "unknown-session",
+                f"unknown session {request.session!r}; the opening mutate "
+                "must carry 'scenario' or 'spec' addressing",
+                request.id,
+            )
+        if len(self.sessions) >= self.config.max_sessions:
+            raise ProtocolError(
+                "session-limit",
+                f"{len(self.sessions)} dynamic sessions already open "
+                f"(max_sessions={self.config.max_sessions})",
+                request.id,
+            )
+        resolved = self.resolver.resolve(
+            QueryRequest(
+                id=request.id,
+                scenario=request.scenario,
+                instance=request.instance,
+                index=request.index,
+                spec=request.spec,
+            )
+        )
+        mutable = MutableInstance.from_game_instance(
+            resolved.instance,
+            canonical=CanonicalVerdictCache(store=self.store, max_entries=65536),
+        )
+        session = _DynamicSession(request.session, mutable)
+        self.sessions[request.session] = session
+        self.sessions_opened += 1
+        return session, True
+
+    def _mutate_session(
+        self, session: _DynamicSession, request: MutateRequest
+    ) -> Tuple[int, int, float]:
+        """Worker-thread body of a mutate: decode, apply atomically, count."""
+        start = time.perf_counter()
+        with session.lock:
+            mutable = session.mutable
+            try:
+                deltas = [
+                    delta_from_wire(body, mutable.nodes) for body in request.deltas
+                ]
+                reports = mutable.apply_batch(deltas)
+            except DeltaError as error:
+                raise ProtocolError("bad-delta", str(error), request.id) from error
+            session.mutate_batches += 1
+            session.deltas_applied += len(reports)
+            dirty = sum(len(report.dirty) for report in reports)
+            return len(reports), dirty, time.perf_counter() - start
+
+    async def _answer_session(self, request: QueryRequest) -> Dict[str, Any]:
+        session = self.sessions.get(request.session)
+        if session is None:
+            raise ProtocolError(
+                "unknown-session",
+                f"unknown session {request.session!r}; open it with a mutate "
+                "carrying 'scenario' or 'spec' addressing",
+                request.id,
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._query_session, session, request)
+
+    def _query_session(
+        self, session: _DynamicSession, request: QueryRequest
+    ) -> Dict[str, Any]:
+        """Worker-thread body of a session query: tiers first, then repair.
+
+        The session key is content-addressed over the *current* graph
+        state, so the LRU/store tiers can never serve a pre-mutation
+        verdict -- a mutated game has a fresh key, and a reverted game
+        legitimately re-hits its old entry.
+        """
+        start = time.perf_counter()
+        with session.lock:
+            session.queries += 1
+            mutable = session.mutable
+            key = mutable.key()
+            hit = self.cache.lookup_lru(key)
+            if hit is None:
+                hit = self.cache.lookup_store(key)
+            if hit is not None:
+                verdict, tier = hit
+                mutable.note_verdict(verdict)
+                return query_response(
+                    request.id,
+                    verdict,
+                    source=tier,
+                    key=key,
+                    name=mutable.name,
+                    seconds=time.perf_counter() - start,
+                )
+            verdict = mutable.verdict()
+            seconds = time.perf_counter() - start
+            self.cache.insert(key, verdict, name=mutable.name, seconds=seconds)
+            canonical = mutable.compiled.canonical
+            if canonical is not None:
+                try:
+                    canonical.flush()
+                except Exception:  # noqa: BLE001 -- persistence is best-effort
+                    self.store_put_failures += 1
+            return query_response(
+                request.id,
+                verdict,
+                source="dynamic",
+                key=key,
+                name=mutable.name,
+                seconds=seconds,
+            )
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         """Everything the ``stats`` request reports."""
         tiers = self.cache.stats()
@@ -252,6 +473,14 @@ class VerdictService:
             "max_pending": self.config.max_pending,
             "tiers": tiers,
             "coalescer": self.coalescer.stats(),
+            "dynamic": {
+                "sessions": len(self.sessions),
+                "max_sessions": self.config.max_sessions,
+                "opened": self.sessions_opened,
+                "by_session": {
+                    name: session.info() for name, session in self.sessions.items()
+                },
+            },
         }
 
     async def close(self) -> None:
@@ -259,6 +488,13 @@ class VerdictService:
             return
         self._closed = True
         await self.coalescer.close()
+        for session in self.sessions.values():
+            canonical = session.mutable.compiled.canonical
+            if canonical is not None and self.store is not None:
+                try:
+                    canonical.flush()
+                except Exception:  # noqa: BLE001 -- persistence is best-effort
+                    self.store_put_failures += 1
         if self._persist_futures:
             # Verdicts already answered to clients must reach the store
             # before it is closed (daemon restarts start warm).

@@ -68,6 +68,35 @@ def _build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("scenarios", help="list the registered sweep scenarios")
 
+    dynamic = commands.add_parser(
+        "dynamic",
+        help="replay a dynamic scenario's mutation trace with verdict repair",
+    )
+    dynamic.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="dynamic scenario name (omit to list the dynamic-* family)",
+    )
+    dynamic.add_argument(
+        "--verify",
+        action="store_true",
+        help="differentially check every repaired verdict against a full recompute",
+    )
+    dynamic.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for the --verify recomputes (<= 1: inline)",
+    )
+    dynamic.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="write the machine-readable replay result to this file ('-' for stdout)",
+    )
+    dynamic.set_defaults(handler=_command_dynamic)
+
     profile = commands.add_parser(
         "profile",
         help="run a scenario under cProfile and print the hottest call sites",
@@ -161,6 +190,123 @@ def _command_profile(args: argparse.Namespace) -> int:
     )
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+def _command_dynamic(args: argparse.Namespace) -> int:
+    """``python -m repro dynamic <scenario>``: replay a mutation trace.
+
+    Applies the scenario's seeded deltas through
+    :class:`~repro.engine.dynamic.MutableInstance`, printing per-step dirty
+    sets and verdicts.  With ``--verify``, every repaired verdict is
+    differentially checked against a from-scratch recompute of the mutated
+    state (recomputes run on ``--jobs`` worker threads); any mismatch is a
+    hard failure, mirroring the test harness's repair == recompute claim.
+    """
+    import json as json_module
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.engine.dynamic import MutableInstance, recompute_verdict
+    from repro.sweep.scenarios import dynamic_scenario_names, get_dynamic_scenario
+
+    if args.scenario is None:
+        for name in dynamic_scenario_names():
+            scenario = get_dynamic_scenario(name)
+            tags = f" [{', '.join(scenario.tags)}]" if scenario.tags else ""
+            print(f"{name:<18}{tags}  {scenario.description}")
+        return 0
+    try:
+        scenario = get_dynamic_scenario(args.scenario)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    trace = scenario.trace()
+    mutable = MutableInstance.from_game_instance(trace.base)
+    steps = []
+    verify_futures = []
+    pool = (
+        ThreadPoolExecutor(max_workers=args.jobs)
+        if args.verify and args.jobs > 1
+        else None
+    )
+    try:
+        start = time.perf_counter()
+        for index, delta in enumerate(trace.deltas):
+            report = mutable.apply(delta)
+            step_start = time.perf_counter()
+            verdict = mutable.verdict()
+            repair_seconds = report.seconds + (time.perf_counter() - step_start)
+            steps.append(
+                {
+                    "step": index,
+                    "delta": delta.kind,
+                    "dirty": len(report.dirty),
+                    "verdict": verdict,
+                    "repair_seconds": round(repair_seconds, 6),
+                }
+            )
+            if args.verify:
+                snapshot = mutable.as_game_instance()
+                if pool is not None:
+                    verify_futures.append(
+                        (index, verdict, pool.submit(recompute_verdict, snapshot))
+                    )
+                else:
+                    recomputed = recompute_verdict(snapshot)
+                    if recomputed != verdict:
+                        print(
+                            f"MISMATCH at step {index}: repair={verdict} "
+                            f"recompute={recomputed}",
+                            file=sys.stderr,
+                        )
+                        return 1
+        mismatches = 0
+        for index, verdict, future in verify_futures:
+            recomputed = future.result()
+            if recomputed != verdict:
+                mismatches += 1
+                print(
+                    f"MISMATCH at step {index}: repair={verdict} "
+                    f"recompute={recomputed}",
+                    file=sys.stderr,
+                )
+        if mismatches:
+            return 1
+        total_seconds = time.perf_counter() - start
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    payload = {
+        "scenario": scenario.name,
+        "base": trace.base.name,
+        "steps": steps,
+        "verified": bool(args.verify),
+        "total_seconds": round(total_seconds, 6),
+        "info": mutable.info(),
+    }
+    text = json_module.dumps(payload, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(text)
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if args.json != "-":
+        dirty_total = sum(step["dirty"] for step in steps)
+        verified = " (all steps verified against recompute)" if args.verify else ""
+        print(
+            f"{scenario.name}: {len(steps)} deltas over {trace.base.name}, "
+            f"{dirty_total} dirty node repairs, {payload['total_seconds']:.3f}s"
+            f"{verified}"
+        )
+        for step in steps:
+            print(
+                f"  step {step['step']:>2}  {step['delta']:<12} "
+                f"dirty={step['dirty']:<3} verdict={'eve' if step['verdict'] else 'adam'} "
+                f"{step['repair_seconds'] * 1e3:8.2f}ms"
+            )
     return 0
 
 

@@ -439,3 +439,188 @@ def _grids_trees_scenario() -> List[GameInstance]:
     instances += instances_for_spec(three_colorability_spec(), grids, id_schemes=("sequential",))
     instances += instances_for_spec(eulerian_spec(), grids + trees)
     return instances
+
+
+# ----------------------------------------------------------------------
+# Dynamic scenarios: a base game plus a seeded mutation trace
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DynamicTrace:
+    """A dynamic workload: one base game and the deltas replayed over it."""
+
+    base: GameInstance
+    deltas: Tuple  # Tuple[repro.engine.dynamic.Delta, ...]
+
+    def __repr__(self) -> str:
+        return f"DynamicTrace({self.base.name!r}, steps={len(self.deltas)})"
+
+
+DynamicBuilder = Callable[[], DynamicTrace]
+
+
+@dataclass(frozen=True)
+class DynamicScenario:
+    """A named, deterministic recipe for a :class:`DynamicTrace`.
+
+    Parallel to :class:`Scenario` but producing one evolving game instead
+    of a static instance list; the ``dynamic`` CLI subcommand replays the
+    trace through :class:`~repro.engine.dynamic.MutableInstance` and can
+    differentially verify every step against a full recompute.
+    """
+
+    name: str
+    description: str
+    build: DynamicBuilder
+    tags: Tuple[str, ...] = ()
+
+    def trace(self) -> DynamicTrace:
+        return self.build()
+
+    def __repr__(self) -> str:
+        return f"DynamicScenario({self.name!r})"
+
+
+_DYNAMIC_REGISTRY: Dict[str, DynamicScenario] = {}
+
+
+def register_dynamic_scenario(
+    name: str, description: str = "", tags: Sequence[str] = ()
+) -> Callable[[DynamicBuilder], DynamicBuilder]:
+    """Decorator registering a dynamic scenario builder under *name*."""
+
+    def decorate(builder: DynamicBuilder) -> DynamicBuilder:
+        doc = (builder.__doc__ or "").strip()
+        _DYNAMIC_REGISTRY[name] = DynamicScenario(
+            name=name,
+            description=description or (doc.splitlines()[0] if doc else ""),
+            build=builder,
+            tags=tuple(tags),
+        )
+        return builder
+
+    return decorate
+
+
+def get_dynamic_scenario(name: str) -> DynamicScenario:
+    """The registered dynamic scenario called *name*."""
+    try:
+        return _DYNAMIC_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_DYNAMIC_REGISTRY)) or "(none)"
+        raise KeyError(
+            f"unknown dynamic scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def dynamic_scenario_names() -> List[str]:
+    """All registered dynamic scenario names, sorted."""
+    return sorted(_DYNAMIC_REGISTRY)
+
+
+@register_dynamic_scenario(
+    "dynamic-smoke",
+    "Short mixed trace on a 2-colorability cycle (CI differential smoke).",
+    tags=("ci", "fast", "dynamic"),
+)
+def _dynamic_smoke() -> DynamicTrace:
+    from repro.engine.dynamic import random_trace
+    from repro.hierarchy.arbiters import two_colorability_spec
+
+    spec = two_colorability_spec()
+    graph = generators.cycle_graph(12)
+    ids = sequential_identifier_assignment(graph)
+    base = GameInstance(
+        machine=spec.machine,
+        graph=graph,
+        ids=ids,
+        spaces=list(spec.spaces),
+        prefix=spec.prefix(),
+        name=f"{spec.name}|cycle12|sequential",
+    )
+    deltas = random_trace(graph, seed=11, steps=8, kinds=("label", "edge"), ids=ids)
+    return DynamicTrace(base=base, deltas=tuple(deltas))
+
+
+@register_dynamic_scenario(
+    "dynamic-cycles",
+    "Mostly-stable label churn on a cyclic-identifier cycle (the repair showcase).",
+    tags=("dynamic", "benchmark"),
+)
+def _dynamic_cycles() -> DynamicTrace:
+    from repro.engine.dynamic import random_trace
+    from repro.hierarchy.arbiters import two_colorability_spec
+
+    spec = two_colorability_spec()
+    graph = generators.cycle_graph(32)
+    # Periodic identifiers collide inside the gather horizon, forcing the
+    # memo-heavy simulation path -- exactly where repair beats recompute.
+    ids = cyclic_identifier_assignment(graph, period=4)
+    base = GameInstance(
+        machine=spec.machine,
+        graph=graph,
+        ids=ids,
+        spaces=list(spec.spaces),
+        prefix=spec.prefix(),
+        name=f"{spec.name}|cycle32|cyclic4",
+    )
+    hot = list(graph.nodes)[:3]
+    deltas = random_trace(
+        graph, seed=3, steps=10, kinds=("label",), ids=ids, hot_nodes=hot
+    )
+    return DynamicTrace(base=base, deltas=tuple(deltas))
+
+
+@register_dynamic_scenario(
+    "dynamic-trees",
+    "Edge rewiring and label churn on a random tree (3-colorability).",
+    tags=("dynamic",),
+)
+def _dynamic_trees() -> DynamicTrace:
+    from repro.engine.dynamic import random_trace
+    from repro.hierarchy.arbiters import three_colorability_spec
+
+    spec = three_colorability_spec()
+    graph = generators.random_tree(10, seed=5)
+    ids = sequential_identifier_assignment(graph)
+    base = GameInstance(
+        machine=spec.machine,
+        graph=graph,
+        ids=ids,
+        spaces=list(spec.spaces),
+        prefix=spec.prefix(),
+        name=f"{spec.name}|tree10|sequential",
+    )
+    deltas = random_trace(graph, seed=23, steps=10, kinds=("label", "edge"), ids=ids)
+    return DynamicTrace(base=base, deltas=tuple(deltas))
+
+
+@register_dynamic_scenario(
+    "dynamic-id-churn",
+    "Identifier reassignment on a grid (Eulerian decider) plus label flips.",
+    tags=("dynamic",),
+)
+def _dynamic_id_churn() -> DynamicTrace:
+    from repro.engine.dynamic import random_trace
+    from repro.hierarchy.arbiters import eulerian_spec
+
+    spec = eulerian_spec()
+    graph = generators.grid_graph(2, 4)
+    ids = sequential_identifier_assignment(graph)
+    base = GameInstance(
+        machine=spec.machine,
+        graph=graph,
+        ids=ids,
+        spaces=list(spec.spaces),
+        prefix=spec.prefix(),
+        name=f"{spec.name}|grid2x4|sequential",
+    )
+    pool = [format(value, "b") for value in range(16, 32)]
+    deltas = random_trace(
+        graph,
+        seed=17,
+        steps=10,
+        kinds=("label", "id"),
+        ids=ids,
+        id_pool=tuple(pool),
+    )
+    return DynamicTrace(base=base, deltas=tuple(deltas))

@@ -450,7 +450,9 @@ class TestBoundsAndCounters:
             evaluator.accepts([])
             info = evaluator.memo_info()
             assert info["hits"] >= 1
-            assert set(info) == {"size", "maxsize", "hits", "misses", "evictions"}
+            base = {"size", "maxsize", "hits", "misses", "evictions"}
+            # The compiled path also reports rewire invalidations.
+            assert base <= set(info) <= base | {"invalidations"}
 
     def test_legacy_leaf_memo_cap(self):
         machine = builtin.three_colorability_verifier()

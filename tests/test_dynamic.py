@@ -1,0 +1,586 @@
+"""Differential harness for dynamic graphs with verdict repair.
+
+The contract under test: after ANY valid mutation sequence, the repaired
+verdict of :class:`repro.engine.dynamic.MutableInstance` is bitwise-equal
+to a full recompute (both engine tiers) and to the exhaustive oracle --
+and no cache tier (per-node memo, canonical ball signatures, store-backed
+node verdicts, content-addressed instance keys) can ever serve a
+pre-mutation answer for a post-mutation state.
+
+The hypothesis suites draw *valid* mutations adaptively from the evolving
+state (every generated trace is applicable by construction), so shrinking
+produces a minimal delta list whose dataclass reprs read as a replayable
+counterexample.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.compiled import CompiledGameEngine, CompiledInstance
+from repro.engine.canonical import CanonicalVerdictCache
+from repro.engine.dynamic import (
+    DeltaError,
+    EdgeDelete,
+    EdgeInsert,
+    MutableInstance,
+    SetIdentifier,
+    SetLabel,
+    _connected_without,
+    _insert_id_clash,
+    delta_from_wire,
+    delta_to_wire,
+    random_trace,
+    recompute_verdict,
+)
+from repro.graphs import generators
+from repro.graphs.identifiers import (
+    cyclic_identifier_assignment,
+    sequential_identifier_assignment,
+    small_identifier_assignment,
+)
+from repro.hierarchy.certificate_spaces import bit_space, color_space
+from repro.hierarchy.game import eve_wins, pi_prefix, sigma_prefix
+from repro.machines import builtin
+from repro.machines.local_algorithm import NeighborhoodGatherAlgorithm
+from repro.sweep.fingerprint import game_instance_key
+from repro.sweep.store import MemoryVerdictStore
+
+
+def _parity_machine():
+    """A rule-less gather machine: exercises the generic simulate path."""
+
+    def compute(view):
+        ones = sum(
+            cert.count("1") for _, certs in view.certificates for cert in certs
+        )
+        return "1" if ones % 2 == 0 else "0"
+
+    return NeighborhoodGatherAlgorithm(1, compute, name="cert-parity")
+
+
+#: (machine factory, spaces factory, prefix) combinations for the
+#: differential sweep: rule kernels, the label-sensitive decider and a
+#: rule-less machine, over both quantifiers.
+_GAME_POOL = [
+    (builtin.two_colorability_verifier, lambda: [color_space(2)], sigma_prefix(1)),
+    (builtin.three_colorability_verifier, lambda: [color_space(3)], sigma_prefix(1)),
+    (builtin.all_selected_decider, lambda: [bit_space()], pi_prefix(1)),
+    (_parity_machine, lambda: [bit_space()], pi_prefix(1)),
+]
+
+_GRAPH_POOL = [
+    lambda: generators.cycle_graph(4),
+    lambda: generators.cycle_graph(5),
+    lambda: generators.path_graph(4),
+    lambda: generators.complete_graph(4),
+    lambda: generators.star_graph(4),
+    lambda: generators.grid_graph(2, 3),
+]
+
+_ID_SCHEMES = [
+    sequential_identifier_assignment,
+    lambda graph: small_identifier_assignment(graph, 1),
+]
+
+_LABELS = ("", "1")
+
+_ID_POOL = tuple(format(value, "b") for value in range(16, 24))
+
+
+def _valid_moves(mutable: MutableInstance):
+    """Every delta applicable to the current state (the generator's menu)."""
+    moves = []
+    adjacency = mutable._adjacency
+    ids = mutable._ids
+    nodes = mutable.nodes
+    for node in nodes:
+        current = mutable.graph.label(node)
+        moves.extend(
+            SetLabel(node=node, label=label) for label in _LABELS if label != current
+        )
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            if v in adjacency[u]:
+                if _connected_without(adjacency, u, v):
+                    moves.append(EdgeDelete(u=u, v=v))
+            elif _insert_id_clash(adjacency, ids, u, v) is None:
+                moves.append(EdgeInsert(u=u, v=v))
+    for node in nodes:
+        taken = {ids[w] for w in nodes if w != node}
+        moves.extend(
+            SetIdentifier(node=node, identifier=candidate)
+            for candidate in _ID_POOL[:3]
+            if candidate != ids[node] and candidate not in taken
+        )
+    return moves
+
+
+def _assert_structurally_fresh(mutable: MutableInstance) -> None:
+    """The repaired compiled instance must equal a from-scratch compile."""
+    repaired = mutable.compiled
+    fresh = CompiledInstance(mutable.machine, mutable.graph, mutable._ids)
+    assert repaired.adj_indptr == fresh.adj_indptr
+    assert repaired.adj_indices == fresh.adj_indices
+    assert repaired.degrees == fresh.degrees
+    assert repaired.labels == fresh.labels
+    assert repaired.ids_list == fresh.ids_list
+    assert repaired.direct == fresh.direct
+    assert repaired.radius == fresh.radius
+    assert repaired.balls == fresh.balls
+    assert repaired.ball_sizes == fresh.ball_sizes
+    assert [set(d) for d in repaired.dependents] == [set(d) for d in fresh.dependents]
+
+
+class TestDifferentialRepair:
+    """repair == full recompute == exhaustive oracle, on random traces."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_trace_differential(self, data):
+        game_index = data.draw(
+            st.integers(min_value=0, max_value=len(_GAME_POOL) - 1), label="game"
+        )
+        machine_factory, spaces_factory, prefix = _GAME_POOL[game_index]
+        graph = data.draw(st.sampled_from(_GRAPH_POOL), label="graph")()
+        ids = dict(data.draw(st.sampled_from(_ID_SCHEMES), label="ids")(graph))
+        machine = machine_factory()
+        spaces = spaces_factory()
+        mutable = MutableInstance(machine, graph, ids, spaces, prefix)
+        steps = data.draw(st.integers(min_value=1, max_value=4), label="steps")
+        applied = []
+        for _ in range(steps):
+            moves = _valid_moves(mutable)
+            if not moves:
+                break
+            delta = data.draw(st.sampled_from(moves), label="delta")
+            applied.append(delta)
+            mutable.apply(delta)
+
+            repaired = mutable.verdict()
+            snapshot = mutable.as_game_instance()
+            bitset = recompute_verdict(snapshot, use_bitset=True)
+            compiled = recompute_verdict(snapshot, use_bitset=False)
+            oracle = eve_wins(
+                machine, snapshot.graph, snapshot.ids, spaces, prefix
+            )
+            assert repaired == bitset == compiled == oracle, (
+                f"divergence after {applied!r}: repair={repaired} "
+                f"bitset={bitset} compiled={compiled} oracle={oracle}"
+            )
+            _assert_structurally_fresh(mutable)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_random_trace_generator_is_always_valid(self, seed):
+        """Traces from random_trace apply cleanly and verify at the end."""
+        graph = generators.cycle_graph(6)
+        ids = sequential_identifier_assignment(graph)
+        trace = random_trace(
+            graph,
+            seed=seed,
+            steps=6,
+            kinds=("label", "edge", "id"),
+            ids=ids,
+            id_pool=_ID_POOL,
+        )
+        machine = builtin.two_colorability_verifier()
+        mutable = MutableInstance(
+            machine, graph, ids, [color_space(2)], sigma_prefix(1)
+        )
+        mutable.apply_all(trace)  # DeltaError here = generator bug
+        assert mutable.verdict() == recompute_verdict(mutable.as_game_instance())
+
+    def test_two_level_prefix_differential(self):
+        """Repair stays correct for a two-quantifier game."""
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        machine = builtin.two_colorability_verifier()
+        spaces = [color_space(2), bit_space()]
+        prefix = sigma_prefix(2)
+        mutable = MutableInstance(machine, graph, ids, spaces, prefix)
+        nodes = graph.nodes
+        for delta in (
+            SetLabel(node=nodes[0], label="1"),
+            EdgeInsert(u=nodes[0], v=nodes[2]),
+            EdgeDelete(u=nodes[0], v=nodes[1]),
+        ):
+            mutable.apply(delta)
+            assert mutable.verdict() == recompute_verdict(
+                mutable.as_game_instance()
+            ), delta
+
+
+class TestMutationValidation:
+    """Invalid deltas are typed errors and never corrupt state."""
+
+    def _mutable(self):
+        graph = generators.cycle_graph(6)
+        ids = sequential_identifier_assignment(graph)
+        return MutableInstance(
+            builtin.two_colorability_verifier(),
+            graph,
+            ids,
+            [color_space(2)],
+            sigma_prefix(1),
+        )
+
+    def test_rejections(self):
+        mutable = self._mutable()
+        nodes = mutable.nodes
+        before_key = mutable.key()
+        cases = [
+            EdgeInsert(u=nodes[0], v=nodes[1]),  # duplicate edge
+            EdgeDelete(u=nodes[0], v=nodes[3]),  # missing edge
+            EdgeInsert(u=nodes[0], v=nodes[0]),  # self-loop
+            SetLabel(node=nodes[0], label="2x"),  # not a bit string
+            SetLabel(node="zz", label="1"),  # unknown node
+            SetIdentifier(node=nodes[1], identifier=mutable.ids[nodes[2]]),  # id clash
+        ]
+        for delta in cases:
+            with pytest.raises((DeltaError, ValueError)):
+                mutable.apply(delta)
+        assert mutable.key() == before_key  # nothing leaked into the state
+
+    def test_bridge_deletion_rejected(self):
+        graph = generators.path_graph(3)
+        mutable = MutableInstance(
+            builtin.two_colorability_verifier(),
+            graph,
+            sequential_identifier_assignment(graph),
+            [color_space(2)],
+            sigma_prefix(1),
+        )
+        with pytest.raises(DeltaError):
+            mutable.apply(EdgeDelete(u=graph.nodes[0], v=graph.nodes[1]))
+
+    def test_insert_rejected_on_identifier_clash(self):
+        """An edge pulling equal ids within distance 2 breaks the model."""
+        graph = generators.cycle_graph(8)
+        ids = dict(sequential_identifier_assignment(graph))
+        nodes = graph.nodes
+        ids[nodes[4]] = ids[nodes[0]]  # duplicate at distance 4: still legal
+        mutable = MutableInstance(
+            builtin.two_colorability_verifier(),
+            graph,
+            ids,
+            [color_space(2)],
+            sigma_prefix(1),
+        )
+        with pytest.raises(DeltaError):
+            mutable.apply(EdgeInsert(u=nodes[0], v=nodes[4]))
+
+    def test_noop_deltas_do_not_invalidate(self):
+        mutable = self._mutable()
+        node = mutable.nodes[0]
+        mutable.verdict()
+        key = mutable.key()
+        report = mutable.apply(SetLabel(node=node, label=mutable.graph.label(node)))
+        assert not report.changed and report.dirty == ()
+        assert mutable.key() == key
+        assert mutable.info()["noops"] == 1
+
+    def test_apply_batch_is_atomic(self):
+        mutable = self._mutable()
+        nodes = mutable.nodes
+        key = mutable.key()
+        labels_before = dict(mutable.graph.labels)
+        with pytest.raises(DeltaError):
+            mutable.apply_batch(
+                [
+                    SetLabel(node=nodes[0], label="1"),  # valid
+                    EdgeInsert(u=nodes[2], v=nodes[3]),  # duplicate edge
+                ]
+            )
+        assert dict(mutable.graph.labels) == labels_before
+        assert mutable.key() == key
+        assert mutable.verdict() == recompute_verdict(mutable.as_game_instance())
+
+    def test_full_rebuild_on_direct_flip(self):
+        """Identifier churn breaking horizon-uniqueness widens to everything."""
+        graph = generators.cycle_graph(12)
+        ids = dict(sequential_identifier_assignment(graph))
+        nodes = graph.nodes
+        ids[nodes[6]] = ids[nodes[0]]  # duplicates at distance 6: direct still ok
+        mutable = MutableInstance(
+            builtin.two_colorability_verifier(),
+            graph,
+            ids,
+            [color_space(2)],
+            sigma_prefix(1),
+        )
+        assert mutable.compiled.direct
+        # The chord pulls the duplicate pair within the gather horizon.
+        report = mutable.apply(EdgeInsert(u=nodes[1], v=nodes[7]))
+        assert not mutable.compiled.direct
+        assert report.full_rebuild
+        assert len(report.dirty) == len(nodes)
+        assert mutable.verdict() == recompute_verdict(mutable.as_game_instance())
+
+
+class TestWireDeltas:
+    def test_round_trip(self):
+        graph = generators.cycle_graph(4)
+        nodes = graph.nodes
+        deltas = [
+            EdgeInsert(u=nodes[0], v=nodes[2]),
+            EdgeDelete(u=nodes[0], v=nodes[1]),
+            SetLabel(node=nodes[2], label="1"),
+            SetIdentifier(node=nodes[3], identifier="10110"),
+        ]
+        for delta in deltas:
+            wire = delta_to_wire(delta, nodes)
+            assert delta_from_wire(wire, nodes) == delta
+
+    def test_malformed_wire_bodies(self):
+        nodes = generators.cycle_graph(4).nodes
+        bad = [
+            {"kind": "warp"},
+            {"kind": "edge-insert", "u": 0},
+            {"kind": "edge-insert", "u": 0, "v": 99},
+            {"kind": "edge-insert", "u": True, "v": 1},
+            {"kind": "edge-insert", "u": -1, "v": 1},
+            {"kind": "set-label", "node": 0, "label": 3},
+            {"kind": "set-id", "node": 0},
+        ]
+        for body in bad:
+            with pytest.raises(DeltaError):
+                delta_from_wire(body, nodes)
+
+
+class TestCacheFreshness:
+    """No tier may serve a pre-mutation verdict for a post-mutation state."""
+
+    def test_content_addressed_key_tracks_mutations(self):
+        """The instance key changes with every effective delta and returns
+        on revert -- the invariant shielding the service LRU/store tiers."""
+        graph = generators.cycle_graph(6)
+        ids = sequential_identifier_assignment(graph)
+        mutable = MutableInstance(
+            builtin.two_colorability_verifier(),
+            graph,
+            ids,
+            [color_space(2)],
+            sigma_prefix(1),
+        )
+        nodes = graph.nodes
+        original = mutable.key()
+        assert original == game_instance_key(mutable.as_game_instance())
+        mutable.apply(EdgeInsert(u=nodes[0], v=nodes[2]))
+        chorded = mutable.key()
+        assert chorded != original
+        mutable.apply(SetLabel(node=nodes[1], label="1"))
+        labeled = mutable.key()
+        assert labeled not in (original, chorded)
+        mutable.apply(SetLabel(node=nodes[1], label=""))
+        mutable.apply(EdgeDelete(u=nodes[0], v=nodes[2]))
+        assert mutable.key() == original
+
+    def test_warm_canonical_cache_survives_verdict_flips(self):
+        """A chord flips 2-colorability; warm ball verdicts must not leak."""
+        graph = generators.cycle_graph(8)
+        ids = cyclic_identifier_assignment(graph, period=4)  # simulate path
+        cache = CanonicalVerdictCache()
+        mutable = MutableInstance(
+            builtin.two_colorability_verifier(),
+            graph,
+            ids,
+            [color_space(2)],
+            sigma_prefix(1),
+            canonical=cache,
+        )
+        nodes = graph.nodes
+        assert mutable.verdict() is True
+        assert cache.info()["entries"] > 0  # the cache is actually in play
+        mutable.apply(EdgeInsert(u=nodes[0], v=nodes[2]))
+        assert mutable.verdict() is False  # stale ball verdicts would flip this
+        mutable.apply(EdgeDelete(u=nodes[0], v=nodes[2]))
+        assert mutable.verdict() is True
+
+    def test_label_flip_invalidates_intersecting_balls(self):
+        """A label-sensitive game under warm caches, flipped back and forth."""
+        graph = generators.path_graph(4, labels=["1", "1", "1", "1"])
+        ids = small_identifier_assignment(graph, 1)
+        cache = CanonicalVerdictCache()
+        mutable = MutableInstance(
+            builtin.all_selected_decider(),
+            graph,
+            ids,
+            [bit_space()],
+            pi_prefix(1),
+            canonical=cache,
+        )
+        node = graph.nodes[1]
+        first = mutable.verdict()
+        assert first == recompute_verdict(mutable.as_game_instance())
+        mutable.apply(SetLabel(node=node, label="0"))
+        flipped = mutable.verdict()
+        assert flipped == recompute_verdict(mutable.as_game_instance())
+        assert flipped != first  # the flip is observable, not masked by a cache
+        mutable.apply(SetLabel(node=node, label="1"))
+        assert mutable.verdict() == first
+
+    def test_store_backed_node_verdicts_stay_fresh(self):
+        """Ball verdicts persisted before a mutation must not answer for a
+        mutated ball (signatures embed ball-local labels/ids/edges)."""
+        graph = generators.cycle_graph(8)
+        ids = cyclic_identifier_assignment(graph, period=4)
+        machine = builtin.two_colorability_verifier()
+        store = MemoryVerdictStore()
+
+        seed_cache = CanonicalVerdictCache(store=store)
+        seeded = MutableInstance(
+            machine, graph, ids, [color_space(2)], sigma_prefix(1),
+            canonical=seed_cache,
+        )
+        assert seeded.verdict() is True
+        seed_cache.flush()
+        assert store.node_count() > 0
+
+        warm_cache = CanonicalVerdictCache(store=store)
+        mutable = MutableInstance(
+            machine, graph, ids, [color_space(2)], sigma_prefix(1),
+            canonical=warm_cache,
+        )
+        nodes = graph.nodes
+        mutable.apply(EdgeInsert(u=nodes[0], v=nodes[2]))
+        assert mutable.verdict() is False
+        mutable.apply(EdgeDelete(u=nodes[0], v=nodes[2]))
+        assert mutable.verdict() is True
+        assert warm_cache.info()["store_hits"] > 0  # the store tier was used
+
+    def test_clean_node_memos_survive_repair(self):
+        """The point of repair: memoized verdicts outside the dirty set live."""
+        graph = generators.cycle_graph(16)
+        ids = cyclic_identifier_assignment(graph, period=4)
+        mutable = MutableInstance(
+            builtin.two_colorability_verifier(),
+            graph,
+            ids,
+            [color_space(2)],
+            sigma_prefix(1),
+        )
+        mutable.verdict()
+        compiled = mutable.compiled
+        entries_before = compiled.memo_entries
+        assert entries_before > 0
+        report = mutable.apply(SetLabel(node=graph.nodes[0], label="1"))
+        assert 0 < len(report.dirty) < len(graph.nodes)
+        assert compiled.memo_invalidations > 0
+        assert compiled.memo_entries > 0  # clean nodes kept their memos
+        assert compiled.memo_entries < entries_before
+        clean = [u for u in range(compiled.n) if u not in report.dirty]
+        assert any(compiled.memo_nodes[u] for u in clean)
+        assert mutable.verdict() == recompute_verdict(mutable.as_game_instance())
+
+
+class TestAlphabetCompaction:
+    """CodedState rebase under *shrinking* alphabets (the PR-6 fix)."""
+
+    def _instance(self):
+        graph = generators.cycle_graph(4)
+        ids = sequential_identifier_assignment(graph)
+        return CompiledInstance(builtin.two_colorability_verifier(), graph, ids)
+
+    def test_compaction_renumbers_and_snapshots(self):
+        instance = self._instance()
+        for value in range(6):
+            instance.intern(format(value, "03b"))
+        keep = {"000", "011"}
+        generation = instance.generation
+        dropped = instance.compact_alphabet(keep)
+        assert dropped == 4
+        assert instance.alphabet == ["", "000", "011"]
+        assert instance.generation == generation + 1
+        assert instance.generation in instance._compaction_alphabets
+        # Codes are dense again and the pair table / memo were cleared.
+        assert instance.code_of == {"": 0, "000": 1, "011": 2}
+        assert instance.memo_entries == 0
+
+    def test_stale_state_reinterns_through_snapshot(self):
+        instance = self._instance()
+        codes = [instance.intern(s) for s in ("000", "001", "010", "011")]
+        state = instance.new_state(1)
+        carried = ["011", "001", "010", "000"]
+        for v, certificate in enumerate(carried):
+            state.set_code(0, v, instance.code_of[certificate])
+        stale_keys = list(state.keys)
+        instance.compact_alphabet({"001", "011"})  # drops 000 and 010
+        state.sync()
+        # The *strings* survive: dropped certificates were re-interned.
+        decoded = [instance.alphabet[code] for code in state.codes[0]]
+        assert decoded == carried
+        # The packed keys equal a from-scratch state carrying the same
+        # certificates -- stale integers cannot have leaked through.
+        fresh = instance.new_state(1)
+        for v, certificate in enumerate(carried):
+            fresh.set_code(0, v, instance.code_of[certificate])
+        assert state.keys == fresh.keys
+        assert state.keys != stale_keys or instance.shift == 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_shrink_rebase_property(self, data):
+        """Hypothesis pin: compaction never corrupts a live CodedState."""
+        instance = self._instance()
+        universe = ["0", "1", "00", "01", "10", "11", "000", "111"]
+        interned = data.draw(
+            st.lists(st.sampled_from(universe), min_size=1, max_size=8, unique=True),
+            label="interned",
+        )
+        for certificate in interned:
+            instance.intern(certificate)
+        carried = data.draw(
+            st.lists(
+                st.sampled_from([""] + interned),
+                min_size=instance.n,
+                max_size=instance.n,
+            ),
+            label="carried",
+        )
+        state = instance.new_state(1)
+        for v, certificate in enumerate(carried):
+            state.set_code(0, v, instance.code_of[certificate])
+        keep = set(
+            data.draw(
+                st.lists(st.sampled_from(interned), max_size=len(interned)),
+                label="keep",
+            )
+        )
+        instance.compact_alphabet(keep)
+        state.sync()
+        decoded = [instance.alphabet[code] for code in state.codes[0]]
+        assert decoded == carried
+        fresh = instance.new_state(1)
+        for v, certificate in enumerate(carried):
+            fresh.set_code(0, v, instance.code_of[certificate])
+        assert state.keys == fresh.keys
+        assert state.generation == instance.generation
+
+    def test_mutable_instance_compacts_stranded_codes(self):
+        """Once churn strands most codes, the next repair compacts -- and
+        the verdict is unchanged (compaction is semantics-preserving)."""
+        graph = generators.cycle_graph(6)
+        ids = sequential_identifier_assignment(graph)
+        mutable = MutableInstance(
+            builtin.two_colorability_verifier(),
+            graph,
+            ids,
+            [color_space(2)],
+            sigma_prefix(1),
+        )
+        before = mutable.verdict()
+        # Strand a pile of codes, the way an identifier-dependent candidate
+        # space does after heavy id churn (its old alphabets stay interned).
+        for value in range(64):
+            mutable.compiled.intern(format(value, "07b"))
+        node = graph.nodes[0]
+        mutable.apply(SetLabel(node=node, label="1"))
+        after = mutable.verdict()  # repair path: compaction happens here
+        assert mutable.info()["compactions"] == 1
+        assert len(mutable.compiled.alphabet) <= len(["", "0", "1"])
+        assert after == recompute_verdict(mutable.as_game_instance())
+        mutable.apply(SetLabel(node=node, label=""))
+        assert mutable.verdict() == before

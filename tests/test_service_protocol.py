@@ -7,7 +7,9 @@ import json
 import pytest
 
 from repro.service.protocol import (
+    MAX_DELTAS,
     PROTOCOL_VERSION,
+    MutateRequest,
     PingRequest,
     ProtocolError,
     QueryRequest,
@@ -15,11 +17,13 @@ from repro.service.protocol import (
     encode_request,
     encode_response,
     error_response,
+    mutate_response,
     parse_request,
     parse_response,
     pong_response,
     query_response,
     stats_response,
+    validate_wire_delta,
 )
 
 
@@ -30,6 +34,19 @@ class TestRequestRoundTrip:
             QueryRequest(id=7, scenario="separations", index=3),
             QueryRequest(id="abc", scenario="smoke", instance="3-colorable|cycle4|small"),
             QueryRequest(spec={"arbiter": "3-colorable", "family": "cycle", "n": 6}),
+            QueryRequest(id=9, session="workbench"),
+            MutateRequest(id=1, session="workbench", scenario="smoke", index=0),
+            MutateRequest(
+                id=2,
+                session="workbench",
+                deltas=(
+                    {"kind": "edge-insert", "u": 0, "v": 2},
+                    {"kind": "set-label", "node": 1, "label": "1"},
+                    {"kind": "set-id", "node": 3, "id": "101"},
+                    {"kind": "edge-delete", "u": 0, "v": 1},
+                ),
+            ),
+            MutateRequest(id=3, session="s", spec={"arbiter": "eulerian"}),
             StatsRequest(id=0),
             StatsRequest(),
             PingRequest(id="p"),
@@ -95,6 +112,71 @@ class TestMalformedRequests:
             parse_request('{"v": 1, "op": "warp", "id": 42}')
         assert excinfo.value.request_id == 42
 
+    def test_session_query_rejects_mixed_modes_and_empty_names(self):
+        mixed = '{"v": 1, "op": "query", "session": "s", "scenario": "x", "index": 0}'
+        assert self._code(mixed) == "bad-request"
+        assert self._code('{"v": 1, "op": "query", "session": ""}') == "bad-request"
+        assert self._code('{"v": 1, "op": "query", "session": 7}') == "bad-request"
+
+
+class TestMalformedMutates:
+    """The mutations stream: every defect is a typed, addressable error."""
+
+    def _code(self, line: str) -> str:
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line)
+        return excinfo.value.code
+
+    def _mutate(self, **extra) -> str:
+        body = {"v": 1, "op": "mutate", "id": 5, "session": "s", "deltas": []}
+        body.update(extra)
+        return json.dumps(body)
+
+    def test_version_negotiation_is_unchanged_for_mutate(self):
+        """The mutate op rides protocol v1: version checks come first."""
+        assert self._code('{"v": 99, "op": "mutate", "session": "s"}') == "bad-version"
+        assert self._code('{"op": "mutate", "session": "s"}') == "bad-version"
+
+    def test_session_name_required(self):
+        assert self._code(self._mutate(session="")) == "bad-request"
+        assert self._code(self._mutate(session=3)) == "bad-request"
+
+    def test_deltas_must_be_a_list(self):
+        assert self._code(self._mutate(deltas={"kind": "set-label"})) == "bad-request"
+        assert self._code(self._mutate(deltas="nope")) == "bad-request"
+
+    def test_delta_batch_is_bounded(self):
+        oversize = [{"kind": "set-label", "node": 0, "label": ""}] * (MAX_DELTAS + 1)
+        assert self._code(self._mutate(deltas=oversize)) == "bad-request"
+
+    @pytest.mark.parametrize(
+        "delta",
+        [
+            "not-an-object",
+            {"kind": "warp"},
+            {"u": 0, "v": 1},  # no kind
+            {"kind": "edge-insert", "u": 0},  # missing v
+            {"kind": "edge-insert", "u": "0", "v": 1},  # str index
+            {"kind": "edge-insert", "u": True, "v": 1},  # bool is not an int
+            {"kind": "edge-insert", "u": -1, "v": 1},  # negative index
+            {"kind": "set-label", "node": 0, "label": 7},  # non-str label
+            {"kind": "set-id", "node": 0},  # missing id
+        ],
+    )
+    def test_malformed_deltas_are_bad_delta(self, delta):
+        assert self._code(self._mutate(deltas=[delta])) == "bad-delta"
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_wire_delta(delta, request_id=5)
+        assert excinfo.value.code == "bad-delta"
+        assert excinfo.value.request_id == 5
+
+    def test_opening_address_validation_mirrors_query(self):
+        assert self._code(self._mutate(scenario="s", spec={})) == "bad-request"
+        assert self._code(self._mutate(scenario="s")) == "bad-request"  # no instance/index
+        assert self._code(self._mutate(scenario="s", instance="x", index=0)) == "bad-request"
+        assert self._code(self._mutate(scenario="s", index="zero")) == "bad-request"
+        assert self._code(self._mutate(spec=[1])) == "bad-spec"
+
 
 class TestResponses:
     def test_query_response_round_trip(self):
@@ -121,6 +203,22 @@ class TestResponses:
     def test_error_response_rejects_unknown_code(self):
         with pytest.raises(ValueError):
             error_response(None, "weird", "boom")
+
+    def test_mutate_response_round_trip(self):
+        response = mutate_response(
+            7, "workbench", applied=3, dirty=11, generation=4, seconds=0.01, opened=True
+        )
+        parsed = parse_response(encode_response(response))
+        assert parsed == response
+        assert parsed["ok"] is True
+        assert parsed["applied"] == 3
+        assert parsed["dirty"] == 11
+        assert parsed["opened"] is True
+
+    def test_dynamic_error_codes_are_registered(self):
+        for code in ("unknown-session", "bad-delta", "session-limit"):
+            response = error_response(None, code, "boom")
+            assert parse_response(encode_response(response))["error"]["code"] == code
 
     def test_stats_and_pong(self):
         assert parse_response(encode_response(stats_response(1, {"a": 1})))["stats"] == {"a": 1}

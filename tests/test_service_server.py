@@ -361,3 +361,172 @@ class TestWarmThroughputSpeedup:
             f"warm service at {report.qps:.0f} qps is below 10x the cold "
             f"single-query rate of {cold_qps:.1f} qps"
         )
+
+
+class TestDynamicSessions:
+    """The mutations stream end to end: open, mutate, query, and fail typed."""
+
+    INSTANCE = "2-colorable|cycle6|sequential"
+    SESSION_SCENARIO = FIG2_SCENARIO
+
+    def _open(self, client, session):
+        return client.mutate(
+            session, scenario=self.SESSION_SCENARIO, instance=self.INSTANCE
+        )
+
+    def test_mutate_query_flip_and_revert(self):
+        """A chord flips the verdict; reverting re-hits the original LRU
+        entry -- the content-addressed key makes stale answers impossible."""
+        with ServerThread(store=MemoryVerdictStore()) as server:
+            with ServiceClient(server.address) as client:
+                opened = self._open(client, "workbench")
+                assert opened["opened"] is True and opened["applied"] == 0
+
+                first = client.query_session("workbench")
+                assert first["verdict"] is True  # even cycle: 2-colorable
+                base_key = first["key"]
+
+                chord = {"kind": "edge-insert", "u": 0, "v": 2}
+                response = client.mutate("workbench", deltas=[chord])
+                assert response["opened"] is False
+                assert response["applied"] == 1 and response["dirty"] > 0
+
+                mutated = client.query_session("workbench")
+                assert mutated["verdict"] is False  # the chord closes a triangle
+                assert mutated["key"] != base_key
+                assert mutated["source"] == "dynamic"
+
+                client.mutate(
+                    "workbench", deltas=[{"kind": "edge-delete", "u": 0, "v": 2}]
+                )
+                reverted = client.query_session("workbench")
+                assert reverted["verdict"] is True
+                assert reverted["key"] == base_key
+                # The reverted state legitimately re-hits its old cache entry.
+                assert reverted["source"] in ("lru", "store")
+
+    def test_unknown_session_and_reopen_are_typed_errors(self):
+        with ServerThread(store=None) as server:
+            with ServiceClient(server.address) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.query_session("ghost")
+                assert excinfo.value.code == "unknown-session"
+
+                with pytest.raises(ServiceError) as excinfo:
+                    client.mutate("ghost", deltas=[])  # no opening address
+                assert excinfo.value.code == "unknown-session"
+
+                self._open(client, "w")
+                with pytest.raises(ServiceError) as excinfo:
+                    self._open(client, "w")  # re-addressing an open session
+                assert excinfo.value.code == "bad-request"
+
+    def test_bad_delta_batches_are_atomic(self):
+        """A failing batch is rolled back wholesale: the later query sees
+        the pre-batch state and the failure is the typed bad-delta error."""
+        with ServerThread(store=None) as server:
+            with ServiceClient(server.address) as client:
+                self._open(client, "w")
+                before = client.query_session("w")
+                with pytest.raises(ServiceError) as excinfo:
+                    client.mutate(
+                        "w",
+                        deltas=[
+                            {"kind": "set-label", "node": 1, "label": "1"},  # valid
+                            {"kind": "edge-insert", "u": 0, "v": 1},  # duplicate
+                        ],
+                    )
+                assert excinfo.value.code == "bad-delta"
+                after = client.query_session("w")
+                assert after["key"] == before["key"]  # label flip rolled back
+                session = server.service.sessions["w"]
+                assert session.deltas_applied == 0
+
+    def test_semantically_bad_deltas_are_typed(self):
+        with ServerThread(store=None) as server:
+            with ServiceClient(server.address) as client:
+                self._open(client, "w")
+                for delta in (
+                    {"kind": "edge-insert", "u": 0, "v": 99},  # out of range
+                    {"kind": "edge-insert", "u": 0, "v": 1},  # duplicate edge
+                    {"kind": "edge-delete", "u": 0, "v": 3},  # missing edge
+                    {"kind": "set-label", "node": 0, "label": "2x"},  # not bits
+                ):
+                    with pytest.raises(ServiceError) as excinfo:
+                        client.mutate("w", deltas=[delta])
+                    assert excinfo.value.code == "bad-delta", delta
+
+    def test_session_limit(self):
+        config = ServiceConfig(max_sessions=1)
+        with ServerThread(store=None, config=config) as server:
+            with ServiceClient(server.address) as client:
+                self._open(client, "first")
+                with pytest.raises(ServiceError) as excinfo:
+                    self._open(client, "second")
+                assert excinfo.value.code == "session-limit"
+
+    def test_concurrent_mutates_and_queries_serialize(self):
+        """Racing mutates and queries on one session never corrupt it: every
+        response is well-formed and the final state verifies differentially."""
+        with ServerThread(store=None) as server:
+            with ServiceClient(server.address) as opener:
+                self._open(opener, "race")
+                assert opener.query_session("race")["verdict"] is True
+            errors = []
+
+            def mutator():
+                try:
+                    with ServiceClient(server.address) as client:
+                        for _ in range(6):
+                            client.mutate(
+                                "race",
+                                deltas=[{"kind": "set-label", "node": 1, "label": "1"}],
+                            )
+                            client.mutate(
+                                "race",
+                                deltas=[{"kind": "set-label", "node": 1, "label": ""}],
+                            )
+                except Exception as error:  # noqa: BLE001 -- surfaced below
+                    errors.append(error)
+
+            def querier():
+                try:
+                    with ServiceClient(server.address) as client:
+                        for _ in range(12):
+                            response = client.query_session("race")
+                            # Labels never affect 2-colorability.
+                            assert response["verdict"] is True
+                except Exception as error:  # noqa: BLE001 -- surfaced below
+                    errors.append(error)
+
+            threads = [threading.Thread(target=mutator) for _ in range(2)]
+            threads += [threading.Thread(target=querier) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors
+
+            session = server.service.sessions["race"]
+            mutable = session.mutable
+            from repro.engine.dynamic import recompute_verdict
+
+            assert mutable.verdict() == recompute_verdict(mutable.as_game_instance())
+            assert session.deltas_applied == 24
+
+    def test_dynamic_stats(self):
+        with ServerThread(store=None) as server:
+            with ServiceClient(server.address) as client:
+                self._open(client, "s1")
+                client.mutate(
+                    "s1", deltas=[{"kind": "set-label", "node": 0, "label": "1"}]
+                )
+                client.query_session("s1")
+                stats = client.stats()
+            dynamic = stats["dynamic"]
+            assert dynamic["sessions"] == 1
+            assert dynamic["opened"] == 1
+            info = dynamic["by_session"]["s1"]
+            assert info["mutations"] == 1
+            assert info["queries"] == 1
+            assert stats["requests"]["mutate"] == 2
