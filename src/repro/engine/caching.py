@@ -29,7 +29,7 @@ class LRUCache:
     (the counters keep working).
     """
 
-    __slots__ = ("data", "maxsize", "hits", "misses", "evictions")
+    __slots__ = ("data", "maxsize", "hits", "misses", "evictions", "_metrics")
 
     def __init__(self, maxsize: Optional[int] = None) -> None:
         if maxsize is not None and maxsize < 1:
@@ -39,15 +39,38 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._metrics = None
+
+    def bind_metrics(self, registry, name: str) -> "LRUCache":
+        """Mirror this cache's counters into registry instruments.
+
+        Creates ``<name>_hits_total`` / ``<name>_misses_total`` /
+        ``<name>_evictions_total`` counters in *registry* (a
+        :class:`repro.obs.metrics.MetricsRegistry`) and increments them
+        alongside the plain-int counters, so the cache shows up on the
+        ``/metrics`` exposition without changing ``info()`` consumers.
+        Returns ``self`` for chaining.
+        """
+        self._metrics = (
+            registry.counter(f"{name}_hits_total"),
+            registry.counter(f"{name}_misses_total"),
+            registry.counter(f"{name}_evictions_total"),
+        )
+        return self
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value, refreshed to most-recently-used; *default* on miss."""
         data = self.data
+        metrics = self._metrics
         value = data.get(key, MISSING)
         if value is MISSING:
             self.misses += 1
+            if metrics is not None:
+                metrics[1].inc()
             return default
         self.hits += 1
+        if metrics is not None:
+            metrics[0].inc()
         del data[key]
         data[key] = value
         return value
@@ -60,6 +83,8 @@ class LRUCache:
         elif self.maxsize is not None and len(data) >= self.maxsize:
             del data[next(iter(data))]
             self.evictions += 1
+            if self._metrics is not None:
+                self._metrics[2].inc()
         data[key] = value
 
     def clear(self) -> None:

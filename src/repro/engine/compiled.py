@@ -890,6 +890,20 @@ class CompiledInstance:
             "invalidations": self.memo_invalidations,
         }
 
+    def publish_metrics(self, registry, labels: Optional[Dict[str, str]] = None) -> None:
+        """Mirror the verdict-memo counters into *registry* gauges.
+
+        The memo counters stay plain ints on the hot path (a per-leaf
+        lock would be measurable); callers that hold an engine for a
+        while -- the service's compute tier -- republish them as
+        ``repro_engine_memo_*`` gauges after each batch instead.
+        """
+        info = self.memo_info()
+        for field in ("size", "hits", "misses", "evictions", "invalidations"):
+            registry.gauge(f"repro_engine_memo_{field}", labels=labels).set(
+                info[field] or 0
+            )
+
     def __repr__(self) -> str:
         kernel = (
             type(self.rule).__name__
@@ -1552,6 +1566,16 @@ class CompiledGameEngine:
     def transposition_info(self) -> Dict[str, Optional[int]]:
         """Hit/miss/eviction counters of the transposition cache."""
         return self._transposition.info()
+
+    def publish_metrics(self, registry, labels: Optional[Dict[str, str]] = None) -> None:
+        """Mirror the transposition-cache counters into *registry* gauges
+        (``repro_engine_transposition_*``); see
+        :meth:`CompiledInstance.publish_metrics`."""
+        info = self.transposition_info()
+        for field in ("size", "hits", "misses", "evictions"):
+            registry.gauge(f"repro_engine_transposition_{field}", labels=labels).set(
+                info[field] or 0
+            )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,55 @@
+"""Observability for the verdict service: metrics, traces, console, top.
+
+* :mod:`repro.obs.metrics` -- the instrument registry (counters, gauges,
+  fixed-bucket histograms, bounded event logs) with Prometheus text
+  exposition.
+* :mod:`repro.obs.trace` -- per-request trace spans carried in a context
+  variable, plus the bounded ring of recent traces.
+* :mod:`repro.obs.http` -- the stdlib-only asyncio HTTP console
+  (``/stats``, ``/metrics``, browse pages) served next to the daemon's
+  TCP protocol by ``repro serve --http``.
+* :mod:`repro.obs.top` -- ``python -m repro top``, the live-refresh
+  terminal client of the console's ``/stats`` endpoint.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    LATENCY_BUCKETS_SECONDS,
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from repro.obs.trace import (
+    RequestTrace,
+    SpanRecord,
+    TraceLog,
+    activate,
+    active,
+    current_trace,
+    deactivate,
+    span,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS_MS",
+    "LATENCY_BUCKETS_SECONDS",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "RequestTrace",
+    "SpanRecord",
+    "TraceLog",
+    "activate",
+    "active",
+    "current_trace",
+    "deactivate",
+    "span",
+]

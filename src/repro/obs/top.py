@@ -1,0 +1,192 @@
+"""``python -m repro top``: a live terminal dashboard over one daemon.
+
+Polls the HTTP console's ``/stats`` page (:mod:`repro.obs.http`) on an
+interval and redraws an ANSI full-screen summary: request rates, the
+tier-by-tier hit breakdown, coalescer batching effectiveness, latency
+percentiles, dynamic sessions.  Rates are computed from consecutive
+snapshots using the server's own ``since_monotonic`` clock -- the
+interval between two polls as the *server* measured it -- so a slow
+client or a paused terminal never distorts qps.
+
+Everything is stdlib: ``urllib.request`` to fetch, ANSI escapes to
+redraw.  ``--once`` prints a single snapshot without screen control
+(usable in scripts and CI logs); ``--count N`` exits after N refreshes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.obs.http import DEFAULT_HTTP_PORT
+
+#: Clear screen + home: the whole frame is rewritten every refresh.
+_CLEAR = "\x1b[2J\x1b[H"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RESET = "\x1b[0m"
+
+
+def fetch_stats(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """One ``/stats`` snapshot from the console at *url*."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _rate(now: Dict[str, Any], prev: Optional[Dict[str, Any]], *path: str) -> float:
+    """Per-second rate of a counter between two snapshots (0.0 on the first)."""
+    if prev is None:
+        return 0.0
+    dt = float(now.get("since_monotonic", 0.0)) - float(prev.get("since_monotonic", 0.0))
+    if dt <= 0.0:
+        return 0.0
+
+    def dig(stats: Dict[str, Any]) -> float:
+        value: Any = stats
+        for part in path:
+            if not isinstance(value, dict):
+                return 0.0
+            value = value.get(part, 0)
+        return float(value or 0)
+
+    return max(0.0, (dig(now) - dig(prev)) / dt)
+
+
+def _ratio(hits: int, misses: int) -> str:
+    total = hits + misses
+    return f"{100.0 * hits / total:5.1f}%" if total else "    -"
+
+
+def _ms(seconds: Any) -> str:
+    return f"{float(seconds) * 1000.0:8.2f}ms" if seconds is not None else "       -"
+
+
+def render(stats: Dict[str, Any], prev: Optional[Dict[str, Any]] = None) -> str:
+    """The dashboard frame for one snapshot (pure; no I/O, no ANSI clear)."""
+    lines: List[str] = []
+    requests = stats.get("requests", {})
+    tiers = stats.get("tiers", {})
+    lru = tiers.get("lru", {})
+    store = tiers.get("store", {})
+    compute = tiers.get("compute", {})
+    coalescer = stats.get("coalescer", {})
+    latency = stats.get("latency", {})
+    dynamic = stats.get("dynamic", {})
+
+    qps = _rate(stats, prev, "requests", "query")
+    mps = _rate(stats, prev, "requests", "mutate")
+    lines.append(
+        f"{_BOLD}repro verdict daemon{_RESET}  "
+        f"up {stats.get('uptime_seconds', 0.0):10.1f}s  "
+        f"pending {stats.get('pending', 0)}/{stats.get('max_pending', '?')} "
+        f"(peak {stats.get('peak_pending', 0)})"
+    )
+    lines.append(
+        f"requests  query {requests.get('query', 0):>8} ({qps:7.1f}/s)   "
+        f"mutate {requests.get('mutate', 0):>6} ({mps:6.1f}/s)   "
+        f"stats {requests.get('stats', 0):>5}   ping {requests.get('ping', 0):>5}"
+    )
+    lines.append(
+        f"errors    {stats.get('errors', 0):>6}   overloaded {stats.get('overloaded', 0):>6}"
+    )
+    lines.append("")
+    lines.append(f"{_BOLD}tiers{_RESET}        hits    misses   hit-rate     rate/s")
+    lru_hits, lru_misses = int(lru.get("hits", 0)), int(lru.get("misses", 0))
+    store_hits, store_misses = int(store.get("hits", 0)), int(store.get("misses", 0))
+    lines.append(
+        f"  lru     {lru_hits:>8} {lru_misses:>9}   {_ratio(lru_hits, lru_misses)}"
+        f"   {_rate(stats, prev, 'tiers', 'lru', 'hits'):8.1f}"
+        f"   ({lru.get('size', 0)}/{lru.get('maxsize', '?')} entries)"
+    )
+    lines.append(
+        f"  store   {store_hits:>8} {store_misses:>9}   {_ratio(store_hits, store_misses)}"
+        f"   {_rate(stats, prev, 'tiers', 'store', 'hits'):8.1f}"
+        f"   ({store.get('size', '-')} stored, {store.get('promotions', 0)} promoted)"
+    )
+    lines.append(
+        f"  compute {int(compute.get('computed', 0)):>8} {'':>9}   {'':>6}"
+        f"   {_rate(stats, prev, 'tiers', 'compute', 'computed'):8.1f}"
+        f"   ({compute.get('batches', 0)} batches, "
+        f"{float(compute.get('seconds', 0.0)):.3f}s engine)"
+    )
+    lines.append("")
+    submitted = int(coalescer.get("submitted", 0))
+    batches = int(coalescer.get("batches", 0))
+    mean_batch = (int(coalescer.get("batched", 0)) / batches) if batches else 0.0
+    lines.append(
+        f"{_BOLD}coalescer{_RESET}  submitted {submitted:>7}   "
+        f"deduped {coalescer.get('deduped', 0):>6}   "
+        f"batches {batches:>5} (mean {mean_batch:4.1f}, "
+        f"largest {coalescer.get('largest_batch', 0)})   "
+        f"inflight {coalescer.get('inflight', 0)}"
+    )
+    lines.append("")
+    lines.append(f"{_BOLD}latency{_RESET}        count        p50        p95        p99        max")
+    for op in ("query", "mutate"):
+        snap = latency.get(op, {})
+        lines.append(
+            f"  {op:<8} {snap.get('count', 0):>9} "
+            f" {_ms(snap.get('p50'))} {_ms(snap.get('p95'))}"
+            f" {_ms(snap.get('p99'))} {_ms(snap.get('max'))}"
+        )
+    sessions = dynamic.get("sessions", 0)
+    if sessions:
+        lines.append("")
+        lines.append(
+            f"{_BOLD}dynamic{_RESET}  {sessions} session(s) open "
+            f"({dynamic.get('opened', 0)} opened total)"
+        )
+        for name, info in sorted(dynamic.get("by_session", {}).items()):
+            lines.append(
+                f"  {name:<16} {info.get('queries', 0):>6} queries  "
+                f"{info.get('mutate_batches', 0):>5} mutate batches  "
+                f"{info.get('deltas_applied', 0):>6} deltas"
+            )
+    traces = stats.get("traces", {})
+    lines.append("")
+    lines.append(
+        f"{_DIM}traces retained {traces.get('retained', 0)}/{traces.get('capacity', 0)} "
+        f"({traces.get('recorded', 0)} recorded){_RESET}"
+    )
+    return "\n".join(lines)
+
+
+def run_top(
+    connect: Optional[str] = None,
+    interval: float = 1.0,
+    once: bool = False,
+    count: Optional[int] = None,
+    out=None,
+) -> int:
+    """The ``repro top`` loop: poll, render, redraw until interrupted."""
+    out = out if out is not None else sys.stdout
+    address = connect or f"127.0.0.1:{DEFAULT_HTTP_PORT}"
+    if "://" not in address:
+        address = f"http://{address}"
+    url = address.rstrip("/") + "/stats"
+    prev: Optional[Dict[str, Any]] = None
+    refreshes = 0
+    try:
+        while True:
+            try:
+                stats = fetch_stats(url)
+            except (urllib.error.URLError, OSError, ValueError) as error:
+                print(f"cannot fetch {url}: {error}", file=sys.stderr)
+                return 1
+            frame = render(stats, prev)
+            if once or count is not None:
+                print(frame, file=out)
+            else:
+                print(_CLEAR + frame, file=out, flush=True)
+            prev = stats
+            refreshes += 1
+            if once or (count is not None and refreshes >= count):
+                return 0
+            time.sleep(max(0.05, interval))
+    except KeyboardInterrupt:
+        print("", file=out)
+        return 0

@@ -1,0 +1,212 @@
+"""Per-request trace spans: follow one query through the serving tiers.
+
+A :class:`RequestTrace` is a flat list of named, timed spans recorded
+while one request moves through the daemon -- admission, resolve, the LRU
+and store lookups, the coalescer wait, the engine solve.  The active
+trace is carried in a :data:`contextvars.ContextVar`, so instrumented
+code deep in the stack (the sweep executor's per-instance engine loop,
+the dynamic session's repair path) can attach spans with the module-level
+:func:`span` context manager without threading a trace argument through
+every call -- and stays a cheap no-op when no trace is active.
+
+Context variables are per-thread as well as per-task: code that hops to a
+worker thread (``run_in_executor``) must either re-activate the trace
+there (:func:`activate`) or use the trace object's own
+:meth:`RequestTrace.span`.  The daemon does the latter for worker-thread
+sections, so a span's duration is the tier latency *as seen by the
+request* -- including any executor queueing, which is exactly what an
+operator debugging tail latency wants to see.
+
+Completed traces land in a bounded :class:`TraceLog` ring buffer,
+browsable at the HTTP console's ``/traces`` page and summarized in the
+``stats`` response.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+_current: "contextvars.ContextVar[Optional[RequestTrace]]" = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+_trace_ids = itertools.count(1)
+
+
+class SpanRecord:
+    """One timed section of a trace (name, seconds, free-form metadata)."""
+
+    __slots__ = ("name", "seconds", "meta")
+
+    def __init__(self, name: str, seconds: float, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.seconds = seconds
+        self.meta = meta or {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"span": self.name, "ms": round(self.seconds * 1000.0, 4)}
+        if self.meta:
+            body.update(self.meta)
+        return body
+
+    def __repr__(self) -> str:
+        return f"SpanRecord({self.name!r}, {self.seconds * 1000.0:.3f}ms)"
+
+
+class RequestTrace:
+    """The spans of one request, in recording order.
+
+    Span recording appends under a lock (spans may arrive from a worker
+    thread while the event loop records its own), but a trace belongs to
+    one request: it is not meant to be shared across *concurrent*
+    requests.
+    """
+
+    def __init__(self, op: str, request_id: Any = None, name: str = "") -> None:
+        self.trace_id = next(_trace_ids)
+        self.op = op
+        self.request_id = request_id
+        self.name = name
+        self.started_wall = time.time()
+        self._started = time.perf_counter()
+        self.total_seconds: Optional[float] = None
+        self.annotations: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self.spans: List[SpanRecord] = []
+
+    # ------------------------------------------------------------------
+    def add_span(self, name: str, seconds: float, **meta: Any) -> None:
+        with self._lock:
+            self.spans.append(SpanRecord(name, seconds, meta or None))
+
+    @contextmanager
+    def span(self, name: str, **meta: Any) -> Iterator["RequestTrace"]:
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_span(name, time.perf_counter() - start, **meta)
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach request-level metadata (tier served from, verdict, key)."""
+        with self._lock:
+            self.annotations.update(fields)
+
+    def finish(self) -> "RequestTrace":
+        if self.total_seconds is None:
+            self.total_seconds = time.perf_counter() - self._started
+        return self
+
+    # ------------------------------------------------------------------
+    def breakdown(self) -> List[Dict[str, Any]]:
+        """The tier-by-tier timing breakdown (what a query response carries)."""
+        with self._lock:
+            return [record.as_dict() for record in self.spans]
+
+    def as_dict(self) -> Dict[str, Any]:
+        total = self.total_seconds
+        if total is None:
+            total = time.perf_counter() - self._started
+        with self._lock:
+            spans = [record.as_dict() for record in self.spans]
+            annotations = dict(self.annotations)
+        return {
+            "trace_id": self.trace_id,
+            "op": self.op,
+            "id": self.request_id,
+            "name": self.name,
+            "started": self.started_wall,
+            "total_ms": round(total * 1000.0, 4),
+            "spans": spans,
+            **annotations,
+        }
+
+
+# ----------------------------------------------------------------------
+# The ambient trace
+# ----------------------------------------------------------------------
+def current_trace() -> Optional[RequestTrace]:
+    """The trace active in this thread/task, if any."""
+    return _current.get()
+
+
+def activate(trace: Optional[RequestTrace]) -> "contextvars.Token":
+    """Make *trace* the ambient trace; returns the token for :func:`deactivate`."""
+    return _current.set(trace)
+
+
+def deactivate(token: "contextvars.Token") -> None:
+    _current.reset(token)
+
+
+@contextmanager
+def active(trace: Optional[RequestTrace]) -> Iterator[Optional[RequestTrace]]:
+    """``with active(trace):`` -- scope the ambient trace to a block."""
+    token = _current.set(trace)
+    try:
+        yield trace
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def span(name: str, **meta: Any) -> Iterator[Optional[RequestTrace]]:
+    """Record a span on the ambient trace; a no-op when none is active."""
+    trace = _current.get()
+    if trace is None:
+        yield None
+        return
+    start = time.perf_counter()
+    try:
+        yield trace
+    finally:
+        trace.add_span(name, time.perf_counter() - start, **meta)
+
+
+# ----------------------------------------------------------------------
+# Retention
+# ----------------------------------------------------------------------
+class TraceLog:
+    """A bounded ring of completed traces (thread-safe, newest first out)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: deque = deque(maxlen=capacity)
+        self._total = 0
+
+    def record(self, trace: RequestTrace) -> None:
+        entry = trace.finish().as_dict()
+        with self._lock:
+            self._traces.append(entry)
+            self._total += 1
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def snapshot(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Retained traces, newest first."""
+        with self._lock:
+            traces = list(self._traces)
+        traces.reverse()
+        return traces[:limit] if limit is not None else traces
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "retained": len(self._traces),
+                "recorded": self._total,
+            }

@@ -26,6 +26,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.engine.batch import GameInstance
 from repro.engine.caching import LRUCache, MISSING
 from repro.engine.canonical import CanonicalVerdictCache
+from repro.obs.metrics import LATENCY_BUCKETS_SECONDS, MetricsRegistry
+from repro.obs.trace import RequestTrace, TraceLog, active
 from repro.sweep.executor import evaluate_timed
 from repro.sweep.store import VerdictStore
 
@@ -42,16 +44,56 @@ class TieredVerdictCache:
     takes the internal lock (uncontended in the common case).
     """
 
-    def __init__(self, store: Optional[VerdictStore] = None, lru_size: int = 4096) -> None:
-        self.lru = LRUCache(lru_size)
+    def __init__(
+        self,
+        store: Optional[VerdictStore] = None,
+        lru_size: int = 4096,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.lru = LRUCache(lru_size).bind_metrics(self.registry, "repro_tier_lru")
         self.store = store
         self._lock = threading.Lock()
-        self.lru_seconds = 0.0
-        self.store_hits = 0
-        self.store_misses = 0
-        self.store_promotions = 0
-        self.store_seconds = 0.0
-        self.inserts = 0
+        self._store_hits = self.registry.counter(
+            "repro_tier_store_hits_total", help="tier-2 store lookups that hit"
+        )
+        self._store_misses = self.registry.counter(
+            "repro_tier_store_misses_total", help="tier-2 store lookups that missed"
+        )
+        self._store_promotions = self.registry.counter(
+            "repro_tier_store_promotions_total",
+            help="verdicts speculatively promoted store -> LRU by bulk lookups",
+        )
+        self._inserts = self.registry.counter(
+            "repro_tier_inserts_total", help="fresh verdicts recorded into the tiers"
+        )
+        self._lru_seconds = self.registry.histogram(
+            "repro_tier_lru_seconds",
+            buckets=LATENCY_BUCKETS_SECONDS,
+            help="tier-1 LRU lookup latency",
+        )
+        self._store_seconds = self.registry.histogram(
+            "repro_tier_store_seconds",
+            buckets=LATENCY_BUCKETS_SECONDS,
+            help="tier-2 store lookup latency (single and bulk)",
+        )
+
+    # Registry-backed counters, exposed as the plain ints they replaced.
+    @property
+    def store_hits(self) -> int:
+        return self._store_hits.value
+
+    @property
+    def store_misses(self) -> int:
+        return self._store_misses.value
+
+    @property
+    def store_promotions(self) -> int:
+        return self._store_promotions.value
+
+    @property
+    def inserts(self) -> int:
+        return self._inserts.value
 
     def lookup(self, key: str) -> Optional[Tuple[bool, str]]:
         """``(verdict, tier)`` when some tier knows *key*; ``None`` on full miss.
@@ -71,9 +113,9 @@ class TieredVerdictCache:
         start = time.perf_counter()
         with self._lock:
             verdict = self.lru.get(key, MISSING)
-            self.lru_seconds += time.perf_counter() - start
-            if verdict is not MISSING:
-                return bool(verdict), "lru"
+        self._lru_seconds.observe(time.perf_counter() - start)
+        if verdict is not MISSING:
+            return bool(verdict), "lru"
         return None
 
     def lookup_store(self, key: str) -> Optional[Tuple[bool, str]]:
@@ -86,12 +128,12 @@ class TieredVerdictCache:
             return None
         start = time.perf_counter()
         stored = self.store.get(key)
+        self._store_seconds.observe(time.perf_counter() - start)
+        if stored is None:
+            self._store_misses.inc()
+            return None
+        self._store_hits.inc()
         with self._lock:
-            self.store_seconds += time.perf_counter() - start
-            if stored is None:
-                self.store_misses += 1
-                return None
-            self.store_hits += 1
             self.lru.put(key, bool(stored))
         return bool(stored), "store"
 
@@ -110,22 +152,20 @@ class TieredVerdictCache:
             return {}
         start = time.perf_counter()
         found = self.store.get_many(keys)
+        self._store_seconds.observe(time.perf_counter() - start)
+        self._store_promotions.inc(len(found))
         with self._lock:
-            self.store_seconds += time.perf_counter() - start
-            self.store_promotions += len(found)
             for key, verdict in found.items():
                 self.lru.put(key, bool(verdict))
         return {key: bool(verdict) for key, verdict in found.items()}
 
     def note_store_hit(self) -> None:
         """Record one tier-2 hit discovered through a bulk lookup."""
-        with self._lock:
-            self.store_hits += 1
+        self._store_hits.inc()
 
     def note_store_miss(self) -> None:
         """Record one tier-2 miss discovered through a bulk lookup."""
-        with self._lock:
-            self.store_misses += 1
+        self._store_misses.inc()
 
     def insert(
         self,
@@ -138,31 +178,31 @@ class TieredVerdictCache:
         """Record a freshly computed verdict in the LRU and (optionally) the store."""
         with self._lock:
             self.lru.put(key, bool(verdict))
-            self.inserts += 1
+        self._inserts.inc()
         if persist and self.store is not None:
             self.store.put(key, bool(verdict), name=name, seconds=seconds)
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
             lru_info = self.lru.info()
-            store_size: Optional[int] = None
-            if self.store is not None:
-                try:
-                    store_size = len(self.store)
-                except Exception:
-                    store_size = None
-            return {
-                "lru": {**lru_info, "seconds": round(self.lru_seconds, 6)},
-                "store": {
-                    "attached": self.store is not None,
-                    "size": store_size,
-                    "hits": self.store_hits,
-                    "misses": self.store_misses,
-                    "promotions": self.store_promotions,
-                    "seconds": round(self.store_seconds, 6),
-                },
-                "inserts": self.inserts,
-            }
+        store_size: Optional[int] = None
+        if self.store is not None:
+            try:
+                store_size = len(self.store)
+            except Exception:
+                store_size = None
+        return {
+            "lru": {**lru_info, "seconds": round(self._lru_seconds.sum, 6)},
+            "store": {
+                "attached": self.store is not None,
+                "size": store_size,
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+                "promotions": self.store_promotions,
+                "seconds": round(self._store_seconds.sum, 6),
+            },
+            "inserts": self.inserts,
+        }
 
 
 def _aggregate_infos(infos: Iterable[Dict[str, Optional[int]]]) -> Dict[str, int]:
@@ -199,9 +239,17 @@ class ComputeTier:
         max_compiled: int = 64,
         max_engines: int = 256,
         store: Optional[VerdictStore] = None,
+        registry: Optional[MetricsRegistry] = None,
+        trace_log: Optional[TraceLog] = None,
     ) -> None:
-        self._compiled = LRUCache(max_compiled)
-        self._engines = LRUCache(max_engines)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace_log = trace_log
+        self._compiled = LRUCache(max_compiled).bind_metrics(
+            self.registry, "repro_compute_compiled_cache"
+        )
+        self._engines = LRUCache(max_engines).bind_metrics(
+            self.registry, "repro_compute_engine_cache"
+        )
         #: Canonical ball cache shared by every compiled instance the tier
         #: ever touches; store-backed when the daemon has a store, so the
         #: compute tier starts warm on neighborhoods any sweep ever solved.
@@ -211,44 +259,94 @@ class ComputeTier:
             store=store, max_entries=CANONICAL_CACHE_ENTRIES
         )
         self._lock = threading.Lock()
-        self.batches = 0
-        self.computed = 0
-        self.seconds = 0.0
+        self._batches = self.registry.counter(
+            "repro_compute_batches_total", help="batches dispatched to the engine tier"
+        )
+        self._computed = self.registry.counter(
+            "repro_compute_verdicts_total", help="verdicts computed by the engine tier"
+        )
+        self._batch_seconds = self.registry.histogram(
+            "repro_compute_batch_seconds",
+            buckets=LATENCY_BUCKETS_SECONDS,
+            help="wall time of one compute batch",
+        )
+        self._solve_seconds = self.registry.histogram(
+            "repro_compute_solve_seconds",
+            buckets=LATENCY_BUCKETS_SECONDS,
+            help="per-instance engine solve time",
+        )
         self._snapshot = self._build_stats(stale=False)
 
+    # Registry-backed counters, exposed as the plain ints they replaced.
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def computed(self) -> int:
+        return self._computed.value
+
+    @property
+    def seconds(self) -> float:
+        return self._batch_seconds.sum
+
     def evaluate(self, instances: Sequence[GameInstance]) -> Tuple[List[bool], List[float]]:
-        """Verdicts and per-instance solve times, sharing cached engines."""
+        """Verdicts and per-instance solve times, sharing cached engines.
+
+        Each batch records a ``compute-batch`` trace (one ``engine`` span
+        per instance, plus ``compile`` spans for cold groups) into the
+        daemon's trace log -- the coalescer serves many requests from one
+        batch, so batch-level traces are where the engine time is visible.
+        """
         start = time.perf_counter()
+        batch_trace = RequestTrace(
+            op="compute-batch", name=instances[0].name if instances else ""
+        )
         with self._lock:
-            verdicts, seconds = evaluate_timed(
-                instances,
-                compiled_cache=self._compiled,
-                engine_cache=self._engines,
-                canonical=self.canonical,
-            )
+            with active(batch_trace):
+                verdicts, seconds = evaluate_timed(
+                    instances,
+                    compiled_cache=self._compiled,
+                    engine_cache=self._engines,
+                    canonical=self.canonical,
+                )
             # Fresh node verdicts reach the store inside the batch (the
             # caller already runs evaluation off the event loop).
             self.canonical.flush()
-            self.batches += 1
-            self.computed += len(verdicts)
-            self.seconds += time.perf_counter() - start
+            self._batches.inc()
+            self._computed.inc(len(verdicts))
+            self._batch_seconds.observe(time.perf_counter() - start)
+            for spent in seconds:
+                self._solve_seconds.observe(spent)
             self._snapshot = self._build_stats(stale=False)
+        batch_trace.annotate(instances=len(instances))
+        if self.trace_log is not None:
+            self.trace_log.record(batch_trace)
         return verdicts, seconds
 
     def _build_stats(self, stale: bool) -> Dict[str, object]:
         """Aggregate telemetry (caller holds the lock, or no batch has run)."""
         compiled = list(self._compiled.data.values())
         engines = list(self._engines.data.values())
+        memo = _aggregate_infos(instance.memo_info() for instance in compiled)
+        transposition = _aggregate_infos(
+            engine.transposition_info() for engine in engines
+        )
+        # Republish the engine-core aggregates as gauges so /metrics shows
+        # them without a stats request (the hot loop keeps plain ints).
+        for field in ("size", "hits", "misses", "evictions"):
+            self.registry.gauge(f"repro_engine_memo_{field}").set(memo[field])
+            self.registry.gauge(f"repro_engine_transposition_{field}").set(
+                transposition[field]
+            )
         return {
             "batches": self.batches,
             "computed": self.computed,
             "seconds": round(self.seconds, 6),
             "compiled_instances": len(compiled),
             "engines": len(engines),
-            "memo": _aggregate_infos(instance.memo_info() for instance in compiled),
-            "transposition": _aggregate_infos(
-                engine.transposition_info() for engine in engines
-            ),
+            "memo": memo,
+            "transposition": transposition,
             "canonical": self.canonical.info(),
             "stale": stale,
         }

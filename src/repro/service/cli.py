@@ -45,6 +45,8 @@ def add_service_commands(commands: argparse._SubParsersAction) -> None:
     serve.add_argument("--window-ms", type=float, default=2.0, help="micro-batching window in milliseconds")
     serve.add_argument("--max-batch", type=int, default=32, help="flush a batch early at this many pending queries")
     serve.add_argument("--max-pending", type=int, default=64, help="admission bound: queries past it get 'overloaded'")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT", help="also serve the HTTP operations console on this port (0: ephemeral)")
+    serve.add_argument("--http-host", default="127.0.0.1", help="HTTP console bind host")
     serve.set_defaults(handler=_command_serve)
 
     query = commands.add_parser("query", help="ask a running daemon who wins one game")
@@ -76,6 +78,13 @@ def add_service_commands(commands: argparse._SubParsersAction) -> None:
     loadgen.add_argument("--timeout", type=float, default=30.0, help="per-request timeout in seconds")
     loadgen.set_defaults(handler=_command_loadgen)
 
+    top = commands.add_parser("top", help="live terminal dashboard over a daemon's HTTP console")
+    top.add_argument("--connect", default=None, metavar="ADDR", help="HTTP console address (host:port; default 127.0.0.1:7465)")
+    top.add_argument("--interval", type=float, default=1.0, help="refresh interval in seconds")
+    top.add_argument("--once", action="store_true", help="print one snapshot and exit (no ANSI screen control)")
+    top.add_argument("--count", type=int, default=None, help="exit after this many refreshes")
+    top.set_defaults(handler=_command_top)
+
 
 # ----------------------------------------------------------------------
 # serve
@@ -93,6 +102,17 @@ async def _serve(args: argparse.Namespace) -> int:
     )
     address = await server.start()
     print(f"verdict service listening on {format_address(address)}", file=sys.stderr)
+    console = None
+    if args.http is not None:
+        from repro.obs.http import ConsoleServer
+
+        console = ConsoleServer(service, host=args.http_host, port=args.http)
+        http_host, http_port = await console.start()
+        print(
+            f"operations console on http://{http_host}:{http_port}/ "
+            "(/stats /metrics /scenarios /verdicts /sessions /traces)",
+            file=sys.stderr,
+        )
     if args.store:
         print(f"verdict store: {args.store}", file=sys.stderr)
 
@@ -109,6 +129,8 @@ async def _serve(args: argparse.Namespace) -> int:
         await asyncio.wait({serving, stopping}, return_when=asyncio.FIRST_COMPLETED)
         serving.cancel()
     finally:
+        if console is not None:
+            await console.stop()
         await server.stop()
     print("verdict service stopped", file=sys.stderr)
     return 0
@@ -202,3 +224,17 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         return 1
     print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     return 0
+
+
+# ----------------------------------------------------------------------
+# top
+# ----------------------------------------------------------------------
+def _command_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        connect=args.connect,
+        interval=args.interval,
+        once=args.once,
+        count=args.count,
+    )

@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.batch import GameInstance
+from repro.obs.metrics import MetricsRegistry
 from repro.sweep.executor import evaluator_sharing_key
 
 #: Evaluates one compatible batch: instances -> (verdicts, per-instance seconds).
@@ -85,6 +86,7 @@ class RequestCoalescer:
         max_batch: int = 32,
         executor: Optional[concurrent.futures.Executor] = None,
         on_computed: Optional[ComputedCallback] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -101,13 +103,53 @@ class RequestCoalescer:
         self._timer: Optional[asyncio.TimerHandle] = None
         self._tasks: Set[asyncio.Task] = set()
         self._closed = False
-        # Telemetry.
-        self.submitted = 0
-        self.deduped = 0
-        self.batches = 0
-        self.batched = 0
-        self.largest_batch = 0
-        self.record_failures = 0
+        # Telemetry: registry-backed instruments (a private registry when
+        # the owner -- normally the daemon -- does not hand one in).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._submitted = self.registry.counter(
+            "repro_coalescer_submitted_total", help="distinct keys submitted"
+        )
+        self._deduped = self.registry.counter(
+            "repro_coalescer_deduped_total", help="queries answered by an in-flight future"
+        )
+        self._batches = self.registry.counter(
+            "repro_coalescer_batches_total", help="compatible batches dispatched"
+        )
+        self._batched = self.registry.counter(
+            "repro_coalescer_batched_total", help="queries dispatched inside batches"
+        )
+        self._largest_batch = self.registry.gauge(
+            "repro_coalescer_largest_batch", help="largest batch dispatched so far"
+        )
+        self._record_failures = self.registry.counter(
+            "repro_coalescer_record_failures_total",
+            help="on_computed callbacks that raised (verdicts still answered)",
+        )
+
+    # Registry-backed counters, exposed as the plain ints they replaced.
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def deduped(self) -> int:
+        return self._deduped.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def batched(self) -> int:
+        return self._batched.value
+
+    @property
+    def largest_batch(self) -> int:
+        return int(self._largest_batch.value)
+
+    @property
+    def record_failures(self) -> int:
+        return self._record_failures.value
 
     # ------------------------------------------------------------------
     async def submit(
@@ -119,14 +161,14 @@ class RequestCoalescer:
         loop = asyncio.get_running_loop()
         existing = self._inflight.get(key)
         if existing is not None:
-            self.deduped += 1
+            self._deduped.inc()
             result: CoalescedResult = await asyncio.shield(existing)
             return replace(result, deduped=True)
 
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         self._pending.append(_Pending(key, instance, name, future))
-        self.submitted += 1
+        self._submitted.inc()
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._timer is None:
@@ -187,9 +229,10 @@ class RequestCoalescer:
             groups.setdefault(evaluator_sharing_key(entry.instance), []).append(entry)
         loop = asyncio.get_running_loop()
         for entries in groups.values():
-            self.batches += 1
-            self.batched += len(entries)
-            self.largest_batch = max(self.largest_batch, len(entries))
+            self._batches.inc()
+            self._batched.inc(len(entries))
+            if len(entries) > self._largest_batch.value:
+                self._largest_batch.set(len(entries))
             task = loop.create_task(self._run_group(entries))
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
@@ -218,7 +261,7 @@ class RequestCoalescer:
                     seconds,
                 )
             except Exception:  # noqa: BLE001 -- counted, waiters still answered
-                self.record_failures += 1
+                self._record_failures.inc()
         batch_size = len(entries)
         for entry, verdict, spent in zip(entries, verdicts, seconds):
             self._inflight.pop(entry.key, None)

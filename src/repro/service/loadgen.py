@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.obs.metrics import LATENCY_BUCKETS_MS, Histogram
 from repro.service.client import Address, ServiceClient, ServiceError
 
 Payload = Mapping[str, Any]
@@ -101,6 +102,7 @@ class LoadReport:
     overloaded: int
     seconds: float
     sources: Dict[str, int] = field(default_factory=dict)
+    error_codes: Dict[str, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list, repr=False)
 
     @property
@@ -116,6 +118,19 @@ class LoadReport:
 
     def latency_ms(self, fraction: float) -> float:
         return percentile(sorted(self.latencies_ms), fraction)
+
+    def latency_histogram(self) -> Histogram:
+        """The full latency distribution, rebuilt into fixed ms buckets.
+
+        Exact-sample percentiles stay in ``latency_ms`` (the sorted list
+        is authoritative); the histogram is the *shape* -- cumulative
+        bucket counts a benchmark archive can diff across PRs without
+        shipping every sample.
+        """
+        histogram = Histogram("loadgen_latency_ms", buckets=LATENCY_BUCKETS_MS)
+        for value in self.latencies_ms:
+            histogram.observe(value)
+        return histogram
 
     def as_dict(self) -> Dict[str, Any]:
         ordered = sorted(self.latencies_ms)
@@ -133,7 +148,9 @@ class LoadReport:
                 "p99": round(percentile(ordered, 0.99), 4),
                 "max": round(ordered[-1], 4) if ordered else 0.0,
             },
+            "latency_histogram": self.latency_histogram().snapshot(),
             "sources": dict(self.sources),
+            "error_codes": dict(self.error_codes),
             "cache_hit_rate": round(self.cache_hit_rate, 4),
         }
 
@@ -174,16 +191,28 @@ def run_load(
     tickets = _SharedCounter()
     deadline = None if duration is None else time.perf_counter() + duration
     results: List[Dict[str, Any]] = [
-        {"requests": 0, "errors": 0, "overloaded": 0, "sources": {}, "latencies": []}
+        {
+            "requests": 0,
+            "errors": 0,
+            "overloaded": 0,
+            "sources": {},
+            "error_codes": {},
+            "latencies": [],
+        }
         for _ in range(clients)
     ]
 
     def worker(slot: int) -> None:
         mine = results[slot]
+
+        def count_error(code: str) -> None:
+            mine["error_codes"][code] = mine["error_codes"].get(code, 0) + 1
+
         try:
             client = ServiceClient(address, timeout=timeout)
         except OSError:
             mine["errors"] += 1
+            count_error("transport")
             return
         with client:
             while True:
@@ -198,6 +227,7 @@ def run_load(
                     response = client.request(payload)
                 except ServiceError:
                     mine["errors"] += 1
+                    count_error("transport")
                     return
                 elapsed_ms = (time.perf_counter() - start) * 1000.0
                 mine["requests"] += 1
@@ -205,10 +235,13 @@ def run_load(
                 if response.get("ok"):
                     source = response.get("source", "?")
                     mine["sources"][source] = mine["sources"].get(source, 0) + 1
-                elif (response.get("error") or {}).get("code") == "overloaded":
-                    mine["overloaded"] += 1
                 else:
-                    mine["errors"] += 1
+                    code = (response.get("error") or {}).get("code") or "unknown"
+                    count_error(code)
+                    if code == "overloaded":
+                        mine["overloaded"] += 1
+                    else:
+                        mine["errors"] += 1
 
     threads = [
         threading.Thread(target=worker, args=(slot,), name=f"loadgen-{slot}")
@@ -232,5 +265,7 @@ def run_load(
     for r in results:
         for source, count in r["sources"].items():
             report.sources[source] = report.sources.get(source, 0) + count
+        for code, count in r["error_codes"].items():
+            report.error_codes[code] = report.error_codes.get(code, 0) + count
         report.latencies_ms.extend(r["latencies"])
     return report

@@ -410,11 +410,18 @@ def query_response(
     key: str,
     name: str = "",
     seconds: float = 0.0,
+    trace: Optional[list] = None,
 ) -> Dict[str, Any]:
-    """A successful query answer (``winner`` is derived from ``verdict``)."""
+    """A successful query answer (``winner`` is derived from ``verdict``).
+
+    *trace*, when given, is the per-tier timing breakdown recorded while
+    the request moved through the daemon -- a list of
+    ``{"span": name, "ms": float, ...}`` objects in recording order.  The
+    field is additive: v1 clients that do not know it simply ignore it.
+    """
     if source not in SOURCES:
         raise ValueError(f"unknown source tier {source!r}")
-    return {
+    body = {
         "v": PROTOCOL_VERSION,
         "ok": True,
         "id": request_id,
@@ -425,6 +432,9 @@ def query_response(
         "name": name,
         "seconds": round(seconds, 6),
     }
+    if trace is not None:
+        body["trace"] = trace
+    return body
 
 
 def mutate_response(

@@ -27,6 +27,8 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.engine.canonical import CanonicalVerdictCache
 from repro.engine.dynamic import DeltaError, MutableInstance, delta_from_wire
+from repro.obs.metrics import LATENCY_BUCKETS_SECONDS, MetricsRegistry
+from repro.obs.trace import RequestTrace, TraceLog, active
 from repro.service.cache import ComputeTier, TieredVerdictCache
 from repro.service.coalescer import RequestCoalescer
 from repro.service.protocol import (
@@ -109,12 +111,25 @@ class VerdictService:
         self.store: Optional[VerdictStore] = (
             open_store(store) if isinstance(store, str) else store
         )
+        #: The daemon's private metrics registry (every tier's instruments
+        #: live here; ``/metrics`` and ``stats`` both read it).
+        self.registry = MetricsRegistry()
+        #: Recent per-request traces (plus the compute tier's batch traces).
+        self.traces = TraceLog(capacity=256)
+        #: Append-only (ring-buffered) record of notable service events.
+        self.events = self.registry.events(
+            "repro_service", capacity=512, help="notable daemon events"
+        )
         self.resolver = resolver or Resolver()
-        self.cache = TieredVerdictCache(self.store, lru_size=self.config.lru_size)
+        self.cache = TieredVerdictCache(
+            self.store, lru_size=self.config.lru_size, registry=self.registry
+        )
         self.compute = ComputeTier(
             max_compiled=self.config.max_compiled,
             max_engines=self.config.max_engines,
             store=self.store,
+            registry=self.registry,
+            trace_log=self.traces,
         )
         #: Scenarios whose keys were already bulk-promoted from the store.
         self._promoted_scenarios: set = set()
@@ -123,6 +138,7 @@ class VerdictService:
             window_seconds=self.config.window_seconds,
             max_batch=self.config.max_batch,
             on_computed=self._record_computed,
+            registry=self.registry,
         )
         self.started_at = time.time()
         self._monotonic_start = time.perf_counter()
@@ -130,19 +146,55 @@ class VerdictService:
         #: under each session's own lock (see :class:`_DynamicSession`).
         self.sessions: Dict[str, _DynamicSession] = {}
         self.sessions_opened = 0
-        self.request_counts: Dict[str, int] = {
-            "query": 0,
-            "mutate": 0,
-            "stats": 0,
-            "ping": 0,
+        self._request_counters = {
+            op: self.registry.counter(
+                "repro_requests_total", labels={"op": op}, help="requests by op"
+            )
+            for op in ("query", "mutate", "stats", "ping")
         }
-        self.error_count = 0
-        self.overloaded_count = 0
-        self.store_put_failures = 0
+        self._latency = {
+            op: self.registry.histogram(
+                "repro_request_seconds",
+                buckets=LATENCY_BUCKETS_SECONDS,
+                labels={"op": op},
+                help="request handling latency by op",
+            )
+            for op in ("query", "mutate")
+        }
+        self._errors = self.registry.counter(
+            "repro_errors_total", help="requests answered with an error response"
+        )
+        self._overloaded = self.registry.counter(
+            "repro_overloaded_total", help="requests rejected by admission control"
+        )
+        self._store_put_failures = self.registry.counter(
+            "repro_store_put_failures_total",
+            help="asynchronous store writes that failed (verdicts still answered)",
+        )
+        self._pending_gauge = self.registry.gauge(
+            "repro_pending", help="requests currently past admission"
+        )
         self.pending = 0
         self.peak_pending = 0
         self._persist_futures: set = set()
         self._closed = False
+
+    # Registry-backed counters, exposed as the plain ints they replaced.
+    @property
+    def request_counts(self) -> Dict[str, int]:
+        return {op: counter.value for op, counter in self._request_counters.items()}
+
+    @property
+    def error_count(self) -> int:
+        return self._errors.value
+
+    @property
+    def overloaded_count(self) -> int:
+        return self._overloaded.value
+
+    @property
+    def store_put_failures(self) -> int:
+        return self._store_put_failures.value
 
     # ------------------------------------------------------------------
     def _record_computed(self, entries, verdicts, seconds) -> None:
@@ -162,7 +214,8 @@ class VerdictService:
     def _persist_done(self, future) -> None:
         self._persist_futures.discard(future)
         if not future.cancelled() and future.exception() is not None:
-            self.store_put_failures += 1
+            self._store_put_failures.inc()
+            self.events.append("store-put-failure", error=repr(future.exception()))
 
     # ------------------------------------------------------------------
     async def handle_line(self, line: str) -> str:
@@ -170,7 +223,7 @@ class VerdictService:
         try:
             request = parse_request(line)
         except ProtocolError as error:
-            self.error_count += 1
+            self._errors.inc()
             return encode_response(
                 error_response(error.request_id, error.code, str(error))
             )
@@ -179,20 +232,26 @@ class VerdictService:
 
     async def handle_request(self, request) -> Dict[str, Any]:
         if isinstance(request, PingRequest):
-            self.request_counts["ping"] += 1
+            self._request_counters["ping"].inc()
             return pong_response(request.id)
         if isinstance(request, StatsRequest):
-            self.request_counts["stats"] += 1
-            return stats_response(request.id, self.stats())
+            # Snapshot first, count after: a stats poll must not count
+            # itself, or every qps derived from two polls is off by one
+            # (the ``repro top`` client polls once per refresh).
+            response = stats_response(request.id, self.stats())
+            self._request_counters["stats"].inc()
+            return response
         if isinstance(request, MutateRequest):
             return await self._handle_mutate(request)
         assert isinstance(request, QueryRequest)
         return await self._handle_query(request)
 
     async def _handle_query(self, request: QueryRequest) -> Dict[str, Any]:
-        self.request_counts["query"] += 1
+        self._request_counters["query"].inc()
+        started = time.perf_counter()
+        trace = RequestTrace(op="query", request_id=request.id)
         if self.pending >= self.config.max_pending:
-            self.overloaded_count += 1
+            self._overloaded.inc()
             return error_response(
                 request.id,
                 "overloaded",
@@ -201,23 +260,34 @@ class VerdictService:
             )
         self.pending += 1
         self.peak_pending = max(self.peak_pending, self.pending)
+        self._pending_gauge.set(self.pending)
         try:
-            if request.session is not None:
-                return await self._answer_session(request)
-            resolved = self.resolver.resolve(request)
-            return await self._answer(request, resolved)
+            with active(trace):
+                if request.session is not None:
+                    return await self._answer_session(request, trace)
+                with trace.span("resolve"):
+                    resolved = self.resolver.resolve(request)
+                trace.name = resolved.name
+                return await self._answer(request, resolved, trace)
         except ProtocolError as error:
-            self.error_count += 1
+            self._errors.inc()
+            trace.annotate(error=error.code)
+            self.events.append("query-error", code=error.code, id=request.id)
             return error_response(
                 error.request_id if error.request_id is not None else request.id,
                 error.code,
                 str(error),
             )
         except Exception as error:  # noqa: BLE001 -- the daemon must not die
-            self.error_count += 1
+            self._errors.inc()
+            trace.annotate(error="internal")
+            self.events.append("query-error", code="internal", id=request.id)
             return error_response(request.id, "internal", repr(error))
         finally:
             self.pending -= 1
+            self._pending_gauge.set(self.pending)
+            self._latency["query"].observe(time.perf_counter() - started)
+            self.traces.record(trace)
 
     #: Scenarios larger than this are not bulk-promoted (the first query
     #: would pay fingerprinting for every sibling instance).
@@ -243,26 +313,31 @@ class VerdictService:
         return None
 
     async def _answer(
-        self, request: QueryRequest, resolved: ResolvedQuery
+        self, request: QueryRequest, resolved: ResolvedQuery, trace: RequestTrace
     ) -> Dict[str, Any]:
         start = time.perf_counter()
-        hit = self.cache.lookup_lru(resolved.key)
+        with trace.span("lru"):
+            hit = self.cache.lookup_lru(resolved.key)
         if hit is None and self.store is not None:
             # Tier 2 is disk I/O (and can wait out a concurrent writer's
             # lock): run it on the loop's default worker pool, not the loop.
+            # The span measures the wait as the request saw it, executor
+            # queueing included.
             loop = asyncio.get_running_loop()
             scenario = request.scenario
-            if scenario is not None and scenario not in self._promoted_scenarios:
-                self._promoted_scenarios.add(scenario)
-                hit = await loop.run_in_executor(
-                    None, self._bulk_store_lookup, scenario, resolved.key
-                )
-            else:
-                hit = await loop.run_in_executor(
-                    None, self.cache.lookup_store, resolved.key
-                )
+            with trace.span("store"):
+                if scenario is not None and scenario not in self._promoted_scenarios:
+                    self._promoted_scenarios.add(scenario)
+                    hit = await loop.run_in_executor(
+                        None, self._bulk_store_lookup, scenario, resolved.key
+                    )
+                else:
+                    hit = await loop.run_in_executor(
+                        None, self.cache.lookup_store, resolved.key
+                    )
         if hit is not None:
             verdict, tier = hit
+            trace.annotate(source=tier, key=resolved.key)
             return query_response(
                 request.id,
                 verdict,
@@ -270,26 +345,38 @@ class VerdictService:
                 key=resolved.key,
                 name=resolved.name,
                 seconds=time.perf_counter() - start,
+                trace=trace.breakdown(),
             )
-        result = await self.coalescer.submit(
-            resolved.key, resolved.instance, resolved.name
+        with trace.span("coalesce"):
+            result = await self.coalescer.submit(
+                resolved.key, resolved.instance, resolved.name
+            )
+        # The engine time inside the (shared) batch, attributed to this
+        # request; the batch's own compile/engine spans live in the
+        # compute tier's ``compute-batch`` trace.
+        trace.add_span(
+            "engine", result.seconds, deduped=result.deduped, batch=result.batch_size
         )
+        source = "coalesced" if result.deduped else "compute"
+        trace.annotate(source=source, key=resolved.key)
         return query_response(
             request.id,
             result.verdict,
-            source="coalesced" if result.deduped else "compute",
+            source=source,
             key=resolved.key,
             name=resolved.name,
             seconds=result.seconds,
+            trace=trace.breakdown(),
         )
 
     # ------------------------------------------------------------------
     # Dynamic sessions
     # ------------------------------------------------------------------
     async def _handle_mutate(self, request: MutateRequest) -> Dict[str, Any]:
-        self.request_counts["mutate"] += 1
+        self._request_counters["mutate"].inc()
+        started = time.perf_counter()
         if self.pending >= self.config.max_pending:
-            self.overloaded_count += 1
+            self._overloaded.inc()
             return error_response(
                 request.id,
                 "overloaded",
@@ -298,6 +385,7 @@ class VerdictService:
             )
         self.pending += 1
         self.peak_pending = max(self.peak_pending, self.pending)
+        self._pending_gauge.set(self.pending)
         try:
             session, opened = self._session_for_mutate(request)
             loop = asyncio.get_running_loop()
@@ -314,17 +402,21 @@ class VerdictService:
                 opened=opened,
             )
         except ProtocolError as error:
-            self.error_count += 1
+            self._errors.inc()
+            self.events.append("mutate-error", code=error.code, id=request.id)
             return error_response(
                 error.request_id if error.request_id is not None else request.id,
                 error.code,
                 str(error),
             )
         except Exception as error:  # noqa: BLE001 -- the daemon must not die
-            self.error_count += 1
+            self._errors.inc()
+            self.events.append("mutate-error", code="internal", id=request.id)
             return error_response(request.id, "internal", repr(error))
         finally:
             self.pending -= 1
+            self._pending_gauge.set(self.pending)
+            self._latency["mutate"].observe(time.perf_counter() - started)
 
     def _session_for_mutate(
         self, request: MutateRequest
@@ -398,7 +490,9 @@ class VerdictService:
             dirty = sum(len(report.dirty) for report in reports)
             return len(reports), dirty, time.perf_counter() - start
 
-    async def _answer_session(self, request: QueryRequest) -> Dict[str, Any]:
+    async def _answer_session(
+        self, request: QueryRequest, trace: RequestTrace
+    ) -> Dict[str, Any]:
         session = self.sessions.get(request.session)
         if session is None:
             raise ProtocolError(
@@ -407,11 +501,16 @@ class VerdictService:
                 "carrying 'scenario' or 'spec' addressing",
                 request.id,
             )
+        trace.annotate(session=request.session)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, self._query_session, session, request)
+        # contextvars do not cross run_in_executor: hand the trace object
+        # to the worker explicitly so its spans land on this request.
+        return await loop.run_in_executor(
+            None, self._query_session, session, request, trace
+        )
 
     def _query_session(
-        self, session: _DynamicSession, request: QueryRequest
+        self, session: _DynamicSession, request: QueryRequest, trace: RequestTrace
     ) -> Dict[str, Any]:
         """Worker-thread body of a session query: tiers first, then repair.
 
@@ -424,13 +523,18 @@ class VerdictService:
         with session.lock:
             session.queries += 1
             mutable = session.mutable
-            key = mutable.key()
-            hit = self.cache.lookup_lru(key)
+            trace.name = mutable.name
+            with trace.span("key"):
+                key = mutable.key()
+            with trace.span("lru"):
+                hit = self.cache.lookup_lru(key)
             if hit is None:
-                hit = self.cache.lookup_store(key)
+                with trace.span("store"):
+                    hit = self.cache.lookup_store(key)
             if hit is not None:
                 verdict, tier = hit
                 mutable.note_verdict(verdict)
+                trace.annotate(source=tier, key=key)
                 return query_response(
                     request.id,
                     verdict,
@@ -438,8 +542,10 @@ class VerdictService:
                     key=key,
                     name=mutable.name,
                     seconds=time.perf_counter() - start,
+                    trace=trace.breakdown(),
                 )
-            verdict = mutable.verdict()
+            with trace.span("repair"):
+                verdict = mutable.verdict()
             seconds = time.perf_counter() - start
             self.cache.insert(key, verdict, name=mutable.name, seconds=seconds)
             canonical = mutable.compiled.canonical
@@ -447,7 +553,8 @@ class VerdictService:
                 try:
                     canonical.flush()
                 except Exception:  # noqa: BLE001 -- persistence is best-effort
-                    self.store_put_failures += 1
+                    self._store_put_failures.inc()
+            trace.annotate(source="dynamic", key=key)
             return query_response(
                 request.id,
                 verdict,
@@ -455,6 +562,7 @@ class VerdictService:
                 key=key,
                 name=mutable.name,
                 seconds=seconds,
+                trace=trace.breakdown(),
             )
 
     # ------------------------------------------------------------------
@@ -465,6 +573,10 @@ class VerdictService:
         tiers["compute"] = self.compute.engine_stats()
         return {
             "uptime_seconds": round(time.perf_counter() - self._monotonic_start, 3),
+            # The raw monotonic reading behind uptime: two polls subtract
+            # these to get the exact interval between them (``repro top``
+            # derives true rates from it instead of trusting wall clocks).
+            "since_monotonic": time.perf_counter(),
             "requests": dict(self.request_counts),
             "errors": self.error_count,
             "overloaded": self.overloaded_count,
@@ -473,6 +585,8 @@ class VerdictService:
             "max_pending": self.config.max_pending,
             "tiers": tiers,
             "coalescer": self.coalescer.stats(),
+            "latency": {op: hist.snapshot() for op, hist in self._latency.items()},
+            "traces": self.traces.stats(),
             "dynamic": {
                 "sessions": len(self.sessions),
                 "max_sessions": self.config.max_sessions,
@@ -494,7 +608,7 @@ class VerdictService:
                 try:
                     canonical.flush()
                 except Exception:  # noqa: BLE001 -- persistence is best-effort
-                    self.store_put_failures += 1
+                    self._store_put_failures.inc()
         if self._persist_futures:
             # Verdicts already answered to clients must reach the store
             # before it is closed (daemon restarts start warm).
@@ -612,19 +726,26 @@ class ServerThread:
         host: str = "127.0.0.1",
         port: int = 0,
         socket_path: Optional[str] = None,
+        http_port: Optional[int] = None,
+        http_host: str = "127.0.0.1",
     ) -> None:
         self._store = store
         self._config = config
         self._host = host
         self._port = port
         self._socket_path = socket_path
+        self._http_port = http_port
+        self._http_host = http_host
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
         self.server: Optional[VerdictServer] = None
         self.service: Optional[VerdictService] = None
+        self.console = None
         self.address: Optional[Address] = None
+        #: ("host", port) of the HTTP console once started (None without one).
+        self.http_address: Optional[Tuple[str, int]] = None
 
     def start(self) -> Address:
         self._thread = threading.Thread(
@@ -650,6 +771,13 @@ class ServerThread:
                 socket_path=self._socket_path,
             )
             self.address = loop.run_until_complete(self.server.start())
+            if self._http_port is not None:
+                from repro.obs.http import ConsoleServer
+
+                self.console = ConsoleServer(
+                    self.service, host=self._http_host, port=self._http_port
+                )
+                self.http_address = loop.run_until_complete(self.console.start())
         except BaseException as error:  # noqa: BLE001 -- reported to starter
             self._startup_error = error
             self._started.set()
@@ -659,6 +787,8 @@ class ServerThread:
         try:
             loop.run_forever()
         finally:
+            if self.console is not None:
+                loop.run_until_complete(self.console.stop())
             loop.run_until_complete(self.server.stop())
             loop.close()
 

@@ -23,8 +23,9 @@ Serve single-verdict queries online from the same store (see
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.service.cli import add_service_commands
 from repro.sweep.executor import run_scenario
@@ -122,6 +123,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="run against a persistent verdict store (profiles the warm path)",
     )
+    profile.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="also write the top call sites as structured JSON ('-' for stdout)",
+    )
     profile.set_defaults(handler=_command_profile)
 
     add_service_commands(commands)
@@ -183,14 +190,58 @@ def _command_profile(args: argparse.Namespace) -> int:
         args.scenario, jobs=1, store=args.store, limit=args.limit
     )
     profiler.disable()
-    print(
+    summary = (
         f"profiled scenario {args.scenario!r}: {len(result.results)} instances, "
         f"{result.cold_count} solved, {result.cached_count} from store, "
         f"{result.total_seconds:.3f}s total"
     )
     stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    stats.strip_dirs().sort_stats(args.sort)
+    if args.json is not None:
+        payload = _profile_json(stats, args)
+        payload["summary"] = {
+            "scenario": args.scenario,
+            "instances": len(result.results),
+            "solved": result.cold_count,
+            "cached": result.cached_count,
+            "seconds": round(result.total_seconds, 6),
+        }
+        if args.json == "-":
+            print(json.dumps(payload, indent=2))
+            return 0
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    print(summary)
+    stats.print_stats(args.top)
     return 0
+
+
+def _profile_json(stats: "pstats.Stats", args: argparse.Namespace) -> Dict[str, Any]:
+    """The hottest call sites as records (the ``--json`` half of profile).
+
+    ``pstats.Stats.stats`` maps ``(file, line, function)`` to
+    ``(primitive_calls, total_calls, tottime, cumtime, callers)``; the
+    rows are re-sorted here with the same key the text printout used.
+    """
+    sort_index = {"cumulative": 3, "tottime": 2, "ncalls": 1}[args.sort]
+    entries = [
+        (func, values) for func, values in stats.stats.items()  # type: ignore[attr-defined]
+    ]
+    entries.sort(key=lambda item: item[1][sort_index], reverse=True)
+    rows = [
+        {
+            "file": func[0],
+            "line": func[1],
+            "function": func[2],
+            "primitive_calls": values[0],
+            "ncalls": values[1],
+            "tottime": round(values[2], 6),
+            "cumtime": round(values[3], 6),
+        }
+        for func, values in entries[: args.top]
+    ]
+    return {"sort": args.sort, "top": args.top, "rows": rows}
 
 
 def _command_dynamic(args: argparse.Namespace) -> int:

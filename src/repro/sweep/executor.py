@@ -201,20 +201,31 @@ def evaluate_timed(
     """
     from repro.engine.caching import LRUCache
     from repro.engine.compiled import CompiledGameEngine, compile_instance
+    from repro.obs.trace import current_trace
 
     compiled_by_group = compiled_cache if compiled_cache is not None else LRUCache(None)
     engines = engine_cache if engine_cache is not None else LRUCache(None)
+    trace = current_trace()
     verdicts: List[bool] = []
     seconds: List[float] = []
     for instance in instances:
         key = engine_sharing_key(instance)
         engine = engines.get(key)
+        compiled_fresh = False
         if engine is None:
             group_key = evaluator_sharing_key(instance)
             compiled = compiled_by_group.get(group_key)
             if compiled is None:
+                compile_start = time.perf_counter()
                 compiled = compile_instance(instance.machine, instance.graph, instance.ids)
                 compiled_by_group.put(group_key, compiled)
+                compiled_fresh = True
+                if trace is not None:
+                    trace.add_span(
+                        "compile",
+                        time.perf_counter() - compile_start,
+                        instance=instance.name,
+                    )
             if canonical is not None:
                 compiled.attach_canonical(canonical)
             engine = CompiledGameEngine(
@@ -227,7 +238,12 @@ def evaluate_timed(
             engines.put(key, engine)
         start = time.perf_counter()
         verdicts.append(engine.eve_wins(instance.prefix))
-        seconds.append(time.perf_counter() - start)
+        spent = time.perf_counter() - start
+        seconds.append(spent)
+        if trace is not None:
+            trace.add_span(
+                "engine", spent, instance=instance.name, compiled=compiled_fresh
+            )
     return verdicts, seconds
 
 

@@ -1,0 +1,277 @@
+"""Telemetry-core semantics: instruments, registry, spans, ring buffers."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import RequestTrace, TraceLog, active, current_trace, span
+
+
+# ----------------------------------------------------------------------
+# Counter / Gauge
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_starts_at_zero_and_counts(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        counter = Counter("c")
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(2500)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8 * 2500
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.inc(3)
+        gauge.dec(5)
+        assert gauge.value == 5
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_exact_bound_lands_in_its_le_bucket(self):
+        # Prometheus buckets are le-inclusive: an observation equal to a
+        # bound belongs to that bound's bucket, not the next.
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(1.0)
+        histogram.observe(1.5)
+        histogram.observe(2.0)
+        histogram.observe(9.0)
+        cumulative = dict(histogram.cumulative_buckets())
+        assert cumulative[1.0] == 1
+        assert cumulative[2.0] == 3
+        assert cumulative[4.0] == 3
+        assert cumulative[math.inf] == 4
+
+    def test_rejects_empty_and_duplicate_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_tracks_exact_count_sum_min_max(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(12.0)
+        assert snap["min"] == pytest.approx(2.0)
+        assert snap["max"] == pytest.approx(6.0)
+
+    def test_percentiles_are_within_one_bucket_of_truth(self):
+        histogram = Histogram("h", buckets=tuple(float(b) for b in range(10, 110, 10)))
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(0.50) == pytest.approx(50.0, abs=10.0)
+        assert histogram.percentile(0.95) == pytest.approx(95.0, abs=10.0)
+        # Clamped to the observed extremes, never past them.
+        assert histogram.percentile(0.0) >= 1.0
+        assert histogram.percentile(1.0) <= 100.0
+
+    def test_empty_histogram_percentile_is_zero(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        assert histogram.percentile(0.99) == 0.0
+
+    def test_percentile_rejects_out_of_range_fraction(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_concurrent_observations_do_not_lose_updates(self):
+        histogram = Histogram("h", buckets=(0.5,))
+        threads = [
+            threading.Thread(target=lambda: [histogram.observe(1.0) for _ in range(2000)])
+            for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 12000
+        assert histogram.sum == pytest.approx(12000.0)
+
+    def test_snapshot_renders_inf_as_string(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(5.0)
+        assert histogram.snapshot()["buckets"][-1] == ["+Inf", 1]
+
+
+# ----------------------------------------------------------------------
+# EventLog
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_ring_buffer_evicts_oldest(self):
+        log = EventLog("e", capacity=3)
+        for index in range(5):
+            log.append("tick", index=index)
+        snapshot = log.snapshot()
+        assert [event["index"] for event in snapshot] == [4, 3, 2]  # newest first
+        assert log.total == 5
+        assert log.dropped == 2
+        assert len(log) == 3
+
+    def test_snapshot_limit(self):
+        log = EventLog("e", capacity=10)
+        for index in range(6):
+            log.append("tick", index=index)
+        assert [event["index"] for event in log.snapshot(limit=2)] == [5, 4]
+
+    def test_events_carry_kind_and_wall_time(self):
+        log = EventLog("e")
+        log.append("store-put-failure", error="disk full")
+        (event,) = log.snapshot()
+        assert event["kind"] == "store-put-failure"
+        assert event["error"] == "disk full"
+        assert event["time"] > 0
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", labels={"op": "q"}) is registry.counter(
+            "a", labels={"op": "q"}
+        )
+        assert registry.counter("a") is not registry.counter("a", labels={"op": "q"})
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_covers_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.events("e").append("tick")
+        dump = registry.snapshot()
+        assert dump["c"] == 2
+        assert dump["g"] == 1.5
+        assert dump["h"]["count"] == 1
+        assert dump["e"]["events"] == 1
+
+    def test_prometheus_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", labels={"op": "query"}, help="requests").inc(3)
+        registry.gauge("pending").set(2)
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        registry.events("svc").append("boot")
+        text = registry.render_prometheus()
+        assert '# TYPE req_total counter' in text
+        assert '# HELP req_total requests' in text
+        assert 'req_total{op="query"} 3' in text
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert 'lat_seconds_count 2' in text
+        assert 'svc_events_total 1' in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"k": 'a"b\\c'}).inc()
+        text = registry.render_prometheus()
+        assert 'c{k="a\\"b\\\\c"} 1' in text
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+class TestTrace:
+    def test_span_records_name_duration_and_meta(self):
+        trace = RequestTrace(op="query", request_id=7)
+        with trace.span("lru", tier=1):
+            pass
+        trace.add_span("engine", 0.25, deduped=False)
+        breakdown = trace.breakdown()
+        assert [entry["span"] for entry in breakdown] == ["lru", "engine"]
+        assert breakdown[1]["ms"] == pytest.approx(250.0)
+        assert breakdown[0]["tier"] == 1
+
+    def test_ambient_span_is_noop_without_active_trace(self):
+        assert current_trace() is None
+        with span("lru") as trace:
+            assert trace is None  # and no exception
+
+    def test_ambient_span_lands_on_the_active_trace(self):
+        trace = RequestTrace(op="query")
+        with active(trace):
+            assert current_trace() is trace
+            with span("store", tier=2):
+                pass
+        assert current_trace() is None
+        assert trace.breakdown()[0]["span"] == "store"
+
+    def test_worker_thread_spans_via_explicit_trace_object(self):
+        # contextvars do not cross threads; the explicit .span() API must.
+        trace = RequestTrace(op="query")
+
+        def worker():
+            with trace.span("repair"):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert [entry["span"] for entry in trace.breakdown()] == ["repair"]
+
+    def test_as_dict_merges_annotations_and_total(self):
+        trace = RequestTrace(op="query", request_id=1, name="pair")
+        trace.annotate(source="lru", key="k")
+        body = trace.finish().as_dict()
+        assert body["op"] == "query"
+        assert body["name"] == "pair"
+        assert body["source"] == "lru"
+        assert body["total_ms"] >= 0
+
+
+class TestTraceLog:
+    def test_ring_eviction_newest_first(self):
+        log = TraceLog(capacity=2)
+        for index in range(3):
+            trace = RequestTrace(op="query", request_id=index)
+            log.record(trace)
+        snapshot = log.snapshot()
+        assert [entry["id"] for entry in snapshot] == [2, 1]
+        assert log.stats() == {"capacity": 2, "retained": 2, "recorded": 3}
+
+    def test_snapshot_limit(self):
+        log = TraceLog(capacity=8)
+        for index in range(4):
+            log.record(RequestTrace(op="query", request_id=index))
+        assert [entry["id"] for entry in log.snapshot(limit=2)] == [3, 2]

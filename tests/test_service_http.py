@@ -1,0 +1,210 @@
+"""The HTTP operations console, served next to a live daemon."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.top import render, run_top
+from repro.service.client import ServiceClient
+from repro.service.server import ServerThread
+from repro.sweep.store import MemoryVerdictStore
+
+
+@pytest.fixture(scope="module")
+def console_server():
+    """One daemon + console shared by the module (read-mostly assertions)."""
+    with ServerThread(store=MemoryVerdictStore(), http_port=0) as server:
+        yield server
+
+
+def _get(server, path: str):
+    host, port = server.http_address
+    return urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=10)
+
+
+def _get_json(server, path: str):
+    with _get(server, path) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _warm_query(server):
+    with ServiceClient(server.address) as client:
+        cold = client.query_scenario("smoke", index=0)
+        warm = client.query_scenario("smoke", index=0)
+    return cold, warm
+
+
+class TestStatsEndpoint:
+    def test_stats_page_is_the_wire_stats_payload(self, console_server):
+        _warm_query(console_server)
+        stats = _get_json(console_server, "/stats")
+        assert stats["requests"]["query"] >= 2
+        assert "tiers" in stats and "coalescer" in stats
+        assert stats["tiers"]["lru"]["hits"] >= 1
+
+    def test_stats_carries_the_monotonic_clock(self, console_server):
+        first = _get_json(console_server, "/stats")
+        second = _get_json(console_server, "/stats")
+        assert second["since_monotonic"] > first["since_monotonic"]
+
+    def test_stats_reports_latency_percentiles(self, console_server):
+        _warm_query(console_server)
+        stats = _get_json(console_server, "/stats")
+        latency = stats["latency"]["query"]
+        assert latency["count"] >= 1
+        assert latency["p50"] >= 0
+        assert latency["buckets"][-1][0] == "+Inf"
+
+
+class TestStatsSelfCounting:
+    def test_first_stats_poll_does_not_count_itself(self):
+        with ServerThread(store=MemoryVerdictStore()) as server:
+            with ServiceClient(server.address) as client:
+                stats = client.stats()
+        assert stats["requests"]["stats"] == 0
+
+    def test_later_polls_count_only_earlier_polls(self):
+        with ServerThread(store=MemoryVerdictStore()) as server:
+            with ServiceClient(server.address) as client:
+                client.stats()
+                client.stats()
+                stats = client.stats()
+        assert stats["requests"]["stats"] == 2
+
+
+class TestMetricsEndpoint:
+    def test_metrics_parse_as_prometheus_exposition(self, console_server):
+        _warm_query(console_server)
+        with _get(console_server, "/metrics") as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        samples = {}
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                _hash, directive, _rest = line.split(None, 2)
+                assert directive in ("HELP", "TYPE")
+                continue
+            name_and_labels, value = line.rsplit(None, 1)
+            float(value)  # every sample value is a number
+            samples[name_and_labels] = value
+        assert any(key.startswith("repro_requests_total") for key in samples)
+        assert any(key.startswith("repro_tier_lru_hits_total") for key in samples)
+        assert any('le="+Inf"' in key for key in samples)
+
+    def test_warm_query_moves_the_tier_counters(self, console_server):
+        _warm_query(console_server)
+        with _get(console_server, "/metrics") as response:
+            text = response.read().decode("utf-8")
+        for line in text.splitlines():
+            if line.startswith("repro_tier_lru_hits_total"):
+                assert int(line.rsplit(None, 1)[1]) >= 1
+                break
+        else:
+            pytest.fail("repro_tier_lru_hits_total not exposed")
+
+
+class TestBrowsePages:
+    def test_overview_links_the_surfaces(self, console_server):
+        with _get(console_server, "/") as response:
+            page = response.read().decode("utf-8")
+        for href in ("/stats", "/metrics", "/scenarios", "/verdicts", "/traces"):
+            assert href in page
+
+    def test_scenarios_page_lists_the_registry(self, console_server):
+        body = _get_json(console_server, "/scenarios?format=json")
+        names = [entry["name"] for entry in body["scenarios"]]
+        assert "smoke" in names
+
+    def test_scenario_detail_reports_stored_verdicts(self, console_server):
+        _warm_query(console_server)
+        body = _get_json(console_server, "/scenarios/smoke?format=json")
+        assert body["scenario"] == "smoke"
+        assert body["instances"] >= 1
+        assert body["entries"][0]["verdict"] in (True, False)
+
+    def test_scenario_pagination_windows_the_keys(self, console_server):
+        page1 = _get_json(
+            console_server, "/scenarios/smoke?format=json&page=1&per_page=2"
+        )
+        page2 = _get_json(
+            console_server, "/scenarios/smoke?format=json&page=2&per_page=2"
+        )
+        assert len(page1["entries"]) == 2
+        assert page1["entries"][0]["index"] == 0
+        assert page2["entries"][0]["index"] == 2
+        keys1 = {entry["key"] for entry in page1["entries"]}
+        keys2 = {entry["key"] for entry in page2["entries"]}
+        assert not keys1 & keys2
+
+    def test_verdicts_page_paginates_the_store(self, console_server):
+        _warm_query(console_server)
+        body = _get_json(console_server, "/verdicts?format=json&per_page=1")
+        assert body["total"] >= 1
+        assert len(body["entries"]) == 1
+        entry = body["entries"][0]
+        assert set(entry) == {"key", "verdict", "name", "seconds"}
+
+    def test_sessions_page_lists_open_sessions(self, console_server):
+        with ServiceClient(console_server.address) as client:
+            client.mutate(
+                "http-console-session",
+                scenario="separations",
+                instance="2-colorable|cycle6|sequential",
+            )
+            body = _get_json(console_server, "/sessions?format=json")
+        assert "http-console-session" in body["sessions"]
+
+    def test_traces_page_shows_recent_spans(self, console_server):
+        _warm_query(console_server)
+        body = _get_json(console_server, "/traces?format=json")
+        assert body["recorded"] >= 1
+        query_traces = [t for t in body["traces"] if t["op"] == "query"]
+        assert query_traces
+        assert any(span["span"] == "lru" for span in query_traces[0]["spans"])
+
+    def test_unknown_page_is_404(self, console_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(console_server, "/nothing-here")
+        assert excinfo.value.code == 404
+
+    def test_unknown_scenario_is_404(self, console_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(console_server, "/scenarios/no-such-scenario")
+        assert excinfo.value.code == 404
+
+    def test_bad_pagination_is_400(self, console_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(console_server, "/verdicts?page=zero")
+        assert excinfo.value.code == 400
+
+
+class TestQueryTraceBreakdown:
+    def test_warm_query_response_carries_tier_timings(self, console_server):
+        cold, warm = _warm_query(console_server)
+        cold_spans = [entry["span"] for entry in cold["trace"]]
+        warm_spans = [entry["span"] for entry in warm["trace"]]
+        assert "lru" in cold_spans
+        assert warm_spans[-1] == "lru"  # warm answer came straight from tier 1
+        assert all(entry["ms"] >= 0 for entry in warm["trace"])
+
+
+class TestTop:
+    def test_render_is_pure_and_reports_rates(self, console_server):
+        _warm_query(console_server)
+        first = _get_json(console_server, "/stats")
+        _warm_query(console_server)
+        second = _get_json(console_server, "/stats")
+        frame = render(second, first)
+        assert "repro verdict daemon" in frame
+        assert "lru" in frame and "coalescer" in frame
+
+    def test_run_top_once_renders_and_exits_zero(self, console_server, capsys):
+        host, port = console_server.http_address
+        assert run_top(connect=f"{host}:{port}", once=True) == 0
+        out = capsys.readouterr().out
+        assert "repro verdict daemon" in out
+
+    def test_run_top_unreachable_returns_one(self):
+        assert run_top(connect="127.0.0.1:1", once=True) == 1
