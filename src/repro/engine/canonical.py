@@ -127,6 +127,7 @@ class CanonicalVerdictCache:
         "hits",
         "misses",
         "store_hits",
+        "store_errors",
         "puts",
         "evictions",
         "_dirty",
@@ -144,6 +145,7 @@ class CanonicalVerdictCache:
         self.hits = 0
         self.misses = 0
         self.store_hits = 0
+        self.store_errors = 0
         self.puts = 0
         self.evictions = 0
         self._dirty: List[Tuple[str, bool]] = []
@@ -154,7 +156,14 @@ class CanonicalVerdictCache:
             self.hits += 1
             return verdict
         if self.store is not None:
-            stored = self.store.get_node(key)
+            # A sick store (disk trouble, injected fault) must degrade to a
+            # miss, not abort the evaluation consulting this cache: the
+            # engine can always recompute what the store would have served.
+            try:
+                stored = self.store.get_node(key)
+            except Exception:  # noqa: BLE001 -- store reads are best-effort
+                self.store_errors += 1
+                stored = None
             if stored is not None:
                 self.store_hits += 1
                 self.data[key] = stored
@@ -205,6 +214,7 @@ class CanonicalVerdictCache:
             "entries": len(self.data),
             "hits": self.hits,
             "store_hits": self.store_hits,
+            "store_errors": self.store_errors,
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,

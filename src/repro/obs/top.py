@@ -93,6 +93,36 @@ def render(stats: Dict[str, Any], prev: Optional[Dict[str, Any]] = None) -> str:
     lines.append(
         f"errors    {stats.get('errors', 0):>6}   overloaded {stats.get('overloaded', 0):>6}"
     )
+    resilience = stats.get("resilience", {})
+    breaker = resilience.get("breaker", {})
+    if resilience:
+        state = breaker.get("state", "?")
+        draining = "  DRAINING" if resilience.get("draining") else ""
+        lines.append(
+            f"breaker   {state:>6}   opened {breaker.get('opened', 0):>3}   "
+            f"degraded {resilience.get('degraded', 0):>6}   "
+            f"put-fail {store.get('async_put_failures', 0):>5}   "
+            f"deadline-exceeded {resilience.get('deadline_exceeded', 0):>4}"
+            f"{draining}"
+        )
+        by_error = store.get("put_failures_by_error") or {}
+        if by_error:
+            breakdown = "  ".join(
+                f"{code}={count}" for code, count in sorted(by_error.items())
+            )
+            lines.append(f"{_DIM}          put failures: {breakdown}{_RESET}")
+        active_faults = (resilience.get("faults") or {}).get("active") or {}
+        if active_faults:
+            armed = "  ".join(
+                f"{name}(rate={rule.get('rate', 1.0):g})"
+                for name, rule in sorted(active_faults.items())
+            )
+            lines.append(f"{_DIM}          faults armed: {armed}{_RESET}")
+        if resilience.get("sessions_recovered"):
+            lines.append(
+                f"{_DIM}          {resilience['sessions_recovered']} session(s) "
+                f"recovered from journal{_RESET}"
+            )
     lines.append("")
     lines.append(f"{_BOLD}tiers{_RESET}        hits    misses   hit-rate     rate/s")
     lru_hits, lru_misses = int(lru.get("hits", 0)), int(lru.get("misses", 0))

@@ -15,9 +15,13 @@ latency from a long-lived process:
   instance;
 * :mod:`repro.service.server` -- the asyncio TCP/UNIX daemon with bounded
   admission and explicit ``overloaded`` backpressure;
-* :mod:`repro.service.client` -- a small synchronous client;
+* :mod:`repro.service.client` -- a small synchronous client with typed
+  timeout/transport errors and optional retry with backoff;
+* :mod:`repro.service.resilience` -- fault injection (named failpoints),
+  the store tier's circuit breaker, and client retry policies;
 * :mod:`repro.service.loadgen` -- closed-loop load generation and latency
-  percentiles (the source of ``BENCH_service.json``).
+  percentiles (the source of ``BENCH_service.json``), with a ``--chaos``
+  mode that arms failpoints on the daemon for the run.
 
 CLI: ``python -m repro serve`` / ``query`` / ``loadgen``.
 """
@@ -34,18 +38,32 @@ from repro.service.loadgen import (
 )
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    AdminRequest,
+    MutateRequest,
     PingRequest,
     ProtocolError,
     QueryRequest,
     StatsRequest,
+    admin_response,
     encode_request,
     encode_response,
     error_response,
+    mutate_response,
     parse_request,
     parse_response,
     pong_response,
     query_response,
     stats_response,
+)
+from repro.service.resilience import (
+    FAILPOINTS,
+    RETRYABLE_CODES,
+    CircuitBreaker,
+    FaultInjector,
+    FaultingStore,
+    InjectedFault,
+    RetryPolicy,
+    parse_fault_spec,
 )
 from repro.service.resolver import ResolvedQuery, Resolver
 from repro.service.server import (
@@ -71,18 +89,30 @@ __all__ = [
     "run_load",
     "scenario_payloads",
     "PROTOCOL_VERSION",
+    "AdminRequest",
+    "MutateRequest",
     "PingRequest",
     "ProtocolError",
     "QueryRequest",
     "StatsRequest",
+    "admin_response",
     "encode_request",
     "encode_response",
     "error_response",
+    "mutate_response",
     "parse_request",
     "parse_response",
     "pong_response",
     "query_response",
     "stats_response",
+    "FAILPOINTS",
+    "RETRYABLE_CODES",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultingStore",
+    "InjectedFault",
+    "RetryPolicy",
+    "parse_fault_spec",
     "ResolvedQuery",
     "Resolver",
     "ServerThread",

@@ -67,6 +67,14 @@ class TieredVerdictCache:
         self._inserts = self.registry.counter(
             "repro_tier_inserts_total", help="fresh verdicts recorded into the tiers"
         )
+        self._store_errors = self.registry.counter(
+            "repro_tier_store_errors_total",
+            help="tier-2 store operations that raised (request degraded to compute)",
+        )
+        self._store_skips = self.registry.counter(
+            "repro_tier_store_skipped_total",
+            help="tier-2 lookups skipped because the store circuit breaker was open",
+        )
         self._lru_seconds = self.registry.histogram(
             "repro_tier_lru_seconds",
             buckets=LATENCY_BUCKETS_SECONDS,
@@ -167,6 +175,19 @@ class TieredVerdictCache:
         """Record one tier-2 miss discovered through a bulk lookup."""
         self._store_misses.inc()
 
+    def note_store_error(self, op: str, error: BaseException) -> None:
+        """Record one failed tier-2 operation (the request degrades)."""
+        self._store_errors.inc()
+        self.registry.counter(
+            "repro_tier_store_errors_by_op_total",
+            labels={"op": op},
+            help="failed tier-2 store operations by operation",
+        ).inc()
+
+    def note_store_skipped(self) -> None:
+        """Record one tier-2 lookup shed by an open circuit breaker."""
+        self._store_skips.inc()
+
     def insert(
         self,
         key: str,
@@ -199,6 +220,8 @@ class TieredVerdictCache:
                 "hits": self.store_hits,
                 "misses": self.store_misses,
                 "promotions": self.store_promotions,
+                "errors": self._store_errors.value,
+                "skipped": self._store_skips.value,
                 "seconds": round(self._store_seconds.sum, 6),
             },
             "inserts": self.inserts,
@@ -241,9 +264,16 @@ class ComputeTier:
         store: Optional[VerdictStore] = None,
         registry: Optional[MetricsRegistry] = None,
         trace_log: Optional[TraceLog] = None,
+        faults=None,
+        breaker=None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace_log = trace_log
+        #: Optional resilience hooks (the daemon wires both): the fault
+        #: injector's ``compute-error`` failpoint, and the store circuit
+        #: breaker gating canonical-cache flushes.
+        self.faults = faults
+        self.breaker = breaker
         self._compiled = LRUCache(max_compiled).bind_metrics(
             self.registry, "repro_compute_compiled_cache"
         )
@@ -275,6 +305,10 @@ class ComputeTier:
             buckets=LATENCY_BUCKETS_SECONDS,
             help="per-instance engine solve time",
         )
+        self._flush_failures = self.registry.counter(
+            "repro_compute_canonical_flush_failures_total",
+            help="canonical-cache store flushes that failed (verdicts unaffected)",
+        )
         self._snapshot = self._build_stats(stale=False)
 
     # Registry-backed counters, exposed as the plain ints they replaced.
@@ -298,6 +332,12 @@ class ComputeTier:
         daemon's trace log -- the coalescer serves many requests from one
         batch, so batch-level traces are where the engine time is visible.
         """
+        if self.faults is not None:
+            # The chaos harness's engine failpoint: fires *before* the
+            # batch lock, modeling an evaluation blowing up -- every waiter
+            # of this batch gets the typed ``internal`` error, the daemon
+            # survives.
+            self.faults.check("compute-error")
         start = time.perf_counter()
         batch_trace = RequestTrace(
             op="compute-batch", name=instances[0].name if instances else ""
@@ -311,8 +351,20 @@ class ComputeTier:
                     canonical=self.canonical,
                 )
             # Fresh node verdicts reach the store inside the batch (the
-            # caller already runs evaluation off the event loop).
-            self.canonical.flush()
+            # caller already runs evaluation off the event loop).  The
+            # verdicts are already computed: a failed or breaker-shed flush
+            # only costs persistence, never the answers.
+            try:
+                if self.breaker is None or self.breaker.allow():
+                    self.canonical.flush()
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                else:
+                    self.canonical.drain_records()
+            except Exception:  # noqa: BLE001 -- persistence is best-effort
+                self._flush_failures.inc()
+                if self.breaker is not None:
+                    self.breaker.record_failure()
             self._batches.inc()
             self._computed.inc(len(verdicts))
             self._batch_seconds.observe(time.perf_counter() - start)
@@ -343,6 +395,7 @@ class ComputeTier:
             "batches": self.batches,
             "computed": self.computed,
             "seconds": round(self.seconds, 6),
+            "flush_failures": self._flush_failures.value,
             "compiled_instances": len(compiled),
             "engines": len(engines),
             "memo": memo,

@@ -47,6 +47,11 @@ def add_service_commands(commands: argparse._SubParsersAction) -> None:
     serve.add_argument("--max-pending", type=int, default=64, help="admission bound: queries past it get 'overloaded'")
     serve.add_argument("--http", type=int, default=None, metavar="PORT", help="also serve the HTTP operations console on this port (0: ephemeral)")
     serve.add_argument("--http-host", default="127.0.0.1", help="HTTP console bind host")
+    serve.add_argument("--faults", default=None, metavar="SPEC", help="arm fault injection at startup (e.g. 'store-get-error=0.5:for=5'); also settable live via the admin op")
+    serve.add_argument("--breaker-threshold", type=int, default=5, help="consecutive store failures before the store tier's breaker opens")
+    serve.add_argument("--breaker-reset", type=float, default=5.0, help="seconds an open breaker waits before a half-open probe")
+    serve.add_argument("--deadline-ms", type=int, default=None, help="default server-side deadline per request (requests may carry their own)")
+    serve.add_argument("--drain-seconds", type=float, default=5.0, help="graceful-drain budget on SIGTERM/SIGINT (0: stop immediately)")
     serve.set_defaults(handler=_command_serve)
 
     query = commands.add_parser("query", help="ask a running daemon who wins one game")
@@ -76,6 +81,8 @@ def add_service_commands(commands: argparse._SubParsersAction) -> None:
     loadgen.add_argument("--requests", type=int, default=None, help="stop after this many requests")
     loadgen.add_argument("--duration", type=float, default=None, help="stop after this many seconds")
     loadgen.add_argument("--timeout", type=float, default=30.0, help="per-request timeout in seconds")
+    loadgen.add_argument("--retries", type=int, default=0, help="retry retryable failures up to this many extra times (backoff + jitter)")
+    loadgen.add_argument("--chaos", default=None, metavar="SPEC", help="arm this fault spec on the daemon for the run and clear it after")
     loadgen.set_defaults(handler=_command_loadgen)
 
     top = commands.add_parser("top", help="live terminal dashboard over a daemon's HTTP console")
@@ -95,8 +102,16 @@ async def _serve(args: argparse.Namespace) -> int:
         window_seconds=args.window_ms / 1000.0,
         max_batch=args.max_batch,
         max_pending=args.max_pending,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset,
+        default_deadline_seconds=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
     )
     service = VerdictService(store=args.store, config=config)
+    if args.faults:
+        service.faults.configure_spec(args.faults)
+        print(f"fault injection armed: {args.faults}", file=sys.stderr)
     server = VerdictServer(
         service, host=args.host, port=args.port, socket_path=args.socket
     )
@@ -131,7 +146,9 @@ async def _serve(args: argparse.Namespace) -> int:
     finally:
         if console is not None:
             await console.stop()
-        await server.stop()
+        # Graceful drain: stop listening, answer in-flight requests, then
+        # flush pending store writes inside service.close().
+        await server.stop(drain_seconds=max(0.0, args.drain_seconds))
     print("verdict service stopped", file=sys.stderr)
     return 0
 
@@ -218,6 +235,8 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             duration=args.duration,
             label=args.workload,
             timeout=args.timeout,
+            retries=args.retries,
+            chaos=args.chaos,
         )
     except (OSError, ServiceError) as error:
         print(f"cannot reach verdict service at {args.connect}: {error}", file=sys.stderr)

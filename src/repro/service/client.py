@@ -6,14 +6,28 @@ spellings, shared with the CLI:
 
 * ``host:port`` or ``:port`` (TCP; bare port implies 127.0.0.1),
 * ``unix:/path/to.sock`` (UNIX domain socket).
+
+Failures are typed: a reply that never arrives inside the socket timeout
+raises ``ServiceError("timeout", ...)``, connection-level trouble raises
+``ServiceError("transport", ...)``, and an ``ok: false`` response raises
+with the server's own error code.  Hand the constructor a
+:class:`~repro.service.resilience.RetryPolicy` and the client retries
+retryable failures (``overloaded``, ``transport``, ``timeout``) with
+exponential backoff -- reconnecting first when the connection broke.
+Mutates are only retried when they carry an idempotency token (one is
+generated automatically when a policy is set), because the server dedupes
+on the token: a retry of a batch that already applied reports the
+remembered outcome instead of applying it twice.
 """
 
 from __future__ import annotations
 
 import socket
+import uuid
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.service.protocol import (
+    AdminRequest,
     MutateRequest,
     PingRequest,
     QueryRequest,
@@ -22,6 +36,7 @@ from repro.service.protocol import (
     encode_request,
     parse_response,
 )
+from repro.service.resilience import RetryPolicy
 
 #: ("tcp", host, port) or ("unix", path).
 Address = Tuple[Any, ...]
@@ -33,7 +48,8 @@ class ServiceError(Exception):
     """A failed request: transport trouble or an error response.
 
     ``code`` is the protocol error code when the server answered with one
-    (``overloaded``, ``unknown-scenario``, ...) and ``"transport"`` for
+    (``overloaded``, ``unknown-scenario``, ...), ``"timeout"`` when the
+    socket timed out waiting, and ``"transport"`` for other
     connection-level failures.
     """
 
@@ -69,40 +85,120 @@ class ServiceClient:
     """One connection to the daemon, speaking JSON lines synchronously."""
 
     def __init__(
-        self, address: Union[Address, str], timeout: Optional[float] = 30.0
+        self,
+        address: Union[Address, str],
+        timeout: Optional[float] = 30.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.address: Address = (
             parse_address(address) if isinstance(address, str) else address
         )
         self.timeout = timeout
+        self.retry = retry
+        #: Requests re-sent by the retry policy (for reports and tests).
+        self.retries = 0
         self._next_id = 0
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._closed = False
+        self._connect()
+
+    def _connect(self) -> None:
         if self.address[0] == "unix":
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(self.address[1])
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.address[1])
+            except OSError:
+                sock.close()
+                raise
         else:
-            self._sock = socket.create_connection(
-                (self.address[1], self.address[2]), timeout=timeout
+            sock = socket.create_connection(
+                (self.address[1], self.address[2]), timeout=self.timeout
             )
-        self._reader = self._sock.makefile("rb")
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        """Drop a (possibly broken) connection; the next send reconnects."""
+        reader, self._reader = self._reader, None
+        sock, self._sock = self._sock, None
+        for closable in (reader, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------
-    def request(self, request: Union[Request, Mapping[str, Any]]) -> Dict[str, Any]:
-        """Send one request, return the raw (possibly ``ok: false``) response."""
+    def _send_once(self, line: str) -> Dict[str, Any]:
+        if self._closed:
+            raise ServiceError("transport", "client is closed")
+        if self._sock is None:
+            try:
+                self._connect()
+            except OSError as error:
+                raise ServiceError("transport", f"reconnect failed: {error}") from None
+        try:
+            self._sock.sendall(line.encode("utf-8") + b"\n")
+            answer = self._reader.readline()
+        except socket.timeout as error:
+            # socket.timeout is an OSError: catch it first so a server
+            # that is *slow* is distinguishable from one that is *gone*.
+            self._teardown()
+            raise ServiceError(
+                "timeout", f"no reply within {self.timeout}s: {error}"
+            ) from None
+        except OSError as error:
+            self._teardown()
+            raise ServiceError("transport", f"request failed: {error}") from None
+        if not answer:
+            self._teardown()
+            raise ServiceError("transport", "server closed the connection")
+        return parse_response(answer.decode("utf-8"))
+
+    def request(
+        self,
+        request: Union[Request, Mapping[str, Any]],
+        idempotent: bool = True,
+    ) -> Dict[str, Any]:
+        """Send one request, return the raw (possibly ``ok: false``) response.
+
+        With a retry policy set and *idempotent* true, retryable failures
+        (``overloaded`` responses, transport errors, timeouts) are retried
+        with backoff; the connection is re-established when it broke.
+        """
         if isinstance(request, Mapping):
             import json
 
             line = json.dumps(dict(request), sort_keys=True, separators=(",", ":"))
         else:
             line = encode_request(request)
-        try:
-            self._sock.sendall(line.encode("utf-8") + b"\n")
-            answer = self._reader.readline()
-        except OSError as error:
-            raise ServiceError("transport", f"request failed: {error}") from None
-        if not answer:
-            raise ServiceError("transport", "server closed the connection")
-        return parse_response(answer.decode("utf-8"))
+        policy = self.retry if idempotent else None
+        if policy is None:
+            return self._send_once(line)
+        started = policy.clock()
+        attempt = 0
+        while True:
+            try:
+                response = self._send_once(line)
+            except ServiceError as error:
+                if not policy.retryable(error.code) or not policy.may_retry(
+                    attempt, started
+                ):
+                    raise
+                policy.sleep_for(attempt, started)
+                attempt += 1
+                self.retries += 1
+                continue
+            if not response.get("ok"):
+                code = (response.get("error") or {}).get("code", "")
+                if policy.retryable(code) and policy.may_retry(attempt, started):
+                    policy.sleep_for(attempt, started)
+                    attempt += 1
+                    self.retries += 1
+                    continue
+            return response
 
     def _checked(self, response: Dict[str, Any], check: bool) -> Dict[str, Any]:
         if check and not response.get("ok"):
@@ -123,9 +219,14 @@ class ServiceClient:
         instance: Optional[str] = None,
         index: Optional[int] = None,
         check: bool = True,
+        deadline_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
         request = QueryRequest(
-            id=self._take_id(), scenario=scenario, instance=instance, index=index
+            id=self._take_id(),
+            scenario=scenario,
+            instance=instance,
+            index=index,
+            deadline_ms=deadline_ms,
         )
         return self._checked(self.request(request), check)
 
@@ -133,9 +234,16 @@ class ServiceClient:
         request = QueryRequest(id=self._take_id(), spec=spec)
         return self._checked(self.request(request), check)
 
-    def query_session(self, session: str, check: bool = True) -> Dict[str, Any]:
+    def query_session(
+        self,
+        session: str,
+        check: bool = True,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
         """The verdict for a dynamic session's *current* (mutated) state."""
-        request = QueryRequest(id=self._take_id(), session=session)
+        request = QueryRequest(
+            id=self._take_id(), session=session, deadline_ms=deadline_ms
+        )
         return self._checked(self.request(request), check)
 
     def mutate(
@@ -147,6 +255,8 @@ class ServiceClient:
         index: Optional[int] = None,
         spec: Optional[Mapping[str, Any]] = None,
         check: bool = True,
+        token: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
         """Stream a delta batch into a dynamic session (opening it if new).
 
@@ -154,7 +264,14 @@ class ServiceClient:
         ``spec`` addressing; *deltas* are wire objects (dicts addressing
         nodes by index) -- use
         :func:`repro.engine.dynamic.delta_to_wire` to encode typed deltas.
+
+        *token* is an idempotency token: the server remembers the outcome
+        per token, so a retried mutate never applies twice.  When a retry
+        policy is set and no token is given, one is generated -- mutates
+        are only ever retried under a token.
         """
+        if token is None and self.retry is not None:
+            token = uuid.uuid4().hex
         request = MutateRequest(
             id=self._take_id(),
             session=session,
@@ -163,8 +280,10 @@ class ServiceClient:
             instance=instance,
             index=index,
             spec=spec,
+            token=token,
+            deadline_ms=deadline_ms,
         )
-        return self._checked(self.request(request), check)
+        return self._checked(self.request(request, idempotent=token is not None), check)
 
     def stats(self) -> Dict[str, Any]:
         response = self._checked(self.request(StatsRequest(id=self._take_id())), True)
@@ -175,11 +294,30 @@ class ServiceClient:
         return bool(response.get("pong"))
 
     # ------------------------------------------------------------------
+    def admin(self, action: str = "faults", spec: Optional[str] = None) -> Dict[str, Any]:
+        """One ``admin`` request; returns the daemon's active-faults view."""
+        request = AdminRequest(id=self._take_id(), action=action, spec=spec)
+        return self._checked(self.request(request), True)
+
+    def faults(self) -> Dict[str, Any]:
+        """The daemon's current fault-injection state."""
+        return self.admin("faults")["faults"]
+
+    def set_faults(self, spec: str) -> Dict[str, Any]:
+        """Configure failpoints on the live daemon from a ``--faults`` spec."""
+        return self.admin("set-faults", spec=spec)["faults"]
+
+    def clear_faults(self) -> Dict[str, Any]:
+        """Disarm every failpoint on the live daemon."""
+        return self.admin("clear-faults")["faults"]
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        """Release the connection; safe to call twice or after a break."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self

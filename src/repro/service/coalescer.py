@@ -195,6 +195,21 @@ class RequestCoalescer:
             "inflight": len(self._inflight),
         }
 
+    async def drain(self) -> None:
+        """Finish all admitted work without failing anyone (graceful stop).
+
+        Where :meth:`close` *fails* queries still pending, drain flushes
+        the batching window immediately and awaits every in-flight batch:
+        the graceful-drain path stops admitting upstream, then calls this
+        so already-accepted queries still get real answers.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
     async def close(self) -> None:
         """Fail pending work and release the worker pool (idempotent)."""
         self._closed = True

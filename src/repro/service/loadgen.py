@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.obs.metrics import LATENCY_BUCKETS_MS, Histogram
 from repro.service.client import Address, ServiceClient, ServiceError
+from repro.service.resilience import RetryPolicy
 
 Payload = Mapping[str, Any]
 
@@ -104,6 +105,12 @@ class LoadReport:
     sources: Dict[str, int] = field(default_factory=dict)
     error_codes: Dict[str, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list, repr=False)
+    #: Responses answered without the store tier (breaker open / store sick).
+    degraded: int = 0
+    #: Requests the clients re-sent under the retry policy.
+    retries: int = 0
+    #: The fault spec a chaos run injected, plus the daemon's view after.
+    chaos: Optional[Dict[str, Any]] = None
 
     @property
     def qps(self) -> float:
@@ -152,6 +159,9 @@ class LoadReport:
             "sources": dict(self.sources),
             "error_codes": dict(self.error_codes),
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "chaos": self.chaos,
         }
 
 
@@ -177,11 +187,22 @@ def run_load(
     duration: Optional[float] = None,
     label: str = "load",
     timeout: float = 30.0,
+    retries: int = 0,
+    chaos: Optional[str] = None,
 ) -> LoadReport:
     """Drive the daemon closed-loop and report throughput and latency.
 
     Stops after *total* requests, after *duration* seconds, or -- if neither
     is given -- after one pass over *payloads*.
+
+    With ``retries > 0`` each worker retries retryable failures
+    (``overloaded``, transport, timeout) that many extra times with
+    exponential backoff.  With a *chaos* fault spec, the daemon's
+    failpoints are armed over the admin op before traffic starts and
+    cleared after; the report then carries the spec and the daemon's
+    fired-fault counts.  Workers survive a dropped connection (the
+    ``conn-drop`` failpoint, a restarted daemon): the error is counted
+    and the worker reconnects for its next ticket instead of dying.
     """
     if not payloads:
         raise ValueError("payloads must be non-empty")
@@ -195,6 +216,8 @@ def run_load(
             "requests": 0,
             "errors": 0,
             "overloaded": 0,
+            "degraded": 0,
+            "retries": 0,
             "sources": {},
             "error_codes": {},
             "latencies": [],
@@ -202,39 +225,63 @@ def run_load(
         for _ in range(clients)
     ]
 
+    chaos_info: Optional[Dict[str, Any]] = None
+    if chaos is not None:
+        with ServiceClient(address, timeout=timeout) as admin:
+            admin.set_faults(chaos)
+        chaos_info = {"spec": chaos}
+
     def worker(slot: int) -> None:
         mine = results[slot]
 
         def count_error(code: str) -> None:
             mine["error_codes"][code] = mine["error_codes"].get(code, 0) + 1
 
+        policy = (
+            RetryPolicy(max_attempts=retries + 1, base_delay=0.02, max_delay=0.5)
+            if retries > 0
+            else None
+        )
+        client: Optional[ServiceClient] = None
         try:
-            client = ServiceClient(address, timeout=timeout)
-        except OSError:
-            mine["errors"] += 1
-            count_error("transport")
-            return
-        with client:
             while True:
                 if deadline is not None and time.perf_counter() >= deadline:
                     return
                 ticket = tickets.take()
                 if total is not None and ticket >= total:
                     return
+                if client is None:
+                    try:
+                        client = ServiceClient(address, timeout=timeout, retry=policy)
+                    except OSError:
+                        mine["errors"] += 1
+                        count_error("transport")
+                        continue
                 payload = payloads[ticket % len(payloads)]
                 start = time.perf_counter()
                 try:
                     response = client.request(payload)
-                except ServiceError:
+                except ServiceError as error:
+                    # Count it and reconnect for the next ticket -- a chaos
+                    # run drops connections on purpose and the loadgen must
+                    # outlive the daemon's faults.
                     mine["errors"] += 1
-                    count_error("transport")
-                    return
+                    count_error(error.code)
+                    mine["retries"] += client.retries
+                    try:
+                        client.close()
+                    except OSError:
+                        pass
+                    client = None
+                    continue
                 elapsed_ms = (time.perf_counter() - start) * 1000.0
                 mine["requests"] += 1
                 mine["latencies"].append(elapsed_ms)
                 if response.get("ok"):
                     source = response.get("source", "?")
                     mine["sources"][source] = mine["sources"].get(source, 0) + 1
+                    if response.get("degraded"):
+                        mine["degraded"] += 1
                 else:
                     code = (response.get("error") or {}).get("code") or "unknown"
                     count_error(code)
@@ -242,6 +289,10 @@ def run_load(
                         mine["overloaded"] += 1
                     else:
                         mine["errors"] += 1
+        finally:
+            if client is not None:
+                mine["retries"] += client.retries
+                client.close()
 
     threads = [
         threading.Thread(target=worker, args=(slot,), name=f"loadgen-{slot}")
@@ -254,6 +305,14 @@ def run_load(
         thread.join()
     elapsed = time.perf_counter() - started
 
+    if chaos is not None and chaos_info is not None:
+        try:
+            with ServiceClient(address, timeout=timeout) as admin:
+                chaos_info["fired"] = admin.faults().get("fired", {})
+                admin.clear_faults()
+        except (OSError, ServiceError):
+            chaos_info["fired"] = None
+
     report = LoadReport(
         label=label,
         clients=clients,
@@ -261,6 +320,9 @@ def run_load(
         errors=sum(r["errors"] for r in results),
         overloaded=sum(r["overloaded"] for r in results),
         seconds=elapsed,
+        degraded=sum(r["degraded"] for r in results),
+        retries=sum(r["retries"] for r in results),
+        chaos=chaos_info,
     )
     for r in results:
         for source, count in r["sources"].items():

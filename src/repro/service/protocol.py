@@ -87,6 +87,8 @@ ERROR_CODES = (
     "bad-delta",
     "session-limit",
     "overloaded",
+    "deadline-exceeded",
+    "draining",
     "internal",
 )
 
@@ -119,7 +121,12 @@ class ProtocolError(Exception):
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """A ``query`` op: exactly one of (*scenario*, *spec*, *session*) modes."""
+    """A ``query`` op: exactly one of (*scenario*, *spec*, *session*) modes.
+
+    ``deadline_ms``, when set, bounds the server-side handling time: a
+    query still unanswered after that many milliseconds gets the typed
+    ``deadline-exceeded`` error instead of hanging its client.
+    """
 
     id: RequestId = None
     scenario: Optional[str] = None
@@ -127,6 +134,7 @@ class QueryRequest:
     index: Optional[int] = None
     spec: Optional[Mapping[str, Any]] = None
     session: Optional[str] = None
+    deadline_ms: Optional[int] = None
 
     def payload(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": "query"}
@@ -142,6 +150,8 @@ class QueryRequest:
             body["spec"] = dict(self.spec)
         if self.session is not None:
             body["session"] = self.session
+        if self.deadline_ms is not None:
+            body["deadline_ms"] = self.deadline_ms
         return body
 
 
@@ -154,6 +164,11 @@ class MutateRequest:
     ``deltas`` holds structurally validated wire objects (see
     ``_DELTA_FIELDS``); semantic validation against the current graph
     happens server-side.
+
+    ``token`` is a client-chosen idempotency key: the server remembers
+    recently applied tokens per session and answers a retried mutate
+    (``deduped: true``) without re-applying its deltas -- so a client may
+    retry a mutate whose response was lost without double-mutating.
     """
 
     id: RequestId = None
@@ -163,6 +178,8 @@ class MutateRequest:
     instance: Optional[str] = None
     index: Optional[int] = None
     spec: Optional[Mapping[str, Any]] = None
+    token: Optional[str] = None
+    deadline_ms: Optional[int] = None
 
     def payload(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {
@@ -181,6 +198,10 @@ class MutateRequest:
                 body["index"] = self.index
         if self.spec is not None:
             body["spec"] = dict(self.spec)
+        if self.token is not None:
+            body["token"] = self.token
+        if self.deadline_ms is not None:
+            body["deadline_ms"] = self.deadline_ms
         return body
 
 
@@ -210,7 +231,39 @@ class PingRequest:
         return body
 
 
-Request = Union[QueryRequest, MutateRequest, StatsRequest, PingRequest]
+#: Actions the ``admin`` op accepts.
+ADMIN_ACTIONS = ("faults", "set-faults", "clear-faults")
+
+
+@dataclass(frozen=True)
+class AdminRequest:
+    """An ``admin`` op: runtime control of the daemon's fault injector.
+
+    ``set-faults`` arms the failpoints named by ``spec`` (the same grammar
+    as ``repro serve --faults``); ``clear-faults`` disarms everything;
+    ``faults`` just reports.  Every action answers with the injector's
+    current snapshot, so chaos harnesses can flip faults on a live daemon
+    and verify what is armed.
+    """
+
+    id: RequestId = None
+    action: str = "faults"
+    spec: Optional[str] = None
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "op": "admin",
+            "action": self.action,
+        }
+        if self.id is not None:
+            body["id"] = self.id
+        if self.spec is not None:
+            body["spec"] = self.spec
+        return body
+
+
+Request = Union[QueryRequest, MutateRequest, StatsRequest, PingRequest, AdminRequest]
 
 
 def encode_request(request: Request) -> str:
@@ -259,8 +312,10 @@ def parse_request(line: str) -> Request:
             return _parse_query(body, request_id)
         if op == "mutate":
             return _parse_mutate(body, request_id)
+        if op == "admin":
+            return _parse_admin(body, request_id)
         raise ProtocolError(
-            "bad-op", f"unknown op {op!r}; expected query, mutate, stats or ping"
+            "bad-op", f"unknown op {op!r}; expected query, mutate, stats, ping or admin"
         )
     except ProtocolError as error:
         if error.request_id is None:
@@ -268,10 +323,26 @@ def parse_request(line: str) -> Request:
         raise
 
 
+def _parse_deadline(body: Mapping[str, Any], request_id: RequestId) -> Optional[int]:
+    deadline_ms = body.get("deadline_ms")
+    if deadline_ms is None:
+        return None
+    if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, int):
+        raise ProtocolError(
+            "bad-request", "deadline_ms must be a positive integer", request_id
+        )
+    if deadline_ms <= 0:
+        raise ProtocolError(
+            "bad-request", "deadline_ms must be a positive integer", request_id
+        )
+    return deadline_ms
+
+
 def _parse_query(body: Mapping[str, Any], request_id: RequestId) -> QueryRequest:
     scenario = body.get("scenario")
     spec = body.get("spec")
     session = body.get("session")
+    deadline_ms = _parse_deadline(body, request_id)
     modes = sum(value is not None for value in (scenario, spec, session))
     if modes != 1:
         raise ProtocolError(
@@ -285,11 +356,11 @@ def _parse_query(body: Mapping[str, Any], request_id: RequestId) -> QueryRequest
             raise ProtocolError(
                 "bad-request", "session must be a nonempty string", request_id
             )
-        return QueryRequest(id=request_id, session=session)
+        return QueryRequest(id=request_id, session=session, deadline_ms=deadline_ms)
     if spec is not None:
         if not isinstance(spec, dict):
             raise ProtocolError("bad-spec", "spec must be a JSON object", request_id)
-        return QueryRequest(id=request_id, spec=spec)
+        return QueryRequest(id=request_id, spec=spec, deadline_ms=deadline_ms)
 
     if not isinstance(scenario, str):
         raise ProtocolError("bad-request", "scenario must be a string", request_id)
@@ -305,7 +376,13 @@ def _parse_query(body: Mapping[str, Any], request_id: RequestId) -> QueryRequest
         raise ProtocolError("bad-request", "instance must be a string", request_id)
     if index is not None and (isinstance(index, bool) or not isinstance(index, int)):
         raise ProtocolError("bad-request", "index must be an integer", request_id)
-    return QueryRequest(id=request_id, scenario=scenario, instance=instance, index=index)
+    return QueryRequest(
+        id=request_id,
+        scenario=scenario,
+        instance=instance,
+        index=index,
+        deadline_ms=deadline_ms,
+    )
 
 
 def validate_wire_delta(delta: Any, request_id: RequestId = None) -> Dict[str, Any]:
@@ -389,6 +466,11 @@ def _parse_mutate(body: Mapping[str, Any], request_id: RequestId) -> MutateReque
             raise ProtocolError("bad-request", "instance must be a string", request_id)
         if index is not None and (isinstance(index, bool) or not isinstance(index, int)):
             raise ProtocolError("bad-request", "index must be an integer", request_id)
+    token = body.get("token")
+    if token is not None and (not isinstance(token, str) or not token):
+        raise ProtocolError(
+            "bad-request", "token must be a nonempty string", request_id
+        )
     return MutateRequest(
         id=request_id,
         session=session,
@@ -397,7 +479,27 @@ def _parse_mutate(body: Mapping[str, Any], request_id: RequestId) -> MutateReque
         instance=instance if scenario is not None else None,
         index=index if scenario is not None else None,
         spec=spec,
+        token=token,
+        deadline_ms=_parse_deadline(body, request_id),
     )
+
+
+def _parse_admin(body: Mapping[str, Any], request_id: RequestId) -> AdminRequest:
+    action = body.get("action")
+    if action not in ADMIN_ACTIONS:
+        raise ProtocolError(
+            "bad-request",
+            f"admin action must be one of {', '.join(ADMIN_ACTIONS)} (got {action!r})",
+            request_id,
+        )
+    spec = body.get("spec")
+    if spec is not None and not isinstance(spec, str):
+        raise ProtocolError("bad-request", "spec must be a string", request_id)
+    if action == "set-faults" and not spec:
+        raise ProtocolError(
+            "bad-request", "set-faults requires a nonempty 'spec' string", request_id
+        )
+    return AdminRequest(id=request_id, action=action, spec=spec)
 
 
 # ----------------------------------------------------------------------
@@ -411,6 +513,7 @@ def query_response(
     name: str = "",
     seconds: float = 0.0,
     trace: Optional[list] = None,
+    degraded: bool = False,
 ) -> Dict[str, Any]:
     """A successful query answer (``winner`` is derived from ``verdict``).
 
@@ -418,6 +521,11 @@ def query_response(
     the request moved through the daemon -- a list of
     ``{"span": name, "ms": float, ...}`` objects in recording order.  The
     field is additive: v1 clients that do not know it simply ignore it.
+
+    *degraded* marks an answer computed while the store tier was
+    unavailable (circuit breaker open, or a store read failed): the
+    verdict is still correct -- it came from the LRU or fresh compute --
+    but persistence and store-warm reads were skipped.
     """
     if source not in SOURCES:
         raise ValueError(f"unknown source tier {source!r}")
@@ -431,6 +539,7 @@ def query_response(
         "key": key,
         "name": name,
         "seconds": round(seconds, 6),
+        "degraded": bool(degraded),
     }
     if trace is not None:
         body["trace"] = trace
@@ -445,8 +554,16 @@ def mutate_response(
     generation: int,
     seconds: float = 0.0,
     opened: bool = False,
+    deduped: bool = False,
+    journaled: bool = False,
 ) -> Dict[str, Any]:
-    """A successful mutate answer: what the delta batch touched."""
+    """A successful mutate answer: what the delta batch touched.
+
+    ``deduped`` marks a retried mutate answered from the session's
+    idempotency-token memory without re-applying; ``journaled`` reports
+    whether the batch reached the store's session journal (``false`` means
+    the session will not survive a daemon crash from this point).
+    """
     return {
         "v": PROTOCOL_VERSION,
         "ok": True,
@@ -457,6 +574,18 @@ def mutate_response(
         "generation": int(generation),
         "opened": bool(opened),
         "seconds": round(seconds, 6),
+        "deduped": bool(deduped),
+        "journaled": bool(journaled),
+    }
+
+
+def admin_response(request_id: RequestId, faults: Mapping[str, Any]) -> Dict[str, Any]:
+    """A successful admin answer: the fault injector's current snapshot."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "ok": True,
+        "id": request_id,
+        "faults": dict(faults),
     }
 
 

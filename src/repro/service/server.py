@@ -19,11 +19,13 @@ response lets tests assert the bound was honored under load.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.engine.canonical import CanonicalVerdictCache
 from repro.engine.dynamic import DeltaError, MutableInstance, delta_from_wire
@@ -32,11 +34,13 @@ from repro.obs.trace import RequestTrace, TraceLog, active
 from repro.service.cache import ComputeTier, TieredVerdictCache
 from repro.service.coalescer import RequestCoalescer
 from repro.service.protocol import (
+    AdminRequest,
     MutateRequest,
     PingRequest,
     ProtocolError,
     QueryRequest,
     StatsRequest,
+    admin_response,
     encode_response,
     error_response,
     mutate_response,
@@ -45,6 +49,7 @@ from repro.service.protocol import (
     query_response,
     stats_response,
 )
+from repro.service.resilience import CircuitBreaker, FaultInjector, FaultingStore
 from repro.service.resolver import ResolvedQuery, Resolver
 from repro.sweep.store import VerdictStore, open_store
 
@@ -66,7 +71,16 @@ class _DynamicSession:
     their canonical signature does.
     """
 
-    def __init__(self, name: str, mutable: MutableInstance) -> None:
+    #: Most idempotency tokens remembered per session (oldest evicted).
+    MAX_TOKENS = 512
+
+    def __init__(
+        self,
+        name: str,
+        mutable: MutableInstance,
+        opening: Optional[Dict[str, Any]] = None,
+        recovered: bool = False,
+    ) -> None:
         self.name = name
         self.lock = threading.Lock()
         self.mutable = mutable
@@ -74,12 +88,30 @@ class _DynamicSession:
         self.mutate_batches = 0
         self.deltas_applied = 0
         self.queries = 0
+        #: The wire-form address the opening mutate carried -- journaled as
+        #: sequence 0 so recovery can reopen the same game.
+        self.opening: Dict[str, Any] = dict(opening or {})
+        self.recovered = recovered
+        self.journaled_open = False
+        #: Once an append fails the journal is a divergent prefix: stop
+        #: writing to it rather than let recovery silently skip a batch.
+        self.journal_broken = False
+        self.journal_seq = 1
+        #: token -> (applied, dirty) for mutate retries after a lost reply.
+        self.token_results: "OrderedDict[str, Tuple[int, int]]" = OrderedDict()
+
+    def remember_token(self, token: str, applied: int, dirty: int) -> None:
+        self.token_results[token] = (applied, dirty)
+        self.token_results.move_to_end(token)
+        while len(self.token_results) > self.MAX_TOKENS:
+            self.token_results.popitem(last=False)
 
     def info(self) -> Dict[str, Any]:
         return {
             "mutate_batches": self.mutate_batches,
             "deltas_applied": self.deltas_applied,
             "queries": self.queries,
+            "recovered": self.recovered,
             **self.mutable.info(),
         }
 
@@ -95,6 +127,12 @@ class ServiceConfig:
     max_compiled: int = 64
     max_engines: int = 256
     max_sessions: int = 32
+    #: Consecutive store failures before the store tier's breaker opens.
+    breaker_threshold: int = 5
+    #: Seconds an open breaker waits before letting one probe through.
+    breaker_reset_seconds: float = 5.0
+    #: Server-side deadline applied when a request carries none (None = off).
+    default_deadline_seconds: Optional[float] = None
 
 
 class VerdictService:
@@ -105,20 +143,43 @@ class VerdictService:
         store: Union[VerdictStore, str, None] = None,
         config: Optional[ServiceConfig] = None,
         resolver: Optional[Resolver] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self._owns_store = isinstance(store, str) or store is None
-        self.store: Optional[VerdictStore] = (
-            open_store(store) if isinstance(store, str) else store
-        )
         #: The daemon's private metrics registry (every tier's instruments
         #: live here; ``/metrics`` and ``stats`` both read it).
         self.registry = MetricsRegistry()
+        #: Named failpoints (chaos testing): inert until configured via
+        #: ``--faults`` or the ``admin`` op; every store call goes through
+        #: the :class:`FaultingStore` wrapper so injected errors exercise
+        #: the same degraded paths real store trouble does.
+        self.faults = faults if faults is not None else FaultInjector(
+            registry=self.registry
+        )
+        self._owns_store = isinstance(store, str) or store is None
+        raw_store: Optional[VerdictStore] = (
+            open_store(store) if isinstance(store, str) else store
+        )
+        self.store: Optional[VerdictStore] = (
+            FaultingStore(raw_store, self.faults) if raw_store is not None else None
+        )
         #: Recent per-request traces (plus the compute tier's batch traces).
         self.traces = TraceLog(capacity=256)
         #: Append-only (ring-buffered) record of notable service events.
         self.events = self.registry.events(
             "repro_service", capacity=512, help="notable daemon events"
+        )
+        #: The store tier's circuit breaker: fed by every store get/put
+        #: outcome; while open, reads are skipped (answers degrade to
+        #: LRU -> compute) and writes are shed instead of attempted.
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_seconds=self.config.breaker_reset_seconds,
+            on_transition=self._breaker_transition,
+        )
+        self._breaker_gauge = self.registry.gauge(
+            "repro_breaker_state",
+            help="store breaker state (0=closed, 1=half-open, 2=open)",
         )
         self.resolver = resolver or Resolver()
         self.cache = TieredVerdictCache(
@@ -130,6 +191,8 @@ class VerdictService:
             store=self.store,
             registry=self.registry,
             trace_log=self.traces,
+            faults=self.faults,
+            breaker=self.breaker,
         )
         #: Scenarios whose keys were already bulk-promoted from the store.
         self._promoted_scenarios: set = set()
@@ -150,7 +213,7 @@ class VerdictService:
             op: self.registry.counter(
                 "repro_requests_total", labels={"op": op}, help="requests by op"
             )
-            for op in ("query", "mutate", "stats", "ping")
+            for op in ("query", "mutate", "stats", "ping", "admin")
         }
         self._latency = {
             op: self.registry.histogram(
@@ -171,11 +234,37 @@ class VerdictService:
             "repro_store_put_failures_total",
             help="asynchronous store writes that failed (verdicts still answered)",
         )
+        #: Per-error-code breakdown of the total above (stats + ``top``).
+        self._put_failures_by_error: Dict[str, int] = {}
+        self._degraded = self.registry.counter(
+            "repro_degraded_total",
+            help="responses answered without the store tier (breaker open or store error)",
+        )
+        self._deadline_exceeded = self.registry.counter(
+            "repro_deadline_exceeded_total",
+            help="requests abandoned at their server-side deadline",
+        )
+        self._store_writes_skipped = self.registry.counter(
+            "repro_store_writes_skipped_total",
+            help="store writes shed while the breaker was open",
+        )
+        self._journal_appends = self.registry.counter(
+            "repro_journal_appends_total",
+            help="session journal entries written",
+        )
+        self._journal_skipped = self.registry.counter(
+            "repro_journal_skipped_total",
+            help="session journal appends shed (breaker open or journal broken)",
+        )
         self._pending_gauge = self.registry.gauge(
             "repro_pending", help="requests currently past admission"
         )
         self.pending = 0
         self.peak_pending = 0
+        #: True once a graceful drain began: new queries/mutates are
+        #: answered with a typed ``draining`` error, in-flight ones finish.
+        self.draining = False
+        self.sessions_recovered = 0
         self._persist_futures: set = set()
         self._closed = False
 
@@ -197,6 +286,31 @@ class VerdictService:
         return self._store_put_failures.value
 
     # ------------------------------------------------------------------
+    def _breaker_transition(self, old: str, new: str) -> None:
+        """Surface every breaker state change: gauge, counter, event."""
+        self._breaker_gauge.set(
+            {"closed": 0, "half-open": 1, "open": 2}.get(new, -1)
+        )
+        self.registry.counter(
+            "repro_breaker_transitions_total",
+            labels={"to": new},
+            help="store breaker transitions by target state",
+        ).inc()
+        self.events.append("breaker", old=old, new=new)
+
+    def _count_store_put_failure(self, error: BaseException) -> None:
+        """One failed store write: total, per-error-code counter, breaker."""
+        self._store_put_failures.inc()
+        code = type(error).__name__
+        self.registry.counter(
+            "repro_store_put_failures_by_error_total",
+            labels={"error": code},
+            help="failed store writes by error type",
+        ).inc()
+        self._put_failures_by_error[code] = self._put_failures_by_error.get(code, 0) + 1
+        self.breaker.record_failure()
+        self.events.append("store-put-failure", error=repr(error))
+
     def _record_computed(self, entries, verdicts, seconds) -> None:
         """Record a computed batch: LRU now, the store off the event loop."""
         records = []
@@ -204,6 +318,11 @@ class VerdictService:
             self.cache.insert(key, verdict, name=name, seconds=spent, persist=False)
             records.append((key, bool(verdict), name, spent))
         if self.store is not None and records:
+            if not self.breaker.allow():
+                # The store tier is open: shed the write instead of feeding
+                # the failure streak (the LRU already has the verdicts).
+                self._store_writes_skipped.inc(len(records))
+                return
             # A store write is a COMMIT that can wait out a concurrent
             # writer's lock; keep it off the loop.  close() drains these.
             loop = asyncio.get_running_loop()
@@ -213,9 +332,13 @@ class VerdictService:
 
     def _persist_done(self, future) -> None:
         self._persist_futures.discard(future)
-        if not future.cancelled() and future.exception() is not None:
-            self._store_put_failures.inc()
-            self.events.append("store-put-failure", error=repr(future.exception()))
+        if future.cancelled():
+            return
+        error = future.exception()
+        if error is None:
+            self.breaker.record_success()
+        else:
+            self._count_store_put_failure(error)
 
     # ------------------------------------------------------------------
     async def handle_line(self, line: str) -> str:
@@ -241,15 +364,44 @@ class VerdictService:
             response = stats_response(request.id, self.stats())
             self._request_counters["stats"].inc()
             return response
+        if isinstance(request, AdminRequest):
+            return self._handle_admin(request)
         if isinstance(request, MutateRequest):
             return await self._handle_mutate(request)
         assert isinstance(request, QueryRequest)
         return await self._handle_query(request)
 
+    def _handle_admin(self, request: AdminRequest) -> Dict[str, Any]:
+        """Inspect or reconfigure fault injection on a live daemon."""
+        self._request_counters["admin"].inc()
+        if request.action == "set-faults":
+            try:
+                self.faults.configure_spec(request.spec or "")
+            except ValueError as error:
+                self._errors.inc()
+                return error_response(request.id, "bad-request", str(error))
+            self.events.append("faults-set", spec=request.spec)
+        elif request.action == "clear-faults":
+            self.faults.clear()
+            self.events.append("faults-cleared")
+        return admin_response(request.id, self.faults.snapshot())
+
+    def _deadline_seconds(
+        self, request: Union[QueryRequest, MutateRequest]
+    ) -> Optional[float]:
+        if request.deadline_ms is not None:
+            return request.deadline_ms / 1000.0
+        return self.config.default_deadline_seconds
+
     async def _handle_query(self, request: QueryRequest) -> Dict[str, Any]:
         self._request_counters["query"].inc()
         started = time.perf_counter()
         trace = RequestTrace(op="query", request_id=request.id)
+        if self.draining:
+            self._errors.inc()
+            return error_response(
+                request.id, "draining", "daemon is draining; no new work accepted"
+            )
         if self.pending >= self.config.max_pending:
             self._overloaded.inc()
             return error_response(
@@ -261,14 +413,23 @@ class VerdictService:
         self.pending += 1
         self.peak_pending = max(self.peak_pending, self.pending)
         self._pending_gauge.set(self.pending)
+        deadline = self._deadline_seconds(request)
         try:
             with active(trace):
-                if request.session is not None:
-                    return await self._answer_session(request, trace)
-                with trace.span("resolve"):
-                    resolved = self.resolver.resolve(request)
-                trace.name = resolved.name
-                return await self._answer(request, resolved, trace)
+                work = self._dispatch_query(request, trace)
+                if deadline is not None:
+                    return await asyncio.wait_for(work, timeout=deadline)
+                return await work
+        except asyncio.TimeoutError:
+            self._errors.inc()
+            self._deadline_exceeded.inc()
+            trace.annotate(error="deadline-exceeded")
+            self.events.append("query-error", code="deadline-exceeded", id=request.id)
+            return error_response(
+                request.id,
+                "deadline-exceeded",
+                f"query abandoned at its {deadline:.3f}s deadline",
+            )
         except ProtocolError as error:
             self._errors.inc()
             trace.annotate(error=error.code)
@@ -288,6 +449,20 @@ class VerdictService:
             self._pending_gauge.set(self.pending)
             self._latency["query"].observe(time.perf_counter() - started)
             self.traces.record(trace)
+
+    async def _dispatch_query(
+        self, request: QueryRequest, trace: RequestTrace
+    ) -> Dict[str, Any]:
+        """The deadline-wrapped body of one query (session or static)."""
+        delay = self.faults.delay("slow-response")
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        if request.session is not None:
+            return await self._answer_session(request, trace)
+        with trace.span("resolve"):
+            resolved = self.resolver.resolve(request)
+        trace.name = resolved.name
+        return await self._answer(request, resolved, trace)
 
     #: Scenarios larger than this are not bulk-promoted (the first query
     #: would pay fingerprinting for every sibling instance).
@@ -316,25 +491,47 @@ class VerdictService:
         self, request: QueryRequest, resolved: ResolvedQuery, trace: RequestTrace
     ) -> Dict[str, Any]:
         start = time.perf_counter()
+        degraded = False
         with trace.span("lru"):
             hit = self.cache.lookup_lru(resolved.key)
         if hit is None and self.store is not None:
             # Tier 2 is disk I/O (and can wait out a concurrent writer's
             # lock): run it on the loop's default worker pool, not the loop.
             # The span measures the wait as the request saw it, executor
-            # queueing included.
+            # queueing included.  A store failure here degrades the answer
+            # (LRU -> compute still yields a correct verdict) and feeds the
+            # breaker; an open breaker skips the tier outright.
             loop = asyncio.get_running_loop()
             scenario = request.scenario
             with trace.span("store"):
-                if scenario is not None and scenario not in self._promoted_scenarios:
-                    self._promoted_scenarios.add(scenario)
-                    hit = await loop.run_in_executor(
-                        None, self._bulk_store_lookup, scenario, resolved.key
-                    )
+                if not self.breaker.allow():
+                    degraded = True
+                    self.cache.note_store_skipped()
                 else:
-                    hit = await loop.run_in_executor(
-                        None, self.cache.lookup_store, resolved.key
-                    )
+                    try:
+                        if (
+                            scenario is not None
+                            and scenario not in self._promoted_scenarios
+                        ):
+                            self._promoted_scenarios.add(scenario)
+                            hit = await loop.run_in_executor(
+                                None, self._bulk_store_lookup, scenario, resolved.key
+                            )
+                        else:
+                            hit = await loop.run_in_executor(
+                                None, self.cache.lookup_store, resolved.key
+                            )
+                    except Exception as error:  # noqa: BLE001 -- degrade, not die
+                        degraded = True
+                        hit = None
+                        self.cache.note_store_error("get", error)
+                        self.breaker.record_failure()
+                        self.events.append("store-get-failure", error=repr(error))
+                    else:
+                        self.breaker.record_success()
+        if degraded:
+            self._degraded.inc()
+            trace.annotate(degraded=True)
         if hit is not None:
             verdict, tier = hit
             trace.annotate(source=tier, key=resolved.key)
@@ -367,6 +564,7 @@ class VerdictService:
             name=resolved.name,
             seconds=result.seconds,
             trace=trace.breakdown(),
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------------
@@ -375,6 +573,11 @@ class VerdictService:
     async def _handle_mutate(self, request: MutateRequest) -> Dict[str, Any]:
         self._request_counters["mutate"].inc()
         started = time.perf_counter()
+        if self.draining:
+            self._errors.inc()
+            return error_response(
+                request.id, "draining", "daemon is draining; no new work accepted"
+            )
         if self.pending >= self.config.max_pending:
             self._overloaded.inc()
             return error_response(
@@ -386,12 +589,21 @@ class VerdictService:
         self.pending += 1
         self.peak_pending = max(self.peak_pending, self.pending)
         self._pending_gauge.set(self.pending)
+        deadline = self._deadline_seconds(request)
         try:
+            delay = self.faults.delay("slow-response")
+            if delay > 0.0:
+                await asyncio.sleep(delay)
             session, opened = self._session_for_mutate(request)
             loop = asyncio.get_running_loop()
-            applied, dirty, seconds = await loop.run_in_executor(
-                None, self._mutate_session, session, request
-            )
+            work = loop.run_in_executor(None, self._mutate_session, session, request)
+            if deadline is not None:
+                spent = time.perf_counter() - started
+                applied, dirty, seconds, deduped, journaled = await asyncio.wait_for(
+                    work, timeout=max(0.0, deadline - spent)
+                )
+            else:
+                applied, dirty, seconds, deduped, journaled = await work
             return mutate_response(
                 request.id,
                 session=request.session,
@@ -400,6 +612,20 @@ class VerdictService:
                 generation=session.mutable.compiled.generation,
                 seconds=seconds,
                 opened=opened,
+                deduped=deduped,
+                journaled=journaled,
+            )
+        except asyncio.TimeoutError:
+            self._errors.inc()
+            self._deadline_exceeded.inc()
+            self.events.append(
+                "mutate-error", code="deadline-exceeded", id=request.id
+            )
+            return error_response(
+                request.id,
+                "deadline-exceeded",
+                f"mutate abandoned at its {deadline:.3f}s deadline; "
+                "retry with the same token to learn its outcome",
             )
         except ProtocolError as error:
             self._errors.inc()
@@ -466,18 +692,36 @@ class VerdictService:
             resolved.instance,
             canonical=CanonicalVerdictCache(store=self.store, max_entries=65536),
         )
-        session = _DynamicSession(request.session, mutable)
+        opening: Dict[str, Any] = {}
+        if request.scenario is not None:
+            opening["scenario"] = request.scenario
+            if request.instance is not None:
+                opening["instance"] = request.instance
+            if request.index is not None:
+                opening["index"] = request.index
+        if request.spec is not None:
+            opening["spec"] = dict(request.spec)
+        session = _DynamicSession(request.session, mutable, opening=opening)
         self.sessions[request.session] = session
         self.sessions_opened += 1
         return session, True
 
     def _mutate_session(
         self, session: _DynamicSession, request: MutateRequest
-    ) -> Tuple[int, int, float]:
-        """Worker-thread body of a mutate: decode, apply atomically, count."""
+    ) -> Tuple[int, int, float, bool, bool]:
+        """Worker-thread body of a mutate: dedup, decode, apply, journal."""
         start = time.perf_counter()
         with session.lock:
             mutable = session.mutable
+            token = request.token
+            if token is not None:
+                cached = session.token_results.get(token)
+                if cached is not None:
+                    # A retry of a batch that already applied (the first
+                    # reply was lost): report the remembered outcome, do
+                    # not apply it twice.
+                    applied, dirty = cached
+                    return applied, dirty, time.perf_counter() - start, True, True
             try:
                 deltas = [
                     delta_from_wire(body, mutable.nodes) for body in request.deltas
@@ -488,7 +732,151 @@ class VerdictService:
             session.mutate_batches += 1
             session.deltas_applied += len(reports)
             dirty = sum(len(report.dirty) for report in reports)
-            return len(reports), dirty, time.perf_counter() - start
+            applied = len(reports)
+            if token is not None:
+                session.remember_token(token, applied, dirty)
+            journaled = self._journal_mutation(session, request, applied, dirty)
+            return applied, dirty, time.perf_counter() - start, False, journaled
+
+    def _journal_mutation(
+        self,
+        session: _DynamicSession,
+        request: MutateRequest,
+        applied: int,
+        dirty: int,
+    ) -> bool:
+        """Append one applied batch to the session's write-ahead journal.
+
+        Sequence 0 records the opening address; sequence n the n-th
+        applied batch in wire form (plus its outcome, so recovery rebuilds
+        the idempotency-token memory).  Runs on the worker thread under the
+        session lock, after the batch applied: every acknowledged mutation
+        is either journaled or honestly reported ``journaled: false``.
+        Once an append fails the journal is a divergent prefix -- later
+        batches are not appended either, so recovery never silently skips
+        a batch in the middle.
+        """
+        if self.store is None or session.journal_broken:
+            if session.journal_broken:
+                self._journal_skipped.inc()
+            return False
+        if not self.breaker.allow():
+            # This batch applied but will not be journaled: any journal
+            # written later would replay a divergent prefix, so stop.
+            self._journal_skipped.inc()
+            session.journal_broken = True
+            return False
+        entries: List[Tuple[int, Dict[str, Any]]] = []
+        if not session.journaled_open:
+            entries.append((0, {"kind": "open", "address": dict(session.opening)}))
+        batch_entry: Dict[str, Any] = {
+            "kind": "deltas",
+            "deltas": [dict(body) for body in request.deltas],
+            "applied": applied,
+            "dirty": dirty,
+        }
+        if request.token is not None:
+            batch_entry["token"] = request.token
+        entries.append((session.journal_seq, batch_entry))
+        try:
+            for seq, entry in entries:
+                self.store.journal_append(session.name, seq, entry)
+                if entry["kind"] == "open":
+                    session.journaled_open = True
+                else:
+                    session.journal_seq = seq + 1
+            self.breaker.record_success()
+            self._journal_appends.inc(len(entries))
+            return True
+        except Exception as error:  # noqa: BLE001 -- journaling is best-effort
+            session.journal_broken = True
+            self._count_store_put_failure(error)
+            return False
+
+    def recover_sessions(self) -> int:
+        """Replay journaled dynamic sessions from the store (post-crash).
+
+        Called once at startup, before serving.  Each journaled session is
+        reopened from its recorded address and every delta batch re-applied
+        in sequence; the rebuilt graph is content-addressed, so a later
+        ``query_session`` answers exactly what the pre-crash daemon would
+        have.  A journal that cannot be replayed (store trouble, an address
+        that no longer resolves) is skipped with an event -- recovery is
+        best-effort and must never stop the daemon from starting.
+        """
+        if self.store is None:
+            return 0
+        try:
+            names = self.store.journal_sessions()
+        except Exception as error:  # noqa: BLE001 -- recovery is best-effort
+            self.events.append("recover-failed", error=repr(error))
+            return 0
+        recovered = 0
+        for name in names:
+            if name in self.sessions:
+                continue
+            if len(self.sessions) >= self.config.max_sessions:
+                self.events.append("session-recover-skipped", session=name)
+                continue
+            try:
+                entries = self.store.journal_entries(name)
+                session = self._replay_journal(name, entries)
+            except Exception as error:  # noqa: BLE001 -- skip the bad journal
+                self.events.append(
+                    "session-recover-failed", session=name, error=repr(error)
+                )
+                continue
+            if session is None:
+                continue
+            self.sessions[name] = session
+            self.sessions_opened += 1
+            recovered += 1
+            self.events.append("session-recovered", session=name, entries=len(entries))
+        self.sessions_recovered += recovered
+        return recovered
+
+    def _replay_journal(
+        self, name: str, entries: List[Tuple[int, Dict[str, Any]]]
+    ) -> Optional[_DynamicSession]:
+        """One session rebuilt from its journal (None if it has no open)."""
+        if not entries or entries[0][1].get("kind") != "open":
+            return None
+        address = entries[0][1].get("address") or {}
+        resolved = self.resolver.resolve(
+            QueryRequest(
+                scenario=address.get("scenario"),
+                instance=address.get("instance"),
+                index=address.get("index"),
+                spec=address.get("spec"),
+            )
+        )
+        mutable = MutableInstance.from_game_instance(
+            resolved.instance,
+            canonical=CanonicalVerdictCache(store=self.store, max_entries=65536),
+        )
+        session = _DynamicSession(name, mutable, opening=dict(address), recovered=True)
+        session.journaled_open = True
+        last_seq = 0
+        for seq, entry in entries[1:]:
+            if entry.get("kind") != "deltas":
+                continue
+            deltas = [
+                delta_from_wire(body, mutable.nodes)
+                for body in entry.get("deltas", ())
+            ]
+            reports = mutable.apply_batch(deltas)
+            session.mutate_batches += 1
+            session.deltas_applied += len(reports)
+            token = entry.get("token")
+            if token:
+                session.remember_token(
+                    token,
+                    int(entry.get("applied", len(reports))),
+                    int(entry.get("dirty", 0)),
+                )
+            last_seq = max(last_seq, seq)
+        session.journal_seq = last_seq + 1
+        return session
 
     async def _answer_session(
         self, request: QueryRequest, trace: RequestTrace
@@ -520,6 +908,7 @@ class VerdictService:
         legitimately re-hits its old entry.
         """
         start = time.perf_counter()
+        degraded = False
         with session.lock:
             session.queries += 1
             mutable = session.mutable
@@ -528,9 +917,20 @@ class VerdictService:
                 key = mutable.key()
             with trace.span("lru"):
                 hit = self.cache.lookup_lru(key)
-            if hit is None:
+            if hit is None and self.store is not None:
                 with trace.span("store"):
-                    hit = self.cache.lookup_store(key)
+                    if not self.breaker.allow():
+                        degraded = True
+                        self.cache.note_store_skipped()
+                    else:
+                        try:
+                            hit = self.cache.lookup_store(key)
+                        except Exception as error:  # noqa: BLE001 -- degrade
+                            degraded = True
+                            self.cache.note_store_error("get", error)
+                            self.breaker.record_failure()
+                        else:
+                            self.breaker.record_success()
             if hit is not None:
                 verdict, tier = hit
                 mutable.note_verdict(verdict)
@@ -547,13 +947,32 @@ class VerdictService:
             with trace.span("repair"):
                 verdict = mutable.verdict()
             seconds = time.perf_counter() - start
-            self.cache.insert(key, verdict, name=mutable.name, seconds=seconds)
+            try:
+                if self.store is None or self.breaker.allow():
+                    self.cache.insert(key, verdict, name=mutable.name, seconds=seconds)
+                    if self.store is not None:
+                        self.breaker.record_success()
+                else:
+                    degraded = True
+                    self._store_writes_skipped.inc()
+                    self.cache.insert(
+                        key, verdict, name=mutable.name, seconds=seconds, persist=False
+                    )
+            except Exception as error:  # noqa: BLE001 -- the LRU already has it
+                degraded = True
+                self._count_store_put_failure(error)
             canonical = mutable.compiled.canonical
             if canonical is not None:
                 try:
-                    canonical.flush()
-                except Exception:  # noqa: BLE001 -- persistence is best-effort
-                    self._store_put_failures.inc()
+                    if self.store is None or self.breaker.allow():
+                        canonical.flush()
+                    else:
+                        canonical.drain_records()
+                except Exception as error:  # noqa: BLE001 -- best-effort
+                    self._count_store_put_failure(error)
+            if degraded:
+                self._degraded.inc()
+                trace.annotate(degraded=True)
             trace.annotate(source="dynamic", key=key)
             return query_response(
                 request.id,
@@ -563,6 +982,7 @@ class VerdictService:
                 name=mutable.name,
                 seconds=seconds,
                 trace=trace.breakdown(),
+                degraded=degraded,
             )
 
     # ------------------------------------------------------------------
@@ -570,6 +990,8 @@ class VerdictService:
         """Everything the ``stats`` request reports."""
         tiers = self.cache.stats()
         tiers["store"]["async_put_failures"] = self.store_put_failures
+        tiers["store"]["put_failures_by_error"] = dict(self._put_failures_by_error)
+        tiers["store"]["writes_skipped"] = int(self._store_writes_skipped.value)
         tiers["compute"] = self.compute.engine_stats()
         return {
             "uptime_seconds": round(time.perf_counter() - self._monotonic_start, 3),
@@ -587,15 +1009,49 @@ class VerdictService:
             "coalescer": self.coalescer.stats(),
             "latency": {op: hist.snapshot() for op, hist in self._latency.items()},
             "traces": self.traces.stats(),
+            "resilience": {
+                "breaker": self.breaker.snapshot(),
+                "faults": self.faults.snapshot(),
+                "degraded": self._degraded.value,
+                "deadline_exceeded": self._deadline_exceeded.value,
+                "draining": self.draining,
+                "sessions_recovered": self.sessions_recovered,
+                "journal_appends": self._journal_appends.value,
+                "journal_skipped": self._journal_skipped.value,
+            },
             "dynamic": {
                 "sessions": len(self.sessions),
                 "max_sessions": self.config.max_sessions,
                 "opened": self.sessions_opened,
+                "recovered": self.sessions_recovered,
                 "by_session": {
                     name: session.info() for name, session in self.sessions.items()
                 },
             },
         }
+
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting queries/mutates (stats and ping still answer)."""
+        if not self.draining:
+            self.draining = True
+            self.events.append("drain-begin", pending=self.pending)
+
+    async def drain(self, timeout: float = 5.0) -> None:
+        """Graceful drain: reject new work, finish everything in flight.
+
+        Already-admitted requests complete normally (the coalescer's
+        pending batches are flushed and awaited, not failed); once
+        *timeout* passes, whatever is still pending is left to
+        :meth:`close`'s fail-fast path.
+        """
+        self.begin_drain()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, timeout)
+        while self.pending > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        await self.coalescer.drain()
+        self.events.append("drain-end", pending=self.pending)
 
     async def close(self) -> None:
         if self._closed:
@@ -607,8 +1063,8 @@ class VerdictService:
             if canonical is not None and self.store is not None:
                 try:
                     canonical.flush()
-                except Exception:  # noqa: BLE001 -- persistence is best-effort
-                    self._store_put_failures.inc()
+                except Exception as error:  # noqa: BLE001 -- best-effort
+                    self._count_store_put_failure(error)
         if self._persist_futures:
             # Verdicts already answered to clients must reach the store
             # before it is closed (daemon restarts start warm).
@@ -636,6 +1092,9 @@ class VerdictServer:
         self._connections: set = set()
 
     async def start(self) -> Address:
+        # Crash recovery first: journaled dynamic sessions must be live
+        # again before the first client connects.
+        self.service.recover_sessions()
         if self.socket_path is not None:
             parent = os.path.dirname(os.path.abspath(self.socket_path))
             os.makedirs(parent, exist_ok=True)
@@ -657,11 +1116,22 @@ class VerdictServer:
         assert self._server is not None, "start() first"
         await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, drain_seconds: float = 0.0) -> None:
+        """Stop listening; optionally drain in-flight work first.
+
+        With ``drain_seconds > 0`` this is the graceful-shutdown path
+        (SIGTERM): the listener closes immediately so no new connections
+        arrive, admitted requests get up to that long to finish (new ones
+        are answered ``draining``), and only then are the remaining
+        connections cancelled and the service closed -- which flushes
+        pending persists and session canonicals to the store.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain_seconds > 0.0:
+            await self.service.drain(timeout=drain_seconds)
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -671,6 +1141,24 @@ class VerdictServer:
             os.unlink(self.socket_path)
 
     # ------------------------------------------------------------------
+    def _should_drop(self, text: str) -> bool:
+        """Does the ``conn-drop`` failpoint eat this request's reply?
+
+        Only data-plane requests (query/mutate) are dropped: the control
+        plane -- ``admin`` (to clear the faults!), ``stats``, ``ping`` --
+        stays reachable, so a chaos run can always observe and disarm.
+        """
+        faults = self.service.faults
+        if "conn-drop" not in faults.active():
+            return False
+        try:
+            op = json.loads(text).get("op")
+        except (ValueError, AttributeError):
+            op = None
+        if op in ("admin", "stats", "ping"):
+            return False
+        return faults.should_fire("conn-drop")
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -695,6 +1183,13 @@ class VerdictServer:
                 if not text:
                     continue
                 response_line = await self.service.handle_line(text)
+                if self._should_drop(text):
+                    # Chaos: hang up without answering, as a crashed peer
+                    # or cut network would.  The request itself completed.
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                    break
                 writer.write(response_line.encode("utf-8") + b"\n")
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):

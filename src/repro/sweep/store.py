@@ -96,6 +96,31 @@ class VerdictStore:
         """How many canonical node verdicts are persisted."""
         return 0
 
+    # ------------------------------------------------------------------
+    # Session journal (the dynamic sessions' write-ahead mutation log)
+    # ------------------------------------------------------------------
+    def journal_append(self, session: str, seq: int, entry: Dict) -> None:
+        """Persist journal *entry* number *seq* of dynamic session *session*.
+
+        Entry 0 records the session's opening address; entry ``n`` records
+        the ``n``-th applied delta batch in wire form.  Replaying entries in
+        sequence rebuilds the session's exact mutable state after a crash
+        (:meth:`repro.service.server.VerdictService.recover_sessions`).
+        Backends without journal support keep these no-op defaults --
+        sessions on such stores simply do not survive restarts.
+        """
+
+    def journal_entries(self, session: str) -> List[Tuple[int, Dict]]:
+        """All journaled ``(seq, entry)`` pairs of *session*, in order."""
+        return []
+
+    def journal_sessions(self) -> List[str]:
+        """Names of every session with at least one journal entry."""
+        return []
+
+    def journal_clear(self, session: str) -> None:
+        """Drop all journal entries of *session* (it was closed cleanly)."""
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -118,6 +143,7 @@ class MemoryVerdictStore(VerdictStore):
     def __init__(self) -> None:
         self._data: Dict[str, StoredVerdict] = {}
         self._nodes: Dict[str, bool] = {}
+        self._journal: Dict[str, Dict[int, Dict]] = {}
 
     def get(self, key: str) -> Optional[bool]:
         record = self._data.get(key)
@@ -135,6 +161,19 @@ class MemoryVerdictStore(VerdictStore):
 
     def node_count(self) -> int:
         return len(self._nodes)
+
+    def journal_append(self, session: str, seq: int, entry: Dict) -> None:
+        self._journal.setdefault(session, {})[int(seq)] = dict(entry)
+
+    def journal_entries(self, session: str) -> List[Tuple[int, Dict]]:
+        entries = self._journal.get(session, {})
+        return [(seq, dict(entries[seq])) for seq in sorted(entries)]
+
+    def journal_sessions(self) -> List[str]:
+        return sorted(self._journal)
+
+    def journal_clear(self, session: str) -> None:
+        self._journal.pop(session, None)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -188,6 +227,18 @@ class SQLiteVerdictStore(VerdictStore):
             "  key TEXT PRIMARY KEY,"
             "  verdict INTEGER NOT NULL,"
             "  created REAL NOT NULL"
+            ")"
+        )
+        # The dynamic sessions' write-ahead mutation journal: one row per
+        # (session, batch) with the batch in wire-JSON form.  Replayed by
+        # the daemon's recover_sessions() after a crash.
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS session_journal ("
+            "  session TEXT NOT NULL,"
+            "  seq INTEGER NOT NULL,"
+            "  entry TEXT NOT NULL,"
+            "  created REAL NOT NULL,"
+            "  PRIMARY KEY (session, seq)"
             ")"
         )
         self._connection.commit()
@@ -291,6 +342,37 @@ class SQLiteVerdictStore(VerdictStore):
         for key, verdict, name, seconds in rows:
             yield key, (bool(verdict), name, seconds)
 
+    def journal_append(self, session: str, seq: int, entry: Dict) -> None:
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO session_journal (session, seq, entry, created)"
+                " VALUES (?, ?, ?, ?)",
+                (session, int(seq), json.dumps(entry, sort_keys=True), time.time()),
+            )
+            self._connection.commit()
+
+    def journal_entries(self, session: str) -> List[Tuple[int, Dict]]:
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT seq, entry FROM session_journal WHERE session = ? ORDER BY seq",
+                (session,),
+            ).fetchall()
+        return [(int(seq), json.loads(entry)) for seq, entry in rows]
+
+    def journal_sessions(self) -> List[str]:
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT DISTINCT session FROM session_journal ORDER BY session"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def journal_clear(self, session: str) -> None:
+        with self._lock:
+            self._connection.execute(
+                "DELETE FROM session_journal WHERE session = ?", (session,)
+            )
+            self._connection.commit()
+
     def journal_mode(self) -> str:
         """The active journal mode (``"wal"`` for file-backed stores)."""
         with self._lock:
@@ -307,6 +389,14 @@ class JsonlVerdictStore(VerdictStore):
 
     The whole file is read once at open; later lines win on duplicate keys,
     so two stores can be merged by concatenation.
+
+    Crash safety: a process killed mid-append leaves a truncated final
+    line.  Opening detects that (the last line fails to parse *and* has no
+    trailing newline), keeps every complete record, and truncates the file
+    back to the last good byte -- ``truncated_bytes`` reports how much was
+    dropped.  A malformed line in the *middle* of the file is real
+    corruption, not a crash artifact, and still raises.  ``close()``
+    flushes and ``fsync``\\ s, so a cleanly closed store is durable.
     """
 
     def __init__(self, path: str) -> None:
@@ -316,25 +406,56 @@ class JsonlVerdictStore(VerdictStore):
         self._lock = threading.RLock()
         self._data: Dict[str, StoredVerdict] = {}
         self._nodes: Dict[str, bool] = {}
+        self._journal: Dict[str, Dict[int, Dict]] = {}
+        #: Bytes dropped from a truncated trailing line at open (0 = clean).
+        self.truncated_bytes = 0
         if os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    record = json.loads(line)
-                    # Canonical node verdicts ride in the same file as
-                    # kind-tagged lines; untagged lines (including every
-                    # pre-node-table store) are instance verdicts.
-                    if record.get("kind") == "node":
-                        self._nodes[record["key"]] = bool(record["verdict"])
-                        continue
-                    self._data[record["key"]] = (
-                        bool(record["verdict"]),
-                        record.get("name", ""),
-                        float(record.get("seconds", 0.0)),
-                    )
+            self._load(path)
         self._handle = open(path, "a", encoding="utf-8")
+
+    def _load(self, path: str) -> None:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        position = 0
+        good_end = 0
+        while position < len(raw):
+            newline = raw.find(b"\n", position)
+            end = len(raw) if newline < 0 else newline + 1
+            line = raw[position:end].strip()
+            if line:
+                try:
+                    self._apply_line(json.loads(line.decode("utf-8")))
+                except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                    if newline < 0:
+                        # An unterminated, unparsable final line: the
+                        # signature of a crash mid-append.  Drop it.
+                        break
+                    raise
+            position = end
+            good_end = end
+        self.truncated_bytes = len(raw) - good_end
+        if self.truncated_bytes:
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+
+    def _apply_line(self, record: Dict) -> None:
+        # Canonical node verdicts and session-journal entries ride in the
+        # same file as kind-tagged lines; untagged lines (including every
+        # pre-node-table store) are instance verdicts.
+        kind = record.get("kind")
+        if kind == "node":
+            self._nodes[record["key"]] = bool(record["verdict"])
+        elif kind == "journal":
+            session_entries = self._journal.setdefault(record["session"], {})
+            session_entries[int(record["seq"])] = dict(record["entry"])
+        elif kind == "journal-clear":
+            self._journal.pop(record["session"], None)
+        else:
+            self._data[record["key"]] = (
+                bool(record["verdict"]),
+                record.get("name", ""),
+                float(record.get("seconds", 0.0)),
+            )
 
     def get(self, key: str) -> Optional[bool]:
         with self._lock:
@@ -376,6 +497,38 @@ class JsonlVerdictStore(VerdictStore):
     def node_count(self) -> int:
         return len(self._nodes)
 
+    def journal_append(self, session: str, seq: int, entry: Dict) -> None:
+        with self._lock:
+            self._journal.setdefault(session, {})[int(seq)] = dict(entry)
+            self._handle.write(
+                json.dumps(
+                    {"kind": "journal", "session": session, "seq": int(seq), "entry": entry},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            self._handle.flush()
+
+    def journal_entries(self, session: str) -> List[Tuple[int, Dict]]:
+        with self._lock:
+            entries = self._journal.get(session, {})
+            return [(seq, dict(entries[seq])) for seq in sorted(entries)]
+
+    def journal_sessions(self) -> List[str]:
+        with self._lock:
+            return sorted(self._journal)
+
+    def journal_clear(self, session: str) -> None:
+        with self._lock:
+            if self._journal.pop(session, None) is None:
+                return
+            # A tombstone line, honored on the next load (append-only file).
+            self._handle.write(
+                json.dumps({"kind": "journal-clear", "session": session}, sort_keys=True)
+                + "\n"
+            )
+            self._handle.flush()
+
     def __len__(self) -> int:
         return len(self._data)
 
@@ -385,6 +538,10 @@ class JsonlVerdictStore(VerdictStore):
 
     def close(self) -> None:
         with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
             self._handle.close()
 
 
