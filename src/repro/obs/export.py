@@ -1,0 +1,120 @@
+"""Render retained request traces as Chrome trace-event JSON.
+
+The :class:`~repro.obs.trace.TraceLog` keeps the last few hundred
+requests' span breakdowns; this module turns them into the `trace event
+format <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+that ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+directly, so a slow query's resolve -> lru -> store -> coalesce -> engine
+breakdown can be inspected on a real timeline instead of a table.
+
+Mapping choices:
+
+* Each trace becomes one *track*: ``pid`` is the daemon process, ``tid``
+  is the trace id (Perfetto renders each tid as its own row).
+* The request itself is a complete ("X") event spanning ``total_ms``;
+  every span is a nested "X" event whose start comes from the span's
+  ``offset_ms`` when recorded (traces captured before offsets existed
+  fall back to laying spans end-to-end).
+* Timestamps and durations are **microseconds** (the format's unit),
+  based at the trace's wall-clock start so concurrent requests line up
+  against each other.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+#: Keys of a trace dict that are structure, not request-level annotations.
+_TRACE_STRUCTURE_KEYS = frozenset(
+    {"trace_id", "op", "id", "name", "started", "total_ms", "spans"}
+)
+_SPAN_STRUCTURE_KEYS = frozenset({"span", "ms", "offset_ms"})
+
+
+def trace_events(trace: Dict[str, Any], pid: int = 1) -> List[Dict[str, Any]]:
+    """The trace-event list for one TraceLog entry (a ``as_dict()`` dict)."""
+    tid = int(trace.get("trace_id") or 0)
+    base_us = float(trace.get("started") or 0.0) * 1e6
+    total_us = float(trace.get("total_ms") or 0.0) * 1000.0
+    request_id = trace.get("id")
+    op = str(trace.get("op") or "request")
+    title = trace.get("name") or request_id or tid
+    args = {
+        key: value
+        for key, value in trace.items()
+        if key not in _TRACE_STRUCTURE_KEYS and value is not None
+    }
+    if request_id is not None:
+        args["request_id"] = request_id
+    events: List[Dict[str, Any]] = [
+        {
+            "name": f"{op}:{title}",
+            "cat": op,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": base_us,
+            "dur": total_us,
+            "args": args,
+        }
+    ]
+    cursor_us = 0.0  # fallback layout for spans without offsets
+    for span in trace.get("spans") or []:
+        dur_us = float(span.get("ms") or 0.0) * 1000.0
+        offset_ms = span.get("offset_ms")
+        if offset_ms is not None:
+            start_us = float(offset_ms) * 1000.0
+        else:
+            start_us = cursor_us
+            cursor_us += dur_us
+        span_args = {
+            key: value
+            for key, value in span.items()
+            if key not in _SPAN_STRUCTURE_KEYS and value is not None
+        }
+        events.append(
+            {
+                "name": str(span.get("span") or "span"),
+                "cat": op,
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": base_us + start_us,
+                "dur": dur_us,
+                "args": span_args,
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    traces: Iterable[Dict[str, Any]],
+    pid: int = 1,
+    process_name: str = "repro verdict daemon",
+) -> Dict[str, Any]:
+    """A loadable Chrome trace document for a batch of TraceLog entries.
+
+    ``traces`` is typically ``TraceLog.snapshot()`` output (newest
+    first); events are emitted oldest first so the timeline reads
+    left-to-right.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    batch = list(traces)
+    batch.sort(key=lambda trace: float(trace.get("started") or 0.0))
+    for trace in batch:
+        events.extend(trace_events(trace, pid=pid))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_chrome_trace(traces: Iterable[Dict[str, Any]], **kwargs: Any) -> str:
+    """:func:`chrome_trace`, serialized (what the console and CLI write)."""
+    return json.dumps(chrome_trace(traces, **kwargs), default=str)

@@ -200,6 +200,8 @@ class ConsoleServer:
             return self._overview()
         if path == "/stats":
             return self._json(self.service.stats())
+        if path == "/stats/history":
+            return self._stats_history(params)
         if path == "/metrics":
             text = self.service.registry.render_prometheus()
             return 200, "text/plain; version=0.0.4; charset=utf-8", text.encode("utf-8")
@@ -211,8 +213,14 @@ class ConsoleServer:
             return await self._verdicts(params, as_json)
         if path == "/sessions":
             return self._sessions(as_json)
+        if path == "/traces/export.json":
+            return self._traces_export(params)
         if path == "/traces":
             return self._traces(params, as_json)
+        if path == "/profile":
+            return self._profile(params, as_json)
+        if path == "/bench":
+            return self._bench(params, as_json)
         raise _HttpError(404, f"no such page: {path}")
 
     def _json(self, payload: Any) -> Tuple[int, str, bytes]:
@@ -230,11 +238,15 @@ class ConsoleServer:
             f"<li><a href='{href}'>{html.escape(label)}</a></li>"
             for href, label in (
                 ("/stats", "stats (JSON)"),
+                ("/stats/history", "stats history (JSON samples)"),
                 ("/metrics", "metrics (Prometheus)"),
                 ("/scenarios", "scenarios"),
                 ("/verdicts", "stored verdicts"),
                 ("/sessions", "dynamic sessions"),
                 ("/traces", "recent traces"),
+                ("/traces/export.json", "trace export (Chrome/Perfetto)"),
+                ("/profile", "profiler (folded stacks)"),
+                ("/bench", "benchmark history"),
             )
         )
         summary = _table(
@@ -421,6 +433,83 @@ class ConsoleServer:
             _table(["id", "op", "name", "source", "total ms", "spans"], rows)
             if rows
             else "<p>No traces recorded yet.</p>",
+        )
+
+    def _stats_history(self, params: Dict[str, str]) -> Tuple[int, str, bytes]:
+        limit = _int_param(params, "limit", 120, 1000)
+        registry = self.service.registry
+        return self._json(
+            {"samples": registry.samples(limit), **registry.sample_stats()}
+        )
+
+    def _traces_export(self, params: Dict[str, str]) -> Tuple[int, str, bytes]:
+        from repro.obs.export import chrome_trace
+
+        limit = _int_param(params, "limit", 200, 500)
+        document = chrome_trace(self.service.traces.snapshot(limit))
+        body = json.dumps(document, default=str)
+        return 200, "application/json; charset=utf-8", body.encode("utf-8")
+
+    def _profile(self, params: Dict[str, str], as_json: bool) -> Tuple[int, str, bytes]:
+        profiler = getattr(self.service, "profiler", None)
+        if profiler is None:
+            raise _HttpError(404, "no profiler attached to this daemon")
+        if as_json:
+            top = _int_param(params, "top", 20, 200)
+            return self._json(profiler.snapshot(top))
+        # Default: raw folded stacks, one per line -- flamegraph.pl food.
+        folded = profiler.folded()
+        if not folded and not profiler.running:
+            folded = (
+                "# profiler not running -- start with `repro serve --profile-hz N`\n"
+                "# or the admin op: profile-start"
+            )
+        return 200, "text/plain; charset=utf-8", (folded + "\n").encode("utf-8")
+
+    def _bench(self, params: Dict[str, str], as_json: bool) -> Tuple[int, str, bytes]:
+        import os
+        from pathlib import Path
+
+        from repro.obs import history as bench_history
+
+        # Resolved per request so the page tracks whatever directory the
+        # benchmarks are writing to right now.
+        base = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
+        history_path = base / bench_history.DEFAULT_HISTORY_FILENAME
+        records = bench_history.read_history(history_path)
+        limit = _int_param(params, "limit", 50, 500)
+        records = records[-limit:]
+        if as_json:
+            return self._json({"path": str(history_path), "records": records})
+        if not records:
+            return self._html(
+                "Benchmark history",
+                f"<p>No records at {html.escape(str(history_path))}. "
+                "Run <code>repro bench --collect</code> to append one.</p>",
+            )
+        newest = records[-1]
+        rows = []
+        for spec in bench_history.TRACKED_METRICS:
+            series = bench_history.metric_series(records, spec.name)
+            if not series:
+                continue
+            rows.append(
+                [
+                    html.escape(spec.name),
+                    html.escape(spec.direction),
+                    f"{series[-1]:g}",
+                    html.escape(bench_history.sparkline(series, width=40)),
+                    str(len(series)),
+                ]
+            )
+        meta = (
+            f"<p>{len(records)} records; newest "
+            f"{html.escape(str(newest.get('git_sha', '?')))[:12]} at "
+            f"{html.escape(str(newest.get('ts', '?')))}.</p>"
+        )
+        return self._html(
+            "Benchmark history",
+            meta + _table(["metric", "direction", "latest", "trend", "n"], rows),
         )
 
     def _pager(self, base: str, page: int, per_page: int, more: bool) -> str:

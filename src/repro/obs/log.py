@@ -1,0 +1,156 @@
+"""Structured JSON-lines logging with request correlation.
+
+One event per line, each a JSON object: timestamp, level, logger name,
+a typed ``event`` string, and whatever fields the call site attached.
+The serving stack used to mix ad-hoc ``print(..., file=sys.stderr)``
+with silently swallowed degradations; this module replaces both with
+events a human can grep and a pipeline can parse::
+
+    {"ts": 1754640000.12, "level": "warning", "logger": "repro.service",
+     "event": "breaker-transition", "old": "closed", "new": "open"}
+
+**Correlation is automatic.**  When a log call happens inside an active
+:class:`~repro.obs.trace.RequestTrace` (the daemon activates one per
+request), the emitted line carries that trace's ``trace_id`` and
+``request_id`` -- and the session name, when the trace was annotated with
+one -- so a stream of interleaved events can be re-threaded per request
+without any call site passing ids around.
+
+The level threshold is process-wide and cheap to consult: a suppressed
+``debug`` call costs one dict lookup and one comparison, so hot paths
+(fault firings under chaos load) may log freely.  Configure via
+:func:`configure` (``repro serve --log-level``) or the
+``REPRO_LOG_LEVEL`` environment variable; the default is ``info``.
+Events go to ``stderr`` unless a stream is configured -- tests pass a
+``StringIO`` and assert on parsed lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from repro.obs.trace import current_trace
+
+#: Level names in ascending severity, mapped to numeric thresholds.
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: Environment variable consulted for the default threshold.
+LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+_lock = threading.Lock()
+_loggers: Dict[str, "StructuredLogger"] = {}
+
+
+class _Config:
+    """The process-wide sink and threshold (mutated only via configure)."""
+
+    __slots__ = ("threshold", "stream")
+
+    def __init__(self) -> None:
+        self.threshold = LEVELS.get(
+            os.environ.get(LEVEL_ENV_VAR, "info").strip().lower(), LEVELS["info"]
+        )
+        self.stream: Optional[TextIO] = None  # None -> sys.stderr at emit time
+
+
+_config = _Config()
+
+
+def configure(
+    level: Optional[str] = None, stream: Optional[TextIO] = None
+) -> None:
+    """Set the process-wide log level and/or sink.
+
+    ``level`` is one of ``debug``/``info``/``warning``/``error`` (case
+    insensitive); unknown names raise ``ValueError`` so a mistyped
+    ``--log-level`` fails loudly instead of silencing everything.
+    ``stream=None`` leaves the sink unchanged; the initial sink is
+    ``sys.stderr`` resolved at emit time (so pytest's capture works).
+    """
+    with _lock:
+        if level is not None:
+            name = level.strip().lower()
+            if name not in LEVELS:
+                raise ValueError(
+                    f"unknown log level {level!r}; known: {', '.join(LEVELS)}"
+                )
+            _config.threshold = LEVELS[name]
+        if stream is not None:
+            _config.stream = stream
+
+
+def level_name() -> str:
+    """The current threshold's name (for startup banners and tests)."""
+    for name, value in LEVELS.items():
+        if value == _config.threshold:
+            return name
+    return str(_config.threshold)
+
+
+class StructuredLogger:
+    """A named emitter of JSON-line events (cheap when below threshold)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        severity = LEVELS.get(level, LEVELS["info"])
+        if severity < _config.threshold:
+            return
+        body: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        trace = current_trace()
+        if trace is not None:
+            body["trace_id"] = trace.trace_id
+            if trace.request_id is not None:
+                body["request_id"] = trace.request_id
+            session = trace.annotations.get("session")
+            if session is not None:
+                body["session"] = session
+        body.update(fields)
+        try:
+            line = json.dumps(body, default=str, separators=(",", ":"))
+        except (TypeError, ValueError):  # pragma: no cover -- default=str covers it
+            line = json.dumps({"ts": body["ts"], "level": level,
+                               "logger": self.name, "event": event})
+        stream = _config.stream if _config.stream is not None else sys.stderr
+        with _lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):  # pragma: no cover -- closed sink
+                pass
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The (cached) logger registered under *name*."""
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = StructuredLogger(name)
+            _loggers[name] = logger
+        return logger

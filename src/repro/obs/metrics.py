@@ -317,9 +317,14 @@ class MetricsRegistry:
     process never share counters.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sample_capacity: int = 256) -> None:
+        if sample_capacity < 1:
+            raise ValueError("sample_capacity must be positive")
         self._lock = threading.Lock()
         self._instruments: Dict[Tuple[str, LabelSet], Any] = {}
+        self.sample_capacity = sample_capacity
+        self._samples: deque = deque(maxlen=sample_capacity)
+        self._samples_total = 0
 
     # ------------------------------------------------------------------
     def _get_or_create(self, cls, name: str, labels, help: str, **kwargs):
@@ -363,6 +368,48 @@ class MetricsRegistry:
         help: str = "",
     ) -> EventLog:
         return self._get_or_create(EventLog, name, labels, help, capacity=capacity)
+
+    # ------------------------------------------------------------------
+    # Snapshot sample ring: the time dimension of the registry.  Each
+    # stats poll records a compact sample; the bounded ring powers the
+    # console's /stats/history page and the sparklines in ``repro top``.
+    # ------------------------------------------------------------------
+    def record_sample(self, sample: Mapping[str, Any]) -> Dict[str, Any]:
+        """Append a timestamped snapshot sample (evicting the oldest)."""
+        entry = {"time": time.time(), **sample}
+        with self._lock:
+            self._samples.append(entry)
+            self._samples_total += 1
+        return entry
+
+    @property
+    def samples_total(self) -> int:
+        return self._samples_total
+
+    @property
+    def samples_dropped(self) -> int:
+        """How many samples the ring evicted (EventLog-style accounting)."""
+        with self._lock:
+            return self._samples_total - len(self._samples)
+
+    def samples(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Retained samples, oldest first (``limit`` keeps the newest tail)."""
+        with self._lock:
+            entries = list(self._samples)
+        if limit is not None and limit >= 0:
+            entries = entries[-limit:] if limit else []
+        return entries
+
+    def sample_stats(self) -> Dict[str, Any]:
+        with self._lock:
+            retained = len(self._samples)
+            recorded = self._samples_total
+        return {
+            "capacity": self.sample_capacity,
+            "retained": retained,
+            "recorded": recorded,
+            "dropped": recorded - retained,
+        }
 
     # ------------------------------------------------------------------
     def collect(self) -> List[Any]:

@@ -1,0 +1,230 @@
+"""Continuous sampling profiler: where is the daemon's CPU going *now*?
+
+A :class:`SamplingProfiler` runs a background daemon thread that wakes
+``hz`` times a second, snapshots every thread's current Python stack via
+``sys._current_frames()``, and aggregates the stacks into folded-stack
+counts -- the ``a;b;c 42`` format flamegraph tooling eats directly.  It
+also keeps per-frame tallies:
+
+* **self samples** -- how often a frame was on *top* of a sampled stack
+  (the code actually executing), and
+* **cumulative samples** -- how often it appeared *anywhere* on a stack
+  (itself or a callee executing).
+
+Dividing by the sampling rate turns counts into estimated seconds, which
+is how :meth:`top` rows line up with the cProfile-based ``repro
+profile`` report (``tottime`` ~ self seconds, ``cumtime`` ~ cumulative
+seconds).
+
+Unlike cProfile this is always-on-capable: the cost is one stack walk
+per thread per tick, independent of call volume, so the daemon can run
+it in production (``repro serve --profile-hz 97``) or an operator can
+toggle it on a live process through the admin op and read the result at
+the console's ``/profile`` page.  Use a prime-ish hz (97, 199) so the
+sampling clock does not phase-lock with periodic work.
+
+The aggregate is bounded: at most ``max_stacks`` distinct folded stacks
+are retained; samples whose stack is novel past that point are counted
+in ``stacks_dropped`` (the per-frame tallies still include them, so
+``top`` stays accurate even when the folded text is clipped).
+"""
+
+from __future__ import annotations
+
+import os.path
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _frame_label(frame: Any) -> str:
+    code = frame.f_code
+    return f"{os.path.basename(code.co_filename)}:{code.co_name}:{code.co_firstlineno}"
+
+
+class SamplingProfiler:
+    """Aggregating wall-clock stack sampler for every Python thread."""
+
+    def __init__(self, hz: float = 97.0, max_stacks: int = 20000) -> None:
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        if max_stacks < 1:
+            raise ValueError("max_stacks must be positive")
+        self.hz = float(hz)
+        self.max_stacks = max_stacks
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started_at: Optional[float] = None
+        self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self._stacks: Dict[str, int] = {}
+        self._self_counts: Dict[str, int] = {}
+        self._cum_counts: Dict[str, int] = {}
+        self._frames: Dict[str, Tuple[str, int, str]] = {}
+        self._samples = 0
+        self._stacks_dropped = 0
+        self._threads_seen: set = set()
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, hz: Optional[float] = None) -> bool:
+        """Begin sampling (resets any previous aggregate).
+
+        Returns ``False`` if the profiler was already running -- the
+        running session is left undisturbed, matching what an operator
+        issuing a redundant ``profile-start`` would want.
+        """
+        with self._lock:
+            if self.running:
+                return False
+            if hz is not None:
+                if hz <= 0:
+                    raise ValueError("hz must be positive")
+                self.hz = float(hz)
+            self._reset_locked()
+            self._stop.clear()
+            self._started_at = time.perf_counter()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-profiler", daemon=True
+            )
+            self._thread.start()
+            return True
+
+    def stop(self) -> bool:
+        """Stop sampling; the aggregate stays readable. False if idle."""
+        with self._lock:
+            thread = self._thread
+            if thread is None:
+                return False
+            self._stop.set()
+        thread.join(timeout=2.0)
+        with self._lock:
+            if self._started_at is not None:
+                self._elapsed += time.perf_counter() - self._started_at
+                self._started_at = None
+            self._thread = None
+        return True
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_ident = threading.get_ident()
+        while not self._stop.wait(interval):
+            self._sample(exclude={own_ident})
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_once(self) -> int:
+        """Take one sample of all *other* threads, synchronously.
+
+        Deterministic entry point for tests; returns the number of
+        thread stacks folded into the aggregate by this call.
+        """
+        return self._sample(exclude={threading.get_ident()})
+
+    def _sample(self, exclude: set) -> int:
+        frames = sys._current_frames()
+        folded_stacks: List[Tuple[str, List[str]]] = []
+        for ident, frame in frames.items():
+            if ident in exclude:
+                continue
+            labels: List[str] = []
+            depth = 0
+            while frame is not None and depth < 128:
+                labels.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            if not labels:
+                continue
+            labels.reverse()  # root first
+            folded_stacks.append((";".join(labels), labels))
+            self._threads_seen.add(ident)
+        with self._lock:
+            for folded, labels in folded_stacks:
+                self._samples += 1
+                if folded in self._stacks:
+                    self._stacks[folded] += 1
+                elif len(self._stacks) < self.max_stacks:
+                    self._stacks[folded] = 1
+                else:
+                    self._stacks_dropped += 1
+                # Leaf frame is the executing one.
+                leaf = labels[-1]
+                self._self_counts[leaf] = self._self_counts.get(leaf, 0) + 1
+                for label in set(labels):
+                    self._cum_counts[label] = self._cum_counts.get(label, 0) + 1
+        return len(folded_stacks)
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def _duration_locked(self) -> float:
+        duration = self._elapsed
+        if self._started_at is not None:
+            duration += time.perf_counter() - self._started_at
+        return duration
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "running": self.running,
+                "hz": self.hz,
+                "samples": self._samples,
+                "threads": len(self._threads_seen),
+                "stacks": len(self._stacks),
+                "stacks_dropped": self._stacks_dropped,
+                "duration_seconds": round(self._duration_locked(), 3),
+            }
+
+    def folded(self) -> str:
+        """The aggregate as folded-stack text (one ``stack count`` per line)."""
+        with self._lock:
+            items = sorted(self._stacks.items(), key=lambda kv: -kv[1])
+        return "\n".join(f"{stack} {count}" for stack, count in items)
+
+    def top(self, n: int = 20, sort: str = "cumulative") -> List[Dict[str, Any]]:
+        """The hottest frames, as rows shaped like ``repro profile --json``.
+
+        ``sort`` is ``"cumulative"`` (default, matches cProfile's
+        ``cumtime`` ordering) or ``"self"`` (~ ``tottime``).
+        """
+        if sort not in ("cumulative", "self"):
+            raise ValueError("sort must be 'cumulative' or 'self'")
+        with self._lock:
+            labels = set(self._cum_counts)
+            rows = []
+            for label in labels:
+                file, func, line = label.rsplit(":", 2) if label.count(":") >= 2 else (label, "?", "0")
+                self_samples = self._self_counts.get(label, 0)
+                cum_samples = self._cum_counts.get(label, 0)
+                rows.append(
+                    {
+                        "file": file,
+                        "line": int(line) if line.isdigit() else 0,
+                        "function": func,
+                        "self_samples": self_samples,
+                        "cum_samples": cum_samples,
+                        "self_seconds": round(self_samples / self.hz, 4),
+                        "cum_seconds": round(cum_samples / self.hz, 4),
+                    }
+                )
+        key = "cum_samples" if sort == "cumulative" else "self_samples"
+        rows.sort(key=lambda row: (-row[key], row["file"], row["function"]))
+        return rows[:n]
+
+    def snapshot(self, top: int = 20) -> Dict[str, Any]:
+        """Everything a remote reader needs: status + folded text + top-N."""
+        body = self.status()
+        body["folded"] = self.folded()
+        body["top_self"] = self.top(top, sort="self")
+        body["top_cumulative"] = self.top(top, sort="cumulative")
+        return body

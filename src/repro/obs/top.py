@@ -22,6 +22,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional
 
+from repro.obs.history import sparkline
 from repro.obs.http import DEFAULT_HTTP_PORT
 
 #: Clear screen + home: the whole frame is rewritten every refresh.
@@ -37,9 +38,26 @@ def fetch_stats(url: str, timeout: float = 5.0) -> Dict[str, Any]:
         return json.loads(response.read().decode("utf-8"))
 
 
+def restarted(now: Dict[str, Any], prev: Optional[Dict[str, Any]]) -> bool:
+    """Did the daemon restart between these two snapshots?
+
+    ``since_monotonic`` is ``time.perf_counter()`` -- machine-wide
+    monotonic on Linux, so it usually *survives* a daemon restart; the
+    reliable restart tell is ``uptime_seconds`` going backwards.  Both
+    are checked: either signal means every counter reset to zero, and
+    rates computed across the boundary would come out negative (clamped
+    to a misleading 0.0 before this check existed).
+    """
+    if prev is None:
+        return False
+    if float(now.get("since_monotonic", 0.0)) < float(prev.get("since_monotonic", 0.0)):
+        return True
+    return float(now.get("uptime_seconds", 0.0)) < float(prev.get("uptime_seconds", 0.0))
+
+
 def _rate(now: Dict[str, Any], prev: Optional[Dict[str, Any]], *path: str) -> float:
     """Per-second rate of a counter between two snapshots (0.0 on the first)."""
-    if prev is None:
+    if prev is None or restarted(now, prev):
         return 0.0
     dt = float(now.get("since_monotonic", 0.0)) - float(prev.get("since_monotonic", 0.0))
     if dt <= 0.0:
@@ -65,9 +83,62 @@ def _ms(seconds: Any) -> str:
     return f"{float(seconds) * 1000.0:8.2f}ms" if seconds is not None else "       -"
 
 
-def render(stats: Dict[str, Any], prev: Optional[Dict[str, Any]] = None) -> str:
+def qps_series(samples: List[Dict[str, Any]]) -> List[float]:
+    """Query rates between consecutive history samples (oldest first).
+
+    Pairs that straddle a daemon restart (non-positive server-clock
+    delta or a counter going backwards) are skipped, not emitted as
+    zeros -- a restart is a gap in the series, not a stall.
+    """
+    rates: List[float] = []
+    for older, newer in zip(samples, samples[1:]):
+        dt = float(newer.get("since_monotonic", 0.0)) - float(
+            older.get("since_monotonic", 0.0)
+        )
+        delta = float(newer.get("queries", 0)) - float(older.get("queries", 0))
+        if dt <= 0.0 or delta < 0:
+            continue
+        rates.append(delta / dt)
+    return rates
+
+
+def _history_lines(history: Optional[Dict[str, Any]]) -> List[str]:
+    """Sparkline rows from a ``/stats/history`` payload (empty if absent)."""
+    if not history:
+        return []
+    samples = history.get("samples") or []
+    if len(samples) < 2:
+        return []
+    lines: List[str] = []
+    rates = qps_series(samples)
+    if rates:
+        lines.append(
+            f"{_DIM}history   qps  {sparkline(rates, width=48)}  "
+            f"now {rates[-1]:7.1f}/s{_RESET}"
+        )
+    p99s = [
+        float(sample["query_p99_ms"])
+        for sample in samples
+        if sample.get("query_p99_ms") is not None
+    ]
+    if p99s:
+        lines.append(
+            f"{_DIM}          p99  {sparkline(p99s, width=48)}  "
+            f"now {p99s[-1]:6.2f}ms{_RESET}"
+        )
+    return lines
+
+
+def render(
+    stats: Dict[str, Any],
+    prev: Optional[Dict[str, Any]] = None,
+    history: Optional[Dict[str, Any]] = None,
+) -> str:
     """The dashboard frame for one snapshot (pure; no I/O, no ANSI clear)."""
     lines: List[str] = []
+    was_restarted = restarted(stats, prev)
+    if was_restarted:
+        prev = None  # counters reset: this poll is a fresh baseline
     requests = stats.get("requests", {})
     tiers = stats.get("tiers", {})
     lru = tiers.get("lru", {})
@@ -176,12 +247,25 @@ def render(stats: Dict[str, Any], prev: Optional[Dict[str, Any]] = None) -> str:
                 f"{info.get('mutate_batches', 0):>5} mutate batches  "
                 f"{info.get('deltas_applied', 0):>6} deltas"
             )
+    history_rows = _history_lines(history)
+    if history_rows:
+        lines.append("")
+        lines.extend(history_rows)
     traces = stats.get("traces", {})
     lines.append("")
-    lines.append(
+    profiler = stats.get("profiler") or {}
+    trace_line = (
         f"{_DIM}traces retained {traces.get('retained', 0)}/{traces.get('capacity', 0)} "
-        f"({traces.get('recorded', 0)} recorded){_RESET}"
+        f"({traces.get('recorded', 0)} recorded)"
     )
+    if profiler.get("running"):
+        trace_line += (
+            f"   profiler {profiler.get('hz', 0):g}hz "
+            f"{profiler.get('samples', 0)} samples"
+        )
+    lines.append(trace_line + _RESET)
+    if was_restarted:
+        lines.append(f"{_DIM}(daemon restarted -- rates reset){_RESET}")
     return "\n".join(lines)
 
 
@@ -197,7 +281,9 @@ def run_top(
     address = connect or f"127.0.0.1:{DEFAULT_HTTP_PORT}"
     if "://" not in address:
         address = f"http://{address}"
-    url = address.rstrip("/") + "/stats"
+    base = address.rstrip("/")
+    url = base + "/stats"
+    history_url = base + "/stats/history?limit=120"
     prev: Optional[Dict[str, Any]] = None
     refreshes = 0
     try:
@@ -207,11 +293,17 @@ def run_top(
             except (urllib.error.URLError, OSError, ValueError) as error:
                 print(f"cannot fetch {url}: {error}", file=sys.stderr)
                 return 1
-            frame = render(stats, prev)
+            try:
+                history = fetch_stats(history_url)
+            except (urllib.error.URLError, OSError, ValueError):
+                history = None  # older daemon without the endpoint
+            frame = render(stats, prev, history=history)
             if once or count is not None:
                 print(frame, file=out)
             else:
                 print(_CLEAR + frame, file=out, flush=True)
+            # A restart frame rendered with a fresh baseline; either way
+            # this snapshot is the baseline for the next poll.
             prev = stats
             refreshes += 1
             if once or (count is not None and refreshes >= count):

@@ -40,17 +40,31 @@ _trace_ids = itertools.count(1)
 
 
 class SpanRecord:
-    """One timed section of a trace (name, seconds, free-form metadata)."""
+    """One timed section of a trace (name, seconds, free-form metadata).
 
-    __slots__ = ("name", "seconds", "meta")
+    ``offset`` is the span's start, in seconds from the trace's start --
+    what lets the Chrome trace export (:mod:`repro.obs.export`) place the
+    span on a timeline instead of just summing durations.
+    """
 
-    def __init__(self, name: str, seconds: float, meta: Optional[Dict[str, Any]] = None) -> None:
+    __slots__ = ("name", "seconds", "meta", "offset")
+
+    def __init__(
+        self,
+        name: str,
+        seconds: float,
+        meta: Optional[Dict[str, Any]] = None,
+        offset: Optional[float] = None,
+    ) -> None:
         self.name = name
         self.seconds = seconds
         self.meta = meta or {}
+        self.offset = offset
 
     def as_dict(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {"span": self.name, "ms": round(self.seconds * 1000.0, 4)}
+        if self.offset is not None:
+            body["offset_ms"] = round(self.offset * 1000.0, 4)
         if self.meta:
             body.update(self.meta)
         return body
@@ -81,9 +95,15 @@ class RequestTrace:
         self.spans: List[SpanRecord] = []
 
     # ------------------------------------------------------------------
-    def add_span(self, name: str, seconds: float, **meta: Any) -> None:
+    def add_span(
+        self, name: str, seconds: float, offset: Optional[float] = None, **meta: Any
+    ) -> None:
+        if offset is None:
+            # The span just ended: its start is "now minus its duration",
+            # relative to the trace's own start.
+            offset = max(0.0, time.perf_counter() - self._started - seconds)
         with self._lock:
-            self.spans.append(SpanRecord(name, seconds, meta or None))
+            self.spans.append(SpanRecord(name, seconds, meta or None, offset=offset))
 
     @contextmanager
     def span(self, name: str, **meta: Any) -> Iterator["RequestTrace"]:
@@ -91,7 +111,12 @@ class RequestTrace:
         try:
             yield self
         finally:
-            self.add_span(name, time.perf_counter() - start, **meta)
+            self.add_span(
+                name,
+                time.perf_counter() - start,
+                offset=max(0.0, start - self._started),
+                **meta,
+            )
 
     def annotate(self, **fields: Any) -> None:
         """Attach request-level metadata (tier served from, verdict, key)."""
@@ -166,7 +191,12 @@ def span(name: str, **meta: Any) -> Iterator[Optional[RequestTrace]]:
     try:
         yield trace
     finally:
-        trace.add_span(name, time.perf_counter() - start, **meta)
+        trace.add_span(
+            name,
+            time.perf_counter() - start,
+            offset=max(0.0, start - trace._started),
+            **meta,
+        )
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,8 @@ def add_service_commands(commands: argparse._SubParsersAction) -> None:
     serve.add_argument("--breaker-reset", type=float, default=5.0, help="seconds an open breaker waits before a half-open probe")
     serve.add_argument("--deadline-ms", type=int, default=None, help="default server-side deadline per request (requests may carry their own)")
     serve.add_argument("--drain-seconds", type=float, default=5.0, help="graceful-drain budget on SIGTERM/SIGINT (0: stop immediately)")
+    serve.add_argument("--profile-hz", type=float, default=None, metavar="HZ", help="start the continuous sampling profiler at this rate (view at /profile; also controllable live via the admin op)")
+    serve.add_argument("--log-level", choices=("debug", "info", "warning", "error"), default=None, help="structured-log threshold (default: REPRO_LOG_LEVEL env or info)")
     serve.set_defaults(handler=_command_serve)
 
     query = commands.add_parser("query", help="ask a running daemon who wins one game")
@@ -92,11 +94,22 @@ def add_service_commands(commands: argparse._SubParsersAction) -> None:
     top.add_argument("--count", type=int, default=None, help="exit after this many refreshes")
     top.set_defaults(handler=_command_top)
 
+    trace = commands.add_parser("trace", help="export a daemon's recent traces as Chrome trace-event JSON (Perfetto-loadable)")
+    trace.add_argument("--connect", default=None, metavar="ADDR", help="HTTP console address (host:port; default 127.0.0.1:7465)")
+    trace.add_argument("--export", default="-", metavar="FILE", help="write the trace JSON here ('-': stdout)")
+    trace.add_argument("--limit", type=int, default=200, help="most recent traces to export (max 500)")
+    trace.set_defaults(handler=_command_trace)
+
 
 # ----------------------------------------------------------------------
 # serve
 # ----------------------------------------------------------------------
 async def _serve(args: argparse.Namespace) -> int:
+    from repro.obs.log import configure as configure_logging, get_logger
+
+    if args.log_level is not None:
+        configure_logging(level=args.log_level)
+    log = get_logger("repro.serve")
     config = ServiceConfig(
         lru_size=args.lru_size,
         window_seconds=args.window_ms / 1000.0,
@@ -107,29 +120,32 @@ async def _serve(args: argparse.Namespace) -> int:
         default_deadline_seconds=(
             args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
         ),
+        profile_hz=args.profile_hz,
     )
     service = VerdictService(store=args.store, config=config)
     if args.faults:
         service.faults.configure_spec(args.faults)
-        print(f"fault injection armed: {args.faults}", file=sys.stderr)
+        log.info("faults-armed", spec=args.faults)
     server = VerdictServer(
         service, host=args.host, port=args.port, socket_path=args.socket
     )
     address = await server.start()
-    print(f"verdict service listening on {format_address(address)}", file=sys.stderr)
+    log.info("listening", address=format_address(address))
     console = None
     if args.http is not None:
         from repro.obs.http import ConsoleServer
 
         console = ConsoleServer(service, host=args.http_host, port=args.http)
         http_host, http_port = await console.start()
-        print(
-            f"operations console on http://{http_host}:{http_port}/ "
-            "(/stats /metrics /scenarios /verdicts /sessions /traces)",
-            file=sys.stderr,
+        log.info(
+            "console-started",
+            url=f"http://{http_host}:{http_port}/",
+            pages="/stats /metrics /profile /traces /bench",
         )
     if args.store:
-        print(f"verdict store: {args.store}", file=sys.stderr)
+        log.info("store-attached", store=args.store)
+    if args.profile_hz is not None:
+        log.info("profiler-started", hz=args.profile_hz)
 
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
@@ -149,7 +165,7 @@ async def _serve(args: argparse.Namespace) -> int:
         # Graceful drain: stop listening, answer in-flight requests, then
         # flush pending store writes inside service.close().
         await server.stop(drain_seconds=max(0.0, args.drain_seconds))
-    print("verdict service stopped", file=sys.stderr)
+    log.info("stopped")
     return 0
 
 
@@ -257,3 +273,37 @@ def _command_top(args: argparse.Namespace) -> int:
         once=args.once,
         count=args.count,
     )
+
+
+# ----------------------------------------------------------------------
+# trace export
+# ----------------------------------------------------------------------
+def _command_trace(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.http import DEFAULT_HTTP_PORT
+
+    address = args.connect or f"127.0.0.1:{DEFAULT_HTTP_PORT}"
+    if "://" not in address:
+        address = f"http://{address}"
+    limit = max(1, min(args.limit, 500))
+    url = f"{address.rstrip('/')}/traces/export.json?limit={limit}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            document = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as error:
+        print(f"cannot fetch {url}: {error}", file=sys.stderr)
+        return 1
+    if args.export == "-":
+        print(document)
+    else:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        events = len(json.loads(document).get("traceEvents", []))
+        print(
+            f"wrote {events} trace events to {args.export} "
+            "(load at https://ui.perfetto.dev or chrome://tracing)",
+            file=sys.stderr,
+        )
+    return 0

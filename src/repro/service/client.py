@@ -311,6 +311,19 @@ class ServiceClient:
         """Disarm every failpoint on the live daemon."""
         return self.admin("clear-faults")["faults"]
 
+    def profile_start(self, hz: Optional[float] = None) -> Dict[str, Any]:
+        """Begin continuous stack sampling on the daemon (status returned)."""
+        spec = None if hz is None else str(hz)
+        return self.admin("profile-start", spec=spec)["profile"]
+
+    def profile_stop(self) -> Dict[str, Any]:
+        """Stop the daemon's sampling profiler (its aggregate stays readable)."""
+        return self.admin("profile-stop")["profile"]
+
+    def profile_snapshot(self) -> Dict[str, Any]:
+        """The profiler's aggregate: folded stacks plus top-N frames."""
+        return self.admin("profile-snapshot")["profile"]
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release the connection; safe to call twice or after a break."""

@@ -232,18 +232,32 @@ class PingRequest:
 
 
 #: Actions the ``admin`` op accepts.
-ADMIN_ACTIONS = ("faults", "set-faults", "clear-faults")
+ADMIN_ACTIONS = (
+    "faults",
+    "set-faults",
+    "clear-faults",
+    "profile-start",
+    "profile-stop",
+    "profile-snapshot",
+)
 
 
 @dataclass(frozen=True)
 class AdminRequest:
-    """An ``admin`` op: runtime control of the daemon's fault injector.
+    """An ``admin`` op: runtime control of the daemon's fault injector
+    and sampling profiler.
 
     ``set-faults`` arms the failpoints named by ``spec`` (the same grammar
     as ``repro serve --faults``); ``clear-faults`` disarms everything;
     ``faults`` just reports.  Every action answers with the injector's
     current snapshot, so chaos harnesses can flip faults on a live daemon
     and verify what is armed.
+
+    ``profile-start`` begins continuous stack sampling (``spec``, when
+    given, is the rate in hz); ``profile-stop`` halts it; both answer
+    with the profiler's status and ``profile-snapshot`` with its full
+    aggregate (folded stacks + top frames) in the additive ``profile``
+    response field.
     """
 
     id: RequestId = None
@@ -579,14 +593,25 @@ def mutate_response(
     }
 
 
-def admin_response(request_id: RequestId, faults: Mapping[str, Any]) -> Dict[str, Any]:
-    """A successful admin answer: the fault injector's current snapshot."""
-    return {
+def admin_response(
+    request_id: RequestId,
+    faults: Mapping[str, Any],
+    profile: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A successful admin answer: the fault injector's current snapshot.
+
+    ``profile`` (additive, only on the ``profile-*`` actions) carries the
+    sampling profiler's status or snapshot.
+    """
+    body: Dict[str, Any] = {
         "v": PROTOCOL_VERSION,
         "ok": True,
         "id": request_id,
         "faults": dict(faults),
     }
+    if profile is not None:
+        body["profile"] = dict(profile)
+    return body
 
 
 def stats_response(request_id: RequestId, stats: Mapping[str, Any]) -> Dict[str, Any]:

@@ -32,7 +32,10 @@ import threading
 import time
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
+from repro.obs.log import get_logger
 from repro.sweep.store import VerdictStore
+
+_log = get_logger("repro.resilience")
 
 #: Every failpoint the serving stack consults, and where it bites:
 #:
@@ -183,13 +186,26 @@ class FaultInjector:
         with self._lock:
             if off:
                 self._rules.pop(name, None)
-                return
-            until = None if for_seconds is None else self._clock() + for_seconds
-            self._rules[name] = _Rule(
-                rate=max(0.0, min(1.0, rate)),
-                latency=max(0.0, latency),
-                remaining=times,
-                until=until,
+                disarmed = True
+            else:
+                disarmed = False
+                until = None if for_seconds is None else self._clock() + for_seconds
+                self._rules[name] = _Rule(
+                    rate=max(0.0, min(1.0, rate)),
+                    latency=max(0.0, latency),
+                    remaining=times,
+                    until=until,
+                )
+        if disarmed:
+            _log.info("fault-disarmed", failpoint=name)
+        else:
+            _log.info(
+                "fault-armed",
+                failpoint=name,
+                rate=rate,
+                latency=latency,
+                times=times,
+                for_seconds=for_seconds,
             )
 
     def configure_spec(self, spec: str) -> None:
@@ -204,6 +220,7 @@ class FaultInjector:
                 self._rules.clear()
             else:
                 self._rules.pop(name, None)
+        _log.info("faults-cleared", failpoint=name or "all")
 
     # ------------------------------------------------------------------
     def _fire(self, name: str) -> Optional[float]:
@@ -229,6 +246,9 @@ class FaultInjector:
                 labels={"failpoint": name},
                 help="injected faults that fired",
             ).inc()
+        # Debug level: firing is per-request-hot under chaos load, and a
+        # suppressed debug line costs one comparison.
+        _log.debug("fault-fired", failpoint=name, latency=latency)
         return latency
 
     def should_fire(self, name: str) -> bool:

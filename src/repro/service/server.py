@@ -29,7 +29,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.engine.canonical import CanonicalVerdictCache
 from repro.engine.dynamic import DeltaError, MutableInstance, delta_from_wire
+from repro.obs.log import get_logger
 from repro.obs.metrics import LATENCY_BUCKETS_SECONDS, MetricsRegistry
+from repro.obs.prof import SamplingProfiler
 from repro.obs.trace import RequestTrace, TraceLog, active
 from repro.service.cache import ComputeTier, TieredVerdictCache
 from repro.service.coalescer import RequestCoalescer
@@ -58,6 +60,10 @@ Address = Tuple[Any, ...]
 
 #: Longest accepted request line (64 KiB, the StreamReader default).
 MAX_LINE_BYTES = 64 * 1024
+
+#: Structured event log of the serving layer (JSON lines on stderr by
+#: default; ``repro serve --log-level`` / REPRO_LOG_LEVEL tune it).
+_log = get_logger("repro.service")
 
 
 class _DynamicSession:
@@ -133,6 +139,9 @@ class ServiceConfig:
     breaker_reset_seconds: float = 5.0
     #: Server-side deadline applied when a request carries none (None = off).
     default_deadline_seconds: Optional[float] = None
+    #: Start the continuous sampling profiler at this rate (None = attached
+    #: but idle; start it later via the ``profile-start`` admin action).
+    profile_hz: Optional[float] = None
 
 
 class VerdictService:
@@ -165,6 +174,11 @@ class VerdictService:
         )
         #: Recent per-request traces (plus the compute tier's batch traces).
         self.traces = TraceLog(capacity=256)
+        #: The continuous sampling profiler (``/profile``, admin actions).
+        #: Always attached; only sampling when started.
+        self.profiler = SamplingProfiler(hz=self.config.profile_hz or 97.0)
+        if self.config.profile_hz is not None:
+            self.profiler.start()
         #: Append-only (ring-buffered) record of notable service events.
         self.events = self.registry.events(
             "repro_service", capacity=512, help="notable daemon events"
@@ -297,6 +311,7 @@ class VerdictService:
             help="store breaker transitions by target state",
         ).inc()
         self.events.append("breaker", old=old, new=new)
+        _log.warning("breaker-transition", old=old, new=new)
 
     def _count_store_put_failure(self, error: BaseException) -> None:
         """One failed store write: total, per-error-code counter, breaker."""
@@ -310,6 +325,7 @@ class VerdictService:
         self._put_failures_by_error[code] = self._put_failures_by_error.get(code, 0) + 1
         self.breaker.record_failure()
         self.events.append("store-put-failure", error=repr(error))
+        _log.error("store-put-failure", error=repr(error), code=code)
 
     def _record_computed(self, entries, verdicts, seconds) -> None:
         """Record a computed batch: LRU now, the store off the event loop."""
@@ -372,7 +388,7 @@ class VerdictService:
         return await self._handle_query(request)
 
     def _handle_admin(self, request: AdminRequest) -> Dict[str, Any]:
-        """Inspect or reconfigure fault injection on a live daemon."""
+        """Inspect or reconfigure faults / the profiler on a live daemon."""
         self._request_counters["admin"].inc()
         if request.action == "set-faults":
             try:
@@ -381,10 +397,47 @@ class VerdictService:
                 self._errors.inc()
                 return error_response(request.id, "bad-request", str(error))
             self.events.append("faults-set", spec=request.spec)
+            _log.info("faults-set", spec=request.spec)
         elif request.action == "clear-faults":
             self.faults.clear()
             self.events.append("faults-cleared")
+            _log.info("faults-cleared")
+        elif request.action in ("profile-start", "profile-stop", "profile-snapshot"):
+            return self._handle_admin_profile(request)
         return admin_response(request.id, self.faults.snapshot())
+
+    def _handle_admin_profile(self, request: AdminRequest) -> Dict[str, Any]:
+        if request.action == "profile-start":
+            hz: Optional[float] = None
+            if request.spec:
+                try:
+                    hz = float(request.spec)
+                except ValueError:
+                    self._errors.inc()
+                    return error_response(
+                        request.id,
+                        "bad-request",
+                        f"profile-start spec must be a sampling rate in hz, "
+                        f"got {request.spec!r}",
+                    )
+            try:
+                started = self.profiler.start(hz=hz)
+            except ValueError as error:
+                self._errors.inc()
+                return error_response(request.id, "bad-request", str(error))
+            event = "profile-started" if started else "profile-already-running"
+            self.events.append(event, hz=self.profiler.hz)
+            _log.info(event, hz=self.profiler.hz)
+            profile: Dict[str, Any] = self.profiler.status()
+        elif request.action == "profile-stop":
+            stopped = self.profiler.stop()
+            event = "profile-stopped" if stopped else "profile-not-running"
+            self.events.append(event, samples=self.profiler.status()["samples"])
+            _log.info(event)
+            profile = self.profiler.status()
+        else:  # profile-snapshot
+            profile = self.profiler.snapshot()
+        return admin_response(request.id, self.faults.snapshot(), profile=profile)
 
     def _deadline_seconds(
         self, request: Union[QueryRequest, MutateRequest]
@@ -434,6 +487,7 @@ class VerdictService:
             self._errors.inc()
             trace.annotate(error=error.code)
             self.events.append("query-error", code=error.code, id=request.id)
+            _log.debug("query-error", code=error.code, id=request.id)
             return error_response(
                 error.request_id if error.request_id is not None else request.id,
                 error.code,
@@ -443,6 +497,7 @@ class VerdictService:
             self._errors.inc()
             trace.annotate(error="internal")
             self.events.append("query-error", code="internal", id=request.id)
+            _log.error("query-internal-error", id=request.id, error=repr(error))
             return error_response(request.id, "internal", repr(error))
         finally:
             self.pending -= 1
@@ -638,6 +693,7 @@ class VerdictService:
         except Exception as error:  # noqa: BLE001 -- the daemon must not die
             self._errors.inc()
             self.events.append("mutate-error", code="internal", id=request.id)
+            _log.error("mutate-internal-error", id=request.id, error=repr(error))
             return error_response(request.id, "internal", repr(error))
         finally:
             self.pending -= 1
@@ -791,6 +847,7 @@ class VerdictService:
         except Exception as error:  # noqa: BLE001 -- journaling is best-effort
             session.journal_broken = True
             self._count_store_put_failure(error)
+            _log.error("journal-broken", session=session.name, error=repr(error))
             return False
 
     def recover_sessions(self) -> int:
@@ -810,6 +867,7 @@ class VerdictService:
             names = self.store.journal_sessions()
         except Exception as error:  # noqa: BLE001 -- recovery is best-effort
             self.events.append("recover-failed", error=repr(error))
+            _log.error("recover-failed", error=repr(error))
             return 0
         recovered = 0
         for name in names:
@@ -825,6 +883,7 @@ class VerdictService:
                 self.events.append(
                     "session-recover-failed", session=name, error=repr(error)
                 )
+                _log.error("session-recover-failed", session=name, error=repr(error))
                 continue
             if session is None:
                 continue
@@ -832,6 +891,7 @@ class VerdictService:
             self.sessions_opened += 1
             recovered += 1
             self.events.append("session-recovered", session=name, entries=len(entries))
+            _log.info("session-recovered", session=name, entries=len(entries))
         self.sessions_recovered += recovered
         return recovered
 
@@ -993,6 +1053,29 @@ class VerdictService:
         tiers["store"]["put_failures_by_error"] = dict(self._put_failures_by_error)
         tiers["store"]["writes_skipped"] = int(self._store_writes_skipped.value)
         tiers["compute"] = self.compute.engine_stats()
+        now_monotonic = time.perf_counter()
+        # Every stats poll leaves a compact sample in the registry's ring:
+        # the time series behind /stats/history and the top sparklines.
+        self.registry.record_sample(
+            {
+                "since_monotonic": now_monotonic,
+                "uptime_seconds": round(now_monotonic - self._monotonic_start, 3),
+                "queries": self.request_counts.get("query", 0),
+                "mutates": self.request_counts.get("mutate", 0),
+                "errors": self.error_count,
+                "pending": self.pending,
+                "lru_hits": tiers["lru"].get("hits", 0),
+                "lru_misses": tiers["lru"].get("misses", 0),
+                "store_hits": tiers["store"].get("hits", 0),
+                "computed": tiers["compute"].get("computed", 0),
+                "query_p50_ms": round(
+                    self._latency["query"].percentile(0.50) * 1000.0, 4
+                ),
+                "query_p99_ms": round(
+                    self._latency["query"].percentile(0.99) * 1000.0, 4
+                ),
+            }
+        )
         return {
             "uptime_seconds": round(time.perf_counter() - self._monotonic_start, 3),
             # The raw monotonic reading behind uptime: two polls subtract
@@ -1009,6 +1092,8 @@ class VerdictService:
             "coalescer": self.coalescer.stats(),
             "latency": {op: hist.snapshot() for op, hist in self._latency.items()},
             "traces": self.traces.stats(),
+            "profiler": self.profiler.status(),
+            "samples": self.registry.sample_stats(),
             "resilience": {
                 "breaker": self.breaker.snapshot(),
                 "faults": self.faults.snapshot(),
@@ -1036,6 +1121,7 @@ class VerdictService:
         if not self.draining:
             self.draining = True
             self.events.append("drain-begin", pending=self.pending)
+            _log.info("drain-begin", pending=self.pending)
 
     async def drain(self, timeout: float = 5.0) -> None:
         """Graceful drain: reject new work, finish everything in flight.
@@ -1052,11 +1138,13 @@ class VerdictService:
             await asyncio.sleep(0.01)
         await self.coalescer.drain()
         self.events.append("drain-end", pending=self.pending)
+        _log.info("drain-end", pending=self.pending)
 
     async def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        self.profiler.stop()
         await self.coalescer.close()
         for session in self.sessions.values():
             canonical = session.mutable.compiled.canonical

@@ -100,10 +100,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     profile = commands.add_parser(
         "profile",
-        help="run a scenario under cProfile and print the hottest call sites",
+        help="run a scenario under cProfile, or read a live daemon's sampling profiler",
     )
     profile.add_argument(
-        "scenario", help="scenario name (see `python -m repro scenarios`)"
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario name (see `python -m repro scenarios`); omit with --live",
+    )
+    profile.add_argument(
+        "--live",
+        default=None,
+        metavar="ADDR",
+        help="read the continuous sampling profiler of a running daemon's "
+        "HTTP console (host:port; start sampling with `serve --profile-hz` "
+        "or the profile-start admin action)",
     )
     profile.add_argument(
         "--top", type=int, default=25, help="how many call sites to print"
@@ -112,7 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sort",
         choices=("cumulative", "tottime", "ncalls"),
         default="cumulative",
-        help="pstats sort order",
+        help="pstats sort order (--live maps tottime to self samples)",
     )
     profile.add_argument(
         "--limit", type=int, default=None, help="profile only the first N instances"
@@ -130,6 +141,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the top call sites as structured JSON ('-' for stdout)",
     )
     profile.set_defaults(handler=_command_profile)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run benchmark suites, append to BENCH_history.jsonl, gate on regressions",
+    )
+    bench.add_argument(
+        "suites",
+        nargs="*",
+        help="suites to run (fig02 fig07 canonical service dynamic; default: all)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list the runnable suites and exit"
+    )
+    bench.add_argument(
+        "--collect",
+        action="store_true",
+        help="skip running: collect metrics from the existing BENCH_*.json snapshots",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: fail if the newest history record breaks a floor or "
+        "regressed past --threshold vs the baseline window",
+    )
+    bench.add_argument(
+        "--no-append",
+        action="store_true",
+        help="do not append a record to the history file",
+    )
+    bench.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="history file (default: BENCH_history.jsonl next to the BENCH_*.json files)",
+    )
+    bench.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="baseline window: compare against the median of this many prior records",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="regression factor that trips --check (1.5: 2x slowdowns trip, "
+        "10%% noise passes)",
+    )
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="write the record + check result as JSON ('-' for stdout)",
+    )
+    bench.set_defaults(handler=_command_bench)
 
     add_service_commands(commands)
     return parser
@@ -179,6 +245,11 @@ def _command_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
 
+    if args.live is not None:
+        return _command_profile_live(args)
+    if args.scenario is None:
+        print("profile needs a scenario name (or --live ADDR)", file=sys.stderr)
+        return 2
     try:
         get_scenario(args.scenario)
     except KeyError as error:
@@ -217,6 +288,75 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile_live(args: argparse.Namespace) -> int:
+    """``repro profile --live HOST:PORT``: the daemon's sampling profiler.
+
+    Reads ``/profile?format=json`` off the HTTP console and prints the
+    hottest frames in the same table shape as the cProfile report --
+    ``tottime`` maps to self samples (the frame was executing),
+    ``cumtime`` to cumulative samples (it or a callee was), and sample
+    counts divide by the sampling rate into estimated seconds.
+    """
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.http import DEFAULT_HTTP_PORT
+
+    address = args.live
+    if "://" not in address:
+        address = f"http://{address}"
+    top = max(1, args.top)
+    url = f"{address.rstrip('/')}/profile?format=json&top={min(top, 200)}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            snapshot = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        print(f"cannot fetch {url}: {error}", file=sys.stderr)
+        return 1
+    sort = "self" if args.sort in ("tottime", "ncalls") else "cumulative"
+    rows = snapshot.get("top_self" if sort == "self" else "top_cumulative") or []
+    if args.json is not None:
+        payload = {
+            "sort": sort,
+            "top": top,
+            "rows": rows[:top],
+            "profiler": {
+                key: snapshot.get(key)
+                for key in (
+                    "running", "hz", "samples", "threads",
+                    "duration_seconds", "stacks_dropped",
+                )
+            },
+        }
+        text = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(text)
+            return 0
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    running = "running" if snapshot.get("running") else "stopped"
+    print(
+        f"sampling profiler {running}: {snapshot.get('samples', 0)} samples "
+        f"at {snapshot.get('hz', 0):g}hz over {snapshot.get('threads', 0)} threads "
+        f"({snapshot.get('duration_seconds', 0)}s)"
+    )
+    if not rows:
+        print(
+            "no samples yet -- start sampling with `repro serve --profile-hz N` "
+            "or the profile-start admin action",
+            file=sys.stderr,
+        )
+        return 0
+    print(f"{'self':>8} {'self-s':>8} {'cum':>8} {'cum-s':>8}  function (file:line)")
+    for row in rows[:top]:
+        print(
+            f"{row.get('self_samples', 0):>8} {row.get('self_seconds', 0.0):>8.3f} "
+            f"{row.get('cum_samples', 0):>8} {row.get('cum_seconds', 0.0):>8.3f}  "
+            f"{row.get('function')} ({row.get('file')}:{row.get('line')})"
+        )
+    return 0
+
+
 def _profile_json(stats: "pstats.Stats", args: argparse.Namespace) -> Dict[str, Any]:
     """The hottest call sites as records (the ``--json`` half of profile).
 
@@ -242,6 +382,114 @@ def _profile_json(stats: "pstats.Stats", args: argparse.Namespace) -> Dict[str, 
         for func, values in entries[: args.top]
     ]
     return {"sort": args.sort, "top": args.top, "rows": rows}
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run suites, append history, gate regressions.
+
+    Default flow: run the requested benchmark suites (all of them when
+    none are named) via pytest, collect the tracked metrics out of the
+    refreshed ``BENCH_*.json`` snapshots, append one record to the
+    append-only ``BENCH_history.jsonl``, and -- with ``--check`` -- gate
+    against floors and the baseline window.  ``--collect`` skips the run
+    and reads whatever snapshots already exist (what CI does after its
+    own pytest-benchmark step).
+    """
+    import os
+    import subprocess
+    from pathlib import Path
+
+    from repro.obs import history as bench_history
+
+    if args.list:
+        for name, filename in sorted(bench_history.SUITES.items()):
+            print(f"{name:<10} benchmarks/{filename}")
+        return 0
+    names = list(args.suites) or sorted(bench_history.SUITES)
+    unknown = [name for name in names if name not in bench_history.SUITES]
+    if unknown:
+        print(
+            f"unknown suite(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(bench_history.SUITES))})",
+            file=sys.stderr,
+        )
+        return 2
+    repo_dir = Path(__file__).resolve().parents[3]
+    bench_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", repo_dir))
+    if not args.collect:
+        files = [
+            str(repo_dir / "benchmarks" / bench_history.SUITES[name])
+            for name in names
+        ]
+        command = [
+            sys.executable, "-m", "pytest", "-q",
+            "--benchmark-disable-gc", "--benchmark-min-rounds=3", *files,
+        ]
+        print(f"running: {' '.join(command)}", file=sys.stderr)
+        env = dict(os.environ)
+        src = str(repo_dir / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+        )
+        completed = subprocess.run(command, cwd=repo_dir, env=env)
+        if completed.returncode != 0:
+            print("benchmark run failed; no record appended", file=sys.stderr)
+            return completed.returncode
+    metrics = bench_history.collect_metrics(bench_dir)
+    if not metrics:
+        print(
+            f"no tracked metrics found in {bench_dir}/BENCH_*.json "
+            "(run the suites first, or check BENCH_OUTPUT_DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    history_path = (
+        Path(args.history)
+        if args.history
+        else bench_dir / bench_history.DEFAULT_HISTORY_FILENAME
+    )
+    record = bench_history.build_record(metrics, repo_dir=repo_dir)
+    if args.no_append:
+        records = bench_history.read_history(history_path) + [record]
+    else:
+        bench_history.append_record(history_path, record)
+        records = bench_history.read_history(history_path)
+        print(
+            f"appended record {len(records)} ({record['git_sha'][:12]}, "
+            f"{len(metrics)} metrics) to {history_path}",
+            file=sys.stderr,
+        )
+    payload: Dict[str, Any] = {"record": record, "history": str(history_path)}
+    exit_code = 0
+    if args.check:
+        result = bench_history.check(
+            records, window=args.window, threshold=args.threshold
+        )
+        payload["check"] = result.as_dict()
+        for row in result.rows:
+            marker = "ok  " if row["ok"] else "FAIL"
+            baseline = (
+                f" (baseline {row['baseline']:g})"
+                if row.get("baseline") is not None
+                else ""
+            )
+            value = f"{row['value']:g}" if row.get("value") is not None else "-"
+            print(f"  {marker} {row['metric']:<28} {value}{baseline}  {row['reason']}")
+        if result.ok:
+            print(f"bench check passed: {len(result.rows)} metrics within bounds")
+        else:
+            print(
+                f"bench check FAILED: {len(result.failures)} of "
+                f"{len(result.rows)} metrics out of bounds",
+                file=sys.stderr,
+            )
+            exit_code = 1
+    if args.json == "-":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return exit_code
 
 
 def _command_dynamic(args: argparse.Namespace) -> int:

@@ -35,9 +35,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.batch import GameInstance, IdentityKey, engine_sharing_key
+from repro.obs.log import get_logger
 from repro.sweep.fingerprint import game_instance_key
 from repro.sweep.scenarios import build_instances
 from repro.sweep.store import VerdictStore, open_store
+
+_log = get_logger("repro.sweep")
 
 
 @dataclass
@@ -367,8 +370,30 @@ def run_instances(
             if isinstance(value, int):
                 canonical_info[field_name] += value
 
+    _log.debug(
+        "sweep-start",
+        scenario=scenario or scenario_name,
+        instances=len(instances),
+        cached=len(cached),
+        jobs=jobs,
+        shards=len(shards),
+    )
     parallel = jobs > 1 and scenario is not None and len(shards) > 1
     context = _fork_context() if parallel else None
+    if jobs > 1 and not (parallel and context is not None):
+        # The caller asked for worker processes but gets the in-process
+        # path (identical verdicts, serial wall-clock).  This used to be a
+        # silent degrade; say why.
+        if scenario is None:
+            reason = "no scenario name (workers rebuild instances by name)"
+        elif len(shards) <= 1:
+            reason = "only one shard after store hits and engine-sharing grouping"
+        else:
+            reason = "fork start method unavailable on this platform"
+        _log.warning(
+            "parallel-degraded", jobs=jobs, reason=reason,
+            scenario=scenario or scenario_name,
+        )
     if parallel and context is not None:
         worker_store_path = (
             store_path
@@ -427,6 +452,15 @@ def run_instances(
         )
     if owns_store and store_obj is not None:
         store_obj.close()
+    _log.debug(
+        "sweep-end",
+        scenario=scenario or scenario_name,
+        instances=len(instances),
+        solved=len(cold),
+        cached=len(cached),
+        parallel=executed_parallel,
+        seconds=round(time.perf_counter() - started, 4),
+    )
 
     results = [
         InstanceResult(

@@ -1,0 +1,123 @@
+"""Chrome trace-event export: shape, units, ordering, fallbacks."""
+
+import json
+import time
+
+from repro.obs.export import chrome_trace, render_chrome_trace, trace_events
+from repro.obs.trace import RequestTrace, TraceLog
+
+
+def _finished_trace(op="query", request_id=7, sleep=0.002):
+    trace = RequestTrace(op=op, request_id=request_id)
+    with trace.span("lru", hit=False):
+        time.sleep(sleep)
+    with trace.span("engine", batch=3):
+        time.sleep(sleep)
+    trace.annotate(scenario="smoke")
+    return trace.finish().as_dict()
+
+
+class TestTraceEvents:
+    def test_complete_events_carry_ph_pid_tid(self):
+        events = trace_events(_finished_trace(), pid=42)
+        assert all(event["ph"] == "X" for event in events)
+        assert all(event["pid"] == 42 for event in events)
+        tids = {event["tid"] for event in events}
+        assert len(tids) == 1  # one trace -> one track
+
+    def test_ts_and_dur_are_microseconds(self):
+        entry = _finished_trace(sleep=0.004)
+        events = trace_events(entry)
+        top = events[0]
+        assert top["ts"] == entry["started"] * 1e6
+        assert top["dur"] == entry["total_ms"] * 1000.0
+        span = events[1]
+        span_entry = entry["spans"][0]
+        assert span["dur"] == span_entry["ms"] * 1000.0
+        assert span["ts"] == entry["started"] * 1e6 + span_entry["offset_ms"] * 1000.0
+
+    def test_spans_nest_inside_the_request_window(self):
+        entry = _finished_trace(sleep=0.003)
+        events = trace_events(entry)
+        top = events[0]
+        for span in events[1:]:
+            assert span["ts"] >= top["ts"]
+            # A span ends within the request, give or take rounding.
+            assert span["ts"] + span["dur"] <= top["ts"] + top["dur"] + 100
+
+    def test_span_offsets_order_the_timeline(self):
+        entry = _finished_trace()
+        events = trace_events(entry)
+        lru = next(e for e in events if e["name"] == "lru")
+        engine = next(e for e in events if e["name"] == "engine")
+        assert lru["ts"] < engine["ts"]
+
+    def test_annotations_become_args(self):
+        entry = _finished_trace()
+        events = trace_events(entry)
+        assert events[0]["args"]["scenario"] == "smoke"
+        assert events[0]["args"]["request_id"] == 7
+        engine = next(e for e in events if e["name"] == "engine")
+        assert engine["args"] == {"batch": 3}
+
+    def test_event_name_is_op_and_title(self):
+        entry = _finished_trace(op="mutate", request_id=12)
+        events = trace_events(entry)
+        assert events[0]["name"] == "mutate:12"
+        assert events[0]["cat"] == "mutate"
+
+    def test_offsetless_spans_fall_back_to_sequential_layout(self):
+        # Hand-built dict, as an old TraceLog entry (pre-offset) would be.
+        entry = {
+            "trace_id": 9,
+            "op": "query",
+            "id": 1,
+            "started": 100.0,
+            "total_ms": 5.0,
+            "spans": [{"span": "a", "ms": 2.0}, {"span": "b", "ms": 3.0}],
+        }
+        events = trace_events(entry)
+        a, b = events[1], events[2]
+        assert a["ts"] == 100.0 * 1e6
+        assert b["ts"] == 100.0 * 1e6 + 2000.0  # laid end-to-end after a
+
+
+class TestChromeTrace:
+    def test_document_shape_and_metadata_event(self):
+        doc = chrome_trace([_finished_trace()], process_name="test daemon")
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        meta = doc["traceEvents"][0]
+        assert meta["ph"] == "M"
+        assert meta["name"] == "process_name"
+        assert meta["args"] == {"name": "test daemon"}
+
+    def test_traces_are_emitted_oldest_first(self):
+        older = _finished_trace(request_id=1)
+        newer = _finished_trace(request_id=2)
+        assert newer["started"] > older["started"]
+        # TraceLog.snapshot() hands traces newest first.
+        doc = chrome_trace([newer, older])
+        tops = [e for e in doc["traceEvents"] if e["ph"] == "X" and ":" in e["name"]]
+        starts = [e["ts"] for e in tops if e["name"].startswith("query:")]
+        assert starts == sorted(starts)
+
+    def test_round_trips_through_json(self):
+        log = TraceLog(capacity=8)
+        trace = RequestTrace(op="query", request_id=3)
+        with trace.span("lru"):
+            pass
+        log.record(trace.finish())
+        text = render_chrome_trace(log.snapshot())
+        doc = json.loads(text)
+        assert doc["traceEvents"][0]["ph"] == "M"
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans and all(
+            isinstance(e["ts"], (int, float)) and isinstance(e["dur"], (int, float))
+            for e in spans
+        )
+
+    def test_empty_batch_still_loads(self):
+        doc = json.loads(render_chrome_trace([]))
+        assert doc["traceEvents"][0]["name"] == "process_name"
+        assert len(doc["traceEvents"]) == 1

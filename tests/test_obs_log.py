@@ -1,0 +1,107 @@
+"""Structured JSON-lines logging: shape, levels, trace correlation."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obslog
+from repro.obs.trace import RequestTrace, active
+
+
+@pytest.fixture()
+def sink():
+    """A StringIO sink at debug level, restored to defaults afterwards."""
+    stream = io.StringIO()
+    obslog.configure(level="debug", stream=stream)
+    yield stream
+    obslog.configure(level="info")
+    obslog._config.stream = None  # back to stderr-at-emit for other tests
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_one_json_object_per_line_with_required_keys(self, sink):
+        logger = obslog.get_logger("repro.test")
+        logger.info("something-happened", count=3, label="x")
+        (event,) = _lines(sink)
+        assert event["level"] == "info"
+        assert event["logger"] == "repro.test"
+        assert event["event"] == "something-happened"
+        assert event["count"] == 3
+        assert event["label"] == "x"
+        assert isinstance(event["ts"], float)
+
+    def test_non_serializable_fields_stringify(self, sink):
+        logger = obslog.get_logger("repro.test")
+        logger.error("store-put-failure", error=ValueError("boom"))
+        (event,) = _lines(sink)
+        assert "boom" in event["error"]
+
+    def test_get_logger_is_cached(self):
+        assert obslog.get_logger("a.b") is obslog.get_logger("a.b")
+
+
+class TestLevels:
+    def test_below_threshold_is_suppressed(self, sink):
+        obslog.configure(level="warning")
+        logger = obslog.get_logger("repro.test")
+        logger.debug("quiet")
+        logger.info("quiet-too")
+        logger.warning("loud")
+        logger.error("louder")
+        events = [e["event"] for e in _lines(sink)]
+        assert events == ["loud", "louder"]
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            obslog.configure(level="chatty")
+
+    def test_level_name_reports_threshold(self, sink):
+        obslog.configure(level="error")
+        assert obslog.level_name() == "error"
+        obslog.configure(level="debug")
+        assert obslog.level_name() == "debug"
+
+    def test_env_var_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv(obslog.LEVEL_ENV_VAR, "WARNING")
+        assert obslog._Config().threshold == obslog.LEVELS["warning"]
+        monkeypatch.setenv(obslog.LEVEL_ENV_VAR, "nonsense")
+        assert obslog._Config().threshold == obslog.LEVELS["info"]
+
+
+class TestCorrelation:
+    def test_events_inside_a_trace_carry_its_ids(self, sink):
+        logger = obslog.get_logger("repro.test")
+        trace = RequestTrace(op="query", request_id=41)
+        trace.annotate(session="alpha")
+        with active(trace):
+            logger.info("inside")
+        logger.info("outside")
+        inside, outside = _lines(sink)
+        assert inside["trace_id"] == trace.trace_id
+        assert inside["request_id"] == 41
+        assert inside["session"] == "alpha"
+        assert "trace_id" not in outside
+        assert "request_id" not in outside
+
+    def test_trace_without_session_omits_the_key(self, sink):
+        logger = obslog.get_logger("repro.test")
+        with active(RequestTrace(op="query", request_id=1)):
+            logger.info("inside")
+        (event,) = _lines(sink)
+        assert "session" not in event
+
+    def test_caller_fields_win_over_correlation(self, sink):
+        # A call site that explicitly passes session overrides the
+        # ambient annotation -- fields update after correlation.
+        logger = obslog.get_logger("repro.test")
+        trace = RequestTrace(op="query")
+        trace.annotate(session="ambient")
+        with active(trace):
+            logger.info("inside", session="explicit")
+        (event,) = _lines(sink)
+        assert event["session"] == "explicit"

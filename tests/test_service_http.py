@@ -1,6 +1,7 @@
 """The HTTP operations console, served next to a live daemon."""
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -208,3 +209,187 @@ class TestTop:
 
     def test_run_top_unreachable_returns_one(self):
         assert run_top(connect="127.0.0.1:1", once=True) == 1
+
+
+class TestTopRestartDetection:
+    def _snap(self, monotonic, uptime, queries, p99=None):
+        return {
+            "since_monotonic": monotonic,
+            "uptime_seconds": uptime,
+            "requests": {"query": queries},
+            "queries": queries,
+            "query_p99_ms": p99,
+        }
+
+    def test_restarted_on_monotonic_going_backwards(self):
+        from repro.obs.top import restarted
+
+        prev = self._snap(100.0, 100.0, 50)
+        now = self._snap(3.0, 3.0, 2)
+        assert restarted(now, prev)
+
+    def test_restarted_on_uptime_reset_even_when_monotonic_advances(self):
+        from repro.obs.top import restarted
+
+        # perf_counter is machine-wide on Linux: it keeps climbing across
+        # a daemon restart, so uptime is the reliable tell.
+        prev = self._snap(100.0, 90.0, 50)
+        now = self._snap(105.0, 2.0, 1)
+        assert restarted(now, prev)
+
+    def test_not_restarted_on_normal_progress(self):
+        from repro.obs.top import restarted
+
+        prev = self._snap(100.0, 90.0, 50)
+        now = self._snap(101.0, 91.0, 60)
+        assert not restarted(now, prev)
+        assert not restarted(now, None)
+
+    def test_rate_resets_to_zero_across_a_restart(self):
+        from repro.obs.top import _rate
+
+        prev = self._snap(100.0, 90.0, 5000)
+        now = self._snap(105.0, 2.0, 10)  # restarted: counters reset
+        assert _rate(now, prev, "requests", "query") == 0.0
+        steady = self._snap(106.0, 3.0, 30)
+        assert _rate(steady, now, "requests", "query") == 20.0
+
+    def test_render_notes_the_restart_and_shows_no_negative_rates(self):
+        from repro.obs.top import render
+
+        prev = self._snap(100.0, 90.0, 5000)
+        prev.update({"tiers": {}, "coalescer": {}, "latency": {}, "dynamic": {}})
+        now = self._snap(105.0, 2.0, 10)
+        now.update({"tiers": {}, "coalescer": {}, "latency": {}, "dynamic": {}})
+        frame = render(now, prev)
+        assert "daemon restarted" in frame
+        assert "-1" not in frame.split("latency")[0]  # no negative rates anywhere
+
+    def test_qps_series_skips_restart_pairs(self):
+        from repro.obs.top import qps_series
+
+        samples = [
+            self._snap(10.0, 10.0, 100),
+            self._snap(11.0, 11.0, 200),  # 100 qps
+            self._snap(12.0, 1.0, 5),     # restart: counter went backwards
+            self._snap(13.0, 2.0, 55),    # 50 qps
+        ]
+        assert qps_series(samples) == [100.0, 50.0]
+
+
+class TestStatsHistoryEndpoint:
+    def test_history_accumulates_timestamped_samples(self, console_server):
+        _get_json(console_server, "/stats")
+        _get_json(console_server, "/stats")
+        history = _get_json(console_server, "/stats/history")
+        samples = history["samples"]
+        assert len(samples) >= 2
+        assert history["recorded"] >= len(samples)
+        assert history["capacity"] >= len(samples)
+        newest = samples[-1]
+        assert {"time", "since_monotonic", "uptime_seconds", "queries"} <= set(newest)
+        # Oldest first: the server clock climbs along the ring.
+        clocks = [sample["since_monotonic"] for sample in samples]
+        assert clocks == sorted(clocks)
+
+    def test_history_limit_windows_the_newest(self, console_server):
+        for _ in range(3):
+            _get_json(console_server, "/stats")
+        full = _get_json(console_server, "/stats/history")["samples"]
+        tail = _get_json(console_server, "/stats/history?limit=2")["samples"]
+        assert len(tail) == 2
+        assert tail == full[-2:]
+
+    def test_bad_limit_is_400(self, console_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(console_server, "/stats/history?limit=zero")
+        assert excinfo.value.code == 400
+
+
+class TestTraceExportEndpoint:
+    def test_export_is_a_loadable_chrome_trace(self, console_server):
+        _warm_query(console_server)
+        document = _get_json(console_server, "/traces/export.json")
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata
+        complete = [event for event in events if event["ph"] == "X"]
+        assert complete, "expected span events after a warm query"
+        for event in complete:
+            assert {"name", "pid", "tid", "ts", "dur"} <= set(event)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_export_respects_the_limit_parameter(self, console_server):
+        for _ in range(3):
+            _warm_query(console_server)
+        document = _get_json(console_server, "/traces/export.json?limit=1")
+        tids = {e["tid"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert len(tids) == 1
+
+
+class TestProfileEndpoint:
+    def test_idle_profiler_serves_a_hint(self, console_server):
+        with _get(console_server, "/profile") as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        if "# profiler not running" in text:
+            assert "profile-start" in text
+
+    def test_running_profiler_serves_folded_stacks_and_json(self, console_server):
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(console_server.address) as client:
+            client.profile_start(hz=397)
+            try:
+                deadline = time.monotonic() + 5.0
+                snapshot = {}
+                while time.monotonic() < deadline:
+                    _warm_query(console_server)
+                    snapshot = _get_json(console_server, "/profile?format=json")
+                    if snapshot.get("samples"):
+                        break
+                assert snapshot.get("samples"), "profiler collected no samples"
+                assert snapshot["running"] is True
+                assert snapshot["hz"] == 397.0
+                with _get(console_server, "/profile") as response:
+                    folded = response.read().decode("utf-8")
+                assert folded.strip(), "folded output empty while sampling"
+                line = folded.strip().splitlines()[0]
+                stack, count = line.rsplit(" ", 1)
+                assert int(count) >= 1 and ";" in stack or ":" in stack
+            finally:
+                client.profile_stop()
+
+    def test_profile_top_parameter_bounds_the_rows(self, console_server):
+        snapshot = _get_json(console_server, "/profile?format=json&top=1")
+        assert len(snapshot["top_self"]) <= 1
+        assert len(snapshot["top_cumulative"]) <= 1
+
+
+class TestBenchEndpoint:
+    def test_bench_page_without_history_offers_guidance(
+        self, console_server, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("BENCH_OUTPUT_DIR", str(tmp_path))
+        with _get(console_server, "/bench") as response:
+            text = response.read().decode("utf-8")
+        assert "repro bench --collect" in text
+
+    def test_bench_page_renders_history_with_sparklines(
+        self, console_server, tmp_path, monkeypatch
+    ):
+        from repro.obs import history as bench_history
+
+        monkeypatch.setenv("BENCH_OUTPUT_DIR", str(tmp_path))
+        path = tmp_path / bench_history.DEFAULT_HISTORY_FILENAME
+        for qps in (100.0, 120.0, 90.0):
+            bench_history.append_record(
+                path,
+                {"ts": 1.0, "git_sha": "cafe1234", "metrics": {"service.hot_qps": qps}},
+            )
+        payload = _get_json(console_server, "/bench?format=json")
+        assert len(payload["records"]) == 3
+        assert payload["path"].endswith(bench_history.DEFAULT_HISTORY_FILENAME)
+        with _get(console_server, "/bench") as response:
+            page = response.read().decode("utf-8")
+        assert "service.hot_qps" in page
+        assert "cafe1234" in page
