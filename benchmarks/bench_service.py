@@ -16,8 +16,14 @@ rate per workload) and asserts the >= 10x warm-over-cold criterion.
 
 from __future__ import annotations
 
+import os
+import signal
+import subprocess
+import sys
+import tempfile
 import time
 
+from repro.service.client import ServiceClient
 from repro.service.loadgen import run_load, scenario_payloads
 from repro.service.server import ServerThread
 from repro.sweep.executor import evaluate_timed
@@ -120,6 +126,126 @@ def test_service_throughput_and_latency(benchmark):
         f"warm-store serving at {warm.qps:.0f} qps is only {warm_speedup:.1f}x the "
         f"cold single-query rate of {cold_qps:.1f} qps (need >= 10x)"
     )
+
+
+def _pool_payloads(count: int = 128) -> list:
+    """Distinct compute-bound specs (random-regular, ~5ms of engine each).
+
+    Every seed is a different graph, so a one-pass run is all compute --
+    the workload shape where extra worker *processes* can matter, unlike
+    the LRU-bound hot path where a single event loop is already enough.
+    """
+    return [
+        {
+            "v": 1,
+            "op": "query",
+            "spec": {
+                "arbiter": "3-colorable",
+                "family": "random-regular",
+                "degree": 3,
+                "n": 40,
+                "seed": seed,
+                "scheme": "sequential",
+            },
+        }
+        for seed in range(count)
+    ]
+
+
+def _run_pool_load(workers: int, payloads: list):
+    """One supervised pool of *workers*, one closed-loop pass, pool stats."""
+    tmp = tempfile.mkdtemp(prefix="bench-pool-")
+    sock = os.path.join(tmp, "pool.sock")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--workers", str(workers),
+            "--socket", sock,
+            "--store", "sqlite://" + os.path.join(tmp, "pool.sqlite"),
+            "--log-level", "error",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.time() + 90
+        while True:
+            assert proc.poll() is None, "pool exited during startup"
+            assert time.time() < deadline, "pool never became ready"
+            if os.path.exists(sock):
+                try:
+                    with ServiceClient("unix:" + sock, timeout=5.0) as client:
+                        if client.ping():
+                            break
+                except OSError:
+                    pass
+            time.sleep(0.1)
+        load = run_load(
+            "unix:" + sock, payloads, clients=8, total=len(payloads),
+            label=f"pool-{workers}w", timeout=60.0,
+        )
+        with ServiceClient("unix:" + sock, timeout=10.0) as client:
+            # --workers 1 serves directly (no supervisor): no pool block.
+            pool_stats = client.stats().get("pool")
+        return load, pool_stats
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def test_multi_worker_pool_aggregate_qps():
+    """``--workers 4`` aggregate throughput vs the same deployment at 1.
+
+    The baseline is the plain single daemon (``--workers 1`` serves
+    directly, no supervisor); the pool adds a router hop on top, so the
+    ratio is the *end-to-end* gain of going multi-worker.  Extra worker
+    processes only translate into wall-clock throughput when the machine
+    has cores to run them on, so the >= 2x scaling gate arms on >= 4 CPUs
+    (CI runners) and the row records the measured ratio everywhere.
+    """
+    payloads = _pool_payloads()
+    single, _ = _run_pool_load(1, payloads)
+    pooled, pool_stats = _run_pool_load(4, payloads)
+
+    assert single.errors == 0 and pooled.errors == 0
+    assert pool_stats["size"] == 4 and pool_stats["live"] == 4
+
+    scaling = pooled.qps / single.qps if single.qps else 0.0
+    cpus = os.cpu_count() or 1
+    gate = f"scaling >= 2.0 (cpus={cpus})" if cpus >= 4 else f"skipped: {cpus} cpu(s)"
+    report(
+        "Supervised pool aggregate throughput (distinct compute-bound specs)",
+        [
+            {"single_worker_qps": round(single.qps, 1)},
+            {"pool_4w_qps": round(pooled.qps, 1), "scaling": round(scaling, 2)},
+            {"gate": gate},
+        ],
+    )
+    write_bench_json(
+        "service",
+        {
+            "multi_worker": {
+                "workers": 4,
+                "workload": "random-regular d3 n40, 128 distinct seeds",
+                "aggregate": pooled.as_dict(),
+                "single_worker": single.as_dict(),
+                "scaling_vs_single_worker": round(scaling, 2),
+                "scaling_gate": gate,
+            },
+        },
+    )
+    if cpus >= 4:
+        assert scaling >= 2.0, (
+            f"4-worker pool at {pooled.qps:.0f} qps is only {scaling:.2f}x the "
+            f"single-worker figure of {single.qps:.0f} qps on {cpus} CPUs (need >= 2x)"
+        )
 
 
 def test_coalescing_under_concurrent_identical_queries(benchmark):

@@ -63,6 +63,7 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -198,6 +199,8 @@ class ConsoleServer:
         as_json = params.get("format") == "json"
         if path == "/":
             return self._overview()
+        if path == "/healthz":
+            return self._healthz()
         if path == "/stats":
             return self._json(self.service.stats())
         if path == "/stats/history":
@@ -227,6 +230,22 @@ class ConsoleServer:
         body = json.dumps(payload, indent=2, sort_keys=False, default=str)
         return 200, "application/json; charset=utf-8", (body + "\n").encode("utf-8")
 
+    def _healthz(self) -> Tuple[int, str, bytes]:
+        """Load-balancer liveness: 200 = route traffic here, 503 = don't.
+
+        The answer comes from the service's own :meth:`healthz` predicate
+        (draining or an open store breaker means 503), so external probers
+        and the pool supervisor agree on what "healthy" means.
+        """
+        probe = getattr(self.service, "healthz", None)
+        if probe is None:
+            healthy, detail = True, {"healthy": True}
+        else:
+            healthy, detail = probe()
+        body = json.dumps(detail, sort_keys=True) + "\n"
+        status = 200 if healthy else 503
+        return status, "application/json; charset=utf-8", body.encode("utf-8")
+
     def _html(self, title: str, body: str) -> Tuple[int, str, bytes]:
         return 200, "text/html; charset=utf-8", _page(title, body).encode("utf-8")
 
@@ -237,6 +256,7 @@ class ConsoleServer:
         links = "".join(
             f"<li><a href='{href}'>{html.escape(label)}</a></li>"
             for href, label in (
+                ("/healthz", "liveness probe (200/503)"),
                 ("/stats", "stats (JSON)"),
                 ("/stats/history", "stats history (JSON samples)"),
                 ("/metrics", "metrics (Prometheus)"),

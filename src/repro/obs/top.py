@@ -234,6 +234,33 @@ def render(
             f" {_ms(snap.get('p50'))} {_ms(snap.get('p95'))}"
             f" {_ms(snap.get('p99'))} {_ms(snap.get('max'))}"
         )
+    pool = stats.get("pool")
+    if pool:
+        lines.append("")
+        drain = "  DRAINING" if pool.get("draining") else ""
+        lines.append(
+            f"{_BOLD}pool{_RESET}      {pool.get('live', 0)}/{pool.get('size', 0)} "
+            f"workers serving   restarts {pool.get('restarts', 0):>3}   "
+            f"failovers {pool.get('forward_retries', 0):>4}   "
+            f"unavailable {pool.get('unavailable', 0):>4}{drain}"
+        )
+        forwarded = pool.get("forwarded", {}) or {}
+        for worker in pool.get("workers", []):
+            wid = worker.get("id")
+            catch_up = worker.get("catch_up") or {}
+            replay = (
+                f"  replayed {catch_up.get('replayed', 0)} "
+                f"(seq {catch_up.get('from_seq', 0)}->{catch_up.get('to_seq', 0)})"
+                if catch_up
+                else ""
+            )
+            lines.append(
+                f"  w{wid:<3} {worker.get('state', '?'):<10} "
+                f"pid {worker.get('pid') or '-':>7}   "
+                f"restarts {worker.get('restarts', 0):>3}   "
+                f"seq {worker.get('last_seq', 0):>6}   "
+                f"fwd {int(forwarded.get(str(wid), 0)):>7}{replay}"
+            )
     sessions = dynamic.get("sessions", 0)
     if sessions:
         lines.append("")

@@ -41,6 +41,11 @@ def add_service_commands(commands: argparse._SubParsersAction) -> None:
     serve.add_argument("--port", type=int, default=DEFAULT_PORT, help="TCP bind port (0: ephemeral)")
     serve.add_argument("--socket", default=None, metavar="PATH", help="serve on a UNIX socket instead of TCP")
     serve.add_argument("--store", default=None, metavar="PATH", help="persistent verdict store (sqlite:// or jsonl:// scheme, or a bare path)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N", help="run a supervised pool of N worker daemons behind a fingerprint-hash router (requires --store; sqlite:// recommended)")
+    serve.add_argument("--probe-interval", type=float, default=0.5, help="pool supervisor: seconds between worker health probes")
+    serve.add_argument("--restart-backoff", type=float, default=0.25, help="pool supervisor: first restart backoff (doubles per crash, capped)")
+    serve.add_argument("--worker-id", type=int, default=None, help=argparse.SUPPRESS)
+    serve.add_argument("--catch-up-from", type=int, default=None, help=argparse.SUPPRESS)
     serve.add_argument("--lru-size", type=int, default=4096, help="tier-1 in-process LRU capacity")
     serve.add_argument("--window-ms", type=float, default=2.0, help="micro-batching window in milliseconds")
     serve.add_argument("--max-batch", type=int, default=32, help="flush a batch early at this many pending queries")
@@ -104,11 +109,29 @@ def add_service_commands(commands: argparse._SubParsersAction) -> None:
 # ----------------------------------------------------------------------
 # serve
 # ----------------------------------------------------------------------
+def _install_stop_handlers(loop: asyncio.AbstractEventLoop, stop: asyncio.Event) -> None:
+    """Route SIGTERM *and* SIGINT to the same graceful-drain event.
+
+    On loops without ``add_signal_handler`` (non-POSIX), a plain signal
+    handler does the same job -- Ctrl-C must drain in-flight requests,
+    never raise ``KeyboardInterrupt`` mid-request and drop them.
+    """
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover -- non-POSIX loops
+            signal.signal(
+                signum, lambda _s, _f: loop.call_soon_threadsafe(stop.set)
+            )
+
+
 async def _serve(args: argparse.Namespace) -> int:
     from repro.obs.log import configure as configure_logging, get_logger
 
     if args.log_level is not None:
         configure_logging(level=args.log_level)
+    if args.workers > 1:
+        return await _serve_pool(args)
     log = get_logger("repro.serve")
     config = ServiceConfig(
         lru_size=args.lru_size,
@@ -121,6 +144,8 @@ async def _serve(args: argparse.Namespace) -> int:
             args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
         ),
         profile_hz=args.profile_hz,
+        worker_id=args.worker_id,
+        catch_up_from=args.catch_up_from,
     )
     service = VerdictService(store=args.store, config=config)
     if args.faults:
@@ -149,11 +174,7 @@ async def _serve(args: argparse.Namespace) -> int:
 
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        try:
-            loop.add_signal_handler(signum, stop.set)
-        except NotImplementedError:  # pragma: no cover -- non-POSIX loops
-            pass
+    _install_stop_handlers(loop, stop)
     try:
         serving = asyncio.ensure_future(server.serve_forever())
         stopping = asyncio.ensure_future(stop.wait())
@@ -165,6 +186,79 @@ async def _serve(args: argparse.Namespace) -> int:
         # Graceful drain: stop listening, answer in-flight requests, then
         # flush pending store writes inside service.close().
         await server.stop(drain_seconds=max(0.0, args.drain_seconds))
+    log.info("stopped")
+    return 0
+
+
+def _worker_passthrough_args(args: argparse.Namespace) -> list:
+    """The serve flags each pool worker inherits from the supervisor line."""
+    passthrough = [
+        "--lru-size", str(args.lru_size),
+        "--window-ms", str(args.window_ms),
+        "--max-batch", str(args.max_batch),
+        "--max-pending", str(args.max_pending),
+        "--breaker-threshold", str(args.breaker_threshold),
+        "--breaker-reset", str(args.breaker_reset),
+        "--drain-seconds", str(args.drain_seconds),
+    ]
+    if args.deadline_ms is not None:
+        passthrough += ["--deadline-ms", str(args.deadline_ms)]
+    if args.faults:
+        passthrough += ["--faults", args.faults]
+    if args.log_level is not None:
+        passthrough += ["--log-level", args.log_level]
+    return passthrough
+
+
+async def _serve_pool(args: argparse.Namespace) -> int:
+    from repro.obs.log import get_logger
+    from repro.service.pool import PoolConfig, WorkerPool
+
+    log = get_logger("repro.serve")
+    if not args.store:
+        print("--workers needs --store (the pool shares one verdict store)", file=sys.stderr)
+        return 2
+    pool = WorkerPool(
+        store=args.store,
+        config=PoolConfig(
+            workers=args.workers,
+            probe_interval=args.probe_interval,
+            restart_backoff=args.restart_backoff,
+            drain_seconds=max(0.1, args.drain_seconds),
+            forward_timeout=max(5.0, args.drain_seconds + 5.0),
+        ),
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        worker_args=_worker_passthrough_args(args),
+    )
+    address = await pool.start()
+    log.info("pool-listening", address=format_address(address), workers=args.workers)
+    console = None
+    if args.http is not None:
+        from repro.obs.http import ConsoleServer
+
+        console = ConsoleServer(pool, host=args.http_host, port=args.http)
+        http_host, http_port = await console.start()
+        log.info(
+            "console-started",
+            url=f"http://{http_host}:{http_port}/",
+            pages="/healthz /stats /metrics",
+        )
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    _install_stop_handlers(loop, stop)
+    try:
+        serving = asyncio.ensure_future(pool.serve_forever())
+        stopping = asyncio.ensure_future(stop.wait())
+        await asyncio.wait({serving, stopping}, return_when=asyncio.FIRST_COMPLETED)
+        serving.cancel()
+    finally:
+        if console is not None:
+            await console.stop()
+        # Rolling drain: each worker gets SIGTERM and its drain budget in
+        # turn, so in-flight requests finish before the process goes away.
+        await pool.stop()
     log.info("stopped")
     return 0
 

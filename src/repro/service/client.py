@@ -97,6 +97,10 @@ class ServiceClient:
         self.retry = retry
         #: Requests re-sent by the retry policy (for reports and tests).
         self.retries = 0
+        #: Transport re-establishments after a broken connection.  Load
+        #: reports count these separately: a sample that paid a reconnect
+        #: is not a service latency and must not pollute p99.
+        self.reconnects = 0
         self._next_id = 0
         self._sock: Optional[socket.socket] = None
         self._reader = None
@@ -139,6 +143,7 @@ class ServiceClient:
                 self._connect()
             except OSError as error:
                 raise ServiceError("transport", f"reconnect failed: {error}") from None
+            self.reconnects += 1
         try:
             self._sock.sendall(line.encode("utf-8") + b"\n")
             answer = self._reader.readline()

@@ -109,6 +109,11 @@ class LoadReport:
     degraded: int = 0
     #: Requests the clients re-sent under the retry policy.
     retries: int = 0
+    #: Samples that paid a reconnect or retry on the way to an answer.
+    #: They are counted here instead of entering ``latencies_ms`` -- a
+    #: re-established transport is availability, not service latency,
+    #: and must not pollute p99.
+    reconnects: int = 0
     #: The fault spec a chaos run injected, plus the daemon's view after.
     chaos: Optional[Dict[str, Any]] = None
 
@@ -161,6 +166,7 @@ class LoadReport:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "degraded": self.degraded,
             "retries": self.retries,
+            "reconnects": self.reconnects,
             "chaos": self.chaos,
         }
 
@@ -218,6 +224,7 @@ def run_load(
             "overloaded": 0,
             "degraded": 0,
             "retries": 0,
+            "reconnects": 0,
             "sources": {},
             "error_codes": {},
             "latencies": [],
@@ -258,6 +265,8 @@ def run_load(
                         count_error("transport")
                         continue
                 payload = payloads[ticket % len(payloads)]
+                before_retries = client.retries
+                before_reconnects = client.reconnects
                 start = time.perf_counter()
                 try:
                     response = client.request(payload)
@@ -276,7 +285,16 @@ def run_load(
                     continue
                 elapsed_ms = (time.perf_counter() - start) * 1000.0
                 mine["requests"] += 1
-                mine["latencies"].append(elapsed_ms)
+                if (
+                    client.reconnects != before_reconnects
+                    or client.retries != before_retries
+                ):
+                    # The answer arrived, but only after a reconnect or a
+                    # retry sleep: count it as a disturbed sample instead
+                    # of letting transport recovery pollute the tail.
+                    mine["reconnects"] += 1
+                else:
+                    mine["latencies"].append(elapsed_ms)
                 if response.get("ok"):
                     source = response.get("source", "?")
                     mine["sources"][source] = mine["sources"].get(source, 0) + 1
@@ -322,6 +340,7 @@ def run_load(
         seconds=elapsed,
         degraded=sum(r["degraded"] for r in results),
         retries=sum(r["retries"] for r in results),
+        reconnects=sum(r["reconnects"] for r in results),
         chaos=chaos_info,
     )
     for r in results:

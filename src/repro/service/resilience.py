@@ -388,8 +388,11 @@ class CircuitBreaker:
 
 
 #: Error codes a :class:`RetryPolicy` treats as transient by default:
-#: admission backpressure, connection-level failures, and request timeouts.
-RETRYABLE_CODES: FrozenSet[str] = frozenset({"overloaded", "transport", "timeout"})
+#: admission backpressure, connection-level failures, request timeouts, and
+#: a pool router that momentarily has no live worker for the key.
+RETRYABLE_CODES: FrozenSet[str] = frozenset(
+    {"overloaded", "transport", "timeout", "unavailable"}
+)
 
 
 class RetryPolicy:
@@ -540,6 +543,15 @@ class FaultingStore(VerdictStore):
 
     def journal_clear(self, session):
         self.inner.journal_clear(session)
+
+    # -- replicated append log -----------------------------------------
+    # Catch-up replay is a recovery path, like journal reads: a rejoining
+    # worker must be able to stream the log even while failpoints rage.
+    def last_seq(self):
+        return self.inner.last_seq()
+
+    def entries_since(self, seq, limit=None):
+        return self.inner.entries_since(seq, limit=limit)
 
     # -- structure -----------------------------------------------------
     def __len__(self):

@@ -37,6 +37,11 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 #: A stored verdict: (verdict, instance name, cold solve seconds).
 StoredVerdict = Tuple[bool, str, float]
 
+#: One append-log record: ``(log_seq, kind, record)`` where *kind* is
+#: ``"verdict"`` (record: key/verdict/name/seconds) or ``"journal"``
+#: (record: session/seq/entry).  The sequence is monotonic per store.
+LogEntry = Tuple[int, str, Dict]
+
 
 class VerdictStore:
     """Interface shared by all backends (also usable as a context manager)."""
@@ -121,6 +126,35 @@ class VerdictStore:
     def journal_clear(self, session: str) -> None:
         """Drop all journal entries of *session* (it was closed cleanly)."""
 
+    # ------------------------------------------------------------------
+    # Replicated append log (pool workers catch up by replaying it)
+    # ------------------------------------------------------------------
+    def last_seq(self) -> int:
+        """The monotonic ``log_seq`` of the newest append (0 when empty).
+
+        Every verdict ``put`` and every ``journal_append`` is also recorded
+        in an append-only log with a store-wide monotonic sequence number.
+        A serving replica remembers the last sequence it has seen; on
+        (re)join it replays :meth:`entries_since` that sequence to warm its
+        caches and state before accepting traffic -- the pod-style
+        accountable-log catch-up from the paper's related work.  Backends
+        created before the log existed start at 0: only appends made after
+        migration are replayable.
+        """
+        return 0
+
+    def entries_since(
+        self, seq: int, limit: Optional[int] = None
+    ) -> Iterator[LogEntry]:
+        """Stream ``(log_seq, kind, record)`` appends newer than *seq*.
+
+        Entries come back in sequence order; *limit* bounds how many are
+        yielded.  ``kind`` is ``"verdict"`` (record keys: ``key``,
+        ``verdict``, ``name``, ``seconds``) or ``"journal"`` (record keys:
+        ``session``, ``seq``, ``entry``).
+        """
+        return iter(())
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -144,6 +178,12 @@ class MemoryVerdictStore(VerdictStore):
         self._data: Dict[str, StoredVerdict] = {}
         self._nodes: Dict[str, bool] = {}
         self._journal: Dict[str, Dict[int, Dict]] = {}
+        self._log: List[LogEntry] = []
+        self._seq = 0
+
+    def _log_append(self, kind: str, record: Dict) -> None:
+        self._seq += 1
+        self._log.append((self._seq, kind, record))
 
     def get(self, key: str) -> Optional[bool]:
         record = self._data.get(key)
@@ -151,6 +191,10 @@ class MemoryVerdictStore(VerdictStore):
 
     def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
         self._data[key] = (bool(verdict), name, seconds)
+        self._log_append(
+            "verdict",
+            {"key": key, "verdict": bool(verdict), "name": name, "seconds": seconds},
+        )
 
     def get_node(self, key: str) -> Optional[bool]:
         return self._nodes.get(key)
@@ -164,6 +208,9 @@ class MemoryVerdictStore(VerdictStore):
 
     def journal_append(self, session: str, seq: int, entry: Dict) -> None:
         self._journal.setdefault(session, {})[int(seq)] = dict(entry)
+        self._log_append(
+            "journal", {"session": session, "seq": int(seq), "entry": dict(entry)}
+        )
 
     def journal_entries(self, session: str) -> List[Tuple[int, Dict]]:
         entries = self._journal.get(session, {})
@@ -174,6 +221,17 @@ class MemoryVerdictStore(VerdictStore):
 
     def journal_clear(self, session: str) -> None:
         self._journal.pop(session, None)
+
+    def last_seq(self) -> int:
+        return self._seq
+
+    def entries_since(
+        self, seq: int, limit: Optional[int] = None
+    ) -> Iterator[LogEntry]:
+        newer = [entry for entry in self._log if entry[0] > seq]
+        if limit is not None:
+            newer = newer[:limit]
+        return iter(newer)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -187,10 +245,18 @@ class SQLiteVerdictStore(VerdictStore):
 
     File-backed databases run in WAL mode (readers never block the writer
     and vice versa) with ``busy_timeout`` so a briefly locked database is
-    waited out instead of surfacing ``database is locked``.  All statements
-    go through an internal lock and the connection is opened with
-    ``check_same_thread=False``, so one store object is safe to share
-    between the threads of an asyncio daemon (event loop + worker pool).
+    waited out instead of surfacing ``database is locked``.  Connections
+    are opened with ``check_same_thread=False`` and every statement goes
+    through an internal lock, so one store object is safe to share between
+    the threads of an asyncio daemon (event loop + worker pool).
+
+    File-backed stores keep *two* connections: writes go through one, the
+    hot read paths (``get`` / ``get_many`` / ``last_seq`` /
+    ``entries_since``) through another with its own lock.  WAL already
+    guarantees readers never wait on the database's writer; the second
+    connection extends that to this process -- a reader never waits out a
+    *sibling process's* commit behind our own writer's busy-timeout spin,
+    which matters when several pool workers share one store file.
     """
 
     #: How many keys one bulk ``SELECT ... IN (...)`` carries at most
@@ -241,11 +307,37 @@ class SQLiteVerdictStore(VerdictStore):
             "  PRIMARY KEY (session, seq)"
             ")"
         )
+        # The replicated append log: every verdict put and journal append
+        # also lands here under an AUTOINCREMENT sequence, so the numbers
+        # are monotonic and never reused even with several writer processes
+        # on one database.  Pool workers catch up by replaying entries_since
+        # their last-seen sequence (pre-existing stores migrate on open with
+        # an empty log; only appends from then on are replayable).
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS verdict_log ("
+            "  seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+            "  kind TEXT NOT NULL,"
+            "  record TEXT NOT NULL,"
+            "  created REAL NOT NULL"
+            ")"
+        )
         self._connection.commit()
+        # The read connection opens after the schema is committed, so it
+        # always sees the migrated tables.  In-memory databases are private
+        # per connection: there the "read connection" is the writer itself.
+        if path != ":memory:":
+            self._read_lock: threading.RLock = threading.RLock()
+            self._read_connection = sqlite3.connect(path, check_same_thread=False)
+            self._read_connection.execute(
+                f"PRAGMA busy_timeout = {int(busy_timeout_ms)}"
+            )
+        else:
+            self._read_lock = self._lock
+            self._read_connection = self._connection
 
     def get(self, key: str) -> Optional[bool]:
-        with self._lock:
-            row = self._connection.execute(
+        with self._read_lock:
+            row = self._read_connection.execute(
                 "SELECT verdict FROM verdicts WHERE key = ?", (key,)
             ).fetchone()
         return None if row is None else bool(row[0])
@@ -253,42 +345,65 @@ class SQLiteVerdictStore(VerdictStore):
     def get_many(self, keys: Iterable[str]) -> Dict[str, bool]:
         key_list = list(keys)
         found: Dict[str, bool] = {}
-        with self._lock:
+        with self._read_lock:
             for start in range(0, len(key_list), self.GET_MANY_CHUNK):
                 chunk = key_list[start : start + self.GET_MANY_CHUNK]
                 placeholders = ",".join("?" * len(chunk))
-                for key, verdict in self._connection.execute(
+                for key, verdict in self._read_connection.execute(
                     f"SELECT key, verdict FROM verdicts WHERE key IN ({placeholders})",
                     chunk,
                 ):
                     found[key] = bool(verdict)
         return found
 
+    def _log_insert(self, kind: str, records: Sequence[Dict], now: float) -> None:
+        # Caller holds the lock and commits; one log row per append keeps
+        # the verdict/journal tables and the log in a single transaction.
+        self._connection.executemany(
+            "INSERT INTO verdict_log (kind, record, created) VALUES (?, ?, ?)",
+            [(kind, json.dumps(record, sort_keys=True), now) for record in records],
+        )
+
     def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
+        now = time.time()
         with self._lock:
             self._connection.execute(
                 "INSERT OR REPLACE INTO verdicts (key, verdict, name, seconds, created)"
                 " VALUES (?, ?, ?, ?, ?)",
-                (key, int(bool(verdict)), name, seconds, time.time()),
+                (key, int(bool(verdict)), name, seconds, now),
+            )
+            self._log_insert(
+                "verdict",
+                [{"key": key, "verdict": bool(verdict), "name": name, "seconds": seconds}],
+                now,
             )
             self._connection.commit()
 
     def put_many(self, records: Iterable[Tuple[str, bool, str, float]]) -> None:
         now = time.time()
+        rows = list(records)
         with self._lock:
             self._connection.executemany(
                 "INSERT OR REPLACE INTO verdicts (key, verdict, name, seconds, created)"
                 " VALUES (?, ?, ?, ?, ?)",
                 [
                     (key, int(bool(verdict)), name, seconds, now)
-                    for key, verdict, name, seconds in records
+                    for key, verdict, name, seconds in rows
                 ],
+            )
+            self._log_insert(
+                "verdict",
+                [
+                    {"key": key, "verdict": bool(verdict), "name": name, "seconds": seconds}
+                    for key, verdict, name, seconds in rows
+                ],
+                now,
             )
             self._connection.commit()
 
     def get_node(self, key: str) -> Optional[bool]:
-        with self._lock:
-            row = self._connection.execute(
+        with self._read_lock:
+            row = self._read_connection.execute(
                 "SELECT verdict FROM node_verdicts WHERE key = ?", (key,)
             ).fetchone()
         return None if row is None else bool(row[0])
@@ -296,11 +411,11 @@ class SQLiteVerdictStore(VerdictStore):
     def get_node_many(self, keys: Iterable[str]) -> Dict[str, bool]:
         key_list = list(keys)
         found: Dict[str, bool] = {}
-        with self._lock:
+        with self._read_lock:
             for start in range(0, len(key_list), self.GET_MANY_CHUNK):
                 chunk = key_list[start : start + self.GET_MANY_CHUNK]
                 placeholders = ",".join("?" * len(chunk))
-                for key, verdict in self._connection.execute(
+                for key, verdict in self._read_connection.execute(
                     f"SELECT key, verdict FROM node_verdicts WHERE key IN ({placeholders})",
                     chunk,
                 ):
@@ -343,11 +458,17 @@ class SQLiteVerdictStore(VerdictStore):
             yield key, (bool(verdict), name, seconds)
 
     def journal_append(self, session: str, seq: int, entry: Dict) -> None:
+        now = time.time()
         with self._lock:
             self._connection.execute(
                 "INSERT OR REPLACE INTO session_journal (session, seq, entry, created)"
                 " VALUES (?, ?, ?, ?)",
-                (session, int(seq), json.dumps(entry, sort_keys=True), time.time()),
+                (session, int(seq), json.dumps(entry, sort_keys=True), now),
+            )
+            self._log_insert(
+                "journal",
+                [{"session": session, "seq": int(seq), "entry": entry}],
+                now,
             )
             self._connection.commit()
 
@@ -373,6 +494,39 @@ class SQLiteVerdictStore(VerdictStore):
             )
             self._connection.commit()
 
+    def last_seq(self) -> int:
+        with self._read_lock:
+            (seq,) = self._read_connection.execute(
+                "SELECT COALESCE(MAX(seq), 0) FROM verdict_log"
+            ).fetchone()
+        return int(seq)
+
+    def entries_since(
+        self, seq: int, limit: Optional[int] = None
+    ) -> Iterator[LogEntry]:
+        # Chunked cursor reads: the lock is only held per chunk, so a long
+        # catch-up replay never starves the writer, and WAL readers see a
+        # consistent prefix of the log regardless of concurrent appends.
+        cursor = int(seq)
+        remaining = limit
+        while remaining is None or remaining > 0:
+            take = self.GET_MANY_CHUNK
+            if remaining is not None:
+                take = min(take, remaining)
+            with self._read_lock:
+                rows = self._read_connection.execute(
+                    "SELECT seq, kind, record FROM verdict_log"
+                    " WHERE seq > ? ORDER BY seq LIMIT ?",
+                    (cursor, take),
+                ).fetchall()
+            if not rows:
+                return
+            for row_seq, kind, record in rows:
+                yield int(row_seq), str(kind), json.loads(record)
+            cursor = int(rows[-1][0])
+            if remaining is not None:
+                remaining -= len(rows)
+
     def journal_mode(self) -> str:
         """The active journal mode (``"wal"`` for file-backed stores)."""
         with self._lock:
@@ -380,6 +534,9 @@ class SQLiteVerdictStore(VerdictStore):
         return str(mode).lower()
 
     def close(self) -> None:
+        if self._read_connection is not self._connection:
+            with self._read_lock:
+                self._read_connection.close()
         with self._lock:
             self._connection.close()
 
@@ -407,6 +564,11 @@ class JsonlVerdictStore(VerdictStore):
         self._data: Dict[str, StoredVerdict] = {}
         self._nodes: Dict[str, bool] = {}
         self._journal: Dict[str, Dict[int, Dict]] = {}
+        # The file itself is the append log; sequence numbers are rebuilt
+        # from line order at open (torn tails are truncated first, so a
+        # crashed writer never leaves a half-assigned sequence).
+        self._log: List[LogEntry] = []
+        self._seq = 0
         #: Bytes dropped from a truncated trailing line at open (0 = clean).
         self.truncated_bytes = 0
         if os.path.exists(path):
@@ -448,14 +610,36 @@ class JsonlVerdictStore(VerdictStore):
         elif kind == "journal":
             session_entries = self._journal.setdefault(record["session"], {})
             session_entries[int(record["seq"])] = dict(record["entry"])
+            self._log_append(
+                "journal",
+                {
+                    "session": record["session"],
+                    "seq": int(record["seq"]),
+                    "entry": dict(record["entry"]),
+                },
+            )
         elif kind == "journal-clear":
             self._journal.pop(record["session"], None)
         else:
-            self._data[record["key"]] = (
+            stored = (
                 bool(record["verdict"]),
                 record.get("name", ""),
                 float(record.get("seconds", 0.0)),
             )
+            self._data[record["key"]] = stored
+            self._log_append(
+                "verdict",
+                {
+                    "key": record["key"],
+                    "verdict": stored[0],
+                    "name": stored[1],
+                    "seconds": stored[2],
+                },
+            )
+
+    def _log_append(self, kind: str, record: Dict) -> None:
+        self._seq += 1
+        self._log.append((self._seq, kind, record))
 
     def get(self, key: str) -> Optional[bool]:
         with self._lock:
@@ -465,6 +649,10 @@ class JsonlVerdictStore(VerdictStore):
     def put(self, key: str, verdict: bool, name: str = "", seconds: float = 0.0) -> None:
         with self._lock:
             self._data[key] = (bool(verdict), name, seconds)
+            self._log_append(
+                "verdict",
+                {"key": key, "verdict": bool(verdict), "name": name, "seconds": seconds},
+            )
             self._handle.write(
                 json.dumps(
                     {"key": key, "verdict": bool(verdict), "name": name, "seconds": seconds},
@@ -500,6 +688,9 @@ class JsonlVerdictStore(VerdictStore):
     def journal_append(self, session: str, seq: int, entry: Dict) -> None:
         with self._lock:
             self._journal.setdefault(session, {})[int(seq)] = dict(entry)
+            self._log_append(
+                "journal", {"session": session, "seq": int(seq), "entry": dict(entry)}
+            )
             self._handle.write(
                 json.dumps(
                     {"kind": "journal", "session": session, "seq": int(seq), "entry": entry},
@@ -528,6 +719,19 @@ class JsonlVerdictStore(VerdictStore):
                 + "\n"
             )
             self._handle.flush()
+
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def entries_since(
+        self, seq: int, limit: Optional[int] = None
+    ) -> Iterator[LogEntry]:
+        with self._lock:
+            newer = [entry for entry in self._log if entry[0] > seq]
+        if limit is not None:
+            newer = newer[:limit]
+        return iter(newer)
 
     def __len__(self) -> int:
         return len(self._data)

@@ -181,6 +181,35 @@ class TestBrowsePages:
         assert excinfo.value.code == 400
 
 
+class TestHealthz:
+    def test_serving_daemon_is_200_with_detail(self, console_server):
+        with _get(console_server, "/healthz") as response:
+            assert response.status == 200
+            body = json.loads(response.read().decode("utf-8"))
+        assert body["healthy"] is True
+        assert body["draining"] is False
+        assert body["breaker"] == "closed"
+
+    def test_draining_daemon_is_503(self):
+        with ServerThread(store=MemoryVerdictStore(), http_port=0) as server:
+            server.service.draining = True
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server, "/healthz")
+            assert excinfo.value.code == 503
+            body = json.loads(excinfo.value.read().decode("utf-8"))
+            assert body["healthy"] is False and body["draining"] is True
+
+    def test_open_breaker_is_503(self):
+        with ServerThread(store=MemoryVerdictStore(), http_port=0) as server:
+            breaker = server.service.breaker
+            for _ in range(breaker.failure_threshold):
+                breaker.record_failure()
+            assert breaker.state == "open"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server, "/healthz")
+            assert excinfo.value.code == 503
+
+
 class TestQueryTraceBreakdown:
     def test_warm_query_response_carries_tier_timings(self, console_server):
         cold, warm = _warm_query(console_server)
